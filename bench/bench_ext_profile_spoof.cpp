@@ -1,0 +1,103 @@
+// Experiment E1 (§V-C future work, implemented): the netflix-1080p exploit
+// adapted to this ladder — does spoofing the security level in a forged
+// license request yield HD keys on an L3 device?
+//
+// Paper context: "the Github project netflix-1080p explains how to get HD
+// quality on L3 by just modifying the profiles to be sent to the CDN. This
+// implies that there is no strong verification for web browsers."
+//
+// We sweep the server's level-verification mode:
+//   Strict      (Android-style)  -> claim capped by factory certification,
+//   TrustClient (browser-style)  -> HD keys granted to a forged L1 claim.
+#include <iostream>
+
+#include "core/key_ladder_attack.hpp"
+#include "core/keybox_recovery.hpp"
+#include "core/monitor.hpp"
+#include "media/cenc.hpp"
+#include "ott/catalog.hpp"
+#include "ott/ecosystem.hpp"
+#include "ott/playback.hpp"
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t n) {
+  std::string out = s;
+  out.resize(std::max(n, out.size()), ' ');
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wideleak;
+
+  ott::StreamingEcosystem ecosystem;
+  const auto profile = *ott::find_app("Showtime");
+  ecosystem.install_app(profile);
+  auto nexus5 = ecosystem.make_device(android::legacy_nexus5_spec(0x7001));
+
+  // Step 1: the standard WideLeak credential theft on the legacy device.
+  core::DrmApiMonitor monitor(*nexus5);
+  ott::OttApp app(profile, ecosystem, *nexus5);
+  if (!app.play_title().played) {
+    std::cout << "setup playback failed\n";
+    return 1;
+  }
+  const auto scan = core::recover_keybox(*nexus5);
+  if (!scan.success()) {
+    std::cout << "keybox recovery failed\n";
+    return 1;
+  }
+  core::KeyLadderAttack ladder(*scan.keybox);
+  const auto rsa = ladder.recover_device_rsa_key(monitor.trace());
+  if (!rsa) {
+    std::cout << "device RSA key recovery failed\n";
+    return 1;
+  }
+
+  const auto& title = ecosystem.title_for(profile.name);
+  std::vector<media::KeyId> kids;
+  for (const auto& key : title.keys) kids.push_back(key.kid);
+
+  std::cout << "E1: SECURITY-LEVEL SPOOFING vs LICENSE-SERVER VERIFICATION\n";
+  std::cout << "(forged license requests from a recovered-credential L3 device, claiming L1)\n\n";
+  std::cout << pad("server verification", 22) << pad("keys granted", 14)
+            << pad("best quality", 14) << "HD leak?\n";
+  std::cout << std::string(70, '-') << "\n";
+
+  bool hd_leaked_when_trusting = false;
+  for (const auto mode :
+       {widevine::LevelVerification::Strict, widevine::LevelVerification::TrustClient}) {
+    ecosystem.license_server().set_level_verification(mode);
+
+    widevine::ClientIdentity spoofed = nexus5->identity();
+    spoofed.level = widevine::SecurityLevel::L1;  // the lie
+    Rng rng = ecosystem.fork_rng();
+    const auto request = ladder.forge_license_request(spoofed, kids, rng);
+    const auto response =
+        ecosystem.license_server().handle(request, widevine::permissive_revocation_policy());
+    const auto keys = ladder.decrypt_license_response(request, response);
+
+    media::Resolution best;
+    for (const auto& key : title.keys) {
+      if (keys.contains(hex_encode(key.kid)) && key.resolution.height > best.height) {
+        best = key.resolution;
+      }
+    }
+    const bool hd = best.is_hd();
+    if (mode == widevine::LevelVerification::TrustClient) hd_leaked_when_trusting = hd;
+    std::cout << pad(mode == widevine::LevelVerification::Strict ? "Strict (Android)"
+                                                                 : "TrustClient (browser)",
+                     22)
+              << pad(std::to_string(keys.size()) + "/" + std::to_string(title.keys.size()), 14)
+              << pad(best.label(), 14) << (hd ? "YES - 1080p keys on an L3 device" : "no")
+              << "\n";
+  }
+  ecosystem.license_server().set_level_verification(widevine::LevelVerification::Strict);
+
+  std::cout << std::string(70, '-') << "\n";
+  std::cout << "[shape] strict verification confines the attacker to sub-HD; trusting the\n"
+               "        client's claim reproduces the browser-CDM HD leak of §V-C.\n";
+  return hd_leaked_when_trusting ? 0 : 1;
+}

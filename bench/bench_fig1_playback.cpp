@@ -1,0 +1,81 @@
+// Experiment F1: regenerate Figure 1 — "Encrypted Content Playback in
+// Android" — as the observed message sequence, and time each stage.
+//
+// The paper's figure shows: MediaDrm(UUID) -> openSession -> getKeyRequest
+// (opaque request to the License Server) -> provideKeyResponse -> media
+// fetch -> queueSecureInputBuffer -> Decrypt. We print the hook trace of a
+// real (simulated) playback and check that exact ordering.
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "ott/catalog.hpp"
+#include "ott/ecosystem.hpp"
+#include "ott/playback.hpp"
+
+namespace {
+
+// The Figure-1 milestones, in order.
+const std::vector<std::string> kExpectedOrder = {
+    "MediaDrm(UUID)",
+    "MediaDrm.openSession",
+    "MediaDrm.getKeyRequest",
+    "MediaDrm.provideKeyResponse",
+    "MediaCodec.queueSecureInputBuffer",
+    "_oecc22_DecryptCENC",
+};
+
+}  // namespace
+
+int main() {
+  using namespace wideleak;
+
+  ott::StreamingEcosystem ecosystem;
+  const auto profile = *ott::find_app("Showtime");
+  ecosystem.install_app(profile);
+  auto device = ecosystem.make_device(android::modern_l1_spec(0xF161));
+
+  core::DrmApiMonitor monitor(*device);
+  ott::OttApp app(profile, ecosystem, *device);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto outcome = app.play_title();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  std::cout << "FIGURE 1: ENCRYPTED CONTENT PLAYBACK IN ANDROID (observed sequence)\n";
+  std::cout << "Application          Media DRM Server / CDM\n";
+  std::cout << std::string(70, '-') << "\n";
+  std::size_t shown = 0;
+  for (const auto& name : monitor.call_sequence()) {
+    const bool app_side = name.rfind("MediaDrm", 0) == 0 || name.rfind("MediaCrypto", 0) == 0 ||
+                          name.rfind("MediaCodec", 0) == 0;
+    if (name == "_oecc22_DecryptCENC" && ++shown > 1) continue;  // one Decrypt() row, as in the figure
+    std::cout << (app_side ? "  " : "                       ") << name << "\n";
+  }
+  std::cout << std::string(70, '-') << "\n";
+
+  // Verify the Figure-1 ordering.
+  const auto sequence = monitor.call_sequence();
+  std::size_t cursor = 0;
+  for (const std::string& milestone : kExpectedOrder) {
+    bool found = false;
+    for (; cursor < sequence.size(); ++cursor) {
+      if (sequence[cursor] == milestone) {
+        found = true;
+        ++cursor;
+        break;
+      }
+    }
+    if (!found) {
+      std::cout << "ORDER VIOLATION: missing milestone " << milestone << "\n";
+      return 1;
+    }
+  }
+  std::cout << "Figure-1 milestone ordering: OK ("
+            << (outcome.played ? "playback succeeded" : "playback FAILED") << ", "
+            << outcome.frames_rendered << " frames, "
+            << std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count()
+            << " ms end-to-end)\n";
+  return outcome.played ? 0 : 1;
+}

@@ -1,0 +1,143 @@
+// Experiment M1: microbenchmarks of the primitives the study's "easily
+// automated" claim rests on — the whole attack pipeline is bounded by
+// AES/CMAC/RSA/CENC throughput and the memory scan, all measured here with
+// google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/cmac.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/modes.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "core/keybox_recovery.hpp"
+#include "media/cenc.hpp"
+#include "media/content.hpp"
+#include "widevine/key_ladder.hpp"
+#include "widevine/keybox.hpp"
+
+namespace {
+
+using namespace wideleak;
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  Rng rng(1);
+  const crypto::Aes aes(rng.next_bytes(16));
+  crypto::AesBlock block{};
+  for (auto _ : state) {
+    block = aes.encrypt_block(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_AesCtr(benchmark::State& state) {
+  Rng rng(2);
+  const crypto::Aes aes(rng.next_bytes(16));
+  const Bytes iv = rng.next_bytes(16);
+  const Bytes data = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes out = crypto::aes_ctr_crypt(aes, iv, data);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(1024)->Arg(16 * 1024)->Arg(256 * 1024);
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(3);
+  const Bytes data = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes digest = crypto::sha256(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(64 * 1024);
+
+void BM_AesCmac(benchmark::State& state) {
+  Rng rng(4);
+  const Bytes key = rng.next_bytes(16);
+  const Bytes data = rng.next_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes tag = crypto::aes_cmac(key, data);
+    benchmark::DoNotOptimize(tag);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AesCmac)->Arg(256)->Arg(4096);
+
+void BM_KeyLadderDerive(benchmark::State& state) {
+  Rng rng(5);
+  const Bytes root = rng.next_bytes(16);
+  const Bytes context = rng.next_bytes(512);  // realistic request-body size
+  for (auto _ : state) {
+    auto keys = widevine::derive_session_keys(root, context, context);
+    benchmark::DoNotOptimize(keys);
+  }
+}
+BENCHMARK(BM_KeyLadderDerive);
+
+void BM_RsaSignVerify(benchmark::State& state) {
+  Rng rng(6);
+  const auto key = crypto::rsa_generate(rng, static_cast<std::size_t>(state.range(0)));
+  const Bytes message = rng.next_bytes(256);
+  for (auto _ : state) {
+    Bytes sig = crypto::rsa_pss_sign(key, rng, message);
+    benchmark::DoNotOptimize(crypto::rsa_pss_verify(key.pub, message, sig));
+  }
+}
+BENCHMARK(BM_RsaSignVerify)->Arg(1024)->Iterations(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RsaSignVerify)->Arg(2048)->Iterations(5)->Unit(benchmark::kMillisecond);
+
+void BM_RsaOaepUnwrap(benchmark::State& state) {
+  Rng rng(7);
+  const auto key = crypto::rsa_generate(rng, 1024);
+  const Bytes session_key = rng.next_bytes(16);
+  const Bytes wrapped = crypto::rsa_oaep_encrypt(key.pub, rng, session_key);
+  for (auto _ : state) {
+    Bytes out = crypto::rsa_oaep_decrypt(key, wrapped);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel("the per-license cost of the recovered-RSA-key attack path");
+}
+BENCHMARK(BM_RsaOaepUnwrap)->Unit(benchmark::kMicrosecond);
+
+void BM_CencDecryptTrack(benchmark::State& state) {
+  Rng rng(8);
+  const auto frames = media::generate_track_frames(
+      42, media::TrackType::Video, {960, 540}, static_cast<std::uint32_t>(state.range(0)));
+  const Bytes key = rng.next_bytes(16);
+  const media::KeyId kid = rng.next_bytes(16);
+  media::TrakBox trak{.type = media::TrackType::Video, .resolution = {960, 540},
+                      .language = "und"};
+  const auto track = media::package_encrypted(trak, frames, key, kid, rng);
+  for (auto _ : state) {
+    Bytes clear = media::cenc_decrypt_track(track, key);
+    benchmark::DoNotOptimize(clear);
+  }
+}
+BENCHMARK(BM_CencDecryptTrack)->Arg(24)->Arg(240)->Unit(benchmark::kMicrosecond);
+
+void BM_KeyboxScan(benchmark::State& state) {
+  // Scan cost over growing process images — the attack's dominant step.
+  Rng rng(9);
+  hooking::ProcessMemory memory;
+  const std::size_t total = static_cast<std::size_t>(state.range(0));
+  for (std::size_t mapped = 0; mapped < total; mapped += 64 * 1024) {
+    memory.map_region("heap" + std::to_string(mapped), rng.next_bytes(64 * 1024));
+  }
+  memory.map_region("keybox", widevine::make_factory_keybox("bench", 1).serialize());
+  for (auto _ : state) {
+    auto result = core::scan_for_keybox(memory);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(memory.total_bytes()));
+}
+BENCHMARK(BM_KeyboxScan)->Arg(256 * 1024)->Arg(4 * 1024 * 1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

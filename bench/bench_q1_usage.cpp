@@ -1,0 +1,71 @@
+// Experiment Q1 (§IV-C): how often do OTT apps rely on Widevine, and at
+// which security level?
+//
+// Paper: all ten apps depend on Widevine; L1 is popular (every TEE device
+// uses it); Amazon alone embeds a custom DRM when only L3 is available.
+#include <iostream>
+
+#include "core/monitor.hpp"
+#include "ott/catalog.hpp"
+#include "ott/ecosystem.hpp"
+#include "ott/playback.hpp"
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t n) {
+  std::string out = s;
+  out.resize(std::max(n, out.size()), ' ');
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wideleak;
+
+  ott::StreamingEcosystem ecosystem;
+  ecosystem.install_catalog();
+  auto l1_device = ecosystem.make_device(android::modern_l1_spec(0x1001));
+  auto l3_device = ecosystem.make_device(android::modern_l3_only_spec(0x1003));
+
+  std::cout << "Q1: WIDEVINE USAGE BY OTT APPS\n";
+  std::cout << pad("OTT", 20) << pad("Installs", 10) << pad("TEE device", 22)
+            << "TEE-less device\n";
+  std::cout << std::string(75, '-') << "\n";
+
+  std::size_t widevine_count = 0;
+  std::size_t l1_count = 0;
+  for (const auto& profile : ott::study_catalog()) {
+    std::string l1_cell;
+    {
+      core::DrmApiMonitor monitor(*l1_device);
+      ott::OttApp app(profile, ecosystem, *l1_device);
+      const auto outcome = app.play_title();
+      const auto usage = monitor.usage_report();
+      if (usage.widevine_used) ++widevine_count;
+      if (usage.observed_level == widevine::SecurityLevel::L1) ++l1_count;
+      l1_cell = usage.widevine_used
+                    ? "Widevine " + widevine::to_string(*usage.observed_level) + " (" +
+                          std::to_string(usage.oecc_calls) + " calls)"
+                    : (outcome.played ? "custom DRM" : "no playback");
+    }
+    std::string l3_cell;
+    {
+      core::DrmApiMonitor monitor(*l3_device);
+      ott::OttApp app(profile, ecosystem, *l3_device);
+      const auto outcome = app.play_title();
+      const auto usage = monitor.usage_report();
+      l3_cell = usage.widevine_used
+                    ? "Widevine " + widevine::to_string(*usage.observed_level)
+                    : (outcome.used_custom_drm && outcome.played ? "custom DRM (embedded)"
+                                                                 : "no playback");
+    }
+    std::cout << pad(profile.name, 20) << pad(std::to_string(profile.installs_millions) + "M+", 10)
+              << pad(l1_cell, 22) << l3_cell << "\n";
+  }
+  std::cout << std::string(75, '-') << "\n";
+  std::cout << widevine_count << "/10 apps use Widevine on the TEE device; " << l1_count
+            << "/10 run at L1 (paper: 10 and 10, Amazon falling back to its own DRM on L3-only"
+               " hardware)\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Experiment Q2 (§IV-C): do OTT apps encrypt their media assets?
+//
+// Paper: SSL repinning was bypassed on ALL apps; video always encrypted;
+// subtitles always clear (Hulu/Starz URIs not found); audio clear for
+// Netflix, myCANAL and Salto — playable anywhere without an account.
+#include <iostream>
+
+#include "core/asset_auditor.hpp"
+#include "core/key_usage_auditor.hpp"
+#include "core/monitor.hpp"
+#include "core/network_monitor.hpp"
+#include "ott/catalog.hpp"
+#include "ott/ecosystem.hpp"
+#include "ott/playback.hpp"
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t n) {
+  std::string out = s;
+  out.resize(std::max(n, out.size()), ' ');
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wideleak;
+
+  ott::StreamingEcosystem ecosystem;
+  ecosystem.install_catalog();
+  auto device = ecosystem.make_device(android::modern_l1_spec(0x2001));
+
+  std::cout << "Q2: CONTENT PROTECTION BY ASSET CLASS\n";
+  std::cout << pad("OTT", 20) << pad("PinBypass", 11) << pad("Video", 11) << pad("Audio", 11)
+            << pad("Subtitles", 11) << pad("SubsASCII", 11) << "ClearAudioPlaysNoAccount\n";
+  std::cout << std::string(100, '-') << "\n";
+
+  std::size_t clear_audio = 0;
+  std::size_t bypassed = 0;
+  for (const auto& profile : ott::study_catalog()) {
+    core::DrmApiMonitor cdm_monitor(*device);
+    core::NetworkMonitor net_monitor(ecosystem.network(), ecosystem.fork_rng());
+    ott::OttApp app(profile, ecosystem, *device);
+    net_monitor.attach(app);
+    (void)app.play_title();
+
+    const auto manifest = net_monitor.harvest_manifest(&cdm_monitor);
+    net::TrustStore trust;
+    trust.add(ecosystem.root_ca());
+    core::AssetAuditor auditor(ecosystem.network(), trust, ecosystem.fork_rng());
+    const auto assets = auditor.audit(manifest);
+
+    if (net_monitor.pin_bypasses() > 0) ++bypassed;
+    if (assets.audio == core::ProtectionStatus::Clear) ++clear_audio;
+
+    std::cout << pad(profile.name, 20)
+              << pad(std::to_string(net_monitor.pin_bypasses()) + " hits", 11)
+              << pad(to_string(assets.video), 11) << pad(to_string(assets.audio), 11)
+              << pad(to_string(assets.subtitles), 11)
+              << pad(assets.subtitles_ascii_readable ? "yes" : "-", 11)
+              << (assets.clear_audio_plays_without_account ? "yes" : "-") << "\n";
+  }
+  std::cout << std::string(100, '-') << "\n";
+  std::cout << "pin bypass effective on " << bypassed << "/10 apps (paper: all); "
+            << clear_audio << "/10 ship audio in clear (paper: 3 — Netflix, myCANAL, Salto)\n";
+  return 0;
+}

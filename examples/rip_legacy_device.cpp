@@ -1,0 +1,51 @@
+// The §IV-D PoC, narrated: recover the keybox from the discontinued
+// device's CDM process (CVE-2021-0639), rebuild the key ladder from
+// intercepted HAL traffic, and produce DRM-free media that plays on a PC
+// with no app and no account.
+#include <iostream>
+
+#include "core/keybox_recovery.hpp"
+#include "core/report.hpp"
+#include "media/codec.hpp"
+#include "ott/catalog.hpp"
+
+int main() {
+  using namespace wideleak;
+
+  ott::StreamingEcosystem ecosystem;
+  ecosystem.install_catalog();
+
+  // The weakest link: a Nexus 5 stuck on Android 6.0.1 / Widevine L3
+  // with CDM 3.1.0 — no more security updates, keybox stored insecurely.
+  auto nexus5 = ecosystem.make_device(android::legacy_nexus5_spec(0xBADD));
+  std::cout << "Target device: " << nexus5->spec().model << " (Android "
+            << nexus5->spec().android_version << ", Widevine "
+            << widevine::to_string(nexus5->security_level()) << ", CDM "
+            << nexus5->spec().cdm_version.label() << ")\n\n";
+
+  core::ContentRipper ripper(ecosystem, *nexus5);
+  const std::vector<core::RipResult> results = ripper.rip_catalog();
+
+  std::cout << core::render_rip_summary(results) << "\n";
+
+  // Show that a successful rip really is DRM-free: decode it with the
+  // stock player model and print what a "PC" would see.
+  for (const core::RipResult& result : results) {
+    if (!result.success) continue;
+    const media::PlaybackReport playback = media::try_play(BytesView(result.drm_free_media));
+    std::cout << result.app << ": reconstructed file = " << result.drm_free_media.size()
+              << " bytes, " << playback.frames << " frames, video "
+              << playback.resolution.label() << " (qHD cap: the license server never"
+              << " sent HD keys to this L3 client)\n";
+    break;  // one is enough for the demo
+  }
+
+  // And the contrast: the same scan against a modern patched device fails.
+  auto pixel = ecosystem.make_device(android::modern_l1_spec(0xF00D));
+  const auto scan = core::recover_keybox(*pixel);
+  std::cout << "\nSame memory scan on a modern L1 device: "
+            << (scan.success() ? "keybox FOUND (unexpected!)" : "no keybox found")
+            << " (" << scan.regions_scanned << " regions, " << scan.bytes_scanned
+            << " bytes scanned)\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "android/device.hpp"
+
+namespace wideleak::android {
+
+std::string DeviceSpec::drm_process_name() const {
+  // Numeric-major comparison is enough for our two-era model.
+  const int major = std::stoi(android_version);
+  return major >= 7 ? "mediadrmserver" : "mediaserver";
+}
+
+Device::Device(DeviceSpec spec, const widevine::Keybox& keybox)
+    : spec_(std::move(spec)),
+      rng_(spec_.seed),
+      drm_process_(spec_.drm_process_name()),
+      app_process_("ott_app") {
+  if (spec_.has_tee) tee_ = std::make_unique<widevine::Tee>();
+  widevine::OemCryptoConfig config;
+  config.level = spec_.has_tee ? widevine::SecurityLevel::L1 : widevine::SecurityLevel::L3;
+  config.version = spec_.cdm_version;
+  config.host = &drm_process_;
+  config.tee = tee_.get();
+  config.seed = rng_.next_u64();
+  cdm_ = std::make_unique<widevine::WidevineCdm>(config);
+  cdm_->install_keybox(keybox);
+}
+
+widevine::SecurityLevel Device::security_level() const { return cdm_->security_level(); }
+
+widevine::ClientIdentity Device::identity() const {
+  widevine::ClientIdentity id;
+  id.stable_id = cdm_->oemcrypto().stable_id();
+  id.device_model = spec_.model;
+  id.cdm_version = spec_.cdm_version;
+  id.level = cdm_->security_level();
+  return id;
+}
+
+DeviceSpec modern_l1_spec(std::uint64_t seed) {
+  return DeviceSpec{.model = "Pixel 5",
+                    .serial = "pixel5-0042",
+                    .android_version = "12",
+                    .cdm_version = widevine::kCurrentCdm,
+                    .has_tee = true,
+                    .seed = seed};
+}
+
+DeviceSpec legacy_nexus5_spec(std::uint64_t seed) {
+  // Released 2013; last update Android 6.0.1; Widevine L3, CDM 3.1.0.
+  return DeviceSpec{.model = "Nexus 5",
+                    .serial = "nexus5-1337",
+                    .android_version = "6",
+                    .cdm_version = widevine::kLegacyCdm,
+                    .has_tee = false,
+                    .seed = seed};
+}
+
+DeviceSpec modern_l3_only_spec(std::uint64_t seed) {
+  return DeviceSpec{.model = "Tablet X (no TEE)",
+                    .serial = "tabx-0007",
+                    .android_version = "11",
+                    .cdm_version = widevine::kCurrentCdm,
+                    .has_tee = false,
+                    .seed = seed};
+}
+
+}  // namespace wideleak::android

@@ -1,0 +1,80 @@
+// A simulated Android device: system processes, optional TEE, the Widevine
+// CDM plugged into the DRM HAL, and the system trust store apps use for TLS.
+//
+// Two device profiles matter to the study:
+//   - a modern TEE phone (Widevine L1, current CDM),
+//   - the discontinued Nexus 5 (Android 6.0.1, software-only Widevine L3,
+//     legacy CDM 3.1.0 with insecure keybox storage — CVE-2021-0639).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hooking/process.hpp"
+#include "net/tls.hpp"
+#include "widevine/cdm.hpp"
+#include "widevine/keybox.hpp"
+#include "widevine/tee.hpp"
+
+namespace wideleak::android {
+
+struct DeviceSpec {
+  std::string model;
+  std::string serial;
+  std::string android_version = "12";
+  widevine::CdmVersion cdm_version = widevine::kCurrentCdm;
+  bool has_tee = true;  ///< TEE present -> Widevine runs at L1
+  std::uint64_t seed = 0;
+
+  /// Android >= 7 hosts the CDM in mediadrmserver; older in mediaserver —
+  /// the distinction the paper's Frida script handles explicitly.
+  std::string drm_process_name() const;
+};
+
+class Device {
+ public:
+  /// Builds the device and installs its factory keybox.
+  Device(DeviceSpec spec, const widevine::Keybox& keybox);
+
+  const DeviceSpec& spec() const { return spec_; }
+  widevine::SecurityLevel security_level() const;
+
+  /// The process hosting the Widevine HAL plugin — what an attacker with a
+  /// rooted device attaches Frida to.
+  hooking::SimProcess& drm_process() { return drm_process_; }
+  const hooking::SimProcess& drm_process() const { return drm_process_; }
+
+  /// The OTT app's own process (anti-debug checks etc. live here; the
+  /// paper's methodology avoids it entirely).
+  hooking::SimProcess& app_process() { return app_process_; }
+
+  widevine::WidevineCdm& cdm() { return *cdm_; }
+  const widevine::WidevineCdm& cdm() const { return *cdm_; }
+
+  /// The identity block the CDM sends in every request.
+  widevine::ClientIdentity identity() const;
+
+  /// System CA roots (plus any user-installed CA, e.g. a MITM proxy's).
+  net::TrustStore& system_trust() { return trust_; }
+
+  /// Fresh per-connection randomness for apps on this device.
+  Rng fork_rng() { return rng_.fork(); }
+
+ private:
+  DeviceSpec spec_;
+  Rng rng_;
+  hooking::SimProcess drm_process_;
+  hooking::SimProcess app_process_;
+  std::unique_ptr<widevine::Tee> tee_;  // null on TEE-less devices
+  std::unique_ptr<widevine::WidevineCdm> cdm_;
+  net::TrustStore trust_;
+};
+
+/// Profile factories for the two devices of the study.
+DeviceSpec modern_l1_spec(std::uint64_t seed);
+DeviceSpec legacy_nexus5_spec(std::uint64_t seed);
+/// A modern TEE-less device: current CDM, but only L3 available (the
+/// profile that triggers Amazon's embedded custom DRM).
+DeviceSpec modern_l3_only_spec(std::uint64_t seed);
+
+}  // namespace wideleak::android

@@ -1,0 +1,40 @@
+#include "android/media_codec.hpp"
+
+#include "support/errors.hpp"
+
+namespace wideleak::android {
+
+void Surface::render(const media::Frame& frame) {
+  ++frames_;
+  if (frame.type == media::TrackType::Video && resolution_ == media::Resolution{}) {
+    resolution_ = frame.resolution;
+  }
+}
+
+MediaCodec::MediaCodec(MediaCrypto* crypto, Surface& surface)
+    : crypto_(crypto), surface_(surface) {}
+
+bool MediaCodec::decode_and_render(BytesView clear_sample) {
+  const auto parsed = media::Frame::parse(clear_sample);
+  if (!parsed || parsed->consumed != clear_sample.size()) return false;
+  surface_.render(parsed->frame);
+  return true;
+}
+
+bool MediaCodec::queue_secure_input_buffer(const media::KeyId& kid, BytesView sample,
+                                           const media::SampleEncryptionEntry& entry) {
+  if (crypto_ == nullptr) {
+    throw StateError("MediaCodec: secure buffer queued without MediaCrypto");
+  }
+  crypto_->drm().device().drm_process().bus().emit(kMediaJniModule,
+                                                   "MediaCodec.queueSecureInputBuffer", sample,
+                                                   BytesView());
+  const Bytes clear = crypto_->decrypt_sample(kid, sample, entry);
+  return decode_and_render(clear);
+}
+
+bool MediaCodec::queue_input_buffer(BytesView sample) {
+  return decode_and_render(sample);
+}
+
+}  // namespace wideleak::android

@@ -1,0 +1,46 @@
+// android.media.MediaCodec — consumes (possibly encrypted) input buffers
+// and renders decoded frames to a Surface the app cannot read back.
+#pragma once
+
+#include <optional>
+
+#include "android/media_crypto.hpp"
+#include "media/codec.hpp"
+
+namespace wideleak::android {
+
+/// The render target: accumulates decoded frames; apps can query playback
+/// statistics but never the pixel/PCM data.
+class Surface {
+ public:
+  void render(const media::Frame& frame);
+
+  std::uint32_t frames_rendered() const { return frames_; }
+  media::Resolution video_resolution() const { return resolution_; }
+
+ private:
+  std::uint32_t frames_ = 0;
+  media::Resolution resolution_;
+};
+
+class MediaCodec {
+ public:
+  /// `crypto` may be null for clear playback.
+  MediaCodec(MediaCrypto* crypto, Surface& surface);
+
+  /// Figure 1's queueSecureInputBuffer: decrypt via MediaCrypto, decode,
+  /// render. Returns false when the sample cannot be decoded.
+  bool queue_secure_input_buffer(const media::KeyId& kid, BytesView sample,
+                                 const media::SampleEncryptionEntry& entry);
+
+  /// Clear input path.
+  bool queue_input_buffer(BytesView sample);
+
+ private:
+  bool decode_and_render(BytesView clear_sample);
+
+  MediaCrypto* crypto_;
+  Surface& surface_;
+};
+
+}  // namespace wideleak::android

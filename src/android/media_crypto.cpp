@@ -1,0 +1,59 @@
+#include "android/media_crypto.hpp"
+
+#include "support/errors.hpp"
+
+namespace wideleak::android {
+
+MediaCrypto::MediaCrypto(MediaDrm& drm, MediaDrm::SessionId session)
+    : drm_(drm), session_(session) {
+  drm_.device().drm_process().bus().emit(kMediaJniModule, "MediaCrypto(session)", BytesView(),
+                                         BytesView());
+}
+
+Bytes MediaCrypto::decrypt_sample(const media::KeyId& kid, BytesView sample,
+                                  const media::SampleEncryptionEntry& entry) {
+  auto& cdm = drm_.device().cdm();
+  if (cdm.select_key(session_, kid) != widevine::OemCryptoResult::Success) {
+    throw StateError("MediaCrypto: key not loaded for sample");
+  }
+
+  // CENC semantics: within one sample the CTR keystream runs continuously
+  // across protected ranges, so we decrypt their concatenation in one call
+  // and then re-interleave with the clear ranges.
+  Bytes protected_concat;
+  std::size_t pos = 0;
+  for (const auto& sub : entry.subsamples) {
+    if (pos + sub.clear_bytes + sub.protected_bytes > sample.size()) {
+      throw ParseError("MediaCrypto: subsample map overruns sample");
+    }
+    pos += sub.clear_bytes;
+    protected_concat.insert(protected_concat.end(), sample.begin() + static_cast<std::ptrdiff_t>(pos),
+                            sample.begin() + static_cast<std::ptrdiff_t>(pos + sub.protected_bytes));
+    pos += sub.protected_bytes;
+  }
+
+  Bytes decrypted;
+  const auto result = cdm.decrypt_sample(session_, entry.iv, protected_concat, decrypted);
+  if (result != widevine::OemCryptoResult::Success) {
+    throw StateError("MediaCrypto: decrypt failed: " + widevine::to_string(result));
+  }
+
+  Bytes out;
+  out.reserve(sample.size());
+  pos = 0;
+  std::size_t dec_pos = 0;
+  for (const auto& sub : entry.subsamples) {
+    out.insert(out.end(), sample.begin() + static_cast<std::ptrdiff_t>(pos),
+               sample.begin() + static_cast<std::ptrdiff_t>(pos + sub.clear_bytes));
+    pos += sub.clear_bytes;
+    out.insert(out.end(), decrypted.begin() + static_cast<std::ptrdiff_t>(dec_pos),
+               decrypted.begin() + static_cast<std::ptrdiff_t>(dec_pos + sub.protected_bytes));
+    dec_pos += sub.protected_bytes;
+    pos += sub.protected_bytes;
+  }
+  // Trailing unmapped bytes pass through clear.
+  out.insert(out.end(), sample.begin() + static_cast<std::ptrdiff_t>(pos), sample.end());
+  return out;
+}
+
+}  // namespace wideleak::android

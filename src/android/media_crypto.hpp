@@ -1,0 +1,29 @@
+// android.media.MediaCrypto — bound to a MediaDrm session; performs sample
+// decryption on behalf of a MediaCodec. Apps never receive decrypted bytes
+// from it, which is why buffer-stealing attacks (MovieStealer) fail against
+// this pipeline.
+#pragma once
+
+#include "android/media_drm.hpp"
+#include "media/mp4.hpp"
+
+namespace wideleak::android {
+
+class MediaCrypto {
+ public:
+  MediaCrypto(MediaDrm& drm, MediaDrm::SessionId session);
+
+  /// Decrypt one CENC sample (clear/protected subsample map). Intended to
+  /// be called only by MediaCodec; returns the clear sample.
+  Bytes decrypt_sample(const media::KeyId& kid, BytesView sample,
+                       const media::SampleEncryptionEntry& entry);
+
+  MediaDrm::SessionId session() const { return session_; }
+  MediaDrm& drm() { return drm_; }
+
+ private:
+  MediaDrm& drm_;
+  MediaDrm::SessionId session_;
+};
+
+}  // namespace wideleak::android

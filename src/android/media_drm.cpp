@@ -1,0 +1,114 @@
+#include "android/media_drm.hpp"
+
+#include "support/errors.hpp"
+
+namespace wideleak::android {
+
+MediaDrm::MediaDrm(Device& device, const std::string& uuid) : device_(device) {
+  if (uuid != kWidevineUuid) {
+    throw StateError("MediaDrm: unsupported DRM scheme uuid " + uuid);
+  }
+  emit("MediaDrm(UUID)", to_bytes(uuid), BytesView());
+}
+
+void MediaDrm::emit(std::string_view function, BytesView input, BytesView output) {
+  device_.drm_process().bus().emit(kMediaJniModule, function, input, output);
+}
+
+Bytes MediaDrm::get_provision_request() {
+  const widevine::ProvisioningRequest request =
+      device_.cdm().create_provisioning_request(device_.identity());
+  const Bytes serialized = request.serialize();
+  emit("MediaDrm.getProvisionRequest", BytesView(), serialized);
+  return serialized;
+}
+
+bool MediaDrm::provide_provision_response(BytesView response) {
+  emit("MediaDrm.provideProvisionResponse", response, BytesView());
+  const auto parsed = widevine::ProvisioningResponse::deserialize(response);
+  return device_.cdm().process_provisioning_response(parsed) ==
+         widevine::OemCryptoResult::Success;
+}
+
+MediaDrm::SessionId MediaDrm::open_session() {
+  const SessionId session = device_.cdm().open_session();
+  emit("MediaDrm.openSession", BytesView(), BytesView());
+  return session;
+}
+
+void MediaDrm::close_session(SessionId session) {
+  device_.cdm().close_session(session);
+  emit("MediaDrm.closeSession", BytesView(), BytesView());
+}
+
+Bytes MediaDrm::get_key_request(SessionId session, BytesView pssh_init_data) {
+  // Parse the pssh payload to learn which key ids to request.
+  const auto boxes = media::Box::parse_sequence(pssh_init_data);
+  if (boxes.size() != 1 || boxes[0].fourcc != "pssh") {
+    throw ParseError("MediaDrm.getKeyRequest: init data must be one pssh box");
+  }
+  const media::PsshBox pssh = media::PsshBox::from_box(boxes[0]);
+  const widevine::LicenseRequest request =
+      device_.cdm().create_license_request(session, device_.identity(), pssh.key_ids);
+  const Bytes serialized = request.serialize();
+  emit("MediaDrm.getKeyRequest", pssh_init_data, serialized);
+  return serialized;
+}
+
+widevine::OemCryptoResult MediaDrm::provide_key_response(SessionId session, BytesView response) {
+  emit("MediaDrm.provideKeyResponse", response, BytesView());
+  const auto parsed = widevine::LicenseResponse::deserialize(response);
+  return device_.cdm().process_license_response(session, parsed);
+}
+
+std::vector<media::KeyId> MediaDrm::loaded_key_ids(SessionId session) const {
+  return device_.cdm().oemcrypto().loaded_key_ids(session);
+}
+
+widevine::OemCryptoResult MediaDrm::crypto_session_decrypt(SessionId session,
+                                                           const media::KeyId& kid, BytesView iv,
+                                                           BytesView ciphertext,
+                                                           Bytes& plaintext) {
+  emit("CryptoSession.decrypt", ciphertext, BytesView());
+  auto& oec = device_.cdm().oemcrypto();
+  if (const auto r = oec.select_key(session, kid); r != widevine::OemCryptoResult::Success) {
+    return r;
+  }
+  return oec.generic_decrypt(session, iv, ciphertext, plaintext);
+}
+
+widevine::OemCryptoResult MediaDrm::crypto_session_encrypt(SessionId session,
+                                                           const media::KeyId& kid, BytesView iv,
+                                                           BytesView plaintext,
+                                                           Bytes& ciphertext) {
+  emit("CryptoSession.encrypt", plaintext, BytesView());
+  auto& oec = device_.cdm().oemcrypto();
+  if (const auto r = oec.select_key(session, kid); r != widevine::OemCryptoResult::Success) {
+    return r;
+  }
+  return oec.generic_encrypt(session, iv, plaintext, ciphertext);
+}
+
+widevine::OemCryptoResult MediaDrm::crypto_session_sign(SessionId session,
+                                                        const media::KeyId& kid,
+                                                        BytesView message, Bytes& tag) {
+  emit("CryptoSession.sign", message, BytesView());
+  auto& oec = device_.cdm().oemcrypto();
+  if (const auto r = oec.select_key(session, kid); r != widevine::OemCryptoResult::Success) {
+    return r;
+  }
+  return oec.generic_sign(session, message, tag);
+}
+
+widevine::OemCryptoResult MediaDrm::crypto_session_verify(SessionId session,
+                                                          const media::KeyId& kid,
+                                                          BytesView message, BytesView tag) {
+  emit("CryptoSession.verify", message, tag);
+  auto& oec = device_.cdm().oemcrypto();
+  if (const auto r = oec.select_key(session, kid); r != widevine::OemCryptoResult::Success) {
+    return r;
+  }
+  return oec.generic_verify(session, message, tag);
+}
+
+}  // namespace wideleak::android

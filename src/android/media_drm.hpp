@@ -1,0 +1,73 @@
+// android.media.MediaDrm — the Java API surface, as seen by OTT apps.
+//
+// Calls route through the Media DRM Server (HAL) into the Widevine plugin;
+// each call is announced on the DRM-hosting process's hook bus under the
+// libmedia_jni.so module, matching the call path of Figure 1.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "android/device.hpp"
+#include "media/mp4.hpp"
+#include "widevine/protocol.hpp"
+
+namespace wideleak::android {
+
+/// The UUID apps pass to select Widevine.
+inline constexpr char kWidevineUuid[] = "edef8ba9-79d6-4ace-a3c8-27dcd51d21ed";
+
+inline constexpr char kMediaJniModule[] = "libmedia_jni.so";
+
+class MediaDrm {
+ public:
+  using SessionId = widevine::WidevineCdm::SessionId;
+
+  /// Throws StateError for a UUID naming a DRM scheme the device lacks.
+  MediaDrm(Device& device, const std::string& uuid);
+
+  // --- Provisioning -----------------------------------------------------------
+  /// Serialized provisioning request for the Provisioning Server.
+  Bytes get_provision_request();
+  /// Returns false when provisioning was denied or failed verification.
+  bool provide_provision_response(BytesView response);
+  bool is_provisioned() const { return device_.cdm().is_provisioned(); }
+
+  // --- Sessions & licenses -----------------------------------------------------
+  SessionId open_session();
+  void close_session(SessionId session);
+
+  /// Build the opaque key request from pssh init data (Figure 1's
+  /// getKeyRequest). The returned bytes go to the License Server verbatim.
+  Bytes get_key_request(SessionId session, BytesView pssh_init_data);
+
+  /// Ingest the License Server's response (Figure 1's provideKeyResponse).
+  widevine::OemCryptoResult provide_key_response(SessionId session, BytesView response);
+
+  std::vector<media::KeyId> loaded_key_ids(SessionId session) const;
+
+  // --- Crypto session (MediaDrm.getCryptoSession): the "non-DASH mode" ---
+  /// Decrypt arbitrary data with a loaded key — the generic channel Netflix
+  /// uses to protect its URI manifests.
+  widevine::OemCryptoResult crypto_session_decrypt(SessionId session, const media::KeyId& kid,
+                                                   BytesView iv, BytesView ciphertext,
+                                                   Bytes& plaintext);
+  widevine::OemCryptoResult crypto_session_encrypt(SessionId session, const media::KeyId& kid,
+                                                   BytesView iv, BytesView plaintext,
+                                                   Bytes& ciphertext);
+  widevine::OemCryptoResult crypto_session_sign(SessionId session, const media::KeyId& kid,
+                                                BytesView message, Bytes& tag);
+  widevine::OemCryptoResult crypto_session_verify(SessionId session, const media::KeyId& kid,
+                                                  BytesView message, BytesView tag);
+
+  Device& device() { return device_; }
+
+ private:
+  void emit(std::string_view function, BytesView input, BytesView output);
+
+  Device& device_;
+};
+
+}  // namespace wideleak::android

@@ -1,0 +1,95 @@
+#include "core/asset_auditor.hpp"
+
+#include "media/cenc.hpp"
+#include "media/codec.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::core {
+
+std::string to_string(ProtectionStatus status) {
+  switch (status) {
+    case ProtectionStatus::Encrypted: return "Encrypted";
+    case ProtectionStatus::Clear: return "Clear";
+    case ProtectionStatus::Unknown: return "-";
+  }
+  return "?";
+}
+
+AssetAuditor::AssetAuditor(const net::Network& network, net::TrustStore trust, Rng rng)
+    : client_(network, std::move(trust), std::move(rng)) {}
+
+std::optional<Bytes> AssetAuditor::download(const std::string& host, const std::string& path) {
+  net::HttpRequest req;
+  req.path = path;
+  const auto result = client_.request(host, req);
+  if (!result.ok()) return std::nullopt;
+  return result.response->body;
+}
+
+ProtectionStatus AssetAuditor::classify_file(BytesView file) {
+  media::PackagedTrack track;
+  try {
+    track = media::PackagedTrack::from_file(file);
+  } catch (const Error&) {
+    return ProtectionStatus::Unknown;
+  }
+  if (track.encrypted) {
+    // Confirm the claim: the raw samples must NOT play in a stock player.
+    return media::try_play(BytesView(media::raw_sample_stream(track))).playable
+               ? ProtectionStatus::Clear  // mislabeled — treat as clear
+               : ProtectionStatus::Encrypted;
+  }
+  return media::try_play(BytesView(media::raw_sample_stream(track))).playable
+             ? ProtectionStatus::Clear
+             : ProtectionStatus::Unknown;
+}
+
+AssetProtectionReport AssetAuditor::audit(const HarvestedManifest& manifest) {
+  AssetProtectionReport report;
+  if (!manifest.mpd) return report;
+
+  auto audit_class = [&](media::TrackType type) -> ProtectionStatus {
+    ProtectionStatus verdict = ProtectionStatus::Unknown;
+    for (const media::MpdRepresentation* rep : manifest.mpd->of_type(type)) {
+      const auto file = download(manifest.cdn_host, rep->base_url);
+      if (!file) continue;
+      ++report.assets_checked;
+      const ProtectionStatus status = classify_file(BytesView(*file));
+      if (status == ProtectionStatus::Unknown) continue;
+      // Any clear asset in the class marks the class clear (the finding is
+      // about the weakest link, not the average).
+      if (verdict == ProtectionStatus::Unknown || status == ProtectionStatus::Clear) {
+        verdict = status;
+      }
+      if (type == media::TrackType::Subtitle && status == ProtectionStatus::Clear) {
+        const auto track = media::PackagedTrack::from_file(BytesView(*file));
+        // Concatenate payloads and apply the paper's ascii check.
+        Bytes text;
+        std::size_t pos = 0;
+        const Bytes stream = media::raw_sample_stream(track);
+        while (pos < stream.size()) {
+          const auto parsed = media::Frame::parse(BytesView(stream).subspan(pos));
+          if (!parsed) break;
+          text.insert(text.end(), parsed->frame.payload.begin(), parsed->frame.payload.end());
+          pos += parsed->consumed;
+        }
+        report.subtitles_ascii_readable = is_printable_ascii(BytesView(text));
+      }
+      if (type == media::TrackType::Audio && status == ProtectionStatus::Clear) {
+        // The practical impact check: the downloaded audio plays as-is,
+        // outside any app, with no account.
+        const auto track = media::PackagedTrack::from_file(BytesView(*file));
+        report.clear_audio_plays_without_account =
+            media::try_play(BytesView(media::raw_sample_stream(track))).playable;
+      }
+    }
+    return verdict;
+  };
+
+  report.video = audit_class(media::TrackType::Video);
+  report.audio = audit_class(media::TrackType::Audio);
+  report.subtitles = audit_class(media::TrackType::Subtitle);
+  return report;
+}
+
+}  // namespace wideleak::core

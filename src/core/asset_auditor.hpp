@@ -1,0 +1,53 @@
+// Q2 auditor: for every harvested asset URI, download the file with a plain
+// client (no app, no pinning) and classify its protection status exactly as
+// the paper does — does a stock player read it (clear), does it parse as
+// CENC-protected (encrypted), and are subtitles readable ascii text?
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/network_monitor.hpp"
+#include "media/track.hpp"
+#include "net/network.hpp"
+
+namespace wideleak::core {
+
+enum class ProtectionStatus {
+  Encrypted,
+  Clear,
+  Unknown,  // URI not found / undownloadable — Table I's "-"
+};
+
+std::string to_string(ProtectionStatus status);
+
+/// Per-asset-class verdicts for one app (Table I, "Content Protection").
+struct AssetProtectionReport {
+  ProtectionStatus video = ProtectionStatus::Unknown;
+  ProtectionStatus audio = ProtectionStatus::Unknown;
+  ProtectionStatus subtitles = ProtectionStatus::Unknown;
+  bool subtitles_ascii_readable = false;  // the English-text check
+  std::size_t assets_checked = 0;
+  /// Clear audio is playable "anywhere without any OTT account" — verified
+  /// by actually playing the downloaded file outside the app.
+  bool clear_audio_plays_without_account = false;
+};
+
+class AssetAuditor {
+ public:
+  /// `trust` is the analyst machine's CA set (no pinning, no app).
+  AssetAuditor(const net::Network& network, net::TrustStore trust, Rng rng);
+
+  AssetProtectionReport audit(const HarvestedManifest& manifest);
+
+  /// Classify one downloaded asset file.
+  static ProtectionStatus classify_file(BytesView file);
+
+ private:
+  std::optional<Bytes> download(const std::string& host, const std::string& path);
+
+  net::TlsClient client_;
+};
+
+}  // namespace wideleak::core

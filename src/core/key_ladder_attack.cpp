@@ -1,0 +1,149 @@
+#include "core/key_ladder_attack.hpp"
+
+#include "crypto/cmac.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/modes.hpp"
+#include "support/byte_io.hpp"
+#include "support/errors.hpp"
+#include "support/log.hpp"
+
+namespace wideleak::core {
+
+// Deliberately NOT calling widevine::derive_session_keys: this is the
+// attacker's clean-room reconstruction of the KDF, and a regression test
+// cross-checks the two implementations against each other.
+KeyLadderAttack::DerivedTriple KeyLadderAttack::derive_triple(BytesView root_key,
+                                                              BytesView context) {
+  auto kdf_context = [&](std::string_view label) {
+    ByteWriter w;
+    w.raw(label);
+    w.u8(0x00);
+    w.raw(context);
+    w.u32(static_cast<std::uint32_t>(context.size() * 8));
+    return w.take();
+  };
+
+  DerivedTriple triple;
+  triple.enc_key = crypto::cmac_counter_kdf(root_key, kdf_context("ENCRYPTION"), 0x01, 16);
+  const Bytes mac_block =
+      crypto::cmac_counter_kdf(root_key, kdf_context("AUTHENTICATION"), 0x01, 64);
+  triple.mac_key_server.assign(mac_block.begin(), mac_block.begin() + 32);
+  triple.mac_key_client.assign(mac_block.begin() + 32, mac_block.end());
+  return triple;
+}
+
+std::optional<crypto::RsaKeyPair> KeyLadderAttack::recover_device_rsa_key(
+    const hooking::CallTrace& trace) {
+  // The provisioning request crosses the JNI boundary in the clear (it is
+  // protection for the *response* that matters); grab it from the
+  // getProvisionRequest dump, and the response from provideProvisionResponse.
+  const hooking::CallRecord* request_record = trace.first("MediaDrm.getProvisionRequest");
+  const hooking::CallRecord* response_record = trace.first("MediaDrm.provideProvisionResponse");
+  if (request_record == nullptr || response_record == nullptr) return std::nullopt;
+
+  try {
+    const auto request =
+        widevine::ProvisioningRequest::deserialize(BytesView(request_record->output));
+    const auto response =
+        widevine::ProvisioningResponse::deserialize(BytesView(response_record->input));
+    if (!response.granted) return std::nullopt;
+
+    // Re-derive the session triple from the recovered keybox device key and
+    // the request body (which is the KDF context by construction).
+    const Bytes context = request.body();
+    const DerivedTriple triple = derive_triple(keybox_.device_key(), context);
+
+    // Sanity: the response MAC must verify under our derived key, proving
+    // the ladder reconstruction is right.
+    if (!crypto::hmac_sha256_verify(triple.mac_key_server, response.body(), response.mac)) {
+      WL_LOG(Warn) << "key ladder: provisioning MAC mismatch — wrong keybox?";
+      return std::nullopt;
+    }
+
+    const crypto::Aes enc(triple.enc_key);
+    const Bytes serialized =
+        crypto::aes_cbc_decrypt(enc, response.wrapping_iv, response.wrapped_rsa_key);
+    device_rsa_key_ = crypto::RsaKeyPair::deserialize(serialized);
+    WL_LOG(Info) << "key ladder: Device RSA Key recovered ("
+                 << device_rsa_key_->pub.n.bit_length() << " bits)";
+    return device_rsa_key_;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+RecoveredKeys KeyLadderAttack::decrypt_license_response(
+    const widevine::LicenseRequest& request, const widevine::LicenseResponse& response) {
+  RecoveredKeys recovered;
+  if (!response.granted) return recovered;
+
+  const Bytes context = request.body();
+  DerivedTriple triple;
+  if (request.scheme == widevine::SignatureScheme::DeviceRsa) {
+    if (!device_rsa_key_) return recovered;  // need step 1 first
+    const Bytes session_key =
+        crypto::rsa_oaep_decrypt(*device_rsa_key_, response.session_key_wrapped);
+    triple = derive_triple(session_key, context);
+  } else {
+    triple = derive_triple(keybox_.device_key(), context);
+  }
+
+  if (!crypto::hmac_sha256_verify(triple.mac_key_server, response.body(), response.mac)) {
+    WL_LOG(Warn) << "key ladder: license MAC mismatch — skipping exchange";
+    return recovered;
+  }
+
+  const crypto::Aes enc(triple.enc_key);
+  for (const widevine::KeyContainer& container : response.keys) {
+    const Bytes key = crypto::aes_cbc_decrypt_nopad(enc, container.iv, container.wrapped_key);
+    recovered[hex_encode(container.kid)] = key;
+  }
+  return recovered;
+}
+
+RecoveredKeys KeyLadderAttack::recover_content_keys(const hooking::CallTrace& trace) {
+  RecoveredKeys recovered;
+
+  const auto requests = trace.by_function("MediaDrm.getKeyRequest");
+  const auto responses = trace.by_function("MediaDrm.provideKeyResponse");
+  const std::size_t exchanges = std::min(requests.size(), responses.size());
+
+  for (std::size_t i = 0; i < exchanges; ++i) {
+    try {
+      const auto request = widevine::LicenseRequest::deserialize(BytesView(requests[i]->output));
+      const auto response =
+          widevine::LicenseResponse::deserialize(BytesView(responses[i]->input));
+      for (auto& [kid, key] : decrypt_license_response(request, response)) {
+        recovered[kid] = key;
+      }
+    } catch (const Error&) {
+      continue;  // unrelated or malformed exchange
+    }
+  }
+
+  WL_LOG(Info) << "key ladder: recovered " << recovered.size() << " content keys";
+  return recovered;
+}
+
+widevine::LicenseRequest KeyLadderAttack::forge_license_request(
+    const widevine::ClientIdentity& identity, const std::vector<media::KeyId>& key_ids,
+    Rng& rng) {
+  widevine::LicenseRequest request;
+  request.client = identity;
+  request.nonce = rng.next_bytes(16);
+  request.key_ids = key_ids;
+
+  if (device_rsa_key_) {
+    request.scheme = widevine::SignatureScheme::DeviceRsa;
+    request.device_rsa_public = device_rsa_key_->pub.serialize();
+    request.signature = crypto::rsa_pss_sign(*device_rsa_key_, rng, request.body());
+  } else {
+    request.scheme = widevine::SignatureScheme::KeyboxCmac;
+    const Bytes body = request.body();
+    const DerivedTriple triple = derive_triple(keybox_.device_key(), body);
+    request.signature = crypto::hmac_sha256(triple.mac_key_client, body);
+  }
+  return request;
+}
+
+}  // namespace wideleak::core

@@ -1,0 +1,72 @@
+// The attack's independent re-implementation of the Widevine key ladder
+// (§IV-D): given a recovered keybox and the message buffers intercepted at
+// the HAL boundary, walk root-of-trust → Device RSA Key → session keys →
+// content keys, exactly as the paper's PoC does.
+//
+// Note this code never touches the CDM's internals: all inputs are the
+// keybox bytes plus traffic an attacker observes (MediaDrm request/response
+// dumps from the hook trace).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/monitor.hpp"
+#include "crypto/rsa.hpp"
+#include "widevine/keybox.hpp"
+#include "widevine/protocol.hpp"
+
+namespace wideleak::core {
+
+/// Recovered kid -> 16-byte content key.
+using RecoveredKeys = std::map<std::string, Bytes>;
+
+class KeyLadderAttack {
+ public:
+  explicit KeyLadderAttack(widevine::Keybox keybox) : keybox_(std::move(keybox)) {}
+
+  /// Step 1: replay the provisioning exchange captured in `trace` to unwrap
+  /// the Device RSA Key (needs only the keybox device key).
+  std::optional<crypto::RsaKeyPair> recover_device_rsa_key(const hooking::CallTrace& trace);
+
+  /// Step 2: replay a license exchange to unwrap content keys. Uses the
+  /// recovered RSA key for the provisioned path, or the keybox directly
+  /// for the legacy CMAC path. HD keys never appear: the server did not
+  /// send them to this L3 client in the first place.
+  RecoveredKeys recover_content_keys(const hooking::CallTrace& trace);
+
+  /// §V-C extension (the netflix-1080p exploit adapted to this ladder):
+  /// with the recovered credentials the attacker no longer needs the app —
+  /// it can *forge* license requests itself, claiming any security level.
+  /// A server that trusts the claim (browser-CDM behaviour) then hands an
+  /// L3 device HD keys.
+  widevine::LicenseRequest forge_license_request(const widevine::ClientIdentity& identity,
+                                                 const std::vector<media::KeyId>& key_ids,
+                                                 Rng& rng);
+
+  /// Unwrap the keys of a response to a request whose body we know (either
+  /// forged by us or intercepted).
+  RecoveredKeys decrypt_license_response(const widevine::LicenseRequest& request,
+                                         const widevine::LicenseResponse& response);
+
+  const std::optional<crypto::RsaKeyPair>& device_rsa_key() const { return device_rsa_key_; }
+
+  /// Seed the ladder with an RSA key recovered in an earlier session.
+  void set_device_rsa_key(crypto::RsaKeyPair key) { device_rsa_key_ = std::move(key); }
+
+ private:
+  /// Independent copy of the CMAC-counter KDF (what the paper reverse
+  /// engineered from liboemcrypto's obfuscated code).
+  struct DerivedTriple {
+    Bytes enc_key;
+    Bytes mac_key_server;
+    Bytes mac_key_client;
+  };
+  static DerivedTriple derive_triple(BytesView root_key, BytesView context);
+
+  widevine::Keybox keybox_;
+  std::optional<crypto::RsaKeyPair> device_rsa_key_;
+};
+
+}  // namespace wideleak::core

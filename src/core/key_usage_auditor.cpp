@@ -1,0 +1,69 @@
+#include "core/key_usage_auditor.hpp"
+
+#include <set>
+
+namespace wideleak::core {
+
+std::string to_string(KeyUsageVerdict verdict) {
+  switch (verdict) {
+    case KeyUsageVerdict::Minimum: return "Minimum";
+    case KeyUsageVerdict::Recommended: return "Recommended";
+    case KeyUsageVerdict::Unknown: return "-";
+  }
+  return "?";
+}
+
+KeyUsageReport audit_key_usage(const HarvestedManifest& manifest,
+                               const AssetProtectionReport& assets) {
+  KeyUsageReport report;
+  if (!manifest.mpd) return report;
+
+  std::set<std::string> video_kids;
+  bool every_video_has_kid = true;
+  for (const auto* rep : manifest.mpd->of_type(media::TrackType::Video)) {
+    ++report.video_representations;
+    if (rep->default_kid) {
+      video_kids.insert(hex_encode(*rep->default_kid));
+    } else {
+      every_video_has_kid = false;
+    }
+  }
+  report.distinct_video_kids = video_kids.size();
+  report.video_keys_distinct_per_resolution =
+      every_video_has_kid && video_kids.size() == report.video_representations;
+
+  // Audio in clear (confirmed by actually downloading and playing it): the
+  // Widevine "minimal" setting regardless of key metadata.
+  if (assets.audio == ProtectionStatus::Clear) {
+    report.audio_encrypted = false;
+    report.verdict = KeyUsageVerdict::Minimum;
+    return report;
+  }
+  report.audio_encrypted = assets.audio == ProtectionStatus::Encrypted;
+
+  bool any_audio_kid = false;
+  bool shares = false;
+  for (const auto* rep : manifest.mpd->of_type(media::TrackType::Audio)) {
+    if (!rep->default_kid) continue;
+    any_audio_kid = true;
+    if (video_kids.contains(hex_encode(*rep->default_kid))) shares = true;
+  }
+
+  if (report.audio_encrypted && !any_audio_kid) {
+    // Encrypted audio but no key-id metadata visible from our vantage
+    // point: the regional-restriction case the paper could not conclude.
+    report.verdict = KeyUsageVerdict::Unknown;
+    return report;
+  }
+  if (!report.audio_encrypted && !any_audio_kid) {
+    // No audio evidence at all.
+    report.verdict = KeyUsageVerdict::Unknown;
+    return report;
+  }
+
+  report.audio_shares_video_key = shares;
+  report.verdict = shares ? KeyUsageVerdict::Minimum : KeyUsageVerdict::Recommended;
+  return report;
+}
+
+}  // namespace wideleak::core

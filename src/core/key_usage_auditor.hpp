@@ -1,0 +1,41 @@
+// Q3 auditor: classify the app's key usage against the Widevine
+// recommendations — distinct keys per video quality, and a separate key for
+// audio ("Recommended") versus clear audio or audio sharing a video key
+// ("Minimum").
+//
+// Evidence comes from two places, as in the paper: the key-id metadata of
+// the harvested MPD, and the Q2 downloads (which tell apart "audio really
+// is clear" from "audio is encrypted but the key-id metadata is redacted in
+// our region" — the Hulu/HBO Max case that stays inconclusive).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/asset_auditor.hpp"
+#include "core/network_monitor.hpp"
+
+namespace wideleak::core {
+
+enum class KeyUsageVerdict {
+  Minimum,      // audio clear, or audio reuses a video key
+  Recommended,  // distinct keys everywhere
+  Unknown,      // metadata unavailable (regional restriction) — Table I "-"
+};
+
+std::string to_string(KeyUsageVerdict verdict);
+
+struct KeyUsageReport {
+  KeyUsageVerdict verdict = KeyUsageVerdict::Unknown;
+  bool video_keys_distinct_per_resolution = false;
+  bool audio_encrypted = false;
+  bool audio_shares_video_key = false;
+  std::size_t distinct_video_kids = 0;
+  std::size_t video_representations = 0;
+};
+
+/// Pure analysis over the harvested manifest + the Q2 download evidence.
+KeyUsageReport audit_key_usage(const HarvestedManifest& manifest,
+                               const AssetProtectionReport& assets);
+
+}  // namespace wideleak::core

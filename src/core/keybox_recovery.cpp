@@ -1,0 +1,40 @@
+#include "core/keybox_recovery.hpp"
+
+namespace wideleak::core {
+
+KeyboxRecoveryResult scan_for_keybox(const hooking::ProcessMemory& memory) {
+  KeyboxRecoveryResult result;
+  const Bytes magic(widevine::kKeyboxMagic, widevine::kKeyboxMagic + 4);
+
+  const auto snapshot = memory.snapshot();
+  result.regions_scanned = snapshot.size();
+  for (const hooking::MemoryRegion& region : snapshot) {
+    result.bytes_scanned += region.data.size();
+  }
+
+  for (const hooking::ScanHit& hit : memory.scan(BytesView(magic))) {
+    // The magic sits at offset 120 of a 128-byte structure; reject hits
+    // whose surrounding window falls outside the region.
+    if (hit.offset < widevine::kKeyboxMagicOffset) continue;
+    const Bytes& data = memory.read_region(hit.region);
+    const std::size_t start = hit.offset - widevine::kKeyboxMagicOffset;
+    if (start + widevine::kKeyboxSize > data.size()) continue;
+    ++result.magic_hits;
+
+    const BytesView candidate(data.data() + start, widevine::kKeyboxSize);
+    const auto parsed = widevine::Keybox::parse(candidate);
+    if (!parsed) continue;
+    ++result.crc_validated;
+    if (!result.keybox) {
+      result.keybox = parsed;
+      result.source_region = hit.region_name;
+    }
+  }
+  return result;
+}
+
+KeyboxRecoveryResult recover_keybox(const android::Device& device) {
+  return scan_for_keybox(device.drm_process().memory());
+}
+
+}  // namespace wideleak::core

@@ -1,0 +1,42 @@
+// Keybox recovery via memory scanning — the CVE-2021-0639 exploit.
+//
+// "By dynamically monitoring memory regions that are used during obfuscated
+// cryptographic operations within libwvdrmengine.so, we searched for
+// specific keybox structure (e.g., magic number). Thus, we succeeded in
+// recovering the L3 keybox on our deprecated Nexus 5 due to an insecure
+// storage of sensitive information (CWE-922)."
+//
+// The scanner walks the DRM process's mapped regions looking for the
+// keybox magic at its fixed offset and confirms candidates by CRC. It
+// succeeds exactly when the CDM maps a raw keybox: legacy L3. On L1 the
+// keybox lives in the TEE; on patched L3 only an XOR-masked copy exists.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "android/device.hpp"
+#include "hooking/memory.hpp"
+#include "widevine/keybox.hpp"
+
+namespace wideleak::core {
+
+struct KeyboxRecoveryResult {
+  std::optional<widevine::Keybox> keybox;
+  std::size_t magic_hits = 0;       // candidates found by magic alone
+  std::size_t crc_validated = 0;    // candidates surviving the CRC check
+  std::size_t regions_scanned = 0;
+  std::size_t bytes_scanned = 0;
+  std::string source_region;        // where the keybox was found
+
+  bool success() const { return keybox.has_value(); }
+};
+
+/// Scan one process memory map for keyboxes.
+KeyboxRecoveryResult scan_for_keybox(const hooking::ProcessMemory& memory);
+
+/// Convenience: scan the device's DRM-hosting process (requires root).
+KeyboxRecoveryResult recover_keybox(const android::Device& device);
+
+}  // namespace wideleak::core

@@ -1,0 +1,49 @@
+#include "core/legacy_prober.hpp"
+
+#include "core/monitor.hpp"
+
+namespace wideleak::core {
+
+std::string to_string(LegacyPlaybackVerdict verdict) {
+  switch (verdict) {
+    case LegacyPlaybackVerdict::Plays: return "plays";
+    case LegacyPlaybackVerdict::ProvisioningFailed: return "provisioning failed";
+    case LegacyPlaybackVerdict::PlaysViaCustomDrm: return "plays (custom DRM)";
+    case LegacyPlaybackVerdict::Failed: return "failed";
+  }
+  return "?";
+}
+
+LegacyProbeReport probe_legacy_playback(const ott::OttAppProfile& profile,
+                                        ott::StreamingEcosystem& ecosystem,
+                                        android::Device& legacy_device) {
+  LegacyProbeReport report;
+
+  DrmApiMonitor monitor(legacy_device);
+  ott::OttApp app(profile, ecosystem, legacy_device);
+  const ott::PlaybackOutcome outcome = app.play_title();
+
+  if (outcome.used_custom_drm && outcome.played) {
+    report.verdict = LegacyPlaybackVerdict::PlaysViaCustomDrm;
+    report.detail = "embedded DRM served sub-HD keys";
+    report.best_resolution = outcome.video_resolution;
+    report.hd_denied = outcome.video_resolution.height <= 540;
+    return report;
+  }
+  if (outcome.provisioning_attempted && !outcome.provisioning_ok) {
+    report.verdict = LegacyPlaybackVerdict::ProvisioningFailed;
+    report.detail = outcome.provisioning_error;
+    return report;
+  }
+  if (outcome.played) {
+    report.verdict = LegacyPlaybackVerdict::Plays;
+    report.best_resolution = outcome.video_resolution;
+    report.hd_denied = outcome.video_resolution.height <= 540;
+    report.detail = "best quality " + outcome.video_resolution.label();
+    return report;
+  }
+  report.detail = !outcome.license_ok ? outcome.license_error : outcome.failure;
+  return report;
+}
+
+}  // namespace wideleak::core

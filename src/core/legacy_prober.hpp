@@ -1,0 +1,36 @@
+// Q4 prober: attempt playback on the discontinued device (Nexus 5 profile —
+// Android 6.0.1, Widevine L3, CDM 3.1.0) with the DRM monitor attached, and
+// classify the service's stance on revoked devices.
+#pragma once
+
+#include <string>
+
+#include "android/device.hpp"
+#include "ott/ecosystem.hpp"
+#include "ott/playback.hpp"
+
+namespace wideleak::core {
+
+/// Table I's last column.
+enum class LegacyPlaybackVerdict {
+  Plays,               // full circle: content displays on the legacy device
+  ProvisioningFailed,  // half circle: Widevine fails during provisioning
+  PlaysViaCustomDrm,   // dagger: plays, but with the embedded DRM, not Widevine
+  Failed,              // anything else
+};
+
+std::string to_string(LegacyPlaybackVerdict verdict);
+
+struct LegacyProbeReport {
+  LegacyPlaybackVerdict verdict = LegacyPlaybackVerdict::Failed;
+  std::string detail;
+  media::Resolution best_resolution;  // quality cap observed (no HD on L3)
+  bool hd_denied = false;             // license withheld HD keys
+};
+
+/// Run the probe for one app on the provided legacy device.
+LegacyProbeReport probe_legacy_playback(const ott::OttAppProfile& profile,
+                                        ott::StreamingEcosystem& ecosystem,
+                                        android::Device& legacy_device);
+
+}  // namespace wideleak::core

@@ -1,0 +1,46 @@
+#include "core/monitor.hpp"
+
+#include "android/media_drm.hpp"
+#include "widevine/oemcrypto.hpp"
+
+namespace wideleak::core {
+
+DrmApiMonitor::DrmApiMonitor(android::Device& device)
+    : session_(std::make_unique<hooking::TraceSession>(device.drm_process().bus())) {}
+
+WidevineUsageReport DrmApiMonitor::usage_report() const {
+  WidevineUsageReport report;
+  for (const hooking::CallRecord& record : trace().records()) {
+    if (record.function.rfind("_oecc", 0) == 0) {
+      report.widevine_used = true;
+      ++report.oecc_calls;
+    }
+    if (record.module == android::kMediaJniModule) ++report.media_drm_calls;
+  }
+  if (report.widevine_used) {
+    // The paper's classifier: L1 is confirmed when the control flow reaches
+    // liboemcrypto.so; L3 keeps all calls inside libwvdrmengine.so.
+    report.observed_level = trace().touched_module(widevine::kOemCryptoModule)
+                                ? widevine::SecurityLevel::L1
+                                : widevine::SecurityLevel::L3;
+  }
+  return report;
+}
+
+std::vector<Bytes> DrmApiMonitor::dumped_outputs(std::string_view function) const {
+  std::vector<Bytes> out;
+  for (const hooking::CallRecord* record : trace().by_function(function)) {
+    out.push_back(record->output);
+  }
+  return out;
+}
+
+std::vector<Bytes> DrmApiMonitor::dumped_inputs(std::string_view function) const {
+  std::vector<Bytes> out;
+  for (const hooking::CallRecord* record : trace().by_function(function)) {
+    out.push_back(record->input);
+  }
+  return out;
+}
+
+}  // namespace wideleak::core

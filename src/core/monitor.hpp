@@ -1,0 +1,52 @@
+// WideLeak's DRM API monitor (the paper's Frida script, §IV-B).
+//
+// Attaches to the process hosting the Widevine HAL plugin and records every
+// call crossing the Media DRM framework: the `_oeccXX` CDM functions plus
+// the MediaDrm/MediaCrypto JNI layer. From the trace it answers Q1: is
+// Widevine used at all, and at which security level (L1 iff control flow
+// reaches liboemcrypto.so).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "android/device.hpp"
+#include "hooking/hook_bus.hpp"
+#include "widevine/protocol.hpp"
+
+namespace wideleak::core {
+
+/// Q1 verdict for one observation window.
+struct WidevineUsageReport {
+  bool widevine_used = false;  // any CDM (_oecc) activity observed
+  std::optional<widevine::SecurityLevel> observed_level;
+  std::size_t oecc_calls = 0;
+  std::size_t media_drm_calls = 0;
+};
+
+class DrmApiMonitor {
+ public:
+  /// Attach to the device's DRM-hosting process (requires root, which the
+  /// DRM threat model grants the attacker).
+  explicit DrmApiMonitor(android::Device& device);
+
+  const hooking::CallTrace& trace() const { return session_->trace(); }
+  void clear() { session_->trace().clear(); }
+
+  WidevineUsageReport usage_report() const;
+
+  /// All output buffers dumped for a function (e.g. the plaintext that
+  /// _oecc42_GenericDecrypt returned — Netflix's "protected" URIs).
+  std::vector<Bytes> dumped_outputs(std::string_view function) const;
+  std::vector<Bytes> dumped_inputs(std::string_view function) const;
+
+  /// The observed call sequence, for Figure-1 style flow reconstruction.
+  std::vector<std::string> call_sequence() const { return trace().function_sequence(); }
+
+ private:
+  std::unique_ptr<hooking::TraceSession> session_;
+};
+
+}  // namespace wideleak::core

@@ -1,0 +1,83 @@
+#include "core/network_monitor.hpp"
+
+#include "support/errors.hpp"
+#include "support/log.hpp"
+
+namespace wideleak::core {
+
+NetworkMonitor::NetworkMonitor(net::Network& network, Rng rng)
+    : proxy_(network, std::move(rng)) {}
+
+void NetworkMonitor::attach(ott::OttApp& app) {
+  // Step 1: user-install the proxy CA on the (rooted) device, as Burp setup
+  // instructs. Certificate *chain* validation now passes for forged certs.
+  app.device().system_trust().add(proxy_.ca());
+  // The app's TLS client snapshots the trust store at construction, so add
+  // the CA there too (equivalent to restarting the app after CA install).
+  app.tls().trust().add(proxy_.ca());
+
+  // Step 2: route the app through the proxy.
+  app.tls().set_proxy(&proxy_);
+
+  // Step 3: the Frida repinning bypass — override the pin verdict.
+  app.tls().set_pin_check_override(
+      [this](const std::string& host, const net::Certificate&, bool stock_verdict) {
+        if (!stock_verdict) {
+          ++pin_bypasses_;
+          WL_LOG(Debug) << "pin bypass engaged for " << host;
+        }
+        return true;  // always pass
+      });
+}
+
+HarvestedManifest NetworkMonitor::harvest_manifest(const DrmApiMonitor* cdm_monitor) const {
+  HarvestedManifest out;
+
+  for (const net::CapturedFlow& flow : flows()) {
+    if (flow.request.path != "/manifest" || !flow.response.ok()) continue;
+    const auto content_type = flow.response.headers.find("content-type");
+    const bool secure_envelope = content_type != flow.response.headers.end() &&
+                                 content_type->second == "application/x-secure-manifest";
+    if (const auto cdn = flow.response.headers.find("x-cdn-host");
+        cdn != flow.response.headers.end()) {
+      out.cdn_host = cdn->second;
+    }
+    if (const auto tokens = flow.response.headers.find("x-subtitle-tokens");
+        tokens != flow.response.headers.end()) {
+      std::size_t start = 0;
+      const std::string& value = tokens->second;
+      while (start < value.size()) {
+        const std::size_t comma = value.find(',', start);
+        const std::size_t end = comma == std::string::npos ? value.size() : comma;
+        out.opaque_subtitle_tokens.push_back(value.substr(start, end - start));
+        start = end + 1;
+      }
+    }
+    if (!secure_envelope) {
+      try {
+        out.mpd = media::Mpd::parse(to_string(BytesView(flow.response.body)));
+        out.source = "mitm";
+        return out;
+      } catch (const ParseError&) {
+        continue;
+      }
+    }
+  }
+
+  // Secure channel: recover the manifest from the CDM's generic-decrypt
+  // output buffers instead.
+  if (cdm_monitor != nullptr) {
+    for (const Bytes& plain : cdm_monitor->dumped_outputs("_oecc42_GenericDecrypt")) {
+      try {
+        out.mpd = media::Mpd::parse(to_string(BytesView(plain)));
+        out.source = "cdm-generic-decrypt";
+        return out;
+      } catch (const ParseError&) {
+        continue;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wideleak::core

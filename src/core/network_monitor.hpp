@@ -1,0 +1,56 @@
+// WideLeak's network interception (§IV-B "Content Protection"): a Burp-style
+// MITM proxy plus the Frida SSL-repinning bypass. Once attached to an app,
+// every backend/CDN exchange is captured in plaintext, from which the
+// monitor harvests the MPD and all asset URIs.
+//
+// For Netflix's generic-crypto manifest channel the MITM only yields
+// ciphertext; the harvest falls back to the CDM trace, where
+// _oecc42_GenericDecrypt dumps the decrypted manifest.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "media/mpd.hpp"
+#include "net/proxy.hpp"
+#include "ott/playback.hpp"
+
+namespace wideleak::core {
+
+/// What URI harvesting produced for one app.
+struct HarvestedManifest {
+  std::optional<media::Mpd> mpd;
+  std::string cdn_host;
+  std::string source;  // "mitm" or "cdm-generic-decrypt"
+  /// Opaque subtitle tokens seen in backend headers (Hulu/Starz channel);
+  /// opaque by construction — the study could not resolve these to URIs.
+  std::vector<std::string> opaque_subtitle_tokens;
+};
+
+class NetworkMonitor {
+ public:
+  explicit NetworkMonitor(net::Network& network, Rng rng);
+
+  /// Instrument one app: user-install the proxy CA on its device, route its
+  /// TLS through the MITM and hook out the pin check (the repinning bypass
+  /// that "shows how ineffective such a security mechanism is").
+  void attach(ott::OttApp& app);
+
+  const std::vector<net::CapturedFlow>& flows() const { return proxy_.flows(); }
+  void clear() { proxy_.clear_flows(); }
+
+  /// Did any pinned handshake get waved through by the bypass hook?
+  std::size_t pin_bypasses() const { return pin_bypasses_; }
+
+  /// Reconstruct the manifest from captured flows (and, when the backend
+  /// used the secure channel, from the CDM monitor's generic-decrypt dump).
+  HarvestedManifest harvest_manifest(const DrmApiMonitor* cdm_monitor) const;
+
+ private:
+  net::MitmProxy proxy_;
+  std::size_t pin_bypasses_ = 0;
+};
+
+}  // namespace wideleak::core

@@ -1,0 +1,135 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "core/network_monitor.hpp"
+#include "ott/catalog.hpp"
+#include "ott/playback.hpp"
+
+namespace wideleak::core {
+
+WideleakStudy::WideleakStudy(ott::StreamingEcosystem& ecosystem) : ecosystem_(ecosystem) {
+  modern_l1_ = ecosystem_.make_device(android::modern_l1_spec(0xA001));
+  modern_l3_ = ecosystem_.make_device(android::modern_l3_only_spec(0xA003));
+  legacy_ = ecosystem_.make_device(android::legacy_nexus5_spec(0xA005));
+}
+
+AppAudit WideleakStudy::audit_app(const ott::OttAppProfile& profile) {
+  ecosystem_.install_app(profile);
+  AppAudit audit;
+  audit.profile = profile;
+
+  // --- Pass 1: modern L1 device with full instrumentation; harvest the
+  // manifest and audit Q1/Q2/Q3 from this vantage point.
+  {
+    DrmApiMonitor drm_monitor(*modern_l1_);
+    NetworkMonitor net_monitor(ecosystem_.network(), ecosystem_.fork_rng());
+    ott::OttApp app(profile, ecosystem_, *modern_l1_);
+    net_monitor.attach(app);
+    (void)app.play_title();
+    audit.usage_l1 = drm_monitor.usage_report();
+
+    const HarvestedManifest manifest = net_monitor.harvest_manifest(&drm_monitor);
+    net::TrustStore analyst_trust;
+    analyst_trust.add(ecosystem_.root_ca());
+    AssetAuditor auditor(ecosystem_.network(), analyst_trust, ecosystem_.fork_rng());
+    audit.assets = auditor.audit(manifest);
+    audit.key_usage = audit_key_usage(manifest, audit.assets);
+  }
+
+  // --- Pass 2: modern TEE-less device — does the app stay on Widevine L3
+  // or switch to an embedded DRM?
+  {
+    DrmApiMonitor drm_monitor(*modern_l3_);
+    ott::OttApp app(profile, ecosystem_, *modern_l3_);
+    const ott::PlaybackOutcome outcome = app.play_title();
+    audit.usage_l3 = drm_monitor.usage_report();
+    audit.custom_drm_on_l3 =
+        outcome.used_custom_drm && outcome.played && !audit.usage_l3.widevine_used;
+  }
+
+  // --- Pass 3: the discontinued device (Q4).
+  audit.legacy = probe_legacy_playback(profile, ecosystem_, *legacy_);
+
+  return audit;
+}
+
+std::vector<AppAudit> WideleakStudy::run_catalog() {
+  std::vector<AppAudit> audits;
+  for (const ott::OttAppProfile& profile : ott::study_catalog()) {
+    audits.push_back(audit_app(profile));
+  }
+  return audits;
+}
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t width) {
+  std::string out = s;
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+std::string usage_cell(const AppAudit& audit) {
+  if (!audit.usage_l1.widevine_used && !audit.usage_l3.widevine_used) return "no";
+  return audit.custom_drm_on_l3 ? "yes (1)" : "yes";
+}
+
+std::string legacy_cell(const AppAudit& audit) {
+  switch (audit.legacy.verdict) {
+    case LegacyPlaybackVerdict::Plays: return "plays";
+    case LegacyPlaybackVerdict::ProvisioningFailed: return "prov. fails (2)";
+    case LegacyPlaybackVerdict::PlaysViaCustomDrm: return "plays (1)";
+    case LegacyPlaybackVerdict::Failed: return "fails";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string render_table_one(const std::vector<AppAudit>& audits) {
+  std::ostringstream out;
+  out << "TABLE I: WIDEVINE USAGE AND ASSET PROTECTIONS BY OTTS\n";
+  out << pad("OTT", 20) << pad("Widevine", 10) << pad("Video", 11) << pad("Audio", 11)
+      << pad("Subtitles", 11) << pad("Key Usage", 13) << "Playback on L3\n";
+  out << pad("", 20) << pad("used (Q1)", 10) << pad("(Q2)", 11) << pad("(Q2)", 11)
+      << pad("(Q2)", 11) << pad("(Q3)", 13) << "discontinued (Q4)\n";
+  out << std::string(95, '-') << "\n";
+  for (const AppAudit& audit : audits) {
+    out << pad(audit.profile.name, 20) << pad(usage_cell(audit), 10)
+        << pad(to_string(audit.assets.video), 11) << pad(to_string(audit.assets.audio), 11)
+        << pad(to_string(audit.assets.subtitles), 11)
+        << pad(to_string(audit.key_usage.verdict), 13) << legacy_cell(audit) << "\n";
+  }
+  out << std::string(95, '-') << "\n";
+  out << "(1) using custom DRM if only Widevine L3 is available.\n";
+  out << "(2) Widevine fails during provisioning phase.\n";
+  out << "Minimum: audio in clear or using the same encryption key as the video.\n";
+  out << "Recommended: audio and video are encrypted with different keys.\n";
+  return out.str();
+}
+
+std::string render_rip_summary(const std::vector<RipResult>& results) {
+  std::ostringstream out;
+  out << "PRACTICAL IMPACT: DRM-FREE CONTENT RECOVERY ON THE DISCONTINUED DEVICE\n";
+  out << pad("OTT", 20) << pad("Keybox", 8) << pad("RSA key", 9) << pad("Keys", 6)
+      << pad("Best quality", 14) << pad("Plays w/o account", 19) << "Outcome\n";
+  out << std::string(95, '-') << "\n";
+  std::size_t successes = 0;
+  for (const RipResult& result : results) {
+    out << pad(result.app, 20) << pad(result.keybox_recovered ? "yes" : "no", 8)
+        << pad(result.device_rsa_recovered ? "yes" : "no", 9)
+        << pad(std::to_string(result.content_keys_recovered), 6)
+        << pad(result.success ? result.best_video_resolution.label() : "-", 14)
+        << pad(result.plays_without_account ? "yes" : "no", 19)
+        << (result.success ? "RIPPED" : result.failure) << "\n";
+    if (result.success) ++successes;
+  }
+  out << std::string(95, '-') << "\n";
+  out << successes << " of " << results.size()
+      << " apps yielded DRM-free media (paper: 6, incl. Netflix, Hulu, Showtime).\n";
+  return out.str();
+}
+
+}  // namespace wideleak::core

@@ -1,0 +1,62 @@
+// Study orchestration and reporting: run the full WideLeak pipeline for
+// every app and render Table I exactly as the paper lays it out. The table
+// cells are *measured* by the monitors/auditors, never copied from the
+// catalog's policy knobs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/device.hpp"
+#include "core/asset_auditor.hpp"
+#include "core/key_usage_auditor.hpp"
+#include "core/legacy_prober.hpp"
+#include "core/monitor.hpp"
+#include "core/ripper.hpp"
+#include "ott/ecosystem.hpp"
+
+namespace wideleak::core {
+
+/// Everything measured for one app.
+struct AppAudit {
+  ott::OttAppProfile profile;
+
+  WidevineUsageReport usage_l1;  // observed on the modern TEE device
+  WidevineUsageReport usage_l3;  // observed on the modern TEE-less device
+  bool custom_drm_on_l3 = false; // played on L3 with no Widevine activity
+
+  AssetProtectionReport assets;
+  KeyUsageReport key_usage;
+  LegacyProbeReport legacy;
+};
+
+class WideleakStudy {
+ public:
+  /// Creates the three study devices (modern L1, modern L3-only, legacy
+  /// Nexus 5) inside the given ecosystem.
+  explicit WideleakStudy(ott::StreamingEcosystem& ecosystem);
+
+  AppAudit audit_app(const ott::OttAppProfile& profile);
+  std::vector<AppAudit> run_catalog();
+
+  android::Device& modern_l1_device() { return *modern_l1_; }
+  android::Device& modern_l3_device() { return *modern_l3_; }
+  android::Device& legacy_device() { return *legacy_; }
+
+  ott::StreamingEcosystem& ecosystem() { return ecosystem_; }
+
+ private:
+  ott::StreamingEcosystem& ecosystem_;
+  std::unique_ptr<android::Device> modern_l1_;
+  std::unique_ptr<android::Device> modern_l3_;
+  std::unique_ptr<android::Device> legacy_;
+};
+
+/// Render Table I ("Widevine usage and asset protections by OTTs").
+std::string render_table_one(const std::vector<AppAudit>& audits);
+
+/// Render the §IV-D practical-impact summary.
+std::string render_rip_summary(const std::vector<RipResult>& results);
+
+}  // namespace wideleak::core

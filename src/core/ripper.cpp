@@ -1,0 +1,158 @@
+#include "core/ripper.hpp"
+
+#include "core/network_monitor.hpp"
+#include "media/cenc.hpp"
+#include "ott/catalog.hpp"
+#include "ott/playback.hpp"
+#include "support/errors.hpp"
+#include "support/log.hpp"
+
+namespace wideleak::core {
+
+namespace {
+
+net::TrustStore analyst_trust(const ott::StreamingEcosystem& ecosystem) {
+  net::TrustStore trust;
+  trust.add(ecosystem.root_ca());
+  return trust;
+}
+
+}  // namespace
+
+ContentRipper::ContentRipper(ott::StreamingEcosystem& ecosystem, android::Device& legacy_device)
+    : ecosystem_(ecosystem),
+      device_(legacy_device),
+      analyst_client_(ecosystem.network(), analyst_trust(ecosystem),
+                      ecosystem.fork_rng()) {}
+
+std::optional<Bytes> ContentRipper::download(const std::string& host, const std::string& path) {
+  net::HttpRequest req;
+  req.path = path;
+  const auto result = analyst_client_.request(host, req);
+  if (!result.ok()) return std::nullopt;
+  return result.response->body;
+}
+
+RipResult ContentRipper::rip_app(const ott::OttAppProfile& profile) {
+  RipResult result;
+  result.app = profile.name;
+
+  // --- 1. Instrument and drive one playback.
+  DrmApiMonitor drm_monitor(device_);
+  NetworkMonitor net_monitor(ecosystem_.network(), ecosystem_.fork_rng());
+  ott::OttApp app(profile, ecosystem_, device_);
+  net_monitor.attach(app);
+  const ott::PlaybackOutcome outcome = app.play_title();
+
+  if (outcome.used_custom_drm) {
+    result.failure = "app used its embedded DRM on L3: no Widevine traffic to exploit";
+    return result;
+  }
+  if (outcome.provisioning_attempted && !outcome.provisioning_ok) {
+    result.failure = "service refused the discontinued device at provisioning: " +
+                     outcome.provisioning_error;
+    return result;
+  }
+  if (!outcome.license_ok) {
+    result.failure = "no license was delivered: " + outcome.license_error;
+    return result;
+  }
+
+  // --- 2. Keybox recovery (CVE-2021-0639).
+  const KeyboxRecoveryResult keybox = recover_keybox(device_);
+  if (!keybox.success()) {
+    result.failure = "keybox not found in CDM process memory (patched or L1 device)";
+    return result;
+  }
+  result.keybox_recovered = true;
+
+  // --- 3. Key ladder reconstruction from the intercepted buffers.
+  KeyLadderAttack ladder(*keybox.keybox);
+  if (ladder.recover_device_rsa_key(drm_monitor.trace())) {
+    result.device_rsa_recovered = true;
+  }
+  const RecoveredKeys keys = ladder.recover_content_keys(drm_monitor.trace());
+  result.content_keys_recovered = keys.size();
+  if (keys.empty()) {
+    result.failure = "no content keys recovered from the intercepted exchanges";
+    return result;
+  }
+
+  // --- 4. Harvest URIs, download and MPEG-CENC-decrypt everything we have
+  //        keys (or no keys needed) for.
+  const HarvestedManifest manifest = net_monitor.harvest_manifest(&drm_monitor);
+  if (!manifest.mpd) {
+    result.failure = "manifest could not be harvested";
+    return result;
+  }
+
+  Bytes reconstruction;
+  auto append_track = [&](const media::MpdRepresentation& rep) -> bool {
+    const auto file = download(manifest.cdn_host, rep.base_url);
+    if (!file) return false;
+    media::PackagedTrack track;
+    try {
+      track = media::PackagedTrack::from_file(BytesView(*file));
+    } catch (const Error&) {
+      return false;
+    }
+    Bytes clear;
+    if (track.encrypted) {
+      const auto key = keys.find(hex_encode(track.key_id));
+      if (key == keys.end()) return false;  // e.g. an HD key we never got
+      clear = media::cenc_decrypt_track(track, key->second);
+    } else {
+      clear = media::raw_sample_stream(track);
+    }
+    reconstruction.insert(reconstruction.end(), clear.begin(), clear.end());
+    return true;
+  };
+
+  // Best video we hold a key for (qHD on L3, per the license policy).
+  const media::MpdRepresentation* best_video = nullptr;
+  for (const auto* rep : manifest.mpd->of_type(media::TrackType::Video)) {
+    const bool have_key =
+        !rep->default_kid || keys.contains(hex_encode(*rep->default_kid));
+    if (!have_key) continue;
+    if (best_video == nullptr || rep->resolution.height > best_video->resolution.height) {
+      best_video = rep;
+    }
+  }
+  if (best_video == nullptr || !append_track(*best_video)) {
+    result.failure = "no video track could be decrypted";
+    return result;
+  }
+  result.best_video_resolution = best_video->resolution;
+
+  // Every audio language ("audio in any language can be played anywhere").
+  for (const auto* rep : manifest.mpd->of_type(media::TrackType::Audio)) {
+    if (append_track(*rep)) ++result.audio_tracks;
+  }
+  // Subtitles, when their URIs were discoverable.
+  for (const auto* rep : manifest.mpd->of_type(media::TrackType::Subtitle)) {
+    if (append_track(*rep)) ++result.subtitle_tracks;
+  }
+
+  // --- 5. Play it on the "PC": stock player, no app, no account, no DRM.
+  const media::PlaybackReport playback = media::try_play(BytesView(reconstruction));
+  result.plays_without_account = playback.playable;
+  result.frames = playback.frames;
+  result.drm_free_media = std::move(reconstruction);
+  result.success = playback.playable && result.audio_tracks > 0;
+  if (!result.success && result.failure.empty()) {
+    result.failure = "reconstructed media failed the stock-player check";
+  }
+  WL_LOG(Info) << profile.name << ": rip " << (result.success ? "succeeded" : "failed")
+               << " at " << result.best_video_resolution.label();
+  return result;
+}
+
+std::vector<RipResult> ContentRipper::rip_catalog() {
+  std::vector<RipResult> results;
+  for (const ott::OttAppProfile& profile : ott::study_catalog()) {
+    results.push_back(rip_app(profile));
+  }
+  return results;
+}
+
+}  // namespace wideleak::core

@@ -1,0 +1,71 @@
+// The end-to-end PoC (§IV-D "Practical Impact"): obtain DRM-free content
+// from an OTT app on a discontinued device.
+//
+// Pipeline per app:
+//   1. attach the DRM monitor + MITM/repinning monitor, drive one playback;
+//   2. recover the keybox by scanning the CDM process memory (CVE-2021-0639);
+//   3. re-run the key ladder over the intercepted provisioning and license
+//      exchanges to unwrap the Device RSA Key and all content keys;
+//   4. harvest the asset URIs, download every track with a plain client,
+//      MPEG-CENC-decrypt them, and reconstruct the media;
+//   5. verify the reconstruction plays on a "personal computer" — a stock
+//      player with no app, no account, no DRM.
+//
+// Expected outcomes (the paper's): succeeds for every app that serves the
+// legacy device via Widevine; fails for Amazon (embedded DRM) and for the
+// revocation-enforcing apps (nothing to intercept); recovered quality tops
+// out at 960x540 because L3 never received HD keys.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "android/device.hpp"
+#include "core/key_ladder_attack.hpp"
+#include "core/keybox_recovery.hpp"
+#include "ott/ecosystem.hpp"
+
+namespace wideleak::core {
+
+struct RipResult {
+  std::string app;
+  bool success = false;
+  std::string failure;  // why the rip failed, when it did
+
+  bool keybox_recovered = false;
+  bool device_rsa_recovered = false;
+  std::size_t content_keys_recovered = 0;
+
+  media::Resolution best_video_resolution;  // of the reconstructed file
+  std::uint32_t frames = 0;
+  std::size_t audio_tracks = 0;
+  std::size_t subtitle_tracks = 0;
+  bool plays_without_account = false;  // stock-player check on the output
+
+  /// The reconstructed DRM-free media (elementary stream), for inspection.
+  Bytes drm_free_media;
+};
+
+class ContentRipper {
+ public:
+  /// The ripper owns the attacker vantage: a rooted legacy device and the
+  /// analyst machine's network position.
+  ContentRipper(ott::StreamingEcosystem& ecosystem, android::Device& legacy_device);
+
+  /// Run the full pipeline against one app.
+  RipResult rip_app(const ott::OttAppProfile& profile);
+
+  /// Run against every catalog app; returns one result per app.
+  std::vector<RipResult> rip_catalog();
+
+ private:
+  std::optional<Bytes> download(const std::string& host, const std::string& path);
+
+  ott::StreamingEcosystem& ecosystem_;
+  android::Device& device_;
+  net::TlsClient analyst_client_;  // plain client: root CAs, no pins
+};
+
+}  // namespace wideleak::core

@@ -1,0 +1,100 @@
+#include "core/trace_export.hpp"
+
+#include <sstream>
+
+namespace wideleak::core {
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string buffer_field(const Bytes& buffer, std::size_t cap) {
+  const std::size_t take = std::min(buffer.size(), cap);
+  std::ostringstream out;
+  out << "{\"size\":" << buffer.size() << ",\"hex\":\""
+      << hex_encode(BytesView(buffer.data(), take)) << "\""
+      << (buffer.size() > cap ? ",\"truncated\":true" : "") << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string trace_record_to_json(const hooking::CallRecord& record,
+                                 std::size_t max_buffer_bytes) {
+  std::ostringstream out;
+  out << "{\"seq\":" << record.sequence << ",\"process\":\"" << json_escape(record.process)
+      << "\",\"module\":\"" << json_escape(record.module) << "\",\"function\":\""
+      << json_escape(record.function) << "\",\"in\":" << buffer_field(record.input, max_buffer_bytes)
+      << ",\"out\":" << buffer_field(record.output, max_buffer_bytes) << "}";
+  return out.str();
+}
+
+std::string trace_to_json(const hooking::CallTrace& trace, std::size_t max_buffer_bytes) {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const hooking::CallRecord& record : trace.records()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  " << trace_record_to_json(record, max_buffer_bytes);
+  }
+  out << "\n]";
+  return out.str();
+}
+
+std::string usage_report_to_json(const WidevineUsageReport& report) {
+  std::ostringstream out;
+  out << "{\"widevine_used\":" << (report.widevine_used ? "true" : "false")
+      << ",\"observed_level\":";
+  if (report.observed_level) {
+    out << "\"" << widevine::to_string(*report.observed_level) << "\"";
+  } else {
+    out << "null";
+  }
+  out << ",\"oecc_calls\":" << report.oecc_calls
+      << ",\"media_drm_calls\":" << report.media_drm_calls << "}";
+  return out.str();
+}
+
+std::string app_audit_to_json(const AppAuditJson& audit) {
+  std::ostringstream out;
+  out << "{\"app\":\"" << json_escape(audit.app) << "\""
+      << ",\"q1\":" << usage_report_to_json(audit.usage)
+      << ",\"q2\":{\"video\":\"" << to_string(audit.assets.video) << "\",\"audio\":\""
+      << to_string(audit.assets.audio) << "\",\"subtitles\":\""
+      << to_string(audit.assets.subtitles) << "\",\"subtitles_ascii\":"
+      << (audit.assets.subtitles_ascii_readable ? "true" : "false")
+      << ",\"clear_audio_plays_without_account\":"
+      << (audit.assets.clear_audio_plays_without_account ? "true" : "false") << "}"
+      << ",\"q3\":{\"verdict\":\"" << to_string(audit.key_usage.verdict)
+      << "\",\"distinct_video_kids\":" << audit.key_usage.distinct_video_kids
+      << ",\"audio_shares_video_key\":"
+      << (audit.key_usage.audio_shares_video_key ? "true" : "false") << "}"
+      << ",\"q4\":{\"verdict\":\"" << to_string(audit.legacy.verdict)
+      << "\",\"best_resolution\":\"" << audit.legacy.best_resolution.label()
+      << "\",\"detail\":\"" << json_escape(audit.legacy.detail) << "\"}}";
+  return out.str();
+}
+
+}  // namespace wideleak::core

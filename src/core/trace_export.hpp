@@ -1,0 +1,40 @@
+// Machine-readable export of monitoring results — the equivalent of the
+// paper's Frida script dumping its interception log for offline analysis.
+// Plain JSON, no external dependencies; buffers are hex-encoded and
+// truncated at a configurable cap so traces stay tractable.
+#pragma once
+
+#include <string>
+
+#include "core/asset_auditor.hpp"
+#include "core/key_usage_auditor.hpp"
+#include "core/legacy_prober.hpp"
+#include "core/monitor.hpp"
+#include "hooking/trace.hpp"
+
+namespace wideleak::core {
+
+/// Escape a string for inclusion in a JSON document.
+std::string json_escape(std::string_view raw);
+
+/// One call record as a JSON object.
+std::string trace_record_to_json(const hooking::CallRecord& record,
+                                 std::size_t max_buffer_bytes = 64);
+
+/// A whole trace as a JSON array (one object per intercepted call).
+std::string trace_to_json(const hooking::CallTrace& trace, std::size_t max_buffer_bytes = 64);
+
+/// The Q1 usage verdict as a JSON object.
+std::string usage_report_to_json(const WidevineUsageReport& report);
+
+/// The per-app audit bundle (Q1-Q4) as a JSON object.
+struct AppAuditJson {
+  std::string app;
+  WidevineUsageReport usage;
+  AssetProtectionReport assets;
+  KeyUsageReport key_usage;
+  LegacyProbeReport legacy;
+};
+std::string app_audit_to_json(const AppAuditJson& audit);
+
+}  // namespace wideleak::core

@@ -1,0 +1,41 @@
+// AES block cipher (FIPS-197), from scratch: 128- and 256-bit keys.
+//
+// This is the primitive under everything in the Widevine stack: the keybox
+// device key, CMAC key derivation, content-key wrapping and CENC itself.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace wideleak::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+/// One expanded AES key, usable for both encryption and decryption.
+class Aes {
+ public:
+  /// Accepts 16- or 32-byte keys (AES-128 / AES-256).
+  /// Throws std::invalid_argument otherwise.
+  explicit Aes(BytesView key);
+
+  void encrypt_block(const std::uint8_t in[kAesBlockSize],
+                     std::uint8_t out[kAesBlockSize]) const;
+  void decrypt_block(const std::uint8_t in[kAesBlockSize],
+                     std::uint8_t out[kAesBlockSize]) const;
+
+  AesBlock encrypt_block(const AesBlock& in) const;
+  AesBlock decrypt_block(const AesBlock& in) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  // Round keys as 4-byte words; 4*(rounds+1) words.
+  std::array<std::uint32_t, 60> round_keys_{};
+  int rounds_ = 0;
+};
+
+}  // namespace wideleak::crypto

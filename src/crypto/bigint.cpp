@@ -1,0 +1,407 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace wideleak::crypto {
+
+namespace {
+
+constexpr std::uint64_t kBase = 1ull << 32;
+
+}  // namespace
+
+BigInt::BigInt(std::uint64_t value) {
+  while (value != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(value));
+    value >>= 32;
+  }
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_bytes_be(BytesView bytes) {
+  BigInt out;
+  for (std::uint8_t byte : bytes) {
+    out = (out << 8) + BigInt(byte);
+  }
+  return out;
+}
+
+Bytes BigInt::to_bytes_be(std::size_t min_len) const {
+  Bytes out;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint32_t limb = limbs_[i];
+    out.push_back(static_cast<std::uint8_t>(limb));
+    out.push_back(static_cast<std::uint8_t>(limb >> 8));
+    out.push_back(static_cast<std::uint8_t>(limb >> 16));
+    out.push_back(static_cast<std::uint8_t>(limb >> 24));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  while (out.size() < min_len) out.push_back(0);
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+  return from_bytes_be(hex_decode(padded));
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string s = hex_encode(to_bytes_be());
+  const std::size_t nonzero = s.find_first_not_of('0');
+  return s.substr(nonzero);
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() <=> b.limbs_.size();
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] <=> b.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_.push_back(static_cast<std::uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) {
+  if (a < b) throw std::domain_error("BigInt subtraction underflow");
+  BigInt out;
+  out.limbs_.reserve(a.limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<std::uint32_t>(diff));
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(a.limbs_[i]) * b.limbs_[j] +
+                          out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry) {
+      std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator<<(const BigInt& a, std::size_t bits) {
+  if (a.is_zero() || bits == 0) return a;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(a.limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator>>(const BigInt& a, std::size_t bits) {
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  if (limb_shift >= a.limbs_.size()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = a.limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      v |= static_cast<std::uint64_t>(a.limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+BigIntDivMod BigInt::divmod(const BigInt& a, const BigInt& b) {
+  if (b.is_zero()) throw std::domain_error("BigInt division by zero");
+  if (a < b) return {BigInt(), a};
+
+  // Single-limb divisor: simple schoolbook pass.
+  if (b.limbs_.size() == 1) {
+    const std::uint64_t d = b.limbs_[0];
+    BigInt q;
+    q.limbs_.assign(a.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | a.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {q, BigInt(rem)};
+  }
+
+  // Knuth Algorithm D (TAOCP vol. 2, 4.3.1).
+  const std::size_t n = b.limbs_.size();
+  const std::size_t m = a.limbs_.size() - n;
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  std::uint32_t top = b.limbs_.back();
+  while ((top & 0x80000000u) == 0) {
+    top <<= 1;
+    ++shift;
+  }
+  const BigInt u_big = a << static_cast<std::size_t>(shift);
+  const BigInt v_big = b << static_cast<std::size_t>(shift);
+  std::vector<std::uint32_t> u = u_big.limbs_;
+  u.resize(a.limbs_.size() + 1, 0);  // extra high limb for D4's borrow space
+  const std::vector<std::uint32_t>& v = v_big.limbs_;
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q-hat from the top two limbs.
+    const std::uint64_t numerator = (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = numerator / v[n - 1];
+    std::uint64_t rhat = numerator % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // D4: multiply and subtract.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t product = qhat * v[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                          static_cast<std::int64_t>(product & 0xffffffffu) - borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<std::uint32_t>(diff);
+    }
+    std::int64_t diff = static_cast<std::int64_t>(u[j + n]) -
+                        static_cast<std::int64_t>(carry) - borrow;
+    bool negative = diff < 0;
+    u[j + n] = static_cast<std::uint32_t>(diff);
+
+    // D5/D6: if we overshot, add the divisor back and decrement q-hat.
+    if (negative) {
+      --qhat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum = static_cast<std::uint64_t>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<std::uint32_t>(sum);
+        add_carry = sum >> 32;
+      }
+      u[j + n] = static_cast<std::uint32_t>(u[j + n] + add_carry);
+    }
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+  q.trim();
+
+  BigInt r;
+  r.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  r.trim();
+  r = r >> static_cast<std::size_t>(shift);
+  return {q, r};
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) { return BigInt::divmod(a, b).quotient; }
+
+BigInt operator%(const BigInt& a, const BigInt& b) { return BigInt::divmod(a, b).remainder; }
+
+BigInt BigInt::mod_pow(const BigInt& base, const BigInt& exponent, const BigInt& modulus) {
+  if (modulus.is_zero()) throw std::domain_error("mod_pow: zero modulus");
+  if (modulus == BigInt(1)) return BigInt();
+  BigInt result(1);
+  BigInt b = base % modulus;
+  const std::size_t bits = exponent.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exponent.bit(i)) result = (result * b) % modulus;
+    b = (b * b) % modulus;
+  }
+  return result;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid with sign-tracked coefficients for t.
+  BigInt old_r = a % m, r = m;
+  BigInt old_t(1), t;
+  bool old_t_neg = false, t_neg = false;
+  while (!r.is_zero()) {
+    const BigIntDivMod qr = divmod(old_r, r);
+    // new_t = old_t - q * t, with explicit sign handling.
+    const BigInt qt = qr.quotient * t;
+    BigInt new_t;
+    bool new_t_neg;
+    if (old_t_neg == t_neg) {
+      if (old_t >= qt) {
+        new_t = old_t - qt;
+        new_t_neg = old_t_neg;
+      } else {
+        new_t = qt - old_t;
+        new_t_neg = !old_t_neg;
+      }
+    } else {
+      new_t = old_t + qt;
+      new_t_neg = old_t_neg;
+    }
+    old_r = r;
+    r = qr.remainder;
+    old_t = t;
+    old_t_neg = t_neg;
+    t = std::move(new_t);
+    t_neg = new_t_neg;
+  }
+  if (old_r != BigInt(1)) throw std::domain_error("mod_inverse: not invertible");
+  if (old_t_neg) return m - (old_t % m);
+  return old_t % m;
+}
+
+BigInt BigInt::random_below(Rng& rng, const BigInt& bound) {
+  if (bound.is_zero()) throw std::domain_error("random_below: zero bound");
+  const std::size_t bytes = (bound.bit_length() + 7) / 8;
+  // Rejection sampling: at worst ~50% acceptance per draw.
+  for (;;) {
+    BigInt candidate = from_bytes_be(rng.next_bytes(bytes));
+    candidate = candidate >> (bytes * 8 - bound.bit_length());
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt BigInt::random_bits(Rng& rng, std::size_t bits) {
+  if (bits == 0) return BigInt();
+  const std::size_t bytes = (bits + 7) / 8;
+  BigInt out = from_bytes_be(rng.next_bytes(bytes)) >> (bytes * 8 - bits);
+  // Force the MSB so the bit length is exact.
+  if (!out.bit(bits - 1)) out = out + (BigInt(1) << (bits - 1));
+  return out;
+}
+
+bool BigInt::is_probable_prime(const BigInt& n, Rng& rng, int rounds) {
+  static const std::array<std::uint32_t, 15> small_primes = {
+      2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47};
+  if (n < BigInt(2)) return false;
+  for (std::uint32_t p : small_primes) {
+    if (n == BigInt(p)) return true;
+    if ((n % BigInt(p)).is_zero()) return false;
+  }
+
+  // Write n-1 = d * 2^s with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    const BigInt a = BigInt(2) + random_below(rng, n - BigInt(4));
+    BigInt x = mod_pow(a, d, n);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 0; i + 1 < s; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::generate_prime(Rng& rng, std::size_t bits) {
+  if (bits < 8) throw std::invalid_argument("generate_prime: need >= 8 bits");
+  for (;;) {
+    BigInt candidate = random_bits(rng, bits);  // MSB already set
+    if (!candidate.is_odd()) candidate = candidate + BigInt(1);
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+std::uint64_t BigInt::to_u64() const {
+  if (bit_length() > 64) throw std::overflow_error("BigInt::to_u64: value too large");
+  std::uint64_t out = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) out = (out << 32) | limbs_[i];
+  return out;
+}
+
+}  // namespace wideleak::crypto

@@ -1,0 +1,87 @@
+// Arbitrary-precision unsigned integers, sufficient for RSA-2048.
+//
+// Little-endian 32-bit limbs with 64-bit intermediates; division is Knuth's
+// Algorithm D so modular exponentiation stays fast enough for key
+// generation inside the test suite.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::crypto {
+
+struct BigIntDivMod;
+
+/// Non-negative arbitrary-precision integer.
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::uint64_t value);  // NOLINT(google-explicit-constructor): numeric literal interop
+
+  /// Big-endian byte-string (the natural wire format) conversions.
+  static BigInt from_bytes_be(BytesView bytes);
+  Bytes to_bytes_be(std::size_t min_len = 0) const;
+
+  static BigInt from_hex(std::string_view hex);
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+  friend bool operator==(const BigInt& a, const BigInt& b) = default;
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  /// Requires a >= b (these integers are unsigned). Throws otherwise.
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+  friend BigInt operator<<(const BigInt& a, std::size_t bits);
+  friend BigInt operator>>(const BigInt& a, std::size_t bits);
+
+  /// Quotient and remainder in one pass. Throws std::domain_error on /0.
+  static BigIntDivMod divmod(const BigInt& a, const BigInt& b);
+
+  /// (base ^ exponent) mod modulus, square-and-multiply. modulus must be > 0.
+  static BigInt mod_pow(const BigInt& base, const BigInt& exponent, const BigInt& modulus);
+
+  static BigInt gcd(BigInt a, BigInt b);
+
+  /// Multiplicative inverse of a modulo m; throws std::domain_error if none.
+  static BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+  /// Uniform random value in [0, bound).
+  static BigInt random_below(Rng& rng, const BigInt& bound);
+
+  /// Random integer with exactly `bits` bits (MSB set).
+  static BigInt random_bits(Rng& rng, std::size_t bits);
+
+  /// Miller–Rabin probabilistic primality test.
+  static bool is_probable_prime(const BigInt& n, Rng& rng, int rounds = 20);
+
+  /// Random prime with exactly `bits` bits (MSB and LSB set before search).
+  static BigInt generate_prime(Rng& rng, std::size_t bits);
+
+  std::uint64_t to_u64() const;  ///< Throws std::overflow_error if too large.
+
+ private:
+  void trim();
+
+  std::vector<std::uint32_t> limbs_;  // little-endian; empty == 0
+};
+
+/// Result of BigInt::divmod.
+struct BigIntDivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+}  // namespace wideleak::crypto

@@ -1,0 +1,79 @@
+#include "crypto/cmac.hpp"
+
+#include <cstring>
+
+namespace wideleak::crypto {
+
+namespace {
+
+// Left-shift a 16-byte block by one bit; returns the shifted-out MSB.
+AesBlock shift_left(const AesBlock& in, std::uint8_t& carry_out) {
+  AesBlock out{};
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    out[idx] = static_cast<std::uint8_t>((in[idx] << 1) | carry);
+    carry = in[idx] >> 7;
+  }
+  carry_out = carry;
+  return out;
+}
+
+AesBlock generate_subkey(const AesBlock& base) {
+  std::uint8_t carry = 0;
+  AesBlock out = shift_left(base, carry);
+  if (carry) out[15] ^= 0x87;  // Rb constant for 128-bit blocks
+  return out;
+}
+
+}  // namespace
+
+Bytes aes_cmac(BytesView key, BytesView data) {
+  const Aes cipher(key);
+
+  AesBlock zero{};
+  const AesBlock l = cipher.encrypt_block(zero);
+  const AesBlock k1 = generate_subkey(l);
+  const AesBlock k2 = generate_subkey(k1);
+
+  const std::size_t n_blocks = data.empty() ? 1 : (data.size() + 15) / 16;
+  const bool last_complete = !data.empty() && data.size() % 16 == 0;
+
+  AesBlock x{};
+  for (std::size_t b = 0; b + 1 < n_blocks; ++b) {
+    AesBlock block;
+    for (std::size_t i = 0; i < 16; ++i) block[i] = data[16 * b + i] ^ x[i];
+    x = cipher.encrypt_block(block);
+  }
+
+  AesBlock last{};
+  const std::size_t last_off = (n_blocks - 1) * 16;
+  if (last_complete) {
+    for (std::size_t i = 0; i < 16; ++i) last[i] = data[last_off + i] ^ k1[i];
+  } else {
+    const std::size_t rest = data.size() - last_off;
+    for (std::size_t i = 0; i < rest; ++i) last[i] = data[last_off + i];
+    last[rest] = 0x80;
+    for (std::size_t i = 0; i < 16; ++i) last[i] ^= k2[i];
+  }
+  for (std::size_t i = 0; i < 16; ++i) last[i] ^= x[i];
+  const AesBlock tag = cipher.encrypt_block(last);
+  return Bytes(tag.begin(), tag.end());
+}
+
+Bytes cmac_counter_kdf(BytesView key, BytesView context, std::uint8_t first_counter,
+                       std::size_t output_len) {
+  Bytes out;
+  std::uint8_t counter = first_counter;
+  while (out.size() < output_len) {
+    Bytes block;
+    block.push_back(counter++);
+    block.insert(block.end(), context.begin(), context.end());
+    const Bytes tag = aes_cmac(key, block);
+    out.insert(out.end(), tag.begin(), tag.end());
+  }
+  out.resize(output_len);
+  return out;
+}
+
+}  // namespace wideleak::crypto

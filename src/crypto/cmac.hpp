@@ -1,0 +1,23 @@
+// AES-CMAC (RFC 4493 / NIST SP 800-38B).
+//
+// CMAC is the heart of the Widevine key ladder: session encryption and MAC
+// keys are derived from the keybox device key (or an RSA-wrapped session
+// key) by CMAC over a counter-prefixed context buffer. The WideLeak key
+// ladder re-implementation in src/core reproduces exactly this KDF.
+#pragma once
+
+#include "crypto/aes.hpp"
+#include "support/bytes.hpp"
+
+namespace wideleak::crypto {
+
+/// AES-CMAC tag (16 bytes) of `data` under `key` (AES-128 or AES-256 key).
+Bytes aes_cmac(BytesView key, BytesView data);
+
+/// NIST SP 800-108 KDF in CMAC counter mode, as OEMCrypto uses it:
+/// out = CMAC(key, counter_i || context) for counter_i = first..first+n-1,
+/// concatenated, truncated to `output_len` bytes.
+Bytes cmac_counter_kdf(BytesView key, BytesView context, std::uint8_t first_counter,
+                       std::size_t output_len);
+
+}  // namespace wideleak::crypto

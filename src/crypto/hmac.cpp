@@ -1,0 +1,33 @@
+#include "crypto/hmac.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace wideleak::crypto {
+
+Bytes hmac_sha256(BytesView key, BytesView data) {
+  Bytes k(key.begin(), key.end());
+  if (k.size() > kSha256BlockSize) k = sha256(k);
+  k.resize(kSha256BlockSize, 0x00);
+
+  Bytes ipad(kSha256BlockSize), opad(kSha256BlockSize);
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const Bytes inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+bool hmac_sha256_verify(BytesView key, BytesView data, BytesView tag) {
+  return constant_time_equal(hmac_sha256(key, data), tag);
+}
+
+}  // namespace wideleak::crypto

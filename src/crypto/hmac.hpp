@@ -1,0 +1,16 @@
+// HMAC-SHA256 (RFC 2104). License responses and TLS records are
+// authenticated with it, exactly as in the real Widevine protocol where the
+// derived mac_keys feed HMAC-SHA256 over license messages.
+#pragma once
+
+#include "support/bytes.hpp"
+
+namespace wideleak::crypto {
+
+/// HMAC-SHA256 of `data` under `key` (any key length).
+Bytes hmac_sha256(BytesView key, BytesView data);
+
+/// Constant-time verification of an HMAC-SHA256 tag.
+bool hmac_sha256_verify(BytesView key, BytesView data, BytesView tag);
+
+}  // namespace wideleak::crypto

@@ -1,0 +1,118 @@
+#include "crypto/modes.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "support/errors.hpp"
+
+namespace wideleak::crypto {
+
+namespace {
+
+AesBlock load_iv(BytesView iv) {
+  if (iv.size() != kAesBlockSize) throw std::invalid_argument("iv must be 16 bytes");
+  AesBlock block;
+  std::memcpy(block.data(), iv.data(), kAesBlockSize);
+  return block;
+}
+
+void increment_counter(AesBlock& counter) {
+  // Big-endian increment of the low 8 bytes (CENC-style counter).
+  for (int i = 15; i >= 8; --i) {
+    if (++counter[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+
+Bytes cbc_encrypt_blocks(const Aes& key, BytesView iv, BytesView padded) {
+  AesBlock chain = load_iv(iv);
+  Bytes out(padded.size());
+  for (std::size_t off = 0; off < padded.size(); off += kAesBlockSize) {
+    AesBlock block;
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) block[i] = padded[off + i] ^ chain[i];
+    key.encrypt_block(block.data(), out.data() + off);
+    std::memcpy(chain.data(), out.data() + off, kAesBlockSize);
+  }
+  return out;
+}
+
+Bytes cbc_decrypt_blocks(const Aes& key, BytesView iv, BytesView ciphertext) {
+  if (ciphertext.size() % kAesBlockSize != 0) {
+    throw CryptoError("cbc decrypt: ciphertext not block-aligned");
+  }
+  AesBlock chain = load_iv(iv);
+  Bytes out(ciphertext.size());
+  for (std::size_t off = 0; off < ciphertext.size(); off += kAesBlockSize) {
+    AesBlock block;
+    key.decrypt_block(ciphertext.data() + off, block.data());
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) out[off + i] = block[i] ^ chain[i];
+    std::memcpy(chain.data(), ciphertext.data() + off, kAesBlockSize);
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes aes_cbc_encrypt(const Aes& key, BytesView iv, BytesView plaintext) {
+  const std::size_t pad = kAesBlockSize - plaintext.size() % kAesBlockSize;
+  Bytes padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+  return cbc_encrypt_blocks(key, iv, padded);
+}
+
+Bytes aes_cbc_decrypt(const Aes& key, BytesView iv, BytesView ciphertext) {
+  if (ciphertext.empty()) throw CryptoError("cbc decrypt: empty ciphertext");
+  Bytes padded = cbc_decrypt_blocks(key, iv, ciphertext);
+  const std::uint8_t pad = padded.back();
+  if (pad == 0 || pad > kAesBlockSize || pad > padded.size()) {
+    throw CryptoError("cbc decrypt: bad padding");
+  }
+  for (std::size_t i = padded.size() - pad; i < padded.size(); ++i) {
+    if (padded[i] != pad) throw CryptoError("cbc decrypt: bad padding");
+  }
+  padded.resize(padded.size() - pad);
+  return padded;
+}
+
+Bytes aes_cbc_encrypt_nopad(const Aes& key, BytesView iv, BytesView plaintext) {
+  if (plaintext.size() % kAesBlockSize != 0) {
+    throw std::invalid_argument("cbc nopad: input not block-aligned");
+  }
+  return cbc_encrypt_blocks(key, iv, plaintext);
+}
+
+Bytes aes_cbc_decrypt_nopad(const Aes& key, BytesView iv, BytesView ciphertext) {
+  return cbc_decrypt_blocks(key, iv, ciphertext);
+}
+
+Bytes aes_ctr_crypt(const Aes& key, BytesView iv, BytesView data) {
+  AesCtrStream stream(key, iv);
+  return stream.process(data);
+}
+
+AesCtrStream::AesCtrStream(const Aes& key, BytesView iv) : key_(key), counter_(load_iv(iv)) {}
+
+void AesCtrStream::refill() {
+  keystream_ = key_.encrypt_block(counter_);
+  increment_counter(counter_);
+  used_ = 0;
+}
+
+Bytes AesCtrStream::process(BytesView data) {
+  Bytes out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (used_ == kAesBlockSize) refill();
+    out[i] = data[i] ^ keystream_[used_++];
+  }
+  return out;
+}
+
+void AesCtrStream::skip(std::size_t n) {
+  while (n > 0) {
+    if (used_ == kAesBlockSize) refill();
+    const std::size_t take = std::min(n, kAesBlockSize - used_);
+    used_ += take;
+    n -= take;
+  }
+}
+
+}  // namespace wideleak::crypto

@@ -1,0 +1,49 @@
+// Block-cipher modes used across the DRM stack:
+//   - ECB: single-block operations inside the key ladder,
+//   - CBC + PKCS#7: content-key wrapping in license responses,
+//   - CTR: CENC 'cenc' scheme sample encryption and TLS record protection.
+#pragma once
+
+#include "crypto/aes.hpp"
+#include "support/bytes.hpp"
+
+namespace wideleak::crypto {
+
+/// AES-CBC encrypt with PKCS#7 padding. `iv` must be 16 bytes.
+Bytes aes_cbc_encrypt(const Aes& key, BytesView iv, BytesView plaintext);
+
+/// AES-CBC decrypt + PKCS#7 unpad. Throws CryptoError on bad padding.
+Bytes aes_cbc_decrypt(const Aes& key, BytesView iv, BytesView ciphertext);
+
+/// AES-CBC without padding (input must be a multiple of 16 bytes); used by
+/// the keybox-provisioning rewrap where lengths are fixed.
+Bytes aes_cbc_encrypt_nopad(const Aes& key, BytesView iv, BytesView plaintext);
+Bytes aes_cbc_decrypt_nopad(const Aes& key, BytesView iv, BytesView ciphertext);
+
+/// AES-CTR keystream XOR. Encrypt and decrypt are the same operation.
+/// `iv` is the initial 16-byte counter block; the low 64 bits increment.
+Bytes aes_ctr_crypt(const Aes& key, BytesView iv, BytesView data);
+
+/// AES-CTR over `data` starting at block offset `block_offset` with an
+/// additional byte offset into that block — what CENC subsample decryption
+/// needs when a sample's protected ranges are discontiguous.
+class AesCtrStream {
+ public:
+  AesCtrStream(const Aes& key, BytesView iv);
+
+  /// XOR the next `data.size()` keystream bytes into a copy of `data`.
+  Bytes process(BytesView data);
+
+  /// Skip `n` keystream bytes without producing output.
+  void skip(std::size_t n);
+
+ private:
+  void refill();
+
+  const Aes& key_;
+  AesBlock counter_{};
+  AesBlock keystream_{};
+  std::size_t used_ = kAesBlockSize;  // force refill on first use
+};
+
+}  // namespace wideleak::crypto

@@ -1,0 +1,302 @@
+#include "crypto/rsa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "support/byte_io.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::crypto {
+
+namespace {
+
+// Raw RSA primitives. Messages are big-endian integers < n.
+Bytes rsa_public_op(const RsaPublicKey& key, BytesView in) {
+  const BigInt m = BigInt::from_bytes_be(in);
+  if (m >= key.n) throw CryptoError("rsa: message representative out of range");
+  return BigInt::mod_pow(m, key.e, key.n).to_bytes_be(key.modulus_bytes());
+}
+
+Bytes rsa_private_op(const RsaKeyPair& key, BytesView in) {
+  const BigInt c = BigInt::from_bytes_be(in);
+  if (c >= key.pub.n) throw CryptoError("rsa: ciphertext representative out of range");
+  // CRT for a ~4x speedup: m = CRT(c^dp mod p, c^dq mod q).
+  const BigInt dp = key.d % (key.p - BigInt(1));
+  const BigInt dq = key.d % (key.q - BigInt(1));
+  const BigInt qinv = BigInt::mod_inverse(key.q, key.p);
+  const BigInt m1 = BigInt::mod_pow(c % key.p, dp, key.p);
+  const BigInt m2 = BigInt::mod_pow(c % key.q, dq, key.q);
+  const BigInt h = (qinv * ((m1 + key.p) - (m2 % key.p))) % key.p;
+  const BigInt m = m2 + h * key.q;
+  return m.to_bytes_be(key.pub.modulus_bytes());
+}
+
+Bytes mgf1(BytesView seed, std::size_t length, Bytes (*hash)(BytesView), std::size_t digest_len) {
+  Bytes out;
+  out.reserve(length + digest_len);
+  for (std::uint32_t counter = 0; out.size() < length; ++counter) {
+    ByteWriter w;
+    w.raw(seed);
+    w.u32(counter);
+    const Bytes digest = hash(BytesView(w.data()));
+    out.insert(out.end(), digest.begin(), digest.end());
+  }
+  out.resize(length);
+  return out;
+}
+
+// DigestInfo prefix for SHA-256 (RFC 8017 A.2.4).
+const Bytes kSha256DigestInfoPrefix = {0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48,
+                                       0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04,
+                                       0x20};
+
+}  // namespace
+
+Bytes mgf1_sha1(BytesView seed, std::size_t length) {
+  return mgf1(seed, length, &sha1, kSha1DigestSize);
+}
+
+Bytes mgf1_sha256(BytesView seed, std::size_t length) {
+  return mgf1(seed, length, &sha256, kSha256DigestSize);
+}
+
+Bytes RsaPublicKey::serialize() const {
+  ByteWriter w;
+  w.var_bytes(n.to_bytes_be());
+  w.var_bytes(e.to_bytes_be());
+  return w.take();
+}
+
+RsaPublicKey RsaPublicKey::deserialize(BytesView data) {
+  ByteReader r(data);
+  RsaPublicKey key;
+  key.n = BigInt::from_bytes_be(r.var_bytes());
+  key.e = BigInt::from_bytes_be(r.var_bytes());
+  return key;
+}
+
+Bytes RsaPublicKey::fingerprint() const { return sha256(serialize()); }
+
+Bytes RsaKeyPair::serialize() const {
+  ByteWriter w;
+  w.var_bytes(pub.serialize());
+  w.var_bytes(d.to_bytes_be());
+  w.var_bytes(p.to_bytes_be());
+  w.var_bytes(q.to_bytes_be());
+  return w.take();
+}
+
+RsaKeyPair RsaKeyPair::deserialize(BytesView data) {
+  ByteReader r(data);
+  RsaKeyPair key;
+  key.pub = RsaPublicKey::deserialize(r.var_bytes());
+  key.d = BigInt::from_bytes_be(r.var_bytes());
+  key.p = BigInt::from_bytes_be(r.var_bytes());
+  key.q = BigInt::from_bytes_be(r.var_bytes());
+  return key;
+}
+
+RsaKeyPair rsa_generate(Rng& rng, std::size_t bits) {
+  if (bits < 128 || bits % 2 != 0) {
+    throw std::invalid_argument("rsa_generate: bits must be even and >= 128");
+  }
+  const BigInt e(65537);
+  for (;;) {
+    const BigInt p = BigInt::generate_prime(rng, bits / 2);
+    const BigInt q = BigInt::generate_prime(rng, bits / 2);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    if (n.bit_length() != bits) continue;
+    const BigInt phi = (p - BigInt(1)) * (q - BigInt(1));
+    if (BigInt::gcd(e, phi) != BigInt(1)) continue;
+    RsaKeyPair key;
+    key.pub = {n, e};
+    key.d = BigInt::mod_inverse(e, phi);
+    key.p = p;
+    key.q = q;
+    return key;
+  }
+}
+
+Bytes rsa_oaep_encrypt(const RsaPublicKey& key, Rng& rng, BytesView message) {
+  const std::size_t k = key.modulus_bytes();
+  const std::size_t h_len = kSha1DigestSize;
+  if (message.size() + 2 * h_len + 2 > k) throw CryptoError("oaep: message too long");
+
+  // EM = 0x00 || maskedSeed || maskedDB
+  const Bytes l_hash = sha1(BytesView());
+  Bytes db = l_hash;
+  db.insert(db.end(), k - message.size() - 2 * h_len - 2, 0x00);
+  db.push_back(0x01);
+  db.insert(db.end(), message.begin(), message.end());
+
+  const Bytes seed = rng.next_bytes(h_len);
+  const Bytes db_mask = mgf1_sha1(seed, db.size());
+  const Bytes masked_db = xor_bytes(db, db_mask);
+  const Bytes seed_mask = mgf1_sha1(masked_db, h_len);
+  const Bytes masked_seed = xor_bytes(seed, seed_mask);
+
+  Bytes em{0x00};
+  em.insert(em.end(), masked_seed.begin(), masked_seed.end());
+  em.insert(em.end(), masked_db.begin(), masked_db.end());
+  return rsa_public_op(key, em);
+}
+
+Bytes rsa_oaep_decrypt(const RsaKeyPair& key, BytesView ciphertext) {
+  const std::size_t k = key.pub.modulus_bytes();
+  const std::size_t h_len = kSha1DigestSize;
+  if (ciphertext.size() != k || k < 2 * h_len + 2) throw CryptoError("oaep: bad ciphertext size");
+
+  const Bytes em = rsa_private_op(key, ciphertext);
+  if (em[0] != 0x00) throw CryptoError("oaep: decryption failure");
+
+  const BytesView masked_seed(em.data() + 1, h_len);
+  const BytesView masked_db(em.data() + 1 + h_len, k - 1 - h_len);
+  const Bytes seed = xor_bytes(masked_seed, mgf1_sha1(masked_db, h_len));
+  const Bytes db = xor_bytes(masked_db, mgf1_sha1(seed, masked_db.size()));
+
+  const Bytes l_hash = sha1(BytesView());
+  if (!constant_time_equal(BytesView(db.data(), h_len), l_hash)) {
+    throw CryptoError("oaep: decryption failure");
+  }
+  std::size_t i = h_len;
+  while (i < db.size() && db[i] == 0x00) ++i;
+  if (i == db.size() || db[i] != 0x01) throw CryptoError("oaep: decryption failure");
+  return Bytes(db.begin() + static_cast<std::ptrdiff_t>(i + 1), db.end());
+}
+
+Bytes rsa_pkcs1_sign(const RsaKeyPair& key, BytesView message) {
+  const std::size_t k = key.pub.modulus_bytes();
+  const Bytes digest = sha256(message);
+  const std::size_t t_len = kSha256DigestInfoPrefix.size() + digest.size();
+  if (k < t_len + 11) throw CryptoError("pkcs1: modulus too small");
+
+  Bytes em{0x00, 0x01};
+  em.insert(em.end(), k - t_len - 3, 0xff);
+  em.push_back(0x00);
+  em.insert(em.end(), kSha256DigestInfoPrefix.begin(), kSha256DigestInfoPrefix.end());
+  em.insert(em.end(), digest.begin(), digest.end());
+  return rsa_private_op(key, em);
+}
+
+bool rsa_pkcs1_verify(const RsaPublicKey& key, BytesView message, BytesView signature) {
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  Bytes em;
+  try {
+    em = rsa_public_op(key, signature);
+  } catch (const CryptoError&) {
+    return false;
+  }
+  const Bytes digest = sha256(message);
+  Bytes expected{0x00, 0x01};
+  expected.insert(expected.end(), k - kSha256DigestInfoPrefix.size() - digest.size() - 3, 0xff);
+  expected.push_back(0x00);
+  expected.insert(expected.end(), kSha256DigestInfoPrefix.begin(), kSha256DigestInfoPrefix.end());
+  expected.insert(expected.end(), digest.begin(), digest.end());
+  return constant_time_equal(em, expected);
+}
+
+namespace {
+
+// Preferred salt length; shrunk when the modulus is too small to fit it
+// (RFC 8017 permits any sLen <= emLen - hLen - 2).
+constexpr std::size_t kPssMaxSaltLen = 32;
+
+std::size_t pss_salt_len(std::size_t em_bits) {
+  const std::size_t em_len = (em_bits + 7) / 8;
+  const std::size_t room = em_len - kSha256DigestSize - 2;
+  return std::min(kPssMaxSaltLen, room);
+}
+
+// EMSA-PSS encoding/verification (RFC 8017 §9.1) with SHA-256.
+Bytes pss_encode(BytesView m_hash, BytesView salt, std::size_t em_bits) {
+  const std::size_t em_len = (em_bits + 7) / 8;
+  const std::size_t h_len = kSha256DigestSize;
+  if (em_len < h_len + salt.size() + 2) throw CryptoError("pss: encoding error");
+
+  Bytes m_prime(8, 0x00);
+  m_prime.insert(m_prime.end(), m_hash.begin(), m_hash.end());
+  m_prime.insert(m_prime.end(), salt.begin(), salt.end());
+  const Bytes h = sha256(m_prime);
+
+  Bytes db(em_len - h_len - 1 - salt.size() - 1, 0x00);
+  db.push_back(0x01);
+  db.insert(db.end(), salt.begin(), salt.end());
+
+  Bytes masked_db = xor_bytes(db, mgf1_sha256(h, db.size()));
+  // Clear leftmost 8*emLen - emBits bits.
+  masked_db[0] &= static_cast<std::uint8_t>(0xff >> (8 * em_len - em_bits));
+
+  Bytes em = masked_db;
+  em.insert(em.end(), h.begin(), h.end());
+  em.push_back(0xbc);
+  return em;
+}
+
+bool pss_verify_encoding(BytesView m_hash, BytesView em, std::size_t em_bits) {
+  const std::size_t em_len = (em_bits + 7) / 8;
+  const std::size_t h_len = kSha256DigestSize;
+  if (em.size() != em_len || em_len < h_len + 2) return false;
+  if (em.back() != 0xbc) return false;
+
+  const std::size_t db_len = em_len - h_len - 1;
+  Bytes masked_db(em.begin(), em.begin() + static_cast<std::ptrdiff_t>(db_len));
+  const BytesView h(em.data() + db_len, h_len);
+  if (masked_db[0] & static_cast<std::uint8_t>(0xff << (8 - (8 * em_len - em_bits) % 8)) &&
+      (8 * em_len - em_bits) != 0) {
+    return false;
+  }
+
+  Bytes db = xor_bytes(masked_db, mgf1_sha256(h, db_len));
+  db[0] &= static_cast<std::uint8_t>(0xff >> (8 * em_len - em_bits));
+
+  // Recover the salt length from the 0x00..0x00 0x01 padding structure.
+  std::size_t pad_len = 0;
+  while (pad_len < db_len && db[pad_len] == 0x00) ++pad_len;
+  if (pad_len == db_len || db[pad_len] != 0x01) return false;
+  const BytesView salt(db.data() + pad_len + 1, db_len - pad_len - 1);
+  if (salt.size() != pss_salt_len(em_bits)) return false;
+
+  Bytes m_prime(8, 0x00);
+  m_prime.insert(m_prime.end(), m_hash.begin(), m_hash.end());
+  m_prime.insert(m_prime.end(), salt.begin(), salt.end());
+  return constant_time_equal(sha256(m_prime), h);
+}
+
+}  // namespace
+
+Bytes rsa_pss_sign(const RsaKeyPair& key, Rng& rng, BytesView message) {
+  const std::size_t em_bits = key.pub.n.bit_length() - 1;
+  const Bytes salt = rng.next_bytes(pss_salt_len(em_bits));
+  Bytes em = pss_encode(sha256(message), salt, em_bits);
+  // Left-pad to modulus size for the integer conversion.
+  if (em.size() < key.pub.modulus_bytes()) {
+    em.insert(em.begin(), key.pub.modulus_bytes() - em.size(), 0x00);
+  }
+  return rsa_private_op(key, em);
+}
+
+bool rsa_pss_verify(const RsaPublicKey& key, BytesView message, BytesView signature) {
+  if (signature.size() != key.modulus_bytes()) return false;
+  Bytes em;
+  try {
+    em = rsa_public_op(key, signature);
+  } catch (const CryptoError&) {
+    return false;
+  }
+  const std::size_t em_bits = key.n.bit_length() - 1;
+  const std::size_t em_len = (em_bits + 7) / 8;
+  // Strip the potential leading zero byte from the fixed-size conversion.
+  if (em.size() > em_len) {
+    for (std::size_t i = 0; i < em.size() - em_len; ++i) {
+      if (em[i] != 0x00) return false;
+    }
+    em.erase(em.begin(), em.begin() + static_cast<std::ptrdiff_t>(em.size() - em_len));
+  }
+  return pss_verify_encoding(sha256(message), em, em_bits);
+}
+
+}  // namespace wideleak::crypto

@@ -1,0 +1,67 @@
+// RSA from scratch on top of BigInt.
+//
+// The Widevine ecosystem uses RSA in three places this library reproduces:
+//   - the provisioned 2048-bit Device RSA Key that signs license requests
+//     (RSASSA-PSS) and receives the session key (RSAES-OAEP),
+//   - certificate signatures in the simulated TLS stack (PKCS#1 v1.5),
+//   - the provisioning server's signing identity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/bigint.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::crypto {
+
+/// Public half of an RSA key.
+struct RsaPublicKey {
+  BigInt n;
+  BigInt e;
+
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+  /// Deterministic serialization (n || e as length-prefixed buffers).
+  Bytes serialize() const;
+  static RsaPublicKey deserialize(BytesView data);
+
+  /// SHA-256 over the serialization — used as a pin / fingerprint.
+  Bytes fingerprint() const;
+
+  friend bool operator==(const RsaPublicKey&, const RsaPublicKey&) = default;
+};
+
+/// Full RSA key pair.
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  BigInt d;
+  BigInt p;
+  BigInt q;
+
+  Bytes serialize() const;
+  static RsaKeyPair deserialize(BytesView data);
+};
+
+/// Generate a key pair with an n of exactly `bits` bits, e = 65537.
+RsaKeyPair rsa_generate(Rng& rng, std::size_t bits);
+
+/// RSAES-OAEP (SHA-1 + MGF1-SHA1, empty label — the parameters the real
+/// Widevine CDM uses for session-key wrap).
+Bytes rsa_oaep_encrypt(const RsaPublicKey& key, Rng& rng, BytesView message);
+Bytes rsa_oaep_decrypt(const RsaKeyPair& key, BytesView ciphertext);
+
+/// RSASSA-PKCS1-v1_5 with SHA-256 (certificate signatures).
+Bytes rsa_pkcs1_sign(const RsaKeyPair& key, BytesView message);
+bool rsa_pkcs1_verify(const RsaPublicKey& key, BytesView message, BytesView signature);
+
+/// RSASSA-PSS with SHA-256, salt length = 32 (license-request signatures).
+Bytes rsa_pss_sign(const RsaKeyPair& key, Rng& rng, BytesView message);
+bool rsa_pss_verify(const RsaPublicKey& key, BytesView message, BytesView signature);
+
+/// MGF1 mask generation (exposed for tests).
+Bytes mgf1_sha1(BytesView seed, std::size_t length);
+Bytes mgf1_sha256(BytesView seed, std::size_t length);
+
+}  // namespace wideleak::crypto

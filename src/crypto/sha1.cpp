@@ -1,0 +1,104 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+
+namespace wideleak::crypto {
+
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+}  // namespace
+
+Sha1::Sha1() { state_ = {0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0}; }
+
+void Sha1::process_block(const std::uint8_t block[kSha1BlockSize]) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
+           static_cast<std::uint32_t>(block[4 * i + 1]) << 16 |
+           static_cast<std::uint32_t>(block[4 * i + 2]) << 8 |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3], e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdc;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(BytesView data) {
+  total_bits_ += static_cast<std::uint64_t>(data.size()) * 8;
+  absorb(data);
+}
+
+void Sha1::absorb(BytesView data) {
+  std::size_t pos = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), kSha1BlockSize - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    pos = take;
+    if (buffered_ == kSha1BlockSize) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (pos + kSha1BlockSize <= data.size()) {
+    process_block(data.data() + pos);
+    pos += kSha1BlockSize;
+  }
+  if (pos < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + pos, data.size() - pos);
+    buffered_ = data.size() - pos;
+  }
+}
+
+Bytes Sha1::finish() {
+  const std::uint64_t bits = total_bits_;
+  Bytes pad{0x80};
+  while ((buffered_ + pad.size()) % kSha1BlockSize != 56) pad.push_back(0x00);
+  for (int i = 0; i < 8; ++i) pad.push_back(static_cast<std::uint8_t>(bits >> (56 - 8 * i)));
+  absorb(pad);
+  Bytes digest(kSha1DigestSize);
+  for (int i = 0; i < 5; ++i) {
+    digest[4 * i] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 24);
+    digest[4 * i + 1] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 16);
+    digest[4 * i + 2] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)] >> 8);
+    digest[4 * i + 3] = static_cast<std::uint8_t>(state_[static_cast<std::size_t>(i)]);
+  }
+  return digest;
+}
+
+Bytes sha1(BytesView data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace wideleak::crypto

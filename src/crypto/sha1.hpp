@@ -1,0 +1,36 @@
+// SHA-1 (FIPS 180-4). Kept for protocol fidelity: real Widevine wraps the
+// provisioned Device RSA key with RSA-OAEP over SHA-1, and legacy license
+// metadata uses SHA-1 digests. Not used where collision resistance matters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace wideleak::crypto {
+
+inline constexpr std::size_t kSha1DigestSize = 20;
+inline constexpr std::size_t kSha1BlockSize = 64;
+
+/// Incremental SHA-1.
+class Sha1 {
+ public:
+  Sha1();
+  void update(BytesView data);
+  Bytes finish();
+
+ private:
+  void absorb(BytesView data);
+  void process_block(const std::uint8_t block[kSha1BlockSize]);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, kSha1BlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// One-shot convenience.
+Bytes sha1(BytesView data);
+
+}  // namespace wideleak::crypto

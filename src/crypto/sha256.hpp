@@ -1,0 +1,35 @@
+// SHA-256 (FIPS 180-4), from scratch. Used by HMAC, RSA OAEP/PSS/PKCS#1
+// digests, TLS transcript hashing and certificate fingerprints (pinning).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace wideleak::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256();
+  void update(BytesView data);
+  Bytes finish();
+
+ private:
+  void absorb(BytesView data);
+  void process_block(const std::uint8_t block[kSha256BlockSize]);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kSha256BlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// One-shot convenience.
+Bytes sha256(BytesView data);
+
+}  // namespace wideleak::crypto

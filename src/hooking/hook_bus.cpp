@@ -1,0 +1,31 @@
+#include "hooking/hook_bus.hpp"
+
+namespace wideleak::hooking {
+
+std::uint64_t HookBus::attach(HookListener listener) {
+  const std::uint64_t token = next_token_++;
+  listeners_[token] = std::move(listener);
+  return token;
+}
+
+void HookBus::detach(std::uint64_t token) { listeners_.erase(token); }
+
+void HookBus::emit(std::string_view module, std::string_view function, BytesView input,
+                   BytesView output) {
+  if (listeners_.empty()) return;
+  CallRecord record;
+  record.sequence = next_sequence_++;
+  record.process = process_;
+  record.module = std::string(module);
+  record.function = std::string(function);
+  record.input.assign(input.begin(), input.end());
+  record.output.assign(output.begin(), output.end());
+  for (const auto& [token, listener] : listeners_) listener(record);
+}
+
+TraceSession::TraceSession(HookBus& bus)
+    : bus_(bus), token_(bus.attach([this](const CallRecord& r) { trace_.append(r); })) {}
+
+TraceSession::~TraceSession() { bus_.detach(token_); }
+
+}  // namespace wideleak::hooking

@@ -1,0 +1,61 @@
+// The interposition seam: every instrumentable function in the simulated
+// Android/Widevine stack announces its calls on its process's HookBus.
+//
+// Attaching a listener is the equivalent of `frida -n mediadrmserver` plus
+// an Interceptor.attach() script: the listener sees module, function and
+// buffer snapshots for every call, without the traced code cooperating.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "hooking/trace.hpp"
+#include "support/bytes.hpp"
+
+namespace wideleak::hooking {
+
+/// Callback invoked for each intercepted call.
+using HookListener = std::function<void(const CallRecord&)>;
+
+class HookBus {
+ public:
+  explicit HookBus(std::string process_name) : process_(std::move(process_name)) {}
+
+  /// Attach an instrumentation listener; returns a detach token.
+  std::uint64_t attach(HookListener listener);
+  void detach(std::uint64_t token);
+  bool has_listeners() const { return !listeners_.empty(); }
+
+  /// Called by instrumented code at each hookable entry point.
+  void emit(std::string_view module, std::string_view function, BytesView input,
+            BytesView output);
+
+  const std::string& process_name() const { return process_; }
+
+ private:
+  std::string process_;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t next_sequence_ = 0;
+  std::map<std::uint64_t, HookListener> listeners_;
+};
+
+/// RAII attachment that also accumulates a CallTrace — the common usage.
+class TraceSession {
+ public:
+  explicit TraceSession(HookBus& bus);
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  const CallTrace& trace() const { return trace_; }
+  CallTrace& trace() { return trace_; }
+
+ private:
+  HookBus& bus_;
+  std::uint64_t token_;
+  CallTrace trace_;
+};
+
+}  // namespace wideleak::hooking

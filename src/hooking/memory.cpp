@@ -1,0 +1,65 @@
+#include "hooking/memory.hpp"
+
+#include <algorithm>
+
+#include "support/errors.hpp"
+
+namespace wideleak::hooking {
+
+RegionId ProcessMemory::map_region(std::string name, BytesView initial) {
+  const RegionId id = next_id_++;
+  regions_[id] = MemoryRegion{id, std::move(name), Bytes(initial.begin(), initial.end())};
+  return id;
+}
+
+void ProcessMemory::write_region(RegionId id, BytesView data) {
+  const auto it = regions_.find(id);
+  if (it == regions_.end()) throw StateError("ProcessMemory: write to unmapped region");
+  it->second.data.assign(data.begin(), data.end());
+}
+
+void ProcessMemory::unmap_region(RegionId id) {
+  const auto it = regions_.find(id);
+  if (it == regions_.end()) throw StateError("ProcessMemory: unmap of unmapped region");
+  std::fill(it->second.data.begin(), it->second.data.end(), std::uint8_t{0});
+  regions_.erase(it);
+}
+
+const Bytes& ProcessMemory::read_region(RegionId id) const {
+  const auto it = regions_.find(id);
+  if (it == regions_.end()) throw StateError("ProcessMemory: read of unmapped region");
+  return it->second.data;
+}
+
+std::vector<MemoryRegion> ProcessMemory::snapshot() const {
+  std::vector<MemoryRegion> out;
+  out.reserve(regions_.size());
+  for (const auto& [id, region] : regions_) out.push_back(region);
+  return out;
+}
+
+std::vector<ScanHit> ProcessMemory::scan(BytesView pattern) const {
+  std::vector<ScanHit> hits;
+  if (pattern.empty()) return hits;
+  for (const auto& [id, region] : regions_) {
+    const Bytes& data = region.data;
+    if (data.size() < pattern.size()) continue;
+    auto it = data.begin();
+    for (;;) {
+      it = std::search(it, data.end(), pattern.begin(), pattern.end());
+      if (it == data.end()) break;
+      hits.push_back(ScanHit{id, region.name,
+                             static_cast<std::size_t>(std::distance(data.begin(), it))});
+      ++it;
+    }
+  }
+  return hits;
+}
+
+std::size_t ProcessMemory::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, region] : regions_) total += region.data.size();
+  return total;
+}
+
+}  // namespace wideleak::hooking

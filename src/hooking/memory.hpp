@@ -1,0 +1,68 @@
+// Simulated process memory.
+//
+// The keybox-recovery attack (CVE-2021-0639) works by "dynamically
+// monitoring memory regions that are used during obfuscated cryptographic
+// operations" and scanning them for the keybox structure. To reproduce
+// that, the CDM registers its working buffers as named regions in its
+// process's memory map; an attacker with root can snapshot and scan them.
+// TEE memory is a *separate* ProcessMemory instance that is never exposed
+// through the REE process — the exact isolation property that makes L1
+// resist this attack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace wideleak::hooking {
+
+/// Handle to one mapped region.
+using RegionId = std::uint64_t;
+
+/// One region in a memory snapshot.
+struct MemoryRegion {
+  RegionId id = 0;
+  std::string name;  // e.g. "libwvdrmengine:keybox_workbuf"
+  Bytes data;
+};
+
+/// Byte-offset hit of a pattern scan.
+struct ScanHit {
+  RegionId region = 0;
+  std::string region_name;
+  std::size_t offset = 0;
+};
+
+class ProcessMemory {
+ public:
+  /// Map a region; contents are copied in.
+  RegionId map_region(std::string name, BytesView initial);
+
+  /// Overwrite a mapped region (size may change, like realloc).
+  void write_region(RegionId id, BytesView data);
+
+  /// Zeroise and unmap — what a *careful* CDM does with key material.
+  void unmap_region(RegionId id);
+
+  /// Read back a region (debugger-style access). Throws on bad id.
+  const Bytes& read_region(RegionId id) const;
+
+  /// Copy of all current regions (ptrace-style memory dump).
+  std::vector<MemoryRegion> snapshot() const;
+
+  /// Find every occurrence of `pattern` across all regions.
+  std::vector<ScanHit> scan(BytesView pattern) const;
+
+  std::size_t region_count() const { return regions_.size(); }
+  std::size_t total_bytes() const;
+
+ private:
+  RegionId next_id_ = 1;
+  std::map<RegionId, MemoryRegion> regions_;
+};
+
+}  // namespace wideleak::hooking

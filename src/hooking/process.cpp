@@ -1,0 +1,3 @@
+#include "hooking/process.hpp"
+
+// Header-only today; the translation unit anchors the library target.

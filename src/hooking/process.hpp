@@ -1,0 +1,31 @@
+// A simulated OS process: a name, a hookable call bus and a memory map.
+//
+// The Android side instantiates one of these per system process the paper
+// cares about (mediadrmserver hosting the Widevine plugin, the OTT app
+// process). An attacker with a rooted device can attach to any of them; the
+// TEE is *not* a SimProcess reachable this way.
+#pragma once
+
+#include <string>
+
+#include "hooking/hook_bus.hpp"
+#include "hooking/memory.hpp"
+
+namespace wideleak::hooking {
+
+class SimProcess {
+ public:
+  explicit SimProcess(std::string name) : name_(std::move(name)), bus_(name_) {}
+
+  const std::string& name() const { return name_; }
+  HookBus& bus() { return bus_; }
+  ProcessMemory& memory() { return memory_; }
+  const ProcessMemory& memory() const { return memory_; }
+
+ private:
+  std::string name_;
+  HookBus bus_;
+  ProcessMemory memory_;
+};
+
+}  // namespace wideleak::hooking

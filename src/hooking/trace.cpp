@@ -1,0 +1,44 @@
+#include "hooking/trace.hpp"
+
+namespace wideleak::hooking {
+
+void CallTrace::append(CallRecord record) { records_.push_back(std::move(record)); }
+
+std::vector<const CallRecord*> CallTrace::by_module(std::string_view module) const {
+  std::vector<const CallRecord*> out;
+  for (const CallRecord& r : records_) {
+    if (r.module == module) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const CallRecord*> CallTrace::by_function(std::string_view function) const {
+  std::vector<const CallRecord*> out;
+  for (const CallRecord& r : records_) {
+    if (r.function == function) out.push_back(&r);
+  }
+  return out;
+}
+
+const CallRecord* CallTrace::first(std::string_view function) const {
+  for (const CallRecord& r : records_) {
+    if (r.function == function) return &r;
+  }
+  return nullptr;
+}
+
+bool CallTrace::touched_module(std::string_view module) const {
+  for (const CallRecord& r : records_) {
+    if (r.module == module) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> CallTrace::function_sequence() const {
+  std::vector<std::string> out;
+  out.reserve(records_.size());
+  for (const CallRecord& r : records_) out.push_back(r.function);
+  return out;
+}
+
+}  // namespace wideleak::hooking

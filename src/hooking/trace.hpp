@@ -1,0 +1,56 @@
+// Call-trace records: what an instrumentation session collects.
+//
+// One record per intercepted function call, with snapshots of the input and
+// output buffers — mirroring how the paper "dumped input and output buffers
+// related to various functions" of the Widevine CDM.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace wideleak::hooking {
+
+/// One intercepted call.
+struct CallRecord {
+  std::uint64_t sequence = 0;   // global order within the trace
+  std::string process;          // e.g. "mediadrmserver"
+  std::string module;           // e.g. "libwvdrmengine.so", "liboemcrypto.so"
+  std::string function;         // e.g. "_oecc21_GenerateDerivedKeys"
+  Bytes input;                  // snapshot of the call's input buffer
+  Bytes output;                 // snapshot of the call's output buffer
+};
+
+/// An append-only sequence of intercepted calls with query helpers.
+class CallTrace {
+ public:
+  void append(CallRecord record);
+  void clear() { records_.clear(); }
+
+  const std::vector<CallRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// All calls into a given module.
+  std::vector<const CallRecord*> by_module(std::string_view module) const;
+
+  /// All calls to a given function (any module).
+  std::vector<const CallRecord*> by_function(std::string_view function) const;
+
+  /// First call to `function`, if any.
+  const CallRecord* first(std::string_view function) const;
+
+  /// Did the control flow ever reach `module`? (The paper's L1-vs-L3
+  /// classifier: L1 iff liboemcrypto.so is reached.)
+  bool touched_module(std::string_view module) const;
+
+  /// Ordered list of function names, for sequence/Figure-1 checks.
+  std::vector<std::string> function_sequence() const;
+
+ private:
+  std::vector<CallRecord> records_;
+};
+
+}  // namespace wideleak::hooking

@@ -1,0 +1,155 @@
+#include "media/cenc.hpp"
+
+#include "crypto/modes.hpp"
+#include "support/byte_io.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::media {
+
+namespace {
+
+Bytes sixteen_byte_iv(BytesView iv) {
+  Bytes full(iv.begin(), iv.end());
+  full.resize(crypto::kAesBlockSize, 0x00);
+  return full;
+}
+
+}  // namespace
+
+Bytes PackagedTrack::to_file() const {
+  Box moov{.fourcc = "moov", .payload = {}, .children = {}};
+  Box trak_box{.fourcc = "trak", .payload = {}, .children = {track.to_box()}};
+  moov.children.push_back(std::move(trak_box));
+  if (encrypted) {
+    PsshBox pssh;
+    pssh.key_ids.push_back(key_id);
+    moov.children.push_back(pssh.to_box());
+  }
+
+  Box moof{.fourcc = "moof", .payload = {}, .children = {}};
+  TencBox tenc;
+  tenc.protected_scheme = encrypted;
+  tenc.default_key_id = key_id;
+  moof.children.push_back(tenc.to_box());
+  if (encrypted) moof.children.push_back(senc.to_box());
+
+  ByteWriter sample_writer;
+  sample_writer.u32(static_cast<std::uint32_t>(samples.size()));
+  for (const Bytes& s : samples) sample_writer.var_bytes(s);
+  Box mdat{.fourcc = "mdat", .payload = sample_writer.take(), .children = {}};
+
+  Bytes out;
+  Box ftyp{.fourcc = "ftyp", .payload = to_bytes("wl10"), .children = {}};
+  for (const Box* box : {&ftyp, &moov, &moof, &mdat}) {
+    const Bytes b = box->serialize();
+    out.insert(out.end(), b.begin(), b.end());
+  }
+  return out;
+}
+
+PackagedTrack PackagedTrack::from_file(BytesView file) {
+  const std::vector<Box> boxes = Box::parse_sequence(file);
+  PackagedTrack out;
+  const Box* moof = nullptr;
+  const Box* mdat = nullptr;
+  for (const Box& box : boxes) {
+    if (box.fourcc == "moov") {
+      out.track = TrakBox::from_box(box);
+    } else if (box.fourcc == "moof") {
+      moof = &box;
+    } else if (box.fourcc == "mdat") {
+      mdat = &box;
+    }
+  }
+  if (moof == nullptr || mdat == nullptr) throw ParseError("cenc: missing moof/mdat");
+
+  const Box* tenc = moof->find("tenc");
+  if (tenc == nullptr) throw ParseError("cenc: missing tenc");
+  const TencBox tenc_parsed = TencBox::from_box(*tenc);
+  out.encrypted = tenc_parsed.protected_scheme;
+  out.key_id = tenc_parsed.default_key_id;
+  if (out.encrypted) {
+    const Box* senc = moof->find("senc");
+    if (senc == nullptr) throw ParseError("cenc: encrypted track missing senc");
+    out.senc = SencBox::from_box(*senc);
+  }
+
+  ByteReader r(BytesView(mdat->payload));
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) out.samples.push_back(r.var_bytes());
+  return out;
+}
+
+PackagedTrack package_clear(const TrakBox& track, const std::vector<Frame>& frames) {
+  PackagedTrack out;
+  out.track = track;
+  out.encrypted = false;
+  for (const Frame& frame : frames) out.samples.push_back(frame.serialize());
+  return out;
+}
+
+PackagedTrack package_encrypted(const TrakBox& track, const std::vector<Frame>& frames,
+                                BytesView key, const KeyId& key_id, Rng& rng) {
+  const crypto::Aes aes(key);
+  PackagedTrack out;
+  out.track = track;
+  out.encrypted = true;
+  out.key_id = key_id;
+  for (const Frame& frame : frames) {
+    const Bytes record = frame.serialize();
+    SampleEncryptionEntry entry;
+    entry.iv = rng.next_bytes(8);  // 8-byte IVs, as common in cenc content
+    // One subsample: frame header clear, payload + CRC protected.
+    SampleEncryptionEntry::Subsample sub;
+    sub.clear_bytes = static_cast<std::uint16_t>(Frame::header_size());
+    sub.protected_bytes = static_cast<std::uint32_t>(record.size() - Frame::header_size());
+    entry.subsamples.push_back(sub);
+
+    Bytes sample(record.begin(), record.begin() + static_cast<std::ptrdiff_t>(sub.clear_bytes));
+    crypto::AesCtrStream stream(aes, BytesView(sixteen_byte_iv(entry.iv)));
+    const Bytes ciphertext = stream.process(
+        BytesView(record.data() + sub.clear_bytes, sub.protected_bytes));
+    sample.insert(sample.end(), ciphertext.begin(), ciphertext.end());
+
+    out.senc.entries.push_back(std::move(entry));
+    out.samples.push_back(std::move(sample));
+  }
+  return out;
+}
+
+Bytes cenc_decrypt_track(const PackagedTrack& track, BytesView key) {
+  if (!track.encrypted) throw CryptoError("cenc_decrypt_track: track is clear");
+  if (track.senc.entries.size() != track.samples.size()) {
+    throw ParseError("cenc_decrypt_track: senc/sample count mismatch");
+  }
+  const crypto::Aes aes(key);
+  Bytes out;
+  for (std::size_t i = 0; i < track.samples.size(); ++i) {
+    const Bytes& sample = track.samples[i];
+    const SampleEncryptionEntry& entry = track.senc.entries[i];
+    crypto::AesCtrStream stream(aes, BytesView(sixteen_byte_iv(entry.iv)));
+    std::size_t pos = 0;
+    for (const auto& sub : entry.subsamples) {
+      if (pos + sub.clear_bytes + sub.protected_bytes > sample.size()) {
+        throw ParseError("cenc_decrypt_track: subsample overruns sample");
+      }
+      out.insert(out.end(), sample.begin() + static_cast<std::ptrdiff_t>(pos),
+                 sample.begin() + static_cast<std::ptrdiff_t>(pos + sub.clear_bytes));
+      pos += sub.clear_bytes;
+      const Bytes clear = stream.process(BytesView(sample.data() + pos, sub.protected_bytes));
+      out.insert(out.end(), clear.begin(), clear.end());
+      pos += sub.protected_bytes;
+    }
+    // Trailing unprotected bytes, if any.
+    out.insert(out.end(), sample.begin() + static_cast<std::ptrdiff_t>(pos), sample.end());
+  }
+  return out;
+}
+
+Bytes raw_sample_stream(const PackagedTrack& track) {
+  Bytes out;
+  for (const Bytes& s : track.samples) out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+}  // namespace wideleak::media

@@ -1,0 +1,50 @@
+// MPEG Common Encryption (ISO/IEC 23001-7), 'cenc' scheme: AES-CTR with
+// per-sample IVs and subsample maps (clear header bytes + protected payload).
+//
+// This is both how the simulated CDN packages content and what the paper's
+// final step does in reverse: "we use MPEG-CENC to decrypt all protected
+// contents" once the content key is recovered.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "media/codec.hpp"
+#include "media/mp4.hpp"
+#include "media/track.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::media {
+
+/// A packaged (possibly encrypted) DASH track file: init info + samples.
+struct PackagedTrack {
+  TrakBox track;
+  bool encrypted = false;
+  KeyId key_id;                 // empty when clear
+  SencBox senc;                 // per-sample crypto metadata (encrypted only)
+  std::vector<Bytes> samples;   // sample data (ciphertext when encrypted)
+
+  /// Serialize to an mp4-lite file (moov + moof + mdat boxes).
+  Bytes to_file() const;
+  static PackagedTrack from_file(BytesView file);
+};
+
+/// Package clear frames without encryption.
+PackagedTrack package_clear(const TrakBox& track, const std::vector<Frame>& frames);
+
+/// Package frames CENC-encrypted under (key, key_id). Frame headers stay in
+/// the clear as subsample "clear bytes" — the standard pattern for NAL
+/// headers — so track metadata remains parseable without the key.
+PackagedTrack package_encrypted(const TrakBox& track, const std::vector<Frame>& frames,
+                                BytesView key, const KeyId& key_id, Rng& rng);
+
+/// Decrypt a CENC-packaged track back to the raw elementary stream.
+/// Throws CryptoError if the track is not encrypted-form consistent.
+Bytes cenc_decrypt_track(const PackagedTrack& track, BytesView key);
+
+/// Extract the concatenated sample bytes (for clear tracks this is the
+/// playable elementary stream; for encrypted ones it is ciphertext).
+Bytes raw_sample_stream(const PackagedTrack& track);
+
+}  // namespace wideleak::media

@@ -1,0 +1,126 @@
+#include "media/codec.hpp"
+
+#include "support/byte_io.hpp"
+#include "support/crc32.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::media {
+
+Bytes Frame::serialize() const {
+  ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u32(index);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(resolution.width);
+  w.u16(resolution.height);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  Bytes record = w.take();
+  const std::uint32_t crc = crc32(record);
+  ByteWriter tail;
+  tail.u32(crc);
+  const Bytes crc_bytes = tail.take();
+  record.insert(record.end(), crc_bytes.begin(), crc_bytes.end());
+  return record;
+}
+
+std::optional<ParsedFrame> Frame::parse(BytesView data) {
+  if (data.size() < header_size() + 4) return std::nullopt;
+  ByteReader r(data);
+  if (r.u32() != kFrameMagic) return std::nullopt;
+  Frame frame;
+  frame.index = r.u32();
+  const std::uint8_t type_raw = r.u8();
+  if (type_raw < 1 || type_raw > 3) return std::nullopt;
+  frame.type = static_cast<TrackType>(type_raw);
+  frame.resolution.width = r.u16();
+  frame.resolution.height = r.u16();
+  const std::uint32_t payload_len = r.u32();
+  if (r.remaining() < payload_len + 4) return std::nullopt;
+  frame.payload = r.raw(payload_len);
+  const std::uint32_t stored_crc = r.u32();
+  const std::size_t consumed = r.position();
+  if (crc32(BytesView(data.data(), consumed - 4)) != stored_crc) return std::nullopt;
+  return ParsedFrame{std::move(frame), consumed};
+}
+
+std::vector<Frame> generate_track_frames(std::uint64_t content_id, TrackType type,
+                                         Resolution resolution, std::uint32_t frame_count) {
+  std::vector<Frame> frames;
+  frames.reserve(frame_count);
+  // Payload size scales with resolution so higher qualities produce bigger
+  // files, as a bitrate ladder would.
+  std::size_t payload_size = 0;
+  switch (type) {
+    case TrackType::Video:
+      payload_size = 64 + static_cast<std::size_t>(resolution.width) *
+                              static_cast<std::size_t>(resolution.height) / 2048;
+      break;
+    case TrackType::Audio:
+      payload_size = 96;
+      break;
+    case TrackType::Subtitle:
+      payload_size = 48;
+      break;
+  }
+  for (std::uint32_t i = 0; i < frame_count; ++i) {
+    Rng frame_rng(content_id ^ (static_cast<std::uint64_t>(type) << 56) ^
+                  (static_cast<std::uint64_t>(resolution.height) << 40) ^ i);
+    Frame frame;
+    frame.index = i;
+    frame.type = type;
+    frame.resolution = type == TrackType::Video ? resolution : Resolution{};
+    if (type == TrackType::Subtitle) {
+      // Subtitles are ascii text — the property the paper's subtitle check
+      // (is the downloaded file readable English?) keys on.
+      std::string line = "subtitle cue " + std::to_string(i) + ": ";
+      while (line.size() < payload_size) {
+        line.push_back(static_cast<char>('a' + frame_rng.next_below(26)));
+      }
+      line.resize(payload_size);
+      frame.payload = to_bytes(line);
+    } else {
+      frame.payload = frame_rng.next_bytes(payload_size);
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+Bytes serialize_frames(const std::vector<Frame>& frames) {
+  Bytes out;
+  for (const Frame& frame : frames) {
+    const Bytes record = frame.serialize();
+    out.insert(out.end(), record.begin(), record.end());
+  }
+  return out;
+}
+
+PlaybackReport try_play(BytesView stream) {
+  PlaybackReport report;
+  std::size_t pos = 0;
+  bool saw_video = false;
+  while (pos < stream.size()) {
+    const auto parsed = Frame::parse(stream.subspan(pos));
+    if (!parsed) {
+      report.playable = false;
+      report.failure_reason =
+          "undecodable data at offset " + std::to_string(pos) + " (corrupt or encrypted)";
+      return report;
+    }
+    ++report.frames;
+    if (parsed->frame.type == TrackType::Video && !saw_video) {
+      report.resolution = parsed->frame.resolution;
+      saw_video = true;
+    }
+    pos += parsed->consumed;
+  }
+  if (report.frames == 0) {
+    report.failure_reason = "empty stream";
+    return report;
+  }
+  report.playable = true;
+  return report;
+}
+
+}  // namespace wideleak::media

@@ -1,0 +1,69 @@
+// Synthetic "codec": deterministic frame records standing in for real
+// compressed media.
+//
+// The paper's audit checks one property of a downloaded asset: does it play
+// in a stock player (clear) or not (encrypted)? Our frames carry a magic and
+// a CRC so that exact check is mechanical — a stream is "playable" iff every
+// frame parses and its CRC matches, which fails for ciphertext.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "media/track.hpp"
+#include "support/bytes.hpp"
+
+namespace wideleak::media {
+
+inline constexpr std::uint32_t kFrameMagic = 0x574c4652;  // "WLFR"
+
+struct ParsedFrame;
+
+/// One elementary-stream frame.
+struct Frame {
+  std::uint32_t index = 0;
+  TrackType type = TrackType::Video;
+  Resolution resolution;  // zero for audio/subtitle frames
+  Bytes payload;
+
+  /// Serialize to the on-wire record (header, payload, trailing CRC).
+  Bytes serialize() const;
+
+  /// Parse one record. Returns the frame and the bytes consumed, or nullopt
+  /// when the data does not start with a valid, CRC-correct record.
+  static std::optional<ParsedFrame> parse(BytesView data);
+
+  /// Size of the fixed header before the payload (the part CENC subsample
+  /// encryption leaves in the clear, as real codecs' NAL headers are).
+  static constexpr std::size_t header_size() { return 17; }
+};
+
+/// Result of Frame::parse.
+struct ParsedFrame {
+  Frame frame;
+  std::size_t consumed;
+};
+
+/// Deterministically generate the frames of one track of a title.
+/// `content_id` seeds the payloads, so the same title always produces the
+/// same bytes — the property the rip-verification step relies on.
+std::vector<Frame> generate_track_frames(std::uint64_t content_id, TrackType type,
+                                         Resolution resolution, std::uint32_t frame_count);
+
+/// Result of attempting to play a byte stream.
+struct PlaybackReport {
+  bool playable = false;
+  std::uint32_t frames = 0;
+  Resolution resolution;       // of the first video frame, if any
+  std::string failure_reason;  // empty when playable
+};
+
+/// The "stock player" check: parse records back-to-back, verify CRCs.
+PlaybackReport try_play(BytesView stream);
+
+/// Concatenate frames into a raw elementary stream.
+Bytes serialize_frames(const std::vector<Frame>& frames);
+
+}  // namespace wideleak::media

@@ -1,0 +1,154 @@
+#include "media/content.hpp"
+
+#include <stdexcept>
+
+namespace wideleak::media {
+
+std::string to_string(KeyUsagePolicy policy) {
+  switch (policy) {
+    case KeyUsagePolicy::Minimum: return "Minimum";
+    case KeyUsagePolicy::Recommended: return "Recommended";
+  }
+  return "?";
+}
+
+const ContentKey* PackagedTitle::key_for(const KeyId& kid) const {
+  for (const ContentKey& key : keys) {
+    if (key.kid == kid) return &key;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::string sanitize(const std::string& s) {
+  std::string out;
+  for (char c : s) out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  return out;
+}
+
+}  // namespace
+
+PackagedTitle package_title(std::uint64_t content_id, const std::string& title,
+                            const std::vector<std::string>& audio_languages,
+                            const std::vector<std::string>& subtitle_languages,
+                            const ContentPolicy& policy) {
+  PackagedTitle out;
+  out.content_id = content_id;
+  out.title = title;
+  out.mpd.title = title;
+
+  Rng key_rng(content_id * 0x9e3779b97f4a7c15ull + 1);
+  Rng iv_rng(content_id * 0x9e3779b97f4a7c15ull + 2);
+  const std::string prefix = "/content/" + sanitize(title) + "/";
+
+  // --- Video: one representation per quality, each with its own key
+  // (every studied app did this right — it is why breaking L3 only ever
+  // yields sub-HD media).
+  // Index (not pointer: out.keys reallocates) of the lowest-quality video
+  // key, reused by audio under the Minimum policy.
+  std::size_t sd_video_key_idx = SIZE_MAX;
+  for (const Resolution& resolution : standard_quality_ladder()) {
+    const std::string id = "video_" + std::to_string(resolution.height) + "p";
+    TrakBox trak{.type = TrackType::Video, .resolution = resolution, .language = "und"};
+    const auto frames =
+        generate_track_frames(content_id, TrackType::Video, resolution, kFramesPerTrack);
+
+    MpdRepresentation rep;
+    rep.id = id;
+    rep.type = TrackType::Video;
+    rep.resolution = resolution;
+    rep.language = "und";
+    rep.base_url = prefix + id + ".mp4";
+
+    if (policy.encrypt_video) {
+      ContentKey key;
+      key.kid = key_rng.next_bytes(16);
+      key.key = key_rng.next_bytes(16);
+      key.type = TrackType::Video;
+      key.resolution = resolution;
+      out.keys.push_back(key);
+      if (sd_video_key_idx == SIZE_MAX) sd_video_key_idx = out.keys.size() - 1;
+      rep.default_kid = key.kid;
+      out.files[rep.base_url] =
+          package_encrypted(trak, frames, key.key, key.kid, iv_rng).to_file();
+    } else {
+      out.files[rep.base_url] = package_clear(trak, frames).to_file();
+    }
+    out.mpd.representations.push_back(std::move(rep));
+  }
+
+  // --- Audio: one representation per language.
+  for (const std::string& lang : audio_languages) {
+    const std::string id = "audio_" + lang;
+    TrakBox trak{.type = TrackType::Audio, .resolution = {}, .language = lang};
+    const auto frames =
+        generate_track_frames(content_id ^ std::hash<std::string>{}(lang), TrackType::Audio,
+                              {}, kFramesPerTrack);
+
+    MpdRepresentation rep;
+    rep.id = id;
+    rep.type = TrackType::Audio;
+    rep.language = lang;
+    rep.base_url = prefix + id + ".mp4";
+
+    if (policy.encrypt_audio) {
+      if (policy.key_usage == KeyUsagePolicy::Recommended) {
+        ContentKey key;
+        key.kid = key_rng.next_bytes(16);
+        key.key = key_rng.next_bytes(16);
+        key.type = TrackType::Audio;
+        out.keys.push_back(key);
+        rep.default_kid = key.kid;
+        out.files[rep.base_url] =
+            package_encrypted(trak, frames, key.key, key.kid, iv_rng).to_file();
+      } else {
+        // Minimum: reuse the SD video key — the practice Table I flags.
+        if (sd_video_key_idx == SIZE_MAX) {
+          throw std::logic_error("package_title: audio key reuse requires encrypted video");
+        }
+        const ContentKey& shared = out.keys[sd_video_key_idx];
+        rep.default_kid = shared.kid;
+        out.files[rep.base_url] =
+            package_encrypted(trak, frames, shared.key, shared.kid, iv_rng).to_file();
+      }
+    } else {
+      out.files[rep.base_url] = package_clear(trak, frames).to_file();
+    }
+    out.mpd.representations.push_back(std::move(rep));
+  }
+
+  // --- Subtitles: one per language; every studied app ships them clear,
+  // but the policy knob exists so tests can exercise the encrypted path.
+  for (const std::string& lang : subtitle_languages) {
+    const std::string id = "sub_" + lang;
+    TrakBox trak{.type = TrackType::Subtitle, .resolution = {}, .language = lang};
+    const auto frames =
+        generate_track_frames(content_id ^ (std::hash<std::string>{}(lang) << 1),
+                              TrackType::Subtitle, {}, kFramesPerTrack);
+
+    MpdRepresentation rep;
+    rep.id = id;
+    rep.type = TrackType::Subtitle;
+    rep.language = lang;
+    rep.base_url = prefix + id + ".wvtt";
+
+    if (policy.encrypt_subtitles) {
+      ContentKey key;
+      key.kid = key_rng.next_bytes(16);
+      key.key = key_rng.next_bytes(16);
+      key.type = TrackType::Subtitle;
+      out.keys.push_back(key);
+      rep.default_kid = key.kid;
+      out.files[rep.base_url] =
+          package_encrypted(trak, frames, key.key, key.kid, iv_rng).to_file();
+    } else {
+      out.files[rep.base_url] = package_clear(trak, frames).to_file();
+    }
+    out.mpd.representations.push_back(std::move(rep));
+  }
+
+  return out;
+}
+
+}  // namespace wideleak::media

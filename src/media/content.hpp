@@ -1,0 +1,67 @@
+// Title packaging: turn a content id + protection policy into the DASH
+// artifacts a CDN serves (MPD + per-track files) and the content keys the
+// license server must hold.
+//
+// Policies encode the per-app choices the paper measured: whether audio and
+// subtitles are encrypted at all (Q2) and whether audio reuses the video
+// key or gets its own (Q3, Widevine "minimum" vs "recommended").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "media/cenc.hpp"
+#include "media/mpd.hpp"
+#include "media/track.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::media {
+
+/// Q3 classification, named after Table I's legend.
+enum class KeyUsagePolicy {
+  Minimum,      ///< audio clear, or audio shares the video key
+  Recommended,  ///< audio and video always use distinct keys
+};
+
+std::string to_string(KeyUsagePolicy policy);
+
+/// Per-title protection choices (one per OTT app in the catalog).
+struct ContentPolicy {
+  bool encrypt_video = true;      // every studied app encrypts video
+  bool encrypt_audio = true;      // Netflix/myCanal/Salto do not
+  bool encrypt_subtitles = false; // no studied app does
+  KeyUsagePolicy key_usage = KeyUsagePolicy::Minimum;
+};
+
+/// A content key as the license server stores it.
+struct ContentKey {
+  KeyId kid;
+  Bytes key;                     // 16-byte AES key
+  TrackType type = TrackType::Video;
+  Resolution resolution;         // the video quality this key unlocks
+};
+
+/// Everything the CDN + license server need to serve one title.
+struct PackagedTitle {
+  std::uint64_t content_id = 0;
+  std::string title;
+  Mpd mpd;
+  std::map<std::string, Bytes> files;  // url path -> mp4-lite file
+  std::vector<ContentKey> keys;
+
+  const ContentKey* key_for(const KeyId& kid) const;
+};
+
+inline constexpr std::uint32_t kFramesPerTrack = 24;
+
+/// Deterministically package a title. Same (content_id, policy) always
+/// yields identical bytes and keys — matching the paper's observation that
+/// a given media's keys are shared across all subscribers.
+PackagedTitle package_title(std::uint64_t content_id, const std::string& title,
+                            const std::vector<std::string>& audio_languages,
+                            const std::vector<std::string>& subtitle_languages,
+                            const ContentPolicy& policy);
+
+}  // namespace wideleak::media

@@ -1,0 +1,170 @@
+#include "media/mp4.hpp"
+
+#include <array>
+
+#include "support/byte_io.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::media {
+
+namespace {
+
+constexpr std::array<std::string_view, 4> kContainers = {"moov", "moof", "trak", "traf"};
+
+}  // namespace
+
+bool is_container_fourcc(std::string_view fourcc) {
+  for (std::string_view c : kContainers) {
+    if (c == fourcc) return true;
+  }
+  return false;
+}
+
+Bytes Box::serialize() const {
+  Bytes body;
+  if (is_container_fourcc(fourcc)) {
+    for (const Box& c : children) {
+      const Bytes b = c.serialize();
+      body.insert(body.end(), b.begin(), b.end());
+    }
+  } else {
+    body = payload;
+  }
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(8 + body.size()));
+  if (fourcc.size() != 4) throw ParseError("Box: fourcc must be 4 chars");
+  w.raw(fourcc);
+  w.raw(body);
+  return w.take();
+}
+
+std::vector<Box> Box::parse_sequence(BytesView data) {
+  std::vector<Box> boxes;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    if (data.size() - pos < 8) throw ParseError("mp4: truncated box header");
+    ByteReader r(data.subspan(pos));
+    const std::uint32_t size = r.u32();
+    const Bytes fourcc_raw = r.raw(4);
+    if (size < 8 || pos + size > data.size()) throw ParseError("mp4: bad box size");
+    Box box;
+    box.fourcc = wideleak::to_string(BytesView(fourcc_raw));
+    const BytesView body = data.subspan(pos + 8, size - 8);
+    if (is_container_fourcc(box.fourcc)) {
+      box.children = parse_sequence(body);
+    } else {
+      box.payload.assign(body.begin(), body.end());
+    }
+    boxes.push_back(std::move(box));
+    pos += size;
+  }
+  return boxes;
+}
+
+const Box* Box::child(std::string_view target) const {
+  for (const Box& c : children) {
+    if (c.fourcc == target) return &c;
+  }
+  return nullptr;
+}
+
+const Box* Box::find(std::string_view target) const {
+  if (fourcc == target) return this;
+  for (const Box& c : children) {
+    if (const Box* hit = c.find(target)) return hit;
+  }
+  return nullptr;
+}
+
+Box PsshBox::to_box() const {
+  ByteWriter w;
+  w.var_string(system_id);
+  w.u32(static_cast<std::uint32_t>(key_ids.size()));
+  for (const KeyId& kid : key_ids) w.var_bytes(kid);
+  return Box{.fourcc = "pssh", .payload = w.take(), .children = {}};
+}
+
+PsshBox PsshBox::from_box(const Box& box) {
+  if (box.fourcc != "pssh") throw ParseError("expected pssh box");
+  ByteReader r(BytesView(box.payload));
+  PsshBox out;
+  out.system_id = r.var_string();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) out.key_ids.push_back(r.var_bytes());
+  return out;
+}
+
+Box TencBox::to_box() const {
+  ByteWriter w;
+  w.u8(protected_scheme ? 1 : 0);
+  w.u8(iv_size);
+  w.var_bytes(default_key_id);
+  return Box{.fourcc = "tenc", .payload = w.take(), .children = {}};
+}
+
+TencBox TencBox::from_box(const Box& box) {
+  if (box.fourcc != "tenc") throw ParseError("expected tenc box");
+  ByteReader r(BytesView(box.payload));
+  TencBox out;
+  out.protected_scheme = r.u8() != 0;
+  out.iv_size = r.u8();
+  out.default_key_id = r.var_bytes();
+  return out;
+}
+
+Box SencBox::to_box() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const SampleEncryptionEntry& e : entries) {
+    w.var_bytes(e.iv);
+    w.u16(static_cast<std::uint16_t>(e.subsamples.size()));
+    for (const auto& s : e.subsamples) {
+      w.u16(s.clear_bytes);
+      w.u32(s.protected_bytes);
+    }
+  }
+  return Box{.fourcc = "senc", .payload = w.take(), .children = {}};
+}
+
+SencBox SencBox::from_box(const Box& box) {
+  if (box.fourcc != "senc") throw ParseError("expected senc box");
+  ByteReader r(BytesView(box.payload));
+  SencBox out;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SampleEncryptionEntry e;
+    e.iv = r.var_bytes();
+    const std::uint16_t n_sub = r.u16();
+    for (std::uint16_t s = 0; s < n_sub; ++s) {
+      SampleEncryptionEntry::Subsample sub;
+      sub.clear_bytes = r.u16();
+      sub.protected_bytes = r.u32();
+      e.subsamples.push_back(sub);
+    }
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+Box TrakBox::to_box() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u16(resolution.width);
+  w.u16(resolution.height);
+  w.var_string(language);
+  return Box{.fourcc = "tkhd", .payload = w.take(), .children = {}};
+}
+
+TrakBox TrakBox::from_box(const Box& box) {
+  const Box* tkhd = box.fourcc == "tkhd" ? &box : box.find("tkhd");
+  if (tkhd == nullptr) throw ParseError("expected tkhd box");
+  ByteReader r(BytesView(tkhd->payload));
+  TrakBox out;
+  out.type = static_cast<TrackType>(r.u8());
+  out.resolution.width = r.u16();
+  out.resolution.height = r.u16();
+  out.language = r.var_string();
+  return out;
+}
+
+}  // namespace wideleak::media

@@ -1,0 +1,99 @@
+// Minimal ISO-BMFF (MP4) box model — just enough structure for DASH/CENC:
+// a generic size|fourcc box tree plus the specific boxes the DRM flow reads:
+//
+//   ftyp            file type
+//   moov.trak       track header (type, resolution, language)
+//   moov.pssh       protection system specific header (Widevine system id,
+//                   list of key IDs) — what MediaDrm's getKeyRequest consumes
+//   moof.tenc       default key ID + IV size for the fragment
+//   moof.senc       per-sample IVs and subsample ranges
+//   mdat            sample data
+//
+// Real files carry far more; everything the audit pipeline and the ripper
+// touch is faithful in layout spirit (length-prefixed big-endian boxes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "media/track.hpp"
+#include "support/bytes.hpp"
+
+namespace wideleak::media {
+
+/// The Widevine DRM system UUID, as found in real pssh boxes.
+inline constexpr char kWidevineSystemId[] = "edef8ba979d64acea3c827dcd51d21ed";
+
+/// Generic MP4 box: either a container of children or a leaf with payload.
+struct Box {
+  std::string fourcc;        // exactly 4 characters
+  Bytes payload;             // leaf content (empty for containers)
+  std::vector<Box> children; // container content
+
+  Bytes serialize() const;
+
+  /// Parse a sequence of sibling boxes covering `data` exactly.
+  static std::vector<Box> parse_sequence(BytesView data);
+
+  /// First direct child with the given fourcc, or nullptr.
+  const Box* child(std::string_view fourcc) const;
+
+  /// Depth-first search for the first box with the given fourcc.
+  const Box* find(std::string_view fourcc) const;
+};
+
+/// Whether this fourcc is one of the container types we nest into.
+bool is_container_fourcc(std::string_view fourcc);
+
+// --- Specific box payloads -------------------------------------------------
+
+/// pssh: DRM system id + key IDs the license request must cover.
+struct PsshBox {
+  std::string system_id = kWidevineSystemId;
+  std::vector<KeyId> key_ids;
+
+  Box to_box() const;
+  static PsshBox from_box(const Box& box);
+};
+
+/// tenc: default encryption parameters of a fragment.
+struct TencBox {
+  bool protected_scheme = true;
+  std::uint8_t iv_size = 16;
+  KeyId default_key_id;
+
+  Box to_box() const;
+  static TencBox from_box(const Box& box);
+};
+
+/// One sample's encryption metadata inside senc.
+struct SampleEncryptionEntry {
+  Bytes iv;  // iv_size bytes
+  struct Subsample {
+    std::uint16_t clear_bytes = 0;
+    std::uint32_t protected_bytes = 0;
+  };
+  std::vector<Subsample> subsamples;
+};
+
+/// senc: per-sample IVs + subsample maps.
+struct SencBox {
+  std::vector<SampleEncryptionEntry> entries;
+
+  Box to_box() const;
+  static SencBox from_box(const Box& box);
+};
+
+/// trak: track-level metadata (our compact stand-in for tkhd/mdia/...).
+struct TrakBox {
+  TrackType type = TrackType::Video;
+  Resolution resolution;
+  std::string language = "en";
+
+  Box to_box() const;
+  static TrakBox from_box(const Box& box);
+};
+
+}  // namespace wideleak::media

@@ -1,0 +1,117 @@
+#include "media/mpd.hpp"
+
+#include "media/mp4.hpp"
+#include "media/xml.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::media {
+
+namespace {
+
+std::string content_type_label(TrackType type) { return to_string(type); }
+
+TrackType content_type_from_label(std::string_view label) {
+  if (label == "video") return TrackType::Video;
+  if (label == "audio") return TrackType::Audio;
+  if (label == "subtitle" || label == "text") return TrackType::Subtitle;
+  throw ParseError("mpd: unknown contentType " + std::string(label));
+}
+
+std::uint16_t parse_dimension(const std::string& value) {
+  try {
+    const unsigned long parsed = std::stoul(value);
+    if (parsed > 0xffff) throw ParseError("mpd: dimension out of range");
+    return static_cast<std::uint16_t>(parsed);
+  } catch (const std::logic_error&) {  // stoul's invalid_argument/out_of_range
+    throw ParseError("mpd: non-numeric dimension '" + value + "'");
+  }
+}
+
+}  // namespace
+
+std::string Mpd::serialize() const {
+  XmlNode root;
+  root.name = "MPD";
+  root.attributes["xmlns"] = "urn:mpeg:dash:schema:mpd:2011";
+  root.attributes["type"] = "static";
+
+  XmlNode period;
+  period.name = "Period";
+
+  // Group representations into adaptation sets by (type, language).
+  for (const MpdRepresentation& rep : representations) {
+    XmlNode set;
+    set.name = "AdaptationSet";
+    set.attributes["contentType"] = content_type_label(rep.type);
+    set.attributes["lang"] = rep.language;
+
+    if (rep.default_kid) {
+      XmlNode protection;
+      protection.name = "ContentProtection";
+      protection.attributes["schemeIdUri"] =
+          std::string("urn:uuid:") + kWidevineSystemId;
+      protection.attributes["cenc:default_KID"] = hex_encode(*rep.default_kid);
+      set.children.push_back(std::move(protection));
+    }
+
+    XmlNode representation;
+    representation.name = "Representation";
+    representation.attributes["id"] = rep.id;
+    if (rep.type == TrackType::Video) {
+      representation.attributes["width"] = std::to_string(rep.resolution.width);
+      representation.attributes["height"] = std::to_string(rep.resolution.height);
+    }
+    XmlNode base_url;
+    base_url.name = "BaseURL";
+    base_url.text = rep.base_url;
+    representation.children.push_back(std::move(base_url));
+    set.children.push_back(std::move(representation));
+    period.children.push_back(std::move(set));
+  }
+
+  root.attributes["wl:title"] = title;
+  root.children.push_back(std::move(period));
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + root.serialize();
+}
+
+Mpd Mpd::parse(std::string_view xml_text) {
+  const XmlNode root = xml_parse(xml_text);
+  if (root.name != "MPD") throw ParseError("mpd: root element is not MPD");
+  Mpd out;
+  out.title = root.attribute("wl:title");
+  const XmlNode* period = root.child("Period");
+  if (period == nullptr) throw ParseError("mpd: missing Period");
+  for (const XmlNode* set : period->children_named("AdaptationSet")) {
+    const TrackType type = content_type_from_label(set->attribute("contentType"));
+    std::optional<KeyId> kid;
+    if (const XmlNode* protection = set->child("ContentProtection")) {
+      kid = hex_decode(protection->attribute("cenc:default_KID"));
+    }
+    for (const XmlNode* representation : set->children_named("Representation")) {
+      MpdRepresentation rep;
+      rep.id = representation->attribute("id");
+      rep.type = type;
+      rep.language = set->attribute("lang", "en");
+      if (type == TrackType::Video) {
+        rep.resolution.width = parse_dimension(representation->attribute("width", "0"));
+        rep.resolution.height = parse_dimension(representation->attribute("height", "0"));
+      }
+      if (const XmlNode* base_url = representation->child("BaseURL")) {
+        rep.base_url = base_url->text;
+      }
+      rep.default_kid = kid;
+      out.representations.push_back(std::move(rep));
+    }
+  }
+  return out;
+}
+
+std::vector<const MpdRepresentation*> Mpd::of_type(TrackType type) const {
+  std::vector<const MpdRepresentation*> out;
+  for (const MpdRepresentation& rep : representations) {
+    if (rep.type == type) out.push_back(&rep);
+  }
+  return out;
+}
+
+}  // namespace wideleak::media

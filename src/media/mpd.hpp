@@ -1,0 +1,38 @@
+// DASH Media Presentation Description (MPD) manifests.
+//
+// The audit pipeline parses intercepted MPDs to learn the URI of every
+// asset and, for Q3, the default_KID announced per representation — the
+// "metadata indicating the identifier for every decryption key" the paper
+// analyses.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "media/track.hpp"
+
+namespace wideleak::media {
+
+/// One downloadable representation (a video quality, an audio language...).
+struct MpdRepresentation {
+  std::string id;
+  TrackType type = TrackType::Video;
+  Resolution resolution;       // video only
+  std::string language = "en";
+  std::string base_url;
+  std::optional<KeyId> default_kid;  // present iff ContentProtection declared
+};
+
+/// A whole manifest for one title.
+struct Mpd {
+  std::string title;
+  std::vector<MpdRepresentation> representations;
+
+  std::string serialize() const;
+  static Mpd parse(std::string_view xml_text);
+
+  std::vector<const MpdRepresentation*> of_type(TrackType type) const;
+};
+
+}  // namespace wideleak::media

@@ -1,0 +1,22 @@
+#include "media/track.hpp"
+
+namespace wideleak::media {
+
+std::string to_string(TrackType type) {
+  switch (type) {
+    case TrackType::Video: return "video";
+    case TrackType::Audio: return "audio";
+    case TrackType::Subtitle: return "subtitle";
+  }
+  return "unknown";
+}
+
+std::string Resolution::label() const {
+  return std::to_string(width) + "x" + std::to_string(height);
+}
+
+std::vector<Resolution> standard_quality_ladder() {
+  return {{416, 234}, {640, 360}, {854, 480}, {960, 540}, {1280, 720}, {1920, 1080}};
+}
+
+}  // namespace wideleak::media

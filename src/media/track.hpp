@@ -1,0 +1,51 @@
+// Track and quality-ladder model for DASH content.
+//
+// An OTT title is delivered as separate video, audio and subtitle tracks
+// (the separation that makes per-asset protection decisions possible — the
+// core observation behind the paper's Q2/Q3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace wideleak::media {
+
+enum class TrackType : std::uint8_t { Video = 1, Audio = 2, Subtitle = 3 };
+
+std::string to_string(TrackType type);
+
+/// Video resolution; audio/subtitle tracks use {0, 0}.
+struct Resolution {
+  std::uint16_t width = 0;
+  std::uint16_t height = 0;
+
+  friend auto operator<=>(const Resolution&, const Resolution&) = default;
+
+  std::string label() const;  ///< e.g. "960x540"
+  bool is_hd() const { return height > 540; }
+};
+
+/// The ladder the simulated services encode: 234p..1080p, matching the
+/// sub-HD boundary the paper reports (qHD 960x540 is the best L3 quality).
+std::vector<Resolution> standard_quality_ladder();
+
+inline constexpr Resolution kQhd{960, 540};   // best quality granted to L3
+inline constexpr Resolution kHd{1920, 1080};  // requires L1
+
+/// 16-byte CENC key identifier.
+using KeyId = Bytes;
+
+/// Description of one downloadable track of a title.
+struct TrackInfo {
+  TrackType type = TrackType::Video;
+  Resolution resolution;       // video only
+  std::string language = "en"; // audio/subtitles only
+  bool encrypted = false;
+  KeyId key_id;                // empty when clear
+  std::string url;             // CDN path of the track file
+};
+
+}  // namespace wideleak::media

@@ -1,0 +1,200 @@
+#include "media/xml.hpp"
+
+#include <cctype>
+
+#include "support/errors.hpp"
+
+namespace wideleak::media {
+
+std::string xml_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string xml_unescape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      out.push_back(raw[i]);
+      continue;
+    }
+    const std::size_t end = raw.find(';', i);
+    if (end == std::string_view::npos) throw ParseError("xml: unterminated entity");
+    const std::string_view entity = raw.substr(i + 1, end - i - 1);
+    if (entity == "amp") out.push_back('&');
+    else if (entity == "lt") out.push_back('<');
+    else if (entity == "gt") out.push_back('>');
+    else if (entity == "quot") out.push_back('"');
+    else if (entity == "apos") out.push_back('\'');
+    else throw ParseError("xml: unknown entity &" + std::string(entity) + ";");
+    i = end;
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  XmlNode parse_document() {
+    skip_whitespace();
+    if (lookahead("<?")) skip_past("?>");
+    skip_whitespace();
+    XmlNode root = parse_element();
+    skip_whitespace();
+    if (pos_ != text_.size()) throw ParseError("xml: trailing content after root");
+    return root;
+  }
+
+ private:
+  bool lookahead(std::string_view s) const { return text_.substr(pos_, s.size()) == s; }
+
+  void skip_past(std::string_view s) {
+    const std::size_t at = text_.find(s, pos_);
+    if (at == std::string_view::npos) throw ParseError("xml: unterminated construct");
+    pos_ = at + s.size();
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) throw ParseError("xml: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) throw ParseError(std::string("xml: expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == ':' ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw ParseError("xml: expected name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  XmlNode parse_element() {
+    expect('<');
+    XmlNode node;
+    node.name = parse_name();
+    for (;;) {
+      skip_whitespace();
+      if (lookahead("/>")) {
+        pos_ += 2;
+        return node;
+      }
+      if (peek() == '>') {
+        ++pos_;
+        break;
+      }
+      const std::string attr = parse_name();
+      skip_whitespace();
+      expect('=');
+      skip_whitespace();
+      const char quote = peek();
+      if (quote != '"' && quote != '\'') throw ParseError("xml: expected quoted attribute");
+      ++pos_;
+      const std::size_t end = text_.find(quote, pos_);
+      if (end == std::string_view::npos) throw ParseError("xml: unterminated attribute");
+      node.attributes[attr] = xml_unescape(text_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+    // Content until the matching close tag.
+    for (;;) {
+      const std::size_t lt = text_.find('<', pos_);
+      if (lt == std::string_view::npos) throw ParseError("xml: unterminated element " + node.name);
+      node.text += xml_unescape(text_.substr(pos_, lt - pos_));
+      pos_ = lt;
+      if (lookahead("<!--")) {
+        skip_past("-->");
+        continue;
+      }
+      if (lookahead("</")) {
+        pos_ += 2;
+        const std::string close = parse_name();
+        if (close != node.name) throw ParseError("xml: mismatched close tag " + close);
+        skip_whitespace();
+        expect('>');
+        // Trim pure-whitespace text content.
+        if (node.text.find_first_not_of(" \t\r\n") == std::string::npos) node.text.clear();
+        return node;
+      }
+      node.children.push_back(parse_element());
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string XmlNode::serialize(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string out = pad + "<" + name;
+  for (const auto& [key, value] : attributes) {
+    out += " " + key + "=\"" + xml_escape(value) + "\"";
+  }
+  if (children.empty() && text.empty()) {
+    out += "/>\n";
+    return out;
+  }
+  out += ">";
+  if (!text.empty()) out += xml_escape(text);
+  if (!children.empty()) {
+    out += "\n";
+    for (const XmlNode& c : children) out += c.serialize(indent + 1);
+    out += pad;
+  }
+  out += "</" + name + ">\n";
+  return out;
+}
+
+const XmlNode* XmlNode::child(std::string_view target) const {
+  for (const XmlNode& c : children) {
+    if (c.name == target) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(std::string_view target) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& c : children) {
+    if (c.name == target) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string XmlNode::attribute(std::string_view target, std::string fallback) const {
+  const auto it = attributes.find(std::string(target));
+  return it == attributes.end() ? fallback : it->second;
+}
+
+bool XmlNode::has_attribute(std::string_view target) const {
+  return attributes.contains(std::string(target));
+}
+
+XmlNode xml_parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace wideleak::media

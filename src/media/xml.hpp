@@ -1,0 +1,35 @@
+// A deliberately small XML subset — elements, attributes, text — enough to
+// write and parse DASH MPD manifests. No namespaces resolution, entities
+// limited to the five predefined ones, no DTDs.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wideleak::media {
+
+/// One XML element.
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::string text;  // concatenated character data directly inside this node
+  std::vector<XmlNode> children;
+
+  /// Serialize with 2-space indentation.
+  std::string serialize(int indent = 0) const;
+
+  const XmlNode* child(std::string_view name) const;
+  std::vector<const XmlNode*> children_named(std::string_view name) const;
+  std::string attribute(std::string_view name, std::string fallback = "") const;
+  bool has_attribute(std::string_view name) const;
+};
+
+/// Parse a document with a single root element. Throws ParseError.
+XmlNode xml_parse(std::string_view text);
+
+/// Escape the five predefined entities.
+std::string xml_escape(std::string_view raw);
+
+}  // namespace wideleak::media

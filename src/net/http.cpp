@@ -1,0 +1,73 @@
+#include "net/http.hpp"
+
+#include "support/byte_io.hpp"
+
+namespace wideleak::net {
+
+namespace {
+
+void write_headers(ByteWriter& w, const std::map<std::string, std::string>& headers) {
+  w.u32(static_cast<std::uint32_t>(headers.size()));
+  for (const auto& [key, value] : headers) {
+    w.var_string(key);
+    w.var_string(value);
+  }
+}
+
+std::map<std::string, std::string> read_headers(ByteReader& r) {
+  std::map<std::string, std::string> headers;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string key = r.var_string();
+    headers[std::move(key)] = r.var_string();
+  }
+  return headers;
+}
+
+}  // namespace
+
+Bytes HttpRequest::serialize() const {
+  ByteWriter w;
+  w.var_string(method);
+  w.var_string(path);
+  write_headers(w, headers);
+  w.var_bytes(body);
+  return w.take();
+}
+
+HttpRequest HttpRequest::deserialize(BytesView data) {
+  ByteReader r(data);
+  HttpRequest req;
+  req.method = r.var_string();
+  req.path = r.var_string();
+  req.headers = read_headers(r);
+  req.body = r.var_bytes();
+  return req;
+}
+
+Bytes HttpResponse::serialize() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(status));
+  write_headers(w, headers);
+  w.var_bytes(body);
+  return w.take();
+}
+
+HttpResponse HttpResponse::deserialize(BytesView data) {
+  ByteReader r(data);
+  HttpResponse res;
+  res.status = static_cast<int>(r.u32());
+  res.headers = read_headers(r);
+  res.body = r.var_bytes();
+  return res;
+}
+
+HttpResponse http_ok(Bytes body) { return HttpResponse{.status = 200, .headers = {}, .body = std::move(body)}; }
+
+HttpResponse http_ok_text(const std::string& body) { return http_ok(to_bytes(body)); }
+
+HttpResponse http_error(int status, const std::string& reason) {
+  return HttpResponse{.status = status, .headers = {{"reason", reason}}, .body = {}};
+}
+
+}  // namespace wideleak::net

@@ -1,0 +1,43 @@
+// HTTP-like request/response messages. Transport is the simulated TLS layer;
+// these are just the structured payloads OTT backends, CDNs and license
+// servers exchange.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "support/bytes.hpp"
+
+namespace wideleak::net {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  std::map<std::string, std::string> headers;
+  Bytes body;
+
+  Bytes serialize() const;
+  static HttpRequest deserialize(BytesView data);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  Bytes body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+
+  Bytes serialize() const;
+  static HttpResponse deserialize(BytesView data);
+};
+
+/// Application-layer request handler a server mounts.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Convenience constructors.
+HttpResponse http_ok(Bytes body);
+HttpResponse http_ok_text(const std::string& body);
+HttpResponse http_error(int status, const std::string& reason);
+
+}  // namespace wideleak::net

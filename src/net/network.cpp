@@ -1,0 +1,79 @@
+#include "net/network.hpp"
+
+#include "crypto/rsa.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::net {
+
+TlsServer::TlsServer(ServerIdentity identity, HttpHandler handler, std::uint64_t seed)
+    : identity_(std::move(identity)), handler_(std::move(handler)), rng_(seed) {}
+
+ServerHello TlsServer::hello(const std::string& /*host*/, BytesView /*client_random*/) {
+  return ServerHello{.server_random = rng_.next_bytes(32),
+                     .certificate = identity_.certificate};
+}
+
+Bytes TlsServer::finish(const std::string& /*host*/, BytesView client_random,
+                        BytesView server_random, BytesView encrypted_pre_master,
+                        BytesView sealed_request) {
+  const Bytes pre_master = crypto::rsa_oaep_decrypt(identity_.keys, encrypted_pre_master);
+  const SessionKeys keys = derive_session_keys(pre_master, client_random, server_random);
+  TlsSession session(keys.enc_key, keys.mac_key, keys.iv_seed);
+  const Bytes request_plain = session.open(sealed_request);
+  const HttpResponse response = handler_(HttpRequest::deserialize(request_plain));
+  return session.seal(response.serialize());
+}
+
+void Network::add_server(const std::string& host, std::shared_ptr<TlsServer> server) {
+  servers_[host] = std::move(server);
+}
+
+TlsServer& Network::find(const std::string& host) const {
+  const auto it = servers_.find(host);
+  if (it == servers_.end()) throw NetworkError("network: unknown host " + host);
+  return *it->second;
+}
+
+bool Network::has_host(const std::string& host) const { return servers_.contains(host); }
+
+TlsClient::TlsClient(const Network& network, TrustStore trust, Rng rng)
+    : network_(network), trust_(std::move(trust)), rng_(std::move(rng)) {}
+
+void TlsClient::set_pin_check_override(PinCheckOverride override_fn) {
+  pin_override_ = std::move(override_fn);
+}
+
+TlsExchangeResult TlsClient::request(const std::string& host, const HttpRequest& req) {
+  TlsEndpoint& endpoint = proxy_ != nullptr ? *proxy_ : static_cast<TlsEndpoint&>(network_.find(host));
+
+  const Bytes client_random = rng_.next_bytes(32);
+  const ServerHello hello = endpoint.hello(host, client_random);
+
+  if (!trust_.validate(hello.certificate)) {
+    return {.handshake = HandshakeResult::UntrustedCertificate, .response = std::nullopt};
+  }
+  if (hello.certificate.subject != host) {
+    return {.handshake = HandshakeResult::HostnameMismatch, .response = std::nullopt};
+  }
+  bool pin_ok = pins_.check(host, hello.certificate);
+  if (pin_override_) pin_ok = pin_override_(host, hello.certificate, pin_ok);
+  if (!pin_ok) {
+    return {.handshake = HandshakeResult::PinMismatch, .response = std::nullopt};
+  }
+
+  const Bytes pre_master = rng_.next_bytes(16);
+  const Bytes encrypted_pre_master =
+      crypto::rsa_oaep_encrypt(hello.certificate.public_key, rng_, pre_master);
+  const SessionKeys keys = derive_session_keys(pre_master, client_random, hello.server_random);
+  TlsSession send_session(keys.enc_key, keys.mac_key, keys.iv_seed);
+  TlsSession recv_session(keys.enc_key, keys.mac_key, keys.iv_seed);
+
+  const Bytes sealed_request = send_session.seal(req.serialize());
+  const Bytes sealed_response = endpoint.finish(host, client_random, hello.server_random,
+                                                encrypted_pre_master, sealed_request);
+  const Bytes response_plain = recv_session.open(sealed_response);
+  return {.handshake = HandshakeResult::Ok,
+          .response = HttpResponse::deserialize(response_plain)};
+}
+
+}  // namespace wideleak::net

@@ -1,0 +1,108 @@
+// The in-process "internet": a registry of TLS servers by hostname, plus the
+// client that performs handshakes and authenticated HTTP exchanges against
+// them (optionally through a MITM proxy).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/http.hpp"
+#include "net/tls.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::net {
+
+/// First flight from the server: its random and certificate.
+struct ServerHello {
+  Bytes server_random;
+  Certificate certificate;
+};
+
+/// Anything a client can complete a TLS exchange with: a real server or a
+/// MITM proxy impersonating one.
+class TlsEndpoint {
+ public:
+  virtual ~TlsEndpoint() = default;
+
+  /// Respond to a ClientHello for `host`.
+  virtual ServerHello hello(const std::string& host, BytesView client_random) = 0;
+
+  /// Complete the handshake and answer one sealed request with one sealed
+  /// response. The randoms are echoed so the exchange can stay stateless.
+  virtual Bytes finish(const std::string& host, BytesView client_random,
+                       BytesView server_random, BytesView encrypted_pre_master,
+                       BytesView sealed_request) = 0;
+};
+
+/// A TLS server terminating connections with its own identity.
+class TlsServer : public TlsEndpoint {
+ public:
+  TlsServer(ServerIdentity identity, HttpHandler handler, std::uint64_t seed);
+
+  ServerHello hello(const std::string& host, BytesView client_random) override;
+  Bytes finish(const std::string& host, BytesView client_random, BytesView server_random,
+               BytesView encrypted_pre_master, BytesView sealed_request) override;
+
+  const Certificate& certificate() const { return identity_.certificate; }
+
+ private:
+  ServerIdentity identity_;
+  HttpHandler handler_;
+  Rng rng_;
+};
+
+/// Hostname -> server registry.
+class Network {
+ public:
+  void add_server(const std::string& host, std::shared_ptr<TlsServer> server);
+  /// Throws NetworkError for unknown hosts.
+  TlsServer& find(const std::string& host) const;
+  bool has_host(const std::string& host) const;
+
+ private:
+  std::map<std::string, std::shared_ptr<TlsServer>> servers_;
+};
+
+/// Override point for the pin check — the seam a Frida-style hook grabs.
+/// Receives (host, presented certificate, verdict the stock check reached)
+/// and returns the verdict to use instead.
+using PinCheckOverride = std::function<bool(const std::string&, const Certificate&, bool)>;
+
+/// Result of one HTTPS exchange.
+struct TlsExchangeResult {
+  HandshakeResult handshake = HandshakeResult::Ok;
+  std::optional<HttpResponse> response;  // set iff handshake == Ok
+
+  bool ok() const { return handshake == HandshakeResult::Ok && response && response->ok(); }
+};
+
+/// HTTPS client with a trust store, pin store and optional proxy.
+class TlsClient {
+ public:
+  TlsClient(const Network& network, TrustStore trust, Rng rng);
+
+  PinStore& pins() { return pins_; }
+  TrustStore& trust() { return trust_; }
+
+  /// Route every connection through `proxy` instead of the real host.
+  void set_proxy(TlsEndpoint* proxy) { proxy_ = proxy; }
+  TlsEndpoint* proxy() const { return proxy_; }
+
+  /// Install/remove the pin-check override (attacker instrumentation).
+  void set_pin_check_override(PinCheckOverride override_fn);
+
+  TlsExchangeResult request(const std::string& host, const HttpRequest& req);
+
+ private:
+  const Network& network_;
+  TrustStore trust_;
+  PinStore pins_;
+  Rng rng_;
+  TlsEndpoint* proxy_ = nullptr;
+  PinCheckOverride pin_override_;
+};
+
+}  // namespace wideleak::net

@@ -1,0 +1,59 @@
+#include "net/proxy.hpp"
+
+#include "crypto/rsa.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::net {
+
+MitmProxy::MitmProxy(const Network& network, Rng rng)
+    : network_(network), rng_(std::move(rng)), ca_("wideleak-mitm-ca", rng_) {}
+
+ServerIdentity& MitmProxy::forged_identity(const std::string& host) {
+  const auto it = identities_.find(host);
+  if (it != identities_.end()) return it->second;
+  // Small keys keep per-host forgery cheap; strength is irrelevant here.
+  auto [inserted, _] = identities_.emplace(host, make_server_identity(host, ca_, rng_, 512));
+  return inserted->second;
+}
+
+ServerHello MitmProxy::hello(const std::string& host, BytesView /*client_random*/) {
+  return ServerHello{.server_random = rng_.next_bytes(32),
+                     .certificate = forged_identity(host).certificate};
+}
+
+Bytes MitmProxy::finish(const std::string& host, BytesView client_random,
+                        BytesView server_random, BytesView encrypted_pre_master,
+                        BytesView sealed_request) {
+  // Terminate the victim's TLS with the forged identity.
+  ServerIdentity& identity = forged_identity(host);
+  const Bytes pre_master = crypto::rsa_oaep_decrypt(identity.keys, encrypted_pre_master);
+  const SessionKeys keys = derive_session_keys(pre_master, client_random, server_random);
+  TlsSession victim_session(keys.enc_key, keys.mac_key, keys.iv_seed);
+  TlsSession victim_reply_session(keys.enc_key, keys.mac_key, keys.iv_seed);
+  const HttpRequest request =
+      HttpRequest::deserialize(victim_session.open(sealed_request));
+
+  // Forward upstream with a fresh exchange. The proxy is an attacker tool:
+  // it does not validate the upstream certificate, it just talks to it.
+  TlsServer& upstream = network_.find(host);
+  const Bytes up_client_random = rng_.next_bytes(32);
+  const ServerHello up_hello = upstream.hello(host, up_client_random);
+  const Bytes up_pre_master = rng_.next_bytes(16);
+  const Bytes up_encrypted =
+      crypto::rsa_oaep_encrypt(up_hello.certificate.public_key, rng_, up_pre_master);
+  const SessionKeys up_keys =
+      derive_session_keys(up_pre_master, up_client_random, up_hello.server_random);
+  TlsSession up_send(up_keys.enc_key, up_keys.mac_key, up_keys.iv_seed);
+  TlsSession up_recv(up_keys.enc_key, up_keys.mac_key, up_keys.iv_seed);
+  const Bytes up_sealed = up_send.seal(request.serialize());
+  const Bytes up_response_sealed = upstream.finish(host, up_client_random,
+                                                   up_hello.server_random, up_encrypted,
+                                                   up_sealed);
+  const HttpResponse response =
+      HttpResponse::deserialize(up_recv.open(up_response_sealed));
+
+  flows_.push_back(CapturedFlow{host, request, response});
+  return victim_reply_session.seal(response.serialize());
+}
+
+}  // namespace wideleak::net

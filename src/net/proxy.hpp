@@ -1,0 +1,50 @@
+// Burp-style intercepting proxy.
+//
+// The proxy owns its own CA. A client that (a) has that CA user-installed
+// in its trust store and (b) either does not pin the target host or has had
+// its pin check hooked out will complete the handshake against a forged
+// certificate; the proxy then sees all plaintext and forwards the exchange
+// to the real host. Captured flows feed the paper's URI/MPD harvesting.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/tls.hpp"
+
+namespace wideleak::net {
+
+/// One intercepted plaintext exchange.
+struct CapturedFlow {
+  std::string host;
+  HttpRequest request;
+  HttpResponse response;
+};
+
+class MitmProxy : public TlsEndpoint {
+ public:
+  MitmProxy(const Network& network, Rng rng);
+
+  /// The CA a victim must trust for interception to work (Burp's CA cert).
+  const CertificateAuthority& ca() const { return ca_; }
+
+  ServerHello hello(const std::string& host, BytesView client_random) override;
+  Bytes finish(const std::string& host, BytesView client_random, BytesView server_random,
+               BytesView encrypted_pre_master, BytesView sealed_request) override;
+
+  const std::vector<CapturedFlow>& flows() const { return flows_; }
+  void clear_flows() { flows_.clear(); }
+
+ private:
+  ServerIdentity& forged_identity(const std::string& host);
+
+  const Network& network_;
+  Rng rng_;
+  CertificateAuthority ca_;
+  std::map<std::string, ServerIdentity> identities_;
+  std::vector<CapturedFlow> flows_;
+};
+
+}  // namespace wideleak::net

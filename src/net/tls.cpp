@@ -1,0 +1,152 @@
+#include "net/tls.hpp"
+
+#include "crypto/hmac.hpp"
+#include "crypto/modes.hpp"
+#include "crypto/sha256.hpp"
+#include "support/byte_io.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::net {
+
+Bytes Certificate::signed_payload() const {
+  ByteWriter w;
+  w.var_string(subject);
+  w.var_string(issuer);
+  w.var_bytes(public_key.serialize());
+  return w.take();
+}
+
+Bytes Certificate::serialize() const {
+  ByteWriter w;
+  w.var_string(subject);
+  w.var_string(issuer);
+  w.var_bytes(public_key.serialize());
+  w.var_bytes(signature);
+  return w.take();
+}
+
+Certificate Certificate::deserialize(BytesView data) {
+  ByteReader r(data);
+  Certificate cert;
+  cert.subject = r.var_string();
+  cert.issuer = r.var_string();
+  cert.public_key = crypto::RsaPublicKey::deserialize(r.var_bytes());
+  cert.signature = r.var_bytes();
+  return cert;
+}
+
+CertificateAuthority::CertificateAuthority(std::string name, Rng& rng, std::size_t key_bits)
+    : name_(std::move(name)), keys_(crypto::rsa_generate(rng, key_bits)), rng_(rng.fork()) {}
+
+Certificate CertificateAuthority::issue(const std::string& subject,
+                                        const crypto::RsaPublicKey& key) const {
+  Certificate cert;
+  cert.subject = subject;
+  cert.issuer = name_;
+  cert.public_key = key;
+  cert.signature = crypto::rsa_pkcs1_sign(keys_, cert.signed_payload());
+  return cert;
+}
+
+void TrustStore::add(const CertificateAuthority& ca) { roots_[ca.name()] = ca.public_key(); }
+
+void TrustStore::add(std::string issuer, crypto::RsaPublicKey key) {
+  roots_[std::move(issuer)] = std::move(key);
+}
+
+bool TrustStore::validate(const Certificate& cert) const {
+  const auto it = roots_.find(cert.issuer);
+  if (it == roots_.end()) return false;
+  return crypto::rsa_pkcs1_verify(it->second, cert.signed_payload(), cert.signature);
+}
+
+void PinStore::pin(const std::string& host, Bytes fingerprint) {
+  pins_[host] = std::move(fingerprint);
+}
+
+bool PinStore::has_pin(const std::string& host) const { return pins_.contains(host); }
+
+bool PinStore::check(const std::string& host, const Certificate& cert) const {
+  const auto it = pins_.find(host);
+  if (it == pins_.end()) return true;  // unpinned host: trust store decides
+  return constant_time_equal(it->second, cert.pin_value());
+}
+
+ServerIdentity make_server_identity(const std::string& host, const CertificateAuthority& ca,
+                                    Rng& rng, std::size_t key_bits) {
+  ServerIdentity identity;
+  identity.keys = crypto::rsa_generate(rng, key_bits);
+  identity.certificate = ca.issue(host, identity.keys.pub);
+  return identity;
+}
+
+SessionKeys derive_session_keys(BytesView pre_master, BytesView client_random,
+                                BytesView server_random) {
+  const Bytes transcript = concat({client_random, server_random});
+  SessionKeys keys;
+  keys.enc_key = crypto::hmac_sha256(pre_master, concat({to_bytes("enc"), BytesView(transcript)}));
+  keys.enc_key.resize(16);
+  keys.mac_key = crypto::hmac_sha256(pre_master, concat({to_bytes("mac"), BytesView(transcript)}));
+  keys.iv_seed = crypto::hmac_sha256(pre_master, concat({to_bytes("iv"), BytesView(transcript)}));
+  keys.iv_seed.resize(8);
+  return keys;
+}
+
+TlsSession::TlsSession(Bytes enc_key, Bytes mac_key, Bytes iv_seed)
+    : enc_key_(std::move(enc_key)), mac_key_(std::move(mac_key)), iv_seed_(std::move(iv_seed)) {}
+
+namespace {
+
+Bytes record_iv(BytesView seed, std::uint64_t seq) {
+  ByteWriter w;
+  w.raw(seed);
+  w.u64(seq);
+  return w.take();
+}
+
+}  // namespace
+
+Bytes TlsSession::seal(BytesView plaintext) {
+  const crypto::Aes aes(enc_key_);
+  const Bytes iv = record_iv(iv_seed_, send_seq_);
+  const Bytes ciphertext = crypto::aes_ctr_crypt(aes, iv, plaintext);
+  ByteWriter w;
+  w.u64(send_seq_);
+  w.var_bytes(ciphertext);
+  Bytes record = w.take();
+  const Bytes tag = crypto::hmac_sha256(mac_key_, record);
+  record.insert(record.end(), tag.begin(), tag.end());
+  ++send_seq_;
+  return record;
+}
+
+Bytes TlsSession::open(BytesView record) {
+  if (record.size() < crypto::kSha256DigestSize + 12) {
+    throw CryptoError("tls: record too short");
+  }
+  const std::size_t body_len = record.size() - crypto::kSha256DigestSize;
+  const BytesView body(record.data(), body_len);
+  const BytesView tag(record.data() + body_len, crypto::kSha256DigestSize);
+  if (!crypto::hmac_sha256_verify(mac_key_, body, tag)) {
+    throw CryptoError("tls: record MAC failure");
+  }
+  ByteReader r(body);
+  const std::uint64_t seq = r.u64();
+  if (seq != recv_seq_) throw CryptoError("tls: record replay/reorder");
+  ++recv_seq_;
+  const Bytes ciphertext = r.var_bytes();
+  const crypto::Aes aes(enc_key_);
+  return crypto::aes_ctr_crypt(aes, record_iv(iv_seed_, seq), ciphertext);
+}
+
+std::string to_string(HandshakeResult result) {
+  switch (result) {
+    case HandshakeResult::Ok: return "ok";
+    case HandshakeResult::UntrustedCertificate: return "untrusted certificate";
+    case HandshakeResult::HostnameMismatch: return "hostname mismatch";
+    case HandshakeResult::PinMismatch: return "certificate pin mismatch";
+  }
+  return "?";
+}
+
+}  // namespace wideleak::net

@@ -1,0 +1,125 @@
+// Simulated TLS: certificates, a one-round-trip handshake and authenticated
+// record protection. Structured like the real thing where the study needs
+// it to be:
+//
+//   - servers present CA-signed certificates bound to a hostname,
+//   - clients validate against a trust store, then apply certificate
+//     pinning (pin = SHA-256 of the server public key),
+//   - a MITM with a user-installed CA passes trust-store validation but
+//     fails pinning — unless the pin check is hooked out, which is exactly
+//     the "SSL repinning with Frida" step of the paper's methodology.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "crypto/rsa.hpp"
+#include "net/http.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::net {
+
+/// An X.509-like certificate: subject hostname + public key + CA signature.
+struct Certificate {
+  std::string subject;
+  crypto::RsaPublicKey public_key;
+  std::string issuer;
+  Bytes signature;  // CA's PKCS#1 signature over (subject || issuer || key)
+
+  Bytes signed_payload() const;
+  Bytes serialize() const;
+  static Certificate deserialize(BytesView data);
+
+  /// SHA-256 of the public key — the value pin stores hold.
+  Bytes pin_value() const { return public_key.fingerprint(); }
+};
+
+/// A certificate authority that can issue host certificates.
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string name, Rng& rng, std::size_t key_bits = 1024);
+
+  Certificate issue(const std::string& subject, const crypto::RsaPublicKey& key) const;
+
+  const std::string& name() const { return name_; }
+  const crypto::RsaPublicKey& public_key() const { return keys_.pub; }
+
+ private:
+  std::string name_;
+  crypto::RsaKeyPair keys_;
+  mutable Rng rng_;
+};
+
+/// Client-side set of trusted CAs (system roots + user-installed ones).
+class TrustStore {
+ public:
+  void add(const CertificateAuthority& ca);
+  void add(std::string issuer, crypto::RsaPublicKey key);
+  bool validate(const Certificate& cert) const;
+
+ private:
+  std::map<std::string, crypto::RsaPublicKey> roots_;
+};
+
+/// Pin store: hostname -> expected public-key fingerprint.
+class PinStore {
+ public:
+  void pin(const std::string& host, Bytes fingerprint);
+  bool has_pin(const std::string& host) const;
+  bool check(const std::string& host, const Certificate& cert) const;
+
+ private:
+  std::map<std::string, Bytes> pins_;
+};
+
+/// A server identity: host certificate + matching private key.
+struct ServerIdentity {
+  Certificate certificate;
+  crypto::RsaKeyPair keys;
+};
+
+/// Create a fresh identity signed by `ca`.
+ServerIdentity make_server_identity(const std::string& host, const CertificateAuthority& ca,
+                                    Rng& rng, std::size_t key_bits = 1024);
+
+/// An established, symmetric-key protected channel.
+class TlsSession {
+ public:
+  TlsSession(Bytes enc_key, Bytes mac_key, Bytes iv_seed);
+
+  Bytes seal(BytesView plaintext);
+  Bytes open(BytesView record);  ///< Throws CryptoError on MAC failure.
+
+ private:
+  Bytes enc_key_;
+  Bytes mac_key_;
+  Bytes iv_seed_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+};
+
+/// Outcome of a client handshake attempt.
+enum class HandshakeResult {
+  Ok,
+  UntrustedCertificate,  // chain does not anchor in the trust store
+  HostnameMismatch,
+  PinMismatch,           // certificate valid but violates a stored pin
+};
+
+std::string to_string(HandshakeResult result);
+
+/// Derive the two session halves (client and server run this on the same
+/// inputs). Exposed for the proxy, which terminates TLS on both sides.
+struct SessionKeys {
+  Bytes enc_key;
+  Bytes mac_key;
+  Bytes iv_seed;
+};
+SessionKeys derive_session_keys(BytesView pre_master, BytesView client_random,
+                                BytesView server_random);
+
+}  // namespace wideleak::net

@@ -1,0 +1,41 @@
+#include "ott/app.hpp"
+
+#include <cctype>
+
+namespace wideleak::ott {
+
+namespace {
+
+std::string slug(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string OttAppProfile::backend_host() const { return "api." + slug(name) + ".example"; }
+
+std::string OttAppProfile::cdn_host() const { return "cdn." + slug(name) + ".example"; }
+
+std::uint64_t OttAppProfile::title_content_id() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the slug
+  for (char c : slug(name)) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string OttAppProfile::title_name() const { return name + " Original Feature"; }
+
+widevine::RevocationPolicy OttAppProfile::license_policy() const {
+  return enforce_revocation ? widevine::recommended_revocation_policy()
+                            : widevine::permissive_revocation_policy();
+}
+
+}  // namespace wideleak::ott

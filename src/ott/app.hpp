@@ -1,0 +1,61 @@
+// OTT application profiles: the per-service implementation choices the
+// paper measured. Table I is *produced* by running the audit pipeline
+// against services configured with these policies — the report code never
+// reads the expected verdicts directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "media/content.hpp"
+#include "widevine/revocation.hpp"
+
+namespace wideleak::ott {
+
+struct OttAppProfile {
+  std::string name;                    // e.g. "Netflix"
+  std::uint64_t installs_millions = 0; // Play Store install count
+
+  /// Q2/Q3: what the service encrypts and how it assigns keys.
+  media::ContentPolicy content_policy;
+
+  /// Q4: refuse devices whose CDM is revoked (Disney+/HBO Max/Starz do).
+  bool enforce_revocation = false;
+
+  /// Q1 exception: fall back to an embedded app-specific DRM when only
+  /// Widevine L3 is available (Amazon Prime Video).
+  bool custom_drm_on_l3_only = false;
+
+  /// Q2 exception: deliver the manifest/URIs through the Widevine
+  /// non-DASH generic-crypto channel instead of plain TLS (Netflix).
+  bool secure_uri_channel = false;
+
+  /// All studied apps pin their backend/CDN certificates.
+  bool ssl_pinning = true;
+
+  /// Subtitles delivered via an opaque tokenized endpoint rather than MPD
+  /// representations — why the study could not locate Hulu/Starz subtitle
+  /// URIs.
+  bool subtitles_via_opaque_channel = false;
+
+  /// Regional restriction hides key-id metadata from the audit vantage
+  /// point — why Q3 is inconclusive for Hulu and HBO Max.
+  bool restrict_audit_region = false;
+
+  std::vector<std::string> audio_languages = {"en", "fr"};
+  std::vector<std::string> subtitle_languages = {"en", "fr"};
+
+  /// Stable synthetic hostnames.
+  std::string backend_host() const;
+  std::string cdn_host() const;
+
+  /// Deterministic id of this app's demo title.
+  std::uint64_t title_content_id() const;
+  std::string title_name() const;
+
+  /// The revocation policy this service's license proxy applies.
+  widevine::RevocationPolicy license_policy() const;
+};
+
+}  // namespace wideleak::ott

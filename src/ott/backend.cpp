@@ -1,0 +1,181 @@
+#include "ott/backend.hpp"
+
+#include "crypto/modes.hpp"
+#include "ott/custom_drm.hpp"
+#include "support/byte_io.hpp"
+
+namespace wideleak::ott {
+
+Bytes SecureManifestEnvelope::serialize() const {
+  ByteWriter w;
+  w.var_bytes(kid);
+  w.var_bytes(iv);
+  w.var_bytes(ciphertext);
+  return w.take();
+}
+
+SecureManifestEnvelope SecureManifestEnvelope::deserialize(BytesView data) {
+  ByteReader r(data);
+  SecureManifestEnvelope out;
+  out.kid = r.var_bytes();
+  out.iv = r.var_bytes();
+  out.ciphertext = r.var_bytes();
+  return out;
+}
+
+OttBackend::OttBackend(OttAppProfile profile, media::PackagedTitle title,
+                       std::shared_ptr<widevine::LicenseServer> license_server,
+                       std::shared_ptr<widevine::ProvisioningServer> provisioning_server,
+                       std::uint64_t seed)
+    : profile_(std::move(profile)),
+      title_(std::move(title)),
+      license_server_(std::move(license_server)),
+      provisioning_server_(std::move(provisioning_server)),
+      rng_(seed) {
+  if (profile_.secure_uri_channel) {
+    uri_channel_kid_ = rng_.next_bytes(16);
+    uri_channel_key_ = rng_.next_bytes(16);
+    license_server_->add_generic_key(uri_channel_kid_, uri_channel_key_);
+  }
+  if (profile_.subtitles_via_opaque_channel) {
+    // Mint one opaque token per subtitle representation.
+    for (const auto& rep : title_.mpd.representations) {
+      if (rep.type != media::TrackType::Subtitle) continue;
+      subtitle_tokens_[hex_encode(rng_.next_bytes(12))] = rep.base_url;
+    }
+  }
+}
+
+std::string OttBackend::subscriber_token() const {
+  return "tok-" + profile_.backend_host() + "-subscriber";
+}
+
+bool OttBackend::authorized(const net::HttpRequest& req) const {
+  const auto it = req.headers.find("authorization");
+  return it != req.headers.end() && it->second == subscriber_token();
+}
+
+net::HttpHandler OttBackend::handler() {
+  return [this](const net::HttpRequest& req) { return handle(req); };
+}
+
+net::HttpResponse OttBackend::handle(const net::HttpRequest& req) {
+  if (req.path == "/login") {
+    if (req.body.empty()) return net::http_error(400, "credentials required");
+    return net::http_ok_text(subscriber_token());
+  }
+  if (req.path == "/manifest") return handle_manifest(req);
+  if (req.path == "/license") return handle_license(req);
+  if (req.path == "/provision") return handle_provision(req);
+  if (req.path == "/custom_license") return handle_custom_license(req);
+  if (req.path.rfind("/st/", 0) == 0) return handle_subtitle(req);
+  return net::http_error(404, "unknown endpoint " + req.path);
+}
+
+std::string OttBackend::rendered_manifest() const {
+  media::Mpd mpd = title_.mpd;
+  if (profile_.subtitles_via_opaque_channel) {
+    std::erase_if(mpd.representations, [](const media::MpdRepresentation& rep) {
+      return rep.type == media::TrackType::Subtitle;
+    });
+  }
+  if (profile_.restrict_audit_region) {
+    // The vantage region only receives stripped metadata: no key ids on
+    // audio adaptation sets.
+    for (auto& rep : mpd.representations) {
+      if (rep.type == media::TrackType::Audio) rep.default_kid.reset();
+    }
+  }
+  return mpd.serialize();
+}
+
+net::HttpResponse OttBackend::handle_manifest(const net::HttpRequest& req) {
+  if (!authorized(req)) return net::http_error(401, "subscription required");
+  const std::string manifest = rendered_manifest();
+
+  net::HttpResponse response;
+  if (profile_.secure_uri_channel) {
+    // Netflix path: the manifest only ever crosses the wire inside the
+    // Widevine generic-crypto envelope.
+    SecureManifestEnvelope envelope;
+    envelope.kid = uri_channel_kid_;
+    envelope.iv = rng_.next_bytes(16);
+    const crypto::Aes aes(uri_channel_key_);
+    envelope.ciphertext = crypto::aes_cbc_encrypt(aes, envelope.iv, to_bytes(manifest));
+    response = net::http_ok(envelope.serialize());
+    response.headers["content-type"] = "application/x-secure-manifest";
+  } else {
+    response = net::http_ok_text(manifest);
+    response.headers["content-type"] = "application/dash+xml";
+  }
+  if (profile_.subtitles_via_opaque_channel) {
+    std::string tokens;
+    for (const auto& [token, path] : subtitle_tokens_) {
+      if (!tokens.empty()) tokens.push_back(',');
+      tokens += token;
+    }
+    response.headers["x-subtitle-tokens"] = tokens;
+  }
+  response.headers["x-cdn-host"] = profile_.cdn_host();
+  return response;
+}
+
+net::HttpResponse OttBackend::handle_license(const net::HttpRequest& req) {
+  if (!authorized(req)) return net::http_error(401, "subscription required");
+  const auto request = widevine::LicenseRequest::deserialize(req.body);
+
+  if (profile_.custom_drm_on_l3_only &&
+      request.client.level != widevine::SecurityLevel::L1) {
+    // Amazon: no Widevine licenses for software-only clients; the app is
+    // expected to switch to its embedded DRM.
+    widevine::LicenseResponse denied;
+    denied.deny_reason = "Widevine L3 not served; use embedded DRM";
+    return net::http_ok(denied.serialize());
+  }
+
+  const widevine::LicenseResponse response =
+      license_server_->handle(request, profile_.license_policy());
+  return net::http_ok(response.serialize());
+}
+
+net::HttpResponse OttBackend::handle_provision(const net::HttpRequest& req) {
+  const auto request = widevine::ProvisioningRequest::deserialize(req.body);
+
+  if (profile_.enforce_revocation &&
+      profile_.license_policy().is_revoked(request.client)) {
+    // The Q4 "G#" case: Widevine fails during the provisioning phase, so
+    // no license (and no content key) ever reaches the device.
+    widevine::ProvisioningResponse denied;
+    denied.deny_reason = "device revoked: " + profile_.license_policy().describe();
+    return net::http_ok(denied.serialize());
+  }
+
+  const widevine::ProvisioningResponse response = provisioning_server_->handle(request);
+  return net::http_ok(response.serialize());
+}
+
+net::HttpResponse OttBackend::handle_custom_license(const net::HttpRequest& req) {
+  if (!authorized(req)) return net::http_error(401, "subscription required");
+  if (!profile_.custom_drm_on_l3_only) return net::http_error(404, "no custom DRM");
+
+  // Body = client nonce. Deliver the sub-HD keys wrapped under the
+  // app-embedded secret; HD stays exclusive to L1 Widevine even here.
+  std::map<std::string, Bytes> kid_to_key;
+  for (const media::ContentKey& key : title_.keys) {
+    if (widevine::required_level_for(key) == widevine::SecurityLevel::L1) continue;
+    kid_to_key[hex_encode(key.kid)] = key.key;
+  }
+  return net::http_ok(CustomDrm::wrap_key_map(profile_.name, req.body, kid_to_key));
+}
+
+net::HttpResponse OttBackend::handle_subtitle(const net::HttpRequest& req) {
+  if (!authorized(req)) return net::http_error(401, "subscription required");
+  const std::string token = req.path.substr(4);
+  const auto it = subtitle_tokens_.find(token);
+  if (it == subtitle_tokens_.end()) return net::http_error(404, "bad subtitle token");
+  const auto file = title_.files.find(it->second);
+  if (file == title_.files.end()) return net::http_error(404, "missing subtitle file");
+  return net::http_ok(file->second);
+}
+
+}  // namespace wideleak::ott

@@ -1,0 +1,73 @@
+// The per-app backend: login, manifest delivery, license/provisioning
+// proxying (with the app's own revocation stance), and the app-specific
+// exceptions the study documents — Netflix's generic-crypto manifest
+// envelope, Amazon's custom-DRM key delivery, Hulu/Starz's opaque subtitle
+// channel, regional metadata restrictions.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "media/content.hpp"
+#include "net/http.hpp"
+#include "ott/app.hpp"
+#include "widevine/license_server.hpp"
+#include "widevine/provisioning_server.hpp"
+
+namespace wideleak::ott {
+
+/// Serialized envelope for a generic-crypto protected manifest.
+struct SecureManifestEnvelope {
+  media::KeyId kid;  // the non-DASH channel key's id
+  Bytes iv;
+  Bytes ciphertext;  // AES-CBC of the MPD XML under the channel key
+
+  Bytes serialize() const;
+  static SecureManifestEnvelope deserialize(BytesView data);
+};
+
+class OttBackend {
+ public:
+  OttBackend(OttAppProfile profile, media::PackagedTitle title,
+             std::shared_ptr<widevine::LicenseServer> license_server,
+             std::shared_ptr<widevine::ProvisioningServer> provisioning_server,
+             std::uint64_t seed);
+
+  net::HttpHandler handler();
+
+  /// The account token /login issues (tests use it directly).
+  std::string subscriber_token() const;
+
+  /// Netflix-style apps: the non-DASH channel key id (registered with the
+  /// license server at construction).
+  const media::KeyId& uri_channel_kid() const { return uri_channel_kid_; }
+
+  const OttAppProfile& profile() const { return profile_; }
+  const media::PackagedTitle& title() const { return title_; }
+
+ private:
+  net::HttpResponse handle(const net::HttpRequest& req);
+  net::HttpResponse handle_manifest(const net::HttpRequest& req);
+  net::HttpResponse handle_license(const net::HttpRequest& req);
+  net::HttpResponse handle_provision(const net::HttpRequest& req);
+  net::HttpResponse handle_custom_license(const net::HttpRequest& req);
+  net::HttpResponse handle_subtitle(const net::HttpRequest& req);
+  bool authorized(const net::HttpRequest& req) const;
+
+  /// The MPD this backend exposes, after policy redactions (subtitle
+  /// representations stripped for opaque-channel apps; audio key ids
+  /// stripped under regional restriction).
+  std::string rendered_manifest() const;
+
+  OttAppProfile profile_;
+  media::PackagedTitle title_;
+  std::shared_ptr<widevine::LicenseServer> license_server_;
+  std::shared_ptr<widevine::ProvisioningServer> provisioning_server_;
+  Rng rng_;
+  media::KeyId uri_channel_kid_;
+  Bytes uri_channel_key_;
+  std::map<std::string, std::string> subtitle_tokens_;  // opaque token -> file path
+};
+
+}  // namespace wideleak::ott

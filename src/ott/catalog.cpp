@@ -1,0 +1,151 @@
+#include "ott/catalog.hpp"
+
+namespace wideleak::ott {
+
+std::vector<OttAppProfile> study_catalog() {
+  using media::KeyUsagePolicy;
+  std::vector<OttAppProfile> apps;
+
+  // Netflix: audio and subtitles in clear; URIs protected via the non-DASH
+  // Widevine channel; serves discontinued devices.
+  {
+    OttAppProfile app;
+    app.name = "Netflix";
+    app.installs_millions = 1000;
+    app.content_policy = {.encrypt_video = true,
+                          .encrypt_audio = false,
+                          .encrypt_subtitles = false,
+                          .key_usage = KeyUsagePolicy::Minimum};
+    app.secure_uri_channel = true;
+    apps.push_back(app);
+  }
+
+  // Disney+: audio encrypted (shared key), subtitles clear; enforces
+  // revocation (provisioning fails on the Nexus 5).
+  {
+    OttAppProfile app;
+    app.name = "Disney+";
+    app.installs_millions = 100;
+    app.content_policy = {.encrypt_video = true,
+                          .encrypt_audio = true,
+                          .encrypt_subtitles = false,
+                          .key_usage = KeyUsagePolicy::Minimum};
+    app.enforce_revocation = true;
+    apps.push_back(app);
+  }
+
+  // Amazon Prime Video: the only app following the recommended key policy;
+  // embedded custom DRM when just L3 is available.
+  {
+    OttAppProfile app;
+    app.name = "Amazon Prime Video";
+    app.installs_millions = 100;
+    app.content_policy = {.encrypt_video = true,
+                          .encrypt_audio = true,
+                          .encrypt_subtitles = false,
+                          .key_usage = KeyUsagePolicy::Recommended};
+    app.custom_drm_on_l3_only = true;
+    apps.push_back(app);
+  }
+
+  // Hulu: subtitle URIs undiscoverable; key-usage audit blocked by region.
+  {
+    OttAppProfile app;
+    app.name = "Hulu";
+    app.installs_millions = 50;
+    app.content_policy = {.encrypt_video = true,
+                          .encrypt_audio = true,
+                          .encrypt_subtitles = false,
+                          .key_usage = KeyUsagePolicy::Minimum};
+    app.subtitles_via_opaque_channel = true;
+    app.restrict_audit_region = true;
+    apps.push_back(app);
+  }
+
+  // HBO Max: enforces revocation; key-usage audit blocked by region.
+  {
+    OttAppProfile app;
+    app.name = "HBO Max";
+    app.installs_millions = 10;
+    app.content_policy = {.encrypt_video = true,
+                          .encrypt_audio = true,
+                          .encrypt_subtitles = false,
+                          .key_usage = KeyUsagePolicy::Minimum};
+    app.enforce_revocation = true;
+    app.restrict_audit_region = true;
+    apps.push_back(app);
+  }
+
+  // Starz: enforces revocation; subtitle URIs undiscoverable.
+  {
+    OttAppProfile app;
+    app.name = "Starz";
+    app.installs_millions = 10;
+    app.content_policy = {.encrypt_video = true,
+                          .encrypt_audio = true,
+                          .encrypt_subtitles = false,
+                          .key_usage = KeyUsagePolicy::Minimum};
+    app.enforce_revocation = true;
+    app.subtitles_via_opaque_channel = true;
+    apps.push_back(app);
+  }
+
+  // myCANAL: audio in clear.
+  {
+    OttAppProfile app;
+    app.name = "myCANAL";
+    app.installs_millions = 10;
+    app.content_policy = {.encrypt_video = true,
+                          .encrypt_audio = false,
+                          .encrypt_subtitles = false,
+                          .key_usage = KeyUsagePolicy::Minimum};
+    apps.push_back(app);
+  }
+
+  // Showtime.
+  {
+    OttAppProfile app;
+    app.name = "Showtime";
+    app.installs_millions = 5;
+    app.content_policy = {.encrypt_video = true,
+                          .encrypt_audio = true,
+                          .encrypt_subtitles = false,
+                          .key_usage = KeyUsagePolicy::Minimum};
+    apps.push_back(app);
+  }
+
+  // OCS.
+  {
+    OttAppProfile app;
+    app.name = "OCS";
+    app.installs_millions = 1;
+    app.content_policy = {.encrypt_video = true,
+                          .encrypt_audio = true,
+                          .encrypt_subtitles = false,
+                          .key_usage = KeyUsagePolicy::Minimum};
+    apps.push_back(app);
+  }
+
+  // Salto: audio in clear.
+  {
+    OttAppProfile app;
+    app.name = "Salto";
+    app.installs_millions = 1;
+    app.content_policy = {.encrypt_video = true,
+                          .encrypt_audio = false,
+                          .encrypt_subtitles = false,
+                          .key_usage = KeyUsagePolicy::Minimum};
+    apps.push_back(app);
+  }
+
+  return apps;
+}
+
+std::optional<OttAppProfile> find_app(const std::string& name) {
+  for (const OttAppProfile& app : study_catalog()) {
+    if (app.name == name) return app;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wideleak::ott

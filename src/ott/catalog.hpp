@@ -1,0 +1,18 @@
+// The ten premium OTT apps of the study (§IV-A), configured with the
+// behaviours the paper measured (Table I).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ott/app.hpp"
+
+namespace wideleak::ott {
+
+/// All ten evaluated apps, in Table I order.
+std::vector<OttAppProfile> study_catalog();
+
+/// Look up one app by name; nullopt when absent.
+std::optional<OttAppProfile> find_app(const std::string& name);
+
+}  // namespace wideleak::ott

@@ -1,0 +1,20 @@
+#include "ott/cdn.hpp"
+
+namespace wideleak::ott {
+
+void CdnService::host_title(const media::PackagedTitle& title) {
+  for (const auto& [path, file] : title.files) files_[path] = file;
+}
+
+net::HttpHandler CdnService::handler() const {
+  // Copy the file map into the closure: the service object may outlive or
+  // predate the TLS server mounting it.
+  auto files = files_;
+  return [files = std::move(files)](const net::HttpRequest& req) -> net::HttpResponse {
+    const auto it = files.find(req.path);
+    if (it == files.end()) return net::http_error(404, "no such object: " + req.path);
+    return net::http_ok(it->second);
+  };
+}
+
+}  // namespace wideleak::ott

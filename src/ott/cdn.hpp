@@ -1,0 +1,26 @@
+// CDN service: serves the packaged track files of an app's titles.
+// Stateless HTTP-over-TLS file hosting, as the study observes it.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "media/content.hpp"
+#include "net/http.hpp"
+
+namespace wideleak::ott {
+
+class CdnService {
+ public:
+  void host_title(const media::PackagedTitle& title);
+
+  /// The HttpHandler to mount on the CDN's TLS server.
+  net::HttpHandler handler() const;
+
+  std::size_t file_count() const { return files_.size(); }
+
+ private:
+  std::map<std::string, Bytes> files_;
+};
+
+}  // namespace wideleak::ott

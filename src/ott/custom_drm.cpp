@@ -1,0 +1,58 @@
+#include "ott/custom_drm.hpp"
+
+#include "crypto/hmac.hpp"
+#include "crypto/modes.hpp"
+#include "support/byte_io.hpp"
+
+namespace wideleak::ott {
+
+Bytes CustomDrm::app_secret(const std::string& app_name) {
+  // Deterministic per app; stands in for a compiled-in whitebox key.
+  Bytes secret = crypto::hmac_sha256(to_bytes("wideleak-custom-drm-v1"), to_bytes(app_name));
+  secret.resize(16);
+  return secret;
+}
+
+namespace {
+
+Bytes derive_wrap_key(const std::string& app_name, BytesView nonce) {
+  Bytes key = crypto::hmac_sha256(CustomDrm::app_secret(app_name), nonce);
+  key.resize(16);
+  return key;
+}
+
+}  // namespace
+
+Bytes CustomDrm::wrap_key_map(const std::string& app_name, BytesView nonce,
+                              const std::map<std::string, Bytes>& kid_to_key) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(kid_to_key.size()));
+  for (const auto& [kid_hex, key] : kid_to_key) {
+    w.var_string(kid_hex);
+    w.var_bytes(key);
+  }
+  const crypto::Aes aes(derive_wrap_key(app_name, nonce));
+  Bytes iv(16, 0x00);
+  return crypto::aes_cbc_encrypt(aes, iv, w.data());
+}
+
+std::map<std::string, Bytes> CustomDrm::unwrap_key_map(const std::string& app_name,
+                                                       BytesView nonce, BytesView wrapped) {
+  const crypto::Aes aes(derive_wrap_key(app_name, nonce));
+  Bytes iv(16, 0x00);
+  const Bytes plain = crypto::aes_cbc_decrypt(aes, iv, wrapped);
+  ByteReader r{BytesView(plain)};
+  std::map<std::string, Bytes> out;
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string kid_hex = r.var_string();
+    out[std::move(kid_hex)] = r.var_bytes();
+  }
+  return out;
+}
+
+Bytes CustomDrm::decrypt_track(const media::PackagedTrack& track, BytesView key) {
+  return media::cenc_decrypt_track(track, key);
+}
+
+}  // namespace wideleak::ott

@@ -1,0 +1,34 @@
+// Amazon-style embedded DRM: an app-private key ladder that bypasses
+// Widevine entirely. The "whitebox" secret lives in the app binary; keys
+// never transit the Widevine HAL, so the paper's CDM-side instrumentation
+// sees nothing — and the WideLeak ripper cannot extract them (the one app
+// the PoC does not defeat).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "media/cenc.hpp"
+#include "media/track.hpp"
+#include "support/bytes.hpp"
+
+namespace wideleak::ott {
+
+class CustomDrm {
+ public:
+  /// The app-embedded secret (in a real app: a whitebox-obfuscated key).
+  static Bytes app_secret(const std::string& app_name);
+
+  /// Key wrapping between backend and app: AES-CBC under a key derived
+  /// from the app secret and a nonce.
+  static Bytes wrap_key_map(const std::string& app_name, BytesView nonce,
+                            const std::map<std::string, Bytes>& kid_to_key);
+  static std::map<std::string, Bytes> unwrap_key_map(const std::string& app_name,
+                                                     BytesView nonce, BytesView wrapped);
+
+  /// Decrypt a CENC track with a custom-delivered key (same sample format;
+  /// only the key transport differs from Widevine).
+  static Bytes decrypt_track(const media::PackagedTrack& track, BytesView key);
+};
+
+}  // namespace wideleak::ott

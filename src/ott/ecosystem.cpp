@@ -1,0 +1,79 @@
+#include "ott/ecosystem.hpp"
+
+#include "ott/catalog.hpp"
+
+#include "support/errors.hpp"
+
+namespace wideleak::ott {
+
+StreamingEcosystem::StreamingEcosystem(const EcosystemConfig& config)
+    : config_(config), rng_(config.seed) {
+  root_ca_ = std::make_unique<net::CertificateAuthority>("wideleak-root-ca", rng_,
+                                                         config_.tls_key_bits);
+  roots_ = std::make_shared<widevine::DeviceRootDatabase>();
+  license_server_ = std::make_shared<widevine::LicenseServer>(roots_, rng_.next_u64());
+  provisioning_server_ = std::make_shared<widevine::ProvisioningServer>(
+      roots_, rng_.next_u64(), config_.device_rsa_bits);
+}
+
+void StreamingEcosystem::install_app(const OttAppProfile& profile) {
+  if (backends_.contains(profile.name)) return;
+
+  // Package the app's demo title under its protection policy.
+  media::PackagedTitle title =
+      media::package_title(profile.title_content_id(), profile.title_name(),
+                           profile.audio_languages, profile.subtitle_languages,
+                           profile.content_policy);
+  license_server_->add_title(title);
+
+  auto backend = std::make_shared<OttBackend>(profile, title, license_server_,
+                                              provisioning_server_, rng_.next_u64());
+
+  // Mount the backend on its TLS host.
+  Rng id_rng = rng_.fork();
+  auto backend_identity =
+      net::make_server_identity(profile.backend_host(), *root_ca_, id_rng, config_.tls_key_bits);
+  network_.add_server(profile.backend_host(),
+                      std::make_shared<net::TlsServer>(std::move(backend_identity),
+                                                       backend->handler(), rng_.next_u64()));
+
+  // Mount the CDN.
+  CdnService cdn;
+  cdn.host_title(title);
+  auto cdn_identity =
+      net::make_server_identity(profile.cdn_host(), *root_ca_, id_rng, config_.tls_key_bits);
+  network_.add_server(profile.cdn_host(),
+                      std::make_shared<net::TlsServer>(std::move(cdn_identity), cdn.handler(),
+                                                       rng_.next_u64()));
+
+  backends_[profile.name] = std::move(backend);
+  titles_[profile.name] = std::move(title);
+}
+
+void StreamingEcosystem::install_catalog() {
+  for (const OttAppProfile& profile : study_catalog()) install_app(profile);
+}
+
+OttBackend& StreamingEcosystem::backend_for(const std::string& app_name) {
+  const auto it = backends_.find(app_name);
+  if (it == backends_.end()) throw StateError("ecosystem: app not installed: " + app_name);
+  return *it->second;
+}
+
+const media::PackagedTitle& StreamingEcosystem::title_for(const std::string& app_name) {
+  const auto it = titles_.find(app_name);
+  if (it == titles_.end()) throw StateError("ecosystem: app not installed: " + app_name);
+  return it->second;
+}
+
+std::unique_ptr<android::Device> StreamingEcosystem::make_device(
+    const android::DeviceSpec& spec) {
+  const widevine::Keybox keybox = widevine::make_factory_keybox(spec.serial, config_.seed);
+  roots_->register_device(keybox, spec.has_tee ? widevine::SecurityLevel::L1
+                                               : widevine::SecurityLevel::L3);
+  auto device = std::make_unique<android::Device>(spec, keybox);
+  device->system_trust().add(*root_ca_);
+  return device;
+}
+
+}  // namespace wideleak::ott

@@ -1,0 +1,66 @@
+// Ecosystem wiring: constructs the whole simulated world the study runs
+// against — root CA and network, the Widevine provisioning and license
+// servers, per-app backends and CDNs, and factory-provisioned devices.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "android/device.hpp"
+#include "net/network.hpp"
+#include "net/proxy.hpp"
+#include "ott/app.hpp"
+#include "ott/backend.hpp"
+#include "ott/cdn.hpp"
+#include "widevine/license_server.hpp"
+#include "widevine/provisioning_server.hpp"
+
+namespace wideleak::ott {
+
+struct EcosystemConfig {
+  std::uint64_t seed = 0x57494445;  // "WIDE"
+  std::size_t tls_key_bits = 512;    // simulation-grade TLS identities
+  std::size_t device_rsa_bits = 1024;  // Device RSA Key size (paper: 2048)
+};
+
+class StreamingEcosystem {
+ public:
+  explicit StreamingEcosystem(const EcosystemConfig& config = {});
+
+  net::Network& network() { return network_; }
+  const net::CertificateAuthority& root_ca() const { return *root_ca_; }
+
+  std::shared_ptr<widevine::DeviceRootDatabase> device_roots() { return roots_; }
+  widevine::LicenseServer& license_server() { return *license_server_; }
+  widevine::ProvisioningServer& provisioning_server() { return *provisioning_server_; }
+
+  /// Install one app's services (backend + CDN + packaged title). Idempotent
+  /// per app name.
+  void install_app(const OttAppProfile& profile);
+  /// Install every app of the study catalog.
+  void install_catalog();
+
+  OttBackend& backend_for(const std::string& app_name);
+  const media::PackagedTitle& title_for(const std::string& app_name);
+
+  /// Create a device with a factory keybox registered in the root database,
+  /// system CAs pre-trusted.
+  std::unique_ptr<android::Device> make_device(const android::DeviceSpec& spec);
+
+  Rng fork_rng() { return rng_.fork(); }
+
+ private:
+  EcosystemConfig config_;
+  Rng rng_;
+  net::Network network_;
+  std::unique_ptr<net::CertificateAuthority> root_ca_;
+  std::shared_ptr<widevine::DeviceRootDatabase> roots_;
+  std::shared_ptr<widevine::LicenseServer> license_server_;
+  std::shared_ptr<widevine::ProvisioningServer> provisioning_server_;
+  std::map<std::string, std::shared_ptr<OttBackend>> backends_;
+  std::map<std::string, media::PackagedTitle> titles_;
+};
+
+}  // namespace wideleak::ott

@@ -1,0 +1,377 @@
+#include "ott/playback.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ott/custom_drm.hpp"
+#include "support/log.hpp"
+
+namespace wideleak::ott {
+
+namespace {
+
+/// Split a comma-separated header value.
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    if (comma == std::string::npos) {
+      if (start < value.size()) out.push_back(value.substr(start));
+      break;
+    }
+    out.push_back(value.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+OttApp::OttApp(OttAppProfile profile, StreamingEcosystem& ecosystem, android::Device& device)
+    : profile_(std::move(profile)),
+      ecosystem_(ecosystem),
+      device_(device),
+      tls_(ecosystem.network(), device.system_trust(), device.fork_rng()),
+      rng_(device.fork_rng()) {
+  if (profile_.ssl_pinning) {
+    // Apps ship pins for their own hosts.
+    for (const std::string& host : {profile_.backend_host(), profile_.cdn_host()}) {
+      tls_.pins().pin(host, ecosystem_.network().find(host).certificate().pin_value());
+    }
+  }
+}
+
+bool OttApp::login() {
+  net::HttpRequest req;
+  req.method = "POST";
+  req.path = "/login";
+  req.body = to_bytes("subscriber:hunter2");
+  const auto result = tls_.request(profile_.backend_host(), req);
+  if (!result.ok()) return false;
+  auth_token_ = to_string(BytesView(result.response->body));
+  return true;
+}
+
+std::optional<Bytes> OttApp::download(const std::string& host, const std::string& path) {
+  net::HttpRequest req;
+  req.path = path;
+  req.headers["authorization"] = auth_token_;
+  const auto result = tls_.request(host, req);
+  if (!result.ok()) return std::nullopt;
+  return result.response->body;
+}
+
+bool OttApp::ensure_provisioned(PlaybackOutcome& outcome) {
+  android::MediaDrm drm(device_, android::kWidevineUuid);
+  // Every service performs its own provisioning round-trip at playback
+  // setup (re-issuing is idempotent): this is where revocation-enforcing
+  // services turn discontinued devices away.
+  outcome.provisioning_attempted = true;
+  const Bytes request = drm.get_provision_request();
+  net::HttpRequest http;
+  http.method = "POST";
+  http.path = "/provision";
+  http.body = request;
+  const auto result = tls_.request(profile_.backend_host(), http);
+  if (!result.ok()) {
+    outcome.provisioning_error = "provisioning transport failure";
+    return false;
+  }
+  const auto response = widevine::ProvisioningResponse::deserialize(result.response->body);
+  if (!response.granted) {
+    outcome.provisioning_error = response.deny_reason;
+    // Surface the denial to the CDM so its pending session is cleaned up.
+    drm.provide_provision_response(result.response->body);
+    return false;
+  }
+  if (!drm.provide_provision_response(result.response->body)) {
+    outcome.provisioning_error = "provisioning response rejected by CDM";
+    return false;
+  }
+  outcome.provisioning_ok = true;
+  return true;
+}
+
+std::optional<media::Mpd> OttApp::fetch_manifest(PlaybackOutcome& outcome) {
+  net::HttpRequest req;
+  req.path = "/manifest";
+  req.headers["authorization"] = auth_token_;
+  const auto result = tls_.request(profile_.backend_host(), req);
+  if (!result.ok()) {
+    outcome.failure = "manifest fetch failed (" +
+                      (result.response ? std::to_string(result.response->status)
+                                       : net::to_string(result.handshake)) +
+                      ")";
+    return std::nullopt;
+  }
+  if (const auto it = result.response->headers.find("x-subtitle-tokens");
+      it != result.response->headers.end()) {
+    subtitle_tokens_ = split_csv(it->second);
+  }
+
+  if (!profile_.secure_uri_channel) {
+    return media::Mpd::parse(to_string(BytesView(result.response->body)));
+  }
+
+  // Netflix path: the manifest arrives generic-crypto protected; unwrap it
+  // through the Widevine non-DASH channel (license for the channel key id,
+  // then CryptoSession.decrypt).
+  const auto envelope = SecureManifestEnvelope::deserialize(result.response->body);
+  android::MediaDrm drm(device_, android::kWidevineUuid);
+  const auto session = drm.open_session();
+  media::PsshBox pssh;
+  pssh.key_ids.push_back(envelope.kid);
+  const Bytes key_request = drm.get_key_request(session, pssh.to_box().serialize());
+
+  net::HttpRequest lic;
+  lic.method = "POST";
+  lic.path = "/license";
+  lic.headers["authorization"] = auth_token_;
+  lic.body = key_request;
+  const auto lic_result = tls_.request(profile_.backend_host(), lic);
+  if (!lic_result.ok()) {
+    outcome.failure = "secure-channel license fetch failed";
+    drm.close_session(session);
+    return std::nullopt;
+  }
+  outcome.widevine_used = true;
+  if (drm.provide_key_response(session, lic_result.response->body) !=
+      widevine::OemCryptoResult::Success) {
+    outcome.failure = "secure-channel license rejected";
+    drm.close_session(session);
+    return std::nullopt;
+  }
+  Bytes manifest_xml;
+  const auto dec = drm.crypto_session_decrypt(session, envelope.kid, envelope.iv,
+                                              envelope.ciphertext, manifest_xml);
+  drm.close_session(session);
+  if (dec != widevine::OemCryptoResult::Success) {
+    outcome.failure = "secure-channel manifest decrypt failed";
+    return std::nullopt;
+  }
+  return media::Mpd::parse(to_string(BytesView(manifest_xml)));
+}
+
+PlaybackOutcome OttApp::play_with_custom_drm(const PlaybackRequest& request) {
+  PlaybackOutcome outcome;
+  outcome.used_custom_drm = true;
+
+  const auto manifest = fetch_manifest(outcome);
+  if (!manifest) return outcome;
+
+  // Fetch the custom license: sub-HD keys wrapped under the app secret.
+  net::HttpRequest lic;
+  lic.method = "POST";
+  lic.path = "/custom_license";
+  lic.headers["authorization"] = auth_token_;
+  const Bytes nonce = rng_.next_bytes(16);
+  lic.body = nonce;
+  const auto lic_result = tls_.request(profile_.backend_host(), lic);
+  if (!lic_result.ok()) {
+    outcome.failure = "custom license fetch failed";
+    return outcome;
+  }
+  const auto keys = CustomDrm::unwrap_key_map(profile_.name, nonce, lic_result.response->body);
+  outcome.license_ok = true;
+
+  // Pick the best video the custom license covers, plus audio.
+  android::Surface surface;
+  std::uint16_t chosen_height = 0;
+  for (const auto* rep : manifest->of_type(media::TrackType::Video)) {
+    if (request.video_height != 0 && rep->resolution.height != request.video_height) continue;
+    if (rep->default_kid && !keys.contains(hex_encode(*rep->default_kid))) continue;
+    chosen_height = std::max(chosen_height, rep->resolution.height);
+  }
+  for (const auto& rep : manifest->representations) {
+    const bool is_chosen_video =
+        rep.type == media::TrackType::Video && rep.resolution.height == chosen_height;
+    const bool is_audio =
+        rep.type == media::TrackType::Audio && rep.language == request.audio_language;
+    if (!is_chosen_video && !is_audio) continue;
+    const auto file = download(profile_.cdn_host(), rep.base_url);
+    if (!file) {
+      outcome.failure = "download failed: " + rep.base_url;
+      return outcome;
+    }
+    const auto track = media::PackagedTrack::from_file(BytesView(*file));
+    Bytes clear;
+    if (track.encrypted) {
+      const auto key = keys.find(hex_encode(track.key_id));
+      if (key == keys.end()) {
+        outcome.failure = "custom key missing for " + rep.base_url;
+        return outcome;
+      }
+      clear = CustomDrm::decrypt_track(track, key->second);
+    } else {
+      clear = media::raw_sample_stream(track);
+    }
+    std::size_t pos = 0;
+    while (pos < clear.size()) {
+      const auto parsed = media::Frame::parse(BytesView(clear).subspan(pos));
+      if (!parsed) {
+        outcome.failure = "undecodable custom-DRM stream";
+        return outcome;
+      }
+      surface.render(parsed->frame);
+      pos += parsed->consumed;
+    }
+  }
+
+  outcome.played = surface.frames_rendered() > 0;
+  outcome.frames_rendered = surface.frames_rendered();
+  outcome.video_resolution = surface.video_resolution();
+  return outcome;
+}
+
+PlaybackOutcome OttApp::play_title(const PlaybackRequest& request) {
+  if (auth_token_.empty() && !login()) {
+    PlaybackOutcome outcome;
+    outcome.failure = "login failed";
+    return outcome;
+  }
+
+  // Amazon-style fallback: no Widevine exchange at all on L3-only devices.
+  if (profile_.custom_drm_on_l3_only &&
+      device_.security_level() != widevine::SecurityLevel::L1) {
+    return play_with_custom_drm(request);
+  }
+
+  PlaybackOutcome outcome;
+  // Provisioning comes first: a CDM without its Device RSA Key cannot do a
+  // (modern) license exchange, and revocation-enforcing services deny here.
+  if (!ensure_provisioned(outcome)) return outcome;
+
+  const auto manifest = fetch_manifest(outcome);
+  if (!manifest) return outcome;
+  outcome.widevine_used = true;
+
+  // Collect the key ids to license: from the MPD, plus from any encrypted
+  // track whose MPD metadata was redacted (regional restriction) — the
+  // file's tenc box always names its key.
+  std::set<std::string> kid_set;
+  std::map<std::string, Bytes> audio_files;  // path -> bytes
+  for (const auto& rep : manifest->representations) {
+    if (rep.default_kid) kid_set.insert(hex_encode(*rep.default_kid));
+    if (rep.type == media::TrackType::Audio && rep.language == request.audio_language) {
+      if (const auto file = download(profile_.cdn_host(), rep.base_url)) {
+        const auto track = media::PackagedTrack::from_file(BytesView(*file));
+        if (track.encrypted) kid_set.insert(hex_encode(track.key_id));
+        audio_files[rep.base_url] = *file;
+      }
+    }
+  }
+
+  // License exchange (Figure 1: getKeyRequest -> server -> provideKeyResponse).
+  android::MediaDrm drm(device_, android::kWidevineUuid);
+  const auto session = drm.open_session();
+  media::PsshBox pssh;
+  for (const std::string& kid_hex : kid_set) pssh.key_ids.push_back(hex_decode(kid_hex));
+  const Bytes key_request = drm.get_key_request(session, pssh.to_box().serialize());
+
+  net::HttpRequest lic;
+  lic.method = "POST";
+  lic.path = "/license";
+  lic.headers["authorization"] = auth_token_;
+  lic.body = key_request;
+  const auto lic_result = tls_.request(profile_.backend_host(), lic);
+  if (!lic_result.ok()) {
+    outcome.license_error = "license transport failure";
+    drm.close_session(session);
+    return outcome;
+  }
+  const auto response = widevine::LicenseResponse::deserialize(lic_result.response->body);
+  if (!response.granted) {
+    outcome.license_error = response.deny_reason;
+    drm.close_session(session);
+    return outcome;
+  }
+  if (drm.provide_key_response(session, lic_result.response->body) !=
+      widevine::OemCryptoResult::Success) {
+    outcome.license_error = "license rejected by CDM";
+    drm.close_session(session);
+    return outcome;
+  }
+  outcome.license_ok = true;
+
+  // Which keys did we actually get? Pick the best playable video quality.
+  std::set<std::string> loaded;
+  for (const auto& kid : drm.loaded_key_ids(session)) loaded.insert(hex_encode(kid));
+
+  const media::MpdRepresentation* chosen_video = nullptr;
+  for (const auto* rep : manifest->of_type(media::TrackType::Video)) {
+    if (request.video_height != 0 && rep->resolution.height != request.video_height) continue;
+    if (rep->default_kid && !loaded.contains(hex_encode(*rep->default_kid))) continue;
+    if (chosen_video == nullptr || rep->resolution.height > chosen_video->resolution.height) {
+      chosen_video = rep;
+    }
+  }
+  if (chosen_video == nullptr) {
+    outcome.license_error = "no playable video quality licensed";
+    drm.close_session(session);
+    return outcome;
+  }
+
+  android::MediaCrypto crypto(drm, session);
+  android::Surface surface;
+  android::MediaCodec codec(&crypto, surface);
+
+  auto play_file = [&](const Bytes& file) -> bool {
+    const auto track = media::PackagedTrack::from_file(BytesView(file));
+    if (track.encrypted) {
+      for (std::size_t i = 0; i < track.samples.size(); ++i) {
+        if (!codec.queue_secure_input_buffer(track.key_id, BytesView(track.samples[i]),
+                                             track.senc.entries[i])) {
+          return false;
+        }
+      }
+    } else {
+      for (const Bytes& sample : track.samples) {
+        if (!codec.queue_input_buffer(sample)) return false;
+      }
+    }
+    return true;
+  };
+
+  // Video.
+  if (const auto file = download(profile_.cdn_host(), chosen_video->base_url);
+      !file || !play_file(*file)) {
+    outcome.failure = "video playback failed";
+    drm.close_session(session);
+    return outcome;
+  }
+  // Audio (already downloaded above).
+  for (const auto& [path, file] : audio_files) {
+    if (!play_file(file)) {
+      outcome.failure = "audio playback failed";
+      drm.close_session(session);
+      return outcome;
+    }
+  }
+  // Subtitles: MPD representations or the opaque token channel.
+  if (profile_.subtitles_via_opaque_channel) {
+    for (const std::string& token : subtitle_tokens_) {
+      if (const auto file = download(profile_.backend_host(), "/st/" + token)) {
+        play_file(*file);
+      }
+    }
+  } else {
+    for (const auto* rep : manifest->of_type(media::TrackType::Subtitle)) {
+      if (rep->language != request.subtitle_language) continue;
+      if (const auto file = download(profile_.cdn_host(), rep->base_url)) {
+        play_file(*file);
+      }
+    }
+  }
+
+  drm.close_session(session);
+  outcome.played = surface.frames_rendered() > 0;
+  outcome.frames_rendered = surface.frames_rendered();
+  outcome.video_resolution = surface.video_resolution();
+  WL_LOG(Info) << profile_.name << ": played " << outcome.frames_rendered << " frames at "
+               << outcome.video_resolution.label() << " on "
+               << widevine::to_string(device_.security_level());
+  return outcome;
+}
+
+}  // namespace wideleak::ott

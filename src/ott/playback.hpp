@@ -1,0 +1,71 @@
+// The OTT app's playback client: the full Figure-1 flow — manifest fetch
+// over pinned TLS, provisioning, MediaDrm license exchange, CDN downloads,
+// and secure decode through MediaCrypto/MediaCodec.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "android/media_codec.hpp"
+#include "android/media_drm.hpp"
+#include "ott/ecosystem.hpp"
+
+namespace wideleak::ott {
+
+struct PlaybackRequest {
+  /// 0 = best quality the license allows; else an exact ladder height.
+  std::uint16_t video_height = 0;
+  std::string audio_language = "en";
+  std::string subtitle_language = "en";
+};
+
+struct PlaybackOutcome {
+  bool widevine_used = false;    // app ran the MediaDrm/Widevine exchange
+  bool used_custom_drm = false;  // app fell back to its embedded DRM
+
+  bool provisioning_attempted = false;
+  bool provisioning_ok = false;
+  std::string provisioning_error;
+
+  bool license_ok = false;
+  std::string license_error;
+
+  bool played = false;
+  std::string failure;
+  media::Resolution video_resolution;  // what actually rendered
+  std::uint32_t frames_rendered = 0;
+};
+
+class OttApp {
+ public:
+  OttApp(OttAppProfile profile, StreamingEcosystem& ecosystem, android::Device& device);
+
+  /// Authenticate with the backend (any credentials work in the sim).
+  bool login();
+
+  /// Play the app's demo title end to end.
+  PlaybackOutcome play_title(const PlaybackRequest& request = {});
+
+  /// The app's TLS client — the object a Frida-style pin bypass hooks.
+  net::TlsClient& tls() { return tls_; }
+
+  const OttAppProfile& profile() const { return profile_; }
+  android::Device& device() { return device_; }
+
+ private:
+  std::optional<media::Mpd> fetch_manifest(PlaybackOutcome& outcome);
+  std::optional<Bytes> download(const std::string& host, const std::string& path);
+  bool ensure_provisioned(PlaybackOutcome& outcome);
+  PlaybackOutcome play_with_custom_drm(const PlaybackRequest& request);
+
+  OttAppProfile profile_;
+  StreamingEcosystem& ecosystem_;
+  android::Device& device_;
+  net::TlsClient tls_;
+  std::string auth_token_;
+  std::vector<std::string> subtitle_tokens_;  // opaque-channel apps
+  Rng rng_;
+};
+
+}  // namespace wideleak::ott

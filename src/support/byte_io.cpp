@@ -1,0 +1,90 @@
+#include "support/byte_io.hpp"
+
+#include "support/errors.hpp"
+
+namespace wideleak {
+
+void ByteWriter::u8(std::uint8_t v) { data_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  data_.push_back(static_cast<std::uint8_t>(v >> 8));
+  data_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    data_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    data_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::raw(BytesView b) { data_.insert(data_.end(), b.begin(), b.end()); }
+
+void ByteWriter::raw(std::string_view s) { data_.insert(data_.end(), s.begin(), s.end()); }
+
+void ByteWriter::var_bytes(BytesView b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  raw(b);
+}
+
+void ByteWriter::var_string(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(s);
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) throw ParseError("ByteReader: truncated input");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes ByteReader::var_bytes() {
+  const std::uint32_t n = u32();
+  return raw(n);
+}
+
+std::string ByteReader::var_string() {
+  const Bytes b = var_bytes();
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace wideleak

@@ -1,0 +1,57 @@
+// Big-endian byte serialization helpers used by every wire format in the
+// project (keybox, license protocol, ISO-BMFF boxes, TLS records).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/bytes.hpp"
+
+namespace wideleak {
+
+/// Append-only big-endian writer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(BytesView b);
+  void raw(std::string_view s);
+  /// Length-prefixed (u32) buffer — the project's standard variable field.
+  void var_bytes(BytesView b);
+  void var_string(std::string_view s);
+
+  const Bytes& data() const { return data_; }
+  Bytes take() { return std::move(data_); }
+
+ private:
+  Bytes data_;
+};
+
+/// Bounds-checked big-endian reader. Throws ParseError past the end.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes raw(std::size_t n);
+  Bytes var_bytes();
+  std::string var_string();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wideleak

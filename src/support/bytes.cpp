@@ -1,0 +1,134 @@
+#include "support/bytes.hpp"
+
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace wideleak {
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string to_string(BytesView b) { return std::string(b.begin(), b.end()); }
+
+std::string hex_encode(BytesView b) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(digits[byte >> 4]);
+    out.push_back(digits[byte & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("hex_decode: invalid character");
+}
+
+constexpr char kBase64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int base64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  throw std::invalid_argument("base64_decode: invalid character");
+}
+
+}  // namespace
+
+Bytes hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw std::invalid_argument("hex_decode: odd length");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(hex_value(hex[i]) << 4 | hex_value(hex[i + 1])));
+  }
+  return out;
+}
+
+std::string base64_encode(BytesView b) {
+  std::string out;
+  out.reserve((b.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= b.size(); i += 3) {
+    std::uint32_t n = (b[i] << 16) | (b[i + 1] << 8) | b[i + 2];
+    out.push_back(kBase64Alphabet[(n >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(n >> 12) & 63]);
+    out.push_back(kBase64Alphabet[(n >> 6) & 63]);
+    out.push_back(kBase64Alphabet[n & 63]);
+  }
+  const std::size_t rest = b.size() - i;
+  if (rest == 1) {
+    std::uint32_t n = b[i] << 16;
+    out.push_back(kBase64Alphabet[(n >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(n >> 12) & 63]);
+    out.append("==");
+  } else if (rest == 2) {
+    std::uint32_t n = (b[i] << 16) | (b[i + 1] << 8);
+    out.push_back(kBase64Alphabet[(n >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(n >> 12) & 63]);
+    out.push_back(kBase64Alphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Bytes base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) throw std::invalid_argument("base64_decode: bad length");
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    const bool pad1 = text[i + 2] == '=';
+    const bool pad2 = text[i + 3] == '=';
+    if (pad1 && !pad2) throw std::invalid_argument("base64_decode: bad padding");
+    std::uint32_t n = static_cast<std::uint32_t>(base64_value(text[i])) << 18 |
+                      static_cast<std::uint32_t>(base64_value(text[i + 1])) << 12;
+    if (!pad1) n |= static_cast<std::uint32_t>(base64_value(text[i + 2])) << 6;
+    if (!pad2) n |= static_cast<std::uint32_t>(base64_value(text[i + 3]));
+    out.push_back(static_cast<std::uint8_t>(n >> 16));
+    if (!pad1) out.push_back(static_cast<std::uint8_t>(n >> 8));
+    if (!pad2) out.push_back(static_cast<std::uint8_t>(n));
+  }
+  return out;
+}
+
+Bytes xor_bytes(BytesView a, BytesView b) {
+  if (a.size() != b.size()) throw std::invalid_argument("xor_bytes: length mismatch");
+  Bytes out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+Bytes concat(std::initializer_list<BytesView> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+bool is_printable_ascii(BytesView b) {
+  for (std::uint8_t c : b) {
+    if (c == '\n' || c == '\r' || c == '\t') continue;
+    if (c < 0x20 || c > 0x7e) return false;
+  }
+  return true;
+}
+
+}  // namespace wideleak

@@ -1,0 +1,51 @@
+// Byte-buffer utilities shared by every module.
+//
+// `Bytes` is the project-wide owning byte buffer; functions here cover the
+// conversions (hex, base64, ascii) and comparisons the DRM stack needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wideleak {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Build a buffer from a string's raw characters.
+Bytes to_bytes(std::string_view s);
+
+/// Interpret a buffer as text (lossy for non-ascii content).
+std::string to_string(BytesView b);
+
+/// Lower-case hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string hex_encode(BytesView b);
+
+/// Inverse of hex_encode. Throws std::invalid_argument on odd length or
+/// non-hex characters.
+Bytes hex_decode(std::string_view hex);
+
+/// Standard base64 (RFC 4648, with padding).
+std::string base64_encode(BytesView b);
+
+/// Inverse of base64_encode. Throws std::invalid_argument on malformed input.
+Bytes base64_decode(std::string_view text);
+
+/// XOR two equal-length buffers. Throws std::invalid_argument on mismatch.
+Bytes xor_bytes(BytesView a, BytesView b);
+
+/// Constant-time equality; mismatched lengths compare unequal (length is not
+/// secret in any of our protocols).
+bool constant_time_equal(BytesView a, BytesView b);
+
+/// Concatenate any number of buffers.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// True when every byte is printable ascii or common whitespace — the check
+/// the paper applies to downloaded English subtitles.
+bool is_printable_ascii(BytesView b);
+
+}  // namespace wideleak

@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3 polynomial) — the checksum Widevine keyboxes carry in
+// their final four bytes and the one our synthetic media frames embed.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace wideleak {
+
+/// CRC-32 of `data` (reflected, init 0xffffffff, final xor 0xffffffff).
+std::uint32_t crc32(BytesView data);
+
+}  // namespace wideleak

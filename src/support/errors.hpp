@@ -1,0 +1,44 @@
+// Project error hierarchy. Failures that a caller is expected to handle in
+// the normal flow of the simulation (a denied license, a failed pin check)
+// are represented by status enums on the relevant APIs; these exception
+// types cover contract violations and protocol-level corruption.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wideleak {
+
+/// Base class for all wideleak-specific errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed serialized data (truncated message, bad magic, bad CRC...).
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A cryptographic check failed (bad MAC, bad padding, bad signature).
+class CryptoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An API was driven through an illegal state transition
+/// (e.g. MediaCrypto used before a session is opened).
+class StateError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A simulated network-level failure (unknown host, connection refused,
+/// TLS handshake aborted by pinning).
+class NetworkError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace wideleak

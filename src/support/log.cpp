@@ -1,0 +1,34 @@
+#include "support/log.hpp"
+
+#include <iostream>
+
+namespace wideleak {
+
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+}
+
+}  // namespace wideleak

@@ -1,0 +1,47 @@
+// Minimal leveled logger. Quiet by default so tests and benches stay clean;
+// examples flip the level to Info to narrate the playback / attack flow.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wideleak {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr with a level tag. Prefer the WL_LOG macro.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace wideleak
+
+#define WL_LOG(level)                                       \
+  if (::wideleak::log_level() > ::wideleak::LogLevel::level) \
+    ;                                                       \
+  else                                                      \
+    ::wideleak::detail::LogStream(::wideleak::LogLevel::level)

@@ -1,0 +1,38 @@
+// Deterministic random number generation.
+//
+// The whole simulation must be reproducible run-to-run (the benches print
+// paper tables), so every component draws randomness from an explicitly
+// seeded xoshiro256** generator instead of std::random_device.
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.hpp"
+
+namespace wideleak {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, 256-bit state.
+/// Not cryptographically secure; fine for a simulation where "secret" keys
+/// only need to be unpredictable to the simulated adversary code paths.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// `n` fresh bytes.
+  Bytes next_bytes(std::size_t n);
+
+  /// Fork a child generator whose stream is independent of this one's
+  /// subsequent output (used to give each simulated party its own stream).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace wideleak

@@ -1,0 +1,102 @@
+#include "widevine/cdm.hpp"
+
+#include "support/errors.hpp"
+
+namespace wideleak::widevine {
+
+WidevineCdm::WidevineCdm(const OemCryptoConfig& config) : oemcrypto_(config) {}
+
+void WidevineCdm::close_session(SessionId session) {
+  last_request_body_.erase(session);
+  request_scheme_.erase(session);
+  oemcrypto_.close_session(session);
+}
+
+ProvisioningRequest WidevineCdm::create_provisioning_request(const ClientIdentity& identity) {
+  const SessionId session = oemcrypto_.open_session();
+  pending_provisioning_session_ = session;
+
+  ProvisioningRequest request;
+  request.client = identity;
+  request.nonce = oemcrypto_.generate_nonce(session);
+  const Bytes body = request.body();
+  if (oemcrypto_.generate_derived_keys(session, body, body) != OemCryptoResult::Success) {
+    throw StateError("cdm: provisioning requires an installed keybox");
+  }
+  if (oemcrypto_.generate_signature(session, body, request.signature) !=
+      OemCryptoResult::Success) {
+    throw StateError("cdm: provisioning request signing failed");
+  }
+  return request;
+}
+
+OemCryptoResult WidevineCdm::process_provisioning_response(
+    const ProvisioningResponse& response) {
+  if (!pending_provisioning_session_) return OemCryptoResult::InvalidSession;
+  const SessionId session = *pending_provisioning_session_;
+  pending_provisioning_session_.reset();
+
+  if (!response.granted) {
+    oemcrypto_.close_session(session);
+    return OemCryptoResult::SignatureFailure;
+  }
+  const OemCryptoResult result =
+      oemcrypto_.rewrap_device_rsa_key(session, response.body(), response.mac,
+                                       response.wrapping_iv, response.wrapped_rsa_key);
+  oemcrypto_.close_session(session);
+  return result;
+}
+
+LicenseRequest WidevineCdm::create_license_request(SessionId session,
+                                                   const ClientIdentity& identity,
+                                                   const std::vector<media::KeyId>& key_ids) {
+  LicenseRequest request;
+  request.client = identity;
+  request.nonce = oemcrypto_.generate_nonce(session);
+  request.key_ids = key_ids;
+
+  if (oemcrypto_.has_device_rsa_key()) {
+    request.scheme = SignatureScheme::DeviceRsa;
+    request.device_rsa_public = oemcrypto_.device_rsa_public()->serialize();
+    const Bytes body = request.body();
+    if (oemcrypto_.generate_rsa_signature(session, body, request.signature) !=
+        OemCryptoResult::Success) {
+      throw StateError("cdm: RSA request signing failed");
+    }
+    last_request_body_[session] = body;
+  } else {
+    request.scheme = SignatureScheme::KeyboxCmac;
+    const Bytes body = request.body();
+    if (oemcrypto_.generate_derived_keys(session, body, body) != OemCryptoResult::Success) {
+      throw StateError("cdm: license request requires an installed keybox");
+    }
+    if (oemcrypto_.generate_signature(session, body, request.signature) !=
+        OemCryptoResult::Success) {
+      throw StateError("cdm: license request signing failed");
+    }
+    last_request_body_[session] = body;
+  }
+  request_scheme_[session] = request.scheme;
+  return request;
+}
+
+OemCryptoResult WidevineCdm::process_license_response(SessionId session,
+                                                      const LicenseResponse& response) {
+  const auto body_it = last_request_body_.find(session);
+  const auto scheme_it = request_scheme_.find(session);
+  if (body_it == last_request_body_.end() || scheme_it == request_scheme_.end()) {
+    return OemCryptoResult::InvalidSession;
+  }
+  if (!response.granted) return OemCryptoResult::SignatureFailure;
+
+  if (scheme_it->second == SignatureScheme::DeviceRsa) {
+    const Bytes& context = body_it->second;
+    const OemCryptoResult derived = oemcrypto_.derive_keys_from_session_key(
+        session, response.session_key_wrapped, context, context);
+    if (derived != OemCryptoResult::Success) return derived;
+  }
+  return oemcrypto_.load_keys(session, response.body(), response.mac, response.keys,
+                              response.license_duration);
+}
+
+}  // namespace wideleak::widevine

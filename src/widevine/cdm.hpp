@@ -1,0 +1,70 @@
+// The Widevine CDM session layer ("libwvdrmengine"): protocol logic on top
+// of the OEMCrypto core. This is the component the Android DRM HAL loads;
+// MediaDrm calls land here.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "widevine/oemcrypto.hpp"
+#include "widevine/protocol.hpp"
+
+namespace wideleak::widevine {
+
+class WidevineCdm {
+ public:
+  using SessionId = OemCrypto::SessionId;
+
+  explicit WidevineCdm(const OemCryptoConfig& config);
+
+  OemCrypto& oemcrypto() { return oemcrypto_; }
+  const OemCrypto& oemcrypto() const { return oemcrypto_; }
+
+  SecurityLevel security_level() const { return oemcrypto_.security_level(); }
+  CdmVersion version() const { return oemcrypto_.version(); }
+
+  void install_keybox(const Keybox& keybox) { oemcrypto_.install_keybox(keybox); }
+
+  // --- Provisioning flow ----------------------------------------------------
+  /// Build a signed provisioning request (opens an internal session that
+  /// stays pending until the response arrives).
+  ProvisioningRequest create_provisioning_request(const ClientIdentity& identity);
+
+  /// Ingest the response; installs the Device RSA Key on success.
+  OemCryptoResult process_provisioning_response(const ProvisioningResponse& response);
+
+  bool is_provisioned() const { return oemcrypto_.has_device_rsa_key(); }
+
+  // --- License flow -----------------------------------------------------------
+  SessionId open_session() { return oemcrypto_.open_session(); }
+  void close_session(SessionId session);
+
+  /// Build a signed license request for the given key ids. Uses the
+  /// provisioned RSA path when available, the keybox path otherwise
+  /// (exactly the fallback order of the real CDM).
+  LicenseRequest create_license_request(SessionId session, const ClientIdentity& identity,
+                                        const std::vector<media::KeyId>& key_ids);
+
+  /// Ingest a license response: derive session keys (RSA path), verify the
+  /// MAC and load every permitted content key.
+  OemCryptoResult process_license_response(SessionId session, const LicenseResponse& response);
+
+  // --- Decryption (via Media Crypto) -----------------------------------------
+  OemCryptoResult select_key(SessionId session, const media::KeyId& kid) {
+    return oemcrypto_.select_key(session, kid);
+  }
+  OemCryptoResult decrypt_sample(SessionId session, BytesView iv, BytesView ciphertext,
+                                 Bytes& plaintext) {
+    return oemcrypto_.decrypt_cenc(session, iv, ciphertext, plaintext);
+  }
+
+ private:
+  OemCrypto oemcrypto_;
+  std::optional<SessionId> pending_provisioning_session_;
+  std::map<SessionId, Bytes> last_request_body_;  // KDF context per session
+  std::map<SessionId, SignatureScheme> request_scheme_;
+};
+
+}  // namespace wideleak::widevine

@@ -1,0 +1,35 @@
+#include "widevine/key_ladder.hpp"
+
+#include "crypto/cmac.hpp"
+#include "support/byte_io.hpp"
+
+namespace wideleak::widevine {
+
+namespace {
+
+Bytes kdf_context(std::string_view label, BytesView context) {
+  ByteWriter w;
+  w.raw(label);
+  w.u8(0x00);
+  w.raw(context);
+  w.u32(static_cast<std::uint32_t>(context.size() * 8));  // length suffix, SP 800-108 style
+  return w.take();
+}
+
+}  // namespace
+
+SessionKeys derive_session_keys(BytesView root_key, BytesView mac_context,
+                                BytesView enc_context) {
+  SessionKeys keys;
+  const Bytes enc_ctx = kdf_context(kEncryptionLabel, enc_context);
+  keys.enc_key = crypto::cmac_counter_kdf(root_key, enc_ctx, 0x01, 16);
+
+  const Bytes mac_ctx = kdf_context(kAuthenticationLabel, mac_context);
+  // Counters 1..2 -> server MAC key, 3..4 -> client MAC key (64 bytes total).
+  const Bytes mac_block = crypto::cmac_counter_kdf(root_key, mac_ctx, 0x01, 64);
+  keys.mac_key_server.assign(mac_block.begin(), mac_block.begin() + 32);
+  keys.mac_key_client.assign(mac_block.begin() + 32, mac_block.end());
+  return keys;
+}
+
+}  // namespace wideleak::widevine

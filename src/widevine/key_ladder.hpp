@@ -1,0 +1,41 @@
+// The Widevine key ladder: how every key below the root of trust is
+// derived. Both legitimate endpoints (CDM, license server, provisioning
+// server) share these functions; the attack in src/core re-implements them
+// independently, as the paper did after reverse engineering.
+//
+// Ladder (as in OEMCrypto):
+//
+//   keybox device key ──CMAC KDF──► session {enc, mac_server, mac_client}
+//        │                              ▲
+//        └──(provisioning)──► Device RSA key
+//                                       │ RSA-OAEP unwrap of session key
+//                          session key ─┴─CMAC KDF─► same session triple
+//
+//   session enc key ──AES-CBC unwrap──► content keys ──CENC──► media
+#pragma once
+
+#include "support/bytes.hpp"
+
+namespace wideleak::widevine {
+
+/// The triple of session keys both ends derive.
+struct SessionKeys {
+  Bytes enc_key;         // 16 bytes: AES key wrapping content keys
+  Bytes mac_key_server;  // 32 bytes: HMAC key authenticating server->client
+  Bytes mac_key_client;  // 32 bytes: HMAC key authenticating client->server
+};
+
+/// KDF labels, matching the spirit of OEMCrypto's context construction.
+inline constexpr char kEncryptionLabel[] = "ENCRYPTION";
+inline constexpr char kAuthenticationLabel[] = "AUTHENTICATION";
+
+/// Derive the session triple from a 16-byte root (keybox device key or an
+/// RSA-unwrapped session key) and the request-specific context buffers.
+///
+///   enc_key    = CMAC(root, 0x01 || "ENCRYPTION"     || 0x00 || enc_ctx || len)
+///   mac_server = CMAC counters 1..2 over "AUTHENTICATION" || mac_ctx
+///   mac_client = CMAC counters 3..4 over the same context
+SessionKeys derive_session_keys(BytesView root_key, BytesView mac_context,
+                                BytesView enc_context);
+
+}  // namespace wideleak::widevine

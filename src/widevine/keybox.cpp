@@ -1,0 +1,68 @@
+#include "widevine/keybox.hpp"
+
+#include <stdexcept>
+
+#include "support/byte_io.hpp"
+#include "support/crc32.hpp"
+
+namespace wideleak::widevine {
+
+Keybox::Keybox(Bytes stable_id, Bytes device_key, Bytes key_data)
+    : stable_id_(std::move(stable_id)),
+      device_key_(std::move(device_key)),
+      key_data_(std::move(key_data)) {
+  if (stable_id_.size() != kKeyboxStableIdSize || device_key_.size() != kKeyboxDeviceKeySize ||
+      key_data_.size() != kKeyboxKeyDataSize) {
+    throw std::invalid_argument("Keybox: bad field sizes");
+  }
+}
+
+Bytes Keybox::serialize() const {
+  Bytes out;
+  out.reserve(kKeyboxSize);
+  out.insert(out.end(), stable_id_.begin(), stable_id_.end());
+  out.insert(out.end(), device_key_.begin(), device_key_.end());
+  out.insert(out.end(), key_data_.begin(), key_data_.end());
+  out.insert(out.end(), kKeyboxMagic, kKeyboxMagic + 4);
+  const std::uint32_t crc = crc32(BytesView(out.data(), kKeyboxMagicOffset + 4));
+  ByteWriter w;
+  w.u32(crc);
+  const Bytes crc_bytes = w.take();
+  out.insert(out.end(), crc_bytes.begin(), crc_bytes.end());
+  return out;
+}
+
+std::optional<Keybox> Keybox::parse(BytesView raw) {
+  if (raw.size() != kKeyboxSize) return std::nullopt;
+  for (int i = 0; i < 4; ++i) {
+    if (raw[kKeyboxMagicOffset + static_cast<std::size_t>(i)] !=
+        static_cast<std::uint8_t>(kKeyboxMagic[i])) {
+      return std::nullopt;
+    }
+  }
+  ByteReader tail(raw.subspan(kKeyboxMagicOffset + 4));
+  const std::uint32_t stored_crc = tail.u32();
+  if (crc32(raw.subspan(0, kKeyboxMagicOffset + 4)) != stored_crc) return std::nullopt;
+
+  Bytes stable_id(raw.begin(), raw.begin() + kKeyboxStableIdSize);
+  Bytes device_key(raw.begin() + kKeyboxStableIdSize,
+                   raw.begin() + kKeyboxStableIdSize + kKeyboxDeviceKeySize);
+  Bytes key_data(raw.begin() + kKeyboxStableIdSize + kKeyboxDeviceKeySize,
+                 raw.begin() + kKeyboxMagicOffset);
+  return Keybox(std::move(stable_id), std::move(device_key), std::move(key_data));
+}
+
+Keybox make_factory_keybox(const std::string& device_serial, std::uint64_t provisioner_seed) {
+  std::uint64_t serial_hash = 1469598103934665603ull;  // FNV-1a
+  for (char c : device_serial) {
+    serial_hash ^= static_cast<std::uint8_t>(c);
+    serial_hash *= 1099511628211ull;
+  }
+  Rng rng(provisioner_seed ^ serial_hash);
+  Bytes stable_id = to_bytes(device_serial);
+  stable_id.resize(kKeyboxStableIdSize, 0x00);
+  return Keybox(std::move(stable_id), rng.next_bytes(kKeyboxDeviceKeySize),
+                rng.next_bytes(kKeyboxKeyDataSize));
+}
+
+}  // namespace wideleak::widevine

@@ -1,0 +1,63 @@
+// The Widevine keybox: the factory-installed root of trust.
+//
+// Layout follows the publicly documented 128-byte structure:
+//
+//   offset   size  field
+//   0        32    stable id (device identity, readable by the server)
+//   32       16    device AES key  <-- the root-of-trust secret
+//   48       72    key data (provisioning token & flags, server-opaque)
+//   120      4     magic "kbox"
+//   124      4     CRC-32 over bytes [0, 124)
+//
+// The magic + CRC pair is what makes the memory-scan recovery of the paper
+// (CVE-2021-0639) practical: a scanner can find candidate structures by
+// magic and confirm them by checksum with essentially no false positives.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::widevine {
+
+inline constexpr std::size_t kKeyboxSize = 128;
+inline constexpr std::size_t kKeyboxStableIdSize = 32;
+inline constexpr std::size_t kKeyboxDeviceKeySize = 16;
+inline constexpr std::size_t kKeyboxKeyDataSize = 72;
+inline constexpr std::size_t kKeyboxMagicOffset = 120;
+inline constexpr char kKeyboxMagic[5] = "kbox";
+
+class Keybox {
+ public:
+  Keybox() = default;
+  Keybox(Bytes stable_id, Bytes device_key, Bytes key_data);
+
+  const Bytes& stable_id() const { return stable_id_; }
+  const Bytes& device_key() const { return device_key_; }
+  const Bytes& key_data() const { return key_data_; }
+
+  /// The 128-byte on-flash form (with magic and CRC).
+  Bytes serialize() const;
+
+  /// Parse + validate a 128-byte blob. Returns nullopt when the magic or
+  /// CRC does not check out (the scanner's candidate filter).
+  static std::optional<Keybox> parse(BytesView raw);
+
+  friend bool operator==(const Keybox&, const Keybox&) = default;
+
+ private:
+  Bytes stable_id_;
+  Bytes device_key_;
+  Bytes key_data_;
+};
+
+/// Mint the keybox a manufacturer installs for a given device serial.
+/// Deterministic per (serial, provisioner seed) so the simulated device
+/// root database and the device agree.
+Keybox make_factory_keybox(const std::string& device_serial, std::uint64_t provisioner_seed);
+
+}  // namespace wideleak::widevine

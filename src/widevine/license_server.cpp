@@ -1,0 +1,111 @@
+#include "widevine/license_server.hpp"
+
+#include "crypto/hmac.hpp"
+#include "crypto/modes.hpp"
+#include "crypto/rsa.hpp"
+#include "widevine/key_ladder.hpp"
+
+namespace wideleak::widevine {
+
+SecurityLevel required_level_for(const media::ContentKey& key) {
+  if (key.type == media::TrackType::Video && key.resolution.is_hd()) {
+    return SecurityLevel::L1;
+  }
+  return SecurityLevel::L3;
+}
+
+LicenseServer::LicenseServer(std::shared_ptr<DeviceRootDatabase> roots, std::uint64_t seed)
+    : roots_(std::move(roots)), rng_(seed) {}
+
+void LicenseServer::add_title(const media::PackagedTitle& title) {
+  for (const media::ContentKey& key : title.keys) {
+    keys_[hex_encode(key.kid)] = StoredKey{key.key, required_level_for(key)};
+  }
+}
+
+void LicenseServer::add_generic_key(const media::KeyId& kid, const Bytes& key) {
+  keys_[hex_encode(kid)] = StoredKey{key, SecurityLevel::L3};
+}
+
+LicenseResponse LicenseServer::handle(const LicenseRequest& request,
+                                      const RevocationPolicy& policy) {
+  LicenseResponse response;
+  const Bytes body = request.body();
+
+  // --- Authenticate the client and establish the session triple.
+  SessionKeys keys;
+  if (request.scheme == SignatureScheme::KeyboxCmac) {
+    const auto device_key = roots_->device_key_for(request.client.stable_id);
+    if (!device_key) {
+      response.deny_reason = "unknown device";
+      return response;
+    }
+    keys = derive_session_keys(*device_key, body, body);
+    if (!crypto::hmac_sha256_verify(keys.mac_key_client, body, request.signature)) {
+      response.deny_reason = "bad request signature";
+      return response;
+    }
+  } else {
+    const auto registered = roots_->provisioned_key_for(request.client.stable_id);
+    if (!registered) {
+      response.deny_reason = "device not provisioned";
+      return response;
+    }
+    const auto supplied = crypto::RsaPublicKey::deserialize(request.device_rsa_public);
+    if (!(supplied == *registered)) {
+      response.deny_reason = "device key mismatch";
+      return response;
+    }
+    if (!crypto::rsa_pss_verify(supplied, body, request.signature)) {
+      response.deny_reason = "bad request signature";
+      return response;
+    }
+    // RSA path: mint a fresh session key and wrap it to the device.
+    const Bytes session_key = rng_.next_bytes(16);
+    response.session_key_wrapped = crypto::rsa_oaep_encrypt(supplied, rng_, session_key);
+    keys = derive_session_keys(session_key, body, body);
+  }
+
+  // --- Service-level revocation enforcement (the Q4 choice).
+  if (policy.is_revoked(request.client)) {
+    response.deny_reason = "device revoked (" + policy.describe() + ")";
+    response.session_key_wrapped.clear();
+    response.mac = crypto::hmac_sha256(keys.mac_key_server, response.body());
+    return response;
+  }
+
+  // --- Establish the client's effective security level. Under strict
+  // verification the claim is capped by the factory certification record;
+  // trusting the claim reproduces the browser-CDM weakness of §V-C.
+  SecurityLevel effective_level = request.client.level;
+  if (level_verification_ == LevelVerification::Strict &&
+      roots_->certified_level_for(request.client.stable_id) != SecurityLevel::L1) {
+    effective_level = SecurityLevel::L3;
+  }
+
+  // --- Issue the requested keys this security level may hold.
+  const crypto::Aes enc(keys.enc_key);
+  for (const media::KeyId& kid : request.key_ids) {
+    const auto it = keys_.find(hex_encode(kid));
+    if (it == keys_.end()) continue;  // not our key; apps request what the MPD lists
+    const StoredKey& stored = it->second;
+    if (stored.min_level == SecurityLevel::L1 &&
+        effective_level != SecurityLevel::L1) {
+      // HD-class key, sub-HD client: withhold, exactly as observed.
+      continue;
+    }
+    KeyContainer container;
+    container.kid = kid;
+    container.iv = rng_.next_bytes(16);
+    container.wrapped_key = crypto::aes_cbc_encrypt_nopad(enc, container.iv, stored.key);
+    container.min_level = stored.min_level;
+    response.keys.push_back(std::move(container));
+  }
+
+  response.granted = true;
+  response.license_duration = license_duration_;
+  response.mac = crypto::hmac_sha256(keys.mac_key_server, response.body());
+  return response;
+}
+
+}  // namespace wideleak::widevine

@@ -1,0 +1,68 @@
+// The Widevine license server: authenticates clients (keybox or provisioned
+// RSA path), applies per-service revocation policy, and issues wrapped
+// content keys filtered by security level — an L3 client never receives a
+// key whose control block demands L1, which is why the paper's PoC tops
+// out at 960x540.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "media/content.hpp"
+#include "widevine/protocol.hpp"
+#include "widevine/provisioning_server.hpp"
+#include "widevine/revocation.hpp"
+
+namespace wideleak::widevine {
+
+/// Security level a given content key requires, by the resolution it
+/// unlocks: anything above qHD (540p) is HD-class and demands L1.
+SecurityLevel required_level_for(const media::ContentKey& key);
+
+/// How the server decides the client's effective security level.
+///
+/// Strict (Android): the claimed level is capped by the level the device
+/// was certified for at factory registration. TrustClient (the behaviour
+/// the netflix-1080p project demonstrated for browser CDMs, §V-C): the
+/// request's claimed level is taken at face value — so an attacker who can
+/// forge requests gets HD keys on an L3 device.
+enum class LevelVerification { Strict, TrustClient };
+
+class LicenseServer {
+ public:
+  LicenseServer(std::shared_ptr<DeviceRootDatabase> roots, std::uint64_t seed);
+
+  void set_level_verification(LevelVerification mode) { level_verification_ = mode; }
+  LevelVerification level_verification() const { return level_verification_; }
+
+  /// Limit issued licenses to `ticks` of the client's logical clock
+  /// (0 = unlimited, the default).
+  void set_license_duration(std::uint64_t ticks) { license_duration_ = ticks; }
+
+  /// Register all content keys of a packaged title.
+  void add_title(const media::PackagedTitle& title);
+
+  /// Register a standalone key (e.g. an app's non-DASH secure-channel key).
+  void add_generic_key(const media::KeyId& kid, const Bytes& key);
+
+  /// Serve one license request under the given service policy.
+  LicenseResponse handle(const LicenseRequest& request, const RevocationPolicy& policy);
+
+  std::size_t key_count() const { return keys_.size(); }
+
+ private:
+  struct StoredKey {
+    Bytes key;
+    SecurityLevel min_level = SecurityLevel::L3;
+  };
+
+  std::shared_ptr<DeviceRootDatabase> roots_;
+  Rng rng_;
+  LevelVerification level_verification_ = LevelVerification::Strict;
+  std::uint64_t license_duration_ = 0;
+  std::map<std::string, StoredKey> keys_;  // hex(kid) -> key
+};
+
+}  // namespace wideleak::widevine

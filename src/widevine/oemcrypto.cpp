@@ -1,0 +1,318 @@
+#include "widevine/oemcrypto.hpp"
+
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "crypto/modes.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::widevine {
+
+std::string to_string(OemCryptoResult result) {
+  switch (result) {
+    case OemCryptoResult::Success: return "success";
+    case OemCryptoResult::NoKeybox: return "no keybox installed";
+    case OemCryptoResult::NoDeviceRsaKey: return "no device RSA key";
+    case OemCryptoResult::SignatureFailure: return "signature failure";
+    case OemCryptoResult::KeyNotLoaded: return "key not loaded";
+    case OemCryptoResult::KeyExpired: return "license expired";
+    case OemCryptoResult::InsufficientSecurity: return "insufficient security level";
+    case OemCryptoResult::InvalidSession: return "invalid session";
+  }
+  return "?";
+}
+
+OemCrypto::OemCrypto(const OemCryptoConfig& config) : config_(config), rng_(config.seed) {
+  if (config_.host == nullptr) {
+    throw std::invalid_argument("OemCrypto: host process required");
+  }
+  if (config_.level == SecurityLevel::L1 && config_.tee == nullptr) {
+    throw std::invalid_argument("OemCrypto: L1 requires a TEE");
+  }
+}
+
+OemCrypto::~OemCrypto() = default;
+
+hooking::ProcessMemory& OemCrypto::key_store() {
+  return config_.level == SecurityLevel::L1 ? config_.tee->secure_memory()
+                                            : config_.host->memory();
+}
+
+const hooking::ProcessMemory& OemCrypto::key_store() const {
+  return config_.level == SecurityLevel::L1 ? config_.tee->secure_memory()
+                                            : config_.host->memory();
+}
+
+void OemCrypto::emit(std::string_view function, BytesView input, BytesView output) const {
+  config_.host->bus().emit(module_name(), function, input, output);
+}
+
+void OemCrypto::install_keybox(const Keybox& keybox) {
+  keybox_ = keybox;
+  const Bytes raw = keybox.serialize();
+  if (config_.level == SecurityLevel::L1) {
+    // L1: the keybox never exists outside secure-world memory.
+    keybox_region_ = config_.tee->secure_memory().map_region("trustlet:keybox", raw);
+  } else if (config_.version.has_insecure_keybox_storage()) {
+    // Legacy L3 (CWE-922): the raw keybox sits in process memory for the
+    // CDM's whole lifetime — this is what the paper's scanner finds.
+    keybox_region_ = config_.host->memory().map_region(
+        std::string(kWvDrmEngineModule) + ":keybox_workbuf", raw);
+  } else {
+    // Patched L3: only an XOR-masked copy is ever mapped; the magic bytes
+    // are not present in the clear anywhere scannable.
+    keybox_mask_ = rng_.next_bytes(raw.size());
+    keybox_region_ = config_.host->memory().map_region(
+        std::string(kWvDrmEngineModule) + ":keybox_masked", xor_bytes(raw, keybox_mask_));
+  }
+  emit("_oecc24_InstallKeybox", BytesView(), BytesView());
+}
+
+Bytes OemCrypto::get_key_data() const {
+  if (!keybox_) throw StateError("OemCrypto: no keybox");
+  const Bytes& out = keybox_->key_data();
+  emit("_oecc27_GetKeyData", BytesView(), out);
+  return out;
+}
+
+Bytes OemCrypto::stable_id() const {
+  if (!keybox_) throw StateError("OemCrypto: no keybox");
+  return keybox_->stable_id();
+}
+
+const Bytes& OemCrypto::device_key() const {
+  if (!keybox_) throw StateError("OemCrypto: no keybox");
+  return keybox_->device_key();
+}
+
+OemCrypto::SessionId OemCrypto::open_session() {
+  const SessionId id = next_session_++;
+  sessions_[id] = Session{};
+  emit("_oecc04_OpenSession", BytesView(), BytesView());
+  return id;
+}
+
+void OemCrypto::close_session(SessionId session) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) throw StateError("OemCrypto: close of unknown session");
+  for (const auto& [kid, region] : it->second.content_keys) {
+    key_store().unmap_region(region);
+  }
+  sessions_.erase(it);
+  emit("_oecc05_CloseSession", BytesView(), BytesView());
+}
+
+OemCrypto::Session& OemCrypto::session_for(SessionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) throw StateError("OemCrypto: unknown session");
+  return it->second;
+}
+
+Bytes OemCrypto::generate_nonce(SessionId session) {
+  Session& s = session_for(session);
+  s.nonce = rng_.next_bytes(16);
+  emit("_oecc08_GenerateNonce", BytesView(), s.nonce);
+  return s.nonce;
+}
+
+OemCryptoResult OemCrypto::generate_derived_keys(SessionId session, BytesView mac_context,
+                                                 BytesView enc_context) {
+  Session& s = session_for(session);
+  if (!keybox_) return OemCryptoResult::NoKeybox;
+  s.keys = derive_session_keys(device_key(), mac_context, enc_context);
+  // The derivation contexts cross the HAL boundary and are visible to an
+  // attached tracer — step one of the paper's key-ladder interception.
+  emit("_oecc07_GenerateDerivedKeys", concat({mac_context, enc_context}), BytesView());
+  return OemCryptoResult::Success;
+}
+
+OemCryptoResult OemCrypto::generate_signature(SessionId session, BytesView message,
+                                              Bytes& signature) {
+  Session& s = session_for(session);
+  if (!s.keys) return OemCryptoResult::SignatureFailure;
+  signature = crypto::hmac_sha256(s.keys->mac_key_client, message);
+  emit("_oecc09_GenerateSignature", message, signature);
+  return OemCryptoResult::Success;
+}
+
+OemCryptoResult OemCrypto::rewrap_device_rsa_key(SessionId session, BytesView response_body,
+                                                 BytesView response_mac, BytesView wrapping_iv,
+                                                 BytesView wrapped_rsa_key) {
+  Session& s = session_for(session);
+  if (!keybox_) return OemCryptoResult::NoKeybox;
+  if (!s.keys) return OemCryptoResult::SignatureFailure;
+  if (!crypto::hmac_sha256_verify(s.keys->mac_key_server, response_body, response_mac)) {
+    emit("_oecc30_RewrapDeviceRSAKey", response_body, BytesView());
+    return OemCryptoResult::SignatureFailure;
+  }
+  const crypto::Aes enc(s.keys->enc_key);
+  Bytes rsa_serialized;
+  try {
+    rsa_serialized = crypto::aes_cbc_decrypt(enc, wrapping_iv, wrapped_rsa_key);
+    (void)crypto::RsaKeyPair::deserialize(rsa_serialized);  // structural check
+  } catch (const Error&) {
+    return OemCryptoResult::SignatureFailure;
+  }
+  if (device_rsa_region_) key_store().unmap_region(*device_rsa_region_);
+  device_rsa_region_ =
+      key_store().map_region(std::string(module_name()) + ":device_rsa_key", rsa_serialized);
+  emit("_oecc30_RewrapDeviceRSAKey", response_body, BytesView());
+  return OemCryptoResult::Success;
+}
+
+bool OemCrypto::has_device_rsa_key() const { return device_rsa_region_.has_value(); }
+
+std::optional<crypto::RsaPublicKey> OemCrypto::device_rsa_public() const {
+  if (!device_rsa_region_) return std::nullopt;
+  return crypto::RsaKeyPair::deserialize(key_store().read_region(*device_rsa_region_)).pub;
+}
+
+OemCryptoResult OemCrypto::generate_rsa_signature(SessionId session, BytesView message,
+                                                  Bytes& signature) {
+  session_for(session);
+  if (!device_rsa_region_) return OemCryptoResult::NoDeviceRsaKey;
+  const auto keys = crypto::RsaKeyPair::deserialize(key_store().read_region(*device_rsa_region_));
+  signature = crypto::rsa_pss_sign(keys, rng_, message);
+  emit("_oecc32_GenerateRSASignature", message, signature);
+  return OemCryptoResult::Success;
+}
+
+OemCryptoResult OemCrypto::derive_keys_from_session_key(SessionId session,
+                                                        BytesView wrapped_session_key,
+                                                        BytesView mac_context,
+                                                        BytesView enc_context) {
+  Session& s = session_for(session);
+  if (!device_rsa_region_) return OemCryptoResult::NoDeviceRsaKey;
+  const auto keys = crypto::RsaKeyPair::deserialize(key_store().read_region(*device_rsa_region_));
+  Bytes session_key;
+  try {
+    session_key = crypto::rsa_oaep_decrypt(keys, wrapped_session_key);
+  } catch (const CryptoError&) {
+    return OemCryptoResult::SignatureFailure;
+  }
+  s.keys = derive_session_keys(session_key, mac_context, enc_context);
+  emit("_oecc33_DeriveKeysFromSessionKey", concat({wrapped_session_key, mac_context, enc_context}),
+       BytesView());
+  return OemCryptoResult::Success;
+}
+
+OemCryptoResult OemCrypto::load_keys(SessionId session, BytesView response_body,
+                                     BytesView response_mac,
+                                     const std::vector<KeyContainer>& keys,
+                                     std::uint64_t license_duration) {
+  Session& s = session_for(session);
+  if (!s.keys) return OemCryptoResult::SignatureFailure;
+  emit("_oecc10_LoadKeys", response_body, BytesView());
+  if (!crypto::hmac_sha256_verify(s.keys->mac_key_server, response_body, response_mac)) {
+    return OemCryptoResult::SignatureFailure;
+  }
+  s.expiry_tick = license_duration == 0 ? 0 : clock_ + license_duration;
+  const crypto::Aes enc(s.keys->enc_key);
+  for (const KeyContainer& container : keys) {
+    // Key control: a key whose control block demands L1 will not load on an
+    // L3 CDM (defence in depth; the server should not have sent it).
+    if (container.min_level == SecurityLevel::L1 &&
+        config_.level != SecurityLevel::L1) {
+      continue;
+    }
+    Bytes content_key;
+    try {
+      content_key = crypto::aes_cbc_decrypt_nopad(enc, container.iv, container.wrapped_key);
+    } catch (const Error&) {
+      return OemCryptoResult::SignatureFailure;
+    }
+    const std::string kid_hex = hex_encode(container.kid);
+    const auto existing = s.content_keys.find(kid_hex);
+    if (existing != s.content_keys.end()) {
+      key_store().write_region(existing->second, content_key);
+    } else {
+      s.content_keys[kid_hex] = key_store().map_region(
+          std::string(module_name()) + ":content_key:" + kid_hex, content_key);
+    }
+  }
+  return OemCryptoResult::Success;
+}
+
+OemCryptoResult OemCrypto::select_key(SessionId session, const media::KeyId& kid) {
+  Session& s = session_for(session);
+  emit("_oecc21_SelectKey", kid, BytesView());
+  if (!s.content_keys.contains(hex_encode(kid))) return OemCryptoResult::KeyNotLoaded;
+  s.selected = kid;
+  return OemCryptoResult::Success;
+}
+
+Bytes OemCrypto::read_selected_key(const Session& session) const {
+  const auto it = session.content_keys.find(hex_encode(*session.selected));
+  return key_store().read_region(it->second);
+}
+
+OemCryptoResult OemCrypto::decrypt_cenc(SessionId session, BytesView iv, BytesView ciphertext,
+                                        Bytes& plaintext) {
+  Session& s = session_for(session);
+  // Output deliberately absent from the hook event: decrypted samples flow
+  // to the codec/surface, not back through the API (see header comment).
+  emit("_oecc22_DecryptCENC", ciphertext, BytesView());
+  if (!s.selected) return OemCryptoResult::KeyNotLoaded;
+  if (s.expiry_tick != 0 && clock_ > s.expiry_tick) return OemCryptoResult::KeyExpired;
+  const crypto::Aes aes(read_selected_key(s));
+  Bytes full_iv(iv.begin(), iv.end());
+  full_iv.resize(crypto::kAesBlockSize, 0x00);
+  plaintext = crypto::aes_ctr_crypt(aes, full_iv, ciphertext);
+  return OemCryptoResult::Success;
+}
+
+std::vector<media::KeyId> OemCrypto::loaded_key_ids(SessionId session) const {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) throw StateError("OemCrypto: unknown session");
+  std::vector<media::KeyId> out;
+  for (const auto& [kid_hex, region] : it->second.content_keys) {
+    out.push_back(hex_decode(kid_hex));
+  }
+  return out;
+}
+
+OemCryptoResult OemCrypto::generic_encrypt(SessionId session, BytesView iv, BytesView plaintext,
+                                           Bytes& ciphertext) {
+  Session& s = session_for(session);
+  if (!s.selected) return OemCryptoResult::KeyNotLoaded;
+  const crypto::Aes aes(read_selected_key(s));
+  ciphertext = crypto::aes_cbc_encrypt(aes, iv, plaintext);
+  emit("_oecc41_GenericEncrypt", plaintext, ciphertext);
+  return OemCryptoResult::Success;
+}
+
+OemCryptoResult OemCrypto::generic_decrypt(SessionId session, BytesView iv, BytesView ciphertext,
+                                           Bytes& plaintext) {
+  Session& s = session_for(session);
+  if (!s.selected) return OemCryptoResult::KeyNotLoaded;
+  const crypto::Aes aes(read_selected_key(s));
+  try {
+    plaintext = crypto::aes_cbc_decrypt(aes, iv, ciphertext);
+  } catch (const CryptoError&) {
+    return OemCryptoResult::SignatureFailure;
+  }
+  // Unlike DecryptCENC, generic decrypt returns plaintext to the caller —
+  // so a tracer sees it too. This is how the paper recovered Netflix's
+  // "protected" URI manifests despite the non-DASH secure channel.
+  emit("_oecc42_GenericDecrypt", ciphertext, plaintext);
+  return OemCryptoResult::Success;
+}
+
+OemCryptoResult OemCrypto::generic_sign(SessionId session, BytesView message, Bytes& tag) {
+  Session& s = session_for(session);
+  if (!s.selected) return OemCryptoResult::KeyNotLoaded;
+  tag = crypto::hmac_sha256(read_selected_key(s), message);
+  emit("_oecc43_GenericSign", message, tag);
+  return OemCryptoResult::Success;
+}
+
+OemCryptoResult OemCrypto::generic_verify(SessionId session, BytesView message, BytesView tag) {
+  Session& s = session_for(session);
+  if (!s.selected) return OemCryptoResult::KeyNotLoaded;
+  emit("_oecc44_GenericVerify", message, tag);
+  return crypto::hmac_sha256_verify(read_selected_key(s), message, tag)
+             ? OemCryptoResult::Success
+             : OemCryptoResult::SignatureFailure;
+}
+
+}  // namespace wideleak::widevine

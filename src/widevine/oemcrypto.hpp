@@ -1,0 +1,167 @@
+// OEMCrypto-style CDM core: sessions, the key ladder, key control, content
+// decryption and the generic ("non-DASH") crypto API.
+//
+// Every entry point announces itself on the hosting process's HookBus under
+// an `_oeccXX_<Name>` symbol — the function family the paper's Frida script
+// intercepts inside mediadrmserver. For L1 the module is liboemcrypto.so
+// (and key material lives in TEE memory); for L3 everything stays inside
+// libwvdrmengine.so and key material lives in scannable process memory.
+//
+// The CWE-922 flaw behind CVE-2021-0639 is modelled on version: CDMs with
+// `has_insecure_keybox_storage()` keep the raw 128-byte keybox mapped in
+// process memory; patched CDMs only ever map an XOR-masked copy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hooking/process.hpp"
+#include "widevine/keybox.hpp"
+#include "widevine/key_ladder.hpp"
+#include "widevine/protocol.hpp"
+#include "widevine/tee.hpp"
+#include "crypto/rsa.hpp"
+
+namespace wideleak::widevine {
+
+inline constexpr char kWvDrmEngineModule[] = "libwvdrmengine.so";
+inline constexpr char kOemCryptoModule[] = "liboemcrypto.so";
+
+/// Construction parameters for one CDM instance.
+struct OemCryptoConfig {
+  SecurityLevel level = SecurityLevel::L3;
+  CdmVersion version = kCurrentCdm;
+  hooking::SimProcess* host = nullptr;  ///< mediadrmserver (hooks + L3 storage)
+  Tee* tee = nullptr;                   ///< required iff level == L1
+  std::uint64_t seed = 0;
+};
+
+/// Status codes for operations a caller handles in normal flow.
+enum class OemCryptoResult {
+  Success,
+  NoKeybox,
+  NoDeviceRsaKey,
+  SignatureFailure,   // a MAC / signature did not verify
+  KeyNotLoaded,
+  KeyExpired,         // the license duration elapsed
+  InsufficientSecurity,  // key control demands a higher level than ours
+  InvalidSession,
+};
+
+std::string to_string(OemCryptoResult result);
+
+class OemCrypto {
+ public:
+  using SessionId = std::uint32_t;
+
+  explicit OemCrypto(const OemCryptoConfig& config);
+  ~OemCrypto();
+  OemCrypto(const OemCrypto&) = delete;
+  OemCrypto& operator=(const OemCrypto&) = delete;
+
+  SecurityLevel security_level() const { return config_.level; }
+  CdmVersion version() const { return config_.version; }
+
+  // --- Keybox -------------------------------------------------------------
+  void install_keybox(const Keybox& keybox);
+  bool is_keybox_valid() const { return keybox_.has_value(); }
+  /// The server-visible device identity (keybox stable id + key data).
+  Bytes get_key_data() const;
+  Bytes stable_id() const;
+
+  // --- Sessions -----------------------------------------------------------
+  SessionId open_session();
+  void close_session(SessionId session);
+  Bytes generate_nonce(SessionId session);
+
+  // --- Keybox-derived key ladder (legacy / provisioning path) -------------
+  OemCryptoResult generate_derived_keys(SessionId session, BytesView mac_context,
+                                        BytesView enc_context);
+  /// HMAC-SHA256 with the session's client MAC key (request signing).
+  OemCryptoResult generate_signature(SessionId session, BytesView message, Bytes& signature);
+
+  // --- Provisioning (Device RSA key install) ------------------------------
+  OemCryptoResult rewrap_device_rsa_key(SessionId session, BytesView response_body,
+                                        BytesView response_mac, BytesView wrapping_iv,
+                                        BytesView wrapped_rsa_key);
+  bool has_device_rsa_key() const;
+  std::optional<crypto::RsaPublicKey> device_rsa_public() const;
+
+  // --- RSA path (provisioned devices) --------------------------------------
+  OemCryptoResult generate_rsa_signature(SessionId session, BytesView message,
+                                         Bytes& signature);
+  OemCryptoResult derive_keys_from_session_key(SessionId session,
+                                               BytesView wrapped_session_key,
+                                               BytesView mac_context, BytesView enc_context);
+
+  // --- License ingestion & decryption --------------------------------------
+  /// Verify the server MAC over `response_body` and unwrap every key the
+  /// key-control block lets this security level load. `license_duration`
+  /// bounds the session's key usage in logical clock ticks (0 = unlimited).
+  OemCryptoResult load_keys(SessionId session, BytesView response_body, BytesView response_mac,
+                            const std::vector<KeyContainer>& keys,
+                            std::uint64_t license_duration = 0);
+  OemCryptoResult select_key(SessionId session, const media::KeyId& kid);
+  /// Decrypt one CENC-protected range with the selected key. The clear
+  /// output goes to the caller (the simulated codec/surface) but is *not*
+  /// echoed in the hook event — apps and hooks never see decrypted frames
+  /// through this interface, which is why MovieStealer-style attacks fail.
+  OemCryptoResult decrypt_cenc(SessionId session, BytesView iv, BytesView ciphertext,
+                               Bytes& plaintext);
+
+  /// Key ids currently loaded in a session.
+  std::vector<media::KeyId> loaded_key_ids(SessionId session) const;
+
+  // --- Logical clock (license-duration enforcement) -------------------------
+  /// Advance the device's logical clock; loaded keys whose license duration
+  /// has elapsed stop decrypting.
+  void advance_clock(std::uint64_t ticks) { clock_ += ticks; }
+  std::uint64_t clock() const { return clock_; }
+
+  // --- Generic crypto (the "non-DASH mode" secure channel) -----------------
+  OemCryptoResult generic_encrypt(SessionId session, BytesView iv, BytesView plaintext,
+                                  Bytes& ciphertext);
+  OemCryptoResult generic_decrypt(SessionId session, BytesView iv, BytesView ciphertext,
+                                  Bytes& plaintext);
+  OemCryptoResult generic_sign(SessionId session, BytesView message, Bytes& tag);
+  OemCryptoResult generic_verify(SessionId session, BytesView message, BytesView tag);
+
+ private:
+  struct Session {
+    Bytes nonce;
+    std::optional<SessionKeys> keys;
+    std::map<std::string, hooking::RegionId> content_keys;  // hex(kid) -> region
+    std::optional<media::KeyId> selected;
+    std::uint64_t expiry_tick = 0;  // absolute; 0 = unlimited
+  };
+
+  /// The memory key material lives in: TEE (L1) or host process (L3).
+  hooking::ProcessMemory& key_store();
+  const hooking::ProcessMemory& key_store() const;
+
+  /// Emit a hook event for an intercepted entry point.
+  void emit(std::string_view function, BytesView input, BytesView output) const;
+
+  const char* module_name() const {
+    return config_.level == SecurityLevel::L1 ? kOemCryptoModule : kWvDrmEngineModule;
+  }
+
+  Session& session_for(SessionId id);
+  const Bytes& device_key() const;
+  Bytes read_selected_key(const Session& session) const;
+
+  OemCryptoConfig config_;
+  Rng rng_;
+  std::optional<Keybox> keybox_;
+  std::optional<hooking::RegionId> keybox_region_;  // raw or masked, by version
+  Bytes keybox_mask_;                               // patched CDMs only
+  std::optional<hooking::RegionId> device_rsa_region_;
+  std::map<SessionId, Session> sessions_;
+  SessionId next_session_ = 1;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace wideleak::widevine

@@ -1,0 +1,185 @@
+#include "widevine/protocol.hpp"
+
+#include "support/byte_io.hpp"
+
+namespace wideleak::widevine {
+
+std::string to_string(SecurityLevel level) {
+  return level == SecurityLevel::L1 ? "L1" : "L3";
+}
+
+std::string CdmVersion::label() const {
+  return std::to_string(major) + "." + std::to_string(minor) + ".0";
+}
+
+Bytes ClientIdentity::serialize() const {
+  ByteWriter w;
+  w.var_bytes(stable_id);
+  w.var_string(device_model);
+  w.u16(cdm_version.major);
+  w.u16(cdm_version.minor);
+  w.u8(static_cast<std::uint8_t>(level));
+  return w.take();
+}
+
+ClientIdentity ClientIdentity::deserialize(BytesView data) {
+  ByteReader r(data);
+  ClientIdentity out;
+  out.stable_id = r.var_bytes();
+  out.device_model = r.var_string();
+  out.cdm_version.major = r.u16();
+  out.cdm_version.minor = r.u16();
+  out.level = static_cast<SecurityLevel>(r.u8());
+  return out;
+}
+
+Bytes ProvisioningRequest::body() const {
+  ByteWriter w;
+  w.raw("wv_prov_req_v1");
+  w.var_bytes(client.serialize());
+  w.var_bytes(nonce);
+  return w.take();
+}
+
+Bytes ProvisioningRequest::serialize() const {
+  ByteWriter w;
+  w.var_bytes(body());
+  w.var_bytes(signature);
+  return w.take();
+}
+
+ProvisioningRequest ProvisioningRequest::deserialize(BytesView data) {
+  ByteReader outer(data);
+  const Bytes body_raw = outer.var_bytes();
+  ProvisioningRequest out;
+  out.signature = outer.var_bytes();
+  ByteReader r{BytesView(body_raw)};
+  r.raw(14);  // label
+  out.client = ClientIdentity::deserialize(r.var_bytes());
+  out.nonce = r.var_bytes();
+  return out;
+}
+
+Bytes ProvisioningResponse::body() const {
+  ByteWriter w;
+  w.raw("wv_prov_res_v1");
+  w.u8(granted ? 1 : 0);
+  w.var_string(deny_reason);
+  w.var_bytes(wrapping_iv);
+  w.var_bytes(wrapped_rsa_key);
+  return w.take();
+}
+
+Bytes ProvisioningResponse::serialize() const {
+  ByteWriter w;
+  w.var_bytes(body());
+  w.var_bytes(mac);
+  return w.take();
+}
+
+ProvisioningResponse ProvisioningResponse::deserialize(BytesView data) {
+  ByteReader outer(data);
+  const Bytes body_raw = outer.var_bytes();
+  ProvisioningResponse out;
+  out.mac = outer.var_bytes();
+  ByteReader r{BytesView(body_raw)};
+  r.raw(14);  // label
+  out.granted = r.u8() != 0;
+  out.deny_reason = r.var_string();
+  out.wrapping_iv = r.var_bytes();
+  out.wrapped_rsa_key = r.var_bytes();
+  return out;
+}
+
+Bytes LicenseRequest::body() const {
+  ByteWriter w;
+  w.raw("wv_lic_req_v1");
+  w.var_bytes(client.serialize());
+  w.var_bytes(nonce);
+  w.u32(static_cast<std::uint32_t>(key_ids.size()));
+  for (const media::KeyId& kid : key_ids) w.var_bytes(kid);
+  w.u8(static_cast<std::uint8_t>(scheme));
+  w.var_bytes(device_rsa_public);
+  return w.take();
+}
+
+Bytes LicenseRequest::serialize() const {
+  ByteWriter w;
+  w.var_bytes(body());
+  w.var_bytes(signature);
+  return w.take();
+}
+
+LicenseRequest LicenseRequest::deserialize(BytesView data) {
+  ByteReader outer(data);
+  const Bytes body_raw = outer.var_bytes();
+  LicenseRequest out;
+  out.signature = outer.var_bytes();
+  ByteReader r{BytesView(body_raw)};
+  r.raw(13);  // label
+  out.client = ClientIdentity::deserialize(r.var_bytes());
+  out.nonce = r.var_bytes();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) out.key_ids.push_back(r.var_bytes());
+  out.scheme = static_cast<SignatureScheme>(r.u8());
+  out.device_rsa_public = r.var_bytes();
+  return out;
+}
+
+Bytes KeyContainer::serialize() const {
+  ByteWriter w;
+  w.var_bytes(kid);
+  w.var_bytes(iv);
+  w.var_bytes(wrapped_key);
+  w.u8(static_cast<std::uint8_t>(min_level));
+  return w.take();
+}
+
+KeyContainer KeyContainer::deserialize(BytesView data) {
+  ByteReader r(data);
+  KeyContainer out;
+  out.kid = r.var_bytes();
+  out.iv = r.var_bytes();
+  out.wrapped_key = r.var_bytes();
+  out.min_level = static_cast<SecurityLevel>(r.u8());
+  return out;
+}
+
+Bytes LicenseResponse::body() const {
+  ByteWriter w;
+  w.raw("wv_lic_res_v1");
+  w.u8(granted ? 1 : 0);
+  w.var_string(deny_reason);
+  w.var_bytes(session_key_wrapped);
+  w.u64(license_duration);
+  w.u32(static_cast<std::uint32_t>(keys.size()));
+  for (const KeyContainer& key : keys) w.var_bytes(key.serialize());
+  return w.take();
+}
+
+Bytes LicenseResponse::serialize() const {
+  ByteWriter w;
+  w.var_bytes(body());
+  w.var_bytes(mac);
+  return w.take();
+}
+
+LicenseResponse LicenseResponse::deserialize(BytesView data) {
+  ByteReader outer(data);
+  const Bytes body_raw = outer.var_bytes();
+  LicenseResponse out;
+  out.mac = outer.var_bytes();
+  ByteReader r{BytesView(body_raw)};
+  r.raw(13);  // label
+  out.granted = r.u8() != 0;
+  out.deny_reason = r.var_string();
+  out.session_key_wrapped = r.var_bytes();
+  out.license_duration = r.u64();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.keys.push_back(KeyContainer::deserialize(r.var_bytes()));
+  }
+  return out;
+}
+
+}  // namespace wideleak::widevine

@@ -1,0 +1,127 @@
+// Wire types of the (simulated) Widevine protocol: what travels between the
+// CDM, the provisioning server and the license server. Every message body
+// is also the KDF context its session keys are derived from, so the
+// buffers an attacker dumps at the HAL boundary are exactly what the key
+// ladder needs — the property the paper's PoC exploits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "media/track.hpp"
+#include "support/bytes.hpp"
+
+namespace wideleak::widevine {
+
+enum class SecurityLevel : std::uint8_t { L1 = 1, L3 = 3 };
+
+std::string to_string(SecurityLevel level);
+
+/// CDM release version. The paper's discontinued Nexus 5 runs 3.1; the
+/// current release at study time was 15.0.
+struct CdmVersion {
+  std::uint16_t major = 15;
+  std::uint16_t minor = 0;
+
+  friend auto operator<=>(const CdmVersion&, const CdmVersion&) = default;
+
+  /// Legacy CDMs (< 14) store the keybox insecurely (CWE-922) — the flaw
+  /// behind CVE-2021-0639 in this simulation.
+  bool has_insecure_keybox_storage() const { return major < 14; }
+
+  std::string label() const;
+};
+
+inline constexpr CdmVersion kLegacyCdm{3, 1};
+inline constexpr CdmVersion kCurrentCdm{15, 0};
+
+/// How a license request is authenticated.
+enum class SignatureScheme : std::uint8_t {
+  KeyboxCmac = 1,  ///< legacy path: CMAC keys derived from the keybox
+  DeviceRsa = 2,   ///< provisioned path: RSASSA-PSS with the Device RSA Key
+};
+
+/// Client identity block sent in every request.
+struct ClientIdentity {
+  Bytes stable_id;  // keybox stable id
+  std::string device_model;
+  CdmVersion cdm_version;
+  SecurityLevel level = SecurityLevel::L3;
+
+  Bytes serialize() const;
+  static ClientIdentity deserialize(BytesView data);
+};
+
+// --- Provisioning ----------------------------------------------------------
+
+struct ProvisioningRequest {
+  ClientIdentity client;
+  Bytes nonce;  // anti-replay, chosen by the CDM
+
+  Bytes body() const;  ///< the signed / KDF-context portion
+  Bytes signature;     ///< CMAC under keybox-derived client MAC key
+
+  Bytes serialize() const;
+  static ProvisioningRequest deserialize(BytesView data);
+};
+
+struct ProvisioningResponse {
+  bool granted = false;
+  std::string deny_reason;
+  Bytes wrapping_iv;      // CBC IV for the RSA key wrap
+  Bytes wrapped_rsa_key;  // AES-CBC(session enc key) of the serialized key pair
+
+  Bytes body() const;
+  Bytes mac;  ///< HMAC-SHA256 under keybox-derived server MAC key
+
+  Bytes serialize() const;
+  static ProvisioningResponse deserialize(BytesView data);
+};
+
+// --- Licensing --------------------------------------------------------------
+
+struct LicenseRequest {
+  ClientIdentity client;
+  Bytes nonce;
+  std::vector<media::KeyId> key_ids;  // from the pssh box / MPD
+  SignatureScheme scheme = SignatureScheme::KeyboxCmac;
+  Bytes device_rsa_public;  // serialized RsaPublicKey (DeviceRsa scheme only)
+
+  Bytes body() const;  ///< signed portion; doubles as the KDF context
+  Bytes signature;     ///< CMAC (keybox path) or RSA-PSS (provisioned path)
+
+  Bytes serialize() const;
+  static LicenseRequest deserialize(BytesView data);
+};
+
+/// One wrapped content key plus its control block.
+struct KeyContainer {
+  media::KeyId kid;
+  Bytes iv;           // CBC IV for the content-key wrap
+  Bytes wrapped_key;  // AES-CBC(session enc key) of the 16-byte content key
+  SecurityLevel min_level = SecurityLevel::L3;  // key control: who may load it
+
+  Bytes serialize() const;
+  static KeyContainer deserialize(BytesView data);
+};
+
+struct LicenseResponse {
+  bool granted = false;
+  std::string deny_reason;
+  Bytes session_key_wrapped;  // RSA path: RSA-OAEP(device pub, session key)
+  std::vector<KeyContainer> keys;
+  /// License policy: how many logical clock ticks the keys stay usable
+  /// after loading (0 = unlimited). Enforced by OEMCrypto, like the real
+  /// key-control duration field.
+  std::uint64_t license_duration = 0;
+
+  Bytes body() const;
+  Bytes mac;  ///< HMAC-SHA256 under the derived server MAC key
+
+  Bytes serialize() const;
+  static LicenseResponse deserialize(BytesView data);
+};
+
+}  // namespace wideleak::widevine

@@ -1,0 +1,92 @@
+#include "widevine/provisioning_server.hpp"
+
+#include "crypto/hmac.hpp"
+#include "crypto/modes.hpp"
+#include "widevine/key_ladder.hpp"
+
+namespace wideleak::widevine {
+
+void DeviceRootDatabase::register_device(const Keybox& keybox, SecurityLevel certified_level) {
+  device_keys_[hex_encode(keybox.stable_id())] = keybox.device_key();
+  certified_levels_[hex_encode(keybox.stable_id())] = certified_level;
+}
+
+SecurityLevel DeviceRootDatabase::certified_level_for(BytesView stable_id) const {
+  const auto it = certified_levels_.find(hex_encode(stable_id));
+  return it == certified_levels_.end() ? SecurityLevel::L3 : it->second;
+}
+
+std::optional<Bytes> DeviceRootDatabase::device_key_for(BytesView stable_id) const {
+  const auto it = device_keys_.find(hex_encode(stable_id));
+  if (it == device_keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DeviceRootDatabase::record_provisioned_key(BytesView stable_id,
+                                                const crypto::RsaPublicKey& key) {
+  rsa_keys_[hex_encode(stable_id)] = key;
+}
+
+std::optional<crypto::RsaPublicKey> DeviceRootDatabase::provisioned_key_for(
+    BytesView stable_id) const {
+  const auto it = rsa_keys_.find(hex_encode(stable_id));
+  if (it == rsa_keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+ProvisioningServer::ProvisioningServer(std::shared_ptr<DeviceRootDatabase> roots,
+                                       std::uint64_t seed, std::size_t rsa_bits)
+    : roots_(std::move(roots)), rng_(seed), rsa_bits_(rsa_bits) {}
+
+ProvisioningResponse ProvisioningServer::handle(const ProvisioningRequest& request) {
+  ProvisioningResponse response;
+
+  const auto device_key = roots_->device_key_for(request.client.stable_id);
+  if (!device_key) {
+    response.deny_reason = "unknown device";
+    return response;
+  }
+
+  // Both ends derive the session triple from the request body.
+  const Bytes body = request.body();
+  const SessionKeys keys = derive_session_keys(*device_key, body, body);
+  if (!crypto::hmac_sha256_verify(keys.mac_key_client, body, request.signature)) {
+    response.deny_reason = "bad request signature";
+    return response;
+  }
+
+  // Anti-replay: a (device, nonce) pair is honoured once. Checked after the
+  // signature so unauthenticated traffic cannot burn nonces.
+  const std::string nonce_key =
+      hex_encode(request.client.stable_id) + ":" + hex_encode(request.nonce);
+  if (!seen_nonces_.insert(nonce_key).second) {
+    response.deny_reason = "replayed provisioning nonce";
+    response.mac = crypto::hmac_sha256(keys.mac_key_server, response.body());
+    return response;
+  }
+
+  if (policy_.is_revoked(request.client)) {
+    response.deny_reason = "device revoked (" + policy_.describe() + ")";
+    // Denials are still authenticated so clients can trust them.
+    response.mac = crypto::hmac_sha256(keys.mac_key_server, response.body());
+    return response;
+  }
+
+  // Issue (or re-issue) the Device RSA Key.
+  const std::string id_hex = hex_encode(request.client.stable_id);
+  auto it = issued_.find(id_hex);
+  if (it == issued_.end()) {
+    it = issued_.emplace(id_hex, crypto::rsa_generate(rng_, rsa_bits_)).first;
+    roots_->record_provisioned_key(request.client.stable_id, it->second.pub);
+  }
+
+  response.granted = true;
+  response.wrapping_iv = rng_.next_bytes(16);
+  const crypto::Aes enc(keys.enc_key);
+  response.wrapped_rsa_key =
+      crypto::aes_cbc_encrypt(enc, response.wrapping_iv, it->second.serialize());
+  response.mac = crypto::hmac_sha256(keys.mac_key_server, response.body());
+  return response;
+}
+
+}  // namespace wideleak::widevine

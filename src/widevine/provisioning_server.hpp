@@ -1,0 +1,68 @@
+// Widevine provisioning: turns a keybox-authenticated device into one that
+// holds a Device RSA Key (the middle rung of the key ladder).
+//
+// Also hosts the device-root database — the server-side copy of every
+// factory keybox identity that both provisioning and licensing verify
+// clients against.
+#pragma once
+
+#include <map>
+#include <set>
+#include <memory>
+#include <optional>
+
+#include "crypto/rsa.hpp"
+#include "widevine/keybox.hpp"
+#include "widevine/protocol.hpp"
+#include "widevine/revocation.hpp"
+
+namespace wideleak::widevine {
+
+/// Server-side registry of factory device roots and provisioned RSA keys.
+class DeviceRootDatabase {
+ public:
+  /// Record a keybox at factory-provisioning time, together with the
+  /// security level the device model is certified for. Strict license
+  /// servers cap the client's *claimed* level with this record — the
+  /// verification whose absence the netflix-1080p exploit abuses (§V-C).
+  void register_device(const Keybox& keybox,
+                       SecurityLevel certified_level = SecurityLevel::L3);
+
+  /// The device AES key for a stable id, if known.
+  std::optional<Bytes> device_key_for(BytesView stable_id) const;
+
+  /// The level the device was certified for (L3 when unknown).
+  SecurityLevel certified_level_for(BytesView stable_id) const;
+
+  /// Record / look up the RSA public key issued to a device.
+  void record_provisioned_key(BytesView stable_id, const crypto::RsaPublicKey& key);
+  std::optional<crypto::RsaPublicKey> provisioned_key_for(BytesView stable_id) const;
+
+  std::size_t device_count() const { return device_keys_.size(); }
+
+ private:
+  std::map<std::string, Bytes> device_keys_;               // hex(stable_id) -> AES key
+  std::map<std::string, SecurityLevel> certified_levels_;  // hex(stable_id) -> level
+  std::map<std::string, crypto::RsaPublicKey> rsa_keys_;   // hex(stable_id) -> public key
+};
+
+class ProvisioningServer {
+ public:
+  ProvisioningServer(std::shared_ptr<DeviceRootDatabase> roots, std::uint64_t seed,
+                     std::size_t rsa_bits = 1024);
+
+  /// The Widevine-side revocation gate (distinct from per-OTT enforcement).
+  void set_policy(RevocationPolicy policy) { policy_ = std::move(policy); }
+
+  ProvisioningResponse handle(const ProvisioningRequest& request);
+
+ private:
+  std::shared_ptr<DeviceRootDatabase> roots_;
+  Rng rng_;
+  std::size_t rsa_bits_;
+  RevocationPolicy policy_ = permissive_revocation_policy();
+  std::map<std::string, crypto::RsaKeyPair> issued_;  // cache per device
+  std::set<std::string> seen_nonces_;                 // anti-replay: hex(id||nonce)
+};
+
+}  // namespace wideleak::widevine

@@ -1,0 +1,23 @@
+#include "widevine/revocation.hpp"
+
+namespace wideleak::widevine {
+
+bool RevocationPolicy::is_revoked(const ClientIdentity& client) const {
+  if (!min_cdm_version) return false;
+  return client.cdm_version < *min_cdm_version;
+}
+
+std::string RevocationPolicy::describe() const {
+  if (!min_cdm_version) return "serve all devices";
+  return "require CDM >= " + min_cdm_version->label();
+}
+
+RevocationPolicy recommended_revocation_policy() {
+  return RevocationPolicy{.min_cdm_version = CdmVersion{14, 0}};
+}
+
+RevocationPolicy permissive_revocation_policy() {
+  return RevocationPolicy{.min_cdm_version = std::nullopt};
+}
+
+}  // namespace wideleak::widevine

@@ -1,0 +1,32 @@
+// Device / CDM revocation policy.
+//
+// Widevine "may revoke devices due to non-compliance with their security
+// rules, e.g. no longer receiving security updates" — but OTT services
+// choose whether to enforce that when serving licenses (the paper's Q4).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "widevine/protocol.hpp"
+
+namespace wideleak::widevine {
+
+/// The enforcement choice one service makes.
+struct RevocationPolicy {
+  /// Devices whose CDM is older than this are refused. nullopt = serve
+  /// everyone (the "availability over security" choice most apps make).
+  std::optional<CdmVersion> min_cdm_version;
+
+  bool is_revoked(const ClientIdentity& client) const;
+  std::string describe() const;
+};
+
+/// The Widevine-recommended policy at study time: refuse CDMs that predate
+/// the secure keybox storage fix.
+RevocationPolicy recommended_revocation_policy();
+
+/// The permissive policy: serve every device, including discontinued ones.
+RevocationPolicy permissive_revocation_policy();
+
+}  // namespace wideleak::widevine

@@ -1,0 +1,3 @@
+#include "widevine/tee.hpp"
+
+// Header-only today; the translation unit anchors the library target.

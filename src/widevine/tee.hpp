@@ -1,0 +1,24 @@
+// TrustZone TEE stand-in.
+//
+// The only property the study depends on is memory isolation: key material
+// held by the Widevine trustlet is not reachable from any REE process an
+// attacker (even root) can attach to. We model that by giving the TEE its
+// own ProcessMemory that is simply never exposed through a SimProcess.
+#pragma once
+
+#include "hooking/memory.hpp"
+
+namespace wideleak::widevine {
+
+class Tee {
+ public:
+  /// Secure-world memory. Only the L1 CDM holds a reference; attacker
+  /// tooling in src/core has no path to this object.
+  hooking::ProcessMemory& secure_memory() { return memory_; }
+  const hooking::ProcessMemory& secure_memory() const { return memory_; }
+
+ private:
+  hooking::ProcessMemory memory_;
+};
+
+}  // namespace wideleak::widevine

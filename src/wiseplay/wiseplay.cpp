@@ -1,0 +1,274 @@
+#include "wiseplay/wiseplay.hpp"
+
+#include "crypto/hmac.hpp"
+#include "crypto/modes.hpp"
+#include "support/byte_io.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::wiseplay {
+
+std::string to_string(WisePlayResult result) {
+  switch (result) {
+    case WisePlayResult::Success: return "success";
+    case WisePlayResult::SignatureFailure: return "signature failure";
+    case WisePlayResult::KeyNotLoaded: return "key not loaded";
+    case WisePlayResult::Denied: return "denied";
+    case WisePlayResult::InvalidSession: return "invalid session";
+  }
+  return "?";
+}
+
+WisePlaySessionKeys derive_wiseplay_keys(BytesView device_secret, BytesView nonce) {
+  WisePlaySessionKeys keys;
+  keys.enc_key = crypto::hmac_sha256(device_secret, concat({to_bytes("wp-enc"), nonce}));
+  keys.enc_key.resize(16);
+  keys.mac_key = crypto::hmac_sha256(device_secret, concat({to_bytes("wp-mac"), nonce}));
+  return keys;
+}
+
+Bytes WisePlayRequest::body() const {
+  ByteWriter w;
+  w.raw("wiseplay_req_v1");
+  w.var_bytes(device_id);
+  w.var_bytes(nonce);
+  w.u32(static_cast<std::uint32_t>(key_ids.size()));
+  for (const media::KeyId& kid : key_ids) w.var_bytes(kid);
+  return w.take();
+}
+
+Bytes WisePlayRequest::serialize() const {
+  ByteWriter w;
+  w.var_bytes(body());
+  w.var_bytes(mac);
+  return w.take();
+}
+
+WisePlayRequest WisePlayRequest::deserialize(BytesView data) {
+  ByteReader outer(data);
+  const Bytes body_raw = outer.var_bytes();
+  WisePlayRequest out;
+  out.mac = outer.var_bytes();
+  ByteReader r{BytesView(body_raw)};
+  r.raw(15);  // label
+  out.device_id = r.var_bytes();
+  out.nonce = r.var_bytes();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) out.key_ids.push_back(r.var_bytes());
+  return out;
+}
+
+Bytes WisePlayResponse::body() const {
+  ByteWriter w;
+  w.raw("wiseplay_res_v1");
+  w.u8(granted ? 1 : 0);
+  w.var_string(deny_reason);
+  w.u32(static_cast<std::uint32_t>(keys.size()));
+  for (const WrappedKey& key : keys) {
+    w.var_bytes(key.kid);
+    w.var_bytes(key.iv);
+    w.var_bytes(key.wrapped);
+  }
+  return w.take();
+}
+
+Bytes WisePlayResponse::serialize() const {
+  ByteWriter w;
+  w.var_bytes(body());
+  w.var_bytes(mac);
+  return w.take();
+}
+
+WisePlayResponse WisePlayResponse::deserialize(BytesView data) {
+  ByteReader outer(data);
+  const Bytes body_raw = outer.var_bytes();
+  WisePlayResponse out;
+  out.mac = outer.var_bytes();
+  ByteReader r{BytesView(body_raw)};
+  r.raw(15);  // label
+  out.granted = r.u8() != 0;
+  out.deny_reason = r.var_string();
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WrappedKey key;
+    key.kid = r.var_bytes();
+    key.iv = r.var_bytes();
+    key.wrapped = r.var_bytes();
+    out.keys.push_back(std::move(key));
+  }
+  return out;
+}
+
+WisePlayCdm::WisePlayCdm(hooking::SimProcess* host, widevine::Tee* tee, Bytes device_id,
+                         Bytes device_secret, std::uint64_t seed)
+    : host_(host),
+      tee_(tee),
+      device_id_(std::move(device_id)),
+      device_secret_(std::move(device_secret)),
+      rng_(seed) {
+  if (host_ == nullptr) throw std::invalid_argument("WisePlayCdm: host process required");
+}
+
+hooking::ProcessMemory& WisePlayCdm::key_store() {
+  return tee_ != nullptr ? tee_->secure_memory() : host_->memory();
+}
+
+void WisePlayCdm::emit(std::string_view function, BytesView input, BytesView output) const {
+  host_->bus().emit(kWisePlayModule, function, input, output);
+}
+
+WisePlayCdm::Session& WisePlayCdm::session_for(SessionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) throw StateError("WisePlayCdm: unknown session");
+  return it->second;
+}
+
+WisePlayCdm::SessionId WisePlayCdm::open_session() {
+  const SessionId id = next_session_++;
+  sessions_[id] = Session{};
+  emit("wp_open_session", BytesView(), BytesView());
+  return id;
+}
+
+void WisePlayCdm::close_session(SessionId session) {
+  Session& s = session_for(session);
+  for (const auto& [kid, region] : s.keys) key_store().unmap_region(region);
+  sessions_.erase(session);
+  emit("wp_close_session", BytesView(), BytesView());
+}
+
+Bytes WisePlayCdm::create_license_request(SessionId session,
+                                          const std::vector<media::KeyId>& key_ids) {
+  Session& s = session_for(session);
+  WisePlayRequest request;
+  request.device_id = device_id_;
+  request.nonce = rng_.next_bytes(16);
+  request.key_ids = key_ids;
+  request.mac = crypto::hmac_sha256(device_secret_, request.body());
+  s.nonce = request.nonce;
+  const Bytes serialized = request.serialize();
+  emit("wp_create_license_request", BytesView(), serialized);
+  return serialized;
+}
+
+WisePlayResult WisePlayCdm::process_license_response(SessionId session, BytesView response_bytes) {
+  Session& s = session_for(session);
+  emit("wp_process_license_response", response_bytes, BytesView());
+  WisePlayResponse response;
+  try {
+    response = WisePlayResponse::deserialize(response_bytes);
+  } catch (const Error&) {
+    return WisePlayResult::SignatureFailure;
+  }
+  if (!response.granted) return WisePlayResult::Denied;
+
+  const WisePlaySessionKeys keys = derive_wiseplay_keys(device_secret_, s.nonce);
+  if (!crypto::hmac_sha256_verify(keys.mac_key, response.body(), response.mac)) {
+    return WisePlayResult::SignatureFailure;
+  }
+  const crypto::Aes enc(keys.enc_key);
+  for (const WisePlayResponse::WrappedKey& wrapped : response.keys) {
+    Bytes key;
+    try {
+      key = crypto::aes_cbc_decrypt_nopad(enc, wrapped.iv, wrapped.wrapped);
+    } catch (const Error&) {
+      return WisePlayResult::SignatureFailure;
+    }
+    const std::string kid_hex = hex_encode(wrapped.kid);
+    const auto existing = s.keys.find(kid_hex);
+    if (existing != s.keys.end()) {
+      key_store().write_region(existing->second, key);
+    } else {
+      s.keys[kid_hex] =
+          key_store().map_region(std::string(kWisePlayModule) + ":key:" + kid_hex, key);
+    }
+  }
+  return WisePlayResult::Success;
+}
+
+WisePlayResult WisePlayCdm::decrypt_sample(SessionId session, const media::KeyId& kid,
+                                           BytesView iv, BytesView ciphertext,
+                                           Bytes& plaintext) {
+  Session& s = session_for(session);
+  emit("wp_decrypt", ciphertext, BytesView());
+  const auto it = s.keys.find(hex_encode(kid));
+  if (it == s.keys.end()) return WisePlayResult::KeyNotLoaded;
+  const crypto::Aes aes(key_store().read_region(it->second));
+  Bytes full_iv(iv.begin(), iv.end());
+  full_iv.resize(crypto::kAesBlockSize, 0x00);
+  plaintext = crypto::aes_ctr_crypt(aes, full_iv, ciphertext);
+  return WisePlayResult::Success;
+}
+
+std::vector<media::KeyId> WisePlayCdm::loaded_key_ids(SessionId session) const {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) throw StateError("WisePlayCdm: unknown session");
+  std::vector<media::KeyId> out;
+  for (const auto& [kid_hex, region] : it->second.keys) out.push_back(hex_decode(kid_hex));
+  return out;
+}
+
+void WisePlayLicenseServer::register_device(BytesView device_id, BytesView device_secret) {
+  device_secrets_[hex_encode(device_id)] = Bytes(device_secret.begin(), device_secret.end());
+}
+
+void WisePlayLicenseServer::add_title(const media::PackagedTitle& title) {
+  for (const media::ContentKey& key : title.keys) {
+    keys_[hex_encode(key.kid)] = key.key;
+  }
+}
+
+Bytes WisePlayLicenseServer::handle(BytesView request_bytes) {
+  WisePlayResponse response;
+  WisePlayRequest request;
+  try {
+    request = WisePlayRequest::deserialize(request_bytes);
+  } catch (const Error&) {
+    response.deny_reason = "malformed request";
+    return response.serialize();
+  }
+
+  const auto secret = device_secrets_.find(hex_encode(request.device_id));
+  if (secret == device_secrets_.end()) {
+    response.deny_reason = "unknown device";
+    return response.serialize();
+  }
+  if (!crypto::hmac_sha256_verify(secret->second, request.body(), request.mac)) {
+    response.deny_reason = "bad request signature";
+    return response.serialize();
+  }
+  const std::string nonce_key = hex_encode(request.device_id) + ":" + hex_encode(request.nonce);
+  if (!seen_nonces_.insert(nonce_key).second) {
+    response.deny_reason = "replayed nonce";
+    return response.serialize();
+  }
+
+  const WisePlaySessionKeys keys = derive_wiseplay_keys(secret->second, request.nonce);
+  const crypto::Aes enc(keys.enc_key);
+  for (const media::KeyId& kid : request.key_ids) {
+    const auto it = keys_.find(hex_encode(kid));
+    if (it == keys_.end()) continue;
+    WisePlayResponse::WrappedKey wrapped;
+    wrapped.kid = kid;
+    wrapped.iv = rng_.next_bytes(16);
+    wrapped.wrapped = crypto::aes_cbc_encrypt_nopad(enc, wrapped.iv, it->second);
+    response.keys.push_back(std::move(wrapped));
+  }
+  response.granted = true;
+  response.mac = crypto::hmac_sha256(keys.mac_key, response.body());
+  return response.serialize();
+}
+
+WisePlayIdentity make_wiseplay_identity(const std::string& serial, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : serial) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  Rng rng(seed ^ h ^ 0x57495345ull);  // "WISE"
+  WisePlayIdentity identity;
+  identity.device_id = rng.next_bytes(16);
+  identity.device_secret = rng.next_bytes(32);
+  return identity;
+}
+
+}  // namespace wideleak::wiseplay

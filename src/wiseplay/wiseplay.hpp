@@ -1,0 +1,147 @@
+// WisePlay-style alternative DRM — the paper's stated main future
+// direction ("Huawei's devices offer their custom DRM solution, called
+// WisePlay. Studying similarities and differences among these different
+// implementations constitutes the main future direction of this work").
+//
+// This is a deliberately *different* design from the Widevine model, so the
+// study toolchain can demonstrate what generalizes and what does not:
+//   - root of trust: a bare 32-byte device secret, no keybox structure at
+//     all (so the CVE-2021-0639 magic+CRC scanner has nothing to find —
+//     each CDM needs its own recovery technique),
+//   - key ladder: HMAC-SHA256 label KDF instead of AES-CMAC counters,
+//   - one round trip, no separate provisioning step.
+// What *does* carry over: the HAL hook seam (calls are visible on the same
+// process bus, under a different module name) and the CENC content format.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hooking/process.hpp"
+#include "media/content.hpp"
+#include "support/bytes.hpp"
+#include "support/rng.hpp"
+#include "widevine/tee.hpp"
+
+namespace wideleak::wiseplay {
+
+/// The real WisePlay DRM scheme UUID.
+inline constexpr char kWisePlayUuid[] = "3d5e6d35-9b9a-41e8-b843-dd3c6e72c42c";
+inline constexpr char kWisePlayModule[] = "libwiseplaydrm.so";
+
+enum class WisePlayResult {
+  Success,
+  SignatureFailure,
+  KeyNotLoaded,
+  Denied,
+  InvalidSession,
+};
+
+std::string to_string(WisePlayResult result);
+
+/// One license exchange's wire messages (compact, self-contained format).
+struct WisePlayRequest {
+  Bytes device_id;  // 16 bytes, public
+  Bytes nonce;      // 16 bytes, fresh per request
+  std::vector<media::KeyId> key_ids;
+
+  Bytes body() const;
+  Bytes mac;  // HMAC-SHA256(device secret, body)
+
+  Bytes serialize() const;
+  static WisePlayRequest deserialize(BytesView data);
+};
+
+struct WisePlayResponse {
+  bool granted = false;
+  std::string deny_reason;
+  struct WrappedKey {
+    media::KeyId kid;
+    Bytes iv;
+    Bytes wrapped;  // AES-CBC under the nonce-derived enc key
+  };
+  std::vector<WrappedKey> keys;
+
+  Bytes body() const;
+  Bytes mac;  // HMAC-SHA256(nonce-derived mac key, body)
+
+  Bytes serialize() const;
+  static WisePlayResponse deserialize(BytesView data);
+};
+
+/// Derive the per-exchange key pair from the device secret and nonce.
+struct WisePlaySessionKeys {
+  Bytes enc_key;  // 16 bytes
+  Bytes mac_key;  // 32 bytes
+};
+WisePlaySessionKeys derive_wiseplay_keys(BytesView device_secret, BytesView nonce);
+
+/// The client-side CDM. Key material lives in the TEE when one is present,
+/// in (scannable) process memory otherwise — the same isolation model as
+/// the Widevine CDM, expressed over a different root of trust.
+class WisePlayCdm {
+ public:
+  using SessionId = std::uint32_t;
+
+  WisePlayCdm(hooking::SimProcess* host, widevine::Tee* tee, Bytes device_id,
+              Bytes device_secret, std::uint64_t seed);
+
+  SessionId open_session();
+  void close_session(SessionId session);
+
+  Bytes create_license_request(SessionId session, const std::vector<media::KeyId>& key_ids);
+  WisePlayResult process_license_response(SessionId session, BytesView response);
+
+  WisePlayResult decrypt_sample(SessionId session, const media::KeyId& kid, BytesView iv,
+                                BytesView ciphertext, Bytes& plaintext);
+
+  std::vector<media::KeyId> loaded_key_ids(SessionId session) const;
+  const Bytes& device_id() const { return device_id_; }
+
+ private:
+  struct Session {
+    Bytes nonce;
+    std::map<std::string, hooking::RegionId> keys;  // hex(kid) -> region
+  };
+
+  hooking::ProcessMemory& key_store();
+  void emit(std::string_view function, BytesView input, BytesView output) const;
+  Session& session_for(SessionId id);
+
+  hooking::SimProcess* host_;
+  widevine::Tee* tee_;
+  Bytes device_id_;
+  Bytes device_secret_;
+  Rng rng_;
+  std::map<SessionId, Session> sessions_;
+  SessionId next_session_ = 1;
+};
+
+/// The server side: device registry + content keys.
+class WisePlayLicenseServer {
+ public:
+  explicit WisePlayLicenseServer(std::uint64_t seed) : rng_(seed) {}
+
+  void register_device(BytesView device_id, BytesView device_secret);
+  void add_title(const media::PackagedTitle& title);
+
+  Bytes handle(BytesView request_bytes);
+
+ private:
+  Rng rng_;
+  std::map<std::string, Bytes> device_secrets_;  // hex(id) -> secret
+  std::map<std::string, Bytes> keys_;            // hex(kid) -> key
+  std::set<std::string> seen_nonces_;
+};
+
+/// Factory provisioning: mint the (id, secret) pair for a device serial.
+struct WisePlayIdentity {
+  Bytes device_id;
+  Bytes device_secret;
+};
+WisePlayIdentity make_wiseplay_identity(const std::string& serial, std::uint64_t seed);
+
+}  // namespace wideleak::wiseplay

@@ -1,0 +1,270 @@
+// Android framework layer tests: Device profiles, MediaDrm, MediaCrypto,
+// MediaCodec and the Surface render target.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "android/device.hpp"
+#include "android/media_codec.hpp"
+#include "android/media_crypto.hpp"
+#include "android/media_drm.hpp"
+#include "hooking/hook_bus.hpp"
+#include "crypto/modes.hpp"
+#include "media/cenc.hpp"
+#include "support/errors.hpp"
+#include "widevine/license_server.hpp"
+#include "widevine/provisioning_server.hpp"
+
+namespace wideleak::android {
+namespace {
+
+class AndroidTest : public ::testing::Test {
+ protected:
+  AndroidTest()
+      : roots_(std::make_shared<widevine::DeviceRootDatabase>()),
+        provisioning_(roots_, 21, 512),
+        license_(roots_, 22) {
+    title_ = media::package_title(777, "Android Test Movie", {"en"}, {"en"},
+                                  media::ContentPolicy{});
+    license_.add_title(title_);
+  }
+
+  std::unique_ptr<Device> make_device(const DeviceSpec& spec) {
+    const widevine::Keybox keybox = widevine::make_factory_keybox(spec.serial, 99);
+    roots_->register_device(keybox, spec.has_tee ? widevine::SecurityLevel::L1
+                                                 : widevine::SecurityLevel::L3);
+    return std::make_unique<Device>(spec, keybox);
+  }
+
+  void provision(Device& device) {
+    MediaDrm drm(device, kWidevineUuid);
+    const Bytes request = drm.get_provision_request();
+    const auto response =
+        provisioning_.handle(widevine::ProvisioningRequest::deserialize(request));
+    ASSERT_TRUE(response.granted) << response.deny_reason;
+    ASSERT_TRUE(drm.provide_provision_response(response.serialize()));
+  }
+
+  // License a session for all the title's keys; returns the session.
+  MediaDrm::SessionId license_session(MediaDrm& drm) {
+    const auto session = drm.open_session();
+    media::PsshBox pssh;
+    for (const auto& key : title_.keys) pssh.key_ids.push_back(key.kid);
+    const Bytes request = drm.get_key_request(session, pssh.to_box().serialize());
+    const auto response = license_.handle(widevine::LicenseRequest::deserialize(request),
+                                          widevine::permissive_revocation_policy());
+    EXPECT_TRUE(response.granted) << response.deny_reason;
+    EXPECT_EQ(drm.provide_key_response(session, response.serialize()),
+              widevine::OemCryptoResult::Success);
+    return session;
+  }
+
+  std::shared_ptr<widevine::DeviceRootDatabase> roots_;
+  widevine::ProvisioningServer provisioning_;
+  widevine::LicenseServer license_;
+  media::PackagedTitle title_;
+};
+
+// --- Device profiles ----------------------------------------------------
+
+TEST(DeviceSpecTest, DrmProcessNameTracksAndroidVersion) {
+  EXPECT_EQ(modern_l1_spec(1).drm_process_name(), "mediadrmserver");
+  EXPECT_EQ(legacy_nexus5_spec(1).drm_process_name(), "mediaserver");  // Android 6
+}
+
+TEST(DeviceSpecTest, ProfilesMatchTheStudy) {
+  const DeviceSpec nexus = legacy_nexus5_spec(1);
+  EXPECT_EQ(nexus.model, "Nexus 5");
+  EXPECT_EQ(nexus.cdm_version, widevine::kLegacyCdm);
+  EXPECT_FALSE(nexus.has_tee);
+  const DeviceSpec pixel = modern_l1_spec(1);
+  EXPECT_TRUE(pixel.has_tee);
+  EXPECT_EQ(pixel.cdm_version, widevine::kCurrentCdm);
+  EXPECT_FALSE(modern_l3_only_spec(1).has_tee);
+}
+
+TEST_F(AndroidTest, DeviceSecurityLevelFollowsTee) {
+  EXPECT_EQ(make_device(modern_l1_spec(31))->security_level(), widevine::SecurityLevel::L1);
+  EXPECT_EQ(make_device(legacy_nexus5_spec(32))->security_level(),
+            widevine::SecurityLevel::L3);
+}
+
+TEST_F(AndroidTest, IdentityReflectsDevice) {
+  auto device = make_device(legacy_nexus5_spec(33));
+  const widevine::ClientIdentity id = device->identity();
+  EXPECT_EQ(id.device_model, "Nexus 5");
+  EXPECT_EQ(id.cdm_version, widevine::kLegacyCdm);
+  EXPECT_EQ(id.level, widevine::SecurityLevel::L3);
+}
+
+// --- MediaDrm --------------------------------------------------------------
+
+TEST_F(AndroidTest, RejectsUnknownDrmScheme) {
+  auto device = make_device(modern_l1_spec(34));
+  EXPECT_THROW(MediaDrm(*device, "00000000-0000-0000-0000-000000000000"), StateError);
+}
+
+TEST_F(AndroidTest, ProvisioningFlow) {
+  auto device = make_device(modern_l1_spec(35));
+  MediaDrm drm(*device, kWidevineUuid);
+  EXPECT_FALSE(drm.is_provisioned());
+  provision(*device);
+  EXPECT_TRUE(MediaDrm(*device, kWidevineUuid).is_provisioned());
+}
+
+TEST_F(AndroidTest, DeniedProvisioningLeavesDeviceUnprovisioned) {
+  auto device = make_device(legacy_nexus5_spec(36));
+  MediaDrm drm(*device, kWidevineUuid);
+  (void)drm.get_provision_request();
+  widevine::ProvisioningResponse denied;
+  denied.deny_reason = "device revoked";
+  EXPECT_FALSE(drm.provide_provision_response(denied.serialize()));
+  EXPECT_FALSE(drm.is_provisioned());
+}
+
+TEST_F(AndroidTest, GetKeyRequestRejectsBadInitData) {
+  auto device = make_device(modern_l1_spec(37));
+  provision(*device);
+  MediaDrm drm(*device, kWidevineUuid);
+  const auto session = drm.open_session();
+  EXPECT_THROW(drm.get_key_request(session, to_bytes("not a pssh box")), ParseError);
+  media::Box mdat{.fourcc = "mdat", .payload = {}, .children = {}};
+  EXPECT_THROW(drm.get_key_request(session, mdat.serialize()), ParseError);
+}
+
+TEST_F(AndroidTest, LicenseFlowLoadsKeys) {
+  auto device = make_device(modern_l1_spec(38));
+  provision(*device);
+  MediaDrm drm(*device, kWidevineUuid);
+  const auto session = license_session(drm);
+  EXPECT_EQ(drm.loaded_key_ids(session).size(), title_.keys.size());
+  drm.close_session(session);
+}
+
+TEST_F(AndroidTest, CallsAreVisibleOnTheDrmProcessBus) {
+  auto device = make_device(modern_l1_spec(39));
+  hooking::TraceSession trace(device->drm_process().bus());
+  provision(*device);
+  MediaDrm drm(*device, kWidevineUuid);
+  const auto session = license_session(drm);
+  drm.close_session(session);
+  EXPECT_NE(trace.trace().first("MediaDrm.getKeyRequest"), nullptr);
+  EXPECT_NE(trace.trace().first("MediaDrm.provideKeyResponse"), nullptr);
+  EXPECT_NE(trace.trace().first("MediaDrm.getProvisionRequest"), nullptr);
+  EXPECT_TRUE(trace.trace().touched_module(kMediaJniModule));
+}
+
+// --- MediaCrypto / MediaCodec ---------------------------------------------------
+
+TEST_F(AndroidTest, SecureDecodeRendersFrames) {
+  auto device = make_device(modern_l1_spec(40));
+  provision(*device);
+  MediaDrm drm(*device, kWidevineUuid);
+  const auto session = license_session(drm);
+
+  const auto* rep = title_.mpd.of_type(media::TrackType::Video).back();  // 1080p
+  const auto track =
+      media::PackagedTrack::from_file(BytesView(title_.files.at(rep->base_url)));
+  ASSERT_TRUE(track.encrypted);
+
+  MediaCrypto crypto(drm, session);
+  Surface surface;
+  MediaCodec codec(&crypto, surface);
+  for (std::size_t i = 0; i < track.samples.size(); ++i) {
+    EXPECT_TRUE(codec.queue_secure_input_buffer(track.key_id, BytesView(track.samples[i]),
+                                                track.senc.entries[i]));
+  }
+  EXPECT_EQ(surface.frames_rendered(), track.samples.size());
+  EXPECT_EQ(surface.video_resolution(), (media::Resolution{1920, 1080}));
+  drm.close_session(session);
+}
+
+TEST_F(AndroidTest, ClearDecodeWithoutCrypto) {
+  media::ContentPolicy clear_policy{.encrypt_video = false,
+                                    .encrypt_audio = false,
+                                    .encrypt_subtitles = false,
+                                    .key_usage = media::KeyUsagePolicy::Minimum};
+  const auto clear_title = media::package_title(778, "Clear Movie", {"en"}, {}, clear_policy);
+  const auto* rep = clear_title.mpd.of_type(media::TrackType::Video)[0];
+  const auto track =
+      media::PackagedTrack::from_file(BytesView(clear_title.files.at(rep->base_url)));
+  Surface surface;
+  MediaCodec codec(nullptr, surface);
+  for (const Bytes& sample : track.samples) {
+    EXPECT_TRUE(codec.queue_input_buffer(sample));
+  }
+  EXPECT_GT(surface.frames_rendered(), 0u);
+}
+
+TEST_F(AndroidTest, SecureBufferWithoutCryptoThrows) {
+  Surface surface;
+  MediaCodec codec(nullptr, surface);
+  media::SampleEncryptionEntry entry;
+  EXPECT_THROW(codec.queue_secure_input_buffer(Bytes(16, 0), to_bytes("x"), entry),
+               StateError);
+}
+
+TEST_F(AndroidTest, DecryptWithUnloadedKeyThrows) {
+  auto device = make_device(modern_l1_spec(41));
+  provision(*device);
+  MediaDrm drm(*device, kWidevineUuid);
+  const auto session = drm.open_session();  // no license
+  MediaCrypto crypto(drm, session);
+  media::SampleEncryptionEntry entry;
+  entry.iv = Bytes(8, 0);
+  EXPECT_THROW(crypto.decrypt_sample(Bytes(16, 1), to_bytes("ciphertext"), entry), StateError);
+  drm.close_session(session);
+}
+
+TEST_F(AndroidTest, MultiSubsampleSampleDecryptsCorrectly) {
+  // Hand-build a two-subsample sample and check keystream continuity.
+  auto device = make_device(modern_l1_spec(42));
+  provision(*device);
+  MediaDrm drm(*device, kWidevineUuid);
+  const auto session = license_session(drm);
+
+  const media::ContentKey& key = title_.keys[0];
+  Rng rng(5);
+  const Bytes plaintext = rng.next_bytes(100);
+  // Layout: 10 clear | 40 protected | 6 clear | 44 protected.
+  media::SampleEncryptionEntry entry;
+  entry.iv = rng.next_bytes(8);
+  entry.subsamples.push_back({10, 40});
+  entry.subsamples.push_back({6, 44});
+
+  Bytes full_iv = entry.iv;
+  full_iv.resize(16, 0);
+  const crypto::Aes aes(key.key);
+  crypto::AesCtrStream stream(aes, full_iv);
+  Bytes sample;
+  sample.insert(sample.end(), plaintext.begin(), plaintext.begin() + 10);
+  const Bytes ct1 = stream.process(BytesView(plaintext.data() + 10, 40));
+  sample.insert(sample.end(), ct1.begin(), ct1.end());
+  sample.insert(sample.end(), plaintext.begin() + 50, plaintext.begin() + 56);
+  const Bytes ct2 = stream.process(BytesView(plaintext.data() + 56, 44));
+  sample.insert(sample.end(), ct2.begin(), ct2.end());
+
+  MediaCrypto crypto(drm, session);
+  EXPECT_EQ(crypto.decrypt_sample(key.kid, sample, entry), plaintext);
+  drm.close_session(session);
+}
+
+TEST(SurfaceTest, TracksFirstVideoResolutionOnly) {
+  Surface surface;
+  media::Frame audio;
+  audio.type = media::TrackType::Audio;
+  surface.render(audio);
+  media::Frame video;
+  video.type = media::TrackType::Video;
+  video.resolution = {960, 540};
+  surface.render(video);
+  media::Frame video2;
+  video2.type = media::TrackType::Video;
+  video2.resolution = {1920, 1080};
+  surface.render(video2);
+  EXPECT_EQ(surface.frames_rendered(), 3u);
+  EXPECT_EQ(surface.video_resolution(), (media::Resolution{960, 540}));
+}
+
+}  // namespace
+}  // namespace wideleak::android

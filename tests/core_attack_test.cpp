@@ -1,0 +1,261 @@
+// Attack-side tests: keybox memory-scan recovery (CVE-2021-0639), the
+// clean-room key-ladder reconstruction, and the end-to-end content ripper.
+#include <gtest/gtest.h>
+
+#include "core/key_ladder_attack.hpp"
+#include "core/keybox_recovery.hpp"
+#include "core/monitor.hpp"
+#include "core/ripper.hpp"
+#include "media/codec.hpp"
+#include "ott/catalog.hpp"
+#include "ott/ecosystem.hpp"
+#include "ott/playback.hpp"
+
+namespace wideleak::core {
+namespace {
+
+class AttackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ecosystem_ = new ott::StreamingEcosystem();
+    ecosystem_->install_catalog();
+  }
+
+  static ott::StreamingEcosystem& eco() { return *ecosystem_; }
+  static ott::StreamingEcosystem* ecosystem_;
+};
+
+ott::StreamingEcosystem* AttackTest::ecosystem_ = nullptr;
+
+// --- keybox recovery ---------------------------------------------------------
+
+TEST_F(AttackTest, RecoversKeyboxFromLegacyL3Device) {
+  auto nexus5 = eco().make_device(android::legacy_nexus5_spec(0x3301));
+  const KeyboxRecoveryResult result = recover_keybox(*nexus5);
+  ASSERT_TRUE(result.success());
+  // The recovered keybox is the real one: its stable id matches the device.
+  EXPECT_EQ(result.keybox->stable_id(), nexus5->cdm().oemcrypto().stable_id());
+  EXPECT_GE(result.magic_hits, 1u);
+  EXPECT_GE(result.crc_validated, 1u);
+  EXPECT_NE(result.source_region.find("keybox"), std::string::npos);
+}
+
+TEST_F(AttackTest, PatchedL3DeviceResistsTheScan) {
+  auto tablet = eco().make_device(android::modern_l3_only_spec(0x3302));
+  // Even after playback exercises the CDM...
+  ott::OttApp app(*ott::find_app("Showtime"), eco(), *tablet);
+  ASSERT_TRUE(app.play_title().played);
+  const KeyboxRecoveryResult result = recover_keybox(*tablet);
+  EXPECT_FALSE(result.success());
+  EXPECT_GT(result.regions_scanned, 0u);  // there *is* memory; no raw keybox in it
+}
+
+TEST_F(AttackTest, L1DeviceResistsTheScan) {
+  auto pixel = eco().make_device(android::modern_l1_spec(0x3303));
+  ott::OttApp app(*ott::find_app("Showtime"), eco(), *pixel);
+  ASSERT_TRUE(app.play_title().played);
+  EXPECT_FALSE(recover_keybox(*pixel).success());
+}
+
+TEST(KeyboxScan, CrcFiltersDecoyMagics) {
+  hooking::ProcessMemory memory;
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    Bytes junk = rng.next_bytes(1024);
+    junk[200] = 'k';
+    junk[201] = 'b';
+    junk[202] = 'o';
+    junk[203] = 'x';
+    memory.map_region("junk" + std::to_string(i), junk);
+  }
+  const widevine::Keybox real = widevine::make_factory_keybox("scan-target", 5);
+  memory.map_region("real", real.serialize());
+  const KeyboxRecoveryResult result = scan_for_keybox(memory);
+  ASSERT_TRUE(result.success());
+  EXPECT_EQ(*result.keybox, real);
+  EXPECT_EQ(result.crc_validated, 1u);
+  EXPECT_EQ(result.magic_hits, 11u);
+}
+
+TEST(KeyboxScan, MagicNearRegionEdgeIsHandled) {
+  hooking::ProcessMemory memory;
+  // Magic with no room for a full keybox before/after it.
+  memory.map_region("tiny", to_bytes("kbox"));
+  Bytes almost(125, 0);
+  almost[120] = 'k';
+  almost[121] = 'b';
+  almost[122] = 'o';
+  almost[123] = 'x';
+  memory.map_region("truncated", almost);
+  const KeyboxRecoveryResult result = scan_for_keybox(memory);
+  EXPECT_FALSE(result.success());
+  EXPECT_EQ(result.magic_hits, 0u);  // neither candidate had a full window
+}
+
+TEST(KeyboxScan, EmptyMemory) {
+  hooking::ProcessMemory memory;
+  const KeyboxRecoveryResult result = scan_for_keybox(memory);
+  EXPECT_FALSE(result.success());
+  EXPECT_EQ(result.regions_scanned, 0u);
+  EXPECT_EQ(result.bytes_scanned, 0u);
+}
+
+// --- key ladder reconstruction ---------------------------------------------------
+
+class LadderAttackTest : public AttackTest {
+ protected:
+  // Drive one instrumented playback on a fresh legacy device and return
+  // everything the attacker would hold.
+  struct Capture {
+    std::unique_ptr<android::Device> device;
+    std::unique_ptr<DrmApiMonitor> monitor;
+    widevine::Keybox keybox;
+  };
+  Capture capture_playback(const std::string& app_name, std::uint64_t seed) {
+    Capture capture;
+    capture.device = eco().make_device(android::legacy_nexus5_spec(seed));
+    capture.monitor = std::make_unique<DrmApiMonitor>(*capture.device);
+    ott::OttApp app(*ott::find_app(app_name), eco(), *capture.device);
+    EXPECT_TRUE(app.play_title().played) << app_name;
+    const auto scan = recover_keybox(*capture.device);
+    EXPECT_TRUE(scan.success());
+    capture.keybox = *scan.keybox;
+    return capture;
+  }
+};
+
+TEST_F(LadderAttackTest, RecoversDeviceRsaKeyFromProvisioningExchange) {
+  Capture capture = capture_playback("Showtime", 0x3401);
+  KeyLadderAttack ladder(capture.keybox);
+  const auto rsa = ladder.recover_device_rsa_key(capture.monitor->trace());
+  ASSERT_TRUE(rsa.has_value());
+  // It is the very key the CDM holds.
+  EXPECT_EQ(rsa->pub, *capture.device->cdm().oemcrypto().device_rsa_public());
+}
+
+TEST_F(LadderAttackTest, RecoversContentKeysViaRsaPath) {
+  Capture capture = capture_playback("Showtime", 0x3402);
+  KeyLadderAttack ladder(capture.keybox);
+  ASSERT_TRUE(ladder.recover_device_rsa_key(capture.monitor->trace()).has_value());
+  const RecoveredKeys keys = ladder.recover_content_keys(capture.monitor->trace());
+  ASSERT_FALSE(keys.empty());
+
+  // Every recovered key matches the license server's ground truth.
+  const auto& title = eco().title_for("Showtime");
+  for (const auto& [kid_hex, key] : keys) {
+    const auto* expected = title.key_for(hex_decode(kid_hex));
+    ASSERT_NE(expected, nullptr) << kid_hex;
+    EXPECT_EQ(key, expected->key);
+  }
+  // And no HD key leaked: the server never sent them to L3.
+  for (const auto& content_key : title.keys) {
+    if (content_key.resolution.is_hd()) {
+      EXPECT_FALSE(keys.contains(hex_encode(content_key.kid)));
+    }
+  }
+}
+
+TEST_F(LadderAttackTest, WrongKeyboxRecoversNothing) {
+  Capture capture = capture_playback("Showtime", 0x3403);
+  KeyLadderAttack ladder(widevine::make_factory_keybox("some-other-device", 1));
+  EXPECT_FALSE(ladder.recover_device_rsa_key(capture.monitor->trace()).has_value());
+  EXPECT_TRUE(ladder.recover_content_keys(capture.monitor->trace()).empty());
+}
+
+TEST_F(LadderAttackTest, EmptyTraceRecoversNothing) {
+  hooking::CallTrace empty;
+  KeyLadderAttack ladder(widevine::make_factory_keybox("whatever", 1));
+  EXPECT_FALSE(ladder.recover_device_rsa_key(empty).has_value());
+  EXPECT_TRUE(ladder.recover_content_keys(empty).empty());
+}
+
+TEST_F(LadderAttackTest, KeyboxCmacPathAlsoRecoverable) {
+  // Exercise the legacy (unprovisioned) license path directly: the attack
+  // must handle both schemes, as the paper's PoC does.
+  auto device = eco().make_device(android::legacy_nexus5_spec(0x3404));
+  DrmApiMonitor monitor(*device);
+
+  android::MediaDrm drm(*device, android::kWidevineUuid);
+  const auto session = drm.open_session();
+  const auto& title = eco().title_for("OCS");
+  media::PsshBox pssh;
+  for (const auto& key : title.keys) pssh.key_ids.push_back(key.kid);
+  const Bytes request_bytes = drm.get_key_request(session, pssh.to_box().serialize());
+  const auto request = widevine::LicenseRequest::deserialize(request_bytes);
+  EXPECT_EQ(request.scheme, widevine::SignatureScheme::KeyboxCmac);
+  const auto response =
+      eco().license_server().handle(request, widevine::permissive_revocation_policy());
+  ASSERT_TRUE(response.granted);
+  ASSERT_EQ(drm.provide_key_response(session, response.serialize()),
+            widevine::OemCryptoResult::Success);
+
+  const auto scan = recover_keybox(*device);
+  ASSERT_TRUE(scan.success());
+  KeyLadderAttack ladder(*scan.keybox);
+  const RecoveredKeys keys = ladder.recover_content_keys(monitor.trace());
+  EXPECT_FALSE(keys.empty());
+  for (const auto& [kid_hex, key] : keys) {
+    EXPECT_EQ(key, title.key_for(hex_decode(kid_hex))->key);
+  }
+}
+
+// --- end-to-end ripper --------------------------------------------------------------
+
+TEST_F(AttackTest, RipsNetflixOnLegacyDevice) {
+  auto nexus5 = eco().make_device(android::legacy_nexus5_spec(0x3501));
+  ContentRipper ripper(eco(), *nexus5);
+  const RipResult result = ripper.rip_app(*ott::find_app("Netflix"));
+  ASSERT_TRUE(result.success) << result.failure;
+  EXPECT_TRUE(result.keybox_recovered);
+  EXPECT_TRUE(result.device_rsa_recovered);
+  EXPECT_GT(result.content_keys_recovered, 0u);
+  EXPECT_EQ(result.best_video_resolution, (media::Resolution{960, 540}));
+  EXPECT_TRUE(result.plays_without_account);
+  EXPECT_GT(result.audio_tracks, 0u);
+  // The rip output is a real playable stream.
+  const media::PlaybackReport playback = media::try_play(BytesView(result.drm_free_media));
+  EXPECT_TRUE(playback.playable);
+  EXPECT_EQ(playback.resolution, (media::Resolution{960, 540}));
+}
+
+TEST_F(AttackTest, RipFailsForRevokedApps) {
+  auto nexus5 = eco().make_device(android::legacy_nexus5_spec(0x3502));
+  ContentRipper ripper(eco(), *nexus5);
+  for (const char* app : {"Disney+", "HBO Max", "Starz"}) {
+    const RipResult result = ripper.rip_app(*ott::find_app(app));
+    EXPECT_FALSE(result.success) << app;
+    EXPECT_FALSE(result.keybox_recovered) << app;  // attack aborts before the scan
+    EXPECT_NE(result.failure.find("provisioning"), std::string::npos) << app;
+  }
+}
+
+TEST_F(AttackTest, RipFailsForAmazonCustomDrm) {
+  auto nexus5 = eco().make_device(android::legacy_nexus5_spec(0x3503));
+  ContentRipper ripper(eco(), *nexus5);
+  const RipResult result = ripper.rip_app(*ott::find_app("Amazon Prime Video"));
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.failure.find("embedded DRM"), std::string::npos);
+}
+
+TEST_F(AttackTest, RipFailsOnModernDevice) {
+  // The same pipeline against a patched L3 device dies at the keybox scan.
+  auto tablet = eco().make_device(android::modern_l3_only_spec(0x3504));
+  ContentRipper ripper(eco(), *tablet);
+  const RipResult result = ripper.rip_app(*ott::find_app("Showtime"));
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.keybox_recovered);
+  EXPECT_NE(result.failure.find("keybox"), std::string::npos);
+}
+
+TEST_F(AttackTest, RippedAudioIncludesAllLanguages) {
+  auto nexus5 = eco().make_device(android::legacy_nexus5_spec(0x3505));
+  ContentRipper ripper(eco(), *nexus5);
+  const RipResult result = ripper.rip_app(*ott::find_app("myCANAL"));
+  ASSERT_TRUE(result.success) << result.failure;
+  // myCANAL serves clear audio in two languages; both end up in the rip.
+  EXPECT_EQ(result.audio_tracks, 2u);
+  EXPECT_GT(result.subtitle_tracks, 0u);
+}
+
+}  // namespace
+}  // namespace wideleak::core

@@ -1,0 +1,231 @@
+// Auditor tests: asset protection classification (Q2), key-usage analysis
+// (Q3) and the legacy-device prober (Q4).
+#include <gtest/gtest.h>
+
+#include "core/asset_auditor.hpp"
+#include "core/key_usage_auditor.hpp"
+#include "core/legacy_prober.hpp"
+#include "core/monitor.hpp"
+#include "core/network_monitor.hpp"
+#include "ott/catalog.hpp"
+#include "ott/ecosystem.hpp"
+#include "ott/playback.hpp"
+
+namespace wideleak::core {
+namespace {
+
+class AuditTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ecosystem_ = new ott::StreamingEcosystem();
+    ecosystem_->install_catalog();
+  }
+
+  static ott::StreamingEcosystem& eco() { return *ecosystem_; }
+
+  static HarvestedManifest harvest(const std::string& app_name, std::uint64_t seed) {
+    auto device = eco().make_device(android::modern_l1_spec(seed));
+    DrmApiMonitor cdm_monitor(*device);
+    NetworkMonitor net_monitor(eco().network(), eco().fork_rng());
+    ott::OttApp app(*ott::find_app(app_name), eco(), *device);
+    net_monitor.attach(app);
+    EXPECT_TRUE(app.play_title().played) << app_name;
+    return net_monitor.harvest_manifest(&cdm_monitor);
+  }
+
+  static AssetAuditor make_auditor() {
+    net::TrustStore trust;
+    trust.add(eco().root_ca());
+    return AssetAuditor(eco().network(), trust, eco().fork_rng());
+  }
+
+  static ott::StreamingEcosystem* ecosystem_;
+};
+
+ott::StreamingEcosystem* AuditTest::ecosystem_ = nullptr;
+
+// --- file classification unit tests ----------------------------------------
+
+TEST(AssetClassification, ClearFileIsClear) {
+  const auto frames = media::generate_track_frames(1, media::TrackType::Audio, {}, 4);
+  media::TrakBox trak{.type = media::TrackType::Audio, .resolution = {}, .language = "en"};
+  const Bytes file = media::package_clear(trak, frames).to_file();
+  EXPECT_EQ(AssetAuditor::classify_file(BytesView(file)), ProtectionStatus::Clear);
+}
+
+TEST(AssetClassification, EncryptedFileIsEncrypted) {
+  Rng rng(2);
+  const auto frames = media::generate_track_frames(2, media::TrackType::Video, {640, 360}, 4);
+  media::TrakBox trak{.type = media::TrackType::Video, .resolution = {640, 360},
+                      .language = "und"};
+  const Bytes file =
+      media::package_encrypted(trak, frames, rng.next_bytes(16), rng.next_bytes(16), rng)
+          .to_file();
+  EXPECT_EQ(AssetAuditor::classify_file(BytesView(file)), ProtectionStatus::Encrypted);
+}
+
+TEST(AssetClassification, GarbageIsUnknown) {
+  Rng rng(3);
+  const Bytes garbage = rng.next_bytes(512);
+  EXPECT_EQ(AssetAuditor::classify_file(BytesView(garbage)), ProtectionStatus::Unknown);
+}
+
+// --- Q2 over real apps ------------------------------------------------------
+
+TEST_F(AuditTest, NetflixAudioAndSubtitlesClearVideoEncrypted) {
+  AssetAuditor auditor = make_auditor();
+  const auto report = auditor.audit(harvest("Netflix", 0x2201));
+  EXPECT_EQ(report.video, ProtectionStatus::Encrypted);
+  EXPECT_EQ(report.audio, ProtectionStatus::Clear);
+  EXPECT_EQ(report.subtitles, ProtectionStatus::Clear);
+  EXPECT_TRUE(report.subtitles_ascii_readable);
+  EXPECT_TRUE(report.clear_audio_plays_without_account);
+  EXPECT_GT(report.assets_checked, 0u);
+}
+
+TEST_F(AuditTest, ShowtimeEncryptsAudio) {
+  AssetAuditor auditor = make_auditor();
+  const auto report = auditor.audit(harvest("Showtime", 0x2202));
+  EXPECT_EQ(report.video, ProtectionStatus::Encrypted);
+  EXPECT_EQ(report.audio, ProtectionStatus::Encrypted);
+  EXPECT_EQ(report.subtitles, ProtectionStatus::Clear);
+  EXPECT_FALSE(report.clear_audio_plays_without_account);
+}
+
+TEST_F(AuditTest, HuluSubtitlesUnknown) {
+  AssetAuditor auditor = make_auditor();
+  const auto report = auditor.audit(harvest("Hulu", 0x2203));
+  EXPECT_EQ(report.video, ProtectionStatus::Encrypted);
+  EXPECT_EQ(report.audio, ProtectionStatus::Encrypted);
+  EXPECT_EQ(report.subtitles, ProtectionStatus::Unknown);
+}
+
+TEST_F(AuditTest, EmptyManifestYieldsUnknownEverything) {
+  AssetAuditor auditor = make_auditor();
+  const auto report = auditor.audit(HarvestedManifest{});
+  EXPECT_EQ(report.video, ProtectionStatus::Unknown);
+  EXPECT_EQ(report.audio, ProtectionStatus::Unknown);
+  EXPECT_EQ(report.subtitles, ProtectionStatus::Unknown);
+  EXPECT_EQ(report.assets_checked, 0u);
+}
+
+// --- Q3 ------------------------------------------------------------------------
+
+TEST_F(AuditTest, MinimumVerdictForClearAudio) {
+  AssetAuditor auditor = make_auditor();
+  const auto manifest = harvest("Salto", 0x2204);
+  const auto assets = auditor.audit(manifest);
+  const auto usage = audit_key_usage(manifest, assets);
+  EXPECT_EQ(usage.verdict, KeyUsageVerdict::Minimum);
+  EXPECT_FALSE(usage.audio_encrypted);
+  EXPECT_TRUE(usage.video_keys_distinct_per_resolution);
+}
+
+TEST_F(AuditTest, MinimumVerdictForSharedAudioKey) {
+  AssetAuditor auditor = make_auditor();
+  const auto manifest = harvest("Showtime", 0x2205);
+  const auto usage = audit_key_usage(manifest, auditor.audit(manifest));
+  EXPECT_EQ(usage.verdict, KeyUsageVerdict::Minimum);
+  EXPECT_TRUE(usage.audio_encrypted);
+  EXPECT_TRUE(usage.audio_shares_video_key);
+}
+
+TEST_F(AuditTest, RecommendedVerdictForAmazon) {
+  AssetAuditor auditor = make_auditor();
+  const auto manifest = harvest("Amazon Prime Video", 0x2206);
+  const auto usage = audit_key_usage(manifest, auditor.audit(manifest));
+  EXPECT_EQ(usage.verdict, KeyUsageVerdict::Recommended);
+  EXPECT_TRUE(usage.audio_encrypted);
+  EXPECT_FALSE(usage.audio_shares_video_key);
+}
+
+TEST_F(AuditTest, UnknownVerdictUnderRegionalRestriction) {
+  AssetAuditor auditor = make_auditor();
+  const auto manifest = harvest("HBO Max", 0x2207);
+  const auto usage = audit_key_usage(manifest, auditor.audit(manifest));
+  EXPECT_EQ(usage.verdict, KeyUsageVerdict::Unknown);
+  EXPECT_TRUE(usage.audio_encrypted);  // Q2 sees it; Q3 cannot analyze it
+}
+
+TEST_F(AuditTest, VideoKeysAlwaysDistinctPerResolution) {
+  AssetAuditor auditor = make_auditor();
+  for (const char* app : {"Netflix", "Showtime", "Amazon Prime Video"}) {
+    const auto manifest = harvest(app, 0x2210 + static_cast<std::uint64_t>(app[0]));
+    const auto usage = audit_key_usage(manifest, auditor.audit(manifest));
+    EXPECT_TRUE(usage.video_keys_distinct_per_resolution) << app;
+    EXPECT_EQ(usage.distinct_video_kids, 6u) << app;
+  }
+}
+
+TEST(KeyUsageUnit, NoManifestIsUnknown) {
+  EXPECT_EQ(audit_key_usage(HarvestedManifest{}, AssetProtectionReport{}).verdict,
+            KeyUsageVerdict::Unknown);
+}
+
+// --- Q4 ---------------------------------------------------------------------------
+
+TEST_F(AuditTest, LegacyProbeVerdicts) {
+  auto nexus5 = eco().make_device(android::legacy_nexus5_spec(0x2301));
+
+  const auto netflix = probe_legacy_playback(*ott::find_app("Netflix"), eco(), *nexus5);
+  EXPECT_EQ(netflix.verdict, LegacyPlaybackVerdict::Plays);
+  EXPECT_EQ(netflix.best_resolution, (media::Resolution{960, 540}));
+  EXPECT_TRUE(netflix.hd_denied);
+
+  const auto disney = probe_legacy_playback(*ott::find_app("Disney+"), eco(), *nexus5);
+  EXPECT_EQ(disney.verdict, LegacyPlaybackVerdict::ProvisioningFailed);
+  EXPECT_NE(disney.detail.find("revoked"), std::string::npos);
+
+  const auto amazon =
+      probe_legacy_playback(*ott::find_app("Amazon Prime Video"), eco(), *nexus5);
+  EXPECT_EQ(amazon.verdict, LegacyPlaybackVerdict::PlaysViaCustomDrm);
+  EXPECT_TRUE(amazon.hd_denied);
+
+  const auto starz = probe_legacy_playback(*ott::find_app("Starz"), eco(), *nexus5);
+  EXPECT_EQ(starz.verdict, LegacyPlaybackVerdict::ProvisioningFailed);
+}
+
+TEST_F(AuditTest, ModernDeviceNeverHitsProvisioningDenial) {
+  auto pixel = eco().make_device(android::modern_l1_spec(0x2302));
+  const auto disney = probe_legacy_playback(*ott::find_app("Disney+"), eco(), *pixel);
+  EXPECT_EQ(disney.verdict, LegacyPlaybackVerdict::Plays);
+  EXPECT_FALSE(disney.hd_denied);
+}
+
+
+// --- negative control: the pipeline must DETECT compliance, not assume
+// non-compliance. A hypothetical app that encrypts everything (subtitles
+// included, with distinct keys) audits as fully protected.
+
+TEST_F(AuditTest, CompliantAppAuditsAsFullyProtected) {
+  ott::OttAppProfile strict;
+  strict.name = "StrictFlix";
+  strict.installs_millions = 1;
+  strict.content_policy = {.encrypt_video = true,
+                           .encrypt_audio = true,
+                           .encrypt_subtitles = true,
+                           .key_usage = media::KeyUsagePolicy::Recommended};
+  eco().install_app(strict);
+
+  auto device = eco().make_device(android::modern_l1_spec(0x2401));
+  DrmApiMonitor cdm_monitor(*device);
+  NetworkMonitor net_monitor(eco().network(), eco().fork_rng());
+  ott::OttApp app(strict, eco(), *device);
+  net_monitor.attach(app);
+  const auto outcome = app.play_title();
+  ASSERT_TRUE(outcome.played) << outcome.failure << outcome.license_error;
+
+  const auto manifest = net_monitor.harvest_manifest(&cdm_monitor);
+  AssetAuditor auditor = make_auditor();
+  const auto assets = auditor.audit(manifest);
+  EXPECT_EQ(assets.video, ProtectionStatus::Encrypted);
+  EXPECT_EQ(assets.audio, ProtectionStatus::Encrypted);
+  EXPECT_EQ(assets.subtitles, ProtectionStatus::Encrypted);
+  EXPECT_FALSE(assets.subtitles_ascii_readable);
+  EXPECT_FALSE(assets.clear_audio_plays_without_account);
+  const auto usage = audit_key_usage(manifest, assets);
+  EXPECT_EQ(usage.verdict, KeyUsageVerdict::Recommended);
+}
+
+}  // namespace
+}  // namespace wideleak::core

@@ -1,0 +1,174 @@
+// WideLeak monitor tests: DRM API tracing/classification and the network
+// monitor (MITM + repinning bypass + manifest harvesting).
+#include <gtest/gtest.h>
+
+#include "core/monitor.hpp"
+#include "core/network_monitor.hpp"
+#include "ott/catalog.hpp"
+#include "ott/ecosystem.hpp"
+#include "ott/playback.hpp"
+
+namespace wideleak::core {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ecosystem_ = new ott::StreamingEcosystem();
+    ecosystem_->install_catalog();
+  }
+
+  static ott::StreamingEcosystem& eco() { return *ecosystem_; }
+  static ott::StreamingEcosystem* ecosystem_;
+};
+
+ott::StreamingEcosystem* MonitorTest::ecosystem_ = nullptr;
+
+TEST_F(MonitorTest, ClassifiesL1ByOemCryptoModule) {
+  auto device = eco().make_device(android::modern_l1_spec(0x1101));
+  DrmApiMonitor monitor(*device);
+  ott::OttApp app(*ott::find_app("Showtime"), eco(), *device);
+  ASSERT_TRUE(app.play_title().played);
+  const WidevineUsageReport report = monitor.usage_report();
+  EXPECT_TRUE(report.widevine_used);
+  EXPECT_EQ(report.observed_level, widevine::SecurityLevel::L1);
+  EXPECT_GT(report.oecc_calls, 0u);
+  EXPECT_GT(report.media_drm_calls, 0u);
+}
+
+TEST_F(MonitorTest, ClassifiesL3WhenCallsStayInWvDrmEngine) {
+  auto device = eco().make_device(android::legacy_nexus5_spec(0x1102));
+  DrmApiMonitor monitor(*device);
+  ott::OttApp app(*ott::find_app("Showtime"), eco(), *device);
+  ASSERT_TRUE(app.play_title().played);
+  const WidevineUsageReport report = monitor.usage_report();
+  EXPECT_TRUE(report.widevine_used);
+  EXPECT_EQ(report.observed_level, widevine::SecurityLevel::L3);
+  EXPECT_FALSE(monitor.trace().touched_module(widevine::kOemCryptoModule));
+}
+
+TEST_F(MonitorTest, NoWidevineActivityForCustomDrm) {
+  auto device = eco().make_device(android::modern_l3_only_spec(0x1103));
+  DrmApiMonitor monitor(*device);
+  ott::OttApp app(*ott::find_app("Amazon Prime Video"), eco(), *device);
+  ASSERT_TRUE(app.play_title().played);
+  const WidevineUsageReport report = monitor.usage_report();
+  EXPECT_FALSE(report.widevine_used);
+  EXPECT_FALSE(report.observed_level.has_value());
+}
+
+TEST_F(MonitorTest, EmptyTraceReportsNoUsage) {
+  auto device = eco().make_device(android::modern_l1_spec(0x1104));
+  DrmApiMonitor monitor(*device);
+  const WidevineUsageReport report = monitor.usage_report();
+  EXPECT_FALSE(report.widevine_used);
+  EXPECT_EQ(report.oecc_calls, 0u);
+}
+
+TEST_F(MonitorTest, ClearResetsTheTrace) {
+  auto device = eco().make_device(android::modern_l1_spec(0x1105));
+  DrmApiMonitor monitor(*device);
+  ott::OttApp app(*ott::find_app("OCS"), eco(), *device);
+  ASSERT_TRUE(app.play_title().played);
+  EXPECT_GT(monitor.trace().size(), 0u);
+  monitor.clear();
+  EXPECT_EQ(monitor.trace().size(), 0u);
+}
+
+TEST_F(MonitorTest, DumpsGenericDecryptOutput) {
+  auto device = eco().make_device(android::modern_l1_spec(0x1106));
+  DrmApiMonitor monitor(*device);
+  ott::OttApp app(*ott::find_app("Netflix"), eco(), *device);
+  ASSERT_TRUE(app.play_title().played);
+  const auto dumps = monitor.dumped_outputs("_oecc42_GenericDecrypt");
+  ASSERT_FALSE(dumps.empty());
+  // The dumped plaintext is Netflix's manifest.
+  const media::Mpd mpd = media::Mpd::parse(to_string(BytesView(dumps[0])));
+  EXPECT_FALSE(mpd.representations.empty());
+}
+
+TEST_F(MonitorTest, DecryptCencOutputIsNotDumped) {
+  // The secure decode path must not leak frame plaintext into the trace
+  // (MovieStealer's failure mode).
+  auto device = eco().make_device(android::modern_l1_spec(0x1107));
+  DrmApiMonitor monitor(*device);
+  ott::OttApp app(*ott::find_app("Showtime"), eco(), *device);
+  ASSERT_TRUE(app.play_title().played);
+  const auto outputs = monitor.dumped_outputs("_oecc22_DecryptCENC");
+  ASSERT_FALSE(outputs.empty());
+  for (const Bytes& out : outputs) EXPECT_TRUE(out.empty());
+}
+
+// --- NetworkMonitor ---------------------------------------------------------
+
+TEST_F(MonitorTest, BypassCountsPinnedHandshakes) {
+  auto device = eco().make_device(android::modern_l1_spec(0x1108));
+  NetworkMonitor net_monitor(eco().network(), eco().fork_rng());
+  ott::OttApp app(*ott::find_app("Salto"), eco(), *device);
+  net_monitor.attach(app);
+  ASSERT_TRUE(app.play_title().played);
+  EXPECT_GT(net_monitor.pin_bypasses(), 0u);
+  EXPECT_FALSE(net_monitor.flows().empty());
+}
+
+TEST_F(MonitorTest, HarvestsPlainManifestFromMitm) {
+  auto device = eco().make_device(android::modern_l1_spec(0x1109));
+  NetworkMonitor net_monitor(eco().network(), eco().fork_rng());
+  ott::OttApp app(*ott::find_app("myCANAL"), eco(), *device);
+  net_monitor.attach(app);
+  ASSERT_TRUE(app.play_title().played);
+  const HarvestedManifest manifest = net_monitor.harvest_manifest(nullptr);
+  ASSERT_TRUE(manifest.mpd.has_value());
+  EXPECT_EQ(manifest.source, "mitm");
+  EXPECT_EQ(manifest.cdn_host, "cdn.mycanal.example");
+  EXPECT_FALSE(manifest.mpd->of_type(media::TrackType::Video).empty());
+}
+
+TEST_F(MonitorTest, NetflixManifestNeedsTheCdmTrace) {
+  auto device = eco().make_device(android::modern_l1_spec(0x110A));
+  DrmApiMonitor cdm_monitor(*device);
+  NetworkMonitor net_monitor(eco().network(), eco().fork_rng());
+  ott::OttApp app(*ott::find_app("Netflix"), eco(), *device);
+  net_monitor.attach(app);
+  ASSERT_TRUE(app.play_title().played);
+  // MITM alone: ciphertext only.
+  EXPECT_FALSE(net_monitor.harvest_manifest(nullptr).mpd.has_value());
+  // With the CDM generic-decrypt dump: recovered.
+  const HarvestedManifest manifest = net_monitor.harvest_manifest(&cdm_monitor);
+  ASSERT_TRUE(manifest.mpd.has_value());
+  EXPECT_EQ(manifest.source, "cdm-generic-decrypt");
+}
+
+TEST_F(MonitorTest, OpaqueSubtitleTokensAreCapturedButUnresolvable) {
+  auto device = eco().make_device(android::modern_l1_spec(0x110B));
+  NetworkMonitor net_monitor(eco().network(), eco().fork_rng());
+  ott::OttApp app(*ott::find_app("Hulu"), eco(), *device);
+  net_monitor.attach(app);
+  ASSERT_TRUE(app.play_title().played);
+  const HarvestedManifest manifest = net_monitor.harvest_manifest(nullptr);
+  ASSERT_TRUE(manifest.mpd.has_value());
+  EXPECT_FALSE(manifest.opaque_subtitle_tokens.empty());
+  // The harvested MPD carries no subtitle URIs — Table I's "-".
+  EXPECT_TRUE(manifest.mpd->of_type(media::TrackType::Subtitle).empty());
+}
+
+TEST_F(MonitorTest, CapturedLicenseFlowsCarryProtocolMessages) {
+  auto device = eco().make_device(android::modern_l1_spec(0x110C));
+  NetworkMonitor net_monitor(eco().network(), eco().fork_rng());
+  ott::OttApp app(*ott::find_app("OCS"), eco(), *device);
+  net_monitor.attach(app);
+  ASSERT_TRUE(app.play_title().played);
+  bool saw_license = false;
+  for (const net::CapturedFlow& flow : net_monitor.flows()) {
+    if (flow.request.path != "/license") continue;
+    saw_license = true;
+    const auto request = widevine::LicenseRequest::deserialize(flow.request.body);
+    EXPECT_FALSE(request.key_ids.empty());
+    const auto response = widevine::LicenseResponse::deserialize(flow.response.body);
+    EXPECT_TRUE(response.granted);
+  }
+  EXPECT_TRUE(saw_license);
+}
+
+}  // namespace
+}  // namespace wideleak::core

@@ -1,0 +1,202 @@
+// AES and block-mode tests: FIPS-197 / SP 800-38A known-answer tests plus
+// roundtrip and tamper properties.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/modes.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::crypto {
+namespace {
+
+// --- FIPS-197 known answers ---------------------------------------------
+
+TEST(Aes, Fips197Aes128) {
+  const Bytes key = hex_decode("000102030405060708090a0b0c0d0e0f");
+  const Bytes plain = hex_decode("00112233445566778899aabbccddeeff");
+  const Aes aes(key);
+  std::uint8_t out[16];
+  aes.encrypt_block(plain.data(), out);
+  EXPECT_EQ(hex_encode(BytesView(out, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, Fips197Aes256) {
+  const Bytes key =
+      hex_decode("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes plain = hex_decode("00112233445566778899aabbccddeeff");
+  const Aes aes(key);
+  std::uint8_t out[16];
+  aes.encrypt_block(plain.data(), out);
+  EXPECT_EQ(hex_encode(BytesView(out, 16)), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes, Sp800_38aVector) {
+  // SP 800-38A F.1.1 ECB-AES128 block #1.
+  const Aes aes(hex_decode("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Bytes plain = hex_decode("6bc1bee22e409f96e93d7e117393172a");
+  std::uint8_t out[16];
+  aes.encrypt_block(plain.data(), out);
+  EXPECT_EQ(hex_encode(BytesView(out, 16)), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes, DecryptInvertsEncrypt) {
+  Rng rng(1);
+  for (const std::size_t key_len : {std::size_t{16}, std::size_t{32}}) {
+    const Aes aes(rng.next_bytes(key_len));
+    for (int i = 0; i < 20; ++i) {
+      AesBlock block;
+      const Bytes random = rng.next_bytes(16);
+      std::copy(random.begin(), random.end(), block.begin());
+      EXPECT_EQ(aes.decrypt_block(aes.encrypt_block(block)), block);
+    }
+  }
+}
+
+TEST(Aes, RejectsBadKeySizes) {
+  Rng rng(2);
+  EXPECT_THROW(Aes(rng.next_bytes(0)), std::invalid_argument);
+  EXPECT_THROW(Aes(rng.next_bytes(15)), std::invalid_argument);
+  EXPECT_THROW(Aes(rng.next_bytes(24)), std::invalid_argument);  // AES-192 unsupported
+  EXPECT_THROW(Aes(rng.next_bytes(33)), std::invalid_argument);
+}
+
+TEST(Aes, RoundCounts) {
+  Rng rng(3);
+  EXPECT_EQ(Aes(rng.next_bytes(16)).rounds(), 10);
+  EXPECT_EQ(Aes(rng.next_bytes(32)).rounds(), 14);
+}
+
+// --- CBC ------------------------------------------------------------------
+
+TEST(CbcMode, Sp800_38aCbcAes128) {
+  // SP 800-38A F.2.1 CBC-AES128.Encrypt, first block.
+  const Aes aes(hex_decode("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Bytes iv = hex_decode("000102030405060708090a0b0c0d0e0f");
+  const Bytes plain = hex_decode("6bc1bee22e409f96e93d7e117393172a");
+  const Bytes ct = aes_cbc_encrypt_nopad(aes, iv, plain);
+  EXPECT_EQ(hex_encode(ct), "7649abac8119b246cee98e9b12e9197d");
+}
+
+TEST(CbcMode, PaddedRoundTripAllSizes) {
+  Rng rng(4);
+  const Aes aes(rng.next_bytes(16));
+  const Bytes iv = rng.next_bytes(16);
+  for (std::size_t size = 0; size <= 48; ++size) {
+    const Bytes plain = rng.next_bytes(size);
+    const Bytes ct = aes_cbc_encrypt(aes, iv, plain);
+    EXPECT_EQ(ct.size() % 16, 0u);
+    EXPECT_GT(ct.size(), plain.size());  // padding always added
+    EXPECT_EQ(aes_cbc_decrypt(aes, iv, ct), plain);
+  }
+}
+
+TEST(CbcMode, DecryptDetectsCiphertextTampering) {
+  Rng rng(5);
+  const Aes aes(rng.next_bytes(16));
+  const Bytes iv = rng.next_bytes(16);
+  Bytes ct = aes_cbc_encrypt(aes, iv, rng.next_bytes(31));
+  ct.back() ^= 0x01;  // corrupt padding block
+  EXPECT_THROW(aes_cbc_decrypt(aes, iv, ct), CryptoError);
+}
+
+TEST(CbcMode, DecryptRejectsUnalignedCiphertext) {
+  Rng rng(6);
+  const Aes aes(rng.next_bytes(16));
+  const Bytes iv = rng.next_bytes(16);
+  EXPECT_THROW(aes_cbc_decrypt(aes, iv, rng.next_bytes(17)), CryptoError);
+  EXPECT_THROW(aes_cbc_decrypt(aes, iv, Bytes{}), CryptoError);
+}
+
+TEST(CbcMode, NopadRequiresAlignment) {
+  Rng rng(7);
+  const Aes aes(rng.next_bytes(16));
+  const Bytes iv = rng.next_bytes(16);
+  EXPECT_THROW(aes_cbc_encrypt_nopad(aes, iv, rng.next_bytes(15)), std::invalid_argument);
+  const Bytes plain = rng.next_bytes(32);
+  EXPECT_EQ(aes_cbc_decrypt_nopad(aes, iv, aes_cbc_encrypt_nopad(aes, iv, plain)), plain);
+}
+
+TEST(CbcMode, IvChangesCiphertext) {
+  Rng rng(8);
+  const Aes aes(rng.next_bytes(16));
+  const Bytes plain = rng.next_bytes(32);
+  const Bytes c1 = aes_cbc_encrypt(aes, rng.next_bytes(16), plain);
+  const Bytes c2 = aes_cbc_encrypt(aes, rng.next_bytes(16), plain);
+  EXPECT_NE(c1, c2);
+}
+
+TEST(CbcMode, RejectsBadIvSize) {
+  Rng rng(9);
+  const Aes aes(rng.next_bytes(16));
+  EXPECT_THROW(aes_cbc_encrypt(aes, rng.next_bytes(8), rng.next_bytes(16)),
+               std::invalid_argument);
+}
+
+// --- CTR ------------------------------------------------------------------
+
+TEST(CtrMode, Sp800_38aCtrAes128) {
+  // SP 800-38A F.5.1 CTR-AES128.Encrypt, first block.
+  const Aes aes(hex_decode("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Bytes iv = hex_decode("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes plain = hex_decode("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(hex_encode(aes_ctr_crypt(aes, iv, plain)), "874d6191b620e3261bef6864990db6ce");
+}
+
+TEST(CtrMode, EncryptIsDecrypt) {
+  Rng rng(10);
+  const Aes aes(rng.next_bytes(16));
+  const Bytes iv = rng.next_bytes(16);
+  for (const std::size_t size : {0, 1, 15, 16, 17, 100, 1000}) {
+    const Bytes plain = rng.next_bytes(static_cast<std::size_t>(size));
+    EXPECT_EQ(aes_ctr_crypt(aes, iv, aes_ctr_crypt(aes, iv, plain)), plain);
+  }
+}
+
+TEST(CtrMode, StreamMatchesOneShot) {
+  Rng rng(11);
+  const Aes aes(rng.next_bytes(16));
+  const Bytes iv = rng.next_bytes(16);
+  const Bytes plain = rng.next_bytes(100);
+
+  const Bytes oneshot = aes_ctr_crypt(aes, iv, plain);
+
+  AesCtrStream stream(aes, iv);
+  Bytes chunked;
+  std::size_t pos = 0;
+  for (const std::size_t chunk : {7, 16, 3, 40, 34}) {
+    const Bytes part = stream.process(BytesView(plain.data() + pos, chunk));
+    chunked.insert(chunked.end(), part.begin(), part.end());
+    pos += chunk;
+  }
+  EXPECT_EQ(chunked, oneshot);
+}
+
+TEST(CtrMode, StreamSkipAdvancesKeystream) {
+  Rng rng(12);
+  const Aes aes(rng.next_bytes(16));
+  const Bytes iv = rng.next_bytes(16);
+  const Bytes plain = rng.next_bytes(64);
+  const Bytes full = aes_ctr_crypt(aes, iv, plain);
+
+  AesCtrStream stream(aes, iv);
+  stream.skip(20);
+  const Bytes tail = stream.process(BytesView(plain.data() + 20, 44));
+  EXPECT_EQ(tail, Bytes(full.begin() + 20, full.end()));
+}
+
+TEST(CtrMode, CounterCarriesAcrossBlocks) {
+  // A low counter byte of 0xff must carry into the next byte.
+  Rng rng(13);
+  const Aes aes(rng.next_bytes(16));
+  Bytes iv(16, 0x00);
+  iv[15] = 0xff;
+  const Bytes plain(48, 0x00);
+  const Bytes ks = aes_ctr_crypt(aes, iv, plain);
+  // Distinct keystream blocks prove the counter moved.
+  EXPECT_NE(Bytes(ks.begin(), ks.begin() + 16), Bytes(ks.begin() + 16, ks.begin() + 32));
+  EXPECT_NE(Bytes(ks.begin() + 16, ks.begin() + 32), Bytes(ks.begin() + 32, ks.end()));
+}
+
+}  // namespace
+}  // namespace wideleak::crypto

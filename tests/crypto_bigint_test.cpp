@@ -1,0 +1,281 @@
+// BigInt arithmetic: known answers, algebraic identities (randomized), and
+// the classic division corner cases (Knuth Algorithm D add-back paths).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "crypto/bigint.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::crypto {
+namespace {
+
+BigInt random_bigint(Rng& rng, std::size_t max_bytes) {
+  return BigInt::from_bytes_be(rng.next_bytes(1 + rng.next_below(max_bytes)));
+}
+
+// --- construction & conversion ------------------------------------------
+
+TEST(BigInt, ZeroProperties) {
+  const BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(zero.is_odd());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.to_hex(), "0");
+  EXPECT_EQ(zero.to_u64(), 0u);
+}
+
+TEST(BigInt, U64RoundTrip) {
+  for (const std::uint64_t v : {0ull, 1ull, 255ull, 0x100000000ull, 0xffffffffffffffffull}) {
+    EXPECT_EQ(BigInt(v).to_u64(), v);
+  }
+}
+
+TEST(BigInt, ToU64Overflow) {
+  const BigInt big = BigInt(1) << 65;
+  EXPECT_THROW(big.to_u64(), std::overflow_error);
+}
+
+TEST(BigInt, BytesRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    Bytes raw = rng.next_bytes(1 + rng.next_below(64));
+    raw[0] |= 1;  // avoid leading zero ambiguity
+    EXPECT_EQ(BigInt::from_bytes_be(raw).to_bytes_be(), raw);
+  }
+}
+
+TEST(BigInt, ToBytesMinLengthPads) {
+  EXPECT_EQ(BigInt(0x1234).to_bytes_be(4), (Bytes{0x00, 0x00, 0x12, 0x34}));
+  EXPECT_EQ(BigInt(0x1234).to_bytes_be(), (Bytes{0x12, 0x34}));
+}
+
+TEST(BigInt, HexRoundTrip) {
+  EXPECT_EQ(BigInt::from_hex("deadbeef").to_hex(), "deadbeef");
+  EXPECT_EQ(BigInt::from_hex("0").to_hex(), "0");
+  EXPECT_EQ(BigInt::from_hex("abc").to_u64(), 0xabcu);  // odd length accepted
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(0xff).bit_length(), 8u);
+  EXPECT_EQ(BigInt(0x100).bit_length(), 9u);
+  EXPECT_EQ((BigInt(1) << 1000).bit_length(), 1001u);
+}
+
+TEST(BigInt, BitAccess) {
+  const BigInt v(0b1010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.bit(100));
+}
+
+// --- comparison -----------------------------------------------------------
+
+TEST(BigInt, Ordering) {
+  EXPECT_LT(BigInt(5), BigInt(7));
+  EXPECT_GT(BigInt(1) << 64, BigInt(UINT64_MAX));
+  EXPECT_EQ(BigInt(42), BigInt(42));
+  EXPECT_LT(BigInt(), BigInt(1));
+}
+
+// --- arithmetic -------------------------------------------------------------
+
+TEST(BigInt, AdditionCarries) {
+  EXPECT_EQ(BigInt(UINT64_MAX) + BigInt(1), BigInt(1) << 64);
+  EXPECT_EQ((BigInt(0xffffffff) + BigInt(1)).to_u64(), 0x100000000ull);
+}
+
+TEST(BigInt, SubtractionBorrows) {
+  EXPECT_EQ((BigInt(1) << 64) - BigInt(1), BigInt(UINT64_MAX));
+  EXPECT_TRUE((BigInt(7) - BigInt(7)).is_zero());
+}
+
+TEST(BigInt, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigInt(3) - BigInt(4), std::domain_error);
+}
+
+TEST(BigInt, AddSubIdentityRandomized) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = random_bigint(rng, 48);
+    const BigInt b = random_bigint(rng, 48);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ(a + b, b + a);
+  }
+}
+
+TEST(BigInt, MultiplicationKnownValues) {
+  EXPECT_EQ(BigInt(12345) * BigInt(67890), BigInt(838102050ull));
+  EXPECT_TRUE((BigInt(12345) * BigInt()).is_zero());
+  EXPECT_EQ(BigInt::from_hex("ffffffffffffffff") * BigInt::from_hex("ffffffffffffffff"),
+            BigInt::from_hex("fffffffffffffffe0000000000000001"));
+}
+
+TEST(BigInt, MultiplicationDistributesRandomized) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = random_bigint(rng, 32);
+    const BigInt b = random_bigint(rng, 32);
+    const BigInt c = random_bigint(rng, 32);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(BigInt, ShiftsAreMultiplicationByPowersOfTwo) {
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const BigInt a = random_bigint(rng, 24);
+    const std::size_t s = rng.next_below(70);
+    EXPECT_EQ(a << s, a * BigInt::mod_pow(BigInt(2), BigInt(s), BigInt(1) << 200));
+    EXPECT_EQ((a << s) >> s, a);
+  }
+}
+
+TEST(BigInt, DivModIdentityRandomized) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = random_bigint(rng, 64);
+    BigInt b = random_bigint(rng, 32);
+    if (b.is_zero()) b = BigInt(1);
+    const auto [q, r] = BigInt::divmod(a, b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(), std::domain_error);
+  EXPECT_THROW(BigInt(1) % BigInt(), std::domain_error);
+}
+
+TEST(BigInt, DivisionSmallerDividend) {
+  const auto [q, r] = BigInt::divmod(BigInt(5), BigInt(100));
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r, BigInt(5));
+}
+
+TEST(BigInt, DivisionSingleLimbDivisor) {
+  const BigInt a = BigInt::from_hex("123456789abcdef0123456789abcdef");
+  const auto [q, r] = BigInt::divmod(a, BigInt(10));
+  EXPECT_EQ(q * BigInt(10) + r, a);
+  EXPECT_LT(r, BigInt(10));
+}
+
+TEST(BigInt, KnuthDAddBackCase) {
+  // A divisor pattern known to trigger the D6 add-back path:
+  // u = b^4/2, v = b^2/2 + 1 in base 2^32 terms (Hacker's Delight example).
+  const BigInt u = BigInt(1) << 127;
+  const BigInt v = (BigInt(1) << 63) + BigInt(1);
+  const auto [q, r] = BigInt::divmod(u, v);
+  EXPECT_EQ(q * v + r, u);
+  EXPECT_LT(r, v);
+}
+
+TEST(BigInt, DivisionByPowersOfTwoMatchesShift) {
+  Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    const BigInt a = random_bigint(rng, 40);
+    const std::size_t s = 1 + rng.next_below(100);
+    EXPECT_EQ(a / (BigInt(1) << s), a >> s);
+  }
+}
+
+// --- modular arithmetic -----------------------------------------------------
+
+TEST(BigInt, ModPowKnownValues) {
+  EXPECT_EQ(BigInt::mod_pow(BigInt(2), BigInt(10), BigInt(1000)), BigInt(24));
+  EXPECT_EQ(BigInt::mod_pow(BigInt(3), BigInt(), BigInt(7)), BigInt(1));  // x^0 = 1
+  EXPECT_EQ(BigInt::mod_pow(BigInt(5), BigInt(117), BigInt(19)), BigInt(1));  // Fermat: 5^18=1
+}
+
+TEST(BigInt, ModPowFermatLittleTheorem) {
+  // a^(p-1) = 1 mod p for prime p = 2^61 - 1 (Mersenne prime).
+  const BigInt p = (BigInt(1) << 61) - BigInt(1);
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const BigInt a = BigInt(2) + BigInt::random_below(rng, p - BigInt(3));
+    EXPECT_EQ(BigInt::mod_pow(a, p - BigInt(1), p), BigInt(1));
+  }
+}
+
+TEST(BigInt, ModInverseProperty) {
+  Rng rng(8);
+  const BigInt m = (BigInt(1) << 61) - BigInt(1);  // prime modulus
+  for (int i = 0; i < 20; ++i) {
+    const BigInt a = BigInt(2) + BigInt::random_below(rng, m - BigInt(3));
+    const BigInt inv = BigInt::mod_inverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigInt(1));
+  }
+}
+
+TEST(BigInt, ModInverseOfNonInvertibleThrows) {
+  EXPECT_THROW(BigInt::mod_inverse(BigInt(6), BigInt(12)), std::domain_error);
+}
+
+TEST(BigInt, ModInverseCompositeModulus) {
+  // e = 65537 mod phi-like composite.
+  const BigInt e(65537);
+  const BigInt phi = BigInt::from_hex("6f1d8a4b2c");
+  if (BigInt::gcd(e, phi) == BigInt(1)) {
+    const BigInt d = BigInt::mod_inverse(e, phi);
+    EXPECT_EQ((e * d) % phi, BigInt(1));
+  }
+}
+
+TEST(BigInt, GcdKnownValues) {
+  EXPECT_EQ(BigInt::gcd(BigInt(48), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(5)), BigInt(1));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(9)), BigInt(9));
+}
+
+// --- randomness & primality --------------------------------------------------
+
+TEST(BigInt, RandomBelowInRange) {
+  Rng rng(9);
+  const BigInt bound = BigInt::from_hex("ffffffffffffffffffffffff");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LT(BigInt::random_below(rng, bound), bound);
+  }
+}
+
+TEST(BigInt, RandomBitsExactLength) {
+  Rng rng(10);
+  for (const std::size_t bits : {8, 17, 64, 129, 512}) {
+    EXPECT_EQ(BigInt::random_bits(rng, bits).bit_length(), bits);
+  }
+}
+
+TEST(BigInt, MillerRabinKnownPrimes) {
+  Rng rng(11);
+  for (const std::uint64_t p : {2ull, 3ull, 17ull, 65537ull, 2147483647ull}) {
+    EXPECT_TRUE(BigInt::is_probable_prime(BigInt(p), rng)) << p;
+  }
+  // 2^61 - 1 is a Mersenne prime.
+  EXPECT_TRUE(BigInt::is_probable_prime((BigInt(1) << 61) - BigInt(1), rng));
+}
+
+TEST(BigInt, MillerRabinKnownComposites) {
+  Rng rng(12);
+  for (const std::uint64_t c : {1ull, 4ull, 100ull, 65539ull * 3ull}) {
+    EXPECT_FALSE(BigInt::is_probable_prime(BigInt(c), rng)) << c;
+  }
+  // Carmichael numbers fool Fermat but not Miller-Rabin.
+  EXPECT_FALSE(BigInt::is_probable_prime(BigInt(561), rng));
+  EXPECT_FALSE(BigInt::is_probable_prime(BigInt(41041), rng));
+  EXPECT_FALSE(BigInt::is_probable_prime(BigInt(825265), rng));
+}
+
+TEST(BigInt, GeneratePrimeHasExactBitsAndIsPrime) {
+  Rng rng(13);
+  for (const std::size_t bits : {32, 64, 128}) {
+    const BigInt p = BigInt::generate_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(BigInt::is_probable_prime(p, rng));
+  }
+}
+
+}  // namespace
+}  // namespace wideleak::crypto

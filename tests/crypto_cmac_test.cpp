@@ -1,0 +1,140 @@
+// AES-CMAC (RFC 4493) known-answer tests and CMAC-counter-KDF properties.
+#include <gtest/gtest.h>
+
+#include "crypto/cmac.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::crypto {
+namespace {
+
+const char* kRfcKey = "2b7e151628aed2a6abf7158809cf4f3c";
+
+// --- RFC 4493 test vectors ---------------------------------------------
+
+TEST(AesCmac, Rfc4493EmptyMessage) {
+  EXPECT_EQ(hex_encode(aes_cmac(hex_decode(kRfcKey), BytesView())),
+            "bb1d6929e95937287fa37d129b756746");
+}
+
+TEST(AesCmac, Rfc4493SixteenBytes) {
+  EXPECT_EQ(hex_encode(aes_cmac(hex_decode(kRfcKey),
+                                hex_decode("6bc1bee22e409f96e93d7e117393172a"))),
+            "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST(AesCmac, Rfc4493FortyBytes) {
+  const Bytes msg = hex_decode(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411");
+  EXPECT_EQ(hex_encode(aes_cmac(hex_decode(kRfcKey), msg)),
+            "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST(AesCmac, Rfc4493SixtyFourBytes) {
+  const Bytes msg = hex_decode(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  EXPECT_EQ(hex_encode(aes_cmac(hex_decode(kRfcKey), msg)),
+            "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+// --- properties -----------------------------------------------------------
+
+TEST(AesCmac, TagAlwaysSixteenBytes) {
+  Rng rng(1);
+  const Bytes key = rng.next_bytes(16);
+  for (const std::size_t size : {0, 1, 15, 16, 17, 31, 32, 33, 100}) {
+    EXPECT_EQ(aes_cmac(key, rng.next_bytes(static_cast<std::size_t>(size))).size(), 16u);
+  }
+}
+
+TEST(AesCmac, MessageSensitivity) {
+  Rng rng(2);
+  const Bytes key = rng.next_bytes(16);
+  Bytes msg = rng.next_bytes(48);
+  const Bytes tag = aes_cmac(key, msg);
+  for (std::size_t i = 0; i < msg.size(); i += 5) {
+    msg[i] ^= 1;
+    EXPECT_NE(aes_cmac(key, msg), tag) << "flip at " << i;
+    msg[i] ^= 1;
+  }
+}
+
+TEST(AesCmac, KeySensitivity) {
+  Rng rng(3);
+  Bytes key = rng.next_bytes(16);
+  const Bytes msg = rng.next_bytes(32);
+  const Bytes tag = aes_cmac(key, msg);
+  key[0] ^= 1;
+  EXPECT_NE(aes_cmac(key, msg), tag);
+}
+
+TEST(AesCmac, PaddedAndCompleteBlocksDiffer) {
+  // A 15-byte message and its 0x80-padded 16-byte form must not collide
+  // (the k1/k2 subkey separation).
+  Rng rng(4);
+  const Bytes key = rng.next_bytes(16);
+  Bytes short_msg = rng.next_bytes(15);
+  Bytes padded = short_msg;
+  padded.push_back(0x80);
+  EXPECT_NE(aes_cmac(key, short_msg), aes_cmac(key, padded));
+}
+
+TEST(AesCmac, Aes256KeysAccepted) {
+  Rng rng(5);
+  const Bytes tag = aes_cmac(rng.next_bytes(32), to_bytes("hello"));
+  EXPECT_EQ(tag.size(), 16u);
+}
+
+// --- counter KDF ----------------------------------------------------------
+
+TEST(CmacCounterKdf, OutputLengths) {
+  Rng rng(6);
+  const Bytes key = rng.next_bytes(16);
+  const Bytes context = rng.next_bytes(40);
+  EXPECT_EQ(cmac_counter_kdf(key, context, 1, 16).size(), 16u);
+  EXPECT_EQ(cmac_counter_kdf(key, context, 1, 32).size(), 32u);
+  EXPECT_EQ(cmac_counter_kdf(key, context, 1, 64).size(), 64u);
+  EXPECT_EQ(cmac_counter_kdf(key, context, 1, 5).size(), 5u);
+}
+
+TEST(CmacCounterKdf, PrefixConsistency) {
+  // The first 16 bytes of a 64-byte expansion equal the 16-byte expansion.
+  Rng rng(7);
+  const Bytes key = rng.next_bytes(16);
+  const Bytes context = rng.next_bytes(40);
+  const Bytes long_out = cmac_counter_kdf(key, context, 1, 64);
+  const Bytes short_out = cmac_counter_kdf(key, context, 1, 16);
+  EXPECT_EQ(Bytes(long_out.begin(), long_out.begin() + 16), short_out);
+}
+
+TEST(CmacCounterKdf, CounterStartMatters) {
+  Rng rng(8);
+  const Bytes key = rng.next_bytes(16);
+  const Bytes context = rng.next_bytes(40);
+  EXPECT_NE(cmac_counter_kdf(key, context, 1, 32), cmac_counter_kdf(key, context, 3, 32));
+}
+
+TEST(CmacCounterKdf, FirstBlockIsCmacOfCounterPlusContext) {
+  Rng rng(9);
+  const Bytes key = rng.next_bytes(16);
+  const Bytes context = rng.next_bytes(24);
+  Bytes block{0x02};
+  block.insert(block.end(), context.begin(), context.end());
+  EXPECT_EQ(cmac_counter_kdf(key, context, 2, 16), aes_cmac(key, block));
+}
+
+TEST(CmacCounterKdf, ContextSensitivity) {
+  Rng rng(10);
+  const Bytes key = rng.next_bytes(16);
+  Bytes context = rng.next_bytes(24);
+  const Bytes out = cmac_counter_kdf(key, context, 1, 32);
+  context[0] ^= 1;
+  EXPECT_NE(cmac_counter_kdf(key, context, 1, 32), out);
+}
+
+}  // namespace
+}  // namespace wideleak::crypto

@@ -1,0 +1,149 @@
+// SHA-256 / SHA-1 / HMAC-SHA256 known-answer and property tests.
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::crypto {
+namespace {
+
+// --- SHA-256 (FIPS 180-4 / NIST CAVP vectors) ------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_encode(sha256(BytesView())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_encode(sha256(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_encode(sha256(to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Bytes data(1000000, 'a');
+  EXPECT_EQ(hex_encode(sha256(data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64-byte input: padding spills into a second block.
+  Bytes data(64, 0x61);
+  Sha256 h;
+  h.update(data);
+  EXPECT_EQ(h.finish(), sha256(data));
+  EXPECT_EQ(hex_encode(sha256(data)),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, IncrementalMatchesOneShotAllChunkings) {
+  Rng rng(1);
+  const Bytes data = rng.next_bytes(257);
+  const Bytes expected = sha256(data);
+  for (const std::size_t chunk : {1, 3, 63, 64, 65, 100, 256}) {
+    Sha256 h;
+    for (std::size_t pos = 0; pos < data.size(); pos += chunk) {
+      const std::size_t take = std::min(chunk, data.size() - pos);
+      h.update(BytesView(data.data() + pos, take));
+    }
+    EXPECT_EQ(h.finish(), expected) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  Rng rng(2);
+  const Bytes a = rng.next_bytes(100);
+  Bytes b = a;
+  b[50] ^= 1;
+  EXPECT_NE(sha256(a), sha256(b));
+}
+
+// --- SHA-1 -------------------------------------------------------------------
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(hex_encode(sha1(BytesView())), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(hex_encode(sha1(to_bytes("abc"))), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(hex_encode(sha1(to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  Rng rng(3);
+  const Bytes data = rng.next_bytes(200);
+  Sha1 h;
+  h.update(BytesView(data.data(), 77));
+  h.update(BytesView(data.data() + 77, data.size() - 77));
+  EXPECT_EQ(h.finish(), sha1(data));
+}
+
+// --- HMAC-SHA256 (RFC 4231) --------------------------------------------------
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_encode(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(hex_encode(hmac_sha256(to_bytes("Jefe"), to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hex_encode(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(hex_encode(hmac_sha256(key, to_bytes("Test Using Larger Than Block-Size Key - "
+                                                 "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, VerifyAcceptsValidTag) {
+  Rng rng(4);
+  const Bytes key = rng.next_bytes(32);
+  const Bytes data = rng.next_bytes(100);
+  EXPECT_TRUE(hmac_sha256_verify(key, data, hmac_sha256(key, data)));
+}
+
+TEST(HmacSha256, VerifyRejectsTamperedTagOrData) {
+  Rng rng(5);
+  const Bytes key = rng.next_bytes(32);
+  const Bytes data = rng.next_bytes(100);
+  Bytes tag = hmac_sha256(key, data);
+  tag[0] ^= 1;
+  EXPECT_FALSE(hmac_sha256_verify(key, data, tag));
+  tag[0] ^= 1;
+  Bytes tampered = data;
+  tampered[99] ^= 1;
+  EXPECT_FALSE(hmac_sha256_verify(key, tampered, tag));
+  EXPECT_FALSE(hmac_sha256_verify(key, data, BytesView(tag.data(), 31)));  // short tag
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  Rng rng(6);
+  const Bytes data = rng.next_bytes(64);
+  Bytes key = rng.next_bytes(32);
+  const Bytes tag1 = hmac_sha256(key, data);
+  key[31] ^= 1;
+  EXPECT_NE(hmac_sha256(key, data), tag1);
+}
+
+}  // namespace
+}  // namespace wideleak::crypto

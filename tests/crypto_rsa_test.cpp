@@ -1,0 +1,175 @@
+// RSA tests: key generation, OAEP, PKCS#1 v1.5 and PSS — roundtrips,
+// tamper detection, serialization, parameterized over key sizes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "crypto/rsa.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::crypto {
+namespace {
+
+// Key generation is the expensive part; share keys across tests.
+class RsaTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static RsaKeyPair& key_for(std::size_t bits) {
+    static std::map<std::size_t, RsaKeyPair> cache;
+    auto it = cache.find(bits);
+    if (it == cache.end()) {
+      Rng rng(0x5e11 + bits);
+      it = cache.emplace(bits, rsa_generate(rng, bits)).first;
+    }
+    return it->second;
+  }
+
+  RsaKeyPair& key() { return key_for(GetParam()); }
+  Rng rng_{GetParam() * 17 + 1};
+};
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, RsaTest, ::testing::Values(512, 768, 1024));
+
+TEST_P(RsaTest, GeneratedKeyHasRequestedModulusSize) {
+  EXPECT_EQ(key().pub.n.bit_length(), GetParam());
+  EXPECT_EQ(key().pub.e, BigInt(65537));
+  EXPECT_EQ(key().p * key().q, key().pub.n);
+}
+
+TEST_P(RsaTest, EdInverseModPhi) {
+  const BigInt phi = (key().p - BigInt(1)) * (key().q - BigInt(1));
+  EXPECT_EQ((key().pub.e * key().d) % phi, BigInt(1));
+}
+
+TEST_P(RsaTest, OaepRoundTrip) {
+  for (const std::size_t len : {0, 1, 16}) {
+    const Bytes message = rng_.next_bytes(static_cast<std::size_t>(len));
+    const Bytes ct = rsa_oaep_encrypt(key().pub, rng_, message);
+    EXPECT_EQ(ct.size(), key().pub.modulus_bytes());
+    EXPECT_EQ(rsa_oaep_decrypt(key(), ct), message);
+  }
+}
+
+TEST_P(RsaTest, OaepIsRandomized) {
+  const Bytes message = rng_.next_bytes(8);
+  const Bytes c1 = rsa_oaep_encrypt(key().pub, rng_, message);
+  const Bytes c2 = rsa_oaep_encrypt(key().pub, rng_, message);
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(rsa_oaep_decrypt(key(), c1), rsa_oaep_decrypt(key(), c2));
+}
+
+TEST_P(RsaTest, OaepRejectsTamperedCiphertext) {
+  Bytes ct = rsa_oaep_encrypt(key().pub, rng_, rng_.next_bytes(8));
+  ct[ct.size() / 2] ^= 1;
+  EXPECT_THROW(rsa_oaep_decrypt(key(), ct), CryptoError);
+}
+
+TEST_P(RsaTest, OaepRejectsOversizeMessage) {
+  const std::size_t max_len = key().pub.modulus_bytes() - 2 * 20 - 2;
+  EXPECT_NO_THROW(rsa_oaep_encrypt(key().pub, rng_, rng_.next_bytes(max_len)));
+  EXPECT_THROW(rsa_oaep_encrypt(key().pub, rng_, rng_.next_bytes(max_len + 1)), CryptoError);
+}
+
+TEST_P(RsaTest, OaepWrongKeyFails) {
+  RsaKeyPair& other = key_for(GetParam() == 512 ? 768 : 512);
+  const Bytes ct = rsa_oaep_encrypt(key().pub, rng_, rng_.next_bytes(8));
+  EXPECT_THROW(rsa_oaep_decrypt(other, ct), CryptoError);
+}
+
+TEST_P(RsaTest, Pkcs1SignVerify) {
+  const Bytes message = rng_.next_bytes(100);
+  const Bytes sig = rsa_pkcs1_sign(key(), message);
+  EXPECT_EQ(sig.size(), key().pub.modulus_bytes());
+  EXPECT_TRUE(rsa_pkcs1_verify(key().pub, message, sig));
+}
+
+TEST_P(RsaTest, Pkcs1RejectsTamperedMessageOrSignature) {
+  Bytes message = rng_.next_bytes(100);
+  Bytes sig = rsa_pkcs1_sign(key(), message);
+  sig[10] ^= 1;
+  EXPECT_FALSE(rsa_pkcs1_verify(key().pub, message, sig));
+  sig[10] ^= 1;
+  message[0] ^= 1;
+  EXPECT_FALSE(rsa_pkcs1_verify(key().pub, message, sig));
+  EXPECT_FALSE(rsa_pkcs1_verify(key().pub, message, Bytes(sig.begin(), sig.end() - 1)));
+}
+
+TEST_P(RsaTest, Pkcs1IsDeterministic) {
+  const Bytes message = rng_.next_bytes(64);
+  EXPECT_EQ(rsa_pkcs1_sign(key(), message), rsa_pkcs1_sign(key(), message));
+}
+
+TEST_P(RsaTest, PssSignVerify) {
+  const Bytes message = rng_.next_bytes(200);
+  const Bytes sig = rsa_pss_sign(key(), rng_, message);
+  EXPECT_TRUE(rsa_pss_verify(key().pub, message, sig));
+}
+
+TEST_P(RsaTest, PssIsRandomizedButBothVerify) {
+  const Bytes message = rng_.next_bytes(64);
+  const Bytes s1 = rsa_pss_sign(key(), rng_, message);
+  const Bytes s2 = rsa_pss_sign(key(), rng_, message);
+  EXPECT_NE(s1, s2);
+  EXPECT_TRUE(rsa_pss_verify(key().pub, message, s1));
+  EXPECT_TRUE(rsa_pss_verify(key().pub, message, s2));
+}
+
+TEST_P(RsaTest, PssRejectsTampering) {
+  Bytes message = rng_.next_bytes(64);
+  Bytes sig = rsa_pss_sign(key(), rng_, message);
+  sig[5] ^= 1;
+  EXPECT_FALSE(rsa_pss_verify(key().pub, message, sig));
+  sig[5] ^= 1;
+  message[5] ^= 1;
+  EXPECT_FALSE(rsa_pss_verify(key().pub, message, sig));
+}
+
+TEST_P(RsaTest, PssWrongKeyFails) {
+  RsaKeyPair& other = key_for(GetParam() == 512 ? 768 : 512);
+  const Bytes message = rng_.next_bytes(64);
+  const Bytes sig = rsa_pss_sign(key(), rng_, message);
+  EXPECT_FALSE(rsa_pss_verify(other.pub, message, sig));
+}
+
+TEST_P(RsaTest, PublicKeySerializationRoundTrip) {
+  const Bytes serialized = key().pub.serialize();
+  const RsaPublicKey restored = RsaPublicKey::deserialize(serialized);
+  EXPECT_EQ(restored, key().pub);
+  EXPECT_EQ(restored.fingerprint(), key().pub.fingerprint());
+}
+
+TEST_P(RsaTest, KeyPairSerializationRoundTrip) {
+  const RsaKeyPair restored = RsaKeyPair::deserialize(key().serialize());
+  EXPECT_EQ(restored.pub, key().pub);
+  EXPECT_EQ(restored.d, key().d);
+  // The restored private key must actually work.
+  Rng rng(99);
+  const Bytes ct = rsa_oaep_encrypt(key().pub, rng, to_bytes("hello"));
+  EXPECT_EQ(to_string(BytesView(rsa_oaep_decrypt(restored, ct))), "hello");
+}
+
+TEST_P(RsaTest, FingerprintIsKeySensitive) {
+  RsaKeyPair& other = key_for(GetParam() == 512 ? 768 : 512);
+  EXPECT_NE(key().pub.fingerprint(), other.pub.fingerprint());
+}
+
+// --- MGF1 known answer (from public test vectors) ---------------------------
+
+TEST(Mgf1, OutputLengthAndDeterminism) {
+  const Bytes seed = hex_decode("0123456789abcdef");
+  EXPECT_EQ(mgf1_sha1(seed, 4).size(), 4u);
+  EXPECT_EQ(mgf1_sha1(seed, 20).size(), 20u);
+  EXPECT_EQ(mgf1_sha1(seed, 47).size(), 47u);
+  EXPECT_EQ(mgf1_sha1(seed, 47), mgf1_sha1(seed, 47));
+  // Prefix property.
+  const Bytes long_mask = mgf1_sha256(seed, 64);
+  EXPECT_EQ(Bytes(long_mask.begin(), long_mask.begin() + 32), mgf1_sha256(seed, 32));
+}
+
+TEST(Rsa, GenerateRejectsBadSizes) {
+  Rng rng(1);
+  EXPECT_THROW(rsa_generate(rng, 100), std::invalid_argument);  // < 128
+  EXPECT_THROW(rsa_generate(rng, 513), std::invalid_argument);  // odd
+}
+
+}  // namespace
+}  // namespace wideleak::crypto

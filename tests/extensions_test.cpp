@@ -1,0 +1,270 @@
+// Tests for the extension features beyond the paper's core study:
+//   - certified-level verification and the §V-C profile-spoof experiment
+//     (the netflix-1080p exploit adapted to Android),
+//   - provisioning anti-replay,
+//   - license duration (usage control) enforcement.
+#include <gtest/gtest.h>
+
+#include "core/key_ladder_attack.hpp"
+#include "core/keybox_recovery.hpp"
+#include "core/monitor.hpp"
+#include "media/cenc.hpp"
+#include "ott/catalog.hpp"
+#include "ott/ecosystem.hpp"
+#include "ott/playback.hpp"
+
+namespace wideleak {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ecosystem_ = new ott::StreamingEcosystem();
+    ecosystem_->install_catalog();
+  }
+
+  static ott::StreamingEcosystem& eco() { return *ecosystem_; }
+  static ott::StreamingEcosystem* ecosystem_;
+
+  // Recover the attacker's credentials from one instrumented playback.
+  struct Credentials {
+    widevine::Keybox keybox;
+    crypto::RsaKeyPair rsa;
+    widevine::ClientIdentity identity;
+  };
+  static Credentials steal_credentials(android::Device& device) {
+    core::DrmApiMonitor monitor(device);
+    ott::OttApp app(*ott::find_app("Showtime"), eco(), device);
+    EXPECT_TRUE(app.play_title().played);
+    const auto scan = core::recover_keybox(device);
+    EXPECT_TRUE(scan.success());
+    core::KeyLadderAttack ladder(*scan.keybox);
+    const auto rsa = ladder.recover_device_rsa_key(monitor.trace());
+    EXPECT_TRUE(rsa.has_value());
+    return Credentials{*scan.keybox, *rsa, device.identity()};
+  }
+};
+
+ott::StreamingEcosystem* ExtensionsTest::ecosystem_ = nullptr;
+
+// --- certified levels ----------------------------------------------------
+
+TEST_F(ExtensionsTest, CertifiedLevelsRecordedAtFactory) {
+  auto l1 = eco().make_device(android::modern_l1_spec(0x5101));
+  auto l3 = eco().make_device(android::legacy_nexus5_spec(0x5102));
+  EXPECT_EQ(eco().device_roots()->certified_level_for(l1->identity().stable_id),
+            widevine::SecurityLevel::L1);
+  EXPECT_EQ(eco().device_roots()->certified_level_for(l3->identity().stable_id),
+            widevine::SecurityLevel::L3);
+  EXPECT_EQ(eco().device_roots()->certified_level_for(to_bytes("unknown")),
+            widevine::SecurityLevel::L3);
+}
+
+// --- §V-C: profile spoofing ------------------------------------------------
+
+TEST_F(ExtensionsTest, StrictServerIgnoresSpoofedL1Claim) {
+  auto nexus5 = eco().make_device(android::legacy_nexus5_spec(0x5201));
+  Credentials creds = steal_credentials(*nexus5);
+
+  // Forge a request claiming L1 from the (certified-L3) legacy device.
+  core::KeyLadderAttack ladder(creds.keybox);
+  ladder.set_device_rsa_key(creds.rsa);
+  widevine::ClientIdentity spoofed = creds.identity;
+  spoofed.level = widevine::SecurityLevel::L1;
+  Rng rng = eco().fork_rng();
+  const auto& title = eco().title_for("Showtime");
+  std::vector<media::KeyId> kids;
+  for (const auto& key : title.keys) kids.push_back(key.kid);
+  const auto request = ladder.forge_license_request(spoofed, kids, rng);
+
+  ASSERT_EQ(eco().license_server().level_verification(),
+            widevine::LevelVerification::Strict);
+  const auto response =
+      eco().license_server().handle(request, widevine::permissive_revocation_policy());
+  ASSERT_TRUE(response.granted) << response.deny_reason;
+  const auto keys = ladder.decrypt_license_response(request, response);
+  // Strict verification: still only the sub-HD keys.
+  for (const auto& key : title.keys) {
+    EXPECT_EQ(keys.contains(hex_encode(key.kid)), !key.resolution.is_hd())
+        << key.resolution.label();
+  }
+}
+
+TEST_F(ExtensionsTest, TrustingServerLeaksHdKeysToSpoofedClaim) {
+  auto nexus5 = eco().make_device(android::legacy_nexus5_spec(0x5202));
+  Credentials creds = steal_credentials(*nexus5);
+
+  core::KeyLadderAttack ladder(creds.keybox);
+  ladder.set_device_rsa_key(creds.rsa);
+  widevine::ClientIdentity spoofed = creds.identity;
+  spoofed.level = widevine::SecurityLevel::L1;
+  Rng rng = eco().fork_rng();
+  const auto& title = eco().title_for("Showtime");
+  std::vector<media::KeyId> kids;
+  for (const auto& key : title.keys) kids.push_back(key.kid);
+  const auto request = ladder.forge_license_request(spoofed, kids, rng);
+
+  // Flip the server to browser-CDM behaviour (no strong verification).
+  eco().license_server().set_level_verification(widevine::LevelVerification::TrustClient);
+  const auto response =
+      eco().license_server().handle(request, widevine::permissive_revocation_policy());
+  eco().license_server().set_level_verification(widevine::LevelVerification::Strict);
+
+  ASSERT_TRUE(response.granted);
+  const auto keys = ladder.decrypt_license_response(request, response);
+  // ALL keys, including 1080p, from an L3 device.
+  EXPECT_EQ(keys.size(), title.keys.size());
+
+  // And they really decrypt the HD track.
+  const auto* hd = title.mpd.of_type(media::TrackType::Video).back();
+  ASSERT_EQ(hd->resolution.height, 1080);
+  const auto track = media::PackagedTrack::from_file(BytesView(title.files.at(hd->base_url)));
+  const Bytes clear = media::cenc_decrypt_track(track, keys.at(hex_encode(track.key_id)));
+  EXPECT_TRUE(media::try_play(BytesView(clear)).playable);
+}
+
+TEST_F(ExtensionsTest, ForgedRequestsVerifyLikeRealOnes) {
+  auto nexus5 = eco().make_device(android::legacy_nexus5_spec(0x5203));
+  Credentials creds = steal_credentials(*nexus5);
+  core::KeyLadderAttack ladder(creds.keybox);
+  ladder.set_device_rsa_key(creds.rsa);
+  Rng rng = eco().fork_rng();
+  const auto& title = eco().title_for("OCS");
+  const auto request =
+      ladder.forge_license_request(creds.identity, {title.keys[0].kid}, rng);
+  const auto response =
+      eco().license_server().handle(request, widevine::permissive_revocation_policy());
+  EXPECT_TRUE(response.granted) << response.deny_reason;
+  EXPECT_EQ(ladder.decrypt_license_response(request, response).size(), 1u);
+}
+
+TEST_F(ExtensionsTest, ForgedKeyboxPathRequestAlsoWorks) {
+  // Without a recovered RSA key the attack falls back to the CMAC scheme.
+  auto nexus5 = eco().make_device(android::legacy_nexus5_spec(0x5204));
+  const auto scan_device = [&] {
+    ott::OttApp app(*ott::find_app("OCS"), eco(), *nexus5);
+    EXPECT_TRUE(app.play_title().played);
+    return core::recover_keybox(*nexus5);
+  }();
+  ASSERT_TRUE(scan_device.success());
+  core::KeyLadderAttack ladder(*scan_device.keybox);  // no RSA key set
+  Rng rng = eco().fork_rng();
+  const auto& title = eco().title_for("OCS");
+  const auto request =
+      ladder.forge_license_request(nexus5->identity(), {title.keys[0].kid}, rng);
+  EXPECT_EQ(request.scheme, widevine::SignatureScheme::KeyboxCmac);
+  const auto response =
+      eco().license_server().handle(request, widevine::permissive_revocation_policy());
+  ASSERT_TRUE(response.granted) << response.deny_reason;
+  const auto keys = ladder.decrypt_license_response(request, response);
+  EXPECT_EQ(keys.at(hex_encode(title.keys[0].kid)), title.keys[0].key);
+}
+
+// --- provisioning anti-replay -----------------------------------------------
+
+TEST_F(ExtensionsTest, ProvisioningReplayIsRejected) {
+  auto device = eco().make_device(android::modern_l1_spec(0x5301));
+  android::MediaDrm drm(*device, android::kWidevineUuid);
+  const Bytes request_bytes = drm.get_provision_request();
+  const auto request = widevine::ProvisioningRequest::deserialize(request_bytes);
+
+  const auto first = eco().provisioning_server().handle(request);
+  EXPECT_TRUE(first.granted) << first.deny_reason;
+  const auto replay = eco().provisioning_server().handle(request);
+  EXPECT_FALSE(replay.granted);
+  EXPECT_EQ(replay.deny_reason, "replayed provisioning nonce");
+  // A fresh request (new nonce) still succeeds.
+  ASSERT_TRUE(drm.provide_provision_response(first.serialize()));
+  const auto fresh = widevine::ProvisioningRequest::deserialize(drm.get_provision_request());
+  EXPECT_TRUE(eco().provisioning_server().handle(fresh).granted);
+}
+
+// --- license duration -------------------------------------------------------
+
+TEST_F(ExtensionsTest, LicenseDurationEnforcedByCdmClock) {
+  // A private world so the duration policy does not leak into other tests.
+  ott::StreamingEcosystem world;
+  world.install_app(*ott::find_app("Showtime"));
+  world.license_server().set_license_duration(100);
+  auto device = world.make_device(android::modern_l1_spec(0x5401));
+
+  ott::OttApp app(*ott::find_app("Showtime"), world, *device);
+  ASSERT_TRUE(app.play_title().played);
+
+  // Re-license a session manually so we can poke at expiry.
+  android::MediaDrm drm(*device, android::kWidevineUuid);
+  const auto session = drm.open_session();
+  const auto& title = world.title_for("Showtime");
+  media::PsshBox pssh;
+  pssh.key_ids.push_back(title.keys[0].kid);
+  const Bytes request = drm.get_key_request(session, pssh.to_box().serialize());
+  const auto response = world.license_server().handle(
+      widevine::LicenseRequest::deserialize(request),
+      widevine::permissive_revocation_policy());
+  ASSERT_TRUE(response.granted);
+  EXPECT_EQ(response.license_duration, 100u);
+  ASSERT_EQ(drm.provide_key_response(session, response.serialize()),
+            widevine::OemCryptoResult::Success);
+
+  auto& oec = device->cdm().oemcrypto();
+  ASSERT_EQ(oec.select_key(session, title.keys[0].kid), widevine::OemCryptoResult::Success);
+  Bytes out;
+  // Within the window: decrypt works.
+  oec.advance_clock(50);
+  EXPECT_EQ(oec.decrypt_cenc(session, Bytes(8, 0), to_bytes("ct"), out),
+            widevine::OemCryptoResult::Success);
+  // Past the window: the keys stop working.
+  oec.advance_clock(100);
+  EXPECT_EQ(oec.decrypt_cenc(session, Bytes(8, 0), to_bytes("ct"), out),
+            widevine::OemCryptoResult::KeyExpired);
+
+  // A fresh license restores playback (renewal).
+  const auto session2 = drm.open_session();
+  const Bytes request2 = drm.get_key_request(session2, pssh.to_box().serialize());
+  const auto response2 = world.license_server().handle(
+      widevine::LicenseRequest::deserialize(request2),
+      widevine::permissive_revocation_policy());
+  ASSERT_EQ(drm.provide_key_response(session2, response2.serialize()),
+            widevine::OemCryptoResult::Success);
+  ASSERT_EQ(oec.select_key(session2, title.keys[0].kid), widevine::OemCryptoResult::Success);
+  EXPECT_EQ(oec.decrypt_cenc(session2, Bytes(8, 0), to_bytes("ct"), out),
+            widevine::OemCryptoResult::Success);
+}
+
+TEST_F(ExtensionsTest, UnlimitedLicensesNeverExpire) {
+  ott::StreamingEcosystem world;
+  world.install_app(*ott::find_app("OCS"));
+  auto device = world.make_device(android::modern_l1_spec(0x5402));
+  ott::OttApp app(*ott::find_app("OCS"), world, *device);
+  ASSERT_TRUE(app.play_title().played);
+  device->cdm().oemcrypto().advance_clock(1u << 30);
+  // Playback still works after an enormous clock jump.
+  EXPECT_TRUE(app.play_title().played);
+}
+
+TEST_F(ExtensionsTest, DurationIsMacProtected) {
+  // Tampering with the duration field invalidates the response MAC.
+  ott::StreamingEcosystem world;
+  world.install_app(*ott::find_app("OCS"));
+  world.license_server().set_license_duration(10);
+  auto device = world.make_device(android::modern_l1_spec(0x5403));
+  ott::OttApp app(*ott::find_app("OCS"), world, *device);
+  ASSERT_TRUE(app.play_title().played);
+
+  android::MediaDrm drm(*device, android::kWidevineUuid);
+  const auto session = drm.open_session();
+  const auto& title = world.title_for("OCS");
+  media::PsshBox pssh;
+  pssh.key_ids.push_back(title.keys[0].kid);
+  const Bytes request = drm.get_key_request(session, pssh.to_box().serialize());
+  auto response = world.license_server().handle(
+      widevine::LicenseRequest::deserialize(request),
+      widevine::permissive_revocation_policy());
+  ASSERT_TRUE(response.granted);
+  response.license_duration = 0;  // attacker strips the limit
+  EXPECT_EQ(drm.provide_key_response(session, response.serialize()),
+            widevine::OemCryptoResult::SignatureFailure);
+}
+
+}  // namespace
+}  // namespace wideleak

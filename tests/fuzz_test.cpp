@@ -1,0 +1,142 @@
+// Failure-injection and deserializer-fuzz tests: every wire format in the
+// project must reject garbage, truncations and bit flips with a clean
+// ParseError/denial — never a crash — because the attack tooling feeds
+// intercepted (i.e. untrusted) bytes straight into these parsers.
+#include <gtest/gtest.h>
+
+#include "media/cenc.hpp"
+#include "media/mpd.hpp"
+#include "net/http.hpp"
+#include "net/tls.hpp"
+#include "ott/backend.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+#include "widevine/keybox.hpp"
+#include "widevine/protocol.hpp"
+
+namespace wideleak {
+namespace {
+
+// Feed `parse` random blobs; success or ParseError are fine, anything else
+// (crash, other exception types escaping) fails the test.
+template <typename Fn>
+void fuzz_random_blobs(Rng& rng, Fn parse, int rounds = 200) {
+  for (int i = 0; i < rounds; ++i) {
+    const Bytes blob = rng.next_bytes(rng.next_below(300));
+    try {
+      parse(BytesView(blob));
+    } catch (const ParseError&) {
+      // expected for nearly all inputs
+    } catch (const Error&) {
+      // domain-level rejection is also acceptable
+    }
+  }
+}
+
+// Feed `parse` every truncation and 64 random single-byte corruptions of a
+// valid message.
+template <typename Fn>
+void fuzz_mutations(Rng& rng, const Bytes& valid, Fn parse) {
+  for (std::size_t cut = 0; cut < valid.size(); cut += 1 + valid.size() / 64) {
+    try {
+      parse(BytesView(valid.data(), cut));
+    } catch (const Error&) {
+    }
+  }
+  for (int i = 0; i < 64; ++i) {
+    Bytes mutated = valid;
+    mutated[rng.next_below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+    try {
+      parse(BytesView(mutated));
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Fuzz, HttpMessages) {
+  Rng rng(1);
+  fuzz_random_blobs(rng, [](BytesView b) { return net::HttpRequest::deserialize(b); });
+  fuzz_random_blobs(rng, [](BytesView b) { return net::HttpResponse::deserialize(b); });
+  net::HttpRequest req;
+  req.method = "POST";
+  req.path = "/license";
+  req.headers["a"] = "b";
+  req.body = rng.next_bytes(50);
+  fuzz_mutations(rng, req.serialize(),
+                 [](BytesView b) { return net::HttpRequest::deserialize(b); });
+}
+
+TEST(Fuzz, Certificates) {
+  Rng rng(2);
+  fuzz_random_blobs(rng, [](BytesView b) { return net::Certificate::deserialize(b); });
+}
+
+TEST(Fuzz, WidevineProtocolMessages) {
+  Rng rng(3);
+  fuzz_random_blobs(rng, [](BytesView b) { return widevine::ProvisioningRequest::deserialize(b); });
+  fuzz_random_blobs(rng, [](BytesView b) { return widevine::ProvisioningResponse::deserialize(b); });
+  fuzz_random_blobs(rng, [](BytesView b) { return widevine::LicenseRequest::deserialize(b); });
+  fuzz_random_blobs(rng, [](BytesView b) { return widevine::LicenseResponse::deserialize(b); });
+  fuzz_random_blobs(rng, [](BytesView b) { return widevine::KeyContainer::deserialize(b); });
+
+  widevine::LicenseRequest request;
+  request.client.stable_id = rng.next_bytes(32);
+  request.nonce = rng.next_bytes(16);
+  request.key_ids = {rng.next_bytes(16)};
+  request.signature = rng.next_bytes(32);
+  fuzz_mutations(rng, request.serialize(),
+                 [](BytesView b) { return widevine::LicenseRequest::deserialize(b); });
+}
+
+TEST(Fuzz, MediaContainers) {
+  Rng rng(4);
+  fuzz_random_blobs(rng, [](BytesView b) { return media::Box::parse_sequence(b); });
+  fuzz_random_blobs(rng, [](BytesView b) { return media::PackagedTrack::from_file(b); });
+
+  const auto frames = media::generate_track_frames(7, media::TrackType::Video, {640, 360}, 4);
+  media::TrakBox trak{.type = media::TrackType::Video, .resolution = {640, 360},
+                      .language = "en"};
+  const Bytes file =
+      media::package_encrypted(trak, frames, rng.next_bytes(16), rng.next_bytes(16), rng)
+          .to_file();
+  fuzz_mutations(rng, file, [](BytesView b) { return media::PackagedTrack::from_file(b); });
+}
+
+TEST(Fuzz, MpdDocuments) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Bytes blob = rng.next_bytes(rng.next_below(200));
+    try {
+      media::Mpd::parse(to_string(BytesView(blob)));
+    } catch (const Error&) {
+    }
+  }
+  // Structured-but-wrong XML.
+  for (const char* doc : {"<MPD>", "<MPD></MPD>", "<MPD><Period><AdaptationSet/></Period></MPD>",
+                          "<MPD><Period><AdaptationSet contentType=\"weird\"/></Period></MPD>"}) {
+    try {
+      media::Mpd::parse(doc);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(Fuzz, SecureManifestEnvelope) {
+  Rng rng(6);
+  fuzz_random_blobs(rng, [](BytesView b) { return ott::SecureManifestEnvelope::deserialize(b); });
+}
+
+TEST(Fuzz, KeyboxParseNeverLies) {
+  // Beyond random rejection: a blob that *does* parse must re-serialize to
+  // exactly itself (parse is injective on its accepted set).
+  Rng rng(7);
+  const widevine::Keybox real = widevine::make_factory_keybox("fuzz-device", 1);
+  const Bytes raw = real.serialize();
+  const auto parsed = widevine::Keybox::parse(raw);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->serialize(), raw);
+}
+
+}  // namespace
+}  // namespace wideleak

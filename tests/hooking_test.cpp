@@ -1,0 +1,151 @@
+// Hooking substrate tests: the hook bus, call traces and process memory.
+#include <gtest/gtest.h>
+
+#include "hooking/hook_bus.hpp"
+#include "hooking/memory.hpp"
+#include "hooking/process.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::hooking {
+namespace {
+
+// --- HookBus -----------------------------------------------------------
+
+TEST(HookBus, ListenersReceiveRecords) {
+  HookBus bus("proc");
+  std::vector<CallRecord> seen;
+  const auto token = bus.attach([&](const CallRecord& r) { seen.push_back(r); });
+  bus.emit("mod.so", "fn1", to_bytes("in"), to_bytes("out"));
+  bus.emit("mod.so", "fn2", BytesView(), BytesView());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].process, "proc");
+  EXPECT_EQ(seen[0].module, "mod.so");
+  EXPECT_EQ(seen[0].function, "fn1");
+  EXPECT_EQ(seen[0].input, to_bytes("in"));
+  EXPECT_EQ(seen[0].output, to_bytes("out"));
+  EXPECT_EQ(seen[0].sequence + 1, seen[1].sequence);
+  bus.detach(token);
+}
+
+TEST(HookBus, DetachStopsDelivery) {
+  HookBus bus("proc");
+  int count = 0;
+  const auto token = bus.attach([&](const CallRecord&) { ++count; });
+  bus.emit("m", "f", BytesView(), BytesView());
+  bus.detach(token);
+  bus.emit("m", "f", BytesView(), BytesView());
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(bus.has_listeners());
+}
+
+TEST(HookBus, MultipleListenersAllReceive) {
+  HookBus bus("proc");
+  int a = 0, b = 0;
+  bus.attach([&](const CallRecord&) { ++a; });
+  bus.attach([&](const CallRecord&) { ++b; });
+  bus.emit("m", "f", BytesView(), BytesView());
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(HookBus, NoListenersIsCheapNoop) {
+  HookBus bus("proc");
+  bus.emit("m", "f", BytesView(), BytesView());  // must not crash
+  EXPECT_FALSE(bus.has_listeners());
+}
+
+TEST(TraceSessionTest, RaiiAttachDetach) {
+  HookBus bus("proc");
+  {
+    TraceSession session(bus);
+    bus.emit("m", "f", BytesView(), BytesView());
+    EXPECT_EQ(session.trace().size(), 1u);
+    EXPECT_TRUE(bus.has_listeners());
+  }
+  EXPECT_FALSE(bus.has_listeners());
+}
+
+// --- CallTrace ------------------------------------------------------------
+
+TEST(CallTraceTest, Queries) {
+  CallTrace trace;
+  trace.append({0, "p", "libA.so", "f1", {}, {}});
+  trace.append({1, "p", "libB.so", "f2", {}, {}});
+  trace.append({2, "p", "libA.so", "f1", {}, {}});
+  EXPECT_EQ(trace.by_module("libA.so").size(), 2u);
+  EXPECT_EQ(trace.by_function("f1").size(), 2u);
+  EXPECT_NE(trace.first("f2"), nullptr);
+  EXPECT_EQ(trace.first("nope"), nullptr);
+  EXPECT_TRUE(trace.touched_module("libB.so"));
+  EXPECT_FALSE(trace.touched_module("libC.so"));
+  EXPECT_EQ(trace.function_sequence(), (std::vector<std::string>{"f1", "f2", "f1"}));
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+// --- ProcessMemory -----------------------------------------------------------
+
+TEST(ProcessMemoryTest, MapWriteReadUnmap) {
+  ProcessMemory memory;
+  const RegionId id = memory.map_region("buf", to_bytes("hello"));
+  EXPECT_EQ(memory.read_region(id), to_bytes("hello"));
+  memory.write_region(id, to_bytes("goodbye"));
+  EXPECT_EQ(memory.read_region(id), to_bytes("goodbye"));
+  EXPECT_EQ(memory.region_count(), 1u);
+  memory.unmap_region(id);
+  EXPECT_EQ(memory.region_count(), 0u);
+  EXPECT_THROW(memory.read_region(id), StateError);
+  EXPECT_THROW(memory.write_region(id, to_bytes("x")), StateError);
+  EXPECT_THROW(memory.unmap_region(id), StateError);
+}
+
+TEST(ProcessMemoryTest, ScanFindsAllOccurrences) {
+  ProcessMemory memory;
+  memory.map_region("a", to_bytes("xxNEEDLExxNEEDLExx"));
+  memory.map_region("b", to_bytes("NEEDLE"));
+  memory.map_region("c", to_bytes("nothing here"));
+  const auto hits = memory.scan(to_bytes("NEEDLE"));
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(ProcessMemoryTest, ScanOverlappingMatches) {
+  ProcessMemory memory;
+  memory.map_region("a", to_bytes("aaaa"));
+  EXPECT_EQ(memory.scan(to_bytes("aa")).size(), 3u);
+}
+
+TEST(ProcessMemoryTest, ScanEmptyPatternYieldsNothing) {
+  ProcessMemory memory;
+  memory.map_region("a", to_bytes("abc"));
+  EXPECT_TRUE(memory.scan(BytesView()).empty());
+}
+
+TEST(ProcessMemoryTest, SnapshotIsCopy) {
+  ProcessMemory memory;
+  const RegionId id = memory.map_region("a", to_bytes("orig"));
+  auto snapshot = memory.snapshot();
+  memory.write_region(id, to_bytes("new!"));
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].data, to_bytes("orig"));  // unchanged
+}
+
+TEST(ProcessMemoryTest, TotalBytes) {
+  ProcessMemory memory;
+  memory.map_region("a", Bytes(100, 0));
+  memory.map_region("b", Bytes(28, 0));
+  EXPECT_EQ(memory.total_bytes(), 128u);
+}
+
+// --- SimProcess --------------------------------------------------------------
+
+TEST(SimProcessTest, OwnsNameBusAndMemory) {
+  SimProcess process("mediadrmserver");
+  EXPECT_EQ(process.name(), "mediadrmserver");
+  EXPECT_EQ(process.bus().process_name(), "mediadrmserver");
+  process.memory().map_region("x", to_bytes("data"));
+  EXPECT_EQ(process.memory().region_count(), 1u);
+}
+
+}  // namespace
+}  // namespace wideleak::hooking

@@ -1,0 +1,221 @@
+// Full-study integration tests: Table I cell-for-cell against the paper,
+// the Figure-1 call ordering, and the §IV-D rip campaign shape.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/report.hpp"
+#include "ott/catalog.hpp"
+#include "ott/playback.hpp"
+
+namespace wideleak::core {
+namespace {
+
+// One shared study run for the whole binary (it is the expensive part).
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ecosystem_ = new ott::StreamingEcosystem();
+    ecosystem_->install_catalog();
+    study_ = new WideleakStudy(*ecosystem_);
+    audits_ = new std::vector<AppAudit>(study_->run_catalog());
+  }
+
+  static const AppAudit& audit_for(const std::string& app) {
+    for (const AppAudit& audit : *audits_) {
+      if (audit.profile.name == app) return audit;
+    }
+    ADD_FAILURE() << "no audit for " << app;
+    static AppAudit empty;
+    return empty;
+  }
+
+  static ott::StreamingEcosystem* ecosystem_;
+  static WideleakStudy* study_;
+  static std::vector<AppAudit>* audits_;
+};
+
+ott::StreamingEcosystem* IntegrationTest::ecosystem_ = nullptr;
+WideleakStudy* IntegrationTest::study_ = nullptr;
+std::vector<AppAudit>* IntegrationTest::audits_ = nullptr;
+
+// The paper's Table I, cell for cell.
+struct ExpectedRow {
+  ProtectionStatus video;
+  ProtectionStatus audio;
+  ProtectionStatus subtitles;
+  KeyUsageVerdict key_usage;
+  LegacyPlaybackVerdict legacy;
+};
+
+const std::map<std::string, ExpectedRow>& expected_table() {
+  static const std::map<std::string, ExpectedRow> table = {
+      {"Netflix",
+       {ProtectionStatus::Encrypted, ProtectionStatus::Clear, ProtectionStatus::Clear,
+        KeyUsageVerdict::Minimum, LegacyPlaybackVerdict::Plays}},
+      {"Disney+",
+       {ProtectionStatus::Encrypted, ProtectionStatus::Encrypted, ProtectionStatus::Clear,
+        KeyUsageVerdict::Minimum, LegacyPlaybackVerdict::ProvisioningFailed}},
+      {"Amazon Prime Video",
+       {ProtectionStatus::Encrypted, ProtectionStatus::Encrypted, ProtectionStatus::Clear,
+        KeyUsageVerdict::Recommended, LegacyPlaybackVerdict::PlaysViaCustomDrm}},
+      {"Hulu",
+       {ProtectionStatus::Encrypted, ProtectionStatus::Encrypted, ProtectionStatus::Unknown,
+        KeyUsageVerdict::Unknown, LegacyPlaybackVerdict::Plays}},
+      {"HBO Max",
+       {ProtectionStatus::Encrypted, ProtectionStatus::Encrypted, ProtectionStatus::Clear,
+        KeyUsageVerdict::Unknown, LegacyPlaybackVerdict::ProvisioningFailed}},
+      {"Starz",
+       {ProtectionStatus::Encrypted, ProtectionStatus::Encrypted, ProtectionStatus::Unknown,
+        KeyUsageVerdict::Minimum, LegacyPlaybackVerdict::ProvisioningFailed}},
+      {"myCANAL",
+       {ProtectionStatus::Encrypted, ProtectionStatus::Clear, ProtectionStatus::Clear,
+        KeyUsageVerdict::Minimum, LegacyPlaybackVerdict::Plays}},
+      {"Showtime",
+       {ProtectionStatus::Encrypted, ProtectionStatus::Encrypted, ProtectionStatus::Clear,
+        KeyUsageVerdict::Minimum, LegacyPlaybackVerdict::Plays}},
+      {"OCS",
+       {ProtectionStatus::Encrypted, ProtectionStatus::Encrypted, ProtectionStatus::Clear,
+        KeyUsageVerdict::Minimum, LegacyPlaybackVerdict::Plays}},
+      {"Salto",
+       {ProtectionStatus::Encrypted, ProtectionStatus::Clear, ProtectionStatus::Clear,
+        KeyUsageVerdict::Minimum, LegacyPlaybackVerdict::Plays}},
+  };
+  return table;
+}
+
+TEST_F(IntegrationTest, TableOneMatchesThePaperCellForCell) {
+  ASSERT_EQ(audits_->size(), 10u);
+  for (const auto& [app, expected] : expected_table()) {
+    const AppAudit& audit = audit_for(app);
+    EXPECT_EQ(audit.assets.video, expected.video) << app << " video";
+    EXPECT_EQ(audit.assets.audio, expected.audio) << app << " audio";
+    EXPECT_EQ(audit.assets.subtitles, expected.subtitles) << app << " subtitles";
+    EXPECT_EQ(audit.key_usage.verdict, expected.key_usage) << app << " key usage";
+    EXPECT_EQ(audit.legacy.verdict, expected.legacy) << app << " legacy";
+  }
+}
+
+TEST_F(IntegrationTest, Q1AllAppsUseWidevine) {
+  for (const AppAudit& audit : *audits_) {
+    EXPECT_TRUE(audit.usage_l1.widevine_used) << audit.profile.name;
+    EXPECT_EQ(audit.usage_l1.observed_level, widevine::SecurityLevel::L1)
+        << audit.profile.name;
+  }
+}
+
+TEST_F(IntegrationTest, Q1OnlyAmazonEmbedsCustomDrm) {
+  for (const AppAudit& audit : *audits_) {
+    EXPECT_EQ(audit.custom_drm_on_l3, audit.profile.name == "Amazon Prime Video")
+        << audit.profile.name;
+  }
+}
+
+TEST_F(IntegrationTest, Q1NonAmazonAppsRunWidevineL3OnTeeLessDevices) {
+  for (const AppAudit& audit : *audits_) {
+    if (audit.profile.name == "Amazon Prime Video") continue;
+    EXPECT_EQ(audit.usage_l3.observed_level, widevine::SecurityLevel::L3)
+        << audit.profile.name;
+  }
+}
+
+TEST_F(IntegrationTest, Q2SubtitlesNeverEncrypted) {
+  for (const AppAudit& audit : *audits_) {
+    EXPECT_NE(audit.assets.subtitles, ProtectionStatus::Encrypted) << audit.profile.name;
+  }
+}
+
+TEST_F(IntegrationTest, Q2ClearAudioPlaysWithoutAccount) {
+  for (const char* app : {"Netflix", "myCANAL", "Salto"}) {
+    EXPECT_TRUE(audit_for(app).assets.clear_audio_plays_without_account) << app;
+  }
+}
+
+TEST_F(IntegrationTest, Q3VideoKeysDistinctPerResolutionEverywhere) {
+  for (const AppAudit& audit : *audits_) {
+    EXPECT_TRUE(audit.key_usage.video_keys_distinct_per_resolution) << audit.profile.name;
+  }
+}
+
+TEST_F(IntegrationTest, Q4SevenOfTenPlayOnTheDiscontinuedDevice) {
+  std::size_t plays = 0, refused = 0;
+  for (const AppAudit& audit : *audits_) {
+    if (audit.legacy.verdict == LegacyPlaybackVerdict::Plays ||
+        audit.legacy.verdict == LegacyPlaybackVerdict::PlaysViaCustomDrm) {
+      ++plays;
+      // No legacy playback ever exceeds qHD.
+      EXPECT_LE(audit.legacy.best_resolution.height, 540) << audit.profile.name;
+    }
+    if (audit.legacy.verdict == LegacyPlaybackVerdict::ProvisioningFailed) ++refused;
+  }
+  EXPECT_EQ(plays, 7u);
+  EXPECT_EQ(refused, 3u);
+}
+
+TEST_F(IntegrationTest, RenderedTableContainsEveryAppAndLegend) {
+  const std::string table = render_table_one(*audits_);
+  for (const AppAudit& audit : *audits_) {
+    EXPECT_NE(table.find(audit.profile.name), std::string::npos);
+  }
+  EXPECT_NE(table.find("Recommended"), std::string::npos);
+  EXPECT_NE(table.find("custom DRM"), std::string::npos);
+  EXPECT_NE(table.find("provisioning phase"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, RipCampaignMatchesThePaper) {
+  ContentRipper ripper(*ecosystem_, study_->legacy_device());
+  const std::vector<RipResult> results = ripper.rip_catalog();
+
+  const std::set<std::string> expected_ripped = {"Netflix", "Hulu",     "myCANAL",
+                                                 "Showtime", "OCS",      "Salto"};
+  std::set<std::string> actually_ripped;
+  for (const RipResult& result : results) {
+    if (result.success) {
+      actually_ripped.insert(result.app);
+      EXPECT_EQ(result.best_video_resolution, (media::Resolution{960, 540})) << result.app;
+      EXPECT_TRUE(result.plays_without_account) << result.app;
+      EXPECT_TRUE(result.keybox_recovered) << result.app;
+      EXPECT_TRUE(result.device_rsa_recovered) << result.app;
+    }
+  }
+  EXPECT_EQ(actually_ripped, expected_ripped);
+
+  const std::string summary = render_rip_summary(results);
+  EXPECT_NE(summary.find("6 of 10"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, Figure1MilestoneOrdering) {
+  auto device = ecosystem_->make_device(android::modern_l1_spec(0x4601));
+  DrmApiMonitor monitor(*device);
+  ott::OttApp app(*ott::find_app("OCS"), *ecosystem_, *device);
+  ASSERT_TRUE(app.play_title().played);
+
+  const std::vector<std::string> milestones = {
+      "MediaDrm(UUID)",          "MediaDrm.openSession",
+      "MediaDrm.getKeyRequest",  "MediaDrm.provideKeyResponse",
+      "MediaCodec.queueSecureInputBuffer", "_oecc22_DecryptCENC"};
+  const auto sequence = monitor.call_sequence();
+  std::size_t cursor = 0;
+  for (const std::string& milestone : milestones) {
+    bool found = false;
+    while (cursor < sequence.size()) {
+      if (sequence[cursor++] == milestone) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "milestone " << milestone << " missing or out of order";
+  }
+}
+
+TEST_F(IntegrationTest, StudyIsDeterministicAcrossRuns) {
+  // A second, separately-constructed world produces the identical table.
+  ott::StreamingEcosystem second;
+  second.install_catalog();
+  WideleakStudy study(second);
+  const auto audits = study.run_catalog();
+  EXPECT_EQ(render_table_one(audits), render_table_one(*audits_));
+}
+
+}  // namespace
+}  // namespace wideleak::core

@@ -1,0 +1,436 @@
+// Media stack tests: synthetic codec, ISO-BMFF-lite boxes, CENC, XML and
+// MPD manifests, and title packaging policies.
+#include <gtest/gtest.h>
+
+#include "media/cenc.hpp"
+#include "media/codec.hpp"
+#include "media/content.hpp"
+#include "media/mp4.hpp"
+#include "media/mpd.hpp"
+#include "media/xml.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak::media {
+namespace {
+
+// --- codec ---------------------------------------------------------------
+
+TEST(Codec, FrameRoundTrip) {
+  Frame frame;
+  frame.index = 7;
+  frame.type = TrackType::Video;
+  frame.resolution = {960, 540};
+  frame.payload = to_bytes("payload-bytes");
+  const Bytes wire = frame.serialize();
+  const auto parsed = Frame::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->consumed, wire.size());
+  EXPECT_EQ(parsed->frame.index, 7u);
+  EXPECT_EQ(parsed->frame.type, TrackType::Video);
+  EXPECT_EQ(parsed->frame.resolution, (Resolution{960, 540}));
+  EXPECT_EQ(parsed->frame.payload, to_bytes("payload-bytes"));
+}
+
+TEST(Codec, ParseRejectsBadMagic) {
+  Frame frame;
+  frame.payload = to_bytes("x");
+  Bytes wire = frame.serialize();
+  wire[0] ^= 0xff;
+  EXPECT_FALSE(Frame::parse(wire).has_value());
+}
+
+TEST(Codec, ParseRejectsCorruptCrc) {
+  Frame frame;
+  frame.payload = to_bytes("hello");
+  Bytes wire = frame.serialize();
+  wire.back() ^= 1;
+  EXPECT_FALSE(Frame::parse(wire).has_value());
+}
+
+TEST(Codec, ParseRejectsCorruptPayload) {
+  Frame frame;
+  frame.payload = to_bytes("hello world");
+  Bytes wire = frame.serialize();
+  wire[Frame::header_size() + 2] ^= 1;
+  EXPECT_FALSE(Frame::parse(wire).has_value());
+}
+
+TEST(Codec, ParseRejectsTruncation) {
+  Frame frame;
+  frame.payload = to_bytes("hello");
+  const Bytes wire = frame.serialize();
+  for (const std::size_t cut : {std::size_t{1}, wire.size() / 2, wire.size() - 1}) {
+    EXPECT_FALSE(Frame::parse(BytesView(wire.data(), cut)).has_value()) << cut;
+  }
+}
+
+TEST(Codec, GenerateIsDeterministic) {
+  const auto a = generate_track_frames(42, TrackType::Video, {640, 360}, 5);
+  const auto b = generate_track_frames(42, TrackType::Video, {640, 360}, 5);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].serialize(), b[i].serialize());
+  }
+  const auto c = generate_track_frames(43, TrackType::Video, {640, 360}, 5);
+  EXPECT_NE(a[0].serialize(), c[0].serialize());
+}
+
+TEST(Codec, SubtitleFramesAreAscii) {
+  for (const Frame& frame : generate_track_frames(1, TrackType::Subtitle, {}, 8)) {
+    EXPECT_TRUE(is_printable_ascii(BytesView(frame.payload)));
+  }
+}
+
+TEST(Codec, HigherResolutionMeansBiggerFrames) {
+  const auto sd = generate_track_frames(1, TrackType::Video, {416, 234}, 1);
+  const auto hd = generate_track_frames(1, TrackType::Video, {1920, 1080}, 1);
+  EXPECT_GT(hd[0].payload.size(), sd[0].payload.size());
+}
+
+TEST(Codec, TryPlayAcceptsCleanStream) {
+  const auto frames = generate_track_frames(9, TrackType::Video, {854, 480}, 12);
+  const PlaybackReport report = try_play(BytesView(serialize_frames(frames)));
+  EXPECT_TRUE(report.playable);
+  EXPECT_EQ(report.frames, 12u);
+  EXPECT_EQ(report.resolution, (Resolution{854, 480}));
+}
+
+TEST(Codec, TryPlayRejectsCorruptedStream) {
+  const auto frames = generate_track_frames(9, TrackType::Video, {854, 480}, 3);
+  Bytes stream = serialize_frames(frames);
+  stream[stream.size() / 2] ^= 0x55;
+  const PlaybackReport report = try_play(BytesView(stream));
+  EXPECT_FALSE(report.playable);
+  EXPECT_FALSE(report.failure_reason.empty());
+}
+
+TEST(Codec, TryPlayRejectsEmptyAndGarbage) {
+  EXPECT_FALSE(try_play(BytesView()).playable);
+  Rng rng(3);
+  const Bytes garbage = rng.next_bytes(200);
+  EXPECT_FALSE(try_play(BytesView(garbage)).playable);
+}
+
+// --- mp4 boxes -------------------------------------------------------------
+
+TEST(Mp4, BoxSequenceRoundTrip) {
+  Box leaf{.fourcc = "mdat", .payload = to_bytes("data!"), .children = {}};
+  Box container{.fourcc = "moov", .payload = {}, .children = {}};
+  container.children.push_back(Box{.fourcc = "pssh", .payload = to_bytes("x"), .children = {}});
+  const Bytes wire = concat({BytesView(container.serialize()), BytesView(leaf.serialize())});
+  const auto boxes = Box::parse_sequence(wire);
+  ASSERT_EQ(boxes.size(), 2u);
+  EXPECT_EQ(boxes[0].fourcc, "moov");
+  ASSERT_EQ(boxes[0].children.size(), 1u);
+  EXPECT_EQ(boxes[0].children[0].fourcc, "pssh");
+  EXPECT_EQ(boxes[1].payload, to_bytes("data!"));
+}
+
+TEST(Mp4, ParseRejectsTruncatedAndOversizeBoxes) {
+  Bytes truncated{0x00, 0x00, 0x00};
+  EXPECT_THROW(Box::parse_sequence(truncated), ParseError);
+  Bytes oversize{0x00, 0x00, 0xff, 0xff, 'm', 'd', 'a', 't'};
+  EXPECT_THROW(Box::parse_sequence(oversize), ParseError);
+  Bytes undersize{0x00, 0x00, 0x00, 0x04, 'm', 'd', 'a', 't'};  // size < 8
+  EXPECT_THROW(Box::parse_sequence(undersize), ParseError);
+}
+
+TEST(Mp4, FindSearchesDepthFirst) {
+  Box root{.fourcc = "moov", .payload = {}, .children = {}};
+  Box trak{.fourcc = "trak", .payload = {}, .children = {}};
+  trak.children.push_back(Box{.fourcc = "tkhd", .payload = to_bytes("t"), .children = {}});
+  root.children.push_back(std::move(trak));
+  ASSERT_NE(root.find("tkhd"), nullptr);
+  EXPECT_EQ(root.find("tkhd")->payload, to_bytes("t"));
+  EXPECT_EQ(root.find("mdat"), nullptr);
+  EXPECT_EQ(root.child("pssh"), nullptr);
+}
+
+TEST(Mp4, PsshRoundTrip) {
+  Rng rng(4);
+  PsshBox pssh;
+  pssh.key_ids = {rng.next_bytes(16), rng.next_bytes(16)};
+  const PsshBox restored = PsshBox::from_box(pssh.to_box());
+  EXPECT_EQ(restored.system_id, std::string(kWidevineSystemId));
+  EXPECT_EQ(restored.key_ids, pssh.key_ids);
+}
+
+TEST(Mp4, TencRoundTrip) {
+  Rng rng(5);
+  TencBox tenc;
+  tenc.protected_scheme = true;
+  tenc.iv_size = 8;
+  tenc.default_key_id = rng.next_bytes(16);
+  const TencBox restored = TencBox::from_box(tenc.to_box());
+  EXPECT_TRUE(restored.protected_scheme);
+  EXPECT_EQ(restored.iv_size, 8);
+  EXPECT_EQ(restored.default_key_id, tenc.default_key_id);
+}
+
+TEST(Mp4, SencRoundTrip) {
+  Rng rng(6);
+  SencBox senc;
+  SampleEncryptionEntry entry;
+  entry.iv = rng.next_bytes(8);
+  entry.subsamples.push_back({17, 300});
+  entry.subsamples.push_back({4, 12});
+  senc.entries.push_back(entry);
+  const SencBox restored = SencBox::from_box(senc.to_box());
+  ASSERT_EQ(restored.entries.size(), 1u);
+  EXPECT_EQ(restored.entries[0].iv, entry.iv);
+  ASSERT_EQ(restored.entries[0].subsamples.size(), 2u);
+  EXPECT_EQ(restored.entries[0].subsamples[1].clear_bytes, 4);
+  EXPECT_EQ(restored.entries[0].subsamples[1].protected_bytes, 12u);
+}
+
+TEST(Mp4, WrongBoxTypeThrows) {
+  Box mdat{.fourcc = "mdat", .payload = {}, .children = {}};
+  EXPECT_THROW(PsshBox::from_box(mdat), ParseError);
+  EXPECT_THROW(TencBox::from_box(mdat), ParseError);
+  EXPECT_THROW(SencBox::from_box(mdat), ParseError);
+}
+
+// --- CENC --------------------------------------------------------------------
+
+class CencTest : public ::testing::TestWithParam<TrackType> {};
+
+INSTANTIATE_TEST_SUITE_P(AllTrackTypes, CencTest,
+                         ::testing::Values(TrackType::Video, TrackType::Audio,
+                                           TrackType::Subtitle));
+
+TEST_P(CencTest, EncryptDecryptRoundTrip) {
+  Rng rng(7);
+  const TrackType type = GetParam();
+  const Resolution res = type == TrackType::Video ? Resolution{960, 540} : Resolution{};
+  const auto frames = generate_track_frames(11, type, res, 10);
+  const Bytes key = rng.next_bytes(16);
+  const KeyId kid = rng.next_bytes(16);
+  TrakBox trak{.type = type, .resolution = res, .language = "en"};
+
+  const PackagedTrack track = package_encrypted(trak, frames, key, kid, rng);
+  EXPECT_TRUE(track.encrypted);
+  EXPECT_EQ(track.key_id, kid);
+  EXPECT_EQ(track.samples.size(), 10u);
+
+  // Ciphertext must not play...
+  EXPECT_FALSE(try_play(BytesView(raw_sample_stream(track))).playable);
+  // ...but the decryption must restore the exact stream.
+  EXPECT_EQ(cenc_decrypt_track(track, key), serialize_frames(frames));
+}
+
+TEST(Cenc, WrongKeyYieldsUnplayableOutput) {
+  Rng rng(8);
+  const auto frames = generate_track_frames(12, TrackType::Video, {640, 360}, 5);
+  const Bytes key = rng.next_bytes(16);
+  const Bytes wrong = rng.next_bytes(16);
+  TrakBox trak{.type = TrackType::Video, .resolution = {640, 360}, .language = "en"};
+  const PackagedTrack track = package_encrypted(trak, frames, key, rng.next_bytes(16), rng);
+  const Bytes garbage = cenc_decrypt_track(track, wrong);
+  EXPECT_FALSE(try_play(BytesView(garbage)).playable);
+}
+
+TEST(Cenc, SubsampleHeadersStayClear) {
+  Rng rng(9);
+  const auto frames = generate_track_frames(13, TrackType::Video, {640, 360}, 3);
+  TrakBox trak{.type = TrackType::Video, .resolution = {640, 360}, .language = "en"};
+  const PackagedTrack track =
+      package_encrypted(trak, frames, rng.next_bytes(16), rng.next_bytes(16), rng);
+  for (std::size_t i = 0; i < track.samples.size(); ++i) {
+    const Bytes record = frames[i].serialize();
+    const Bytes expected_header(record.begin(), record.begin() + Frame::header_size());
+    const Bytes actual_header(track.samples[i].begin(),
+                              track.samples[i].begin() + Frame::header_size());
+    EXPECT_EQ(actual_header, expected_header) << "sample " << i;
+  }
+}
+
+TEST(Cenc, FileRoundTrip) {
+  Rng rng(10);
+  const auto frames = generate_track_frames(14, TrackType::Audio, {}, 6);
+  TrakBox trak{.type = TrackType::Audio, .resolution = {}, .language = "fr"};
+  const Bytes key = rng.next_bytes(16);
+  const KeyId kid = rng.next_bytes(16);
+  const PackagedTrack track = package_encrypted(trak, frames, key, kid, rng);
+
+  const Bytes file = track.to_file();
+  const PackagedTrack restored = PackagedTrack::from_file(file);
+  EXPECT_TRUE(restored.encrypted);
+  EXPECT_EQ(restored.key_id, kid);
+  EXPECT_EQ(restored.track.type, TrackType::Audio);
+  EXPECT_EQ(restored.track.language, "fr");
+  EXPECT_EQ(cenc_decrypt_track(restored, key), serialize_frames(frames));
+}
+
+TEST(Cenc, ClearFileRoundTrip) {
+  const auto frames = generate_track_frames(15, TrackType::Subtitle, {}, 4);
+  TrakBox trak{.type = TrackType::Subtitle, .resolution = {}, .language = "en"};
+  const PackagedTrack track = package_clear(trak, frames);
+  const PackagedTrack restored = PackagedTrack::from_file(track.to_file());
+  EXPECT_FALSE(restored.encrypted);
+  EXPECT_TRUE(try_play(BytesView(raw_sample_stream(restored))).playable);
+}
+
+TEST(Cenc, DecryptClearTrackThrows) {
+  const auto frames = generate_track_frames(16, TrackType::Audio, {}, 2);
+  TrakBox trak{.type = TrackType::Audio, .resolution = {}, .language = "en"};
+  const PackagedTrack track = package_clear(trak, frames);
+  Rng rng(11);
+  EXPECT_THROW(cenc_decrypt_track(track, rng.next_bytes(16)), CryptoError);
+}
+
+// --- XML ----------------------------------------------------------------------
+
+TEST(Xml, ParseSimpleDocument) {
+  const XmlNode root = xml_parse("<?xml version=\"1.0\"?>\n<a x=\"1\"><b/><b y=\"2\"/></a>");
+  EXPECT_EQ(root.name, "a");
+  EXPECT_EQ(root.attribute("x"), "1");
+  EXPECT_EQ(root.children_named("b").size(), 2u);
+  EXPECT_EQ(root.children_named("b")[1]->attribute("y"), "2");
+}
+
+TEST(Xml, TextContentAndEntities) {
+  const XmlNode root = xml_parse("<u>a &amp; b &lt;c&gt;</u>");
+  EXPECT_EQ(root.text, "a & b <c>");
+}
+
+TEST(Xml, SerializeParseRoundTrip) {
+  XmlNode root;
+  root.name = "MPD";
+  root.attributes["type"] = "static";
+  XmlNode child;
+  child.name = "BaseURL";
+  child.text = "/a/b?x=1&y=\"2\"";
+  root.children.push_back(child);
+  const XmlNode restored = xml_parse(root.serialize());
+  EXPECT_EQ(restored.name, "MPD");
+  EXPECT_EQ(restored.attribute("type"), "static");
+  ASSERT_NE(restored.child("BaseURL"), nullptr);
+  EXPECT_EQ(restored.child("BaseURL")->text, "/a/b?x=1&y=\"2\"");
+}
+
+TEST(Xml, Comments) {
+  const XmlNode root = xml_parse("<a><!-- note --><b/></a>");
+  EXPECT_EQ(root.children.size(), 1u);
+}
+
+TEST(Xml, MalformedInputsThrow) {
+  EXPECT_THROW(xml_parse("<a>"), ParseError);
+  EXPECT_THROW(xml_parse("<a></b>"), ParseError);
+  EXPECT_THROW(xml_parse("<a x=1/>"), ParseError);
+  EXPECT_THROW(xml_parse("<a/><b/>"), ParseError);
+  EXPECT_THROW(xml_parse("<a>&unknown;</a>"), ParseError);
+}
+
+// --- MPD -----------------------------------------------------------------------
+
+TEST(Mpd, SerializeParseRoundTrip) {
+  Rng rng(12);
+  Mpd mpd;
+  mpd.title = "Test Movie";
+  MpdRepresentation video;
+  video.id = "video_540p";
+  video.type = TrackType::Video;
+  video.resolution = {960, 540};
+  video.base_url = "/content/test/video_540p.mp4";
+  video.default_kid = rng.next_bytes(16);
+  mpd.representations.push_back(video);
+  MpdRepresentation audio;
+  audio.id = "audio_en";
+  audio.type = TrackType::Audio;
+  audio.language = "en";
+  audio.base_url = "/content/test/audio_en.mp4";
+  mpd.representations.push_back(audio);
+
+  const Mpd restored = Mpd::parse(mpd.serialize());
+  EXPECT_EQ(restored.title, "Test Movie");
+  ASSERT_EQ(restored.representations.size(), 2u);
+  EXPECT_EQ(restored.representations[0].resolution, (Resolution{960, 540}));
+  EXPECT_EQ(restored.representations[0].default_kid, video.default_kid);
+  EXPECT_FALSE(restored.representations[1].default_kid.has_value());
+  EXPECT_EQ(restored.of_type(TrackType::Audio).size(), 1u);
+}
+
+TEST(Mpd, ParseRejectsNonMpdDocuments) {
+  EXPECT_THROW(Mpd::parse("<NotMPD/>"), ParseError);
+  EXPECT_THROW(Mpd::parse("<MPD/>"), ParseError);  // no Period
+}
+
+// --- title packaging -------------------------------------------------------------
+
+TEST(Packaging, QualityLadderAndKeyCountMinimum) {
+  ContentPolicy policy{.encrypt_video = true,
+                       .encrypt_audio = true,
+                       .encrypt_subtitles = false,
+                       .key_usage = KeyUsagePolicy::Minimum};
+  const PackagedTitle title = package_title(77, "Movie", {"en", "fr"}, {"en"}, policy);
+  // 6 qualities -> 6 video keys; audio reuses the SD video key -> no extra.
+  EXPECT_EQ(title.keys.size(), 6u);
+  EXPECT_EQ(title.mpd.of_type(TrackType::Video).size(), 6u);
+  EXPECT_EQ(title.mpd.of_type(TrackType::Audio).size(), 2u);
+  EXPECT_EQ(title.mpd.of_type(TrackType::Subtitle).size(), 1u);
+  // The audio kid equals the lowest-quality video kid.
+  const auto* audio = title.mpd.of_type(TrackType::Audio)[0];
+  const auto* sd_video = title.mpd.of_type(TrackType::Video)[0];
+  ASSERT_TRUE(audio->default_kid && sd_video->default_kid);
+  EXPECT_EQ(*audio->default_kid, *sd_video->default_kid);
+}
+
+TEST(Packaging, RecommendedPolicyUsesDistinctAudioKeys) {
+  ContentPolicy policy{.encrypt_video = true,
+                       .encrypt_audio = true,
+                       .encrypt_subtitles = false,
+                       .key_usage = KeyUsagePolicy::Recommended};
+  const PackagedTitle title = package_title(78, "Movie", {"en", "fr"}, {}, policy);
+  EXPECT_EQ(title.keys.size(), 8u);  // 6 video + 2 audio
+  const auto* audio = title.mpd.of_type(TrackType::Audio)[0];
+  for (const auto* video : title.mpd.of_type(TrackType::Video)) {
+    EXPECT_NE(*audio->default_kid, *video->default_kid);
+  }
+}
+
+TEST(Packaging, ClearAudioHasNoKid) {
+  ContentPolicy policy{.encrypt_video = true,
+                       .encrypt_audio = false,
+                       .encrypt_subtitles = false,
+                       .key_usage = KeyUsagePolicy::Minimum};
+  const PackagedTitle title = package_title(79, "Movie", {"en"}, {"en"}, policy);
+  EXPECT_FALSE(title.mpd.of_type(TrackType::Audio)[0]->default_kid.has_value());
+  // And the served file really is playable as-is.
+  const auto& file = title.files.at(title.mpd.of_type(TrackType::Audio)[0]->base_url);
+  const PackagedTrack track = PackagedTrack::from_file(BytesView(file));
+  EXPECT_TRUE(try_play(BytesView(raw_sample_stream(track))).playable);
+}
+
+TEST(Packaging, DeterministicAcrossCalls) {
+  ContentPolicy policy;
+  const PackagedTitle a = package_title(80, "Same", {"en"}, {"en"}, policy);
+  const PackagedTitle b = package_title(80, "Same", {"en"}, {"en"}, policy);
+  ASSERT_EQ(a.keys.size(), b.keys.size());
+  for (std::size_t i = 0; i < a.keys.size(); ++i) {
+    EXPECT_EQ(a.keys[i].kid, b.keys[i].kid);
+    EXPECT_EQ(a.keys[i].key, b.keys[i].key);
+  }
+  EXPECT_EQ(a.files, b.files);
+}
+
+TEST(Packaging, KeyForLookup) {
+  const PackagedTitle title = package_title(81, "Movie", {"en"}, {}, ContentPolicy{});
+  ASSERT_FALSE(title.keys.empty());
+  EXPECT_NE(title.key_for(title.keys[0].kid), nullptr);
+  EXPECT_EQ(title.key_for(Bytes(16, 0)), nullptr);
+}
+
+TEST(Packaging, EveryVideoKeyIsResolutionTagged) {
+  const PackagedTitle title = package_title(82, "Movie", {}, {}, ContentPolicy{});
+  std::set<std::string> kids;
+  for (const ContentKey& key : title.keys) {
+    EXPECT_EQ(key.type, TrackType::Video);
+    EXPECT_NE(key.resolution.height, 0);
+    kids.insert(hex_encode(key.kid));
+  }
+  EXPECT_EQ(kids.size(), title.keys.size());  // all distinct
+}
+
+}  // namespace
+}  // namespace wideleak::media

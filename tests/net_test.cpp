@@ -1,0 +1,265 @@
+// Network stack tests: HTTP messages, certificates/trust, TLS records and
+// handshakes, pinning and the MITM proxy.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/http.hpp"
+#include "net/network.hpp"
+#include "net/proxy.hpp"
+#include "net/tls.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::net {
+namespace {
+
+// Shared fixture: CA + one echo server (key generation is the slow part).
+class NetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(0x2e7);
+    ca_ = new CertificateAuthority("test-ca", *rng_, 512);
+    network_ = new Network();
+    auto identity = make_server_identity("api.example", *ca_, *rng_, 512);
+    server_cert_ = new Certificate(identity.certificate);
+    network_->add_server("api.example",
+                         std::make_shared<TlsServer>(
+                             std::move(identity),
+                             [](const HttpRequest& req) {
+                               HttpResponse res = http_ok(req.body);
+                               res.headers["echo-path"] = req.path;
+                               return res;
+                             },
+                             1));
+  }
+
+  TlsClient make_client() {
+    TrustStore trust;
+    trust.add(*ca_);
+    return TlsClient(*network_, trust, rng_->fork());
+  }
+
+  static Rng* rng_;
+  static CertificateAuthority* ca_;
+  static Network* network_;
+  static Certificate* server_cert_;
+};
+
+Rng* NetTest::rng_ = nullptr;
+CertificateAuthority* NetTest::ca_ = nullptr;
+Network* NetTest::network_ = nullptr;
+Certificate* NetTest::server_cert_ = nullptr;
+
+// --- HTTP messages ------------------------------------------------------
+
+TEST(Http, RequestRoundTrip) {
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/license";
+  req.headers["authorization"] = "tok";
+  req.body = Bytes{1, 2, 3};
+  const HttpRequest restored = HttpRequest::deserialize(req.serialize());
+  EXPECT_EQ(restored.method, "POST");
+  EXPECT_EQ(restored.path, "/license");
+  EXPECT_EQ(restored.headers.at("authorization"), "tok");
+  EXPECT_EQ(restored.body, (Bytes{1, 2, 3}));
+}
+
+TEST(Http, ResponseRoundTripAndStatus) {
+  HttpResponse res = http_error(404, "missing");
+  EXPECT_FALSE(res.ok());
+  const HttpResponse restored = HttpResponse::deserialize(res.serialize());
+  EXPECT_EQ(restored.status, 404);
+  EXPECT_EQ(restored.headers.at("reason"), "missing");
+  EXPECT_TRUE(http_ok_text("x").ok());
+}
+
+// --- certificates & trust --------------------------------------------------
+
+TEST_F(NetTest, CertificateValidatesAgainstIssuingCa) {
+  TrustStore trust;
+  trust.add(*ca_);
+  EXPECT_TRUE(trust.validate(*server_cert_));
+}
+
+TEST_F(NetTest, CertificateRejectedByWrongCa) {
+  Rng rng(77);
+  CertificateAuthority other("other-ca", rng, 512);
+  TrustStore trust;
+  trust.add(other);
+  EXPECT_FALSE(trust.validate(*server_cert_));
+}
+
+TEST_F(NetTest, TamperedCertificateRejected) {
+  TrustStore trust;
+  trust.add(*ca_);
+  Certificate forged = *server_cert_;
+  forged.subject = "evil.example";  // signature no longer covers this
+  EXPECT_FALSE(trust.validate(forged));
+}
+
+TEST_F(NetTest, PinStoreChecksFingerprint) {
+  PinStore pins;
+  EXPECT_TRUE(pins.check("api.example", *server_cert_));  // unpinned: pass
+  pins.pin("api.example", server_cert_->pin_value());
+  EXPECT_TRUE(pins.check("api.example", *server_cert_));
+  pins.pin("api.example", Bytes(32, 0x00));
+  EXPECT_FALSE(pins.check("api.example", *server_cert_));
+  EXPECT_TRUE(pins.has_pin("api.example"));
+  EXPECT_FALSE(pins.has_pin("cdn.example"));
+}
+
+// --- TLS sessions --------------------------------------------------------------
+
+TEST(TlsSession, SealOpenRoundTrip) {
+  Rng rng(1);
+  const Bytes enc = rng.next_bytes(16), mac = rng.next_bytes(32), iv = rng.next_bytes(8);
+  TlsSession sender(enc, mac, iv);
+  TlsSession receiver(enc, mac, iv);
+  for (int i = 0; i < 5; ++i) {
+    const Bytes msg = rng.next_bytes(100 + static_cast<std::size_t>(i));
+    EXPECT_EQ(receiver.open(sender.seal(msg)), msg);
+  }
+}
+
+TEST(TlsSession, TamperedRecordRejected) {
+  Rng rng(2);
+  const Bytes enc = rng.next_bytes(16), mac = rng.next_bytes(32), iv = rng.next_bytes(8);
+  TlsSession sender(enc, mac, iv);
+  TlsSession receiver(enc, mac, iv);
+  Bytes record = sender.seal(to_bytes("secret"));
+  record[record.size() / 2] ^= 1;
+  EXPECT_THROW(receiver.open(record), CryptoError);
+}
+
+TEST(TlsSession, ReplayRejected) {
+  Rng rng(3);
+  const Bytes enc = rng.next_bytes(16), mac = rng.next_bytes(32), iv = rng.next_bytes(8);
+  TlsSession sender(enc, mac, iv);
+  TlsSession receiver(enc, mac, iv);
+  const Bytes record = sender.seal(to_bytes("once"));
+  EXPECT_EQ(receiver.open(record), to_bytes("once"));
+  EXPECT_THROW(receiver.open(record), CryptoError);
+}
+
+TEST(TlsSession, KeyDerivationIsDeterministicAndSensitive) {
+  Rng rng(4);
+  const Bytes pm = rng.next_bytes(16), cr = rng.next_bytes(32), sr = rng.next_bytes(32);
+  const SessionKeys a = derive_session_keys(pm, cr, sr);
+  const SessionKeys b = derive_session_keys(pm, cr, sr);
+  EXPECT_EQ(a.enc_key, b.enc_key);
+  EXPECT_EQ(a.mac_key, b.mac_key);
+  EXPECT_EQ(a.enc_key.size(), 16u);
+  EXPECT_EQ(a.iv_seed.size(), 8u);
+  const SessionKeys c = derive_session_keys(pm, sr, cr);  // swapped randoms
+  EXPECT_NE(a.enc_key, c.enc_key);
+}
+
+// --- client/server exchanges ------------------------------------------------
+
+TEST_F(NetTest, SuccessfulExchange) {
+  TlsClient client = make_client();
+  HttpRequest req;
+  req.path = "/hello";
+  req.body = to_bytes("ping");
+  const TlsExchangeResult result = client.request("api.example", req);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.response->headers.at("echo-path"), "/hello");
+  EXPECT_EQ(result.response->body, to_bytes("ping"));
+}
+
+TEST_F(NetTest, UnknownHostThrows) {
+  TlsClient client = make_client();
+  EXPECT_THROW(client.request("nope.example", HttpRequest{}), NetworkError);
+}
+
+TEST_F(NetTest, UntrustedCaFailsHandshake) {
+  TrustStore empty;
+  TlsClient client(*network_, empty, rng_->fork());
+  const auto result = client.request("api.example", HttpRequest{});
+  EXPECT_EQ(result.handshake, HandshakeResult::UntrustedCertificate);
+  EXPECT_FALSE(result.response.has_value());
+}
+
+TEST_F(NetTest, PinnedClientAcceptsRealServer) {
+  TlsClient client = make_client();
+  client.pins().pin("api.example", server_cert_->pin_value());
+  EXPECT_TRUE(client.request("api.example", HttpRequest{}).ok());
+}
+
+// --- MITM proxy ------------------------------------------------------------------
+
+TEST_F(NetTest, ProxyInterceptsWhenCaTrustedAndUnpinned) {
+  MitmProxy proxy(*network_, rng_->fork());
+  TrustStore trust;
+  trust.add(*ca_);
+  trust.add(proxy.ca());  // victim installed the proxy CA
+  TlsClient client(*network_, trust, rng_->fork());
+  client.set_proxy(&proxy);
+
+  HttpRequest req;
+  req.path = "/peek";
+  req.body = to_bytes("visible");
+  ASSERT_TRUE(client.request("api.example", req).ok());
+  ASSERT_EQ(proxy.flows().size(), 1u);
+  EXPECT_EQ(proxy.flows()[0].host, "api.example");
+  EXPECT_EQ(proxy.flows()[0].request.body, to_bytes("visible"));
+  EXPECT_EQ(proxy.flows()[0].response.headers.at("echo-path"), "/peek");
+}
+
+TEST_F(NetTest, ProxyBlockedWithoutUserInstalledCa) {
+  MitmProxy proxy(*network_, rng_->fork());
+  TlsClient client = make_client();  // trusts only the real CA
+  client.set_proxy(&proxy);
+  const auto result = client.request("api.example", HttpRequest{});
+  EXPECT_EQ(result.handshake, HandshakeResult::UntrustedCertificate);
+}
+
+TEST_F(NetTest, PinningDefeatsProxyDespiteTrustedCa) {
+  MitmProxy proxy(*network_, rng_->fork());
+  TrustStore trust;
+  trust.add(*ca_);
+  trust.add(proxy.ca());
+  TlsClient client(*network_, trust, rng_->fork());
+  client.pins().pin("api.example", server_cert_->pin_value());
+  client.set_proxy(&proxy);
+  const auto result = client.request("api.example", HttpRequest{});
+  EXPECT_EQ(result.handshake, HandshakeResult::PinMismatch);
+}
+
+TEST_F(NetTest, RepinningBypassDefeatsPinning) {
+  // The paper's step: Frida overrides the pin verdict, the MITM wins.
+  MitmProxy proxy(*network_, rng_->fork());
+  TrustStore trust;
+  trust.add(*ca_);
+  trust.add(proxy.ca());
+  TlsClient client(*network_, trust, rng_->fork());
+  client.pins().pin("api.example", server_cert_->pin_value());
+  client.set_proxy(&proxy);
+  int bypasses = 0;
+  client.set_pin_check_override([&](const std::string&, const Certificate&, bool ok) {
+    if (!ok) ++bypasses;
+    return true;
+  });
+  HttpRequest req;
+  req.body = to_bytes("now visible");
+  ASSERT_TRUE(client.request("api.example", req).ok());
+  EXPECT_EQ(bypasses, 1);
+  ASSERT_FALSE(proxy.flows().empty());
+  EXPECT_EQ(proxy.flows().back().request.body, to_bytes("now visible"));
+}
+
+TEST_F(NetTest, HostnameMismatchRejected) {
+  // Register the api.example identity under a different hostname.
+  auto identity = make_server_identity("api.example", *ca_, *rng_, 512);
+  network_->add_server("wrong.example",
+                       std::make_shared<TlsServer>(std::move(identity),
+                                                   [](const HttpRequest&) { return http_ok({}); },
+                                                   2));
+  TlsClient client = make_client();
+  const auto result = client.request("wrong.example", HttpRequest{});
+  EXPECT_EQ(result.handshake, HandshakeResult::HostnameMismatch);
+}
+
+}  // namespace
+}  // namespace wideleak::net

@@ -1,0 +1,351 @@
+// OTT layer tests: the study catalog, backend endpoints, custom DRM and the
+// full playback client across devices and all ten apps.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "crypto/modes.hpp"
+#include "ott/catalog.hpp"
+#include "ott/custom_drm.hpp"
+#include "ott/ecosystem.hpp"
+#include "ott/playback.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::ott {
+namespace {
+
+// Building the ecosystem costs RSA key generations; share one per binary.
+class OttTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ecosystem_ = new StreamingEcosystem();
+    ecosystem_->install_catalog();
+  }
+
+  static StreamingEcosystem& eco() { return *ecosystem_; }
+
+  static StreamingEcosystem* ecosystem_;
+};
+
+StreamingEcosystem* OttTest::ecosystem_ = nullptr;
+
+// --- catalog ---------------------------------------------------------------
+
+TEST(Catalog, HasTheTenStudyApps) {
+  const auto apps = study_catalog();
+  ASSERT_EQ(apps.size(), 10u);
+  EXPECT_EQ(apps[0].name, "Netflix");
+  EXPECT_EQ(apps[0].installs_millions, 1000u);
+  EXPECT_EQ(apps[9].name, "Salto");
+}
+
+TEST(Catalog, PolicyKnobsMatchTheMeasuredBehaviours) {
+  EXPECT_TRUE(find_app("Netflix")->secure_uri_channel);
+  EXPECT_FALSE(find_app("Netflix")->content_policy.encrypt_audio);
+  EXPECT_TRUE(find_app("Disney+")->enforce_revocation);
+  EXPECT_TRUE(find_app("Amazon Prime Video")->custom_drm_on_l3_only);
+  EXPECT_EQ(find_app("Amazon Prime Video")->content_policy.key_usage,
+            media::KeyUsagePolicy::Recommended);
+  EXPECT_TRUE(find_app("Hulu")->subtitles_via_opaque_channel);
+  EXPECT_TRUE(find_app("Hulu")->restrict_audit_region);
+  EXPECT_TRUE(find_app("Starz")->enforce_revocation);
+  EXPECT_FALSE(find_app("Showtime")->enforce_revocation);
+  EXPECT_FALSE(find_app("myCANAL")->content_policy.encrypt_audio);
+  EXPECT_FALSE(find_app("nope").has_value());
+}
+
+TEST(Catalog, HostnamesAreStableAndDistinct) {
+  std::set<std::string> hosts;
+  for (const auto& app : study_catalog()) {
+    hosts.insert(app.backend_host());
+    hosts.insert(app.cdn_host());
+  }
+  EXPECT_EQ(hosts.size(), 20u);
+  EXPECT_EQ(find_app("Netflix")->backend_host(), "api.netflix.example");
+  EXPECT_EQ(find_app("HBO Max")->cdn_host(), "cdn.hbomax.example");
+}
+
+// --- custom DRM --------------------------------------------------------------
+
+TEST(CustomDrmTest, KeyMapRoundTrip) {
+  Rng rng(1);
+  std::map<std::string, Bytes> keys;
+  keys["aa"] = rng.next_bytes(16);
+  keys["bb"] = rng.next_bytes(16);
+  const Bytes nonce = rng.next_bytes(16);
+  const Bytes wrapped = CustomDrm::wrap_key_map("Amazon Prime Video", nonce, keys);
+  EXPECT_EQ(CustomDrm::unwrap_key_map("Amazon Prime Video", nonce, wrapped), keys);
+}
+
+TEST(CustomDrmTest, WrongAppOrNonceFails) {
+  Rng rng(2);
+  std::map<std::string, Bytes> keys{{"aa", rng.next_bytes(16)}};
+  const Bytes nonce = rng.next_bytes(16);
+  const Bytes wrapped = CustomDrm::wrap_key_map("Amazon Prime Video", nonce, keys);
+  EXPECT_THROW(CustomDrm::unwrap_key_map("Netflix", nonce, wrapped), Error);
+  EXPECT_THROW(CustomDrm::unwrap_key_map("Amazon Prime Video", rng.next_bytes(16), wrapped),
+               Error);
+}
+
+TEST(CustomDrmTest, AppSecretsDiffer) {
+  EXPECT_NE(CustomDrm::app_secret("Amazon Prime Video"), CustomDrm::app_secret("Netflix"));
+  EXPECT_EQ(CustomDrm::app_secret("X"), CustomDrm::app_secret("X"));
+}
+
+// --- ecosystem wiring ----------------------------------------------------------
+
+TEST_F(OttTest, HostsRegisteredForEveryApp) {
+  for (const auto& app : study_catalog()) {
+    EXPECT_TRUE(eco().network().has_host(app.backend_host())) << app.name;
+    EXPECT_TRUE(eco().network().has_host(app.cdn_host())) << app.name;
+  }
+  EXPECT_FALSE(eco().network().has_host("unknown.example"));
+}
+
+TEST_F(OttTest, TitlesPackagedPerPolicy) {
+  const auto& netflix = eco().title_for("Netflix");
+  // Clear audio -> only video keys.
+  EXPECT_EQ(netflix.keys.size(), 6u);
+  const auto& amazon = eco().title_for("Amazon Prime Video");
+  EXPECT_EQ(amazon.keys.size(), 8u);  // distinct audio keys
+  EXPECT_THROW(eco().title_for("absent"), StateError);
+}
+
+// --- backend endpoints -----------------------------------------------------------
+
+class BackendClient {
+ public:
+  explicit BackendClient(StreamingEcosystem& eco)
+      : eco_(eco), client_(make_client(eco)) {}
+
+  net::HttpResponse call(const std::string& host, const std::string& method,
+                         const std::string& path, Bytes body = {},
+                         const std::string& auth = "") {
+    net::HttpRequest req;
+    req.method = method;
+    req.path = path;
+    req.body = std::move(body);
+    if (!auth.empty()) req.headers["authorization"] = auth;
+    const auto result = client_.request(host, req);
+    EXPECT_EQ(result.handshake, net::HandshakeResult::Ok);
+    return *result.response;
+  }
+
+ private:
+  static net::TlsClient make_client(StreamingEcosystem& eco) {
+    net::TrustStore trust;
+    trust.add(eco.root_ca());
+    return net::TlsClient(eco.network(), trust, eco.fork_rng());
+  }
+
+  StreamingEcosystem& eco_;
+  net::TlsClient client_;
+};
+
+TEST_F(OttTest, LoginIssuesToken) {
+  BackendClient client(eco());
+  const auto res = client.call("api.showtime.example", "POST", "/login", to_bytes("u:p"));
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(to_string(BytesView(res.body)), eco().backend_for("Showtime").subscriber_token());
+  EXPECT_EQ(client.call("api.showtime.example", "POST", "/login").status, 400);
+}
+
+TEST_F(OttTest, ManifestRequiresSubscription) {
+  BackendClient client(eco());
+  EXPECT_EQ(client.call("api.showtime.example", "GET", "/manifest").status, 401);
+  const auto ok = client.call("api.showtime.example", "GET", "/manifest", {},
+                              eco().backend_for("Showtime").subscriber_token());
+  EXPECT_TRUE(ok.ok());
+  const media::Mpd mpd = media::Mpd::parse(to_string(BytesView(ok.body)));
+  EXPECT_FALSE(mpd.representations.empty());
+}
+
+TEST_F(OttTest, NetflixManifestIsEnvelope) {
+  BackendClient client(eco());
+  const auto res = client.call("api.netflix.example", "GET", "/manifest", {},
+                               eco().backend_for("Netflix").subscriber_token());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.headers.at("content-type"), "application/x-secure-manifest");
+  // The body is ciphertext, not an MPD.
+  EXPECT_THROW(media::Mpd::parse(to_string(BytesView(res.body))), Error);
+  const auto envelope = SecureManifestEnvelope::deserialize(res.body);
+  EXPECT_EQ(envelope.kid, eco().backend_for("Netflix").uri_channel_kid());
+}
+
+TEST_F(OttTest, HuluManifestHidesSubtitlesAndAudioKids) {
+  BackendClient client(eco());
+  const auto res = client.call("api.hulu.example", "GET", "/manifest", {},
+                               eco().backend_for("Hulu").subscriber_token());
+  ASSERT_TRUE(res.ok());
+  const media::Mpd mpd = media::Mpd::parse(to_string(BytesView(res.body)));
+  EXPECT_TRUE(mpd.of_type(media::TrackType::Subtitle).empty());
+  for (const auto* rep : mpd.of_type(media::TrackType::Audio)) {
+    EXPECT_FALSE(rep->default_kid.has_value());
+  }
+  EXPECT_FALSE(res.headers.at("x-subtitle-tokens").empty());
+}
+
+TEST_F(OttTest, OpaqueSubtitleChannelServesFiles) {
+  BackendClient client(eco());
+  const std::string token_header =
+      client
+          .call("api.starz.example", "GET", "/manifest", {},
+                eco().backend_for("Starz").subscriber_token())
+          .headers.at("x-subtitle-tokens");
+  const std::string first_token = token_header.substr(0, token_header.find(','));
+  const auto res = client.call("api.starz.example", "GET", "/st/" + first_token, {},
+                               eco().backend_for("Starz").subscriber_token());
+  ASSERT_TRUE(res.ok());
+  const auto track = media::PackagedTrack::from_file(BytesView(res.body));
+  EXPECT_EQ(track.track.type, media::TrackType::Subtitle);
+  EXPECT_EQ(client
+                .call("api.starz.example", "GET", "/st/ffffffffffffffffffffffff", {},
+                      eco().backend_for("Starz").subscriber_token())
+                .status,
+            404);
+}
+
+TEST_F(OttTest, CdnServesTitleFilesWithoutAuth) {
+  BackendClient client(eco());
+  const auto& title = eco().title_for("OCS");
+  const auto& path = title.mpd.representations.front().base_url;
+  const auto res = client.call("cdn.ocs.example", "GET", path);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.body, title.files.at(path));
+  EXPECT_EQ(client.call("cdn.ocs.example", "GET", "/nope").status, 404);
+}
+
+TEST_F(OttTest, AmazonLicenseEndpointRefusesL3) {
+  BackendClient client(eco());
+  auto device = eco().make_device(android::modern_l3_only_spec(0xAB1));
+  android::MediaDrm drm(*device, android::kWidevineUuid);
+  const auto session = drm.open_session();
+  media::PsshBox pssh;
+  pssh.key_ids.push_back(eco().title_for("Amazon Prime Video").keys[0].kid);
+  const Bytes request = drm.get_key_request(session, pssh.to_box().serialize());
+  const auto res =
+      client.call("api.amazonprimevideo.example", "POST", "/license", request,
+                  eco().backend_for("Amazon Prime Video").subscriber_token());
+  ASSERT_TRUE(res.ok());
+  const auto response = widevine::LicenseResponse::deserialize(res.body);
+  EXPECT_FALSE(response.granted);
+  EXPECT_NE(response.deny_reason.find("embedded DRM"), std::string::npos);
+}
+
+TEST_F(OttTest, CustomLicenseOnlyShipsSubHdKeys) {
+  BackendClient client(eco());
+  Rng rng = eco().fork_rng();
+  const Bytes nonce = rng.next_bytes(16);
+  const auto res =
+      client.call("api.amazonprimevideo.example", "POST", "/custom_license", nonce,
+                  eco().backend_for("Amazon Prime Video").subscriber_token());
+  ASSERT_TRUE(res.ok());
+  const auto keys = CustomDrm::unwrap_key_map("Amazon Prime Video", nonce, res.body);
+  const auto& title = eco().title_for("Amazon Prime Video");
+  for (const auto& key : title.keys) {
+    const bool included = keys.contains(hex_encode(key.kid));
+    EXPECT_EQ(included, !key.resolution.is_hd()) << key.resolution.label();
+  }
+}
+
+TEST_F(OttTest, NonAmazonAppsHaveNoCustomLicense) {
+  BackendClient client(eco());
+  EXPECT_EQ(client
+                .call("api.netflix.example", "POST", "/custom_license", to_bytes("n"),
+                      eco().backend_for("Netflix").subscriber_token())
+                .status,
+            404);
+}
+
+// --- playback: all ten apps on a modern L1 device --------------------------------
+
+class PlaybackAllApps : public OttTest,
+                        public ::testing::WithParamInterface<int> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    StudyCatalog, PlaybackAllApps, ::testing::Range(0, 10), [](const auto& info) {
+      std::string name = study_catalog()[static_cast<std::size_t>(info.param)].name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST_P(PlaybackAllApps, PlaysInHdOnModernL1Device) {
+  const OttAppProfile profile = study_catalog()[static_cast<std::size_t>(GetParam())];
+  auto device = eco().make_device(android::modern_l1_spec(0xD000 + GetParam()));
+  OttApp app(profile, eco(), *device);
+  const PlaybackOutcome outcome = app.play_title();
+  EXPECT_TRUE(outcome.played) << outcome.failure << " / " << outcome.license_error << " / "
+                              << outcome.provisioning_error;
+  EXPECT_TRUE(outcome.widevine_used);
+  EXPECT_FALSE(outcome.used_custom_drm);
+  // L1 devices get the full ladder.
+  EXPECT_EQ(outcome.video_resolution, (media::Resolution{1920, 1080}));
+  EXPECT_GT(outcome.frames_rendered, 0u);
+}
+
+// --- playback: targeted scenarios ---------------------------------------------------
+
+TEST_F(OttTest, LegacyDevicePlaysAtQhdCap) {
+  auto device = eco().make_device(android::legacy_nexus5_spec(0xE001));
+  OttApp app(*find_app("Showtime"), eco(), *device);
+  const PlaybackOutcome outcome = app.play_title();
+  ASSERT_TRUE(outcome.played) << outcome.failure;
+  EXPECT_EQ(outcome.video_resolution, (media::Resolution{960, 540}));
+}
+
+TEST_F(OttTest, RevocationEnforcingAppFailsProvisioningOnLegacy) {
+  auto device = eco().make_device(android::legacy_nexus5_spec(0xE002));
+  OttApp app(*find_app("Disney+"), eco(), *device);
+  const PlaybackOutcome outcome = app.play_title();
+  EXPECT_FALSE(outcome.played);
+  EXPECT_TRUE(outcome.provisioning_attempted);
+  EXPECT_FALSE(outcome.provisioning_ok);
+  EXPECT_NE(outcome.provisioning_error.find("revoked"), std::string::npos);
+}
+
+TEST_F(OttTest, AmazonFallsBackToCustomDrmOnL3) {
+  auto device = eco().make_device(android::modern_l3_only_spec(0xE003));
+  OttApp app(*find_app("Amazon Prime Video"), eco(), *device);
+  const PlaybackOutcome outcome = app.play_title();
+  ASSERT_TRUE(outcome.played) << outcome.failure;
+  EXPECT_TRUE(outcome.used_custom_drm);
+  EXPECT_FALSE(outcome.widevine_used);
+  EXPECT_EQ(outcome.video_resolution, (media::Resolution{960, 540}));
+}
+
+TEST_F(OttTest, AmazonUsesWidevineOnL1) {
+  auto device = eco().make_device(android::modern_l1_spec(0xE004));
+  OttApp app(*find_app("Amazon Prime Video"), eco(), *device);
+  const PlaybackOutcome outcome = app.play_title();
+  ASSERT_TRUE(outcome.played) << outcome.failure;
+  EXPECT_FALSE(outcome.used_custom_drm);
+  EXPECT_TRUE(outcome.widevine_used);
+}
+
+TEST_F(OttTest, RequestedQualityIsHonoured) {
+  auto device = eco().make_device(android::modern_l1_spec(0xE005));
+  OttApp app(*find_app("OCS"), eco(), *device);
+  PlaybackRequest request;
+  request.video_height = 480;
+  const PlaybackOutcome outcome = app.play_title(request);
+  ASSERT_TRUE(outcome.played) << outcome.failure;
+  EXPECT_EQ(outcome.video_resolution, (media::Resolution{854, 480}));
+}
+
+TEST_F(OttTest, PinningBlocksAnUntrustedProxySilently) {
+  // Without the repinning bypass, routing the app through a MITM kills the
+  // exchange (certificate chain fails: proxy CA not user-installed).
+  auto device = eco().make_device(android::modern_l1_spec(0xE006));
+  OttApp app(*find_app("Salto"), eco(), *device);
+  net::MitmProxy proxy(eco().network(), eco().fork_rng());
+  app.tls().set_proxy(&proxy);
+  const PlaybackOutcome outcome = app.play_title();
+  EXPECT_FALSE(outcome.played);
+  EXPECT_TRUE(proxy.flows().empty());
+}
+
+}  // namespace
+}  // namespace wideleak::ott

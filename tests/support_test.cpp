@@ -1,0 +1,255 @@
+// Unit tests for the support layer: byte utilities, CRC-32, deterministic
+// RNG, big-endian serialization and logging.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "support/byte_io.hpp"
+#include "support/bytes.hpp"
+#include "support/crc32.hpp"
+#include "support/errors.hpp"
+#include "support/log.hpp"
+#include "support/rng.hpp"
+
+namespace wideleak {
+namespace {
+
+// --- bytes -------------------------------------------------------------
+
+TEST(Bytes, HexEncodeKnownValues) {
+  EXPECT_EQ(hex_encode(Bytes{}), "");
+  EXPECT_EQ(hex_encode(Bytes{0x00}), "00");
+  EXPECT_EQ(hex_encode(Bytes{0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+  EXPECT_EQ(hex_encode(Bytes{0x0f, 0xf0}), "0ff0");
+}
+
+TEST(Bytes, HexDecodeKnownValues) {
+  EXPECT_EQ(hex_decode(""), Bytes{});
+  EXPECT_EQ(hex_decode("deadbeef"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_EQ(hex_decode("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Bytes, HexDecodeRejectsOddLength) {
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexDecodeRejectsNonHex) {
+  EXPECT_THROW(hex_decode("zz"), std::invalid_argument);
+  EXPECT_THROW(hex_decode("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRoundTripRandom) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Bytes data = rng.next_bytes(rng.next_below(200));
+    EXPECT_EQ(hex_decode(hex_encode(data)), data);
+  }
+}
+
+TEST(Bytes, Base64KnownVectors) {
+  // RFC 4648 test vectors.
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Bytes, Base64DecodeKnownVectors) {
+  EXPECT_EQ(to_string(BytesView(base64_decode("Zm9vYmFy"))), "foobar");
+  EXPECT_EQ(to_string(BytesView(base64_decode("Zg=="))), "f");
+}
+
+TEST(Bytes, Base64RoundTripRandom) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const Bytes data = rng.next_bytes(rng.next_below(300));
+    EXPECT_EQ(base64_decode(base64_encode(data)), data);
+  }
+}
+
+TEST(Bytes, Base64RejectsMalformed) {
+  EXPECT_THROW(base64_decode("abc"), std::invalid_argument);    // bad length
+  EXPECT_THROW(base64_decode("a=bc"), std::invalid_argument);   // misplaced pad
+  EXPECT_THROW(base64_decode("ab!?"), std::invalid_argument);   // bad alphabet
+}
+
+TEST(Bytes, XorBytes) {
+  const Bytes a{0xff, 0x00, 0xaa};
+  const Bytes b{0x0f, 0xf0, 0xaa};
+  EXPECT_EQ(xor_bytes(a, b), (Bytes{0xf0, 0xf0, 0x00}));
+}
+
+TEST(Bytes, XorBytesRejectsLengthMismatch) {
+  EXPECT_THROW(xor_bytes(Bytes{1}, Bytes{1, 2}), std::invalid_argument);
+}
+
+TEST(Bytes, XorIsSelfInverse) {
+  Rng rng(9);
+  const Bytes a = rng.next_bytes(64);
+  const Bytes mask = rng.next_bytes(64);
+  EXPECT_EQ(xor_bytes(xor_bytes(a, mask), mask), a);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  EXPECT_TRUE(constant_time_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(constant_time_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(constant_time_equal(Bytes{1, 2}, Bytes{1, 2, 3}));
+  EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a{1, 2};
+  const Bytes b{3};
+  const Bytes c{};
+  EXPECT_EQ(concat({BytesView(a), BytesView(b), BytesView(c)}), (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, PrintableAscii) {
+  EXPECT_TRUE(is_printable_ascii(to_bytes("Hello, world!\nLine two.\t")));
+  EXPECT_FALSE(is_printable_ascii(Bytes{0x00}));
+  EXPECT_FALSE(is_printable_ascii(Bytes{0x80}));
+  EXPECT_TRUE(is_printable_ascii(Bytes{}));
+}
+
+// --- crc32 -------------------------------------------------------------
+
+TEST(Crc32, KnownVectors) {
+  // The canonical check value.
+  EXPECT_EQ(crc32(to_bytes("123456789")), 0xcbf43926u);
+  EXPECT_EQ(crc32(BytesView()), 0x00000000u);
+  EXPECT_EQ(crc32(to_bytes("a")), 0xe8b7be43u);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  Rng rng(10);
+  Bytes data = rng.next_bytes(128);
+  const std::uint32_t original = crc32(data);
+  for (int bit = 0; bit < 16; ++bit) {
+    data[static_cast<std::size_t>(bit) * 7 % data.size()] ^= 1;
+    EXPECT_NE(crc32(data), original);
+    data[static_cast<std::size_t>(bit) * 7 % data.size()] ^= 1;
+  }
+}
+
+// --- rng ---------------------------------------------------------------
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(43);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 800; ++i) ++seen[rng.next_below(8)];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(Rng, NextBytesLength) {
+  Rng rng(44);
+  EXPECT_EQ(rng.next_bytes(0).size(), 0u);
+  EXPECT_EQ(rng.next_bytes(1).size(), 1u);
+  EXPECT_EQ(rng.next_bytes(33).size(), 33u);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(55);
+  Rng child = parent.fork();
+  // The fork consumed one draw; parent continues its own stream.
+  const std::uint64_t p = parent.next_u64();
+  const std::uint64_t c = child.next_u64();
+  EXPECT_NE(p, c);
+}
+
+// --- byte_io -----------------------------------------------------------
+
+TEST(ByteIo, ScalarRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ull);
+  ByteReader r(BytesView(w.data()));
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteIo, BigEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(ByteIo, VarBytesRoundTrip) {
+  ByteWriter w;
+  w.var_bytes(Bytes{9, 8, 7});
+  w.var_string("hello");
+  w.var_bytes(Bytes{});
+  ByteReader r(BytesView(w.data()));
+  EXPECT_EQ(r.var_bytes(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(r.var_string(), "hello");
+  EXPECT_EQ(r.var_bytes(), Bytes{});
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteIo, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(BytesView(w.data()));
+  EXPECT_THROW(r.u32(), ParseError);
+}
+
+TEST(ByteIo, TruncatedVarBytesThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  w.raw(Bytes{1, 2, 3});
+  ByteReader r(BytesView(w.data()));
+  EXPECT_THROW(r.var_bytes(), ParseError);
+}
+
+TEST(ByteIo, RemainingAndPosition) {
+  const Bytes data{1, 2, 3, 4};
+  ByteReader r{BytesView(data)};
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u16();
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_EQ(r.position(), 2u);
+}
+
+// --- log ---------------------------------------------------------------
+
+TEST(Log, LevelFiltering) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  // No crash emitting below/at level.
+  WL_LOG(Debug) << "suppressed";
+  WL_LOG(Error) << "emitted";
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace wideleak

@@ -1,0 +1,96 @@
+// JSON export of monitoring results: structure, escaping and truncation.
+#include <gtest/gtest.h>
+
+#include "core/trace_export.hpp"
+
+namespace wideleak::core {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(TraceExport, RecordStructure) {
+  hooking::CallRecord record;
+  record.sequence = 7;
+  record.process = "mediadrmserver";
+  record.module = "libwvdrmengine.so";
+  record.function = "_oecc10_LoadKeys";
+  record.input = {0xde, 0xad};
+  record.output = {};
+  const std::string json = trace_record_to_json(record);
+  EXPECT_NE(json.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"module\":\"libwvdrmengine.so\""), std::string::npos);
+  EXPECT_NE(json.find("\"function\":\"_oecc10_LoadKeys\""), std::string::npos);
+  EXPECT_NE(json.find("\"hex\":\"dead\""), std::string::npos);
+  EXPECT_NE(json.find("\"size\":2"), std::string::npos);
+}
+
+TEST(TraceExport, TruncatesLargeBuffers) {
+  hooking::CallRecord record;
+  record.input = Bytes(1000, 0xab);
+  const std::string json = trace_record_to_json(record, 4);
+  EXPECT_NE(json.find("\"size\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"hex\":\"abababab\""), std::string::npos);
+  EXPECT_NE(json.find("\"truncated\":true"), std::string::npos);
+}
+
+TEST(TraceExport, TraceArray) {
+  hooking::CallTrace trace;
+  trace.append({0, "p", "m", "f1", {}, {}});
+  trace.append({1, "p", "m", "f2", {}, {}});
+  const std::string json = trace_to_json(trace);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"f1\""), std::string::npos);
+  EXPECT_NE(json.find("\"f2\""), std::string::npos);
+  // Two objects -> exactly two opening braces at record level.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '\n'), 3);  // 2 records + closing bracket
+}
+
+TEST(TraceExport, EmptyTraceIsEmptyArray) {
+  hooking::CallTrace trace;
+  EXPECT_EQ(trace_to_json(trace), "[\n]");
+}
+
+TEST(TraceExport, UsageReport) {
+  WidevineUsageReport report;
+  report.widevine_used = true;
+  report.observed_level = widevine::SecurityLevel::L1;
+  report.oecc_calls = 42;
+  const std::string json = usage_report_to_json(report);
+  EXPECT_NE(json.find("\"widevine_used\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"observed_level\":\"L1\""), std::string::npos);
+  EXPECT_NE(json.find("\"oecc_calls\":42"), std::string::npos);
+}
+
+TEST(TraceExport, UsageReportNullLevel) {
+  WidevineUsageReport report;
+  EXPECT_NE(usage_report_to_json(report).find("\"observed_level\":null"), std::string::npos);
+}
+
+TEST(TraceExport, AppAuditBundle) {
+  AppAuditJson audit;
+  audit.app = "Netflix";
+  audit.assets.video = ProtectionStatus::Encrypted;
+  audit.assets.audio = ProtectionStatus::Clear;
+  audit.key_usage.verdict = KeyUsageVerdict::Minimum;
+  audit.legacy.verdict = LegacyPlaybackVerdict::Plays;
+  audit.legacy.best_resolution = {960, 540};
+  const std::string json = app_audit_to_json(audit);
+  EXPECT_NE(json.find("\"app\":\"Netflix\""), std::string::npos);
+  EXPECT_NE(json.find("\"video\":\"Encrypted\""), std::string::npos);
+  EXPECT_NE(json.find("\"audio\":\"Clear\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"Minimum\""), std::string::npos);
+  EXPECT_NE(json.find("\"best_resolution\":\"960x540\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wideleak::core

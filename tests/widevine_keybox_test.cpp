@@ -1,0 +1,107 @@
+// Keybox structure tests: the 128-byte layout, magic/CRC validation and
+// factory provisioning determinism.
+#include <gtest/gtest.h>
+
+#include "support/crc32.hpp"
+#include "support/rng.hpp"
+#include "widevine/keybox.hpp"
+
+namespace wideleak::widevine {
+namespace {
+
+Keybox sample_keybox() { return make_factory_keybox("test-device-001", 42); }
+
+TEST(Keybox, SerializedFormIs128Bytes) {
+  EXPECT_EQ(sample_keybox().serialize().size(), kKeyboxSize);
+}
+
+TEST(Keybox, LayoutOffsets) {
+  const Keybox keybox = sample_keybox();
+  const Bytes raw = keybox.serialize();
+  // stable id at 0, device key at 32, key data at 48, magic at 120, crc at 124.
+  EXPECT_EQ(Bytes(raw.begin(), raw.begin() + 32), keybox.stable_id());
+  EXPECT_EQ(Bytes(raw.begin() + 32, raw.begin() + 48), keybox.device_key());
+  EXPECT_EQ(Bytes(raw.begin() + 48, raw.begin() + 120), keybox.key_data());
+  EXPECT_EQ(raw[120], 'k');
+  EXPECT_EQ(raw[121], 'b');
+  EXPECT_EQ(raw[122], 'o');
+  EXPECT_EQ(raw[123], 'x');
+}
+
+TEST(Keybox, CrcCoversFirst124Bytes) {
+  const Bytes raw = sample_keybox().serialize();
+  const std::uint32_t stored = static_cast<std::uint32_t>(raw[124]) << 24 |
+                               static_cast<std::uint32_t>(raw[125]) << 16 |
+                               static_cast<std::uint32_t>(raw[126]) << 8 | raw[127];
+  EXPECT_EQ(stored, crc32(BytesView(raw.data(), 124)));
+}
+
+TEST(Keybox, ParseRoundTrip) {
+  const Keybox original = sample_keybox();
+  const auto parsed = Keybox::parse(original.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(Keybox, ParseRejectsWrongSize) {
+  const Bytes raw = sample_keybox().serialize();
+  EXPECT_FALSE(Keybox::parse(BytesView(raw.data(), 127)).has_value());
+  Bytes longer = raw;
+  longer.push_back(0);
+  EXPECT_FALSE(Keybox::parse(longer).has_value());
+}
+
+TEST(Keybox, ParseRejectsBadMagic) {
+  Bytes raw = sample_keybox().serialize();
+  raw[120] = 'K';
+  EXPECT_FALSE(Keybox::parse(raw).has_value());
+}
+
+TEST(Keybox, ParseRejectsBadCrc) {
+  Bytes raw = sample_keybox().serialize();
+  raw[127] ^= 1;
+  EXPECT_FALSE(Keybox::parse(raw).has_value());
+}
+
+TEST(Keybox, ParseRejectsTamperedBody) {
+  // Any flip in the covered area must invalidate the CRC.
+  for (const std::size_t at : {0u, 32u, 47u, 48u, 119u}) {
+    Bytes raw = sample_keybox().serialize();
+    raw[at] ^= 1;
+    EXPECT_FALSE(Keybox::parse(raw).has_value()) << "offset " << at;
+  }
+}
+
+TEST(Keybox, RandomBlobsNeverValidate) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(Keybox::parse(rng.next_bytes(kKeyboxSize)).has_value());
+  }
+}
+
+TEST(Keybox, ConstructorRejectsBadFieldSizes) {
+  Rng rng(10);
+  EXPECT_THROW(Keybox(rng.next_bytes(31), rng.next_bytes(16), rng.next_bytes(72)),
+               std::invalid_argument);
+  EXPECT_THROW(Keybox(rng.next_bytes(32), rng.next_bytes(15), rng.next_bytes(72)),
+               std::invalid_argument);
+  EXPECT_THROW(Keybox(rng.next_bytes(32), rng.next_bytes(16), rng.next_bytes(73)),
+               std::invalid_argument);
+}
+
+TEST(Keybox, FactoryIsDeterministicPerSerialAndSeed) {
+  EXPECT_EQ(make_factory_keybox("serial-a", 1), make_factory_keybox("serial-a", 1));
+  EXPECT_NE(make_factory_keybox("serial-a", 1).device_key(),
+            make_factory_keybox("serial-b", 1).device_key());
+  EXPECT_NE(make_factory_keybox("serial-a", 1).device_key(),
+            make_factory_keybox("serial-a", 2).device_key());
+}
+
+TEST(Keybox, StableIdEmbedsSerial) {
+  const Keybox keybox = make_factory_keybox("nexus5-1337", 42);
+  const std::string id = to_string(BytesView(keybox.stable_id()));
+  EXPECT_EQ(id.substr(0, 11), "nexus5-1337");
+}
+
+}  // namespace
+}  // namespace wideleak::widevine

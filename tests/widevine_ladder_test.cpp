@@ -1,0 +1,194 @@
+// Key-ladder derivation tests, plus the wire-protocol message roundtrips.
+#include <gtest/gtest.h>
+
+#include "crypto/cmac.hpp"
+#include "support/byte_io.hpp"
+#include "support/rng.hpp"
+#include "widevine/key_ladder.hpp"
+#include "widevine/protocol.hpp"
+
+namespace wideleak::widevine {
+namespace {
+
+// --- derive_session_keys ---------------------------------------------------
+
+TEST(KeyLadder, OutputSizes) {
+  Rng rng(1);
+  const Bytes root = rng.next_bytes(16);
+  const SessionKeys keys = derive_session_keys(root, rng.next_bytes(50), rng.next_bytes(60));
+  EXPECT_EQ(keys.enc_key.size(), 16u);
+  EXPECT_EQ(keys.mac_key_server.size(), 32u);
+  EXPECT_EQ(keys.mac_key_client.size(), 32u);
+}
+
+TEST(KeyLadder, Deterministic) {
+  Rng rng(2);
+  const Bytes root = rng.next_bytes(16);
+  const Bytes mac_ctx = rng.next_bytes(40);
+  const Bytes enc_ctx = rng.next_bytes(40);
+  const SessionKeys a = derive_session_keys(root, mac_ctx, enc_ctx);
+  const SessionKeys b = derive_session_keys(root, mac_ctx, enc_ctx);
+  EXPECT_EQ(a.enc_key, b.enc_key);
+  EXPECT_EQ(a.mac_key_server, b.mac_key_server);
+  EXPECT_EQ(a.mac_key_client, b.mac_key_client);
+}
+
+TEST(KeyLadder, AllThreeKeysDistinct) {
+  Rng rng(3);
+  const SessionKeys keys =
+      derive_session_keys(rng.next_bytes(16), rng.next_bytes(40), rng.next_bytes(40));
+  EXPECT_NE(keys.mac_key_server, keys.mac_key_client);
+  EXPECT_NE(Bytes(keys.mac_key_server.begin(), keys.mac_key_server.begin() + 16), keys.enc_key);
+}
+
+TEST(KeyLadder, RootKeySensitivity) {
+  Rng rng(4);
+  Bytes root = rng.next_bytes(16);
+  const Bytes ctx = rng.next_bytes(40);
+  const SessionKeys a = derive_session_keys(root, ctx, ctx);
+  root[15] ^= 1;
+  const SessionKeys b = derive_session_keys(root, ctx, ctx);
+  EXPECT_NE(a.enc_key, b.enc_key);
+  EXPECT_NE(a.mac_key_server, b.mac_key_server);
+}
+
+TEST(KeyLadder, ContextSeparation) {
+  // mac context only affects MAC keys; enc context only the enc key.
+  Rng rng(5);
+  const Bytes root = rng.next_bytes(16);
+  const Bytes ctx1 = rng.next_bytes(40);
+  const Bytes ctx2 = rng.next_bytes(40);
+  const SessionKeys base = derive_session_keys(root, ctx1, ctx1);
+  const SessionKeys mac_changed = derive_session_keys(root, ctx2, ctx1);
+  EXPECT_EQ(mac_changed.enc_key, base.enc_key);
+  EXPECT_NE(mac_changed.mac_key_server, base.mac_key_server);
+  const SessionKeys enc_changed = derive_session_keys(root, ctx1, ctx2);
+  EXPECT_NE(enc_changed.enc_key, base.enc_key);
+  EXPECT_EQ(enc_changed.mac_key_server, base.mac_key_server);
+}
+
+TEST(KeyLadder, MatchesManualCmacConstruction) {
+  // Pin down the exact KDF wire format so the attack-side re-implementation
+  // can never silently diverge.
+  Rng rng(6);
+  const Bytes root = rng.next_bytes(16);
+  const Bytes ctx = rng.next_bytes(32);
+  ByteWriter w;
+  w.raw("ENCRYPTION");
+  w.u8(0x00);
+  w.raw(ctx);
+  w.u32(static_cast<std::uint32_t>(ctx.size() * 8));
+  const Bytes expected_enc = crypto::cmac_counter_kdf(root, w.data(), 0x01, 16);
+  EXPECT_EQ(derive_session_keys(root, ctx, ctx).enc_key, expected_enc);
+}
+
+// --- protocol message roundtrips ------------------------------------------------
+
+TEST(Protocol, ClientIdentityRoundTrip) {
+  ClientIdentity id;
+  id.stable_id = to_bytes("device-42");
+  id.device_model = "Nexus 5";
+  id.cdm_version = kLegacyCdm;
+  id.level = SecurityLevel::L3;
+  const ClientIdentity restored = ClientIdentity::deserialize(id.serialize());
+  EXPECT_EQ(restored.stable_id, id.stable_id);
+  EXPECT_EQ(restored.device_model, "Nexus 5");
+  EXPECT_EQ(restored.cdm_version, kLegacyCdm);
+  EXPECT_EQ(restored.level, SecurityLevel::L3);
+}
+
+TEST(Protocol, CdmVersionSemantics) {
+  EXPECT_TRUE(kLegacyCdm.has_insecure_keybox_storage());
+  EXPECT_FALSE(kCurrentCdm.has_insecure_keybox_storage());
+  EXPECT_LT(kLegacyCdm, kCurrentCdm);
+  EXPECT_EQ(kLegacyCdm.label(), "3.1.0");
+  EXPECT_EQ(kCurrentCdm.label(), "15.0.0");
+}
+
+TEST(Protocol, ProvisioningRequestRoundTrip) {
+  Rng rng(7);
+  ProvisioningRequest req;
+  req.client.stable_id = rng.next_bytes(32);
+  req.client.device_model = "Pixel 5";
+  req.nonce = rng.next_bytes(16);
+  req.signature = rng.next_bytes(32);
+  const ProvisioningRequest restored = ProvisioningRequest::deserialize(req.serialize());
+  EXPECT_EQ(restored.client.stable_id, req.client.stable_id);
+  EXPECT_EQ(restored.nonce, req.nonce);
+  EXPECT_EQ(restored.signature, req.signature);
+  EXPECT_EQ(restored.body(), req.body());
+}
+
+TEST(Protocol, ProvisioningResponseRoundTrip) {
+  Rng rng(8);
+  ProvisioningResponse res;
+  res.granted = true;
+  res.wrapping_iv = rng.next_bytes(16);
+  res.wrapped_rsa_key = rng.next_bytes(300);
+  res.mac = rng.next_bytes(32);
+  const ProvisioningResponse restored = ProvisioningResponse::deserialize(res.serialize());
+  EXPECT_TRUE(restored.granted);
+  EXPECT_EQ(restored.wrapped_rsa_key, res.wrapped_rsa_key);
+  EXPECT_EQ(restored.body(), res.body());
+}
+
+TEST(Protocol, LicenseRequestRoundTrip) {
+  Rng rng(9);
+  LicenseRequest req;
+  req.client.stable_id = rng.next_bytes(32);
+  req.nonce = rng.next_bytes(16);
+  req.key_ids = {rng.next_bytes(16), rng.next_bytes(16), rng.next_bytes(16)};
+  req.scheme = SignatureScheme::DeviceRsa;
+  req.device_rsa_public = rng.next_bytes(140);
+  req.signature = rng.next_bytes(128);
+  const LicenseRequest restored = LicenseRequest::deserialize(req.serialize());
+  EXPECT_EQ(restored.key_ids, req.key_ids);
+  EXPECT_EQ(restored.scheme, SignatureScheme::DeviceRsa);
+  EXPECT_EQ(restored.device_rsa_public, req.device_rsa_public);
+  EXPECT_EQ(restored.body(), req.body());
+}
+
+TEST(Protocol, LicenseResponseRoundTrip) {
+  Rng rng(10);
+  LicenseResponse res;
+  res.granted = true;
+  res.session_key_wrapped = rng.next_bytes(128);
+  for (int i = 0; i < 3; ++i) {
+    KeyContainer container;
+    container.kid = rng.next_bytes(16);
+    container.iv = rng.next_bytes(16);
+    container.wrapped_key = rng.next_bytes(16);
+    container.min_level = i == 0 ? SecurityLevel::L1 : SecurityLevel::L3;
+    res.keys.push_back(container);
+  }
+  res.mac = rng.next_bytes(32);
+  const LicenseResponse restored = LicenseResponse::deserialize(res.serialize());
+  ASSERT_EQ(restored.keys.size(), 3u);
+  EXPECT_EQ(restored.keys[0].min_level, SecurityLevel::L1);
+  EXPECT_EQ(restored.keys[2].kid, res.keys[2].kid);
+  EXPECT_EQ(restored.session_key_wrapped, res.session_key_wrapped);
+  EXPECT_EQ(restored.body(), res.body());
+}
+
+TEST(Protocol, DeniedResponsesCarryReason) {
+  LicenseResponse res;
+  res.granted = false;
+  res.deny_reason = "device revoked";
+  const LicenseResponse restored = LicenseResponse::deserialize(res.serialize());
+  EXPECT_FALSE(restored.granted);
+  EXPECT_EQ(restored.deny_reason, "device revoked");
+}
+
+TEST(Protocol, BodyExcludesSignature) {
+  // The signed portion must be stable under signature changes.
+  Rng rng(11);
+  LicenseRequest req;
+  req.client.stable_id = rng.next_bytes(32);
+  req.nonce = rng.next_bytes(16);
+  const Bytes body1 = req.body();
+  req.signature = rng.next_bytes(64);
+  EXPECT_EQ(req.body(), body1);
+}
+
+}  // namespace
+}  // namespace wideleak::widevine

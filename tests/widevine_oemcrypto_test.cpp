@@ -1,0 +1,297 @@
+// OEMCrypto core tests, parameterized over the three CDM configurations the
+// study distinguishes: legacy L3 (insecure keybox storage), patched L3, and
+// L1 (TEE-backed).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crypto/hmac.hpp"
+#include "crypto/modes.hpp"
+#include "hooking/hook_bus.hpp"
+#include "support/errors.hpp"
+#include "widevine/key_ladder.hpp"
+#include "widevine/oemcrypto.hpp"
+
+namespace wideleak::widevine {
+namespace {
+
+struct CdmConfigCase {
+  const char* name;
+  SecurityLevel level;
+  CdmVersion version;
+};
+
+class OemCryptoTest : public ::testing::TestWithParam<CdmConfigCase> {
+ protected:
+  OemCryptoTest()
+      : host_("mediadrmserver"),
+        keybox_(make_factory_keybox("oec-test-device", 7)) {
+    OemCryptoConfig config;
+    config.level = GetParam().level;
+    config.version = GetParam().version;
+    config.host = &host_;
+    config.tee = &tee_;
+    config.seed = 99;
+    oec_ = std::make_unique<OemCrypto>(config);
+  }
+
+  // Build a valid, MACed license-response body + containers for load_keys.
+  struct FakeLicense {
+    Bytes response_body;
+    Bytes mac;
+    std::vector<KeyContainer> containers;
+    std::map<std::string, Bytes> keys;  // hex(kid) -> key
+  };
+  FakeLicense make_license(const SessionKeys& session_keys,
+                           const std::vector<SecurityLevel>& levels) {
+    Rng rng(4242);
+    FakeLicense license;
+    LicenseResponse response;
+    response.granted = true;
+    const crypto::Aes enc(session_keys.enc_key);
+    for (SecurityLevel level : levels) {
+      KeyContainer container;
+      container.kid = rng.next_bytes(16);
+      container.iv = rng.next_bytes(16);
+      const Bytes key = rng.next_bytes(16);
+      container.wrapped_key = crypto::aes_cbc_encrypt_nopad(enc, container.iv, key);
+      container.min_level = level;
+      license.keys[hex_encode(container.kid)] = key;
+      response.keys.push_back(container);
+    }
+    license.containers = response.keys;
+    license.response_body = response.body();
+    license.mac = crypto::hmac_sha256(session_keys.mac_key_server, license.response_body);
+    return license;
+  }
+
+  hooking::SimProcess host_;
+  Tee tee_;
+  Keybox keybox_;
+  std::unique_ptr<OemCrypto> oec_;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    CdmConfigs, OemCryptoTest,
+    ::testing::Values(CdmConfigCase{"legacy_l3", SecurityLevel::L3, kLegacyCdm},
+                      CdmConfigCase{"patched_l3", SecurityLevel::L3, kCurrentCdm},
+                      CdmConfigCase{"l1", SecurityLevel::L1, kCurrentCdm}),
+    [](const auto& info) { return info.param.name; });
+
+TEST_P(OemCryptoTest, KeyboxInstallAndIdentity) {
+  EXPECT_FALSE(oec_->is_keybox_valid());
+  oec_->install_keybox(keybox_);
+  EXPECT_TRUE(oec_->is_keybox_valid());
+  EXPECT_EQ(oec_->stable_id(), keybox_.stable_id());
+  EXPECT_EQ(oec_->get_key_data(), keybox_.key_data());
+}
+
+TEST_P(OemCryptoTest, KeyboxStorageMatchesThreatModel) {
+  oec_->install_keybox(keybox_);
+  const Bytes raw = keybox_.serialize();
+  const auto ree_hits = host_.memory().scan(BytesView(raw));
+  const auto tee_hits = tee_.secure_memory().scan(BytesView(raw));
+  switch (GetParam().level) {
+    case SecurityLevel::L3:
+      if (GetParam().version.has_insecure_keybox_storage()) {
+        EXPECT_EQ(ree_hits.size(), 1u) << "legacy L3 maps the raw keybox (CWE-922)";
+      } else {
+        EXPECT_TRUE(ree_hits.empty()) << "patched L3 only maps a masked copy";
+        EXPECT_GT(host_.memory().region_count(), 0u);
+      }
+      EXPECT_TRUE(tee_hits.empty());
+      break;
+    case SecurityLevel::L1:
+      EXPECT_TRUE(ree_hits.empty()) << "L1 keeps the keybox in the TEE";
+      EXPECT_EQ(tee_hits.size(), 1u);
+      break;
+  }
+}
+
+TEST_P(OemCryptoTest, SessionLifecycle) {
+  const auto s1 = oec_->open_session();
+  const auto s2 = oec_->open_session();
+  EXPECT_NE(s1, s2);
+  oec_->close_session(s1);
+  EXPECT_THROW(oec_->close_session(s1), StateError);
+  EXPECT_THROW(oec_->generate_nonce(s1), StateError);
+  oec_->close_session(s2);
+}
+
+TEST_P(OemCryptoTest, NonceIsFreshPerCall) {
+  oec_->install_keybox(keybox_);
+  const auto session = oec_->open_session();
+  EXPECT_NE(oec_->generate_nonce(session), oec_->generate_nonce(session));
+}
+
+TEST_P(OemCryptoTest, DerivedKeysRequireKeybox) {
+  const auto session = oec_->open_session();
+  Bytes ctx = to_bytes("context");
+  EXPECT_EQ(oec_->generate_derived_keys(session, ctx, ctx), OemCryptoResult::NoKeybox);
+  Bytes sig;
+  EXPECT_EQ(oec_->generate_signature(session, ctx, sig), OemCryptoResult::SignatureFailure);
+}
+
+TEST_P(OemCryptoTest, SignatureMatchesLadderDerivation) {
+  oec_->install_keybox(keybox_);
+  const auto session = oec_->open_session();
+  const Bytes ctx = to_bytes("request-body-as-context");
+  ASSERT_EQ(oec_->generate_derived_keys(session, ctx, ctx), OemCryptoResult::Success);
+  Bytes sig;
+  ASSERT_EQ(oec_->generate_signature(session, ctx, sig), OemCryptoResult::Success);
+  const SessionKeys expected = derive_session_keys(keybox_.device_key(), ctx, ctx);
+  EXPECT_EQ(sig, crypto::hmac_sha256(expected.mac_key_client, ctx));
+}
+
+TEST_P(OemCryptoTest, LoadKeysVerifiesServerMac) {
+  oec_->install_keybox(keybox_);
+  const auto session = oec_->open_session();
+  const Bytes ctx = to_bytes("ctx");
+  ASSERT_EQ(oec_->generate_derived_keys(session, ctx, ctx), OemCryptoResult::Success);
+  const SessionKeys keys = derive_session_keys(keybox_.device_key(), ctx, ctx);
+  FakeLicense license = make_license(keys, {SecurityLevel::L3});
+
+  // Tampered MAC rejected.
+  Bytes bad_mac = license.mac;
+  bad_mac[0] ^= 1;
+  EXPECT_EQ(oec_->load_keys(session, license.response_body, bad_mac, license.containers),
+            OemCryptoResult::SignatureFailure);
+  EXPECT_TRUE(oec_->loaded_key_ids(session).empty());
+
+  // Valid MAC accepted.
+  EXPECT_EQ(oec_->load_keys(session, license.response_body, license.mac, license.containers),
+            OemCryptoResult::Success);
+  EXPECT_EQ(oec_->loaded_key_ids(session).size(), 1u);
+}
+
+TEST_P(OemCryptoTest, KeyControlBlocksL1KeysOnL3) {
+  oec_->install_keybox(keybox_);
+  const auto session = oec_->open_session();
+  const Bytes ctx = to_bytes("ctx");
+  ASSERT_EQ(oec_->generate_derived_keys(session, ctx, ctx), OemCryptoResult::Success);
+  const SessionKeys keys = derive_session_keys(keybox_.device_key(), ctx, ctx);
+  FakeLicense license = make_license(keys, {SecurityLevel::L1, SecurityLevel::L3});
+  ASSERT_EQ(oec_->load_keys(session, license.response_body, license.mac, license.containers),
+            OemCryptoResult::Success);
+  const std::size_t expected = GetParam().level == SecurityLevel::L1 ? 2u : 1u;
+  EXPECT_EQ(oec_->loaded_key_ids(session).size(), expected);
+}
+
+TEST_P(OemCryptoTest, DecryptCencRoundTrip) {
+  oec_->install_keybox(keybox_);
+  const auto session = oec_->open_session();
+  const Bytes ctx = to_bytes("ctx");
+  ASSERT_EQ(oec_->generate_derived_keys(session, ctx, ctx), OemCryptoResult::Success);
+  const SessionKeys keys = derive_session_keys(keybox_.device_key(), ctx, ctx);
+  FakeLicense license = make_license(keys, {SecurityLevel::L3});
+  ASSERT_EQ(oec_->load_keys(session, license.response_body, license.mac, license.containers),
+            OemCryptoResult::Success);
+
+  const media::KeyId kid = license.containers[0].kid;
+  const Bytes& content_key = license.keys.at(hex_encode(kid));
+  ASSERT_EQ(oec_->select_key(session, kid), OemCryptoResult::Success);
+
+  Rng rng(5);
+  const Bytes iv = rng.next_bytes(8);
+  const Bytes plaintext = rng.next_bytes(333);
+  Bytes full_iv = iv;
+  full_iv.resize(16, 0);
+  const crypto::Aes aes(content_key);
+  const Bytes ciphertext = crypto::aes_ctr_crypt(aes, full_iv, plaintext);
+
+  Bytes decrypted;
+  ASSERT_EQ(oec_->decrypt_cenc(session, iv, ciphertext, decrypted), OemCryptoResult::Success);
+  EXPECT_EQ(decrypted, plaintext);
+}
+
+TEST_P(OemCryptoTest, DecryptWithoutSelectedKeyFails) {
+  oec_->install_keybox(keybox_);
+  const auto session = oec_->open_session();
+  Bytes out;
+  EXPECT_EQ(oec_->decrypt_cenc(session, Bytes(8, 0), to_bytes("ct"), out),
+            OemCryptoResult::KeyNotLoaded);
+  EXPECT_EQ(oec_->select_key(session, Bytes(16, 1)), OemCryptoResult::KeyNotLoaded);
+}
+
+TEST_P(OemCryptoTest, GenericCryptoRoundTrip) {
+  oec_->install_keybox(keybox_);
+  const auto session = oec_->open_session();
+  const Bytes ctx = to_bytes("ctx");
+  ASSERT_EQ(oec_->generate_derived_keys(session, ctx, ctx), OemCryptoResult::Success);
+  const SessionKeys keys = derive_session_keys(keybox_.device_key(), ctx, ctx);
+  FakeLicense license = make_license(keys, {SecurityLevel::L3});
+  ASSERT_EQ(oec_->load_keys(session, license.response_body, license.mac, license.containers),
+            OemCryptoResult::Success);
+  ASSERT_EQ(oec_->select_key(session, license.containers[0].kid), OemCryptoResult::Success);
+
+  Rng rng(6);
+  const Bytes iv = rng.next_bytes(16);
+  const Bytes plaintext = to_bytes("non-DASH protected URI list");
+  Bytes ciphertext, decrypted, tag;
+  ASSERT_EQ(oec_->generic_encrypt(session, iv, plaintext, ciphertext),
+            OemCryptoResult::Success);
+  EXPECT_NE(ciphertext, plaintext);
+  ASSERT_EQ(oec_->generic_decrypt(session, iv, ciphertext, decrypted),
+            OemCryptoResult::Success);
+  EXPECT_EQ(decrypted, plaintext);
+  ASSERT_EQ(oec_->generic_sign(session, plaintext, tag), OemCryptoResult::Success);
+  EXPECT_EQ(oec_->generic_verify(session, plaintext, tag), OemCryptoResult::Success);
+  Bytes bad_tag = tag;
+  bad_tag[0] ^= 1;
+  EXPECT_EQ(oec_->generic_verify(session, plaintext, bad_tag),
+            OemCryptoResult::SignatureFailure);
+}
+
+TEST_P(OemCryptoTest, HookEventsCarryTheRightModule) {
+  hooking::TraceSession trace(host_.bus());
+  oec_->install_keybox(keybox_);
+  const auto session = oec_->open_session();
+  (void)oec_->generate_nonce(session);
+  ASSERT_GE(trace.trace().size(), 3u);
+  const char* expected_module =
+      GetParam().level == SecurityLevel::L1 ? kOemCryptoModule : kWvDrmEngineModule;
+  for (const auto& record : trace.trace().records()) {
+    EXPECT_EQ(record.module, expected_module);
+    EXPECT_EQ(record.function.rfind("_oecc", 0), 0u);
+  }
+}
+
+TEST_P(OemCryptoTest, ContentKeysLiveInTheRightMemory) {
+  oec_->install_keybox(keybox_);
+  const auto session = oec_->open_session();
+  const Bytes ctx = to_bytes("ctx");
+  ASSERT_EQ(oec_->generate_derived_keys(session, ctx, ctx), OemCryptoResult::Success);
+  const SessionKeys keys = derive_session_keys(keybox_.device_key(), ctx, ctx);
+  FakeLicense license = make_license(keys, {SecurityLevel::L3});
+  ASSERT_EQ(oec_->load_keys(session, license.response_body, license.mac, license.containers),
+            OemCryptoResult::Success);
+  const Bytes& content_key = license.keys.begin()->second;
+  const bool in_ree = !host_.memory().scan(BytesView(content_key)).empty();
+  const bool in_tee = !tee_.secure_memory().scan(BytesView(content_key)).empty();
+  if (GetParam().level == SecurityLevel::L1) {
+    EXPECT_FALSE(in_ree);
+    EXPECT_TRUE(in_tee);
+  } else {
+    EXPECT_TRUE(in_ree);  // L3: keys necessarily in attackable memory
+    EXPECT_FALSE(in_tee);
+  }
+  // Closing the session zeroises and unmaps the key regions.
+  oec_->close_session(session);
+  EXPECT_TRUE(host_.memory().scan(BytesView(content_key)).empty());
+  EXPECT_TRUE(tee_.secure_memory().scan(BytesView(content_key)).empty());
+}
+
+TEST(OemCryptoConfigTest, L1RequiresTee) {
+  hooking::SimProcess host("p");
+  OemCryptoConfig config;
+  config.level = SecurityLevel::L1;
+  config.host = &host;
+  config.tee = nullptr;
+  EXPECT_THROW(OemCrypto oec(config), std::invalid_argument);
+  config.level = SecurityLevel::L3;
+  config.host = nullptr;
+  EXPECT_THROW(OemCrypto oec(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wideleak::widevine

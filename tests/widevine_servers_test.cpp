@@ -1,0 +1,283 @@
+// Provisioning and license server tests, including full CDM<->server
+// exchanges (no network — direct message passing).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hooking/process.hpp"
+#include "media/content.hpp"
+#include "widevine/cdm.hpp"
+#include "widevine/license_server.hpp"
+#include "widevine/provisioning_server.hpp"
+
+namespace wideleak::widevine {
+namespace {
+
+class ServersTest : public ::testing::Test {
+ protected:
+  ServersTest()
+      : roots_(std::make_shared<DeviceRootDatabase>()),
+        provisioning_(roots_, 11, 512),
+        license_(roots_, 12),
+        host_("mediadrmserver"),
+        keybox_(make_factory_keybox("srv-test-device", 3)) {
+    // The shared test device is certified L1 (its L3 CDM instances simply
+    // claim L3, which strict verification leaves untouched).
+    roots_->register_device(keybox_, SecurityLevel::L1);
+    title_ = media::package_title(555, "Server Test Movie", {"en"}, {"en"},
+                                  media::ContentPolicy{});
+    license_.add_title(title_);
+  }
+
+  std::unique_ptr<WidevineCdm> make_cdm(SecurityLevel level, CdmVersion version) {
+    OemCryptoConfig config;
+    config.level = level;
+    config.version = version;
+    config.host = &host_;
+    config.tee = &tee_;
+    config.seed = 77 + next_cdm_seed_++;  // distinct streams -> distinct nonces
+    auto cdm = std::make_unique<WidevineCdm>(config);
+    cdm->install_keybox(keybox_);
+    return cdm;
+  }
+
+  ClientIdentity identity_for(const WidevineCdm& cdm) const {
+    ClientIdentity id;
+    id.stable_id = keybox_.stable_id();
+    id.device_model = "Test Device";
+    id.cdm_version = cdm.version();
+    id.level = cdm.security_level();
+    return id;
+  }
+
+  std::vector<media::KeyId> all_kids() const {
+    std::vector<media::KeyId> kids;
+    for (const auto& key : title_.keys) kids.push_back(key.kid);
+    return kids;
+  }
+
+  std::shared_ptr<DeviceRootDatabase> roots_;
+  ProvisioningServer provisioning_;
+  LicenseServer license_;
+  hooking::SimProcess host_;
+  Tee tee_;
+  Keybox keybox_;
+  media::PackagedTitle title_;
+  std::uint64_t next_cdm_seed_ = 0;
+};
+
+// --- DeviceRootDatabase ------------------------------------------------------
+
+TEST_F(ServersTest, RootDatabaseLookups) {
+  EXPECT_TRUE(roots_->device_key_for(keybox_.stable_id()).has_value());
+  EXPECT_EQ(*roots_->device_key_for(keybox_.stable_id()), keybox_.device_key());
+  EXPECT_FALSE(roots_->device_key_for(to_bytes("unknown")).has_value());
+  EXPECT_FALSE(roots_->provisioned_key_for(keybox_.stable_id()).has_value());
+}
+
+// --- provisioning -----------------------------------------------------------------
+
+TEST_F(ServersTest, ProvisioningGrantsDeviceRsaKey) {
+  auto cdm = make_cdm(SecurityLevel::L3, kLegacyCdm);
+  EXPECT_FALSE(cdm->is_provisioned());
+  const ProvisioningRequest request = cdm->create_provisioning_request(identity_for(*cdm));
+  const ProvisioningResponse response = provisioning_.handle(request);
+  ASSERT_TRUE(response.granted) << response.deny_reason;
+  EXPECT_EQ(cdm->process_provisioning_response(response), OemCryptoResult::Success);
+  EXPECT_TRUE(cdm->is_provisioned());
+  // The issued public key is now registered server-side.
+  EXPECT_TRUE(roots_->provisioned_key_for(keybox_.stable_id()).has_value());
+  EXPECT_EQ(*roots_->provisioned_key_for(keybox_.stable_id()),
+            *cdm->oemcrypto().device_rsa_public());
+}
+
+TEST_F(ServersTest, ProvisioningRejectsUnknownDevice) {
+  auto cdm = make_cdm(SecurityLevel::L3, kLegacyCdm);
+  ProvisioningRequest request = cdm->create_provisioning_request(identity_for(*cdm));
+  request.client.stable_id = to_bytes("not-in-database");
+  const ProvisioningResponse response = provisioning_.handle(request);
+  EXPECT_FALSE(response.granted);
+  EXPECT_EQ(response.deny_reason, "unknown device");
+}
+
+TEST_F(ServersTest, ProvisioningRejectsBadSignature) {
+  auto cdm = make_cdm(SecurityLevel::L3, kLegacyCdm);
+  ProvisioningRequest request = cdm->create_provisioning_request(identity_for(*cdm));
+  request.signature[0] ^= 1;
+  EXPECT_FALSE(provisioning_.handle(request).granted);
+}
+
+TEST_F(ServersTest, ProvisioningPolicyRevocation) {
+  provisioning_.set_policy(recommended_revocation_policy());
+  auto cdm = make_cdm(SecurityLevel::L3, kLegacyCdm);
+  const ProvisioningResponse response =
+      provisioning_.handle(cdm->create_provisioning_request(identity_for(*cdm)));
+  EXPECT_FALSE(response.granted);
+  EXPECT_NE(response.deny_reason.find("revoked"), std::string::npos);
+  // A current CDM passes the same policy.
+  auto modern = make_cdm(SecurityLevel::L1, kCurrentCdm);
+  EXPECT_TRUE(provisioning_
+                  .handle(modern->create_provisioning_request(identity_for(*modern)))
+                  .granted);
+}
+
+TEST_F(ServersTest, ProvisioningIsIdempotentPerDevice) {
+  auto cdm = make_cdm(SecurityLevel::L3, kLegacyCdm);
+  const auto r1 = provisioning_.handle(cdm->create_provisioning_request(identity_for(*cdm)));
+  ASSERT_EQ(cdm->process_provisioning_response(r1), OemCryptoResult::Success);
+  const auto pub1 = *cdm->oemcrypto().device_rsa_public();
+  const auto r2 = provisioning_.handle(cdm->create_provisioning_request(identity_for(*cdm)));
+  ASSERT_TRUE(r2.granted);
+  ASSERT_EQ(cdm->process_provisioning_response(r2), OemCryptoResult::Success);
+  EXPECT_EQ(*cdm->oemcrypto().device_rsa_public(), pub1);  // same key re-issued
+}
+
+TEST_F(ServersTest, TamperedProvisioningResponseRejectedByCdm) {
+  auto cdm = make_cdm(SecurityLevel::L3, kLegacyCdm);
+  ProvisioningResponse response =
+      provisioning_.handle(cdm->create_provisioning_request(identity_for(*cdm)));
+  response.wrapped_rsa_key[0] ^= 1;
+  EXPECT_EQ(cdm->process_provisioning_response(response), OemCryptoResult::SignatureFailure);
+  EXPECT_FALSE(cdm->is_provisioned());
+}
+
+// --- licensing: keybox path --------------------------------------------------------
+
+TEST_F(ServersTest, KeyboxPathLicenseDeliversKeys) {
+  auto cdm = make_cdm(SecurityLevel::L1, kCurrentCdm);  // unprovisioned -> keybox path
+  const auto session = cdm->open_session();
+  const LicenseRequest request =
+      cdm->create_license_request(session, identity_for(*cdm), all_kids());
+  EXPECT_EQ(request.scheme, SignatureScheme::KeyboxCmac);
+  const LicenseResponse response = license_.handle(request, permissive_revocation_policy());
+  ASSERT_TRUE(response.granted) << response.deny_reason;
+  EXPECT_TRUE(response.session_key_wrapped.empty());
+  ASSERT_EQ(cdm->process_license_response(session, response), OemCryptoResult::Success);
+  // L1 client: all 6 video keys (audio shares the SD key under Minimum).
+  EXPECT_EQ(cdm->oemcrypto().loaded_key_ids(session).size(), title_.keys.size());
+}
+
+TEST_F(ServersTest, LicenseFiltersHdKeysForL3Clients) {
+  auto cdm = make_cdm(SecurityLevel::L3, kLegacyCdm);
+  const auto session = cdm->open_session();
+  const LicenseRequest request =
+      cdm->create_license_request(session, identity_for(*cdm), all_kids());
+  const LicenseResponse response = license_.handle(request, permissive_revocation_policy());
+  ASSERT_TRUE(response.granted);
+  // Only sub-HD keys are present (234p..540p = 4 of the 6 ladder rungs).
+  std::size_t sub_hd = 0;
+  for (const auto& key : title_.keys) {
+    if (!key.resolution.is_hd()) ++sub_hd;
+  }
+  EXPECT_EQ(response.keys.size(), sub_hd);
+  for (const KeyContainer& container : response.keys) {
+    EXPECT_EQ(container.min_level, SecurityLevel::L3);
+  }
+}
+
+TEST_F(ServersTest, LicenseRejectsBadCmacSignature) {
+  auto cdm = make_cdm(SecurityLevel::L1, kCurrentCdm);
+  const auto session = cdm->open_session();
+  LicenseRequest request = cdm->create_license_request(session, identity_for(*cdm), all_kids());
+  request.signature[3] ^= 1;
+  EXPECT_FALSE(license_.handle(request, permissive_revocation_policy()).granted);
+}
+
+TEST_F(ServersTest, LicenseRevocationPolicy) {
+  auto cdm = make_cdm(SecurityLevel::L3, kLegacyCdm);
+  const auto session = cdm->open_session();
+  const LicenseRequest request =
+      cdm->create_license_request(session, identity_for(*cdm), all_kids());
+  const LicenseResponse response = license_.handle(request, recommended_revocation_policy());
+  EXPECT_FALSE(response.granted);
+  EXPECT_NE(response.deny_reason.find("revoked"), std::string::npos);
+}
+
+TEST_F(ServersTest, UnknownKidsAreSilentlySkipped) {
+  auto cdm = make_cdm(SecurityLevel::L1, kCurrentCdm);
+  const auto session = cdm->open_session();
+  Rng rng(8);
+  std::vector<media::KeyId> kids = {title_.keys[0].kid, rng.next_bytes(16)};
+  const LicenseRequest request = cdm->create_license_request(session, identity_for(*cdm), kids);
+  const LicenseResponse response = license_.handle(request, permissive_revocation_policy());
+  ASSERT_TRUE(response.granted);
+  EXPECT_EQ(response.keys.size(), 1u);
+}
+
+// --- licensing: RSA (provisioned) path ------------------------------------------------
+
+TEST_F(ServersTest, RsaPathEndToEnd) {
+  auto cdm = make_cdm(SecurityLevel::L3, kLegacyCdm);
+  ASSERT_EQ(cdm->process_provisioning_response(provisioning_.handle(
+                cdm->create_provisioning_request(identity_for(*cdm)))),
+            OemCryptoResult::Success);
+
+  const auto session = cdm->open_session();
+  const LicenseRequest request =
+      cdm->create_license_request(session, identity_for(*cdm), all_kids());
+  EXPECT_EQ(request.scheme, SignatureScheme::DeviceRsa);
+  const LicenseResponse response = license_.handle(request, permissive_revocation_policy());
+  ASSERT_TRUE(response.granted) << response.deny_reason;
+  EXPECT_FALSE(response.session_key_wrapped.empty());
+  ASSERT_EQ(cdm->process_license_response(session, response), OemCryptoResult::Success);
+  EXPECT_FALSE(cdm->oemcrypto().loaded_key_ids(session).empty());
+
+  // And the loaded keys really decrypt the title's media.
+  const auto* rep = title_.mpd.of_type(media::TrackType::Video)[0];
+  const auto track =
+      media::PackagedTrack::from_file(BytesView(title_.files.at(rep->base_url)));
+  ASSERT_EQ(cdm->select_key(session, track.key_id), OemCryptoResult::Success);
+}
+
+TEST_F(ServersTest, RsaPathRejectsUnprovisionedDevice) {
+  auto cdm = make_cdm(SecurityLevel::L3, kLegacyCdm);
+  ASSERT_EQ(cdm->process_provisioning_response(provisioning_.handle(
+                cdm->create_provisioning_request(identity_for(*cdm)))),
+            OemCryptoResult::Success);
+  const auto session = cdm->open_session();
+  LicenseRequest request = cdm->create_license_request(session, identity_for(*cdm), all_kids());
+  request.client.stable_id = to_bytes("someone-else");
+  EXPECT_FALSE(license_.handle(request, permissive_revocation_policy()).granted);
+}
+
+TEST_F(ServersTest, RsaPathRejectsSubstitutedPublicKey) {
+  auto cdm = make_cdm(SecurityLevel::L3, kLegacyCdm);
+  ASSERT_EQ(cdm->process_provisioning_response(provisioning_.handle(
+                cdm->create_provisioning_request(identity_for(*cdm)))),
+            OemCryptoResult::Success);
+  const auto session = cdm->open_session();
+  LicenseRequest request = cdm->create_license_request(session, identity_for(*cdm), all_kids());
+  Rng rng(13);
+  request.device_rsa_public = crypto::rsa_generate(rng, 512).pub.serialize();
+  const LicenseResponse response = license_.handle(request, permissive_revocation_policy());
+  EXPECT_FALSE(response.granted);
+  EXPECT_EQ(response.deny_reason, "device key mismatch");
+}
+
+TEST_F(ServersTest, GenericKeyServedLikeContentKeys) {
+  Rng rng(14);
+  const media::KeyId kid = rng.next_bytes(16);
+  const Bytes key = rng.next_bytes(16);
+  license_.add_generic_key(kid, key);
+
+  auto cdm = make_cdm(SecurityLevel::L1, kCurrentCdm);
+  const auto session = cdm->open_session();
+  const LicenseRequest request = cdm->create_license_request(session, identity_for(*cdm), {kid});
+  const LicenseResponse response = license_.handle(request, permissive_revocation_policy());
+  ASSERT_TRUE(response.granted);
+  ASSERT_EQ(response.keys.size(), 1u);
+  ASSERT_EQ(cdm->process_license_response(session, response), OemCryptoResult::Success);
+  ASSERT_EQ(cdm->select_key(session, kid), OemCryptoResult::Success);
+}
+
+TEST_F(ServersTest, RequiredLevelForKeys) {
+  for (const auto& key : title_.keys) {
+    const SecurityLevel level = required_level_for(key);
+    EXPECT_EQ(level,
+              key.resolution.is_hd() ? SecurityLevel::L1 : SecurityLevel::L3)
+        << key.resolution.label();
+  }
+}
+
+}  // namespace
+}  // namespace wideleak::widevine

@@ -1,0 +1,173 @@
+// WisePlay alternative-DRM tests: the §V-C future-work module. Checks the
+// end-to-end flow, the security properties, and — crucially for the study —
+// what parts of the WideLeak toolchain carry over to a different CDM and
+// what parts do not.
+#include <gtest/gtest.h>
+
+#include "core/keybox_recovery.hpp"
+#include "hooking/hook_bus.hpp"
+#include "media/cenc.hpp"
+#include "wiseplay/wiseplay.hpp"
+
+namespace wideleak::wiseplay {
+namespace {
+
+class WisePlayTest : public ::testing::Test {
+ protected:
+  WisePlayTest()
+      : host_("mediadrmserver"),
+        identity_(make_wiseplay_identity("huawei-p40-007", 3)),
+        server_(42) {
+    title_ = media::package_title(999, "WisePlay Movie", {"en"}, {"en"},
+                                  media::ContentPolicy{});
+    server_.register_device(identity_.device_id, identity_.device_secret);
+    server_.add_title(title_);
+  }
+
+  WisePlayCdm make_cdm(bool with_tee) {
+    return WisePlayCdm(&host_, with_tee ? &tee_ : nullptr, identity_.device_id,
+                       identity_.device_secret, 7);
+  }
+
+  std::vector<media::KeyId> sub_hd_kids() const {
+    std::vector<media::KeyId> kids;
+    for (const auto& key : title_.keys) {
+      if (!key.resolution.is_hd()) kids.push_back(key.kid);
+    }
+    return kids;
+  }
+
+  hooking::SimProcess host_;
+  widevine::Tee tee_;
+  WisePlayIdentity identity_;
+  WisePlayLicenseServer server_;
+  media::PackagedTitle title_;
+};
+
+TEST_F(WisePlayTest, EndToEndLicenseAndDecrypt) {
+  WisePlayCdm cdm = make_cdm(true);
+  const auto session = cdm.open_session();
+  const Bytes request = cdm.create_license_request(session, sub_hd_kids());
+  const Bytes response = server_.handle(request);
+  ASSERT_EQ(cdm.process_license_response(session, response), WisePlayResult::Success);
+  EXPECT_EQ(cdm.loaded_key_ids(session).size(), sub_hd_kids().size());
+
+  // Decrypt a real CENC track with the loaded key.
+  const auto* rep = title_.mpd.of_type(media::TrackType::Video)[0];
+  const auto track = media::PackagedTrack::from_file(BytesView(title_.files.at(rep->base_url)));
+  Bytes clear_stream;
+  for (std::size_t i = 0; i < track.samples.size(); ++i) {
+    const auto& entry = track.senc.entries[i];
+    const auto& sub = entry.subsamples[0];
+    clear_stream.insert(clear_stream.end(), track.samples[i].begin(),
+                        track.samples[i].begin() + sub.clear_bytes);
+    Bytes plain;
+    ASSERT_EQ(cdm.decrypt_sample(session, track.key_id, BytesView(entry.iv),
+                                 BytesView(track.samples[i].data() + sub.clear_bytes,
+                                           sub.protected_bytes),
+                                 plain),
+              WisePlayResult::Success);
+    clear_stream.insert(clear_stream.end(), plain.begin(), plain.end());
+  }
+  EXPECT_TRUE(media::try_play(BytesView(clear_stream)).playable);
+}
+
+TEST_F(WisePlayTest, UnknownDeviceRejected) {
+  const auto other = make_wiseplay_identity("not-registered", 9);
+  WisePlayCdm cdm(&host_, &tee_, other.device_id, other.device_secret, 7);
+  const auto session = cdm.open_session();
+  const Bytes response = server_.handle(cdm.create_license_request(session, sub_hd_kids()));
+  EXPECT_EQ(cdm.process_license_response(session, response), WisePlayResult::Denied);
+}
+
+TEST_F(WisePlayTest, TamperedRequestRejected) {
+  WisePlayCdm cdm = make_cdm(true);
+  const auto session = cdm.open_session();
+  Bytes request = cdm.create_license_request(session, sub_hd_kids());
+  request[request.size() / 2] ^= 1;
+  const auto response = WisePlayResponse::deserialize(server_.handle(request));
+  EXPECT_FALSE(response.granted);
+}
+
+TEST_F(WisePlayTest, TamperedResponseRejectedByCdm) {
+  WisePlayCdm cdm = make_cdm(true);
+  const auto session = cdm.open_session();
+  Bytes response = server_.handle(cdm.create_license_request(session, sub_hd_kids()));
+  response.back() ^= 1;
+  EXPECT_EQ(cdm.process_license_response(session, response),
+            WisePlayResult::SignatureFailure);
+}
+
+TEST_F(WisePlayTest, NonceReplayRejectedByServer) {
+  WisePlayCdm cdm = make_cdm(true);
+  const auto session = cdm.open_session();
+  const Bytes request = cdm.create_license_request(session, sub_hd_kids());
+  ASSERT_TRUE(WisePlayResponse::deserialize(server_.handle(request)).granted);
+  const auto replay = WisePlayResponse::deserialize(server_.handle(request));
+  EXPECT_FALSE(replay.granted);
+  EXPECT_EQ(replay.deny_reason, "replayed nonce");
+}
+
+TEST_F(WisePlayTest, DecryptWithoutLicenseFails) {
+  WisePlayCdm cdm = make_cdm(true);
+  const auto session = cdm.open_session();
+  Bytes out;
+  EXPECT_EQ(cdm.decrypt_sample(session, Bytes(16, 0), Bytes(8, 0), to_bytes("ct"), out),
+            WisePlayResult::KeyNotLoaded);
+}
+
+// --- what carries over from the WideLeak toolchain ---------------------------
+
+TEST_F(WisePlayTest, HalHookingSeamCarriesOver) {
+  // The monitor's observation point works unchanged: WisePlay calls appear
+  // on the same process bus, under their own module.
+  hooking::TraceSession trace(host_.bus());
+  WisePlayCdm cdm = make_cdm(true);
+  const auto session = cdm.open_session();
+  const Bytes request = cdm.create_license_request(session, sub_hd_kids());
+  (void)cdm.process_license_response(session, server_.handle(request));
+  EXPECT_TRUE(trace.trace().touched_module(kWisePlayModule));
+  EXPECT_FALSE(trace.trace().touched_module("libwvdrmengine.so"));
+  // The intercepted request is parseable by the analyst, like Widevine's.
+  const auto* record = trace.trace().first("wp_create_license_request");
+  ASSERT_NE(record, nullptr);
+  const auto parsed = WisePlayRequest::deserialize(BytesView(record->output));
+  EXPECT_EQ(parsed.device_id, identity_.device_id);
+}
+
+TEST_F(WisePlayTest, WidevineKeyboxScannerDoesNotCarryOver) {
+  // The CVE-2021-0639 scanner keys on the Widevine keybox structure; a
+  // WisePlay device (even TEE-less, with its secret in process memory)
+  // yields nothing — each CDM needs its own recovery research.
+  WisePlayCdm cdm = make_cdm(/*with_tee=*/false);
+  const auto session = cdm.open_session();
+  (void)cdm.process_license_response(
+      session, server_.handle(cdm.create_license_request(session, sub_hd_kids())));
+  const auto scan = core::scan_for_keybox(host_.memory());
+  EXPECT_FALSE(scan.success());
+  EXPECT_GT(host_.memory().region_count(), 0u);  // keys ARE there, unfound
+}
+
+TEST_F(WisePlayTest, TeePlacementMirrorsWidevine) {
+  // With a TEE, loaded keys are invisible to the REE scan; without, they
+  // are exposed — the same L1/L3 dichotomy, different DRM.
+  {
+    WisePlayCdm cdm = make_cdm(true);
+    const auto session = cdm.open_session();
+    (void)cdm.process_license_response(
+        session, server_.handle(cdm.create_license_request(session, sub_hd_kids())));
+    const Bytes& some_key = title_.keys[0].key;
+    EXPECT_TRUE(host_.memory().scan(BytesView(some_key)).empty());
+    EXPECT_FALSE(tee_.secure_memory().scan(BytesView(some_key)).empty());
+  }
+}
+
+TEST(WisePlayIdentityTest, DeterministicPerSerial) {
+  EXPECT_EQ(make_wiseplay_identity("a", 1).device_secret,
+            make_wiseplay_identity("a", 1).device_secret);
+  EXPECT_NE(make_wiseplay_identity("a", 1).device_secret,
+            make_wiseplay_identity("b", 1).device_secret);
+}
+
+}  // namespace
+}  // namespace wideleak::wiseplay
