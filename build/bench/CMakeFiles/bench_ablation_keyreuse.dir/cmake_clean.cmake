@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_keyreuse.dir/bench_ablation_keyreuse.cpp.o"
+  "CMakeFiles/bench_ablation_keyreuse.dir/bench_ablation_keyreuse.cpp.o.d"
+  "bench_ablation_keyreuse"
+  "bench_ablation_keyreuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_keyreuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

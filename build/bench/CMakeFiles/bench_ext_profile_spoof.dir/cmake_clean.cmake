@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_profile_spoof.dir/bench_ext_profile_spoof.cpp.o"
+  "CMakeFiles/bench_ext_profile_spoof.dir/bench_ext_profile_spoof.cpp.o.d"
+  "bench_ext_profile_spoof"
+  "bench_ext_profile_spoof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_profile_spoof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_playback.dir/bench_fig1_playback.cpp.o"
+  "CMakeFiles/bench_fig1_playback.dir/bench_fig1_playback.cpp.o.d"
+  "bench_fig1_playback"
+  "bench_fig1_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_poc_ripper.dir/bench_poc_ripper.cpp.o"
+  "CMakeFiles/bench_poc_ripper.dir/bench_poc_ripper.cpp.o.d"
+  "bench_poc_ripper"
+  "bench_poc_ripper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_poc_ripper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q1_usage.dir/bench_q1_usage.cpp.o"
+  "CMakeFiles/bench_q1_usage.dir/bench_q1_usage.cpp.o.d"
+  "bench_q1_usage"
+  "bench_q1_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q1_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q2_protection.dir/bench_q2_protection.cpp.o"
+  "CMakeFiles/bench_q2_protection.dir/bench_q2_protection.cpp.o.d"
+  "bench_q2_protection"
+  "bench_q2_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q2_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q3_keys.dir/bench_q3_keys.cpp.o"
+  "CMakeFiles/bench_q3_keys.dir/bench_q3_keys.cpp.o.d"
+  "bench_q3_keys"
+  "bench_q3_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q3_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

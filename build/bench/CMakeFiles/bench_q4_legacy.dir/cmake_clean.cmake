@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q4_legacy.dir/bench_q4_legacy.cpp.o"
+  "CMakeFiles/bench_q4_legacy.dir/bench_q4_legacy.cpp.o.d"
+  "bench_q4_legacy"
+  "bench_q4_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q4_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

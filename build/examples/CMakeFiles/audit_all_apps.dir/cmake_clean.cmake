@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_all_apps.dir/audit_all_apps.cpp.o"
+  "CMakeFiles/audit_all_apps.dir/audit_all_apps.cpp.o.d"
+  "audit_all_apps"
+  "audit_all_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_all_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

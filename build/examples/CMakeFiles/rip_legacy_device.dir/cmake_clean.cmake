@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rip_legacy_device.dir/rip_legacy_device.cpp.o"
+  "CMakeFiles/rip_legacy_device.dir/rip_legacy_device.cpp.o.d"
+  "rip_legacy_device"
+  "rip_legacy_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rip_legacy_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

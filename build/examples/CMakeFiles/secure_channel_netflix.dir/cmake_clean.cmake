@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_channel_netflix.dir/secure_channel_netflix.cpp.o"
+  "CMakeFiles/secure_channel_netflix.dir/secure_channel_netflix.cpp.o.d"
+  "secure_channel_netflix"
+  "secure_channel_netflix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_channel_netflix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

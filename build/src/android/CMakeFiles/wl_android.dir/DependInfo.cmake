@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/device.cpp" "src/android/CMakeFiles/wl_android.dir/device.cpp.o" "gcc" "src/android/CMakeFiles/wl_android.dir/device.cpp.o.d"
+  "/root/repo/src/android/media_codec.cpp" "src/android/CMakeFiles/wl_android.dir/media_codec.cpp.o" "gcc" "src/android/CMakeFiles/wl_android.dir/media_codec.cpp.o.d"
+  "/root/repo/src/android/media_crypto.cpp" "src/android/CMakeFiles/wl_android.dir/media_crypto.cpp.o" "gcc" "src/android/CMakeFiles/wl_android.dir/media_crypto.cpp.o.d"
+  "/root/repo/src/android/media_drm.cpp" "src/android/CMakeFiles/wl_android.dir/media_drm.cpp.o" "gcc" "src/android/CMakeFiles/wl_android.dir/media_drm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/widevine/CMakeFiles/wl_widevine.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/wl_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hooking/CMakeFiles/wl_hooking.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

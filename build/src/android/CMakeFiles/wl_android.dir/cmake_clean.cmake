@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_android.dir/device.cpp.o"
+  "CMakeFiles/wl_android.dir/device.cpp.o.d"
+  "CMakeFiles/wl_android.dir/media_codec.cpp.o"
+  "CMakeFiles/wl_android.dir/media_codec.cpp.o.d"
+  "CMakeFiles/wl_android.dir/media_crypto.cpp.o"
+  "CMakeFiles/wl_android.dir/media_crypto.cpp.o.d"
+  "CMakeFiles/wl_android.dir/media_drm.cpp.o"
+  "CMakeFiles/wl_android.dir/media_drm.cpp.o.d"
+  "libwl_android.a"
+  "libwl_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/asset_auditor.cpp" "src/core/CMakeFiles/wl_core.dir/asset_auditor.cpp.o" "gcc" "src/core/CMakeFiles/wl_core.dir/asset_auditor.cpp.o.d"
+  "/root/repo/src/core/key_ladder_attack.cpp" "src/core/CMakeFiles/wl_core.dir/key_ladder_attack.cpp.o" "gcc" "src/core/CMakeFiles/wl_core.dir/key_ladder_attack.cpp.o.d"
+  "/root/repo/src/core/key_usage_auditor.cpp" "src/core/CMakeFiles/wl_core.dir/key_usage_auditor.cpp.o" "gcc" "src/core/CMakeFiles/wl_core.dir/key_usage_auditor.cpp.o.d"
+  "/root/repo/src/core/keybox_recovery.cpp" "src/core/CMakeFiles/wl_core.dir/keybox_recovery.cpp.o" "gcc" "src/core/CMakeFiles/wl_core.dir/keybox_recovery.cpp.o.d"
+  "/root/repo/src/core/legacy_prober.cpp" "src/core/CMakeFiles/wl_core.dir/legacy_prober.cpp.o" "gcc" "src/core/CMakeFiles/wl_core.dir/legacy_prober.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/wl_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/wl_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/network_monitor.cpp" "src/core/CMakeFiles/wl_core.dir/network_monitor.cpp.o" "gcc" "src/core/CMakeFiles/wl_core.dir/network_monitor.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/wl_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/wl_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/ripper.cpp" "src/core/CMakeFiles/wl_core.dir/ripper.cpp.o" "gcc" "src/core/CMakeFiles/wl_core.dir/ripper.cpp.o.d"
+  "/root/repo/src/core/trace_export.cpp" "src/core/CMakeFiles/wl_core.dir/trace_export.cpp.o" "gcc" "src/core/CMakeFiles/wl_core.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ott/CMakeFiles/wl_ott.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/wl_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/widevine/CMakeFiles/wl_widevine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hooking/CMakeFiles/wl_hooking.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/wl_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

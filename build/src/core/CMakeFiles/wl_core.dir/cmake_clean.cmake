@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_core.dir/asset_auditor.cpp.o"
+  "CMakeFiles/wl_core.dir/asset_auditor.cpp.o.d"
+  "CMakeFiles/wl_core.dir/key_ladder_attack.cpp.o"
+  "CMakeFiles/wl_core.dir/key_ladder_attack.cpp.o.d"
+  "CMakeFiles/wl_core.dir/key_usage_auditor.cpp.o"
+  "CMakeFiles/wl_core.dir/key_usage_auditor.cpp.o.d"
+  "CMakeFiles/wl_core.dir/keybox_recovery.cpp.o"
+  "CMakeFiles/wl_core.dir/keybox_recovery.cpp.o.d"
+  "CMakeFiles/wl_core.dir/legacy_prober.cpp.o"
+  "CMakeFiles/wl_core.dir/legacy_prober.cpp.o.d"
+  "CMakeFiles/wl_core.dir/monitor.cpp.o"
+  "CMakeFiles/wl_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/wl_core.dir/network_monitor.cpp.o"
+  "CMakeFiles/wl_core.dir/network_monitor.cpp.o.d"
+  "CMakeFiles/wl_core.dir/report.cpp.o"
+  "CMakeFiles/wl_core.dir/report.cpp.o.d"
+  "CMakeFiles/wl_core.dir/ripper.cpp.o"
+  "CMakeFiles/wl_core.dir/ripper.cpp.o.d"
+  "CMakeFiles/wl_core.dir/trace_export.cpp.o"
+  "CMakeFiles/wl_core.dir/trace_export.cpp.o.d"
+  "libwl_core.a"
+  "libwl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_crypto.dir/aes.cpp.o"
+  "CMakeFiles/wl_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/wl_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/wl_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/wl_crypto.dir/cmac.cpp.o"
+  "CMakeFiles/wl_crypto.dir/cmac.cpp.o.d"
+  "CMakeFiles/wl_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/wl_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/wl_crypto.dir/modes.cpp.o"
+  "CMakeFiles/wl_crypto.dir/modes.cpp.o.d"
+  "CMakeFiles/wl_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/wl_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/wl_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/wl_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/wl_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/wl_crypto.dir/sha256.cpp.o.d"
+  "libwl_crypto.a"
+  "libwl_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

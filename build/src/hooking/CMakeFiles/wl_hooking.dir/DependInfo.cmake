@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hooking/hook_bus.cpp" "src/hooking/CMakeFiles/wl_hooking.dir/hook_bus.cpp.o" "gcc" "src/hooking/CMakeFiles/wl_hooking.dir/hook_bus.cpp.o.d"
+  "/root/repo/src/hooking/memory.cpp" "src/hooking/CMakeFiles/wl_hooking.dir/memory.cpp.o" "gcc" "src/hooking/CMakeFiles/wl_hooking.dir/memory.cpp.o.d"
+  "/root/repo/src/hooking/process.cpp" "src/hooking/CMakeFiles/wl_hooking.dir/process.cpp.o" "gcc" "src/hooking/CMakeFiles/wl_hooking.dir/process.cpp.o.d"
+  "/root/repo/src/hooking/trace.cpp" "src/hooking/CMakeFiles/wl_hooking.dir/trace.cpp.o" "gcc" "src/hooking/CMakeFiles/wl_hooking.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_hooking.dir/hook_bus.cpp.o"
+  "CMakeFiles/wl_hooking.dir/hook_bus.cpp.o.d"
+  "CMakeFiles/wl_hooking.dir/memory.cpp.o"
+  "CMakeFiles/wl_hooking.dir/memory.cpp.o.d"
+  "CMakeFiles/wl_hooking.dir/process.cpp.o"
+  "CMakeFiles/wl_hooking.dir/process.cpp.o.d"
+  "CMakeFiles/wl_hooking.dir/trace.cpp.o"
+  "CMakeFiles/wl_hooking.dir/trace.cpp.o.d"
+  "libwl_hooking.a"
+  "libwl_hooking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_hooking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

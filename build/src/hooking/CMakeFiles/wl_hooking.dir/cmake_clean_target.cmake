@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwl_hooking.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/cenc.cpp" "src/media/CMakeFiles/wl_media.dir/cenc.cpp.o" "gcc" "src/media/CMakeFiles/wl_media.dir/cenc.cpp.o.d"
+  "/root/repo/src/media/codec.cpp" "src/media/CMakeFiles/wl_media.dir/codec.cpp.o" "gcc" "src/media/CMakeFiles/wl_media.dir/codec.cpp.o.d"
+  "/root/repo/src/media/content.cpp" "src/media/CMakeFiles/wl_media.dir/content.cpp.o" "gcc" "src/media/CMakeFiles/wl_media.dir/content.cpp.o.d"
+  "/root/repo/src/media/mp4.cpp" "src/media/CMakeFiles/wl_media.dir/mp4.cpp.o" "gcc" "src/media/CMakeFiles/wl_media.dir/mp4.cpp.o.d"
+  "/root/repo/src/media/mpd.cpp" "src/media/CMakeFiles/wl_media.dir/mpd.cpp.o" "gcc" "src/media/CMakeFiles/wl_media.dir/mpd.cpp.o.d"
+  "/root/repo/src/media/track.cpp" "src/media/CMakeFiles/wl_media.dir/track.cpp.o" "gcc" "src/media/CMakeFiles/wl_media.dir/track.cpp.o.d"
+  "/root/repo/src/media/xml.cpp" "src/media/CMakeFiles/wl_media.dir/xml.cpp.o" "gcc" "src/media/CMakeFiles/wl_media.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wl_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

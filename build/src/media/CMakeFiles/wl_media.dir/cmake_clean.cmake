@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_media.dir/cenc.cpp.o"
+  "CMakeFiles/wl_media.dir/cenc.cpp.o.d"
+  "CMakeFiles/wl_media.dir/codec.cpp.o"
+  "CMakeFiles/wl_media.dir/codec.cpp.o.d"
+  "CMakeFiles/wl_media.dir/content.cpp.o"
+  "CMakeFiles/wl_media.dir/content.cpp.o.d"
+  "CMakeFiles/wl_media.dir/mp4.cpp.o"
+  "CMakeFiles/wl_media.dir/mp4.cpp.o.d"
+  "CMakeFiles/wl_media.dir/mpd.cpp.o"
+  "CMakeFiles/wl_media.dir/mpd.cpp.o.d"
+  "CMakeFiles/wl_media.dir/track.cpp.o"
+  "CMakeFiles/wl_media.dir/track.cpp.o.d"
+  "CMakeFiles/wl_media.dir/xml.cpp.o"
+  "CMakeFiles/wl_media.dir/xml.cpp.o.d"
+  "libwl_media.a"
+  "libwl_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_net.dir/http.cpp.o"
+  "CMakeFiles/wl_net.dir/http.cpp.o.d"
+  "CMakeFiles/wl_net.dir/network.cpp.o"
+  "CMakeFiles/wl_net.dir/network.cpp.o.d"
+  "CMakeFiles/wl_net.dir/proxy.cpp.o"
+  "CMakeFiles/wl_net.dir/proxy.cpp.o.d"
+  "CMakeFiles/wl_net.dir/tls.cpp.o"
+  "CMakeFiles/wl_net.dir/tls.cpp.o.d"
+  "libwl_net.a"
+  "libwl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

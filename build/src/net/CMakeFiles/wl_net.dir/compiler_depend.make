@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wl_net.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ott/app.cpp" "src/ott/CMakeFiles/wl_ott.dir/app.cpp.o" "gcc" "src/ott/CMakeFiles/wl_ott.dir/app.cpp.o.d"
+  "/root/repo/src/ott/backend.cpp" "src/ott/CMakeFiles/wl_ott.dir/backend.cpp.o" "gcc" "src/ott/CMakeFiles/wl_ott.dir/backend.cpp.o.d"
+  "/root/repo/src/ott/catalog.cpp" "src/ott/CMakeFiles/wl_ott.dir/catalog.cpp.o" "gcc" "src/ott/CMakeFiles/wl_ott.dir/catalog.cpp.o.d"
+  "/root/repo/src/ott/cdn.cpp" "src/ott/CMakeFiles/wl_ott.dir/cdn.cpp.o" "gcc" "src/ott/CMakeFiles/wl_ott.dir/cdn.cpp.o.d"
+  "/root/repo/src/ott/custom_drm.cpp" "src/ott/CMakeFiles/wl_ott.dir/custom_drm.cpp.o" "gcc" "src/ott/CMakeFiles/wl_ott.dir/custom_drm.cpp.o.d"
+  "/root/repo/src/ott/ecosystem.cpp" "src/ott/CMakeFiles/wl_ott.dir/ecosystem.cpp.o" "gcc" "src/ott/CMakeFiles/wl_ott.dir/ecosystem.cpp.o.d"
+  "/root/repo/src/ott/playback.cpp" "src/ott/CMakeFiles/wl_ott.dir/playback.cpp.o" "gcc" "src/ott/CMakeFiles/wl_ott.dir/playback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/android/CMakeFiles/wl_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/widevine/CMakeFiles/wl_widevine.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/wl_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hooking/CMakeFiles/wl_hooking.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

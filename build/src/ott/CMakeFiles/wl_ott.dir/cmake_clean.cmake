@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_ott.dir/app.cpp.o"
+  "CMakeFiles/wl_ott.dir/app.cpp.o.d"
+  "CMakeFiles/wl_ott.dir/backend.cpp.o"
+  "CMakeFiles/wl_ott.dir/backend.cpp.o.d"
+  "CMakeFiles/wl_ott.dir/catalog.cpp.o"
+  "CMakeFiles/wl_ott.dir/catalog.cpp.o.d"
+  "CMakeFiles/wl_ott.dir/cdn.cpp.o"
+  "CMakeFiles/wl_ott.dir/cdn.cpp.o.d"
+  "CMakeFiles/wl_ott.dir/custom_drm.cpp.o"
+  "CMakeFiles/wl_ott.dir/custom_drm.cpp.o.d"
+  "CMakeFiles/wl_ott.dir/ecosystem.cpp.o"
+  "CMakeFiles/wl_ott.dir/ecosystem.cpp.o.d"
+  "CMakeFiles/wl_ott.dir/playback.cpp.o"
+  "CMakeFiles/wl_ott.dir/playback.cpp.o.d"
+  "libwl_ott.a"
+  "libwl_ott.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_ott.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

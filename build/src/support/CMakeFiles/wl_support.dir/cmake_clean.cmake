@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_support.dir/byte_io.cpp.o"
+  "CMakeFiles/wl_support.dir/byte_io.cpp.o.d"
+  "CMakeFiles/wl_support.dir/bytes.cpp.o"
+  "CMakeFiles/wl_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/wl_support.dir/crc32.cpp.o"
+  "CMakeFiles/wl_support.dir/crc32.cpp.o.d"
+  "CMakeFiles/wl_support.dir/log.cpp.o"
+  "CMakeFiles/wl_support.dir/log.cpp.o.d"
+  "CMakeFiles/wl_support.dir/rng.cpp.o"
+  "CMakeFiles/wl_support.dir/rng.cpp.o.d"
+  "libwl_support.a"
+  "libwl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/widevine/cdm.cpp" "src/widevine/CMakeFiles/wl_widevine.dir/cdm.cpp.o" "gcc" "src/widevine/CMakeFiles/wl_widevine.dir/cdm.cpp.o.d"
+  "/root/repo/src/widevine/key_ladder.cpp" "src/widevine/CMakeFiles/wl_widevine.dir/key_ladder.cpp.o" "gcc" "src/widevine/CMakeFiles/wl_widevine.dir/key_ladder.cpp.o.d"
+  "/root/repo/src/widevine/keybox.cpp" "src/widevine/CMakeFiles/wl_widevine.dir/keybox.cpp.o" "gcc" "src/widevine/CMakeFiles/wl_widevine.dir/keybox.cpp.o.d"
+  "/root/repo/src/widevine/license_server.cpp" "src/widevine/CMakeFiles/wl_widevine.dir/license_server.cpp.o" "gcc" "src/widevine/CMakeFiles/wl_widevine.dir/license_server.cpp.o.d"
+  "/root/repo/src/widevine/oemcrypto.cpp" "src/widevine/CMakeFiles/wl_widevine.dir/oemcrypto.cpp.o" "gcc" "src/widevine/CMakeFiles/wl_widevine.dir/oemcrypto.cpp.o.d"
+  "/root/repo/src/widevine/protocol.cpp" "src/widevine/CMakeFiles/wl_widevine.dir/protocol.cpp.o" "gcc" "src/widevine/CMakeFiles/wl_widevine.dir/protocol.cpp.o.d"
+  "/root/repo/src/widevine/provisioning_server.cpp" "src/widevine/CMakeFiles/wl_widevine.dir/provisioning_server.cpp.o" "gcc" "src/widevine/CMakeFiles/wl_widevine.dir/provisioning_server.cpp.o.d"
+  "/root/repo/src/widevine/revocation.cpp" "src/widevine/CMakeFiles/wl_widevine.dir/revocation.cpp.o" "gcc" "src/widevine/CMakeFiles/wl_widevine.dir/revocation.cpp.o.d"
+  "/root/repo/src/widevine/tee.cpp" "src/widevine/CMakeFiles/wl_widevine.dir/tee.cpp.o" "gcc" "src/widevine/CMakeFiles/wl_widevine.dir/tee.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/wl_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/hooking/CMakeFiles/wl_hooking.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_widevine.dir/cdm.cpp.o"
+  "CMakeFiles/wl_widevine.dir/cdm.cpp.o.d"
+  "CMakeFiles/wl_widevine.dir/key_ladder.cpp.o"
+  "CMakeFiles/wl_widevine.dir/key_ladder.cpp.o.d"
+  "CMakeFiles/wl_widevine.dir/keybox.cpp.o"
+  "CMakeFiles/wl_widevine.dir/keybox.cpp.o.d"
+  "CMakeFiles/wl_widevine.dir/license_server.cpp.o"
+  "CMakeFiles/wl_widevine.dir/license_server.cpp.o.d"
+  "CMakeFiles/wl_widevine.dir/oemcrypto.cpp.o"
+  "CMakeFiles/wl_widevine.dir/oemcrypto.cpp.o.d"
+  "CMakeFiles/wl_widevine.dir/protocol.cpp.o"
+  "CMakeFiles/wl_widevine.dir/protocol.cpp.o.d"
+  "CMakeFiles/wl_widevine.dir/provisioning_server.cpp.o"
+  "CMakeFiles/wl_widevine.dir/provisioning_server.cpp.o.d"
+  "CMakeFiles/wl_widevine.dir/revocation.cpp.o"
+  "CMakeFiles/wl_widevine.dir/revocation.cpp.o.d"
+  "CMakeFiles/wl_widevine.dir/tee.cpp.o"
+  "CMakeFiles/wl_widevine.dir/tee.cpp.o.d"
+  "libwl_widevine.a"
+  "libwl_widevine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_widevine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wiseplay/wiseplay.cpp" "src/wiseplay/CMakeFiles/wl_wiseplay.dir/wiseplay.cpp.o" "gcc" "src/wiseplay/CMakeFiles/wl_wiseplay.dir/wiseplay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/wl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/wl_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/hooking/CMakeFiles/wl_hooking.dir/DependInfo.cmake"
+  "/root/repo/build/src/widevine/CMakeFiles/wl_widevine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_wiseplay.dir/wiseplay.cpp.o"
+  "CMakeFiles/wl_wiseplay.dir/wiseplay.cpp.o.d"
+  "libwl_wiseplay.a"
+  "libwl_wiseplay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_wiseplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

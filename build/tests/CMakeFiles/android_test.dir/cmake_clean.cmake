@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/android_test.dir/android_test.cpp.o"
+  "CMakeFiles/android_test.dir/android_test.cpp.o.d"
+  "android_test"
+  "android_test.pdb"
+  "android_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/android_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_audit_test.cpp" "tests/CMakeFiles/core_audit_test.dir/core_audit_test.cpp.o" "gcc" "tests/CMakeFiles/core_audit_test.dir/core_audit_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wiseplay/CMakeFiles/wl_wiseplay.dir/DependInfo.cmake"
+  "/root/repo/build/src/ott/CMakeFiles/wl_ott.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/wl_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/widevine/CMakeFiles/wl_widevine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hooking/CMakeFiles/wl_hooking.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/wl_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/wl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hooking_test.dir/hooking_test.cpp.o"
+  "CMakeFiles/hooking_test.dir/hooking_test.cpp.o.d"
+  "hooking_test"
+  "hooking_test.pdb"
+  "hooking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hooking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

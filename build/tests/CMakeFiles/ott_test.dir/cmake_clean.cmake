@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ott_test.dir/ott_test.cpp.o"
+  "CMakeFiles/ott_test.dir/ott_test.cpp.o.d"
+  "ott_test"
+  "ott_test.pdb"
+  "ott_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ott_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widevine_keybox_test.dir/widevine_keybox_test.cpp.o"
+  "CMakeFiles/widevine_keybox_test.dir/widevine_keybox_test.cpp.o.d"
+  "widevine_keybox_test"
+  "widevine_keybox_test.pdb"
+  "widevine_keybox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widevine_keybox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

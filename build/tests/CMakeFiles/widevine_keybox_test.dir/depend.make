@@ -1,0 +1,2 @@
+# Empty dependencies file for widevine_keybox_test.
+# This may be replaced when dependencies are built.

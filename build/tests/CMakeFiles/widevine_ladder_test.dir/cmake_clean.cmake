@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widevine_ladder_test.dir/widevine_ladder_test.cpp.o"
+  "CMakeFiles/widevine_ladder_test.dir/widevine_ladder_test.cpp.o.d"
+  "widevine_ladder_test"
+  "widevine_ladder_test.pdb"
+  "widevine_ladder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widevine_ladder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

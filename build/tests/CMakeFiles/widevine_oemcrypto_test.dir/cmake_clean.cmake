@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widevine_oemcrypto_test.dir/widevine_oemcrypto_test.cpp.o"
+  "CMakeFiles/widevine_oemcrypto_test.dir/widevine_oemcrypto_test.cpp.o.d"
+  "widevine_oemcrypto_test"
+  "widevine_oemcrypto_test.pdb"
+  "widevine_oemcrypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widevine_oemcrypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widevine_servers_test.dir/widevine_servers_test.cpp.o"
+  "CMakeFiles/widevine_servers_test.dir/widevine_servers_test.cpp.o.d"
+  "widevine_servers_test"
+  "widevine_servers_test.pdb"
+  "widevine_servers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widevine_servers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiseplay_test.dir/wiseplay_test.cpp.o"
+  "CMakeFiles/wiseplay_test.dir/wiseplay_test.cpp.o.d"
+  "wiseplay_test"
+  "wiseplay_test.pdb"
+  "wiseplay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiseplay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_aes_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_cmac_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_bigint_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_rsa_test[1]_include.cmake")
+include("/root/repo/build/tests/media_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/hooking_test[1]_include.cmake")
+include("/root/repo/build/tests/widevine_keybox_test[1]_include.cmake")
+include("/root/repo/build/tests/widevine_ladder_test[1]_include.cmake")
+include("/root/repo/build/tests/widevine_oemcrypto_test[1]_include.cmake")
+include("/root/repo/build/tests/widevine_servers_test[1]_include.cmake")
+include("/root/repo/build/tests/wiseplay_test[1]_include.cmake")
+include("/root/repo/build/tests/android_test[1]_include.cmake")
+include("/root/repo/build/tests/ott_test[1]_include.cmake")
+include("/root/repo/build/tests/core_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/core_audit_test[1]_include.cmake")
+include("/root/repo/build/tests/core_attack_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_export_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
