@@ -51,7 +51,7 @@ std::optional<crypto::RsaKeyPair> KeyLadderAttack::recover_device_rsa_key(
     // Re-derive the session triple from the recovered keybox device key and
     // the request body (which is the KDF context by construction).
     const Bytes context = request.body();
-    const DerivedTriple triple = derive_triple(keybox_.device_key(), context);
+    const DerivedTriple triple = derive_triple(keybox_.device_key().reveal(), context);
 
     // Sanity: the response MAC must verify under our derived key, proving
     // the ladder reconstruction is right.
@@ -85,7 +85,7 @@ RecoveredKeys KeyLadderAttack::decrypt_license_response(
         crypto::rsa_oaep_decrypt(*device_rsa_key_, response.session_key_wrapped);
     triple = derive_triple(session_key, context);
   } else {
-    triple = derive_triple(keybox_.device_key(), context);
+    triple = derive_triple(keybox_.device_key().reveal(), context);
   }
 
   if (!crypto::hmac_sha256_verify(triple.mac_key_server, response.body(), response.mac)) {
@@ -140,7 +140,7 @@ widevine::LicenseRequest KeyLadderAttack::forge_license_request(
   } else {
     request.scheme = widevine::SignatureScheme::KeyboxCmac;
     const Bytes body = request.body();
-    const DerivedTriple triple = derive_triple(keybox_.device_key(), body);
+    const DerivedTriple triple = derive_triple(keybox_.device_key().reveal(), body);
     request.signature = crypto::hmac_sha256(triple.mac_key_client, body);
   }
   return request;

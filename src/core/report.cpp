@@ -120,7 +120,7 @@ std::string render_rip_summary(const std::vector<RipResult>& results) {
   for (const RipResult& result : results) {
     out << pad(result.app, 20) << pad(result.keybox_recovered ? "yes" : "no", 8)
         << pad(result.device_rsa_recovered ? "yes" : "no", 9)
-        << pad(std::to_string(result.content_keys_recovered), 6)
+        << pad(std::to_string(result.content_keys_recovered), 6)  // wl-lint: log-ok (a count, not key material)
         << pad(result.success ? result.best_video_resolution.label() : "-", 14)
         << pad(result.plays_without_account ? "yes" : "no", 19)
         << (result.success ? "RIPPED" : result.failure) << "\n";

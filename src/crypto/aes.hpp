@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "support/bytes.hpp"
+#include "support/secret.hpp"
 
 namespace wideleak::crypto {
 
@@ -21,6 +22,13 @@ class Aes {
   /// Accepts 16- or 32-byte keys (AES-128 / AES-256).
   /// Throws std::invalid_argument otherwise.
   explicit Aes(BytesView key);
+  explicit Aes(const SecretBytes& key) : Aes(key.reveal()) {}
+
+  /// The expanded key schedule is itself key material; wipe it on teardown
+  /// so a memory scan after the cipher dies recovers nothing.
+  ~Aes();
+  Aes(const Aes&) = default;
+  Aes& operator=(const Aes&) = default;
 
   void encrypt_block(const std::uint8_t in[kAesBlockSize],
                      std::uint8_t out[kAesBlockSize]) const;

@@ -32,9 +32,10 @@ Bytes aes_cmac(BytesView key, BytesView data) {
   const Aes cipher(key);
 
   AesBlock zero{};
-  const AesBlock l = cipher.encrypt_block(zero);
-  const AesBlock k1 = generate_subkey(l);
-  const AesBlock k2 = generate_subkey(k1);
+  AesBlock l = cipher.encrypt_block(zero);
+  AesBlock k1 = generate_subkey(l);
+  AesBlock k2 = generate_subkey(k1);
+  secure_wipe(l.data(), l.size());
 
   const std::size_t n_blocks = data.empty() ? 1 : (data.size() + 15) / 16;
   const bool last_complete = !data.empty() && data.size() % 16 == 0;
@@ -57,8 +58,15 @@ Bytes aes_cmac(BytesView key, BytesView data) {
     for (std::size_t i = 0; i < 16; ++i) last[i] ^= k2[i];
   }
   for (std::size_t i = 0; i < 16; ++i) last[i] ^= x[i];
-  const AesBlock tag = cipher.encrypt_block(last);
-  return Bytes(tag.begin(), tag.end());
+  AesBlock tag = cipher.encrypt_block(last);
+  Bytes out(tag.begin(), tag.end());
+
+  // K1/K2 are derived from the key alone; wipe them (and the staging
+  // blocks) so nothing key-dependent survives this frame.
+  secure_wipe(k1.data(), k1.size());
+  secure_wipe(k2.data(), k2.size());
+  secure_wipe(last.data(), last.size());
+  return out;
 }
 
 Bytes cmac_counter_kdf(BytesView key, BytesView context, std::uint8_t first_counter,

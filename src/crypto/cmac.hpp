@@ -8,16 +8,24 @@
 
 #include "crypto/aes.hpp"
 #include "support/bytes.hpp"
+#include "support/secret.hpp"
 
 namespace wideleak::crypto {
 
 /// AES-CMAC tag (16 bytes) of `data` under `key` (AES-128 or AES-256 key).
 Bytes aes_cmac(BytesView key, BytesView data);
+inline Bytes aes_cmac(const SecretBytes& key, BytesView data) {
+  return aes_cmac(key.reveal(), data);
+}
 
 /// NIST SP 800-108 KDF in CMAC counter mode, as OEMCrypto uses it:
 /// out = CMAC(key, counter_i || context) for counter_i = first..first+n-1,
 /// concatenated, truncated to `output_len` bytes.
 Bytes cmac_counter_kdf(BytesView key, BytesView context, std::uint8_t first_counter,
                        std::size_t output_len);
+inline Bytes cmac_counter_kdf(const SecretBytes& key, BytesView context,
+                              std::uint8_t first_counter, std::size_t output_len) {
+  return cmac_counter_kdf(key.reveal(), context, first_counter, output_len);
+}
 
 }  // namespace wideleak::crypto

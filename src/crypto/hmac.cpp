@@ -23,7 +23,14 @@ Bytes hmac_sha256(BytesView key, BytesView data) {
   Sha256 outer;
   outer.update(opad);
   outer.update(inner_digest);
-  return outer.finish();
+  Bytes out = outer.finish();
+
+  // The padded key copies are key-equivalent material; scrub them before
+  // the stack frame unwinds.
+  secure_wipe(k);
+  secure_wipe(ipad);
+  secure_wipe(opad);
+  return out;
 }
 
 bool hmac_sha256_verify(BytesView key, BytesView data, BytesView tag) {

@@ -4,13 +4,20 @@
 #pragma once
 
 #include "support/bytes.hpp"
+#include "support/secret.hpp"
 
 namespace wideleak::crypto {
 
 /// HMAC-SHA256 of `data` under `key` (any key length).
 Bytes hmac_sha256(BytesView key, BytesView data);
+inline Bytes hmac_sha256(const SecretBytes& key, BytesView data) {
+  return hmac_sha256(key.reveal(), data);
+}
 
 /// Constant-time verification of an HMAC-SHA256 tag.
 bool hmac_sha256_verify(BytesView key, BytesView data, BytesView tag);
+inline bool hmac_sha256_verify(const SecretBytes& key, BytesView data, BytesView tag) {
+  return hmac_sha256_verify(key.reveal(), data, tag);
+}
 
 }  // namespace wideleak::crypto

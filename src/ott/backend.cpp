@@ -34,7 +34,7 @@ OttBackend::OttBackend(OttAppProfile profile, media::PackagedTitle title,
       rng_(seed) {
   if (profile_.secure_uri_channel) {
     uri_channel_kid_ = rng_.next_bytes(16);
-    uri_channel_key_ = rng_.next_bytes(16);
+    uri_channel_key_ = SecretBytes(rng_.next_bytes(16));
     license_server_->add_generic_key(uri_channel_kid_, uri_channel_key_);
   }
   if (profile_.subtitles_via_opaque_channel) {
@@ -52,7 +52,11 @@ std::string OttBackend::subscriber_token() const {
 
 bool OttBackend::authorized(const net::HttpRequest& req) const {
   const auto it = req.headers.find("authorization");
-  return it != req.headers.end() && it->second == subscriber_token();
+  // Constant-time: a std::string == would return at the first wrong byte,
+  // letting a remote caller brute-force the bearer token position by
+  // position (the WL002 timing-oracle class).
+  return it != req.headers.end() &&
+         constant_time_equal(to_bytes(it->second), to_bytes(subscriber_token()));
 }
 
 net::HttpHandler OttBackend::handler() {

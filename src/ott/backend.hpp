@@ -66,7 +66,7 @@ class OttBackend {
   std::shared_ptr<widevine::ProvisioningServer> provisioning_server_;
   Rng rng_;
   media::KeyId uri_channel_kid_;
-  Bytes uri_channel_key_;
+  SecretBytes uri_channel_key_;
   std::map<std::string, std::string> subtitle_tokens_;  // opaque token -> file path
 };
 

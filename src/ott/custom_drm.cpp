@@ -6,18 +6,21 @@
 
 namespace wideleak::ott {
 
-Bytes CustomDrm::app_secret(const std::string& app_name) {
-  // Deterministic per app; stands in for a compiled-in whitebox key.
-  Bytes secret = crypto::hmac_sha256(to_bytes("wideleak-custom-drm-v1"), to_bytes(app_name));
-  secret.resize(16);
+SecretBytes CustomDrm::app_secret(const std::string& app_name) {
+  // Deterministic per app; stands in for a compiled-in whitebox key. The
+  // full HMAC output is a key-derivation intermediate: truncate, then wipe.
+  Bytes prk = crypto::hmac_sha256(to_bytes("wideleak-custom-drm-v1"), to_bytes(app_name));
+  SecretBytes secret = SecretBytes::copy_of(BytesView(prk).subspan(0, 16));
+  secure_wipe(prk);
   return secret;
 }
 
 namespace {
 
-Bytes derive_wrap_key(const std::string& app_name, BytesView nonce) {
-  Bytes key = crypto::hmac_sha256(CustomDrm::app_secret(app_name), nonce);
-  key.resize(16);
+SecretBytes derive_wrap_key(const std::string& app_name, BytesView nonce) {
+  Bytes prk = crypto::hmac_sha256(CustomDrm::app_secret(app_name), nonce);
+  SecretBytes key = SecretBytes::copy_of(BytesView(prk).subspan(0, 16));
+  secure_wipe(prk);
   return key;
 }
 

@@ -11,18 +11,21 @@
 #include "media/cenc.hpp"
 #include "media/track.hpp"
 #include "support/bytes.hpp"
+#include "support/secret.hpp"
 
 namespace wideleak::ott {
 
 class CustomDrm {
  public:
   /// The app-embedded secret (in a real app: a whitebox-obfuscated key).
-  static Bytes app_secret(const std::string& app_name);
+  static SecretBytes app_secret(const std::string& app_name);
 
   /// Key wrapping between backend and app: AES-CBC under a key derived
   /// from the app secret and a nonce.
   static Bytes wrap_key_map(const std::string& app_name, BytesView nonce,
                             const std::map<std::string, Bytes>& kid_to_key);
+  /// Returns clear content keys to the caller (the app-side endpoint of
+  /// the custom channel).  wl-lint: reveal-ok
   static std::map<std::string, Bytes> unwrap_key_map(const std::string& app_name,
                                                      BytesView nonce, BytesView wrapped);
 

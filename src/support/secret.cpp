@@ -1,0 +1,30 @@
+#include "support/secret.hpp"
+
+#include <atomic>
+
+namespace wideleak {
+
+namespace {
+std::atomic<std::size_t> g_wipe_count{0};
+}  // namespace
+
+void secure_wipe(void* data, std::size_t size) {
+  // Volatile qualification forces the stores to happen even when the
+  // surrounding object is destroyed right after (dead-store elimination
+  // would otherwise legally drop a plain memset here).
+  volatile std::uint8_t* p = static_cast<std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) p[i] = 0;
+  g_wipe_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void secure_wipe(Bytes& buffer) {
+  if (!buffer.empty()) secure_wipe(buffer.data(), buffer.size());
+  buffer.clear();
+  buffer.shrink_to_fit();
+}
+
+namespace detail {
+std::size_t secure_wipe_count() { return g_wipe_count.load(std::memory_order_relaxed); }
+}  // namespace detail
+
+}  // namespace wideleak

@@ -1,0 +1,133 @@
+// Key-material hygiene: the one owning container secrets are allowed to
+// live in (WideLeak §IV / CWE-922, CWE-312).
+//
+// `SecretBytes` is what `tools/wideleak-lint` rule WL003 pushes every
+// key / keybox / whitebox-secret buffer in src/crypto, src/widevine and
+// src/ott/custom_drm towards:
+//
+//   - memory is zeroized before release (destructor, move-from, assign),
+//     so a process-memory scan after teardown finds nothing — the exact
+//     scan the paper's keybox recovery (CVE-2021-0639) performs;
+//   - raw bytes only escape through an explicit `reveal()` call, which the
+//     linter can audit (WL001 flags reveal() flowing into log sinks);
+//   - stream insertion is deleted, so `WL_LOG(...) << secret` and
+//     `std::cout << secret` fail to compile instead of leaking;
+//   - equality is constant-time, so comparing two SecretBytes can never
+//     become a timing oracle (WL002's companion guarantee).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "support/bytes.hpp"
+
+namespace wideleak {
+
+/// Overwrite `size` bytes at `data` with zeros through a volatile pointer,
+/// which the optimizer must not elide even though the buffer is about to be
+/// freed (the classic memset_s / OPENSSL_cleanse contract).
+void secure_wipe(void* data, std::size_t size);
+
+/// Wipe a buffer in place, then clear it.
+void secure_wipe(Bytes& buffer);
+
+namespace detail {
+/// Number of secure_wipe invocations so far. Lets tests observe that
+/// destruction really wipes, without reading freed memory (which ASan —
+/// rightly — would reject).
+std::size_t secure_wipe_count();
+}  // namespace detail
+
+/// An owning byte buffer for key material.
+class SecretBytes {
+ public:
+  SecretBytes() = default;
+
+  /// Take ownership of an existing buffer. Explicit: wrapping a buffer in
+  /// SecretBytes is a statement that it holds key material.
+  explicit SecretBytes(Bytes data) : data_(std::move(data)) {}
+
+  /// Deep-copy a view into a fresh secret (the explicit spelling of "this
+  /// non-secret-typed buffer is actually a key").
+  static SecretBytes copy_of(BytesView data) {
+    return SecretBytes(Bytes(data.begin(), data.end()));
+  }
+
+  SecretBytes(const SecretBytes& other) = default;
+  SecretBytes& operator=(const SecretBytes& other) {
+    if (this != &other) {
+      wipe();
+      data_ = other.data_;
+    }
+    return *this;
+  }
+
+  /// Moves wipe the source so a key never lingers in a moved-from vector.
+  SecretBytes(SecretBytes&& other) noexcept : data_(std::move(other.data_)) {
+    other.wipe();
+  }
+  SecretBytes& operator=(SecretBytes&& other) noexcept {
+    if (this != &other) {
+      wipe();
+      data_ = std::move(other.data_);
+      other.wipe();
+    }
+    return *this;
+  }
+
+  ~SecretBytes() { wipe(); }
+
+  /// Explicit, auditable access to the raw bytes. Call sites are what
+  /// wideleak-lint inspects: a reveal() feeding a cipher is fine, a
+  /// reveal() feeding hex_encode / WL_LOG is a WL001 violation.
+  BytesView reveal() const { return BytesView(data_); }
+
+  /// Explicit owning copy of the raw bytes, for sinks that must outlive
+  /// this object (e.g. serializing a keybox to flash).
+  Bytes reveal_copy() const { return data_; }  // wl-lint: reveal-ok
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Zeroize now (also runs on destruction / move-from / assign-over).
+  void wipe() {
+    secure_wipe(data_);
+  }
+
+  /// Constant-time equality; mismatched lengths compare unequal.
+  friend bool operator==(const SecretBytes& a, const SecretBytes& b) {
+    return constant_time_equal(a.reveal(), b.reveal());
+  }
+  friend bool operator==(const SecretBytes& a, BytesView b) {
+    return constant_time_equal(a.reveal(), b);
+  }
+  friend bool operator==(BytesView a, const SecretBytes& b) {
+    return constant_time_equal(a, b.reveal());
+  }
+
+  /// Secrets never hit a stream. This also breaks WL_LOG(...) << secret at
+  /// compile time (LogStream forwards to ostream insertion).
+  template <typename Stream>
+  friend Stream& operator<<(Stream&, const SecretBytes&) = delete;
+
+ private:
+  Bytes data_;
+};
+
+/// Deleted encoders: make the obvious leak spellings compile errors, not
+/// just lint findings.
+std::string to_string(const SecretBytes&) = delete;
+std::string hex_encode(const SecretBytes&) = delete;
+std::string base64_encode(const SecretBytes&) = delete;
+
+inline bool constant_time_equal(const SecretBytes& a, const SecretBytes& b) {
+  return constant_time_equal(a.reveal(), b.reveal());
+}
+inline bool constant_time_equal(const SecretBytes& a, BytesView b) {
+  return constant_time_equal(a.reveal(), b);
+}
+inline bool constant_time_equal(BytesView a, const SecretBytes& b) {
+  return constant_time_equal(a, b.reveal());
+}
+
+}  // namespace wideleak

@@ -22,13 +22,14 @@ SessionKeys derive_session_keys(BytesView root_key, BytesView mac_context,
                                 BytesView enc_context) {
   SessionKeys keys;
   const Bytes enc_ctx = kdf_context(kEncryptionLabel, enc_context);
-  keys.enc_key = crypto::cmac_counter_kdf(root_key, enc_ctx, 0x01, 16);
+  keys.enc_key = SecretBytes(crypto::cmac_counter_kdf(root_key, enc_ctx, 0x01, 16));
 
   const Bytes mac_ctx = kdf_context(kAuthenticationLabel, mac_context);
   // Counters 1..2 -> server MAC key, 3..4 -> client MAC key (64 bytes total).
-  const Bytes mac_block = crypto::cmac_counter_kdf(root_key, mac_ctx, 0x01, 64);
-  keys.mac_key_server.assign(mac_block.begin(), mac_block.begin() + 32);
-  keys.mac_key_client.assign(mac_block.begin() + 32, mac_block.end());
+  Bytes mac_block = crypto::cmac_counter_kdf(root_key, mac_ctx, 0x01, 64);
+  keys.mac_key_server = SecretBytes::copy_of(BytesView(mac_block).subspan(0, 32));
+  keys.mac_key_client = SecretBytes::copy_of(BytesView(mac_block).subspan(32));
+  secure_wipe(mac_block);
   return keys;
 }
 

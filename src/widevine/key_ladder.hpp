@@ -15,14 +15,16 @@
 #pragma once
 
 #include "support/bytes.hpp"
+#include "support/secret.hpp"
 
 namespace wideleak::widevine {
 
-/// The triple of session keys both ends derive.
+/// The triple of session keys both ends derive. SecretBytes: zeroized on
+/// teardown, constant-time comparable, unloggable.
 struct SessionKeys {
-  Bytes enc_key;         // 16 bytes: AES key wrapping content keys
-  Bytes mac_key_server;  // 32 bytes: HMAC key authenticating server->client
-  Bytes mac_key_client;  // 32 bytes: HMAC key authenticating client->server
+  SecretBytes enc_key;         // 16 bytes: AES key wrapping content keys
+  SecretBytes mac_key_server;  // 32 bytes: HMAC key authenticating server->client
+  SecretBytes mac_key_client;  // 32 bytes: HMAC key authenticating client->server
 };
 
 /// KDF labels, matching the spirit of OEMCrypto's context construction.
@@ -37,5 +39,9 @@ inline constexpr char kAuthenticationLabel[] = "AUTHENTICATION";
 ///   mac_client = CMAC counters 3..4 over the same context
 SessionKeys derive_session_keys(BytesView root_key, BytesView mac_context,
                                 BytesView enc_context);
+inline SessionKeys derive_session_keys(const SecretBytes& root_key, BytesView mac_context,
+                                       BytesView enc_context) {
+  return derive_session_keys(root_key.reveal(), mac_context, enc_context);
+}
 
 }  // namespace wideleak::widevine

@@ -7,7 +7,7 @@
 
 namespace wideleak::widevine {
 
-Keybox::Keybox(Bytes stable_id, Bytes device_key, Bytes key_data)
+Keybox::Keybox(Bytes stable_id, SecretBytes device_key, Bytes key_data)
     : stable_id_(std::move(stable_id)),
       device_key_(std::move(device_key)),
       key_data_(std::move(key_data)) {
@@ -21,7 +21,10 @@ Bytes Keybox::serialize() const {
   Bytes out;
   out.reserve(kKeyboxSize);
   out.insert(out.end(), stable_id_.begin(), stable_id_.end());
-  out.insert(out.end(), device_key_.begin(), device_key_.end());
+  // The on-flash form carries the device key in the clear — the simulated
+  // CWE-922 flaw itself, so the reveal is the point.  wl-lint: reveal-ok
+  const BytesView device_key = device_key_.reveal();
+  out.insert(out.end(), device_key.begin(), device_key.end());
   out.insert(out.end(), key_data_.begin(), key_data_.end());
   out.insert(out.end(), kKeyboxMagic, kKeyboxMagic + 4);
   const std::uint32_t crc = crc32(BytesView(out.data(), kKeyboxMagicOffset + 4));
@@ -45,8 +48,8 @@ std::optional<Keybox> Keybox::parse(BytesView raw) {
   if (crc32(raw.subspan(0, kKeyboxMagicOffset + 4)) != stored_crc) return std::nullopt;
 
   Bytes stable_id(raw.begin(), raw.begin() + kKeyboxStableIdSize);
-  Bytes device_key(raw.begin() + kKeyboxStableIdSize,
-                   raw.begin() + kKeyboxStableIdSize + kKeyboxDeviceKeySize);
+  SecretBytes device_key = SecretBytes::copy_of(
+      raw.subspan(kKeyboxStableIdSize, kKeyboxDeviceKeySize));
   Bytes key_data(raw.begin() + kKeyboxStableIdSize + kKeyboxDeviceKeySize,
                  raw.begin() + kKeyboxMagicOffset);
   return Keybox(std::move(stable_id), std::move(device_key), std::move(key_data));
@@ -61,7 +64,7 @@ Keybox make_factory_keybox(const std::string& device_serial, std::uint64_t provi
   Rng rng(provisioner_seed ^ serial_hash);
   Bytes stable_id = to_bytes(device_serial);
   stable_id.resize(kKeyboxStableIdSize, 0x00);
-  return Keybox(std::move(stable_id), rng.next_bytes(kKeyboxDeviceKeySize),
+  return Keybox(std::move(stable_id), SecretBytes(rng.next_bytes(kKeyboxDeviceKeySize)),
                 rng.next_bytes(kKeyboxKeyDataSize));
 }
 

@@ -21,6 +21,7 @@
 
 #include "support/bytes.hpp"
 #include "support/rng.hpp"
+#include "support/secret.hpp"
 
 namespace wideleak::widevine {
 
@@ -34,25 +35,30 @@ inline constexpr char kKeyboxMagic[5] = "kbox";
 class Keybox {
  public:
   Keybox() = default;
-  Keybox(Bytes stable_id, Bytes device_key, Bytes key_data);
+  Keybox(Bytes stable_id, SecretBytes device_key, Bytes key_data);
 
   const Bytes& stable_id() const { return stable_id_; }
-  const Bytes& device_key() const { return device_key_; }
+  /// The root-of-trust secret; comparisons on it are constant-time and raw
+  /// access requires an explicit reveal() at the call site.
+  const SecretBytes& device_key() const { return device_key_; }
   const Bytes& key_data() const { return key_data_; }
 
-  /// The 128-byte on-flash form (with magic and CRC).
+  /// The 128-byte on-flash form (with magic and CRC). Deliberately exposes
+  /// the device key in the clear: this *is* the CWE-922 artifact the
+  /// paper's memory scanner hunts for.
   Bytes serialize() const;
 
   /// Parse + validate a 128-byte blob. Returns nullopt when the magic or
   /// CRC does not check out (the scanner's candidate filter).
   static std::optional<Keybox> parse(BytesView raw);
 
+  /// Constant-time on the device-key field (SecretBytes::operator==).
   friend bool operator==(const Keybox&, const Keybox&) = default;
 
  private:
   Bytes stable_id_;
-  Bytes device_key_;
-  Bytes key_data_;
+  SecretBytes device_key_;
+  Bytes key_data_;  // wl-lint: raw-bytes-ok (server-opaque token, not key material)
 };
 
 /// Mint the keybox a manufacturer installs for a given device serial.

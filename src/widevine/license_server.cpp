@@ -19,12 +19,13 @@ LicenseServer::LicenseServer(std::shared_ptr<DeviceRootDatabase> roots, std::uin
 
 void LicenseServer::add_title(const media::PackagedTitle& title) {
   for (const media::ContentKey& key : title.keys) {
-    keys_[hex_encode(key.kid)] = StoredKey{key.key, required_level_for(key)};
+    keys_[hex_encode(key.kid)] =
+        StoredKey{SecretBytes::copy_of(key.key), required_level_for(key)};
   }
 }
 
-void LicenseServer::add_generic_key(const media::KeyId& kid, const Bytes& key) {
-  keys_[hex_encode(kid)] = StoredKey{key, SecurityLevel::L3};
+void LicenseServer::add_generic_key(const media::KeyId& kid, SecretBytes key) {
+  keys_[hex_encode(kid)] = StoredKey{std::move(key), SecurityLevel::L3};
 }
 
 LicenseResponse LicenseServer::handle(const LicenseRequest& request,
@@ -52,7 +53,10 @@ LicenseResponse LicenseServer::handle(const LicenseRequest& request,
       return response;
     }
     const auto supplied = crypto::RsaPublicKey::deserialize(request.device_rsa_public);
-    if (!(supplied == *registered)) {
+    // Constant-time over the serialized form: the comparison's early exit
+    // would otherwise leak how much of the registered key a forgery got
+    // right (the WL002 timing-oracle class).
+    if (!constant_time_equal(supplied.serialize(), registered->serialize())) {
       response.deny_reason = "device key mismatch";
       return response;
     }
@@ -61,8 +65,9 @@ LicenseResponse LicenseServer::handle(const LicenseRequest& request,
       return response;
     }
     // RSA path: mint a fresh session key and wrap it to the device.
-    const Bytes session_key = rng_.next_bytes(16);
-    response.session_key_wrapped = crypto::rsa_oaep_encrypt(supplied, rng_, session_key);
+    const SecretBytes session_key(rng_.next_bytes(16));
+    response.session_key_wrapped =
+        crypto::rsa_oaep_encrypt(supplied, rng_, session_key.reveal());
     keys = derive_session_keys(session_key, body, body);
   }
 
@@ -97,7 +102,7 @@ LicenseResponse LicenseServer::handle(const LicenseRequest& request,
     KeyContainer container;
     container.kid = kid;
     container.iv = rng_.next_bytes(16);
-    container.wrapped_key = crypto::aes_cbc_encrypt_nopad(enc, container.iv, stored.key);
+    container.wrapped_key = crypto::aes_cbc_encrypt_nopad(enc, container.iv, stored.key.reveal());
     container.min_level = stored.min_level;
     response.keys.push_back(std::move(container));
   }

@@ -45,7 +45,7 @@ class LicenseServer {
   void add_title(const media::PackagedTitle& title);
 
   /// Register a standalone key (e.g. an app's non-DASH secure-channel key).
-  void add_generic_key(const media::KeyId& kid, const Bytes& key);
+  void add_generic_key(const media::KeyId& kid, SecretBytes key);
 
   /// Serve one license request under the given service policy.
   LicenseResponse handle(const LicenseRequest& request, const RevocationPolicy& policy);
@@ -54,7 +54,7 @@ class LicenseServer {
 
  private:
   struct StoredKey {
-    Bytes key;
+    SecretBytes key;
     SecurityLevel min_level = SecurityLevel::L3;
   };
 

@@ -61,9 +61,10 @@ void OemCrypto::install_keybox(const Keybox& keybox) {
   } else {
     // Patched L3: only an XOR-masked copy is ever mapped; the magic bytes
     // are not present in the clear anywhere scannable.
-    keybox_mask_ = rng_.next_bytes(raw.size());
+    keybox_mask_ = SecretBytes(rng_.next_bytes(raw.size()));
     keybox_region_ = config_.host->memory().map_region(
-        std::string(kWvDrmEngineModule) + ":keybox_masked", xor_bytes(raw, keybox_mask_));
+        std::string(kWvDrmEngineModule) + ":keybox_masked",
+        xor_bytes(raw, keybox_mask_.reveal()));
   }
   emit("_oecc24_InstallKeybox", BytesView(), BytesView());
 }
@@ -80,7 +81,7 @@ Bytes OemCrypto::stable_id() const {
   return keybox_->stable_id();
 }
 
-const Bytes& OemCrypto::device_key() const {
+const SecretBytes& OemCrypto::device_key() const {
   if (!keybox_) throw StateError("OemCrypto: no keybox");
   return keybox_->device_key();
 }
@@ -184,9 +185,9 @@ OemCryptoResult OemCrypto::derive_keys_from_session_key(SessionId session,
   Session& s = session_for(session);
   if (!device_rsa_region_) return OemCryptoResult::NoDeviceRsaKey;
   const auto keys = crypto::RsaKeyPair::deserialize(key_store().read_region(*device_rsa_region_));
-  Bytes session_key;
+  SecretBytes session_key;
   try {
-    session_key = crypto::rsa_oaep_decrypt(keys, wrapped_session_key);
+    session_key = SecretBytes(crypto::rsa_oaep_decrypt(keys, wrapped_session_key));
   } catch (const CryptoError&) {
     return OemCryptoResult::SignatureFailure;
   }
@@ -215,19 +216,22 @@ OemCryptoResult OemCrypto::load_keys(SessionId session, BytesView response_body,
         config_.level != SecurityLevel::L1) {
       continue;
     }
-    Bytes content_key;
+    SecretBytes content_key;
     try {
-      content_key = crypto::aes_cbc_decrypt_nopad(enc, container.iv, container.wrapped_key);
+      content_key =
+          SecretBytes(crypto::aes_cbc_decrypt_nopad(enc, container.iv, container.wrapped_key));
     } catch (const Error&) {
       return OemCryptoResult::SignatureFailure;
     }
     const std::string kid_hex = hex_encode(container.kid);
     const auto existing = s.content_keys.find(kid_hex);
+    // The key store *is* scannable process/TEE memory — mapping the clear
+    // key there is the modelled behaviour.  wl-lint: reveal-ok
     if (existing != s.content_keys.end()) {
-      key_store().write_region(existing->second, content_key);
+      key_store().write_region(existing->second, content_key.reveal());
     } else {
       s.content_keys[kid_hex] = key_store().map_region(
-          std::string(module_name()) + ":content_key:" + kid_hex, content_key);
+          std::string(module_name()) + ":content_key:" + kid_hex, content_key.reveal());
     }
   }
   return OemCryptoResult::Success;
@@ -241,9 +245,9 @@ OemCryptoResult OemCrypto::select_key(SessionId session, const media::KeyId& kid
   return OemCryptoResult::Success;
 }
 
-Bytes OemCrypto::read_selected_key(const Session& session) const {
+SecretBytes OemCrypto::read_selected_key(const Session& session) const {
   const auto it = session.content_keys.find(hex_encode(*session.selected));
-  return key_store().read_region(it->second);
+  return SecretBytes(key_store().read_region(it->second));
 }
 
 OemCryptoResult OemCrypto::decrypt_cenc(SessionId session, BytesView iv, BytesView ciphertext,

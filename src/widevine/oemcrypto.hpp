@@ -69,7 +69,7 @@ class OemCrypto {
   void install_keybox(const Keybox& keybox);
   bool is_keybox_valid() const { return keybox_.has_value(); }
   /// The server-visible device identity (keybox stable id + key data).
-  Bytes get_key_data() const;
+  Bytes get_key_data() const;  // wl-lint: reveal-ok (server-opaque token, not key material)
   Bytes stable_id() const;
 
   // --- Sessions -----------------------------------------------------------
@@ -150,14 +150,14 @@ class OemCrypto {
   }
 
   Session& session_for(SessionId id);
-  const Bytes& device_key() const;
-  Bytes read_selected_key(const Session& session) const;
+  const SecretBytes& device_key() const;
+  SecretBytes read_selected_key(const Session& session) const;
 
   OemCryptoConfig config_;
   Rng rng_;
   std::optional<Keybox> keybox_;
   std::optional<hooking::RegionId> keybox_region_;  // raw or masked, by version
-  Bytes keybox_mask_;                               // patched CDMs only
+  SecretBytes keybox_mask_;                         // patched CDMs only
   std::optional<hooking::RegionId> device_rsa_region_;
   std::map<SessionId, Session> sessions_;
   SessionId next_session_ = 1;

@@ -16,7 +16,7 @@ SecurityLevel DeviceRootDatabase::certified_level_for(BytesView stable_id) const
   return it == certified_levels_.end() ? SecurityLevel::L3 : it->second;
 }
 
-std::optional<Bytes> DeviceRootDatabase::device_key_for(BytesView stable_id) const {
+std::optional<SecretBytes> DeviceRootDatabase::device_key_for(BytesView stable_id) const {
   const auto it = device_keys_.find(hex_encode(stable_id));
   if (it == device_keys_.end()) return std::nullopt;
   return it->second;

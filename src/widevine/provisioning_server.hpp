@@ -29,7 +29,7 @@ class DeviceRootDatabase {
                        SecurityLevel certified_level = SecurityLevel::L3);
 
   /// The device AES key for a stable id, if known.
-  std::optional<Bytes> device_key_for(BytesView stable_id) const;
+  std::optional<SecretBytes> device_key_for(BytesView stable_id) const;
 
   /// The level the device was certified for (L3 when unknown).
   SecurityLevel certified_level_for(BytesView stable_id) const;
@@ -41,7 +41,7 @@ class DeviceRootDatabase {
   std::size_t device_count() const { return device_keys_.size(); }
 
  private:
-  std::map<std::string, Bytes> device_keys_;               // hex(stable_id) -> AES key
+  std::map<std::string, SecretBytes> device_keys_;         // hex(stable_id) -> AES key
   std::map<std::string, SecurityLevel> certified_levels_;  // hex(stable_id) -> level
   std::map<std::string, crypto::RsaPublicKey> rsa_keys_;   // hex(stable_id) -> public key
 };

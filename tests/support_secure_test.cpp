@@ -1,0 +1,155 @@
+// SecretBytes / secure_wipe behaviour: zeroization on destruction, move
+// semantics that never leave key bytes behind, compile-time log hygiene,
+// and the constant_time_equal edge cases.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <ostream>
+#include <type_traits>
+#include <utility>
+
+#include "support/secret.hpp"
+
+namespace wideleak {
+namespace {
+
+// --- secure_wipe -----------------------------------------------------------
+
+TEST(SecureWipe, ZeroizesRawMemory) {
+  std::array<std::uint8_t, 16> buf{};
+  buf.fill(0xAB);
+  secure_wipe(buf.data(), buf.size());
+  for (std::uint8_t b : buf) EXPECT_EQ(b, 0x00);
+}
+
+TEST(SecureWipe, WipesAndClearsVector) {
+  Bytes buf(32, 0x5C);
+  const auto before = detail::secure_wipe_count();
+  secure_wipe(buf);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.capacity(), 0u);  // shrink_to_fit released the allocation
+  EXPECT_GT(detail::secure_wipe_count(), before);
+}
+
+TEST(SecureWipe, EmptyVectorDoesNotCountAsAWipe) {
+  Bytes empty;
+  const auto before = detail::secure_wipe_count();
+  secure_wipe(empty);
+  EXPECT_EQ(detail::secure_wipe_count(), before);
+}
+
+// --- zeroize-on-destruct ---------------------------------------------------
+
+TEST(SecretBytes, DestructorWipes) {
+  // Freed memory cannot be inspected directly (ASan would — correctly —
+  // abort), so observe the wipe through the instrumentation counter.
+  const auto before = detail::secure_wipe_count();
+  {
+    SecretBytes secret(Bytes(16, 0x42));
+    EXPECT_EQ(secret.size(), 16u);
+  }
+  EXPECT_GT(detail::secure_wipe_count(), before);
+}
+
+TEST(SecretBytes, ExplicitWipeEmpties) {
+  SecretBytes secret(Bytes(16, 0x42));
+  secret.wipe();
+  EXPECT_TRUE(secret.empty());
+  EXPECT_EQ(secret.size(), 0u);
+}
+
+// --- move semantics --------------------------------------------------------
+
+TEST(SecretBytes, MoveConstructionWipesSource) {
+  SecretBytes source(Bytes{1, 2, 3, 4});
+  SecretBytes dest(std::move(source));
+  EXPECT_TRUE(source.empty());  // NOLINT(bugprone-use-after-move): contract under test
+  ASSERT_EQ(dest.size(), 4u);
+  EXPECT_EQ(dest, SecretBytes(Bytes{1, 2, 3, 4}));
+}
+
+TEST(SecretBytes, MoveAssignmentWipesSourceAndOldTarget) {
+  SecretBytes source(Bytes{9, 9, 9});
+  SecretBytes dest(Bytes{1, 1, 1, 1});
+  const auto before = detail::secure_wipe_count();
+  dest = std::move(source);
+  EXPECT_TRUE(source.empty());  // NOLINT(bugprone-use-after-move): contract under test
+  EXPECT_EQ(dest.size(), 3u);
+  // The overwritten target's old contents were wiped. (The source's buffer
+  // is transferred, not abandoned, so the only copy to destroy was dest's.)
+  EXPECT_GE(detail::secure_wipe_count(), before + 1);
+}
+
+TEST(SecretBytes, CopyOfIsADeepCopy) {
+  Bytes original{7, 7, 7, 7};
+  const SecretBytes secret = SecretBytes::copy_of(original);
+  original[0] = 0;
+  EXPECT_EQ(secret, SecretBytes(Bytes{7, 7, 7, 7}));
+}
+
+TEST(SecretBytes, RevealExposesContents) {
+  const SecretBytes secret(Bytes{0xDE, 0xAD});
+  const BytesView view = secret.reveal();
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0], 0xDE);
+  EXPECT_EQ(view[1], 0xAD);
+  EXPECT_EQ(secret.reveal_copy(), Bytes({0xDE, 0xAD}));
+}
+
+// --- logging is a compile error --------------------------------------------
+
+template <typename T, typename = void>
+struct is_streamable : std::false_type {};
+template <typename T>
+struct is_streamable<
+    T, std::void_t<decltype(std::declval<std::ostream&>() << std::declval<const T&>())>>
+    : std::true_type {};
+
+static_assert(!is_streamable<SecretBytes>::value,
+              "SecretBytes must not be stream-insertable (WL001 by construction)");
+static_assert(is_streamable<int>::value, "trait sanity check");
+
+// --- constant_time_equal ---------------------------------------------------
+
+TEST(ConstantTimeEqual, EmptyBuffersAreEqual) {
+  EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+  EXPECT_TRUE(constant_time_equal(SecretBytes(), SecretBytes()));
+}
+
+TEST(ConstantTimeEqual, EmptyVsNonEmptyDiffers) {
+  EXPECT_FALSE(constant_time_equal(Bytes{}, Bytes{0x00}));
+  EXPECT_FALSE(constant_time_equal(Bytes{0x00}, Bytes{}));
+}
+
+TEST(ConstantTimeEqual, LengthMismatchDiffers) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 3, 4};
+  EXPECT_FALSE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(b, a));
+}
+
+TEST(ConstantTimeEqual, SingleBitDifferenceDetected) {
+  Bytes a(32, 0x55);
+  for (std::size_t byte = 0; byte < a.size(); byte += 7) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes b = a;
+      b[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(constant_time_equal(a, b)) << "byte " << byte << " bit " << bit;
+    }
+  }
+  EXPECT_TRUE(constant_time_equal(a, Bytes(32, 0x55)));
+}
+
+TEST(ConstantTimeEqual, SecretBytesOperatorsAreConstantTimeAndHeterogeneous) {
+  const SecretBytes secret(Bytes{1, 2, 3});
+  const Bytes same{1, 2, 3};
+  const Bytes different{1, 2, 4};
+  EXPECT_EQ(secret, SecretBytes::copy_of(same));
+  EXPECT_TRUE(secret == BytesView(same));
+  EXPECT_TRUE(BytesView(same) == secret);
+  EXPECT_FALSE(secret == BytesView(different));
+  EXPECT_NE(secret, SecretBytes::copy_of(different));
+}
+
+}  // namespace
+}  // namespace wideleak

@@ -81,11 +81,11 @@ TEST(Keybox, RandomBlobsNeverValidate) {
 
 TEST(Keybox, ConstructorRejectsBadFieldSizes) {
   Rng rng(10);
-  EXPECT_THROW(Keybox(rng.next_bytes(31), rng.next_bytes(16), rng.next_bytes(72)),
+  EXPECT_THROW(Keybox(rng.next_bytes(31), SecretBytes(rng.next_bytes(16)), rng.next_bytes(72)),
                std::invalid_argument);
-  EXPECT_THROW(Keybox(rng.next_bytes(32), rng.next_bytes(15), rng.next_bytes(72)),
+  EXPECT_THROW(Keybox(rng.next_bytes(32), SecretBytes(rng.next_bytes(15)), rng.next_bytes(72)),
                std::invalid_argument);
-  EXPECT_THROW(Keybox(rng.next_bytes(32), rng.next_bytes(16), rng.next_bytes(73)),
+  EXPECT_THROW(Keybox(rng.next_bytes(32), SecretBytes(rng.next_bytes(16)), rng.next_bytes(73)),
                std::invalid_argument);
 }
 

@@ -38,7 +38,7 @@ TEST(KeyLadder, AllThreeKeysDistinct) {
   const SessionKeys keys =
       derive_session_keys(rng.next_bytes(16), rng.next_bytes(40), rng.next_bytes(40));
   EXPECT_NE(keys.mac_key_server, keys.mac_key_client);
-  EXPECT_NE(Bytes(keys.mac_key_server.begin(), keys.mac_key_server.begin() + 16), keys.enc_key);
+  EXPECT_NE(SecretBytes::copy_of(keys.mac_key_server.reveal().subspan(0, 16)), keys.enc_key);
 }
 
 TEST(KeyLadder, RootKeySensitivity) {

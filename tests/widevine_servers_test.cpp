@@ -258,7 +258,7 @@ TEST_F(ServersTest, GenericKeyServedLikeContentKeys) {
   Rng rng(14);
   const media::KeyId kid = rng.next_bytes(16);
   const Bytes key = rng.next_bytes(16);
-  license_.add_generic_key(kid, key);
+  license_.add_generic_key(kid, SecretBytes(key));
 
   auto cdm = make_cdm(SecurityLevel::L1, kCurrentCdm);
   const auto session = cdm->open_session();

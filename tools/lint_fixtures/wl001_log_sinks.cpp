@@ -1,0 +1,26 @@
+// WL001 fixture: secret-named values must never reach a log/encode sink
+// (WL_LOG, hex_encode, base64_encode, to_string). This is the CWE-532
+// leak class: the WideLeak study found key material in debug output.
+//
+// Fixtures are lexed, not compiled — the types stand in for the real ones.
+#include <string>
+
+struct SessionKeys {
+  SecretBytes enc_key;
+  SecretBytes mac_key_client;
+};
+
+std::string wl001_bad(const SessionKeys& keys, const SecretBytes& device_key) {
+  WL_LOG(Info) << "session enc key = " << hex_encode(keys.enc_key);  // expect: WL001
+  WL_LOG(Debug) << "raw device key " << device_key.reveal();         // expect: WL001
+  const std::string dump = base64_encode(device_key.reveal());       // expect: WL001
+  return to_string(keys.mac_key_client);                             // expect: WL001
+}
+
+std::string wl001_good(const SessionKeys& keys, const KeyId& key_id) {
+  WL_LOG(Info) << "license for kid " << hex_encode(key_id);
+  WL_LOG(Info) << "derived " << keys.count() << " session keys";
+  // A reviewed dump site (debug tooling) must opt in explicitly:
+  WL_LOG(Trace) << hex_encode(keys.enc_key.reveal());  // wl-lint: log-ok
+  return to_string(key_id);
+}

@@ -1,0 +1,26 @@
+// WL002 fixture: authentication material (mac/signature/tag/digest) must be
+// compared with constant_time_equal, never ==/!=/memcmp/std::equal. A
+// variable-time compare returns at the first mismatching byte, handing a
+// remote caller a per-position oracle (CWE-208).
+#include <cstring>
+
+bool wl002_bad(const Bytes& mac, const Bytes& expected_mac, const Bytes& signature,
+               const Bytes& expected_sig, const Bytes& digest, const Bytes& other_digest,
+               const LicenseResponse& response, const Bytes& claimed_tag) {
+  if (mac == expected_mac) return true;                                           // expect: WL002
+  if (response.tag != claimed_tag) return false;                                  // expect: WL002
+  if (std::memcmp(signature.data(), expected_sig.data(), 32) == 0) return true;   // expect: WL002
+  return std::equal(digest.begin(), digest.end(), other_digest.begin());          // expect: WL002
+}
+
+bool wl002_good(const Bytes& mac, const Bytes& expected_mac, const HttpRequest& req) {
+  if (!constant_time_equal(mac, expected_mac)) return false;
+  const auto it = req.headers.find("authorization");
+  if (it == req.headers.end()) return false;
+  // Length is public information; only the contents need constant time.
+  if (mac.size() != expected_mac.size()) return false;
+  // Comparing enum state, not buffers:
+  if (req.status == Status::Denied) return false;
+  // A reviewed exception (e.g. test-only scaffolding) must opt in:
+  return mac == expected_mac;  // wl-lint: ct-ok
+}

@@ -1,0 +1,26 @@
+// WL003 fixture: inside the key-handling subtrees, owning `Bytes`
+// declarations named like key material must be wideleak::SecretBytes so the
+// buffer is wiped on destruction (CWE-922 — the CVE-2021-0639 class, where
+// a legacy CDM kept the 128-byte keybox in plainly scannable memory).
+#include <map>
+#include <string>
+
+struct DeviceState {
+  Bytes device_key;                          // expect: WL003
+  Bytes keybox_seed_;                        // expect: WL003
+  std::map<std::string, Bytes> app_secrets;  // expect: WL003
+  SecretBytes session_key;   // correct type
+  Bytes key_data;            // server-opaque token, not key material
+  Bytes wrapped_key;         // ciphertext, safe to hold raw
+  const Bytes& key_alias;    // a reference does not own the secret
+};
+
+void wl003_locals(Rng& rng) {
+  Bytes content_key = rng.next_bytes(16);  // expect: WL003
+  Bytes secret(32, 0x00);                  // expect: WL003
+  Bytes iv = rng.next_bytes(16);           // not key material
+  // Modelling the on-flash CVE artefact is a reviewed, explicit exception:
+  Bytes legacy_keybox = rng.next_bytes(128);  // wl-lint: raw-bytes-ok
+  SecretBytes device_key(rng.next_bytes(16));
+  consume(BytesView(device_key.reveal()));
+}

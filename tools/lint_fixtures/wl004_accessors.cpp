@@ -1,0 +1,19 @@
+// WL004 fixture: an accessor that hands out secret bytes by value creates an
+// unmanaged copy the class can no longer wipe (CWE-200). Such API edges must
+// either return `const SecretBytes&` / BytesView or carry an explicit
+// `// wl-lint: reveal-ok` review annotation.
+#include <cstddef>
+
+class KeyboxStore {
+ public:
+  Bytes device_key() const;                // expect: WL004
+  Bytes export_keybox(bool redact) const;  // expect: WL004
+  // Reviewed: flash-image serialization needs the raw root.  wl-lint: reveal-ok
+  Bytes root_key_material() const;
+  const Bytes& key_data() const;         // by-reference, server-opaque field
+  const SecretBytes& session_key() const;  // managed type is always fine
+  BytesView key_view() const;            // a view does not copy ownership out
+  std::size_t key_count() const;         // not a Bytes return
+ private:
+  SecretBytes device_key_;
+};

@@ -1,0 +1,627 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace wideleak::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenisation
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_ident = false;
+};
+
+struct LineNotes {
+  bool log_ok = false;        // wl-lint: log-ok
+  bool ct_ok = false;         // wl-lint: ct-ok
+  bool raw_bytes_ok = false;  // wl-lint: raw-bytes-ok
+  bool reveal_ok = false;     // wl-lint: reveal-ok
+};
+
+struct Scan {
+  std::vector<Token> tokens;
+  std::map<int, std::string> comments;  // line -> concatenated comment text
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Multi-character punctuators we must not split (the rules key on `==`,
+// `!=`, `::`, `->`, `<<`); longest match first.
+const char* kPuncts[] = {"<<=", ">>=", "<=>", "->*", "...", "==", "!=", "<=", ">=",
+                         "&&",  "||",  "::",  "->",  "<<",  ">>", "+=", "-=", "*=",
+                         "/=",  "%=",  "&=",  "|=",  "^=",  "++", "--"};
+
+/// One pass over the raw source: emits code tokens and collects comment text
+/// per line (comments are where suppressions and fixture expectations live).
+/// String and character literal contents are dropped entirely.
+Scan scan_source(const std::string& src) {
+  Scan out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto append_comment = [&](int at_line, char c) { out.comments[at_line].push_back(c); };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      i += 2;
+      while (i < n && src[i] != '\n') append_comment(line, src[i++]);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          ++line;
+        } else {
+          append_comment(line, src[i]);
+        }
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // String / char literals (handles escapes; raw strings handled crudely by
+    // the escape-free scan below — the codebase does not use raw strings).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      Token t;
+      t.text = (quote == '"') ? "\"\"" : "''";
+      t.line = line;
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    // Identifiers / keywords.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      Token t;
+      t.text = src.substr(i, j - i);
+      t.line = line;
+      t.is_ident = true;
+      out.tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Numbers (including hex; we only need them to not merge with idents).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' || src[j] == '\'')) ++j;
+      Token t;
+      t.text = src.substr(i, j - i);
+      t.line = line;
+      out.tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    std::size_t len = 1;
+    for (const char* p : kPuncts) {
+      const std::size_t pl = std::char_traits<char>::length(p);
+      if (src.compare(i, pl, p) == 0) {
+        len = pl;
+        break;
+      }
+    }
+    Token t;
+    t.text = src.substr(i, len);
+    t.line = line;
+    out.tokens.push_back(std::move(t));
+    i += len;
+  }
+  return out;
+}
+
+std::map<int, LineNotes> parse_notes(const std::map<int, std::string>& comments) {
+  std::map<int, LineNotes> notes;
+  for (const auto& [line, text] : comments) {
+    if (text.find("wl-lint:") == std::string::npos) continue;
+    LineNotes& ln = notes[line];
+    if (text.find("log-ok") != std::string::npos) ln.log_ok = true;
+    if (text.find("ct-ok") != std::string::npos) ln.ct_ok = true;
+    if (text.find("raw-bytes-ok") != std::string::npos) ln.raw_bytes_ok = true;
+    if (text.find("reveal-ok") != std::string::npos) ln.reveal_ok = true;
+  }
+  return notes;
+}
+
+// ---------------------------------------------------------------------------
+// Identifier classification
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> segments(const std::string& ident) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : ident) {
+    if (c == '_') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+const std::set<std::string> kSecretSegments = {"key", "keys", "keybox", "secret", "secrets"};
+
+// Segments that mark an identifier as *about* keys without *being* key
+// material: key ids, wrapped/encrypted forms, server-opaque fields,
+// registries, public halves, and derivation machinery.
+const std::set<std::string> kSecretExclusions = {
+    "id",    "ids",   "kid",    "kids",  "wrapped", "wrap",  "public", "request",
+    "response", "data", "count", "hex",  "token",   "tokens", "view",  "usage",
+    "store", "ladder", "policy", "info", "name",    "size",  "slot",   "slots"};
+
+bool is_secretish(const std::string& ident) {
+  bool secret = false;
+  for (const std::string& seg : segments(ident)) {
+    if (kSecretSegments.count(seg)) secret = true;
+    if (kSecretExclusions.count(seg)) return false;
+  }
+  return secret;
+}
+
+const std::set<std::string> kMacSegments = {"mac",  "macs", "signature", "signatures",
+                                            "sig",  "sigs", "tag",       "tags",
+                                            "digest", "digests", "hmac", "cmac"};
+
+bool is_macish(const std::string& ident) {
+  for (const std::string& seg : segments(ident)) {
+    if (kMacSegments.count(seg)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+// ---------------------------------------------------------------------------
+
+/// Index of the `)` matching the `(` at `open` (or tokens.size() if unmatched).
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")") {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+/// Terminal identifiers in [begin, end): for an access path `a.b->c(...)`
+/// only the final component counts, so `hex_encode(key.kid)` judges `kid`,
+/// not `key`, while `keys.enc_key` judges `enc_key`.
+std::vector<std::size_t> terminal_idents(const std::vector<Token>& toks, std::size_t begin,
+                                         std::size_t end) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!toks[i].is_ident) continue;
+    std::size_t next = i + 1;
+    if (next < end && toks[next].text == "(") {
+      const std::size_t close = match_paren(toks, next);
+      next = (close < end) ? close + 1 : end;
+    }
+    if (next < end && (toks[next].text == "." || toks[next].text == "->" ||
+                       toks[next].text == "::")) {
+      continue;  // a non-terminal path component (or a namespace qualifier)
+    }
+    out.push_back(i);
+  }
+  return out;
+}
+
+/// Identifiers relevant to a byte-wise comparison call (memcmp/std::equal):
+/// chain roots and terminals, but not middle components. `signature.data()`
+/// must judge `signature` — the buffer whose contents feed the compare —
+/// unlike the flow rules, where the terminal component wins.
+std::vector<std::size_t> comparison_idents(const std::vector<Token>& toks, std::size_t begin,
+                                           std::size_t end) {
+  static const std::set<std::string> kAccess = {".", "->", "::"};
+  std::vector<std::size_t> out;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!toks[i].is_ident) continue;
+    const bool prev_access = i > begin && kAccess.count(toks[i - 1].text) > 0;
+    std::size_t next = i + 1;
+    if (next < end && toks[next].text == "(") {
+      const std::size_t close = match_paren(toks, next);
+      next = (close < end) ? close + 1 : end;
+    }
+    const bool next_access = next < end && kAccess.count(toks[next].text) > 0;
+    if (prev_access && next_access) continue;  // middle of a chain
+    out.push_back(i);
+  }
+  return out;
+}
+
+/// Terminal idents of an `==`/`!=` operand. Nested paren groups (call
+/// arguments) are skipped — arguments are inputs to a computation, not the
+/// value being compared. Each terminal records whether it is a call.
+struct OperandIdent {
+  std::size_t index;
+  bool is_call;
+};
+
+std::vector<OperandIdent> operand_terminals(const std::vector<Token>& toks, std::size_t begin,
+                                            std::size_t end) {
+  std::vector<OperandIdent> out;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].text == "(") {  // skip call/grouping contents wholesale
+      const std::size_t close = match_paren(toks, i);
+      if (close >= end) break;
+      // Re-evaluate the preceding ident's terminality below via `next`.
+      i = close;
+      continue;
+    }
+    if (!toks[i].is_ident) continue;
+    std::size_t next = i + 1;
+    bool is_call = false;
+    if (next < end && toks[next].text == "(") {
+      is_call = true;
+      const std::size_t close = match_paren(toks, next);
+      next = (close < end) ? close + 1 : end;
+    }
+    if (next < end && (toks[next].text == "." || toks[next].text == "->" ||
+                       toks[next].text == "::")) {
+      continue;
+    }
+    out.push_back({i, is_call});
+  }
+  return out;
+}
+
+bool all_caps_constant(const std::string& s) {
+  bool has_alpha = false;
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+/// An operand that can only ever be a length, position, sentinel, literal or
+/// enum-style constant: comparing *anything* against it is not a
+/// content-compare of two secret buffers.
+bool operand_is_benign(const std::vector<Token>& toks,
+                       const std::vector<OperandIdent>& terminals) {
+  static const std::set<std::string> kBenign = {"size",   "length", "empty", "count",
+                                                "begin",  "end",    "cbegin", "cend",
+                                                "rbegin", "rend",   "npos",  "true",
+                                                "false",  "nullptr"};
+  for (const OperandIdent& t : terminals) {
+    const std::string& name = toks[t.index].text;
+    if (!kBenign.count(name) && !all_caps_constant(name)) return false;
+  }
+  return true;  // no idents at all (pure literals) is benign too
+}
+
+bool stop_token(const std::string& t) {
+  static const std::set<std::string> kStops = {";", "{", "}", ",", "&&", "||", "return",
+                                               "=",  "?",  ":", "<<", ">>"};
+  return kStops.count(t) > 0;
+}
+
+/// Operand span to the left of the operator at `op` (exclusive): walks back
+/// over balanced parens until a stop token or an unbalanced `(`.
+std::size_t operand_begin(const std::vector<Token>& toks, std::size_t op) {
+  std::size_t i = op;
+  while (i > 0) {
+    const std::string& t = toks[i - 1].text;
+    if (t == ")") {  // skip back over the balanced group
+      int depth = 0;
+      std::size_t j = i - 1;
+      while (true) {
+        if (toks[j].text == ")") ++depth;
+        if (toks[j].text == "(") {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (j == 0) break;
+        --j;
+      }
+      i = j;
+      continue;
+    }
+    if (t == "(" || stop_token(t)) break;
+    --i;
+  }
+  return i;
+}
+
+/// Operand span to the right of the operator at `op` (exclusive of `op`).
+std::size_t operand_end(const std::vector<Token>& toks, std::size_t op) {
+  std::size_t i = op + 1;
+  while (i < toks.size()) {
+    const std::string& t = toks[i].text;
+    if (t == "(") {
+      i = match_paren(toks, i);
+      if (i >= toks.size()) return toks.size();
+      ++i;
+      continue;
+    }
+    if (t == ")" || stop_token(t)) break;
+    ++i;
+  }
+  return i;
+}
+
+bool scoped_for_wl003(const std::string& path) {
+  return path.find("src/crypto") != std::string::npos ||
+         path.find("src/widevine") != std::string::npos ||
+         path.find("src/ott/custom_drm") != std::string::npos;
+}
+
+// Tokens inside a parameter list that mark it as a function declaration
+// rather than a constructor-call argument list.
+bool looks_like_param_list(const std::vector<Token>& toks, std::size_t open,
+                           std::size_t close) {
+  if (close == open + 1) return true;  // `()` — no-arg accessor
+  static const std::set<std::string> kTypeish = {
+      "const",  "BytesView", "Bytes",  "SecretBytes", "std",    "string", "size_t",
+      "uint8_t", "uint16_t", "uint32_t", "uint64_t",  "int",    "bool",   "char",
+      "auto",   "void",      "double", "float",       "KeyId",  "&",      "*"};
+  for (std::size_t i = open + 1; i < close; ++i) {
+    if (kTypeish.count(toks[i].text)) return true;
+  }
+  return false;
+}
+
+struct Linter {
+  const std::string& path;
+  const std::vector<Token>& toks;
+  const std::map<int, LineNotes>& notes;
+  const Options& options;
+  std::vector<Violation> violations;
+
+  bool suppressed(int line, bool LineNotes::*flag) const {
+    for (int l : {line, line - 1}) {
+      auto it = notes.find(l);
+      if (it != notes.end() && it->second.*flag) return true;
+    }
+    return false;
+  }
+
+  void flag(int line, const char* rule, std::string message) {
+    violations.push_back({path, line, rule, std::move(message)});
+  }
+
+  // -- WL001: secrets flowing into log/encode sinks -------------------------
+  void check_wl001() {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].is_ident) continue;
+      const std::string& name = toks[i].text;
+      const bool call_sink =
+          (name == "hex_encode" || name == "base64_encode" || name == "to_string") &&
+          i + 1 < toks.size() && toks[i + 1].text == "(" &&
+          (i == 0 || (toks[i - 1].text != "." && toks[i - 1].text != "->"));
+      const bool log_sink = name == "WL_LOG";
+      if (!call_sink && !log_sink) continue;
+
+      std::size_t begin, end;
+      if (call_sink) {
+        begin = i + 2;
+        end = match_paren(toks, i + 1);
+      } else {
+        // Whole statement: WL_LOG(...) << a << b << ...;
+        begin = i + 1;
+        end = begin;
+        int depth = 0;
+        while (end < toks.size()) {
+          if (toks[end].text == "(") ++depth;
+          if (toks[end].text == ")") --depth;
+          if (toks[end].text == ";" && depth <= 0) break;
+          ++end;
+        }
+      }
+      for (std::size_t t : terminal_idents(toks, begin, end)) {
+        const std::string& arg = toks[t].text;
+        if (!is_secretish(arg) && arg != "reveal" && arg != "reveal_copy") continue;
+        if (suppressed(toks[t].line, &LineNotes::log_ok) ||
+            suppressed(toks[i].line, &LineNotes::log_ok)) {
+          continue;
+        }
+        flag(toks[t].line, "WL001",
+             "secret '" + arg + "' flows into " + (log_sink ? "WL_LOG" : name) +
+                 " (CWE-532: key material in log/encode output)");
+      }
+    }
+  }
+
+  // -- WL002: variable-time comparison of authentication material -----------
+  void check_operand_pair(std::size_t op, const std::string& what) {
+    const std::size_t lbegin = operand_begin(toks, op);
+    const std::size_t rend = operand_end(toks, op);
+    const std::vector<OperandIdent> lhs = operand_terminals(toks, lbegin, op);
+    const std::vector<OperandIdent> rhs = operand_terminals(toks, op + 1, rend);
+    // Comparisons against lengths, iterators, sentinels, literals or enum
+    // constants compare *state*, not buffer contents.
+    if (operand_is_benign(toks, lhs) || operand_is_benign(toks, rhs)) return;
+    std::vector<OperandIdent> ids = lhs;
+    ids.insert(ids.end(), rhs.begin(), rhs.end());
+    for (const OperandIdent& t : ids) {
+      // A call result has no stable name to judge; the named buffer on the
+      // other side (if any) carries the signal.
+      if (t.is_call) continue;
+      if (!is_macish(toks[t.index].text) && !is_secretish(toks[t.index].text)) continue;
+      if (suppressed(toks[op].line, &LineNotes::ct_ok)) continue;
+      flag(toks[op].line, "WL002",
+           what + " compares '" + toks[t.index].text +
+               "' in variable time; use constant_time_equal (CWE-208)");
+      return;  // one finding per comparison
+    }
+  }
+
+  void check_wl002() {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const std::string& t = toks[i].text;
+      if ((t == "==" || t == "!=") && i > 0 && toks[i - 1].text != "operator") {
+        check_operand_pair(i, "operator" + t);
+        continue;
+      }
+      if (!toks[i].is_ident) continue;
+      const bool is_memcmp = t == "memcmp";
+      const bool is_std_equal = t == "equal" && i >= 2 && toks[i - 1].text == "::" &&
+                                toks[i - 2].text == "std";
+      if ((is_memcmp || is_std_equal) && i + 1 < toks.size() && toks[i + 1].text == "(") {
+        const std::size_t close = match_paren(toks, i + 1);
+        for (std::size_t id : comparison_idents(toks, i + 2, close)) {
+          if (!is_macish(toks[id].text) && !is_secretish(toks[id].text)) continue;
+          if (suppressed(toks[i].line, &LineNotes::ct_ok)) break;
+          flag(toks[i].line, "WL002",
+               std::string(is_memcmp ? "memcmp" : "std::equal") + " over '" +
+                   toks[id].text + "' is variable time; use constant_time_equal (CWE-208)");
+          break;
+        }
+      }
+    }
+  }
+
+  // -- WL003 / WL004: raw Bytes declarations and by-value secret returns ----
+  void check_decls() {
+    const bool scoped = options.assume_scoped || scoped_for_wl003(path);
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].is_ident || toks[i].text != "Bytes") continue;
+      // Walk to the declared name, noting whether we crossed a ref/pointer
+      // (references do not own the secret — the owning declaration is the
+      // one that gets flagged).
+      std::size_t j = i + 1;
+      bool by_ref = false;
+      while (j < toks.size()) {
+        const std::string& t = toks[j].text;
+        if (t == "&" || t == "&&" || t == "*") {
+          by_ref = true;
+          ++j;
+        } else if (t == ">" || t == ">>" || t == "const") {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      if (j >= toks.size() || !toks[j].is_ident) continue;
+      // `Bytes Keybox::serialize()` — the ident after the return type is a
+      // class qualifier, not a declared name.
+      if (j + 1 < toks.size() && toks[j + 1].text == "::") continue;
+      const std::string& name = toks[j].text;
+      if (!is_secretish(name)) continue;
+
+      const bool is_call = j + 1 < toks.size() && toks[j + 1].text == "(";
+      if (is_call) {
+        const std::size_t close = match_paren(toks, j + 1);
+        if (looks_like_param_list(toks, j + 1, close)) {
+          // Function declaration returning Bytes (or a Bytes-bearing value).
+          if (by_ref) continue;  // by-reference accessors are WL003's problem
+          if (suppressed(toks[j].line, &LineNotes::reveal_ok)) continue;
+          flag(toks[j].line, "WL004",
+               "'" + name +
+                   "' returns secret bytes by value without a '// wl-lint: "
+                   "reveal-ok' annotation (CWE-200)");
+          continue;
+        }
+        // else: a constructor-style variable declaration — falls through.
+      }
+      if (!scoped || by_ref) continue;
+      if (suppressed(toks[j].line, &LineNotes::raw_bytes_ok)) continue;
+      flag(toks[j].line, "WL003",
+           "raw Bytes declaration '" + name +
+               "' holds key material; use wideleak::SecretBytes (CWE-922)");
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Violation> lint_source(const std::string& path, const std::string& source,
+                                   const Options& options) {
+  const Scan scan = scan_source(source);
+  const std::map<int, LineNotes> notes = parse_notes(scan.comments);
+  Linter linter{path, scan.tokens, notes, options, {}};
+  linter.check_wl001();
+  linter.check_wl002();
+  linter.check_decls();
+  std::sort(linter.violations.begin(), linter.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+            });
+  // One report per (line, rule): overlapping detectors (a sink inside a
+  // WL_LOG statement, a memcmp inside an ==) should not double-count.
+  linter.violations.erase(
+      std::unique(linter.violations.begin(), linter.violations.end(),
+                  [](const Violation& a, const Violation& b) {
+                    return a.file == b.file && a.line == b.line && a.rule == b.rule;
+                  }),
+      linter.violations.end());
+  return linter.violations;
+}
+
+std::vector<Violation> lint_file(const std::string& path, const Options& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("wideleak-lint: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(path, buf.str(), options);
+}
+
+std::vector<Expectation> collect_expectations(const std::string& source) {
+  const Scan scan = scan_source(source);
+  std::vector<Expectation> out;
+  for (const auto& [line, text] : scan.comments) {
+    const std::size_t pos = text.find("expect:");
+    if (pos == std::string::npos) continue;
+    Expectation e;
+    e.line = line;
+    std::string rest = text.substr(pos + 7);
+    std::string cur;
+    for (char c : rest + ",") {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        cur.push_back(c);
+      } else if (!cur.empty()) {
+        if (cur.rfind("WL", 0) == 0) out.push_back({e.line, {}}), out.back().rules.push_back(cur);
+        cur.clear();
+      }
+    }
+  }
+  // Merge rules that share a line.
+  std::map<int, std::vector<std::string>> merged;
+  for (const Expectation& e : out) {
+    for (const std::string& r : e.rules) merged[e.line].push_back(r);
+  }
+  std::vector<Expectation> result;
+  for (auto& [line, rules] : merged) {
+    std::sort(rules.begin(), rules.end());
+    result.push_back({line, std::move(rules)});
+  }
+  return result;
+}
+
+}  // namespace wideleak::lint

@@ -1,0 +1,66 @@
+// wideleak-lint: the repo's key-material hygiene analyzer.
+//
+// A deliberately small, LLVM-free static analysis pass: lexical scanning
+// plus lightweight declaration parsing, tuned to this codebase's idioms.
+// It enforces the secret-handling discipline the WideLeak paper shows real
+// CDMs lacking (CWE-922 / CVE-2021-0639, timing oracles on MAC checks):
+//
+//   WL001  secret-named values (or SecretBytes::reveal()) flowing into a
+//          log/encode sink: WL_LOG, hex_encode, base64_encode, to_string.
+//          (CWE-532: key material in log output.)
+//   WL002  ==, !=, memcmp or std::equal comparing buffers named like
+//          mac/signature/tag/digest instead of constant_time_equal.
+//          (CWE-208: observable timing discrepancy.)
+//   WL003  owning `Bytes` declarations named like key/keybox/secret inside
+//          the key-handling subtrees (src/crypto, src/widevine,
+//          src/ott/custom_drm) — must be wideleak::SecretBytes.
+//          (CWE-922 / CWE-316: secret in cleartext-on-teardown memory.)
+//   WL004  raw `Bytes` returned by value from a secret-named accessor
+//          without an explicit `// wl-lint: reveal-ok` annotation.
+//          (CWE-200: uncontrolled secret exposure across an API edge.)
+//
+// Suppressions, written as ordinary comments on the flagged line or the
+// line above:
+//   // wl-lint: log-ok        (WL001)
+//   // wl-lint: ct-ok         (WL002)
+//   // wl-lint: raw-bytes-ok  (WL003)
+//   // wl-lint: reveal-ok     (WL004)
+//
+// Fixture self-test: every line carrying `// expect: WLxxx[,WLyyy]` must be
+// flagged with exactly those rules, and no unmarked line may be flagged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wideleak::lint {
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;     // "WL001".."WL004"
+  std::string message;  // human-readable finding
+};
+
+struct Options {
+  // Treat every file as if it lived in a WL003-scoped directory (used by
+  // the fixture self-test, whose files live under tools/lint_fixtures).
+  bool assume_scoped = false;
+};
+
+/// Lint one translation unit. `path` is used for diagnostics and for the
+/// WL003 scope decision; `source` is the file's full contents.
+std::vector<Violation> lint_source(const std::string& path, const std::string& source,
+                                   const Options& options = {});
+
+/// Lint a file from disk.
+std::vector<Violation> lint_file(const std::string& path, const Options& options = {});
+
+/// Expectation markers (`// expect: WL001,WL003`) harvested from a fixture.
+struct Expectation {
+  int line = 0;
+  std::vector<std::string> rules;
+};
+std::vector<Expectation> collect_expectations(const std::string& source);
+
+}  // namespace wideleak::lint

@@ -1,0 +1,165 @@
+// wideleak-lint CLI.
+//
+//   wideleak-lint <paths...>              lint files/dirs, exit 1 on findings
+//   wideleak-lint --self-test <fixtures>  validate the rule corpus: every
+//                                         `// expect: WLxxx` marker must fire
+//                                         with exactly those rules, no
+//                                         unmarked line may fire, and all
+//                                         four rules must be exercised.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using namespace wideleak::lint;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  static const std::set<std::string> kExts = {".hpp", ".cpp", ".h", ".cc", ".hh", ".cxx"};
+  return kExts.count(p.extension().string()) > 0;
+}
+
+std::vector<std::string> gather(const std::vector<std::string>& roots) {
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    const fs::path p(root);
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(p.generic_string());
+    } else {
+      std::cerr << "wideleak-lint: no such path: " << root << "\n";
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int run_lint(const std::vector<std::string>& files) {
+  std::size_t findings = 0;
+  for (const std::string& file : files) {
+    for (const Violation& v : lint_file(file)) {
+      std::cerr << v.file << ":" << v.line << ": " << v.rule << ": " << v.message << "\n";
+      ++findings;
+    }
+  }
+  if (findings > 0) {
+    std::cerr << "wideleak-lint: " << findings << " violation(s) in " << files.size()
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "wideleak-lint: clean (" << files.size() << " files)\n";
+  return 0;
+}
+
+int run_self_test(const std::vector<std::string>& files) {
+  Options options;
+  options.assume_scoped = true;  // fixtures stand in for WL003-scoped dirs
+
+  std::size_t failures = 0;
+  std::set<std::string> rules_seen;
+  for (const std::string& file : files) {
+    const std::string source = read_file(file);
+    // line -> sorted rule list, from the linter and from the markers.
+    std::map<int, std::vector<std::string>> got;
+    for (const Violation& v : lint_source(file, source, options)) {
+      got[v.line].push_back(v.rule);
+    }
+    for (auto& [line, rules] : got) {
+      std::sort(rules.begin(), rules.end());
+      rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+    }
+    std::map<int, std::vector<std::string>> want;
+    for (const Expectation& e : collect_expectations(source)) {
+      want[e.line] = e.rules;
+      for (const std::string& r : e.rules) rules_seen.insert(r);
+    }
+
+    for (const auto& [line, rules] : want) {
+      auto it = got.find(line);
+      if (it == got.end() || it->second != rules) {
+        std::cerr << "self-test FAIL " << file << ":" << line << ": expected ";
+        for (const std::string& r : rules) std::cerr << r << " ";
+        std::cerr << "but linter reported ";
+        if (it == got.end()) {
+          std::cerr << "nothing";
+        } else {
+          for (const std::string& r : it->second) std::cerr << r << " ";
+        }
+        std::cerr << "\n";
+        ++failures;
+      }
+    }
+    for (const auto& [line, rules] : got) {
+      if (!want.count(line)) {
+        std::cerr << "self-test FAIL " << file << ":" << line << ": unexpected ";
+        for (const std::string& r : rules) std::cerr << r << " ";
+        std::cerr << "(no `// expect:` marker)\n";
+        ++failures;
+      }
+    }
+  }
+
+  for (const char* rule : {"WL001", "WL002", "WL003", "WL004"}) {
+    if (!rules_seen.count(rule)) {
+      std::cerr << "self-test FAIL: fixture corpus never exercises " << rule << "\n";
+      ++failures;
+    }
+  }
+
+  if (failures > 0) {
+    std::cerr << "wideleak-lint self-test: " << failures << " failure(s)\n";
+    return 1;
+  }
+  std::cout << "wideleak-lint self-test: all expectations matched (" << files.size()
+            << " fixtures)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool self_test = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: wideleak-lint [--self-test] <files-or-dirs...>\n";
+      return 0;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "wideleak-lint: no input paths (try --help)\n";
+    return 2;
+  }
+  const std::vector<std::string> files = gather(roots);
+  if (files.empty()) {
+    std::cerr << "wideleak-lint: no lintable files under the given paths\n";
+    return 2;
+  }
+  return self_test ? run_self_test(files) : run_lint(files);
+}
