@@ -1,0 +1,68 @@
+// Experiment C1: the parallel audit campaign — the "easily automated" claim
+// (§IV-B/§IV-D) at ecosystem scale.
+//
+// Runs the full study matrix (10 apps × 3 device profiles, Q1–Q4 + keybox
+// recovery + rip per cell) on a work-stealing pool, sweeping worker counts
+// 1 → hardware_concurrency (or argv[1]), and checks two things:
+//   - throughput: wall time and speedup per worker count;
+//   - determinism: the per-cell report AND the aggregated Table I must be
+//     bit-identical at every worker count (exit code 1 otherwise).
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wideleak;
+
+  std::size_t max_workers = std::thread::hardware_concurrency();
+  if (argc > 1) max_workers = std::strtoull(argv[1], nullptr, 10);
+  if (max_workers == 0) max_workers = 1;
+
+  // Power-of-two ladder up to (and always including) max_workers.
+  std::vector<std::size_t> ladder;
+  for (std::size_t w = 1; w < max_workers; w *= 2) ladder.push_back(w);
+  ladder.push_back(max_workers);
+
+  std::cout << "CAMPAIGN BENCH: full study matrix, worker sweep 1.." << max_workers
+            << " (hardware_concurrency=" << std::thread::hardware_concurrency() << ")\n\n";
+
+  int rc = 0;
+  std::string baseline_report;
+  std::string baseline_table;
+  double baseline_ms = 0.0;
+
+  for (const std::size_t workers : ladder) {
+    core::CampaignSpec spec;
+    spec.workers = workers;
+    core::CampaignRunner runner(std::move(spec));
+    const core::CampaignResult result = runner.run();
+
+    const std::string report = core::render_campaign_report(result);
+    const std::string table = core::render_table_one(core::campaign_to_audits(result));
+
+    if (workers == ladder.front()) {
+      baseline_report = report;
+      baseline_table = table;
+      baseline_ms = result.stats.wall_ms;
+      std::cout << report << "\n" << table << "\n";
+      std::cout << "workers  wall ms   speedup  reports\n";
+    }
+    const bool identical = report == baseline_report && table == baseline_table;
+    if (!identical) rc = 1;
+    std::cout.setf(std::ios::fixed);
+    std::cout.precision(0);
+    std::cout << workers << "\t " << result.stats.wall_ms << "\t   ";
+    std::cout.precision(2);
+    std::cout << (baseline_ms / std::max(result.stats.wall_ms, 1.0)) << "x    "
+              << (identical ? "bit-identical" : "MISMATCH") << "\n";
+    std::cout.unsetf(std::ios::fixed);
+    std::cout << "  " << core::render_campaign_stats(result);
+  }
+
+  std::cout << "\n[bench] determinism across the sweep: " << (rc == 0 ? "OK" : "FAILED")
+            << "\n";
+  return rc;
+}

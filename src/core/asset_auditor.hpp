@@ -34,6 +34,11 @@ struct AssetProtectionReport {
   bool clear_audio_plays_without_account = false;
 };
 
+/// The Q2 measurement client (§IV-C): an analyst machine, not an app.
+/// Input: a HarvestedManifest (asset URIs + CDN host). Output: the
+/// AssetProtectionReport feeding Table I's three protection columns.
+/// Thread safety: instance-scoped — holds its own TLS client; downloads
+/// read the (borrowed) network, so keep it on the owning cell's thread.
 class AssetAuditor {
  public:
   /// `trust` is the analyst machine's CA set (no pinning, no app).

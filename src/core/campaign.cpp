@@ -1,0 +1,378 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "core/keybox_recovery.hpp"
+#include "core/network_monitor.hpp"
+#include "ott/catalog.hpp"
+#include "ott/playback.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::core {
+
+std::string to_string(DeviceClass device_class) {
+  switch (device_class) {
+    case DeviceClass::ModernL1: return "modern-l1";
+    case DeviceClass::ModernL3: return "modern-l3";
+    case DeviceClass::LegacyNexus5: return "legacy-nexus5";
+  }
+  return "?";
+}
+
+std::vector<CampaignDeviceProfile> study_device_profiles() {
+  return {
+      {.name = "modern-l1", .device_class = DeviceClass::ModernL1, .cdm_override = {}},
+      {.name = "modern-l3", .device_class = DeviceClass::ModernL3, .cdm_override = {}},
+      {.name = "legacy-nexus5", .device_class = DeviceClass::LegacyNexus5, .cdm_override = {}},
+  };
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+std::string to_string(const widevine::CdmVersion& version) {
+  return std::to_string(version.major) + "." + std::to_string(version.minor);
+}
+
+widevine::CdmVersion default_cdm_for(DeviceClass device_class) {
+  return device_class == DeviceClass::LegacyNexus5 ? widevine::kLegacyCdm
+                                                   : widevine::kCurrentCdm;
+}
+
+android::DeviceSpec device_spec_for(const CampaignDeviceProfile& profile, std::uint64_t seed) {
+  android::DeviceSpec spec;
+  switch (profile.device_class) {
+    case DeviceClass::ModernL1: spec = android::modern_l1_spec(seed); break;
+    case DeviceClass::ModernL3: spec = android::modern_l3_only_spec(seed); break;
+    case DeviceClass::LegacyNexus5: spec = android::legacy_nexus5_spec(seed); break;
+  }
+  if (profile.cdm_override) spec.cdm_version = *profile.cdm_override;
+  return spec;
+}
+
+/// The label a cell's seed is derived from: everything identifying the cell,
+/// nothing identifying the schedule.
+std::string cell_label(const ott::OttAppProfile& app, const CampaignDeviceProfile& profile) {
+  std::string label = app.name;
+  label += '|';
+  label += profile.name;
+  label += '|';
+  label += to_string(profile.cdm_override ? *profile.cdm_override
+                                          : default_cdm_for(profile.device_class));
+  return label;
+}
+
+/// One cell, end to end, against a private ecosystem. This is the whole
+/// WideLeak pipeline of report.cpp compressed to a single device vantage.
+CellResult run_cell(const ott::OttAppProfile& app_profile,
+                    const CampaignDeviceProfile& device_profile, std::uint64_t cell_seed,
+                    bool attempt_rip) {
+  const auto t0 = Clock::now();
+
+  CellResult cell;
+  cell.app = app_profile;
+  cell.profile_name = device_profile.name;
+  cell.device_class = device_profile.device_class;
+
+  // The cell's private world: nothing in here outlives the cell or is
+  // visible to any other worker.
+  ott::EcosystemConfig config;
+  config.seed = cell_seed;
+  ott::StreamingEcosystem ecosystem(config);
+  ecosystem.install_app(app_profile);
+  auto device = ecosystem.make_device(
+      device_spec_for(device_profile, derive_stream_seed(cell_seed, "device")));
+  cell.cdm = device->spec().cdm_version;
+
+  // --- Instrumented playback: Q1 usage, Q2/Q3 audits off the harvest.
+  {
+    DrmApiMonitor drm_monitor(*device);
+    NetworkMonitor net_monitor(ecosystem.network(), ecosystem.fork_rng());
+    ott::OttApp app(app_profile, ecosystem, *device);
+    net_monitor.attach(app);
+    const ott::PlaybackOutcome outcome = app.play_title();
+
+    cell.usage = drm_monitor.usage_report();
+    cell.custom_drm_used =
+        outcome.used_custom_drm && outcome.played && !cell.usage.widevine_used;
+    cell.playback = classify_playback(outcome);
+
+    const HarvestedManifest manifest = net_monitor.harvest_manifest(&drm_monitor);
+    if (manifest.mpd) {
+      net::TrustStore analyst_trust;
+      analyst_trust.add(ecosystem.root_ca());
+      AssetAuditor auditor(ecosystem.network(), std::move(analyst_trust),
+                           ecosystem.fork_rng());
+      cell.assets = auditor.audit(manifest);
+      cell.key_usage = audit_key_usage(manifest, cell.assets);
+    }
+
+    cell.stats.calls_hooked = drm_monitor.trace().size();
+    for (const hooking::CallRecord* record :
+         drm_monitor.trace().by_function("_oecc22_DecryptCENC")) {
+      cell.stats.bytes_decrypted += record->input.size();
+    }
+    cell.stats.pin_bypasses = net_monitor.pin_bypasses();
+  }
+
+  // --- Keybox recovery (CVE-2021-0639) from this cell's vantage: succeeds
+  // exactly on CDMs with insecure keybox storage outside a TEE.
+  cell.keybox_recovered = recover_keybox(*device).success();
+
+  // --- The §IV-D rip. Runs (and fails honestly) on every profile; only the
+  // legacy rows are expected to yield media.
+  if (attempt_rip) {
+    ContentRipper ripper(ecosystem, *device);
+    RipResult rip = ripper.rip_app(app_profile);
+    cell.rip_success = rip.success;
+    cell.content_keys_recovered = rip.content_keys_recovered;
+    cell.rip_resolution = rip.best_video_resolution;
+    cell.stats.bytes_ripped = rip.drm_free_media.size();
+  }
+
+  const widevine::LicenseServerStats& license = ecosystem.license_server().stats();
+  cell.stats.licenses_granted = license.granted;
+  cell.stats.licenses_denied = license.denied;
+  cell.stats.keys_issued = license.keys_issued;
+  cell.stats.keys_withheld = license.keys_withheld;
+  const widevine::ProvisioningServerStats& provisioning =
+      ecosystem.provisioning_server().stats();
+  cell.stats.provisionings_granted = provisioning.granted;
+  cell.stats.provisionings_denied = provisioning.denied;
+
+  cell.stats.wall_ms = ms_since(t0);
+  return cell;
+}
+
+/// One worker's end of the scheduler: a mutex-backed deque. The owner pops
+/// LIFO from the back (cache-warm), thieves steal FIFO from the front
+/// (oldest, largest-granularity work) — the classic work-stealing shape.
+/// The mutex is fine here: cells run hundreds of milliseconds, queue ops
+/// run nanoseconds, so the lock is never on the hot path.
+class WorkQueue {
+ public:
+  void push(std::size_t index) { items_.push_back(index); }  // pre-start only
+
+  std::optional<std::size_t> pop_back() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    const std::size_t index = items_.back();
+    items_.pop_back();
+    return index;
+  }
+
+  std::optional<std::size_t> steal_front() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    const std::size_t index = items_.front();
+    items_.pop_front();
+    return index;
+  }
+
+ private:
+  std::deque<std::size_t> items_;
+  std::mutex mutex_;
+};
+
+void accumulate(CellStats& total, const CellStats& cell) {
+  total.wall_ms += cell.wall_ms;
+  total.calls_hooked += cell.calls_hooked;
+  total.bytes_decrypted += cell.bytes_decrypted;
+  total.bytes_ripped += cell.bytes_ripped;
+  total.pin_bypasses += cell.pin_bypasses;
+  total.licenses_granted += cell.licenses_granted;
+  total.licenses_denied += cell.licenses_denied;
+  total.keys_issued += cell.keys_issued;
+  total.keys_withheld += cell.keys_withheld;
+  total.provisionings_granted += cell.provisionings_granted;
+  total.provisionings_denied += cell.provisionings_denied;
+}
+
+std::string pad(const std::string& s, std::size_t width) {
+  std::string out = s;
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {
+  if (spec_.apps.empty()) spec_.apps = ott::study_catalog();
+  if (spec_.profiles.empty()) spec_.profiles = study_device_profiles();
+  if (spec_.workers == 0) spec_.workers = 1;
+}
+
+std::size_t CampaignRunner::cell_count() const {
+  return spec_.apps.size() * spec_.profiles.size();
+}
+
+CampaignResult CampaignRunner::run() {
+  const auto t0 = Clock::now();
+
+  // The matrix in app-major order; a cell's position (and seed) never
+  // depends on the schedule, so the result vector is directly comparable
+  // across worker counts.
+  struct PlannedCell {
+    const ott::OttAppProfile* app;
+    const CampaignDeviceProfile* profile;
+    std::uint64_t seed;
+  };
+  std::vector<PlannedCell> planned;
+  planned.reserve(cell_count());
+  for (const ott::OttAppProfile& app : spec_.apps) {
+    for (const CampaignDeviceProfile& profile : spec_.profiles) {
+      planned.push_back(
+          {&app, &profile, derive_stream_seed(spec_.seed, cell_label(app, profile))});
+    }
+  }
+
+  CampaignResult result;
+  result.spec = spec_;
+  result.cells.resize(planned.size());
+
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(spec_.workers, planned.size()));
+  result.stats.workers = workers;
+  result.stats.cells = planned.size();
+  result.stats.cells_per_worker.assign(workers, 0);
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      result.cells[i] =
+          run_cell(*planned[i].app, *planned[i].profile, planned[i].seed, spec_.attempt_rip);
+    }
+    result.stats.cells_per_worker[0] = planned.size();
+  } else {
+    // Stripe the matrix over per-worker deques so neighbours start far
+    // apart, then let the pool rebalance by stealing.
+    std::vector<WorkQueue> queues(workers);
+    for (std::size_t i = 0; i < planned.size(); ++i) queues[i % workers].push(i);
+
+    std::vector<std::size_t> steals_per_worker(workers, 0);
+    auto worker_main = [&](std::size_t me) {
+      for (;;) {
+        std::optional<std::size_t> index = queues[me].pop_back();
+        if (!index) {
+          for (std::size_t offset = 1; offset < workers && !index; ++offset) {
+            index = queues[(me + offset) % workers].steal_front();
+          }
+          if (!index) return;  // every queue drained: no work is ever re-queued
+          ++steals_per_worker[me];
+        }
+        const PlannedCell& cell = planned[*index];
+        // Each worker writes only its own pre-sized slots — no result lock.
+        result.cells[*index] =
+            run_cell(*cell.app, *cell.profile, cell.seed, spec_.attempt_rip);
+        ++result.stats.cells_per_worker[me];
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_main, w);
+    for (std::thread& thread : pool) thread.join();
+
+    for (const std::size_t steals : steals_per_worker) result.stats.steals += steals;
+  }
+
+  for (const CellResult& cell : result.cells) accumulate(result.stats.totals, cell.stats);
+  result.stats.wall_ms = ms_since(t0);
+  return result;
+}
+
+std::vector<AppAudit> campaign_to_audits(const CampaignResult& result) {
+  std::vector<AppAudit> audits;
+  audits.reserve(result.spec.apps.size());
+  for (const ott::OttAppProfile& app : result.spec.apps) {
+    // The canonical cell for a class runs that class's stock CDM.
+    auto canonical_cell = [&](DeviceClass device_class) -> const CellResult& {
+      for (const CellResult& cell : result.cells) {
+        if (cell.app.name == app.name && cell.device_class == device_class &&
+            cell.cdm == default_cdm_for(device_class)) {
+          return cell;
+        }
+      }
+      throw StateError("campaign: no canonical " + to_string(device_class) +
+                       " cell for app " + app.name);
+    };
+    const CellResult& l1 = canonical_cell(DeviceClass::ModernL1);
+    const CellResult& l3 = canonical_cell(DeviceClass::ModernL3);
+    const CellResult& legacy = canonical_cell(DeviceClass::LegacyNexus5);
+
+    AppAudit audit;
+    audit.profile = app;
+    audit.usage_l1 = l1.usage;
+    audit.assets = l1.assets;       // the study harvests from the L1 vantage
+    audit.key_usage = l1.key_usage;
+    audit.usage_l3 = l3.usage;
+    audit.custom_drm_on_l3 = l3.custom_drm_used;
+    audit.legacy = legacy.playback;
+    audits.push_back(std::move(audit));
+  }
+  return audits;
+}
+
+std::string render_campaign_report(const CampaignResult& result) {
+  std::ostringstream out;
+  out << "CAMPAIGN REPORT: " << result.spec.apps.size() << " apps x "
+      << result.spec.profiles.size() << " profiles = " << result.cells.size()
+      << " cells (seed " << std::hex << result.spec.seed << std::dec << ")\n";
+  out << pad("OTT", 20) << pad("Profile", 15) << pad("CDM", 6) << pad("Widevine", 10)
+      << pad("Video", 11) << pad("Audio", 11) << pad("Key Usage", 13) << pad("Keybox", 8)
+      << pad("Keys", 6) << pad("Rip", 9) << "Playback\n";
+  out << std::string(130, '-') << "\n";
+  for (const CellResult& cell : result.cells) {
+    std::string widevine_cell = "no";
+    if (cell.usage.widevine_used && cell.usage.observed_level) {
+      widevine_cell = widevine::to_string(*cell.usage.observed_level);
+    } else if (cell.custom_drm_used) {
+      widevine_cell = "custom";
+    }
+    out << pad(cell.app.name, 20) << pad(cell.profile_name, 15)
+        << pad(to_string(cell.cdm), 6) << pad(widevine_cell, 10)
+        << pad(to_string(cell.assets.video), 11) << pad(to_string(cell.assets.audio), 11)
+        << pad(to_string(cell.key_usage.verdict), 13)
+        << pad(cell.keybox_recovered ? "leaked" : "safe", 8)
+        // A key *count*, not key material. wl-lint: log-ok
+        << pad(std::to_string(cell.content_keys_recovered), 6)
+        << pad(cell.rip_success ? cell.rip_resolution.label() : "-", 9)
+        << to_string(cell.playback.verdict) << "\n";
+  }
+  out << std::string(130, '-') << "\n";
+  return out.str();
+}
+
+std::string render_campaign_stats(const CampaignResult& result) {
+  std::ostringstream out;
+  const CellStats& totals = result.stats.totals;
+  out << "CAMPAIGN STATS: " << result.stats.cells << " cells on " << result.stats.workers
+      << " worker(s): " << result.stats.wall_ms << " ms wall, " << totals.wall_ms
+      << " ms of cell work (speedup " << (totals.wall_ms / std::max(1.0, result.stats.wall_ms))
+      << "x)\n";
+  out << "  hooked calls " << totals.calls_hooked << ", bytes decrypted "
+      << totals.bytes_decrypted << ", bytes ripped " << totals.bytes_ripped
+      << ", pin bypasses " << totals.pin_bypasses << "\n";
+  out << "  licenses " << totals.licenses_granted << " granted / " << totals.licenses_denied
+      << " denied, keys " << totals.keys_issued << " issued / " << totals.keys_withheld
+      << " withheld (HD-to-L3), provisioning " << totals.provisionings_granted
+      << " granted / " << totals.provisionings_denied << " denied\n";
+  out << "  schedule: ";
+  for (std::size_t w = 0; w < result.stats.cells_per_worker.size(); ++w) {
+    out << (w == 0 ? "" : ", ") << "w" << w << "=" << result.stats.cells_per_worker[w];
+  }
+  out << " cells; " << result.stats.steals << " steals\n";
+  return out.str();
+}
+
+}  // namespace wideleak::core

@@ -1,0 +1,151 @@
+// core::CampaignRunner — the fleet-scale harness behind the paper's "easily
+// automated" claim (§IV-B, §IV-D): fan the full WideLeak pipeline (Q1–Q4
+// audits, keybox recovery, content rip) out over an
+// `apps × device-profiles × CDM-versions` matrix on a work-stealing thread
+// pool, and aggregate the per-cell measurements back into Table I.
+//
+// Ownership model (the contract every layer below honours, see
+// docs/ARCHITECTURE.md):
+//   - each matrix cell gets a *private* ott::StreamingEcosystem — network
+//     registry, CA, license/provisioning servers, device, hook bus and RNG
+//     streams are all constructed inside the cell and die with it;
+//   - the worker executing a cell is the only thread that ever touches that
+//     ecosystem, so the pipeline runs lock-free end to end;
+//   - the only cross-thread traffic is the work queue (coarse, mutex-backed,
+//     off the hot path) and each worker writing its own pre-sized result
+//     slots.
+//
+// Determinism: a cell's seed is derive_stream_seed(campaign seed, cell
+// label) — a pure function of *what* the cell is, never of *when* or *where*
+// it runs. Reports are therefore bit-identical at every worker count
+// (asserted by core_campaign_test and bench_campaign).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace wideleak::core {
+
+/// Which of the study's device archetypes a campaign cell runs on (§IV-A).
+enum class DeviceClass {
+  ModernL1,      // TEE phone, current CDM — the paper's primary vantage
+  ModernL3,      // TEE-less but current CDM — triggers Amazon's custom DRM
+  LegacyNexus5,  // discontinued Nexus 5: Android 6.0.1, CDM 3.1.0 (Q4/§IV-D)
+};
+
+std::string to_string(DeviceClass device_class);
+
+/// One row of the device axis: an archetype plus an optional CDM override
+/// (the third matrix dimension — e.g. a legacy CDM on modern hardware to
+/// isolate CWE-922 from the device profile).
+struct CampaignDeviceProfile {
+  std::string name;  // unique within the campaign; part of the cell label
+  DeviceClass device_class = DeviceClass::ModernL1;
+  std::optional<widevine::CdmVersion> cdm_override;
+};
+
+/// The three canonical study profiles (no CDM overrides), in Table I order
+/// of use: modern L1, modern L3-only, legacy Nexus 5.
+std::vector<CampaignDeviceProfile> study_device_profiles();
+
+/// Full campaign description. Defaults reproduce the paper's study matrix.
+struct CampaignSpec {
+  std::vector<ott::OttAppProfile> apps;            // empty -> study_catalog()
+  std::vector<CampaignDeviceProfile> profiles;     // empty -> study_device_profiles()
+  std::uint64_t seed = 0x57494445;                 // "WIDE"
+  std::size_t workers = 1;                         // 1 = run inline, no threads
+  bool attempt_rip = true;  // run keybox recovery + §IV-D rip in every cell
+};
+
+/// Per-cell measurements that feed the campaign stats sink. `wall_ms` is the
+/// only scheduling-dependent field and is excluded from the deterministic
+/// report (it appears in render_campaign_stats instead).
+struct CellStats {
+  double wall_ms = 0.0;
+  std::size_t calls_hooked = 0;      // CDM trace records on the audit pass
+  std::size_t bytes_decrypted = 0;   // ciphertext through _oecc22_DecryptCENC
+  std::size_t bytes_ripped = 0;      // DRM-free output recovered by the rip
+  std::size_t pin_bypasses = 0;      // repinning-hook interventions
+  std::size_t licenses_granted = 0;  // cell license server grant count
+  std::size_t licenses_denied = 0;
+  std::size_t keys_issued = 0;
+  std::size_t keys_withheld = 0;     // HD keys refused to sub-L1 clients
+  std::size_t provisionings_granted = 0;
+  std::size_t provisionings_denied = 0;
+};
+
+/// Everything measured for one (app, device profile, CDM version) cell.
+struct CellResult {
+  ott::OttAppProfile app;            // the audited app's full profile
+  std::string profile_name;          // CampaignDeviceProfile::name
+  DeviceClass device_class = DeviceClass::ModernL1;
+  widevine::CdmVersion cdm;          // the version that actually ran
+
+  WidevineUsageReport usage;         // Q1 on this cell's device
+  bool custom_drm_used = false;      // played via embedded DRM, no Widevine
+  AssetProtectionReport assets;      // Q2 (empty when no manifest harvested)
+  KeyUsageReport key_usage;          // Q3
+  LegacyProbeReport playback;        // playback verdict (Q4 on the legacy row)
+
+  bool keybox_recovered = false;     // CVE-2021-0639 scan on this cell
+  bool rip_success = false;          // §IV-D end-to-end rip
+  std::size_t content_keys_recovered = 0;
+  media::Resolution rip_resolution;  // best quality of the ripped media
+
+  CellStats stats;
+};
+
+/// Pool-level accounting for one run.
+struct CampaignStats {
+  double wall_ms = 0.0;              // whole campaign, including pool setup
+  std::size_t workers = 0;
+  std::size_t cells = 0;
+  std::size_t steals = 0;            // cells executed off a foreign queue
+  std::vector<std::size_t> cells_per_worker;
+  CellStats totals;                  // summed over all cells (wall_ms = sum)
+};
+
+struct CampaignResult {
+  CampaignSpec spec;                 // the (defaults-resolved) matrix that ran
+  std::vector<CellResult> cells;     // app-major matrix order, scheduling-independent
+  CampaignStats stats;
+};
+
+/// The campaign harness. Thread safety: run() may be called repeatedly but
+/// not concurrently on one instance; distinct instances are fully
+/// independent (nothing below them is shared, see the ownership model above).
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignSpec spec);
+
+  /// Execute the matrix on `spec.workers` workers and return all cells in
+  /// matrix order plus the stats sink contents.
+  CampaignResult run();
+
+  /// The resolved matrix size (after defaulting empty axes).
+  std::size_t cell_count() const;
+
+ private:
+  CampaignSpec spec_;
+};
+
+/// Merge a campaign run over the three canonical study profiles back into
+/// per-app audits (the shape render_table_one consumes). Requires every app
+/// to have one cell per canonical DeviceClass without CDM override; throws
+/// StateError otherwise.
+std::vector<AppAudit> campaign_to_audits(const CampaignResult& result);
+
+/// Deterministic per-cell report: one line per cell, no timings. Campaigns
+/// with equal specs render byte-identically at any worker count — this is
+/// the string the determinism test and bench diff.
+std::string render_campaign_report(const CampaignResult& result);
+
+/// Scheduling-dependent side of the stats sink: wall times, speedup-relevant
+/// totals, per-worker cell counts and steal count. Never diffed.
+std::string render_campaign_stats(const CampaignResult& result);
+
+}  // namespace wideleak::core

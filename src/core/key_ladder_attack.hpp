@@ -22,6 +22,11 @@ namespace wideleak::core {
 /// Recovered kid -> 16-byte content key.
 using RecoveredKeys = std::map<std::string, Bytes>;
 
+/// The §IV-D ladder walk, clean-room. Input: a recovered keybox plus
+/// request/response buffers from the hook trace. Output: the Device RSA
+/// key and kid→content-key map (never HD — the server withheld those).
+/// Thread safety: owns all its state (keybox copy, recovered RSA key);
+/// one instance per attacking thread, no sharing, no locks needed.
 class KeyLadderAttack {
  public:
   explicit KeyLadderAttack(widevine::Keybox keybox) : keybox_(std::move(keybox)) {}

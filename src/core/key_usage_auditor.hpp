@@ -34,7 +34,10 @@ struct KeyUsageReport {
   std::size_t video_representations = 0;
 };
 
-/// Pure analysis over the harvested manifest + the Q2 download evidence.
+/// Pure analysis over the harvested manifest + the Q2 download evidence
+/// (§IV-C Q3). Input: the MPD key-id metadata and the protection report.
+/// Output: the KeyUsageReport behind Table I's "Key Usage" column.
+/// Thread safety: pure function of its arguments.
 KeyUsageReport audit_key_usage(const HarvestedManifest& manifest,
                                const AssetProtectionReport& assets);
 

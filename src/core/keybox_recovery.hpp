@@ -33,10 +33,15 @@ struct KeyboxRecoveryResult {
   bool success() const { return keybox.has_value(); }
 };
 
-/// Scan one process memory map for keyboxes.
+/// Scan one process memory map for keyboxes (§IV-D / CVE-2021-0639).
+/// Input: a snapshot of the mapped regions. Output: the recovered keybox
+/// (if any) plus scan statistics for the A1 ablation.
+/// Thread safety: read-only over the given memory; safe as long as the
+/// owning cell's thread is the only mutator.
 KeyboxRecoveryResult scan_for_keybox(const hooking::ProcessMemory& memory);
 
 /// Convenience: scan the device's DRM-hosting process (requires root).
+/// Thread safety: same contract as scan_for_keybox.
 KeyboxRecoveryResult recover_keybox(const android::Device& device);
 
 }  // namespace wideleak::core

@@ -14,14 +14,8 @@ std::string to_string(LegacyPlaybackVerdict verdict) {
   return "?";
 }
 
-LegacyProbeReport probe_legacy_playback(const ott::OttAppProfile& profile,
-                                        ott::StreamingEcosystem& ecosystem,
-                                        android::Device& legacy_device) {
+LegacyProbeReport classify_playback(const ott::PlaybackOutcome& outcome) {
   LegacyProbeReport report;
-
-  DrmApiMonitor monitor(legacy_device);
-  ott::OttApp app(profile, ecosystem, legacy_device);
-  const ott::PlaybackOutcome outcome = app.play_title();
 
   if (outcome.used_custom_drm && outcome.played) {
     report.verdict = LegacyPlaybackVerdict::PlaysViaCustomDrm;
@@ -44,6 +38,14 @@ LegacyProbeReport probe_legacy_playback(const ott::OttAppProfile& profile,
   }
   report.detail = !outcome.license_ok ? outcome.license_error : outcome.failure;
   return report;
+}
+
+LegacyProbeReport probe_legacy_playback(const ott::OttAppProfile& profile,
+                                        ott::StreamingEcosystem& ecosystem,
+                                        android::Device& legacy_device) {
+  DrmApiMonitor monitor(legacy_device);
+  ott::OttApp app(profile, ecosystem, legacy_device);
+  return classify_playback(app.play_title());
 }
 
 }  // namespace wideleak::core

@@ -28,7 +28,15 @@ struct LegacyProbeReport {
   bool hd_denied = false;             // license withheld HD keys
 };
 
-/// Run the probe for one app on the provided legacy device.
+/// Pure classification of one observed playback into the Table I verdict.
+/// Although named for the Q4 column, the mapping applies to any device
+/// profile — the campaign runner uses it to label every matrix cell.
+/// Thread safety: pure function of its argument.
+LegacyProbeReport classify_playback(const ott::PlaybackOutcome& outcome);
+
+/// Run the probe for one app on the provided legacy device: attach the DRM
+/// monitor, drive one playback, classify. Thread safety: mutates the device
+/// and ecosystem; both must be owned by the calling thread.
 LegacyProbeReport probe_legacy_playback(const ott::OttAppProfile& profile,
                                         ott::StreamingEcosystem& ecosystem,
                                         android::Device& legacy_device);

@@ -26,6 +26,13 @@ struct WidevineUsageReport {
   std::size_t media_drm_calls = 0;
 };
 
+/// The paper's Frida vantage (§IV-B), one instance per observed device.
+/// Input: the device's DRM-hosting process (hook bus subscription).
+/// Output: the raw call trace, the Q1 WidevineUsageReport, and dumped
+/// argument/result buffers per hooked function.
+/// Thread safety: instance-scoped — borrows the device and must stay on
+/// the thread that owns it; distinct monitors on distinct devices are
+/// fully independent (campaign cells rely on this).
 class DrmApiMonitor {
  public:
   /// Attach to the device's DRM-hosting process (requires root, which the

@@ -29,6 +29,12 @@ struct HarvestedManifest {
   std::vector<std::string> opaque_subtitle_tokens;
 };
 
+/// The Burp + repinning-bypass vantage (§IV-B "Content Protection").
+/// Input: the ecosystem's network (MITM registration) and the apps it is
+/// attached to. Output: captured plaintext flows, the pin-bypass count,
+/// and the HarvestedManifest for Q2/Q3.
+/// Thread safety: instance-scoped — borrows the network and must stay on
+/// the thread that owns the enclosing ecosystem.
 class NetworkMonitor {
  public:
   explicit NetworkMonitor(net::Network& network, Rng rng);

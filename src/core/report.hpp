@@ -31,6 +31,12 @@ struct AppAudit {
   LegacyProbeReport legacy;
 };
 
+/// The serial study driver (§IV-B/§IV-C): audits each app on the three
+/// paper devices inside ONE shared ecosystem. Input: an ecosystem with
+/// the catalog installed. Output: per-app AppAudit bundles for Table I.
+/// Thread safety: single-threaded — it mutates its ecosystem throughout;
+/// for parallel matrices use core::CampaignRunner (campaign.hpp), which
+/// reproduces this study's results with per-cell private ecosystems.
 class WideleakStudy {
  public:
   /// Creates the three study devices (modern L1, modern L3-only, legacy
@@ -54,9 +60,11 @@ class WideleakStudy {
 };
 
 /// Render Table I ("Widevine usage and asset protections by OTTs").
+/// Thread safety: pure function of its argument.
 std::string render_table_one(const std::vector<AppAudit>& audits);
 
 /// Render the §IV-D practical-impact summary.
+/// Thread safety: pure function of its argument.
 std::string render_rip_summary(const std::vector<RipResult>& results);
 
 }  // namespace wideleak::core

@@ -48,6 +48,12 @@ struct RipResult {
   Bytes drm_free_media;
 };
 
+/// The §IV-D end-to-end PoC driver. Input: an ecosystem with installed
+/// apps and a rooted legacy device. Output: one RipResult per app,
+/// including the reconstructed DRM-free bytes.
+/// Thread safety: instance-scoped — borrows (and mutates, via playbacks)
+/// the ecosystem and device, so it must run on the thread that owns them;
+/// campaign cells each construct their own ripper over a private world.
 class ContentRipper {
  public:
   /// The ripper owns the attacker vantage: a rooted legacy device and the

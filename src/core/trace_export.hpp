@@ -2,6 +2,9 @@
 // paper's Frida script dumping its interception log for offline analysis.
 // Plain JSON, no external dependencies; buffers are hex-encoded and
 // truncated at a configurable cap so traces stay tractable.
+//
+// Thread safety: everything here is a pure function of its arguments —
+// callable from any campaign worker on its own cell's data.
 #pragma once
 
 #include <string>

@@ -1,12 +1,15 @@
 #include "support/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace wideleak {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_sink_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -22,12 +25,13 @@ const char* level_tag(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
   std::cerr << "[" << level_tag(level) << "] " << message << "\n";
 }
 

@@ -1,5 +1,11 @@
 // Minimal leveled logger. Quiet by default so tests and benches stay clean;
 // examples flip the level to Info to narrate the playback / attack flow.
+//
+// Thread safety: the logger is the one process-wide facility in the tree
+// (everything else is instance-scoped — see docs/ARCHITECTURE.md). The level
+// is an atomic, so campaign workers can check it wait-free on the hot path,
+// and emission serializes on an internal mutex so concurrent lines never
+// interleave mid-line.
 #pragma once
 
 #include <sstream>
@@ -9,11 +15,13 @@ namespace wideleak {
 
 enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
 
-/// Global minimum level; messages below it are dropped.
+/// Global minimum level; messages below it are dropped. Safe to call from
+/// any thread, though usually set once before workers start.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Emit one line to stderr with a level tag. Prefer the WL_LOG macro.
+/// Serialized internally; safe to call concurrently.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

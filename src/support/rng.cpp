@@ -57,4 +57,15 @@ Bytes Rng::next_bytes(std::size_t n) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+std::uint64_t derive_stream_seed(std::uint64_t base, std::string_view label) {
+  // FNV-1a over the label, offset by the base seed...
+  std::uint64_t h = 14695981039346656037ull ^ base;
+  for (const char c : label) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  // ...then one splitmix64 round so near-identical labels land far apart.
+  return splitmix64(h);
+}
+
 }  // namespace wideleak

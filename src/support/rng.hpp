@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "support/bytes.hpp"
 
@@ -34,5 +35,15 @@ class Rng {
  private:
   std::uint64_t s_[4];
 };
+
+/// Label-derived substream seed: mixes `label` into `base` (FNV-1a over the
+/// label bytes, then a splitmix64 finalization round).
+///
+/// Unlike Rng::fork(), the result depends only on (base, label) — not on how
+/// many values were drawn before, or in which order other substreams were
+/// derived. The campaign runner uses this to give every matrix cell a seed
+/// that is identical no matter which worker picks the cell up or when, which
+/// is what makes parallel campaigns bit-identical to serial ones.
+std::uint64_t derive_stream_seed(std::uint64_t base, std::string_view label);
 
 }  // namespace wideleak

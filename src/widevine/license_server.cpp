@@ -30,6 +30,15 @@ void LicenseServer::add_generic_key(const media::KeyId& kid, SecretBytes key) {
 
 LicenseResponse LicenseServer::handle(const LicenseRequest& request,
                                       const RevocationPolicy& policy) {
+  ++stats_.requests;
+  LicenseResponse response = handle_inner(request, policy);
+  ++(response.granted ? stats_.granted : stats_.denied);
+  stats_.keys_issued += response.keys.size();
+  return response;
+}
+
+LicenseResponse LicenseServer::handle_inner(const LicenseRequest& request,
+                                            const RevocationPolicy& policy) {
   LicenseResponse response;
   const Bytes body = request.body();
 
@@ -97,6 +106,7 @@ LicenseResponse LicenseServer::handle(const LicenseRequest& request,
     if (stored.min_level == SecurityLevel::L1 &&
         effective_level != SecurityLevel::L1) {
       // HD-class key, sub-HD client: withhold, exactly as observed.
+      ++stats_.keys_withheld;
       continue;
     }
     KeyContainer container;

@@ -30,6 +30,18 @@ SecurityLevel required_level_for(const media::ContentKey& key);
 /// forge requests gets HD keys on an L3 device.
 enum class LevelVerification { Strict, TrustClient };
 
+/// Instance-scoped request counters, read by the campaign stats sink after a
+/// cell completes. Plain integers on purpose: each server belongs to exactly
+/// one ecosystem instance, and an ecosystem is driven by one worker at a
+/// time, so no synchronization is needed (see docs/ARCHITECTURE.md).
+struct LicenseServerStats {
+  std::size_t requests = 0;
+  std::size_t granted = 0;
+  std::size_t denied = 0;
+  std::size_t keys_issued = 0;    // key containers actually wrapped & sent
+  std::size_t keys_withheld = 0;  // keys refused on security level (no HD to L3)
+};
+
 class LicenseServer {
  public:
   LicenseServer(std::shared_ptr<DeviceRootDatabase> roots, std::uint64_t seed);
@@ -52,17 +64,23 @@ class LicenseServer {
 
   std::size_t key_count() const { return keys_.size(); }
 
+  /// Cumulative grant/deny/key counters since construction.
+  const LicenseServerStats& stats() const { return stats_; }
+
  private:
   struct StoredKey {
     SecretBytes key;
     SecurityLevel min_level = SecurityLevel::L3;
   };
 
+  LicenseResponse handle_inner(const LicenseRequest& request, const RevocationPolicy& policy);
+
   std::shared_ptr<DeviceRootDatabase> roots_;
   Rng rng_;
   LevelVerification level_verification_ = LevelVerification::Strict;
   std::uint64_t license_duration_ = 0;
   std::map<std::string, StoredKey> keys_;  // hex(kid) -> key
+  LicenseServerStats stats_;
 };
 
 }  // namespace wideleak::widevine

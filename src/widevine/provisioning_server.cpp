@@ -39,6 +39,13 @@ ProvisioningServer::ProvisioningServer(std::shared_ptr<DeviceRootDatabase> roots
     : roots_(std::move(roots)), rng_(seed), rsa_bits_(rsa_bits) {}
 
 ProvisioningResponse ProvisioningServer::handle(const ProvisioningRequest& request) {
+  ++stats_.requests;
+  ProvisioningResponse response = handle_inner(request);
+  ++(response.granted ? stats_.granted : stats_.denied);
+  return response;
+}
+
+ProvisioningResponse ProvisioningServer::handle_inner(const ProvisioningRequest& request) {
   ProvisioningResponse response;
 
   const auto device_key = roots_->device_key_for(request.client.stable_id);

@@ -46,6 +46,14 @@ class DeviceRootDatabase {
   std::map<std::string, crypto::RsaPublicKey> rsa_keys_;   // hex(stable_id) -> public key
 };
 
+/// Instance-scoped request counters (see LicenseServerStats for the
+/// synchronization rationale: one server per ecosystem, one driver at a time).
+struct ProvisioningServerStats {
+  std::size_t requests = 0;
+  std::size_t granted = 0;
+  std::size_t denied = 0;  // unknown device / bad signature / replay / revoked
+};
+
 class ProvisioningServer {
  public:
   ProvisioningServer(std::shared_ptr<DeviceRootDatabase> roots, std::uint64_t seed,
@@ -56,13 +64,19 @@ class ProvisioningServer {
 
   ProvisioningResponse handle(const ProvisioningRequest& request);
 
+  /// Cumulative grant/deny counters since construction.
+  const ProvisioningServerStats& stats() const { return stats_; }
+
  private:
+  ProvisioningResponse handle_inner(const ProvisioningRequest& request);
+
   std::shared_ptr<DeviceRootDatabase> roots_;
   Rng rng_;
   std::size_t rsa_bits_;
   RevocationPolicy policy_ = permissive_revocation_policy();
   std::map<std::string, crypto::RsaKeyPair> issued_;  // cache per device
   std::set<std::string> seen_nonces_;                 // anti-replay: hex(id||nonce)
+  ProvisioningServerStats stats_;
 };
 
 }  // namespace wideleak::widevine

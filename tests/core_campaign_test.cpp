@@ -1,0 +1,140 @@
+// core::CampaignRunner — determinism under parallelism, matrix accounting,
+// the CDM-override axis, and Table I parity with the serial WideleakStudy.
+//
+// The first two tests deliberately run multi-worker matrices so the CI tsan
+// job exercises the work-stealing pool's happens-before edges.
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "ott/catalog.hpp"
+#include "ott/ecosystem.hpp"
+#include "widevine/protocol.hpp"
+
+namespace wideleak::core {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kUnderTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kUnderTsan = true;
+#else
+constexpr bool kUnderTsan = false;
+#endif
+#else
+constexpr bool kUnderTsan = false;
+#endif
+
+// A representative catalog slice: the secure-channel pioneer (Netflix), the
+// custom-DRM fallback (Amazon), a revocation enforcer (Disney+) and a
+// plain-vanilla service (Showtime). Full 3-profile device axis. Under tsan
+// (5-15x slowdown) the slice shrinks to two apps — the pool's concurrency is
+// what matters there, not catalog coverage.
+CampaignSpec small_spec(std::size_t workers) {
+  CampaignSpec spec;
+  std::vector<const char*> names = {"Netflix", "Amazon Prime Video"};
+  if (!kUnderTsan) {
+    names.push_back("Disney+");
+    names.push_back("Showtime");
+  }
+  for (const char* name : names) {
+    const auto app = ott::find_app(name);
+    EXPECT_TRUE(app.has_value()) << name;
+    spec.apps.push_back(*app);
+  }
+  spec.workers = workers;
+  return spec;
+}
+
+TEST(CampaignTest, ReportsAreBitIdenticalAcrossWorkerCounts) {
+  CampaignResult serial = CampaignRunner(small_spec(1)).run();
+  CampaignResult parallel = CampaignRunner(small_spec(4)).run();
+
+  EXPECT_EQ(render_campaign_report(serial), render_campaign_report(parallel));
+  EXPECT_EQ(render_table_one(campaign_to_audits(serial)),
+            render_table_one(campaign_to_audits(parallel)));
+
+  // Cell-level: every schedule-independent stat must match exactly, not just
+  // the rendered summary.
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const CellStats& a = serial.cells[i].stats;
+    const CellStats& b = parallel.cells[i].stats;
+    EXPECT_EQ(a.calls_hooked, b.calls_hooked) << i;
+    EXPECT_EQ(a.bytes_decrypted, b.bytes_decrypted) << i;
+    EXPECT_EQ(a.bytes_ripped, b.bytes_ripped) << i;
+    EXPECT_EQ(a.licenses_granted, b.licenses_granted) << i;
+    EXPECT_EQ(a.licenses_denied, b.licenses_denied) << i;
+    EXPECT_EQ(a.keys_issued, b.keys_issued) << i;
+    EXPECT_EQ(a.keys_withheld, b.keys_withheld) << i;
+    EXPECT_EQ(serial.cells[i].content_keys_recovered,
+              parallel.cells[i].content_keys_recovered)
+        << i;
+  }
+}
+
+TEST(CampaignTest, MatrixShapeAndSchedulingAccounting) {
+  const CampaignSpec spec = small_spec(3);
+  const std::size_t expected_cells = spec.apps.size() * 3;  // x canonical profiles
+  CampaignRunner runner(spec);
+  EXPECT_EQ(runner.cell_count(), expected_cells);
+
+  const CampaignResult result = runner.run();
+  ASSERT_EQ(result.cells.size(), expected_cells);
+  EXPECT_EQ(result.stats.workers, 3u);
+  EXPECT_EQ(result.stats.cells, expected_cells);
+
+  std::size_t executed = 0;
+  for (const std::size_t n : result.stats.cells_per_worker) executed += n;
+  EXPECT_EQ(executed, expected_cells);
+
+  for (const CellResult& cell : result.cells) {
+    EXPECT_GT(cell.stats.wall_ms, 0.0) << cell.app.name << "/" << cell.profile_name;
+    // Cells that fell back to the app's embedded DRM never touch the
+    // Widevine CDM, so their hook trace is legitimately empty.
+    if (!cell.custom_drm_used) {
+      EXPECT_GT(cell.stats.calls_hooked, 0u)
+          << cell.app.name << "/" << cell.profile_name;
+    }
+  }
+  EXPECT_GT(result.stats.totals.bytes_decrypted, 0u);
+}
+
+TEST(CampaignTest, CdmOverrideAxisIsolatesInsecureKeyboxStorage) {
+  // Same hardware (modern TEE-less L3), two CDMs: the stock build keeps only
+  // a masked keybox copy mapped, the legacy override leaves the raw keybox
+  // in process memory (CWE-922 / CVE-2021-0639).
+  CampaignSpec spec;
+  spec.apps.push_back(*ott::find_app("Showtime"));
+  spec.profiles.push_back({"l3-stock", DeviceClass::ModernL3, std::nullopt});
+  spec.profiles.push_back({"l3-legacy-cdm", DeviceClass::ModernL3, widevine::kLegacyCdm});
+  spec.workers = 2;
+
+  const CampaignResult result = CampaignRunner(std::move(spec)).run();
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].cdm, widevine::kCurrentCdm);
+  EXPECT_FALSE(result.cells[0].keybox_recovered);
+  EXPECT_EQ(result.cells[1].cdm, widevine::kLegacyCdm);
+  EXPECT_TRUE(result.cells[1].keybox_recovered);
+}
+
+TEST(CampaignTest, FullCatalogCampaignMatchesTheSerialStudy) {
+  if (kUnderTsan) {
+    GTEST_SKIP() << "full-catalog campaign is covered by the faster matrices "
+                    "above under tsan";
+  }
+
+  ott::StreamingEcosystem ecosystem;
+  ecosystem.install_catalog();
+  WideleakStudy study(ecosystem);
+  const std::string study_table = render_table_one(study.run_catalog());
+
+  CampaignSpec spec;  // defaults: full catalog, canonical profiles
+  spec.workers = 4;
+  spec.attempt_rip = false;  // Table I needs only the audit pass
+  const CampaignResult result = CampaignRunner(std::move(spec)).run();
+  EXPECT_EQ(render_table_one(campaign_to_audits(result)), study_table);
+}
+
+}  // namespace
+}  // namespace wideleak::core

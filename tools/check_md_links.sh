@@ -1,0 +1,70 @@
+#!/bin/sh
+# Docs gate: verify that every relative link in the repo's markdown files
+# points at a path that exists. External URLs (http/https/mailto) and pure
+# in-page anchors are ignored; a `#fragment` suffix on a relative link is
+# stripped before the existence check.
+#
+# Run from anywhere: the script resolves paths against the repo root. CI's
+# docs job runs it directly; ctest registers it as `docs_md_links`.
+set -u
+cd "$(dirname "$0")/.." || exit 2
+
+if command -v git >/dev/null 2>&1 && git rev-parse --git-dir >/dev/null 2>&1; then
+  files=$(git ls-files --cached --others --exclude-standard '*.md')
+else
+  files=$(find . -name '*.md' -not -path './build*' -not -path './.git/*')
+fi
+
+status=0
+checked=0
+nl='
+'
+for f in $files; do
+  dir=$(dirname "$f")
+  # Every (target) of an inline [text](target) link, one per line. Fenced
+  # code blocks are quoted content (e.g. SNIPPETS.md excerpts external
+  # READMEs verbatim), so links inside them are not checked.
+  # (CommonMark rules: a closing fence is a bare backtick run at least as
+  # long as the opener — one with an info string like ```nginx opens a block
+  # but never closes one, and a shorter run inside a ````-fenced block is
+  # literal content.)
+  links=$(awk '
+    function run_len(s,   n) {
+      sub(/^[[:space:]]*/, "", s)
+      n = 0
+      while (substr(s, n + 1, 1) == "`") n++
+      return n
+    }
+    !fenced && /^[[:space:]]*```/ { fenced = run_len($0); next }
+    fenced && /^[[:space:]]*```+[[:space:]]*$/ && run_len($0) >= fenced { fenced = 0; next }
+    !fenced' "$f" 2>/dev/null \
+    | grep -o '\[[^]]*\]([^)]*)' | sed 's/^.*](\([^)]*\))$/\1/')
+  [ -n "$links" ] || continue
+  old_ifs=$IFS
+  IFS=$nl
+  for link in $links; do
+    IFS=$old_ifs
+    case "$link" in
+      http://* | https://* | mailto:* | "#"*) continue ;;
+    esac
+    target=${link%%#*}
+    [ -n "$target" ] || continue
+    case "$target" in
+      /*) path=".$target" ;;
+      *) path="$dir/$target" ;;
+    esac
+    checked=$((checked + 1))
+    if [ ! -e "$path" ]; then
+      echo "BROKEN: $f -> $link" >&2
+      status=1
+    fi
+  done
+  IFS=$old_ifs
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_md_links: $checked relative markdown link(s) all resolve."
+else
+  echo "check_md_links: broken links found (see above)." >&2
+fi
+exit $status
