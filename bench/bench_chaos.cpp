@@ -1,0 +1,97 @@
+// Experiment C2: the chaos campaign — the audit matrix under deterministic
+// fault injection.
+//
+// For each chaos profile (none, flaky-cdn, flaky-license, byzantine-license)
+// this runs the full study matrix at a sweep of worker counts and checks:
+//   - determinism: the per-cell report (Partial cells, fault summaries and
+//     retry counters included) must be bit-identical at every worker count
+//     for a fixed (seed, profile) — exit code 1 otherwise;
+//   - robustness accounting: how many cells stayed Full, degraded, or went
+//     Partial, and the retry/fault overhead the profile cost.
+//
+// argv[1] caps the worker sweep (default hardware_concurrency); argv[2]
+// optionally restricts the run to a single profile by name.
+#include <array>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wideleak;
+
+  std::size_t max_workers = std::thread::hardware_concurrency();
+  if (argc > 1) max_workers = std::strtoull(argv[1], nullptr, 10);
+  if (max_workers == 0) max_workers = 1;
+
+  std::vector<net::FaultProfile> profiles = {
+      net::FaultProfile::None, net::FaultProfile::FlakyCdn, net::FaultProfile::FlakyLicense,
+      net::FaultProfile::ByzantineLicense};
+  if (argc > 2) {
+    const auto chosen = net::fault_profile_from_string(argv[2]);
+    if (!chosen) {
+      std::cerr << "unknown chaos profile: " << argv[2] << "\n";
+      return 2;
+    }
+    profiles = {*chosen};
+  }
+
+  // Power-of-two ladder up to (and always including) max_workers.
+  std::vector<std::size_t> ladder;
+  for (std::size_t w = 1; w < max_workers; w *= 2) ladder.push_back(w);
+  ladder.push_back(max_workers);
+
+  std::cout << "CHAOS BENCH: full study matrix x " << profiles.size()
+            << " chaos profile(s), worker sweep 1.." << max_workers << "\n\n";
+
+  int rc = 0;
+  for (const net::FaultProfile profile : profiles) {
+    std::string baseline_report;
+    double baseline_ms = 0.0;
+    std::size_t full = 0, degraded = 0, partial = 0;
+
+    std::cout << "=== chaos profile: " << net::to_string(profile) << " ===\n";
+    for (const std::size_t workers : ladder) {
+      core::CampaignSpec spec;
+      spec.workers = workers;
+      spec.chaos = profile;
+      core::CampaignRunner runner(std::move(spec));
+      const core::CampaignResult result = runner.run();
+      const std::string report = core::render_campaign_report(result);
+
+      if (workers == ladder.front()) {
+        baseline_report = report;
+        baseline_ms = result.stats.wall_ms;
+        for (const core::CellResult& cell : result.cells) {
+          switch (cell.outcome) {
+            case core::CellOutcome::Full: ++full; break;
+            case core::CellOutcome::Degraded: ++degraded; break;
+            case core::CellOutcome::Partial: ++partial; break;
+          }
+        }
+        std::cout << "cells: " << full << " full, " << degraded << " degraded, " << partial
+                  << " partial; net " << result.stats.totals.net_attempts << " attempts / "
+                  << result.stats.totals.net_retries << " retries / "
+                  << result.stats.totals.net_giveups << " giveups; "
+                  << result.stats.totals.faults_injected << " faults injected\n";
+        std::cout << "workers  wall ms   speedup  reports\n";
+      }
+      const bool identical = report == baseline_report;
+      if (!identical) rc = 1;
+      std::cout.setf(std::ios::fixed);
+      std::cout.precision(0);
+      std::cout << workers << "\t " << result.stats.wall_ms << "\t   ";
+      std::cout.precision(2);
+      std::cout << (baseline_ms / std::max(result.stats.wall_ms, 1.0)) << "x    "
+                << (identical ? "bit-identical" : "MISMATCH") << "\n";
+      std::cout.unsetf(std::ios::fixed);
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "[bench] determinism across the sweep: " << (rc == 0 ? "OK" : "FAILED") << "\n";
+  return rc;
+}

@@ -25,6 +25,15 @@ std::string to_string(DeviceClass device_class) {
   return "?";
 }
 
+std::string to_string(CellOutcome outcome) {
+  switch (outcome) {
+    case CellOutcome::Full: return "full";
+    case CellOutcome::Degraded: return "degraded";
+    case CellOutcome::Partial: return "partial";
+  }
+  return "?";
+}
+
 std::vector<CampaignDeviceProfile> study_device_profiles() {
   return {
       {.name = "modern-l1", .device_class = DeviceClass::ModernL1, .cdm_override = {}},
@@ -77,7 +86,7 @@ std::string cell_label(const ott::OttAppProfile& app, const CampaignDeviceProfil
 /// WideLeak pipeline of report.cpp compressed to a single device vantage.
 CellResult run_cell(const ott::OttAppProfile& app_profile,
                     const CampaignDeviceProfile& device_profile, std::uint64_t cell_seed,
-                    bool attempt_rip) {
+                    bool attempt_rip, net::FaultProfile chaos) {
   const auto t0 = Clock::now();
 
   CellResult cell;
@@ -86,61 +95,88 @@ CellResult run_cell(const ott::OttAppProfile& app_profile,
   cell.device_class = device_profile.device_class;
 
   // The cell's private world: nothing in here outlives the cell or is
-  // visible to any other worker.
+  // visible to any other worker. The chaos profile shapes the network but
+  // not the seed: under FaultProfile::None the cell is bit-identical to a
+  // campaign that predates fault injection.
   ott::EcosystemConfig config;
   config.seed = cell_seed;
+  config.fault_plan = net::fault_plan_for(chaos);
   ott::StreamingEcosystem ecosystem(config);
   ecosystem.install_app(app_profile);
   auto device = ecosystem.make_device(
       device_spec_for(device_profile, derive_stream_seed(cell_seed, "device")));
   cell.cdm = device->spec().cdm_version;
 
-  // --- Instrumented playback: Q1 usage, Q2/Q3 audits off the harvest.
-  {
-    DrmApiMonitor drm_monitor(*device);
-    NetworkMonitor net_monitor(ecosystem.network(), ecosystem.fork_rng());
-    ott::OttApp app(app_profile, ecosystem, *device);
-    net_monitor.attach(app);
-    const ott::PlaybackOutcome outcome = app.play_title();
+  try {
+    // --- Instrumented playback: Q1 usage, Q2/Q3 audits off the harvest.
+    {
+      DrmApiMonitor drm_monitor(*device);
+      NetworkMonitor net_monitor(ecosystem.network(), ecosystem.fork_rng());
+      ott::OttApp app(app_profile, ecosystem, *device);
+      net_monitor.attach(app);
+      const ott::PlaybackOutcome outcome = app.play_title();
 
-    cell.usage = drm_monitor.usage_report();
-    cell.custom_drm_used =
-        outcome.used_custom_drm && outcome.played && !cell.usage.widevine_used;
-    cell.playback = classify_playback(outcome);
+      cell.usage = drm_monitor.usage_report();
+      cell.custom_drm_used =
+          outcome.used_custom_drm && outcome.played && !cell.usage.widevine_used;
+      cell.playback = classify_playback(outcome);
 
-    const HarvestedManifest manifest = net_monitor.harvest_manifest(&drm_monitor);
-    if (manifest.mpd) {
-      net::TrustStore analyst_trust;
-      analyst_trust.add(ecosystem.root_ca());
-      AssetAuditor auditor(ecosystem.network(), std::move(analyst_trust),
-                           ecosystem.fork_rng());
-      cell.assets = auditor.audit(manifest);
-      cell.key_usage = audit_key_usage(manifest, cell.assets);
+      // Degraded-mode classification: a network-attributed abort makes the
+      // cell Partial; a below-request success makes it Degraded. Organic
+      // failures (denials, revocation) stay Full — the audit itself ran.
+      if (!outcome.played && outcome.net_error != ErrorCode::None) {
+        cell.outcome = CellOutcome::Partial;
+        cell.fault_summary = std::string(to_string(outcome.net_error)) + ": " +
+                             (outcome.net_error_detail.empty() ? outcome.failure
+                                                               : outcome.net_error_detail);
+      } else if (outcome.degraded) {
+        cell.outcome = CellOutcome::Degraded;
+        cell.fault_summary = outcome.degradation;
+      }
+
+      const HarvestedManifest manifest = net_monitor.harvest_manifest(&drm_monitor);
+      if (manifest.mpd) {
+        net::TrustStore analyst_trust;
+        analyst_trust.add(ecosystem.root_ca());
+        AssetAuditor auditor(ecosystem.network(), std::move(analyst_trust),
+                             ecosystem.fork_rng());
+        cell.assets = auditor.audit(manifest);
+        cell.key_usage = audit_key_usage(manifest, cell.assets);
+      }
+
+      cell.stats.calls_hooked = drm_monitor.trace().size();
+      for (const hooking::CallRecord* record :
+           drm_monitor.trace().by_function("_oecc22_DecryptCENC")) {
+        cell.stats.bytes_decrypted += record->input.size();
+      }
+      cell.stats.pin_bypasses = net_monitor.pin_bypasses();
     }
 
-    cell.stats.calls_hooked = drm_monitor.trace().size();
-    for (const hooking::CallRecord* record :
-         drm_monitor.trace().by_function("_oecc22_DecryptCENC")) {
-      cell.stats.bytes_decrypted += record->input.size();
+    // --- Keybox recovery (CVE-2021-0639) from this cell's vantage: succeeds
+    // exactly on CDMs with insecure keybox storage outside a TEE.
+    cell.keybox_recovered = recover_keybox(*device).success();
+
+    // --- The §IV-D rip. Runs (and fails honestly) on every profile; only the
+    // legacy rows are expected to yield media.
+    if (attempt_rip) {
+      ContentRipper ripper(ecosystem, *device);
+      RipResult rip = ripper.rip_app(app_profile);
+      cell.rip_success = rip.success;
+      cell.content_keys_recovered = rip.content_keys_recovered;
+      cell.rip_resolution = rip.best_video_resolution;
+      cell.stats.bytes_ripped = rip.drm_free_media.size();
     }
-    cell.stats.pin_bypasses = net_monitor.pin_bypasses();
+  } catch (const Error& e) {
+    // An injected fault surfaced as an exception past the retry layer (e.g.
+    // a corrupted blob deep inside the rip). Record the truncated cell
+    // instead of losing the worker; the flush below still runs exactly once.
+    cell.outcome = CellOutcome::Partial;
+    cell.fault_summary = e.what();
   }
 
-  // --- Keybox recovery (CVE-2021-0639) from this cell's vantage: succeeds
-  // exactly on CDMs with insecure keybox storage outside a TEE.
-  cell.keybox_recovered = recover_keybox(*device).success();
-
-  // --- The §IV-D rip. Runs (and fails honestly) on every profile; only the
-  // legacy rows are expected to yield media.
-  if (attempt_rip) {
-    ContentRipper ripper(ecosystem, *device);
-    RipResult rip = ripper.rip_app(app_profile);
-    cell.rip_success = rip.success;
-    cell.content_keys_recovered = rip.content_keys_recovered;
-    cell.rip_resolution = rip.best_video_resolution;
-    cell.stats.bytes_ripped = rip.drm_free_media.size();
-  }
-
+  // Counter flush — after the try block so a Partial cell's license,
+  // provisioning, retry and fault counters land in the campaign stats
+  // exactly once, same as a Full cell's.
   const widevine::LicenseServerStats& license = ecosystem.license_server().stats();
   cell.stats.licenses_granted = license.granted;
   cell.stats.licenses_denied = license.denied;
@@ -150,6 +186,11 @@ CellResult run_cell(const ott::OttAppProfile& app_profile,
       ecosystem.provisioning_server().stats();
   cell.stats.provisionings_granted = provisioning.granted;
   cell.stats.provisionings_denied = provisioning.denied;
+  const net::RetryStats& retry = ecosystem.retry_stats();
+  cell.stats.net_attempts = static_cast<std::size_t>(retry.attempts);
+  cell.stats.net_retries = static_cast<std::size_t>(retry.retries);
+  cell.stats.net_giveups = static_cast<std::size_t>(retry.giveups);
+  cell.stats.faults_injected = static_cast<std::size_t>(ecosystem.fault_stats().total_faults());
 
   cell.stats.wall_ms = ms_since(t0);
   return cell;
@@ -197,6 +238,10 @@ void accumulate(CellStats& total, const CellStats& cell) {
   total.keys_withheld += cell.keys_withheld;
   total.provisionings_granted += cell.provisionings_granted;
   total.provisionings_denied += cell.provisionings_denied;
+  total.net_attempts += cell.net_attempts;
+  total.net_retries += cell.net_retries;
+  total.net_giveups += cell.net_giveups;
+  total.faults_injected += cell.faults_injected;
 }
 
 std::string pad(const std::string& s, std::size_t width) {
@@ -249,8 +294,8 @@ CampaignResult CampaignRunner::run() {
 
   if (workers == 1) {
     for (std::size_t i = 0; i < planned.size(); ++i) {
-      result.cells[i] =
-          run_cell(*planned[i].app, *planned[i].profile, planned[i].seed, spec_.attempt_rip);
+      result.cells[i] = run_cell(*planned[i].app, *planned[i].profile, planned[i].seed,
+                                 spec_.attempt_rip, spec_.chaos);
     }
     result.stats.cells_per_worker[0] = planned.size();
   } else {
@@ -273,7 +318,7 @@ CampaignResult CampaignRunner::run() {
         const PlannedCell& cell = planned[*index];
         // Each worker writes only its own pre-sized slots — no result lock.
         result.cells[*index] =
-            run_cell(*cell.app, *cell.profile, cell.seed, spec_.attempt_rip);
+            run_cell(*cell.app, *cell.profile, cell.seed, spec_.attempt_rip, spec_.chaos);
         ++result.stats.cells_per_worker[me];
       }
     };
@@ -327,11 +372,12 @@ std::string render_campaign_report(const CampaignResult& result) {
   std::ostringstream out;
   out << "CAMPAIGN REPORT: " << result.spec.apps.size() << " apps x "
       << result.spec.profiles.size() << " profiles = " << result.cells.size()
-      << " cells (seed " << std::hex << result.spec.seed << std::dec << ")\n";
+      << " cells (seed " << std::hex << result.spec.seed << std::dec << ", chaos "
+      << net::to_string(result.spec.chaos) << ")\n";
   out << pad("OTT", 20) << pad("Profile", 15) << pad("CDM", 6) << pad("Widevine", 10)
       << pad("Video", 11) << pad("Audio", 11) << pad("Key Usage", 13) << pad("Keybox", 8)
-      << pad("Keys", 6) << pad("Rip", 9) << "Playback\n";
-  out << std::string(130, '-') << "\n";
+      << pad("Keys", 6) << pad("Rip", 9) << pad("Cell", 10) << "Playback\n";
+  out << std::string(140, '-') << "\n";
   for (const CellResult& cell : result.cells) {
     std::string widevine_cell = "no";
     if (cell.usage.widevine_used && cell.usage.observed_level) {
@@ -347,9 +393,16 @@ std::string render_campaign_report(const CampaignResult& result) {
         // A key *count*, not key material. wl-lint: log-ok
         << pad(std::to_string(cell.content_keys_recovered), 6)
         << pad(cell.rip_success ? cell.rip_resolution.label() : "-", 9)
-        << to_string(cell.playback.verdict) << "\n";
+        << pad(to_string(cell.outcome), 10) << to_string(cell.playback.verdict) << "\n";
+    if (cell.outcome != CellOutcome::Full) {
+      out << "    [" << to_string(cell.outcome) << "] " << cell.fault_summary << "\n";
+    }
   }
-  out << std::string(130, '-') << "\n";
+  out << std::string(140, '-') << "\n";
+  const CellStats& totals = result.stats.totals;
+  out << "net: " << totals.net_attempts << " attempts, " << totals.net_retries
+      << " retries, " << totals.net_giveups << " giveups; faults injected "
+      << totals.faults_injected << "\n";
   return out.str();
 }
 
@@ -367,6 +420,9 @@ std::string render_campaign_stats(const CampaignResult& result) {
       << " denied, keys " << totals.keys_issued << " issued / " << totals.keys_withheld
       << " withheld (HD-to-L3), provisioning " << totals.provisionings_granted
       << " granted / " << totals.provisionings_denied << " denied\n";
+  out << "  network: " << totals.net_attempts << " attempts, " << totals.net_retries
+      << " retries, " << totals.net_giveups << " giveups, " << totals.faults_injected
+      << " faults injected (chaos " << net::to_string(result.spec.chaos) << ")\n";
   out << "  schedule: ";
   for (std::size_t w = 0; w < result.stats.cells_per_worker.size(); ++w) {
     out << (w == 0 ? "" : ", ") << "w" << w << "=" << result.stats.cells_per_worker[w];

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/report.hpp"
+#include "net/fault.hpp"
 
 namespace wideleak::core {
 
@@ -59,7 +60,23 @@ struct CampaignSpec {
   std::uint64_t seed = 0x57494445;                 // "WIDE"
   std::size_t workers = 1;                         // 1 = run inline, no threads
   bool attempt_rip = true;  // run keybox recovery + §IV-D rip in every cell
+
+  /// Chaos axis: the fault-injection profile applied to every cell's private
+  /// network. Deliberately NOT part of the cell label — a cell's seed (and
+  /// therefore every rng stream below it) is the same under every profile,
+  /// so `None` reproduces the pre-fault report bit for bit and the other
+  /// profiles differ only where an injected fault actually fired.
+  net::FaultProfile chaos = net::FaultProfile::None;
 };
+
+/// How completely a cell's audit pipeline ran under fault injection.
+enum class CellOutcome {
+  Full,      // every stage reached its organic result
+  Degraded,  // playback succeeded but below the requested experience
+  Partial,   // a stage was lost to faults; stats were still flushed exactly once
+};
+
+std::string to_string(CellOutcome outcome);
 
 /// Per-cell measurements that feed the campaign stats sink. `wall_ms` is the
 /// only scheduling-dependent field and is excluded from the deterministic
@@ -76,6 +93,10 @@ struct CellStats {
   std::size_t keys_withheld = 0;     // HD keys refused to sub-L1 clients
   std::size_t provisionings_granted = 0;
   std::size_t provisionings_denied = 0;
+  std::size_t net_attempts = 0;      // transport attempts through the retry layer
+  std::size_t net_retries = 0;       // re-sends after a retryable failure
+  std::size_t net_giveups = 0;       // retry budgets exhausted without success
+  std::size_t faults_injected = 0;   // faults the cell's network actually fired
 };
 
 /// Everything measured for one (app, device profile, CDM version) cell.
@@ -95,6 +116,11 @@ struct CellResult {
   bool rip_success = false;          // §IV-D end-to-end rip
   std::size_t content_keys_recovered = 0;
   media::Resolution rip_resolution;  // best quality of the ripped media
+
+  /// Degraded-mode accounting: Full unless injected faults cost the cell
+  /// quality (Degraded) or a pipeline stage outright (Partial).
+  CellOutcome outcome = CellOutcome::Full;
+  std::string fault_summary;         // why, when outcome != Full
 
   CellStats stats;
 };

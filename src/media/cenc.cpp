@@ -76,8 +76,18 @@ PackagedTrack PackagedTrack::from_file(BytesView file) {
 
   ByteReader r(BytesView(mdat->payload));
   const std::uint32_t count = r.u32();
+  // Each sample needs at least its 4-byte length prefix.
+  if (count > r.remaining() / 4) throw ParseError("cenc: sample count exceeds mdat");
   for (std::uint32_t i = 0; i < count; ++i) out.samples.push_back(r.var_bytes());
   return out;
+}
+
+Result<PackagedTrack> PackagedTrack::try_from_file(BytesView file) {
+  try {
+    return from_file(file);
+  } catch (const ParseError& e) {
+    return {ErrorCode::MalformedPayload, e.what()};
+  }
 }
 
 PackagedTrack package_clear(const TrakBox& track, const std::vector<Frame>& frames) {

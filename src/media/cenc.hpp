@@ -13,6 +13,7 @@
 #include "media/mp4.hpp"
 #include "media/track.hpp"
 #include "support/bytes.hpp"
+#include "support/errors.hpp"
 #include "support/rng.hpp"
 
 namespace wideleak::media {
@@ -27,7 +28,10 @@ struct PackagedTrack {
 
   /// Serialize to an mp4-lite file (moov + moof + mdat boxes).
   Bytes to_file() const;
+  /// Throws ParseError on malformed input.
   static PackagedTrack from_file(BytesView file);
+  /// Non-throwing variant for callers fed by the fault injector.
+  static Result<PackagedTrack> try_from_file(BytesView file);
 };
 
 /// Package clear frames without encryption.

@@ -90,6 +90,9 @@ PsshBox PsshBox::from_box(const Box& box) {
   PsshBox out;
   out.system_id = r.var_string();
   const std::uint32_t count = r.u32();
+  // Every key id needs at least its 4-byte length prefix; a count beyond
+  // that is a corrupted header, not a big box.
+  if (count > r.remaining() / 4) throw ParseError("pssh: key id count exceeds payload");
   for (std::uint32_t i = 0; i < count; ++i) out.key_ids.push_back(r.var_bytes());
   return out;
 }
@@ -108,6 +111,7 @@ TencBox TencBox::from_box(const Box& box) {
   TencBox out;
   out.protected_scheme = r.u8() != 0;
   out.iv_size = r.u8();
+  if (out.iv_size > 16) throw ParseError("tenc: iv_size exceeds a cipher block");
   out.default_key_id = r.var_bytes();
   return out;
 }
@@ -131,10 +135,13 @@ SencBox SencBox::from_box(const Box& box) {
   ByteReader r(BytesView(box.payload));
   SencBox out;
   const std::uint32_t count = r.u32();
+  // Each entry needs at least an iv length prefix plus a subsample count.
+  if (count > r.remaining() / 6) throw ParseError("senc: entry count exceeds payload");
   for (std::uint32_t i = 0; i < count; ++i) {
     SampleEncryptionEntry e;
     e.iv = r.var_bytes();
     const std::uint16_t n_sub = r.u16();
+    if (n_sub > r.remaining() / 6) throw ParseError("senc: subsample count exceeds payload");
     for (std::uint16_t s = 0; s < n_sub; ++s) {
       SampleEncryptionEntry::Subsample sub;
       sub.clear_bytes = r.u16();
@@ -160,7 +167,12 @@ TrakBox TrakBox::from_box(const Box& box) {
   if (tkhd == nullptr) throw ParseError("expected tkhd box");
   ByteReader r(BytesView(tkhd->payload));
   TrakBox out;
-  out.type = static_cast<TrackType>(r.u8());
+  const std::uint8_t raw_type = r.u8();
+  if (raw_type < static_cast<std::uint8_t>(TrackType::Video) ||
+      raw_type > static_cast<std::uint8_t>(TrackType::Subtitle)) {
+    throw ParseError("tkhd: invalid track type " + std::to_string(raw_type));
+  }
+  out.type = static_cast<TrackType>(raw_type);
   out.resolution.width = r.u16();
   out.resolution.height = r.u16();
   out.language = r.var_string();

@@ -85,7 +85,12 @@ Mpd Mpd::parse(std::string_view xml_text) {
     const TrackType type = content_type_from_label(set->attribute("contentType"));
     std::optional<KeyId> kid;
     if (const XmlNode* protection = set->child("ContentProtection")) {
-      kid = hex_decode(protection->attribute("cenc:default_KID"));
+      const std::string kid_hex = protection->attribute("cenc:default_KID");
+      try {
+        kid = hex_decode(kid_hex);
+      } catch (const std::invalid_argument&) {
+        throw ParseError("mpd: malformed default_KID '" + kid_hex + "'");
+      }
     }
     for (const XmlNode* representation : set->children_named("Representation")) {
       MpdRepresentation rep;
@@ -104,6 +109,14 @@ Mpd Mpd::parse(std::string_view xml_text) {
     }
   }
   return out;
+}
+
+Result<Mpd> Mpd::try_parse(std::string_view xml_text) {
+  try {
+    return parse(xml_text);
+  } catch (const ParseError& e) {
+    return {ErrorCode::MalformedPayload, e.what()};
+  }
 }
 
 std::vector<const MpdRepresentation*> Mpd::of_type(TrackType type) const {

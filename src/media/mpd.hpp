@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "media/track.hpp"
+#include "support/errors.hpp"
 
 namespace wideleak::media {
 
@@ -30,7 +31,11 @@ struct Mpd {
   std::vector<MpdRepresentation> representations;
 
   std::string serialize() const;
+  /// Throws ParseError on malformed input (all failure modes, including a
+  /// corrupted default_KID attribute — never a non-wideleak exception).
   static Mpd parse(std::string_view xml_text);
+  /// Non-throwing variant for callers fed by the fault injector.
+  static Result<Mpd> try_parse(std::string_view xml_text);
 
   std::vector<const MpdRepresentation*> of_type(TrackType type) const;
 };

@@ -1,0 +1,229 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+
+#include "crypto/rsa.hpp"
+#include "net/http.hpp"
+#include "support/errors.hpp"
+
+namespace wideleak::net {
+
+const char* to_string(RequestClass klass) {
+  switch (klass) {
+    case RequestClass::Provisioning:
+      return "provisioning";
+    case RequestClass::License:
+      return "license";
+    case RequestClass::Manifest:
+      return "manifest";
+    case RequestClass::Auth:
+      return "auth";
+    case RequestClass::Segment:
+      return "segment";
+  }
+  return "unknown";
+}
+
+RequestClass classify_path(const std::string& path) {
+  if (path == "/provision") return RequestClass::Provisioning;
+  if (path == "/license" || path == "/custom_license") return RequestClass::License;
+  if (path == "/manifest") return RequestClass::Manifest;
+  if (path == "/login") return RequestClass::Auth;
+  return RequestClass::Segment;
+}
+
+namespace {
+
+FaultRates max_merge(FaultRates a, const FaultRates& b) {
+  a.drop_pm = std::max(a.drop_pm, b.drop_pm);
+  a.truncate_pm = std::max(a.truncate_pm, b.truncate_pm);
+  a.http_5xx_pm = std::max(a.http_5xx_pm, b.http_5xx_pm);
+  a.corrupt_pm = std::max(a.corrupt_pm, b.corrupt_pm);
+  a.cert_swap_pm = std::max(a.cert_swap_pm, b.cert_swap_pm);
+  if (b.latency_pm > a.latency_pm) {
+    a.latency_pm = b.latency_pm;
+    a.latency_ticks = b.latency_ticks;
+  }
+  return a;
+}
+
+}  // namespace
+
+bool FaultPlan::applies_to(const std::string& host) const {
+  for (const FaultRule& rule : rules) {
+    if (host.starts_with(rule.host_prefix) && rule.rates.any()) return true;
+  }
+  return false;
+}
+
+FaultRates FaultPlan::rates_for(const std::string& host, RequestClass klass) const {
+  FaultRates out;
+  for (const FaultRule& rule : rules) {
+    if (!host.starts_with(rule.host_prefix)) continue;
+    if (rule.request_class && *rule.request_class != klass) continue;
+    out = max_merge(out, rule.rates);
+  }
+  return out;
+}
+
+FaultRates FaultPlan::host_rates(const std::string& host) const {
+  FaultRates out;
+  for (const FaultRule& rule : rules) {
+    if (!host.starts_with(rule.host_prefix)) continue;
+    out = max_merge(out, rule.rates);
+  }
+  return out;
+}
+
+const char* to_string(FaultProfile profile) {
+  switch (profile) {
+    case FaultProfile::None:
+      return "none";
+    case FaultProfile::FlakyCdn:
+      return "flaky-cdn";
+    case FaultProfile::FlakyLicense:
+      return "flaky-license";
+    case FaultProfile::ByzantineLicense:
+      return "byzantine-license";
+  }
+  return "unknown";
+}
+
+std::optional<FaultProfile> fault_profile_from_string(const std::string& name) {
+  if (name == "none") return FaultProfile::None;
+  if (name == "flaky-cdn") return FaultProfile::FlakyCdn;
+  if (name == "flaky-license") return FaultProfile::FlakyLicense;
+  if (name == "byzantine-license") return FaultProfile::ByzantineLicense;
+  return std::nullopt;
+}
+
+FaultPlan fault_plan_for(FaultProfile profile) {
+  FaultPlan plan;
+  plan.name = to_string(profile);
+  switch (profile) {
+    case FaultProfile::None:
+      break;
+    case FaultProfile::FlakyCdn:
+      // Segment fetches stall, drop and truncate; the control plane is fine.
+      plan.rules.push_back(FaultRule{
+          .host_prefix = "cdn.",
+          .request_class = RequestClass::Segment,
+          .rates = {.drop_pm = 280, .truncate_pm = 280, .latency_pm = 200, .latency_ticks = 15}});
+      break;
+    case FaultProfile::FlakyLicense:
+      // License/provisioning answer 5xx or drop often enough that the retry
+      // budget occasionally runs out (Partial cells), but mostly recovers.
+      plan.rules.push_back(FaultRule{.host_prefix = "api.",
+                                     .request_class = RequestClass::License,
+                                     .rates = {.drop_pm = 400, .http_5xx_pm = 400}});
+      plan.rules.push_back(FaultRule{.host_prefix = "api.",
+                                     .request_class = RequestClass::Provisioning,
+                                     .rates = {.drop_pm = 300, .http_5xx_pm = 350}});
+      break;
+    case FaultProfile::ByzantineLicense:
+      // The license server actively misbehaves: scrambled payloads plus the
+      // occasional rogue certificate in the hello (terminal, no retry).
+      plan.rules.push_back(FaultRule{.host_prefix = "api.",
+                                     .request_class = RequestClass::License,
+                                     .rates = {.http_5xx_pm = 80, .corrupt_pm = 200}});
+      plan.rules.push_back(
+          FaultRule{.host_prefix = "api.", .request_class = std::nullopt,
+                    .rates = {.cert_swap_pm = 50}});
+      break;
+  }
+  return plan;
+}
+
+FaultyEndpoint::FaultyEndpoint(std::shared_ptr<TlsEndpoint> inner, ServerIdentity identity,
+                               FaultPlan plan, std::string host, std::uint64_t seed,
+                               support::SimClock* clock)
+    : inner_(std::move(inner)),
+      identity_(std::move(identity)),
+      plan_(std::move(plan)),
+      host_(std::move(host)),
+      rng_(seed),
+      rogue_rng_(derive_stream_seed(seed, "rogue-identity")),
+      clock_(clock) {}
+
+const ServerIdentity& FaultyEndpoint::rogue_identity() {
+  if (!rogue_) {
+    // Self-made CA nobody trusts: the swap surfaces client-side as
+    // UntrustedCertificate, exactly like a MITM with an unknown root.
+    CertificateAuthority rogue_ca("rogue-ca", rogue_rng_, 512);
+    rogue_ = make_server_identity(host_, rogue_ca, rogue_rng_, 512);
+  }
+  return *rogue_;
+}
+
+ServerHello FaultyEndpoint::hello(const std::string& host, BytesView client_random) {
+  // Always forward first so the inner server's rng stream position stays a
+  // pure function of the hello count, whatever faults fire.
+  ServerHello genuine = inner_->hello(host, client_random);
+  const std::uint64_t d_swap = rng_.next_u64() % 1000;
+  // The request path is unknown at hello time, so cert swap keys off the
+  // host-level maximum across classes.
+  if (d_swap < plan_.host_rates(host_).cert_swap_pm) {
+    stats_.cert_swaps++;
+    genuine.certificate = rogue_identity().certificate;
+  }
+  return genuine;
+}
+
+Bytes FaultyEndpoint::finish(const std::string& host, BytesView client_random,
+                             BytesView server_random, BytesView encrypted_pre_master,
+                             BytesView sealed_request) {
+  stats_.exchanges++;
+
+  // Terminate TLS with our copy of the server identity (the MitmProxy
+  // idiom) so the request path — and thus the request class — is visible.
+  const Bytes pre_master = crypto::rsa_oaep_decrypt(identity_.keys, encrypted_pre_master);
+  const SessionKeys keys = derive_session_keys(pre_master, client_random, server_random);
+  TlsSession request_session(keys.enc_key, keys.mac_key, keys.iv_seed);
+  const HttpRequest request = HttpRequest::deserialize(request_session.open(sealed_request));
+  const FaultRates rates = plan_.rates_for(host_, classify_path(request.path));
+
+  // Fixed draw discipline: exactly five draws per finish, in this order,
+  // regardless of which faults fire — the stream position stays a pure
+  // function of the request sequence.
+  const std::uint64_t d_latency = rng_.next_u64() % 1000;
+  const std::uint64_t d_drop = rng_.next_u64() % 1000;
+  const std::uint64_t d_5xx = rng_.next_u64() % 1000;
+  const std::uint64_t d_truncate = rng_.next_u64() % 1000;
+  const std::uint64_t d_corrupt = rng_.next_u64() % 1000;
+
+  if (d_latency < rates.latency_pm) {
+    stats_.latency_injections++;
+    if (clock_ != nullptr) clock_->advance(rates.latency_ticks);
+  }
+  if (d_drop < rates.drop_pm) {
+    stats_.drops++;
+    throw NetworkError("fault: connection to " + host_ + " dropped (" +
+                       to_string(classify_path(request.path)) + " request)");
+  }
+  if (d_5xx < rates.http_5xx_pm) {
+    stats_.http_5xx++;
+    TlsSession reply_session(keys.enc_key, keys.mac_key, keys.iv_seed);
+    return reply_session.seal(http_error(503, "fault: injected server error").serialize());
+  }
+
+  Bytes sealed_response = inner_->finish(host, client_random, server_random,
+                                         encrypted_pre_master, sealed_request);
+  if (d_truncate < rates.truncate_pm) {
+    stats_.truncations++;
+    sealed_response.resize(sealed_response.size() / 2);
+    return sealed_response;
+  }
+  if (d_corrupt < rates.corrupt_pm) {
+    stats_.corruptions++;
+    // Scramble the application payload but re-seal correctly: the transport
+    // authenticates, the app-level deserializer chokes.
+    TlsSession open_session(keys.enc_key, keys.mac_key, keys.iv_seed);
+    TlsSession reseal_session(keys.enc_key, keys.mac_key, keys.iv_seed);
+    HttpResponse response = HttpResponse::deserialize(open_session.open(sealed_response));
+    for (auto& byte : response.body) byte ^= 0x5A;
+    return reseal_session.seal(response.serialize());
+  }
+  return sealed_response;
+}
+
+}  // namespace wideleak::net

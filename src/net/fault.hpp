@@ -1,0 +1,146 @@
+// Deterministic fault injection for the in-process internet.
+//
+// A FaultyEndpoint wraps a real TlsEndpoint and, driven by a FaultPlan,
+// injects the failure modes real OTT backends exhibit (WideLeak §IV ran
+// repeated captures precisely because production endpoints stall, drop
+// TLS sessions and return malformed payloads): connection drops,
+// truncated records, HTTP 5xx, added latency, corrupted application
+// payloads and swapped certificates. All randomness comes from a seed
+// derived with derive_stream_seed, and every exchange consumes a fixed
+// number of draws, so a given (seed, plan) replays bit-identically at any
+// worker count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/tls.hpp"
+#include "support/rng.hpp"
+#include "support/sim_clock.hpp"
+
+namespace wideleak::net {
+
+/// Coarse request taxonomy the fault plan rates key off. Classification is
+/// by path, after the injector terminates TLS on the client's exchange.
+enum class RequestClass {
+  Provisioning,  // /provision
+  License,       // /license, /custom_license
+  Manifest,      // /manifest
+  Auth,          // /login
+  Segment,       // CDN file fetches (everything else)
+};
+
+const char* to_string(RequestClass klass);
+RequestClass classify_path(const std::string& path);
+
+/// Per-mille probabilities for each fault kind. 0 = never, 1000 = always.
+struct FaultRates {
+  std::uint32_t drop_pm = 0;       // connection dropped mid-exchange
+  std::uint32_t truncate_pm = 0;   // sealed response truncated on the wire
+  std::uint32_t http_5xx_pm = 0;   // origin answers 503
+  std::uint32_t corrupt_pm = 0;    // response body scrambled (transport intact)
+  std::uint32_t cert_swap_pm = 0;  // rogue certificate presented in the hello
+  std::uint32_t latency_pm = 0;    // SimClock advanced by latency_ticks
+  std::uint64_t latency_ticks = 0;
+
+  bool any() const {
+    return drop_pm || truncate_pm || http_5xx_pm || corrupt_pm || cert_swap_pm || latency_pm;
+  }
+};
+
+/// One plan entry: hosts whose name starts with `host_prefix`, optionally
+/// narrowed to a single request class (nullopt = all classes).
+struct FaultRule {
+  std::string host_prefix;
+  std::optional<RequestClass> request_class;
+  FaultRates rates;
+};
+
+/// A named set of fault rules. Rules are additive per field: for a given
+/// (host, class) the effective rate of each fault kind is the maximum over
+/// matching rules.
+struct FaultPlan {
+  std::string name = "none";
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+  bool applies_to(const std::string& host) const;
+  FaultRates rates_for(const std::string& host, RequestClass klass) const;
+  /// Host-level rates usable before the request path is known (the hello):
+  /// maximum over every class-matching rule for the host.
+  FaultRates host_rates(const std::string& host) const;
+};
+
+/// Canned chaos profiles for the campaign runner's chaos axis.
+enum class FaultProfile {
+  None,              // perfect network (byte-identical to the pre-fault world)
+  FlakyCdn,          // segment fetches drop/stall/truncate
+  FlakyLicense,      // license + provisioning 5xx and drops
+  ByzantineLicense,  // license server corrupts payloads and swaps certs
+};
+
+const char* to_string(FaultProfile profile);
+std::optional<FaultProfile> fault_profile_from_string(const std::string& name);
+
+/// Materialize a profile into a plan, given the ecosystem's host naming
+/// convention (backend hosts carry the app's API host name, CDN hosts the
+/// CDN name). Prefix "" matches every host.
+FaultPlan fault_plan_for(FaultProfile profile);
+
+/// Counters the injector keeps; flushed into campaign stats like the
+/// license-server sinks. Thread safety: none — one injector per ecosystem,
+/// driven by a single worker thread.
+struct FaultInjectorStats {
+  std::uint64_t exchanges = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t http_5xx = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t cert_swaps = 0;
+  std::uint64_t latency_injections = 0;
+
+  std::uint64_t total_faults() const {
+    return drops + truncations + http_5xx + corruptions + cert_swaps + latency_injections;
+  }
+};
+
+/// TlsEndpoint decorator that injects plan-driven faults into exchanges
+/// with one host. Holds a copy of the server's identity so it can
+/// terminate TLS exactly like MitmProxy does — that is what lets it
+/// classify the request path and re-seal corrupted responses that still
+/// authenticate at the transport layer.
+///
+/// Determinism contract: hello() draws exactly 1 value and finish() draws
+/// exactly 5 from the fault stream regardless of which faults fire, so the
+/// stream position is a pure function of the request sequence.
+class FaultyEndpoint : public TlsEndpoint {
+ public:
+  FaultyEndpoint(std::shared_ptr<TlsEndpoint> inner, ServerIdentity identity, FaultPlan plan,
+                 std::string host, std::uint64_t seed, support::SimClock* clock);
+
+  ServerHello hello(const std::string& host, BytesView client_random) override;
+  Bytes finish(const std::string& host, BytesView client_random, BytesView server_random,
+               BytesView encrypted_pre_master, BytesView sealed_request) override;
+
+  const FaultInjectorStats& stats() const { return stats_; }
+  const std::string& host() const { return host_; }
+
+ private:
+  const ServerIdentity& rogue_identity();
+
+  std::shared_ptr<TlsEndpoint> inner_;
+  ServerIdentity identity_;
+  FaultPlan plan_;
+  std::string host_;
+  Rng rng_;
+  Rng rogue_rng_;
+  support::SimClock* clock_;
+  FaultInjectorStats stats_;
+  std::optional<ServerIdentity> rogue_;
+};
+
+}  // namespace wideleak::net

@@ -25,13 +25,25 @@ Bytes TlsServer::finish(const std::string& /*host*/, BytesView client_random,
 }
 
 void Network::add_server(const std::string& host, std::shared_ptr<TlsServer> server) {
-  servers_[host] = std::move(server);
+  Certificate certificate = server->certificate();
+  servers_[host] = Entry{std::move(server), std::move(certificate)};
 }
 
-TlsServer& Network::find(const std::string& host) const {
+void Network::add_endpoint(const std::string& host, std::shared_ptr<TlsEndpoint> endpoint,
+                           Certificate certificate) {
+  servers_[host] = Entry{std::move(endpoint), std::move(certificate)};
+}
+
+TlsEndpoint& Network::find(const std::string& host) const {
   const auto it = servers_.find(host);
   if (it == servers_.end()) throw NetworkError("network: unknown host " + host);
-  return *it->second;
+  return *it->second.endpoint;
+}
+
+const Certificate& Network::certificate_of(const std::string& host) const {
+  const auto it = servers_.find(host);
+  if (it == servers_.end()) throw NetworkError("network: unknown host " + host);
+  return it->second.certificate;
 }
 
 bool Network::has_host(const std::string& host) const { return servers_.contains(host); }
@@ -43,37 +55,80 @@ void TlsClient::set_pin_check_override(PinCheckOverride override_fn) {
   pin_override_ = std::move(override_fn);
 }
 
+namespace {
+
+TlsExchangeResult handshake_failure(HandshakeResult verdict, const std::string& host) {
+  return {.handshake = verdict,
+          .response = std::nullopt,
+          .error = ErrorCode::HandshakeFailed,
+          .error_detail = to_string(verdict) + " for " + host};
+}
+
+}  // namespace
+
 TlsExchangeResult TlsClient::request(const std::string& host, const HttpRequest& req) {
-  TlsEndpoint& endpoint = proxy_ != nullptr ? *proxy_ : static_cast<TlsEndpoint&>(network_.find(host));
-
-  const Bytes client_random = rng_.next_bytes(32);
-  const ServerHello hello = endpoint.hello(host, client_random);
-
-  if (!trust_.validate(hello.certificate)) {
-    return {.handshake = HandshakeResult::UntrustedCertificate, .response = std::nullopt};
+  if (proxy_ == nullptr && !network_.has_host(host)) {
+    return {.handshake = HandshakeResult::Ok,
+            .response = std::nullopt,
+            .error = ErrorCode::HostUnreachable,
+            .error_detail = "network: unknown host " + host};
   }
-  if (hello.certificate.subject != host) {
-    return {.handshake = HandshakeResult::HostnameMismatch, .response = std::nullopt};
-  }
-  bool pin_ok = pins_.check(host, hello.certificate);
-  if (pin_override_) pin_ok = pin_override_(host, hello.certificate, pin_ok);
-  if (!pin_ok) {
-    return {.handshake = HandshakeResult::PinMismatch, .response = std::nullopt};
-  }
+  TlsEndpoint& endpoint = proxy_ != nullptr ? *proxy_ : network_.find(host);
 
-  const Bytes pre_master = rng_.next_bytes(16);
-  const Bytes encrypted_pre_master =
-      crypto::rsa_oaep_encrypt(hello.certificate.public_key, rng_, pre_master);
-  const SessionKeys keys = derive_session_keys(pre_master, client_random, hello.server_random);
-  TlsSession send_session(keys.enc_key, keys.mac_key, keys.iv_seed);
-  TlsSession recv_session(keys.enc_key, keys.mac_key, keys.iv_seed);
+  try {
+    const Bytes client_random = rng_.next_bytes(32);
+    const ServerHello hello = endpoint.hello(host, client_random);
 
-  const Bytes sealed_request = send_session.seal(req.serialize());
-  const Bytes sealed_response = endpoint.finish(host, client_random, hello.server_random,
-                                                encrypted_pre_master, sealed_request);
-  const Bytes response_plain = recv_session.open(sealed_response);
-  return {.handshake = HandshakeResult::Ok,
-          .response = HttpResponse::deserialize(response_plain)};
+    if (!trust_.validate(hello.certificate)) {
+      return handshake_failure(HandshakeResult::UntrustedCertificate, host);
+    }
+    if (hello.certificate.subject != host) {
+      return handshake_failure(HandshakeResult::HostnameMismatch, host);
+    }
+    bool pin_ok = pins_.check(host, hello.certificate);
+    if (pin_override_) pin_ok = pin_override_(host, hello.certificate, pin_ok);
+    if (!pin_ok) {
+      return handshake_failure(HandshakeResult::PinMismatch, host);
+    }
+
+    const Bytes pre_master = rng_.next_bytes(16);
+    const Bytes encrypted_pre_master =
+        crypto::rsa_oaep_encrypt(hello.certificate.public_key, rng_, pre_master);
+    const SessionKeys keys = derive_session_keys(pre_master, client_random, hello.server_random);
+    TlsSession send_session(keys.enc_key, keys.mac_key, keys.iv_seed);
+    TlsSession recv_session(keys.enc_key, keys.mac_key, keys.iv_seed);
+
+    const Bytes sealed_request = send_session.seal(req.serialize());
+    const Bytes sealed_response = endpoint.finish(host, client_random, hello.server_random,
+                                                  encrypted_pre_master, sealed_request);
+    const Bytes response_plain = recv_session.open(sealed_response);
+
+    TlsExchangeResult result;
+    result.response = HttpResponse::deserialize(response_plain);
+    if (result.response->status >= 500) {
+      result.error = ErrorCode::HttpServerError;
+      result.error_detail = "http " + std::to_string(result.response->status) + " from " + host;
+    } else if (result.response->status >= 400) {
+      result.error = ErrorCode::HttpClientError;
+      result.error_detail = "http " + std::to_string(result.response->status) + " from " + host;
+    }
+    return result;
+  } catch (const NetworkError& e) {
+    return {.handshake = HandshakeResult::Ok,
+            .response = std::nullopt,
+            .error = ErrorCode::ConnectionDropped,
+            .error_detail = e.what()};
+  } catch (const CryptoError& e) {
+    return {.handshake = HandshakeResult::Ok,
+            .response = std::nullopt,
+            .error = ErrorCode::TransportCorrupt,
+            .error_detail = e.what()};
+  } catch (const ParseError& e) {
+    return {.handshake = HandshakeResult::Ok,
+            .response = std::nullopt,
+            .error = ErrorCode::TransportCorrupt,
+            .error_detail = e.what()};
+  }
 }
 
 }  // namespace wideleak::net

@@ -11,6 +11,7 @@
 
 #include "net/http.hpp"
 #include "net/tls.hpp"
+#include "support/errors.hpp"
 #include "support/rng.hpp"
 
 namespace wideleak::net {
@@ -54,16 +55,32 @@ class TlsServer : public TlsEndpoint {
   Rng rng_;
 };
 
-/// Hostname -> server registry.
+/// Hostname -> endpoint registry. Entries keep the host's genuine
+/// certificate alongside the endpoint, so callers that need the legitimate
+/// pin value (app pin setup) never have to perform a handshake — which
+/// matters once endpoints can lie in their hello (net/fault.hpp).
 class Network {
  public:
+  /// Register a plain TLS server; the entry's certificate is the server's.
   void add_server(const std::string& host, std::shared_ptr<TlsServer> server);
+  /// Register any endpoint (e.g. a FaultyEndpoint decorator) together with
+  /// the genuine certificate of the host it fronts.
+  void add_endpoint(const std::string& host, std::shared_ptr<TlsEndpoint> endpoint,
+                    Certificate certificate);
   /// Throws NetworkError for unknown hosts.
-  TlsServer& find(const std::string& host) const;
+  TlsEndpoint& find(const std::string& host) const;
+  /// The genuine certificate registered for `host` (throws NetworkError if
+  /// unknown) — the source of truth for pinning, independent of what the
+  /// endpoint presents on the wire.
+  const Certificate& certificate_of(const std::string& host) const;
   bool has_host(const std::string& host) const;
 
  private:
-  std::map<std::string, std::shared_ptr<TlsServer>> servers_;
+  struct Entry {
+    std::shared_ptr<TlsEndpoint> endpoint;
+    Certificate certificate;
+  };
+  std::map<std::string, Entry> servers_;
 };
 
 /// Override point for the pin check — the seam a Frida-style hook grabs.
@@ -71,12 +88,19 @@ class Network {
 /// and returns the verdict to use instead.
 using PinCheckOverride = std::function<bool(const std::string&, const Certificate&, bool)>;
 
-/// Result of one HTTPS exchange.
+/// Result of one HTTPS exchange. Failures — injected or organic — surface
+/// here as error codes (support/errors.hpp) rather than exceptions, so the
+/// retry layer can classify retryable-vs-terminal without unwinding.
 struct TlsExchangeResult {
   HandshakeResult handshake = HandshakeResult::Ok;
-  std::optional<HttpResponse> response;  // set iff handshake == Ok
+  std::optional<HttpResponse> response;  // set iff the exchange completed
+  ErrorCode error = ErrorCode::None;
+  std::string error_detail;
 
-  bool ok() const { return handshake == HandshakeResult::Ok && response && response->ok(); }
+  bool ok() const {
+    return handshake == HandshakeResult::Ok && error == ErrorCode::None && response &&
+           response->ok();
+  }
 };
 
 /// HTTPS client with a trust store, pin store and optional proxy.

@@ -35,7 +35,7 @@ Bytes MitmProxy::finish(const std::string& host, BytesView client_random,
 
   // Forward upstream with a fresh exchange. The proxy is an attacker tool:
   // it does not validate the upstream certificate, it just talks to it.
-  TlsServer& upstream = network_.find(host);
+  TlsEndpoint& upstream = network_.find(host);
   const Bytes up_client_random = rng_.next_bytes(32);
   const ServerHello up_hello = upstream.hello(host, up_client_random);
   const Bytes up_pre_master = rng_.next_bytes(16);

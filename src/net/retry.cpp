@@ -1,0 +1,41 @@
+#include "net/retry.hpp"
+
+#include <algorithm>
+
+namespace wideleak::net {
+
+std::uint64_t RetryPolicy::backoff_for(int retry) const {
+  std::uint64_t backoff = base_backoff_ticks;
+  for (int i = 1; i < retry && backoff < max_backoff_ticks; ++i) backoff *= 2;
+  return std::min(backoff, max_backoff_ticks);
+}
+
+TlsExchangeResult request_with_retry(TlsClient& client, const std::string& host,
+                                     const HttpRequest& req, const RetryPolicy& policy,
+                                     Rng& rng, support::SimClock* clock, RetryStats& stats,
+                                     const ResponseValidator& validate) {
+  TlsExchangeResult result;
+  const int budget = std::max(1, policy.max_attempts);
+  for (int attempt = 1; attempt <= budget; ++attempt) {
+    stats.attempts++;
+    result = client.request(host, req);
+    if (result.error == ErrorCode::None && validate && result.response &&
+        result.response->ok()) {
+      if (const ErrorCode code = validate(*result.response); code != ErrorCode::None) {
+        result.error = code;
+        result.error_detail = "payload from " + host + " failed validation (" +
+                              std::string(to_string(code)) + ")";
+      }
+    }
+    if (result.error == ErrorCode::None || !is_retryable(result.error)) return result;
+    if (attempt == budget) break;
+    stats.retries++;
+    const std::uint64_t backoff = policy.backoff_for(attempt);
+    const std::uint64_t jitter = rng.next_u64() % std::max<std::uint64_t>(1, policy.base_backoff_ticks);
+    if (clock != nullptr) clock->advance(backoff + jitter);
+  }
+  stats.giveups++;
+  return result;
+}
+
+}  // namespace wideleak::net

@@ -1,0 +1,54 @@
+// Client-side retry with exponential backoff and seeded jitter. Backoff
+// "sleeps" advance the ecosystem's SimClock, so retry timing is simulated
+// deterministically instead of stalling the host thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/http.hpp"
+#include "net/network.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+#include "support/sim_clock.hpp"
+
+namespace wideleak::net {
+
+/// Attempt budget and backoff shape for one logical request.
+struct RetryPolicy {
+  int max_attempts = 4;                   // total tries, including the first
+  std::uint64_t base_backoff_ticks = 8;   // backoff before retry n: base * 2^(n-1)
+  std::uint64_t max_backoff_ticks = 128;  // cap on the exponential term
+
+  /// Backoff (before jitter) preceding retry number `retry` (1-based).
+  std::uint64_t backoff_for(int retry) const;
+};
+
+/// Counters for the retry layer, flushed into campaign stats alongside the
+/// license/provisioning server sinks.
+struct RetryStats {
+  std::uint64_t attempts = 0;  // exchanges issued (first tries + retries)
+  std::uint64_t retries = 0;   // re-issues after a retryable failure
+  std::uint64_t giveups = 0;   // budgets exhausted with no success
+};
+
+/// Optional application-payload check run on transport-successful 2xx
+/// responses: return ErrorCode::None to accept, or a code (typically
+/// MalformedPayload) to classify the attempt as failed — a corrupted
+/// license body is as retryable as a dropped connection, and only the
+/// caller can tell the two response shapes apart.
+using ResponseValidator = std::function<ErrorCode(const HttpResponse&)>;
+
+/// Issue `req` against `host` through `client`, retrying failures whose
+/// ErrorCode classifies as retryable (is_retryable) until the attempt
+/// budget runs out. Backoff advances `clock` (if non-null) by
+/// exponential-plus-jitter ticks, with jitter drawn from `rng` — one draw
+/// per retry, so the rng stream position is a pure function of the retry
+/// count. Returns the last exchange result (successful or not).
+TlsExchangeResult request_with_retry(TlsClient& client, const std::string& host,
+                                     const HttpRequest& req, const RetryPolicy& policy,
+                                     Rng& rng, support::SimClock* clock, RetryStats& stats,
+                                     const ResponseValidator& validate = {});
+
+}  // namespace wideleak::net

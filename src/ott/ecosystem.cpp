@@ -33,21 +33,54 @@ void StreamingEcosystem::install_app(const OttAppProfile& profile) {
   Rng id_rng = rng_.fork();
   auto backend_identity =
       net::make_server_identity(profile.backend_host(), *root_ca_, id_rng, config_.tls_key_bits);
-  network_.add_server(profile.backend_host(),
-                      std::make_shared<net::TlsServer>(std::move(backend_identity),
-                                                       backend->handler(), rng_.next_u64()));
+  mount_host(profile.backend_host(), std::move(backend_identity), backend->handler(),
+             rng_.next_u64());
 
   // Mount the CDN.
   CdnService cdn;
   cdn.host_title(title);
   auto cdn_identity =
       net::make_server_identity(profile.cdn_host(), *root_ca_, id_rng, config_.tls_key_bits);
-  network_.add_server(profile.cdn_host(),
-                      std::make_shared<net::TlsServer>(std::move(cdn_identity), cdn.handler(),
-                                                       rng_.next_u64()));
+  mount_host(profile.cdn_host(), std::move(cdn_identity), cdn.handler(), rng_.next_u64());
 
   backends_[profile.name] = std::move(backend);
   titles_[profile.name] = std::move(title);
+}
+
+void StreamingEcosystem::mount_host(const std::string& host, net::ServerIdentity identity,
+                                    net::HttpHandler handler, std::uint64_t server_seed) {
+  if (!config_.fault_plan.applies_to(host)) {
+    network_.add_server(host, std::make_shared<net::TlsServer>(std::move(identity),
+                                                               std::move(handler), server_seed));
+    return;
+  }
+  // The injector keeps a copy of the identity so it can terminate TLS and
+  // classify request paths; its fault stream is label-derived from the
+  // ecosystem seed, so it consumes nothing from the main rng.
+  net::ServerIdentity injector_identity = identity;
+  net::Certificate certificate = identity.certificate;
+  auto server =
+      std::make_shared<net::TlsServer>(std::move(identity), std::move(handler), server_seed);
+  auto injector = std::make_shared<net::FaultyEndpoint>(
+      std::move(server), std::move(injector_identity), config_.fault_plan, host,
+      derive_seed("fault|" + host), &clock_);
+  injectors_.push_back(injector);
+  network_.add_endpoint(host, std::move(injector), std::move(certificate));
+}
+
+net::FaultInjectorStats StreamingEcosystem::fault_stats() const {
+  net::FaultInjectorStats total;
+  for (const auto& injector : injectors_) {
+    const net::FaultInjectorStats& s = injector->stats();
+    total.exchanges += s.exchanges;
+    total.drops += s.drops;
+    total.truncations += s.truncations;
+    total.http_5xx += s.http_5xx;
+    total.corruptions += s.corruptions;
+    total.cert_swaps += s.cert_swaps;
+    total.latency_injections += s.latency_injections;
+  }
+  return total;
 }
 
 void StreamingEcosystem::install_catalog() {

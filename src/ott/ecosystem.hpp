@@ -9,8 +9,11 @@
 #include <vector>
 
 #include "android/device.hpp"
+#include "net/fault.hpp"
 #include "net/network.hpp"
 #include "net/proxy.hpp"
+#include "net/retry.hpp"
+#include "support/sim_clock.hpp"
 #include "ott/app.hpp"
 #include "ott/backend.hpp"
 #include "ott/cdn.hpp"
@@ -23,6 +26,10 @@ struct EcosystemConfig {
   std::uint64_t seed = 0x57494445;  // "WIDE"
   std::size_t tls_key_bits = 512;    // simulation-grade TLS identities
   std::size_t device_rsa_bits = 1024;  // Device RSA Key size (paper: 2048)
+  /// Fault plan applied to matching hosts at install time. The default
+  /// (empty) plan wraps nothing: the ecosystem is rng-draw-for-draw
+  /// identical to one built before fault injection existed.
+  net::FaultPlan fault_plan;
 };
 
 class StreamingEcosystem {
@@ -49,18 +56,47 @@ class StreamingEcosystem {
   /// system CAs pre-trusted.
   std::unique_ptr<android::Device> make_device(const android::DeviceSpec& spec);
 
+ private:
+  /// Register `host` on the network, wrapped in a FaultyEndpoint when the
+  /// configured fault plan applies to it.
+  void mount_host(const std::string& host, net::ServerIdentity identity,
+                  net::HttpHandler handler, std::uint64_t server_seed);
+
+ public:
+
   Rng fork_rng() { return rng_.fork(); }
+
+  /// Label-derived seed rooted at this ecosystem's seed. Unlike fork_rng()
+  /// this consumes nothing from the main stream, so adding consumers keeps
+  /// every existing draw sequence byte-identical.
+  std::uint64_t derive_seed(std::string_view label) const {
+    return derive_stream_seed(config_.seed, label);
+  }
+
+  /// The simulated clock fault latency and retry backoff advance.
+  support::SimClock& clock() { return clock_; }
+
+  /// Aggregated counters across every fault injector in this ecosystem.
+  net::FaultInjectorStats fault_stats() const;
+
+  /// Shared retry-counter sink every OttApp in this ecosystem reports into
+  /// (one ecosystem per campaign cell, single-threaded — same contract as
+  /// the license/provisioning server stats).
+  net::RetryStats& retry_stats() { return retry_stats_; }
 
  private:
   EcosystemConfig config_;
   Rng rng_;
   net::Network network_;
+  support::SimClock clock_;
   std::unique_ptr<net::CertificateAuthority> root_ca_;
   std::shared_ptr<widevine::DeviceRootDatabase> roots_;
   std::shared_ptr<widevine::LicenseServer> license_server_;
   std::shared_ptr<widevine::ProvisioningServer> provisioning_server_;
   std::map<std::string, std::shared_ptr<OttBackend>> backends_;
   std::map<std::string, media::PackagedTitle> titles_;
+  std::vector<std::shared_ptr<net::FaultyEndpoint>> injectors_;
+  net::RetryStats retry_stats_;
 };
 
 }  // namespace wideleak::ott

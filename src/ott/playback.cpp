@@ -33,13 +33,27 @@ OttApp::OttApp(OttAppProfile profile, StreamingEcosystem& ecosystem, android::De
       ecosystem_(ecosystem),
       device_(device),
       tls_(ecosystem.network(), device.system_trust(), device.fork_rng()),
-      rng_(device.fork_rng()) {
+      rng_(device.fork_rng()),
+      // Label-derived, so adding the retry stream leaves the device rng's
+      // draw sequence (and thus every pre-existing result) untouched.
+      retry_rng_(ecosystem.derive_seed("retry|" + profile_.name + "|" + device.spec().serial)) {
   if (profile_.ssl_pinning) {
-    // Apps ship pins for their own hosts.
+    // Apps ship pins for their own hosts: the genuine registered
+    // certificate, not whatever a (possibly faulty) hello presents.
     for (const std::string& host : {profile_.backend_host(), profile_.cdn_host()}) {
-      tls_.pins().pin(host, ecosystem_.network().find(host).certificate().pin_value());
+      tls_.pins().pin(host, ecosystem_.network().certificate_of(host).pin_value());
     }
   }
+}
+
+net::TlsExchangeResult OttApp::exchange(const std::string& host, const net::HttpRequest& req,
+                                        const net::ResponseValidator& validate) {
+  const auto result = net::request_with_retry(tls_, host, req, retry_policy_, retry_rng_,
+                                              &ecosystem_.clock(), ecosystem_.retry_stats(),
+                                              validate);
+  last_net_error_ = result.error;
+  last_net_error_detail_ = result.error_detail;
+  return result;
 }
 
 bool OttApp::login() {
@@ -47,7 +61,7 @@ bool OttApp::login() {
   req.method = "POST";
   req.path = "/login";
   req.body = to_bytes("subscriber:hunter2");
-  const auto result = tls_.request(profile_.backend_host(), req);
+  const auto result = exchange(profile_.backend_host(), req);
   if (!result.ok()) return false;
   auth_token_ = to_string(BytesView(result.response->body));
   return true;
@@ -57,7 +71,7 @@ std::optional<Bytes> OttApp::download(const std::string& host, const std::string
   net::HttpRequest req;
   req.path = path;
   req.headers["authorization"] = auth_token_;
-  const auto result = tls_.request(host, req);
+  const auto result = exchange(host, req);
   if (!result.ok()) return std::nullopt;
   return result.response->body;
 }
@@ -73,9 +87,18 @@ bool OttApp::ensure_provisioned(PlaybackOutcome& outcome) {
   http.method = "POST";
   http.path = "/provision";
   http.body = request;
-  const auto result = tls_.request(profile_.backend_host(), http);
+  const auto result = exchange(profile_.backend_host(), http, [](const net::HttpResponse& r) {
+    try {
+      widevine::ProvisioningResponse::deserialize(r.body);
+      return ErrorCode::None;
+    } catch (const ParseError&) {
+      return ErrorCode::MalformedPayload;
+    }
+  });
   if (!result.ok()) {
-    outcome.provisioning_error = "provisioning transport failure";
+    outcome.provisioning_error = "provisioning transport failure (" + result.error_detail + ")";
+    outcome.net_error = result.error;
+    outcome.net_error_detail = result.error_detail;
     return false;
   }
   const auto response = widevine::ProvisioningResponse::deserialize(result.response->body);
@@ -97,12 +120,30 @@ std::optional<media::Mpd> OttApp::fetch_manifest(PlaybackOutcome& outcome) {
   net::HttpRequest req;
   req.path = "/manifest";
   req.headers["authorization"] = auth_token_;
-  const auto result = tls_.request(profile_.backend_host(), req);
+  const bool secure_channel = profile_.secure_uri_channel;
+  const auto result =
+      exchange(profile_.backend_host(), req, [secure_channel](const net::HttpResponse& r) {
+        if (secure_channel) {
+          try {
+            SecureManifestEnvelope::deserialize(r.body);
+            return ErrorCode::None;
+          } catch (const ParseError&) {
+            return ErrorCode::MalformedPayload;
+          }
+        }
+        return media::Mpd::try_parse(to_string(BytesView(r.body))).ok()
+                   ? ErrorCode::None
+                   : ErrorCode::MalformedPayload;
+      });
   if (!result.ok()) {
     outcome.failure = "manifest fetch failed (" +
-                      (result.response ? std::to_string(result.response->status)
-                                       : net::to_string(result.handshake)) +
+                      (result.error != ErrorCode::None
+                           ? std::string(to_string(result.error))
+                           : (result.response ? std::to_string(result.response->status)
+                                              : net::to_string(result.handshake))) +
                       ")";
+    outcome.net_error = result.error;
+    outcome.net_error_detail = result.error_detail;
     return std::nullopt;
   }
   if (const auto it = result.response->headers.find("x-subtitle-tokens");
@@ -111,7 +152,12 @@ std::optional<media::Mpd> OttApp::fetch_manifest(PlaybackOutcome& outcome) {
   }
 
   if (!profile_.secure_uri_channel) {
-    return media::Mpd::parse(to_string(BytesView(result.response->body)));
+    auto parsed = media::Mpd::try_parse(to_string(BytesView(result.response->body)));
+    if (!parsed.ok()) {
+      outcome.failure = "manifest malformed (" + parsed.error_detail() + ")";
+      return std::nullopt;
+    }
+    return std::move(parsed.value());
   }
 
   // Netflix path: the manifest arrives generic-crypto protected; unwrap it
@@ -129,9 +175,18 @@ std::optional<media::Mpd> OttApp::fetch_manifest(PlaybackOutcome& outcome) {
   lic.path = "/license";
   lic.headers["authorization"] = auth_token_;
   lic.body = key_request;
-  const auto lic_result = tls_.request(profile_.backend_host(), lic);
+  const auto lic_result = exchange(profile_.backend_host(), lic, [](const net::HttpResponse& r) {
+    try {
+      widevine::LicenseResponse::deserialize(r.body);
+      return ErrorCode::None;
+    } catch (const ParseError&) {
+      return ErrorCode::MalformedPayload;
+    }
+  });
   if (!lic_result.ok()) {
-    outcome.failure = "secure-channel license fetch failed";
+    outcome.failure = "secure-channel license fetch failed (" + lic_result.error_detail + ")";
+    outcome.net_error = lic_result.error;
+    outcome.net_error_detail = lic_result.error_detail;
     drm.close_session(session);
     return std::nullopt;
   }
@@ -150,15 +205,28 @@ std::optional<media::Mpd> OttApp::fetch_manifest(PlaybackOutcome& outcome) {
     outcome.failure = "secure-channel manifest decrypt failed";
     return std::nullopt;
   }
-  return media::Mpd::parse(to_string(BytesView(manifest_xml)));
+  auto parsed = media::Mpd::try_parse(to_string(BytesView(manifest_xml)));
+  if (!parsed.ok()) {
+    outcome.failure = "secure-channel manifest malformed (" + parsed.error_detail() + ")";
+    return std::nullopt;
+  }
+  return std::move(parsed.value());
 }
 
 PlaybackOutcome OttApp::play_with_custom_drm(const PlaybackRequest& request) {
   PlaybackOutcome outcome;
   outcome.used_custom_drm = true;
+  const net::RetryStats net_before = ecosystem_.retry_stats();
+  const auto finish = [&]() -> PlaybackOutcome& {
+    const net::RetryStats& now = ecosystem_.retry_stats();
+    outcome.net_attempts = now.attempts - net_before.attempts;
+    outcome.net_retries = now.retries - net_before.retries;
+    outcome.net_giveups = now.giveups - net_before.giveups;
+    return outcome;
+  };
 
   const auto manifest = fetch_manifest(outcome);
-  if (!manifest) return outcome;
+  if (!manifest) return finish();
 
   // Fetch the custom license: sub-HD keys wrapped under the app secret.
   net::HttpRequest lic;
@@ -167,10 +235,21 @@ PlaybackOutcome OttApp::play_with_custom_drm(const PlaybackRequest& request) {
   lic.headers["authorization"] = auth_token_;
   const Bytes nonce = rng_.next_bytes(16);
   lic.body = nonce;
-  const auto lic_result = tls_.request(profile_.backend_host(), lic);
+  const std::string app_name = profile_.name;
+  const auto lic_result =
+      exchange(profile_.backend_host(), lic, [&app_name, &nonce](const net::HttpResponse& r) {
+        try {
+          CustomDrm::unwrap_key_map(app_name, nonce, r.body);
+          return ErrorCode::None;
+        } catch (const Error&) {  // ParseError or CryptoError on garbage
+          return ErrorCode::MalformedPayload;
+        }
+      });
   if (!lic_result.ok()) {
-    outcome.failure = "custom license fetch failed";
-    return outcome;
+    outcome.failure = "custom license fetch failed (" + lic_result.error_detail + ")";
+    outcome.net_error = lic_result.error;
+    outcome.net_error_detail = lic_result.error_detail;
+    return finish();
   }
   const auto keys = CustomDrm::unwrap_key_map(profile_.name, nonce, lic_result.response->body);
   outcome.license_ok = true;
@@ -192,15 +271,25 @@ PlaybackOutcome OttApp::play_with_custom_drm(const PlaybackRequest& request) {
     const auto file = download(profile_.cdn_host(), rep.base_url);
     if (!file) {
       outcome.failure = "download failed: " + rep.base_url;
-      return outcome;
+      outcome.net_error = last_net_error_;
+      outcome.net_error_detail = last_net_error_detail_;
+      return finish();
     }
-    const auto track = media::PackagedTrack::from_file(BytesView(*file));
+    auto parsed_track = media::PackagedTrack::try_from_file(BytesView(*file));
+    if (!parsed_track.ok()) {
+      outcome.failure = "unparseable track " + rep.base_url + " (" +
+                        parsed_track.error_detail() + ")";
+      outcome.net_error = ErrorCode::MalformedPayload;
+      outcome.net_error_detail = parsed_track.error_detail();
+      return finish();
+    }
+    const auto& track = parsed_track.value();
     Bytes clear;
     if (track.encrypted) {
       const auto key = keys.find(hex_encode(track.key_id));
       if (key == keys.end()) {
         outcome.failure = "custom key missing for " + rep.base_url;
-        return outcome;
+        return finish();
       }
       clear = CustomDrm::decrypt_track(track, key->second);
     } else {
@@ -211,7 +300,7 @@ PlaybackOutcome OttApp::play_with_custom_drm(const PlaybackRequest& request) {
       const auto parsed = media::Frame::parse(BytesView(clear).subspan(pos));
       if (!parsed) {
         outcome.failure = "undecodable custom-DRM stream";
-        return outcome;
+        return finish();
       }
       surface.render(parsed->frame);
       pos += parsed->consumed;
@@ -221,14 +310,30 @@ PlaybackOutcome OttApp::play_with_custom_drm(const PlaybackRequest& request) {
   outcome.played = surface.frames_rendered() > 0;
   outcome.frames_rendered = surface.frames_rendered();
   outcome.video_resolution = surface.video_resolution();
-  return outcome;
+  return finish();
 }
 
 PlaybackOutcome OttApp::play_title(const PlaybackRequest& request) {
-  if (auth_token_.empty() && !login()) {
-    PlaybackOutcome outcome;
-    outcome.failure = "login failed";
+  const net::RetryStats net_before = ecosystem_.retry_stats();
+  PlaybackOutcome outcome;
+  const auto finish = [&]() -> PlaybackOutcome& {
+    const net::RetryStats& now = ecosystem_.retry_stats();
+    outcome.net_attempts = now.attempts - net_before.attempts;
+    outcome.net_retries = now.retries - net_before.retries;
+    outcome.net_giveups = now.giveups - net_before.giveups;
     return outcome;
+  };
+  const auto degrade = [&](const std::string& note) {
+    outcome.degraded = true;
+    if (!outcome.degradation.empty()) outcome.degradation += "; ";
+    outcome.degradation += note;
+  };
+
+  if (auth_token_.empty() && !login()) {
+    outcome.failure = "login failed";
+    outcome.net_error = last_net_error_;
+    outcome.net_error_detail = last_net_error_detail_;
+    return finish();
   }
 
   // Amazon-style fallback: no Widevine exchange at all on L3-only devices.
@@ -237,13 +342,12 @@ PlaybackOutcome OttApp::play_title(const PlaybackRequest& request) {
     return play_with_custom_drm(request);
   }
 
-  PlaybackOutcome outcome;
   // Provisioning comes first: a CDM without its Device RSA Key cannot do a
   // (modern) license exchange, and revocation-enforcing services deny here.
-  if (!ensure_provisioned(outcome)) return outcome;
+  if (!ensure_provisioned(outcome)) return finish();
 
   const auto manifest = fetch_manifest(outcome);
-  if (!manifest) return outcome;
+  if (!manifest) return finish();
   outcome.widevine_used = true;
 
   // Collect the key ids to license: from the MPD, plus from any encrypted
@@ -255,9 +359,15 @@ PlaybackOutcome OttApp::play_title(const PlaybackRequest& request) {
     if (rep.default_kid) kid_set.insert(hex_encode(*rep.default_kid));
     if (rep.type == media::TrackType::Audio && rep.language == request.audio_language) {
       if (const auto file = download(profile_.cdn_host(), rep.base_url)) {
-        const auto track = media::PackagedTrack::from_file(BytesView(*file));
-        if (track.encrypted) kid_set.insert(hex_encode(track.key_id));
+        const auto track = media::PackagedTrack::try_from_file(BytesView(*file));
+        if (!track.ok()) {
+          degrade("audio segment " + rep.base_url + " unparseable");
+          continue;
+        }
+        if (track.value().encrypted) kid_set.insert(hex_encode(track.value().key_id));
         audio_files[rep.base_url] = *file;
+      } else {
+        degrade("audio segment " + rep.base_url + " unavailable");
       }
     }
   }
@@ -274,42 +384,53 @@ PlaybackOutcome OttApp::play_title(const PlaybackRequest& request) {
   lic.path = "/license";
   lic.headers["authorization"] = auth_token_;
   lic.body = key_request;
-  const auto lic_result = tls_.request(profile_.backend_host(), lic);
+  const auto lic_result = exchange(profile_.backend_host(), lic, [](const net::HttpResponse& r) {
+    try {
+      widevine::LicenseResponse::deserialize(r.body);
+      return ErrorCode::None;
+    } catch (const ParseError&) {
+      return ErrorCode::MalformedPayload;
+    }
+  });
   if (!lic_result.ok()) {
-    outcome.license_error = "license transport failure";
+    outcome.license_error = "license transport failure (" + lic_result.error_detail + ")";
+    outcome.net_error = lic_result.error;
+    outcome.net_error_detail = lic_result.error_detail;
     drm.close_session(session);
-    return outcome;
+    return finish();
   }
   const auto response = widevine::LicenseResponse::deserialize(lic_result.response->body);
   if (!response.granted) {
     outcome.license_error = response.deny_reason;
     drm.close_session(session);
-    return outcome;
+    return finish();
   }
   if (drm.provide_key_response(session, lic_result.response->body) !=
       widevine::OemCryptoResult::Success) {
     outcome.license_error = "license rejected by CDM";
     drm.close_session(session);
-    return outcome;
+    return finish();
   }
   outcome.license_ok = true;
 
-  // Which keys did we actually get? Pick the best playable video quality.
+  // Which keys did we actually get? Rank the playable video qualities.
   std::set<std::string> loaded;
   for (const auto& kid : drm.loaded_key_ids(session)) loaded.insert(hex_encode(kid));
 
-  const media::MpdRepresentation* chosen_video = nullptr;
+  std::vector<const media::MpdRepresentation*> video_candidates;
   for (const auto* rep : manifest->of_type(media::TrackType::Video)) {
     if (request.video_height != 0 && rep->resolution.height != request.video_height) continue;
     if (rep->default_kid && !loaded.contains(hex_encode(*rep->default_kid))) continue;
-    if (chosen_video == nullptr || rep->resolution.height > chosen_video->resolution.height) {
-      chosen_video = rep;
-    }
+    video_candidates.push_back(rep);
   }
-  if (chosen_video == nullptr) {
+  std::sort(video_candidates.begin(), video_candidates.end(),
+            [](const media::MpdRepresentation* a, const media::MpdRepresentation* b) {
+              return a->resolution.height > b->resolution.height;
+            });
+  if (video_candidates.empty()) {
     outcome.license_error = "no playable video quality licensed";
     drm.close_session(session);
-    return outcome;
+    return finish();
   }
 
   android::MediaCrypto crypto(drm, session);
@@ -317,7 +438,9 @@ PlaybackOutcome OttApp::play_title(const PlaybackRequest& request) {
   android::MediaCodec codec(&crypto, surface);
 
   auto play_file = [&](const Bytes& file) -> bool {
-    const auto track = media::PackagedTrack::from_file(BytesView(file));
+    const auto parsed = media::PackagedTrack::try_from_file(BytesView(file));
+    if (!parsed.ok()) return false;
+    const auto& track = parsed.value();
     if (track.encrypted) {
       for (std::size_t i = 0; i < track.samples.size(); ++i) {
         if (!codec.queue_secure_input_buffer(track.key_id, BytesView(track.samples[i]),
@@ -333,20 +456,33 @@ PlaybackOutcome OttApp::play_title(const PlaybackRequest& request) {
     return true;
   };
 
-  // Video.
-  if (const auto file = download(profile_.cdn_host(), chosen_video->base_url);
-      !file || !play_file(*file)) {
-    outcome.failure = "video playback failed";
-    drm.close_session(session);
-    return outcome;
-  }
-  // Audio (already downloaded above).
-  for (const auto& [path, file] : audio_files) {
-    if (!play_file(file)) {
-      outcome.failure = "audio playback failed";
-      drm.close_session(session);
-      return outcome;
+  // Video: walk the ladder from the best licensed quality down, degrading
+  // to the next rung when a segment cannot be fetched or decoded.
+  const media::MpdRepresentation* rendered_video = nullptr;
+  for (const auto* rep : video_candidates) {
+    const auto file = download(profile_.cdn_host(), rep->base_url);
+    if (file && play_file(*file)) {
+      rendered_video = rep;
+      break;
     }
+    degrade("video " + rep->resolution.label() + " segment failed");
+  }
+  if (rendered_video == nullptr) {
+    outcome.failure = "video playback failed";
+    // Blame the most recent transport error if there was one; otherwise every
+    // candidate arrived but was undecodable (corruption past the transport).
+    outcome.net_error = last_net_error_ != ErrorCode::None ? last_net_error_
+                                                           : ErrorCode::MalformedPayload;
+    outcome.net_error_detail = last_net_error_ != ErrorCode::None
+                                   ? last_net_error_detail_
+                                   : "every candidate video segment undecodable";
+    drm.close_session(session);
+    return finish();
+  }
+  // Audio (already downloaded above); a failed track degrades instead of
+  // aborting the session.
+  for (const auto& [path, file] : audio_files) {
+    if (!play_file(file)) degrade("audio track " + path + " skipped");
   }
   // Subtitles: MPD representations or the opaque token channel.
   if (profile_.subtitles_via_opaque_channel) {
@@ -370,8 +506,9 @@ PlaybackOutcome OttApp::play_title(const PlaybackRequest& request) {
   outcome.video_resolution = surface.video_resolution();
   WL_LOG(Info) << profile_.name << ": played " << outcome.frames_rendered << " frames at "
                << outcome.video_resolution.label() << " on "
-               << widevine::to_string(device_.security_level());
-  return outcome;
+               << widevine::to_string(device_.security_level())
+               << (outcome.degraded ? " (degraded: " + outcome.degradation + ")" : "");
+  return finish();
 }
 
 }  // namespace wideleak::ott

@@ -35,6 +35,23 @@ struct PlaybackOutcome {
   std::string failure;
   media::Resolution video_resolution;  // what actually rendered
   std::uint32_t frames_rendered = 0;
+
+  /// Graceful degradation: playback succeeded but below the requested
+  /// experience (lower video quality, missing audio track...).
+  bool degraded = false;
+  std::string degradation;  // human-readable summary of what was lost
+
+  /// Network effort spent on this playback (retry-layer counters).
+  std::uint64_t net_attempts = 0;
+  std::uint64_t net_retries = 0;
+  std::uint64_t net_giveups = 0;
+
+  /// Terminal transport/validation error that aborted playback — None when
+  /// playback succeeded or failed for an application-level reason (license
+  /// denial, device revocation). Campaign cells use this to tell
+  /// fault-caused Partial outcomes from organic ones.
+  ErrorCode net_error = ErrorCode::None;
+  std::string net_error_detail;
 };
 
 class OttApp {
@@ -53,7 +70,15 @@ class OttApp {
   const OttAppProfile& profile() const { return profile_; }
   android::Device& device() { return device_; }
 
+  /// Retry budget/backoff used for every backend and CDN exchange.
+  net::RetryPolicy& retry_policy() { return retry_policy_; }
+
  private:
+  /// One logical request: transport + retry/backoff + optional payload
+  /// validation, reporting into the ecosystem's shared retry sink.
+  net::TlsExchangeResult exchange(const std::string& host, const net::HttpRequest& req,
+                                  const net::ResponseValidator& validate = {});
+
   std::optional<media::Mpd> fetch_manifest(PlaybackOutcome& outcome);
   std::optional<Bytes> download(const std::string& host, const std::string& path);
   bool ensure_provisioned(PlaybackOutcome& outcome);
@@ -66,6 +91,10 @@ class OttApp {
   std::string auth_token_;
   std::vector<std::string> subtitle_tokens_;  // opaque-channel apps
   Rng rng_;
+  net::RetryPolicy retry_policy_;
+  Rng retry_rng_;
+  ErrorCode last_net_error_ = ErrorCode::None;  // from the most recent exchange
+  std::string last_net_error_detail_;
 };
 
 }  // namespace wideleak::ott

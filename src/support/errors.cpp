@@ -1,0 +1,31 @@
+#include "support/errors.hpp"
+
+namespace wideleak {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::None:
+      return "none";
+    case ErrorCode::HostUnreachable:
+      return "host-unreachable";
+    case ErrorCode::ConnectionDropped:
+      return "connection-dropped";
+    case ErrorCode::TransportCorrupt:
+      return "transport-corrupt";
+    case ErrorCode::HandshakeFailed:
+      return "handshake-failed";
+    case ErrorCode::HttpServerError:
+      return "http-server-error";
+    case ErrorCode::HttpClientError:
+      return "http-client-error";
+    case ErrorCode::MalformedPayload:
+      return "malformed-payload";
+    case ErrorCode::Denied:
+      return "denied";
+    case ErrorCode::Internal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace wideleak

@@ -6,6 +6,8 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <variant>
 
 namespace wideleak {
 
@@ -39,6 +41,74 @@ class StateError : public Error {
 class NetworkError : public Error {
  public:
   using Error::Error;
+};
+
+/// Non-exceptional failure classification for the request/retry path.
+/// Faults injected by net::FaultyEndpoint surface as codes on
+/// net::TlsExchangeResult, never as new throw sites, so callers can decide
+/// between retrying and giving up without unwinding the audit pipeline.
+enum class ErrorCode {
+  None = 0,
+  HostUnreachable,    // no such host registered on the Network
+  ConnectionDropped,  // endpoint dropped the connection mid-exchange
+  TransportCorrupt,   // sealed record truncated or failed to authenticate
+  HandshakeFailed,    // certificate rejected (trust, hostname, or pin)
+  HttpServerError,    // 5xx from the origin
+  HttpClientError,    // 4xx from the origin
+  MalformedPayload,   // transport fine, application payload unparseable
+  Denied,             // well-formed, authoritative refusal (no retry)
+  Internal,           // bug-shaped failure; terminal
+};
+
+const char* to_string(ErrorCode code);
+
+/// Whether a failed exchange is worth retrying. Transient transport
+/// trouble and server-side errors are; authoritative refusals, client
+/// errors, and handshake failures (the certificate will not change on the
+/// next attempt) are not. MalformedPayload is retryable because the fault
+/// model corrupts payloads per-exchange, not per-host.
+inline bool is_retryable(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::ConnectionDropped:
+    case ErrorCode::TransportCorrupt:
+    case ErrorCode::HttpServerError:
+    case ErrorCode::MalformedPayload:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// A value-or-error-code result for the non-exceptional failure path.
+/// Deliberately minimal: exactly one of value/error is set, and the error
+/// side carries a human-readable detail string for fault summaries.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(ErrorCode code, std::string detail)
+      : state_(Failure{code, std::move(detail)}) {}
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() { return std::get<T>(state_); }
+  const T& value() const { return std::get<T>(state_); }
+
+  ErrorCode error() const {
+    return ok() ? ErrorCode::None : std::get<Failure>(state_).code;
+  }
+  const std::string& error_detail() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : std::get<Failure>(state_).detail;
+  }
+
+ private:
+  struct Failure {
+    ErrorCode code;
+    std::string detail;
+  };
+  std::variant<T, Failure> state_;
 };
 
 }  // namespace wideleak

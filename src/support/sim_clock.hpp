@@ -1,0 +1,24 @@
+// Simulated monotonic clock for deterministic latency modelling. The fault
+// injector advances it when a fault plan injects latency, and retry
+// backoff advances it while "sleeping" — so timing-dependent behaviour is
+// a pure function of the seed, never of the host scheduler.
+#pragma once
+
+#include <cstdint>
+
+namespace wideleak::support {
+
+/// Tick-based virtual clock. One tick is an abstract unit (think
+/// milliseconds of simulated time); nothing in the simulation maps ticks
+/// to wall time. Thread safety: none — each ecosystem owns its own clock
+/// and is driven by a single worker thread.
+class SimClock {
+ public:
+  std::uint64_t now() const { return now_ticks_; }
+  void advance(std::uint64_t ticks) { now_ticks_ += ticks; }
+
+ private:
+  std::uint64_t now_ticks_ = 0;
+};
+
+}  // namespace wideleak::support

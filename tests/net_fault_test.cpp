@@ -1,0 +1,355 @@
+// net::FaultyEndpoint + net::RetryPolicy — fault kinds fire at their
+// configured rates with the right client-observable error codes, the whole
+// injector replays bit-identically for a fixed seed, and the retry layer
+// recovers retryable faults / gives up on budget exhaustion / stops dead on
+// terminal ones.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/http.hpp"
+#include "net/network.hpp"
+#include "net/retry.hpp"
+#include "net/tls.hpp"
+#include "support/errors.hpp"
+#include "support/sim_clock.hpp"
+
+namespace wideleak::net {
+namespace {
+
+// Shared fixture: CA + one echo server identity (key generation is the slow
+// part); each test wires its own Network + FaultyEndpoint around it.
+class NetFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(0xFA17);
+    ca_ = new CertificateAuthority("test-ca", *rng_, 512);
+    identity_ = new ServerIdentity(make_server_identity("api.example", *ca_, *rng_, 512));
+  }
+
+  /// A fresh echo server sharing the fixture identity, deterministic seed.
+  static std::shared_ptr<TlsServer> make_echo_server(std::uint64_t seed) {
+    return std::make_shared<TlsServer>(
+        *identity_, [](const HttpRequest& req) { return http_ok(req.body); }, seed);
+  }
+
+  /// One world: network + injector around the echo server. Returns the
+  /// injector so tests can read its stats.
+  struct World {
+    Network network;
+    std::shared_ptr<FaultyEndpoint> injector;
+    support::SimClock clock;
+  };
+
+  static std::unique_ptr<World> make_world(const FaultPlan& plan, std::uint64_t seed) {
+    auto world = std::make_unique<World>();
+    world->injector = std::make_shared<FaultyEndpoint>(make_echo_server(seed + 1), *identity_,
+                                                       plan, "api.example", seed, &world->clock);
+    world->network.add_endpoint("api.example", world->injector, identity_->certificate);
+    return world;
+  }
+
+  static TlsClient make_client(const Network& network, std::uint64_t seed) {
+    TrustStore trust;
+    trust.add(*ca_);
+    return TlsClient(network, trust, Rng(seed));
+  }
+
+  /// A plan with one rule covering every host and class.
+  static FaultPlan plan_with(FaultRates rates) {
+    FaultPlan plan;
+    plan.name = "test";
+    plan.rules.push_back(
+        FaultRule{.host_prefix = "", .request_class = std::nullopt, .rates = rates});
+    return plan;
+  }
+
+  static Rng* rng_;
+  static CertificateAuthority* ca_;
+  static ServerIdentity* identity_;
+};
+
+Rng* NetFaultTest::rng_ = nullptr;
+CertificateAuthority* NetFaultTest::ca_ = nullptr;
+ServerIdentity* NetFaultTest::identity_ = nullptr;
+
+constexpr int kExchanges = 250;
+
+// --- plan plumbing ----------------------------------------------------------
+
+TEST(FaultPlanTest, ClassifyPathCoversTheEcosystemRoutes) {
+  EXPECT_EQ(classify_path("/provision"), RequestClass::Provisioning);
+  EXPECT_EQ(classify_path("/license"), RequestClass::License);
+  EXPECT_EQ(classify_path("/custom_license"), RequestClass::License);
+  EXPECT_EQ(classify_path("/manifest"), RequestClass::Manifest);
+  EXPECT_EQ(classify_path("/login"), RequestClass::Auth);
+  EXPECT_EQ(classify_path("/video_720.mp4"), RequestClass::Segment);
+  EXPECT_EQ(classify_path("/st/token0"), RequestClass::Segment);
+}
+
+TEST(FaultPlanTest, RatesMergeByMaximumAcrossMatchingRules) {
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule{.host_prefix = "api.",
+                                 .request_class = RequestClass::License,
+                                 .rates = {.drop_pm = 100, .http_5xx_pm = 300}});
+  plan.rules.push_back(FaultRule{.host_prefix = "api.",
+                                 .request_class = std::nullopt,
+                                 .rates = {.drop_pm = 200, .cert_swap_pm = 50}});
+
+  const FaultRates license = plan.rates_for("api.x.example", RequestClass::License);
+  EXPECT_EQ(license.drop_pm, 200u);      // max(100, 200)
+  EXPECT_EQ(license.http_5xx_pm, 300u);  // only the class rule
+  EXPECT_EQ(license.cert_swap_pm, 50u);
+
+  const FaultRates auth = plan.rates_for("api.x.example", RequestClass::Auth);
+  EXPECT_EQ(auth.drop_pm, 200u);  // class rule does not match
+  EXPECT_EQ(auth.http_5xx_pm, 0u);
+
+  EXPECT_TRUE(plan.applies_to("api.x.example"));
+  EXPECT_FALSE(plan.applies_to("cdn.x.example"));
+  EXPECT_EQ(plan.host_rates("api.x.example").http_5xx_pm, 300u);
+}
+
+TEST(FaultPlanTest, ProfileNamesRoundTrip) {
+  for (const FaultProfile profile :
+       {FaultProfile::None, FaultProfile::FlakyCdn, FaultProfile::FlakyLicense,
+        FaultProfile::ByzantineLicense}) {
+    EXPECT_EQ(fault_profile_from_string(to_string(profile)), profile);
+  }
+  EXPECT_FALSE(fault_profile_from_string("flaky-everything").has_value());
+  EXPECT_TRUE(fault_plan_for(FaultProfile::None).empty());
+  EXPECT_FALSE(fault_plan_for(FaultProfile::FlakyCdn).empty());
+}
+
+// --- fault kinds fire at their configured rates -----------------------------
+
+TEST_F(NetFaultTest, DropsFireNearTheConfiguredRateAsConnectionDropped) {
+  auto world = make_world(plan_with({.drop_pm = 200}), 0xD207);
+  TlsClient client = make_client(world->network, 1);
+  int dropped = 0;
+  for (int i = 0; i < kExchanges; ++i) {
+    const auto result = client.request("api.example", HttpRequest{});
+    if (result.error == ErrorCode::ConnectionDropped) {
+      ++dropped;
+      EXPECT_TRUE(is_retryable(result.error));
+      EXPECT_NE(result.error_detail.find("dropped"), std::string::npos);
+    } else {
+      EXPECT_TRUE(result.ok());
+    }
+  }
+  EXPECT_EQ(dropped, static_cast<int>(world->injector->stats().drops));
+  // 200/1000 of 250: generous band, the stream is seeded but not tuned.
+  EXPECT_GT(dropped, kExchanges / 10);
+  EXPECT_LT(dropped, kExchanges / 2);
+}
+
+TEST_F(NetFaultTest, Http5xxSurfacesAsHttpServerError) {
+  auto world = make_world(plan_with({.http_5xx_pm = 200}), 0x5E77);
+  TlsClient client = make_client(world->network, 2);
+  int failed = 0;
+  for (int i = 0; i < kExchanges; ++i) {
+    const auto result = client.request("api.example", HttpRequest{});
+    if (result.error == ErrorCode::HttpServerError) {
+      ++failed;
+      ASSERT_TRUE(result.response.has_value());
+      EXPECT_EQ(result.response->status, 503);
+      EXPECT_TRUE(is_retryable(result.error));
+    }
+  }
+  EXPECT_EQ(failed, static_cast<int>(world->injector->stats().http_5xx));
+  EXPECT_GT(failed, kExchanges / 10);
+  EXPECT_LT(failed, kExchanges / 2);
+}
+
+TEST_F(NetFaultTest, TruncationCorruptsTheTransportRecord) {
+  auto world = make_world(plan_with({.truncate_pm = 200}), 0x7214);
+  TlsClient client = make_client(world->network, 3);
+  int corrupt = 0;
+  for (int i = 0; i < kExchanges; ++i) {
+    const auto result = client.request("api.example", HttpRequest{});
+    if (result.error == ErrorCode::TransportCorrupt) {
+      ++corrupt;
+      EXPECT_TRUE(is_retryable(result.error));
+    }
+  }
+  EXPECT_EQ(corrupt, static_cast<int>(world->injector->stats().truncations));
+  EXPECT_GT(corrupt, kExchanges / 10);
+  EXPECT_LT(corrupt, kExchanges / 2);
+}
+
+TEST_F(NetFaultTest, CorruptionScramblesThePayloadButKeepsTransportIntact) {
+  auto world = make_world(plan_with({.corrupt_pm = 200}), 0xC027);
+  TlsClient client = make_client(world->network, 4);
+  HttpRequest req;
+  req.body = to_bytes("payload-under-test");
+  int scrambled = 0;
+  for (int i = 0; i < kExchanges; ++i) {
+    const auto result = client.request("api.example", req);
+    // Transport-level success either way: corruption is app-payload only.
+    ASSERT_TRUE(result.ok());
+    if (result.response->body != req.body) ++scrambled;
+  }
+  EXPECT_EQ(scrambled, static_cast<int>(world->injector->stats().corruptions));
+  EXPECT_GT(scrambled, kExchanges / 10);
+  EXPECT_LT(scrambled, kExchanges / 2);
+}
+
+TEST_F(NetFaultTest, CertSwapFailsTheHandshakeTerminally) {
+  auto world = make_world(plan_with({.cert_swap_pm = 200}), 0xCE27);
+  TlsClient client = make_client(world->network, 5);
+  int swapped = 0;
+  for (int i = 0; i < kExchanges; ++i) {
+    const auto result = client.request("api.example", HttpRequest{});
+    if (result.error == ErrorCode::HandshakeFailed) {
+      ++swapped;
+      EXPECT_EQ(result.handshake, HandshakeResult::UntrustedCertificate);
+      EXPECT_FALSE(is_retryable(result.error));
+    }
+  }
+  EXPECT_EQ(swapped, static_cast<int>(world->injector->stats().cert_swaps));
+  EXPECT_GT(swapped, kExchanges / 10);
+  EXPECT_LT(swapped, kExchanges / 2);
+}
+
+TEST_F(NetFaultTest, LatencyAdvancesTheSimClockOnly) {
+  auto world = make_world(plan_with({.latency_pm = 300, .latency_ticks = 7}), 0x1A7E);
+  TlsClient client = make_client(world->network, 6);
+  for (int i = 0; i < kExchanges / 5; ++i) {
+    EXPECT_TRUE(client.request("api.example", HttpRequest{}).ok());
+  }
+  const auto& stats = world->injector->stats();
+  EXPECT_GT(stats.latency_injections, 0u);
+  EXPECT_EQ(world->clock.now(), stats.latency_injections * 7);
+  EXPECT_EQ(stats.total_faults(), stats.latency_injections);  // nothing else fired
+}
+
+// --- determinism ------------------------------------------------------------
+
+TEST_F(NetFaultTest, SameSeedReplaysTheExactFaultSequence) {
+  const FaultPlan plan = plan_with(
+      {.drop_pm = 150, .truncate_pm = 100, .http_5xx_pm = 150, .corrupt_pm = 100});
+  const auto run = [&](std::uint64_t seed) {
+    auto world = make_world(plan, seed);
+    TlsClient client = make_client(world->network, 42);
+    std::vector<ErrorCode> errors;
+    for (int i = 0; i < kExchanges / 2; ++i) {
+      errors.push_back(client.request("api.example", HttpRequest{}).error);
+    }
+    return std::make_pair(errors, world->injector->stats());
+  };
+
+  const auto [errors_a, stats_a] = run(0xABCD);
+  const auto [errors_b, stats_b] = run(0xABCD);
+  EXPECT_EQ(errors_a, errors_b);
+  EXPECT_EQ(stats_a.drops, stats_b.drops);
+  EXPECT_EQ(stats_a.truncations, stats_b.truncations);
+  EXPECT_EQ(stats_a.http_5xx, stats_b.http_5xx);
+  EXPECT_EQ(stats_a.corruptions, stats_b.corruptions);
+  EXPECT_GT(stats_a.total_faults(), 0u);
+
+  const auto [errors_c, stats_c] = run(0xDCBA);  // different seed, different story
+  EXPECT_NE(errors_a, errors_c);
+}
+
+// --- retry layer ------------------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffIsExponentialWithACap) {
+  RetryPolicy policy;  // base 8, cap 128
+  EXPECT_EQ(policy.backoff_for(1), 8u);
+  EXPECT_EQ(policy.backoff_for(2), 16u);
+  EXPECT_EQ(policy.backoff_for(3), 32u);
+  EXPECT_EQ(policy.backoff_for(10), 128u);
+}
+
+TEST_F(NetFaultTest, RetryRecoversRetryableFaults) {
+  auto world = make_world(plan_with({.drop_pm = 300, .http_5xx_pm = 200}), 0x2E72);
+  TlsClient client = make_client(world->network, 7);
+  RetryPolicy policy;
+  RetryStats stats;
+  Rng jitter(0x11);
+  int successes = 0;
+  for (int i = 0; i < kExchanges / 5; ++i) {
+    const auto result = request_with_retry(client, "api.example", HttpRequest{}, policy,
+                                           jitter, &world->clock, stats);
+    if (result.ok()) ++successes;
+  }
+  // Per-attempt failure ~44%; with a 4-attempt budget nearly every logical
+  // request lands. Retries happened, backoff advanced the simulated clock.
+  EXPECT_GT(successes, kExchanges / 5 - 5);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(stats.attempts, static_cast<std::uint64_t>(kExchanges / 5));
+  EXPECT_GT(world->clock.now(), 0u);
+}
+
+TEST_F(NetFaultTest, RetryGivesUpWhenEveryAttemptFails) {
+  auto world = make_world(plan_with({.drop_pm = 1000}), 0x61FE);
+  TlsClient client = make_client(world->network, 8);
+  RetryPolicy policy;
+  RetryStats stats;
+  Rng jitter(0x12);
+  const auto result =
+      request_with_retry(client, "api.example", HttpRequest{}, policy, jitter, &world->clock, stats);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, ErrorCode::ConnectionDropped);
+  EXPECT_EQ(stats.attempts, 4u);  // the full budget
+  EXPECT_EQ(stats.retries, 3u);
+  EXPECT_EQ(stats.giveups, 1u);
+}
+
+TEST_F(NetFaultTest, TerminalErrorsAreNotRetried) {
+  auto world = make_world(plan_with({.cert_swap_pm = 1000}), 0x7E27);
+  TlsClient client = make_client(world->network, 9);
+  RetryPolicy policy;
+  RetryStats stats;
+  Rng jitter(0x13);
+  const auto result =
+      request_with_retry(client, "api.example", HttpRequest{}, policy, jitter, &world->clock, stats);
+  EXPECT_EQ(result.error, ErrorCode::HandshakeFailed);
+  EXPECT_EQ(stats.attempts, 1u);  // no second attempt, no giveup accounting
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(world->clock.now(), 0u);  // no backoff either
+}
+
+TEST_F(NetFaultTest, ValidatorMakesCorruptPayloadsRetryable) {
+  // Corruption alone looks like success at the transport layer; a payload
+  // validator folds it into the retry loop.
+  auto world = make_world(plan_with({.corrupt_pm = 1000}), 0x7A11);
+  TlsClient client = make_client(world->network, 10);
+  RetryPolicy policy;
+  RetryStats stats;
+  Rng jitter(0x14);
+  HttpRequest req;
+  req.body = to_bytes("expected");
+  const auto expected = req.body;
+  const auto result = request_with_retry(
+      client, "api.example", req, policy, jitter, &world->clock, stats,
+      [&expected](const HttpResponse& r) {
+        return r.body == expected ? ErrorCode::None : ErrorCode::MalformedPayload;
+      });
+  EXPECT_EQ(result.error, ErrorCode::MalformedPayload);
+  EXPECT_EQ(stats.attempts, 4u);
+  EXPECT_EQ(stats.giveups, 1u);
+}
+
+TEST_F(NetFaultTest, EmptyPlanIsAByteTransparentWrapper) {
+  // A FaultyEndpoint with no rules must not perturb the exchange at all —
+  // this is the invariant that keeps chaos profile `none` bit-identical to
+  // the pre-fault world.
+  auto world = make_world(FaultPlan{}, 0x0);
+  TlsClient client = make_client(world->network, 11);
+  HttpRequest req;
+  req.body = to_bytes("untouched");
+  for (int i = 0; i < 20; ++i) {
+    const auto result = client.request("api.example", req);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.response->body, req.body);
+  }
+  EXPECT_EQ(world->injector->stats().total_faults(), 0u);
+  EXPECT_EQ(world->clock.now(), 0u);
+}
+
+}  // namespace
+}  // namespace wideleak::net

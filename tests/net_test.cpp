@@ -168,9 +168,13 @@ TEST_F(NetTest, SuccessfulExchange) {
   EXPECT_EQ(result.response->body, to_bytes("ping"));
 }
 
-TEST_F(NetTest, UnknownHostThrows) {
+TEST_F(NetTest, UnknownHostReportsHostUnreachable) {
   TlsClient client = make_client();
-  EXPECT_THROW(client.request("nope.example", HttpRequest{}), NetworkError);
+  const TlsExchangeResult result = client.request("nope.example", HttpRequest{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, ErrorCode::HostUnreachable);
+  EXPECT_FALSE(is_retryable(result.error));
+  EXPECT_NE(result.error_detail.find("nope.example"), std::string::npos);
 }
 
 TEST_F(NetTest, UntrustedCaFailsHandshake) {

@@ -1,0 +1,71 @@
+// WL005 fixture: a `catch (...)` whose handler neither rethrows nor logs
+// erases the failure entirely (CWE-391). In a fault-injection study that is
+// the worst possible bug — a dropped connection silently becomes "worked".
+// Handlers must surface the error (WL_LOG / log_line / throw /
+// std::rethrow_exception) or carry an explicit `// wl-lint: catch-ok`.
+#include <exception>
+
+void swallow_everything() {
+  try {
+    risky();
+  } catch (...) {  // expect: WL005
+  }
+}
+
+void swallow_with_a_fallback() {
+  try {
+    risky();
+  } catch (...) {  // expect: WL005
+    use_default_configuration();
+  }
+}
+
+void rethrow_is_fine() {
+  try {
+    risky();
+  } catch (...) {
+    cleanup();
+    throw;
+  }
+}
+
+void rethrow_exception_is_fine() {
+  try {
+    risky();
+  } catch (...) {
+    std::rethrow_exception(std::current_exception());
+  }
+}
+
+void logging_is_fine() {
+  try {
+    risky();
+  } catch (...) {
+    WL_LOG(warn) << "risky() failed; continuing degraded";
+  }
+}
+
+void log_line_is_fine() {
+  try {
+    risky();
+  } catch (...) {
+    log_line("risky() failed; continuing degraded");
+  }
+}
+
+void typed_handlers_are_not_wl005s_business() {
+  try {
+    risky();
+  } catch (const std::exception&) {
+    // A typed handler names what it expects; swallowing a *known* error is
+    // a design decision, not a hygiene violation.
+  }
+}
+
+void reviewed_suppression() {
+  try {
+    best_effort_telemetry_flush();
+    // Reviewed: telemetry is fire-and-forget by design.  wl-lint: catch-ok
+  } catch (...) {
+  }
+}

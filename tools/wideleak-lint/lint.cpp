@@ -26,6 +26,7 @@ struct LineNotes {
   bool ct_ok = false;         // wl-lint: ct-ok
   bool raw_bytes_ok = false;  // wl-lint: raw-bytes-ok
   bool reveal_ok = false;     // wl-lint: reveal-ok
+  bool catch_ok = false;      // wl-lint: catch-ok
 };
 
 struct Scan {
@@ -150,6 +151,7 @@ std::map<int, LineNotes> parse_notes(const std::map<int, std::string>& comments)
     if (text.find("ct-ok") != std::string::npos) ln.ct_ok = true;
     if (text.find("raw-bytes-ok") != std::string::npos) ln.raw_bytes_ok = true;
     if (text.find("reveal-ok") != std::string::npos) ln.reveal_ok = true;
+    if (text.find("catch-ok") != std::string::npos) ln.catch_ok = true;
   }
   return notes;
 }
@@ -557,6 +559,41 @@ struct Linter {
                "' holds key material; use wideleak::SecretBytes (CWE-922)");
     }
   }
+
+  // -- WL005: catch-all handlers that swallow the error ---------------------
+  void check_wl005() {
+    for (std::size_t i = 0; i + 4 < toks.size(); ++i) {
+      if (!toks[i].is_ident || toks[i].text != "catch") continue;
+      if (toks[i + 1].text != "(" || toks[i + 2].text != "..." ||
+          toks[i + 3].text != ")" || toks[i + 4].text != "{") {
+        continue;  // typed handlers name what they expect; only `...` hides it
+      }
+      // Brace-match the handler body.
+      int depth = 0;
+      std::size_t close = i + 4;
+      for (; close < toks.size(); ++close) {
+        if (toks[close].text == "{") ++depth;
+        if (toks[close].text == "}") {
+          --depth;
+          if (depth == 0) break;
+        }
+      }
+      bool surfaces_error = false;
+      for (std::size_t j = i + 5; j < close; ++j) {
+        const std::string& t = toks[j].text;
+        if (t == "throw" || t == "rethrow_exception" || t == "WL_LOG" ||
+            t == "log_line") {
+          surfaces_error = true;
+          break;
+        }
+      }
+      if (surfaces_error) continue;
+      if (suppressed(toks[i].line, &LineNotes::catch_ok)) continue;
+      flag(toks[i].line, "WL005",
+           "catch (...) swallows the error without logging or rethrowing "
+           "(CWE-391); log it, rethrow, or annotate '// wl-lint: catch-ok'");
+    }
+  }
 };
 
 }  // namespace
@@ -569,6 +606,7 @@ std::vector<Violation> lint_source(const std::string& path, const std::string& s
   linter.check_wl001();
   linter.check_wl002();
   linter.check_decls();
+  linter.check_wl005();
   std::sort(linter.violations.begin(), linter.violations.end(),
             [](const Violation& a, const Violation& b) {
               return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);

@@ -18,6 +18,10 @@
 //   WL004  raw `Bytes` returned by value from a secret-named accessor
 //          without an explicit `// wl-lint: reveal-ok` annotation.
 //          (CWE-200: uncontrolled secret exposure across an API edge.)
+//   WL005  `catch (...)` whose handler neither rethrows (throw /
+//          std::rethrow_exception) nor logs (WL_LOG / log_line) — the
+//          failure disappears, which is how degraded-mode bugs hide.
+//          (CWE-391: unchecked error condition.)
 //
 // Suppressions, written as ordinary comments on the flagged line or the
 // line above:
@@ -25,6 +29,7 @@
 //   // wl-lint: ct-ok         (WL002)
 //   // wl-lint: raw-bytes-ok  (WL003)
 //   // wl-lint: reveal-ok     (WL004)
+//   // wl-lint: catch-ok      (WL005)
 //
 // Fixture self-test: every line carrying `// expect: WLxxx[,WLyyy]` must be
 // flagged with exactly those rules, and no unmarked line may be flagged.
@@ -38,7 +43,7 @@ namespace wideleak::lint {
 struct Violation {
   std::string file;
   int line = 0;
-  std::string rule;     // "WL001".."WL004"
+  std::string rule;     // "WL001".."WL005"
   std::string message;  // human-readable finding
 };
 
