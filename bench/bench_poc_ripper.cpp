@@ -10,6 +10,8 @@
 
 #include "core/report.hpp"
 #include "ott/catalog.hpp"
+#include "support/bench_report.hpp"
+#include "support/crc32.hpp"
 
 int main() {
   using namespace wideleak;
@@ -39,5 +41,26 @@ int main() {
   std::cout << "[bench] full 10-app rip campaign: "
             << std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count()
             << " ms\n";
+
+  // Perf trajectory record: total media bytes ripped, wall time, and a
+  // checksum over every app's recovered stream (order-stable) so runs can
+  // be diffed for both speed and bit-identity.
+  std::size_t media_bytes = 0;
+  Bytes per_app_crcs;
+  for (const auto& result : results) {
+    media_bytes += result.drm_free_media.size();
+    const std::uint32_t c = crc32(BytesView(result.drm_free_media));
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      per_app_crcs.push_back(static_cast<std::uint8_t>(c >> shift));
+    }
+  }
+  const std::uint32_t media_crc = crc32(BytesView(per_app_crcs));
+  support::BenchReport report("poc_ripper");
+  report.add("rip_catalog", media_bytes,
+             static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()),
+             media_crc);
+  report.write_file("BENCH_poc_ripper.json");
+
   return ripped == 6 && !any_hd ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "android/media_crypto.hpp"
 
+#include <cstring>
+
 #include "support/errors.hpp"
 
 namespace wideleak::android {
@@ -19,21 +21,33 @@ Bytes MediaCrypto::decrypt_sample(const media::KeyId& kid, BytesView sample,
 
   // CENC semantics: within one sample the CTR keystream runs continuously
   // across protected ranges, so we decrypt their concatenation in one call
-  // and then re-interleave with the clear ranges.
-  Bytes protected_concat;
+  // and then re-interleave with the clear ranges. The gather buffer comes
+  // from the session's scratch arena — steady state allocates nothing.
+  arena_.reset();
+  std::size_t protected_total = 0;
   std::size_t pos = 0;
   for (const auto& sub : entry.subsamples) {
     if (pos + sub.clear_bytes + sub.protected_bytes > sample.size()) {
       throw ParseError("MediaCrypto: subsample map overruns sample");
     }
+    pos += sub.clear_bytes + sub.protected_bytes;
+    protected_total += sub.protected_bytes;
+  }
+  std::span<std::uint8_t> protected_concat = arena_.alloc(protected_total);
+  pos = 0;
+  std::size_t gather = 0;
+  for (const auto& sub : entry.subsamples) {
     pos += sub.clear_bytes;
-    protected_concat.insert(protected_concat.end(), sample.begin() + static_cast<std::ptrdiff_t>(pos),
-                            sample.begin() + static_cast<std::ptrdiff_t>(pos + sub.protected_bytes));
+    if (sub.protected_bytes != 0) {
+      std::memcpy(protected_concat.data() + gather, sample.data() + pos, sub.protected_bytes);
+    }
+    gather += sub.protected_bytes;
     pos += sub.protected_bytes;
   }
 
-  Bytes decrypted;
-  const auto result = cdm.decrypt_sample(session_, entry.iv, protected_concat, decrypted);
+  decrypted_.clear();
+  const auto result =
+      cdm.decrypt_sample(session_, entry.iv, BytesView(protected_concat), decrypted_);
   if (result != widevine::OemCryptoResult::Success) {
     throw StateError("MediaCrypto: decrypt failed: " + widevine::to_string(result));
   }
@@ -46,8 +60,8 @@ Bytes MediaCrypto::decrypt_sample(const media::KeyId& kid, BytesView sample,
     out.insert(out.end(), sample.begin() + static_cast<std::ptrdiff_t>(pos),
                sample.begin() + static_cast<std::ptrdiff_t>(pos + sub.clear_bytes));
     pos += sub.clear_bytes;
-    out.insert(out.end(), decrypted.begin() + static_cast<std::ptrdiff_t>(dec_pos),
-               decrypted.begin() + static_cast<std::ptrdiff_t>(dec_pos + sub.protected_bytes));
+    out.insert(out.end(), decrypted_.begin() + static_cast<std::ptrdiff_t>(dec_pos),
+               decrypted_.begin() + static_cast<std::ptrdiff_t>(dec_pos + sub.protected_bytes));
     dec_pos += sub.protected_bytes;
     pos += sub.protected_bytes;
   }

@@ -6,6 +6,7 @@
 
 #include "android/media_drm.hpp"
 #include "media/mp4.hpp"
+#include "support/arena.hpp"
 
 namespace wideleak::android {
 
@@ -24,6 +25,10 @@ class MediaCrypto {
  private:
   MediaDrm& drm_;
   MediaDrm::SessionId session_;
+  // Per-session scratch: gather buffers for subsample concatenation and the
+  // CDM's decrypted output, recycled across samples.
+  support::ScratchArena arena_;
+  Bytes decrypted_;
 };
 
 }  // namespace wideleak::android

@@ -6,11 +6,10 @@ KeyboxRecoveryResult scan_for_keybox(const hooking::ProcessMemory& memory) {
   KeyboxRecoveryResult result;
   const Bytes magic(widevine::kKeyboxMagic, widevine::kKeyboxMagic + 4);
 
-  const auto snapshot = memory.snapshot();
-  result.regions_scanned = snapshot.size();
-  for (const hooking::MemoryRegion& region : snapshot) {
-    result.bytes_scanned += region.data.size();
-  }
+  // Stats come straight off the region table — no deep copy of every
+  // region's bytes just to count them.
+  result.regions_scanned = memory.region_count();
+  result.bytes_scanned = memory.total_bytes();
 
   for (const hooking::ScanHit& hit : memory.scan(BytesView(magic))) {
     // The magic sits at offset 120 of a 128-byte structure; reject hits
@@ -21,12 +20,13 @@ KeyboxRecoveryResult scan_for_keybox(const hooking::ProcessMemory& memory) {
     if (start + widevine::kKeyboxSize > data.size()) continue;
     ++result.magic_hits;
 
+    // CRC before structure: candidates are checksum-filtered in place and
+    // only the winner pays for a parse (SecretBytes copy of the key field).
     const BytesView candidate(data.data() + start, widevine::kKeyboxSize);
-    const auto parsed = widevine::Keybox::parse(candidate);
-    if (!parsed) continue;
+    if (!widevine::Keybox::validate(candidate)) continue;
     ++result.crc_validated;
     if (!result.keybox) {
-      result.keybox = parsed;
+      result.keybox = widevine::Keybox::parse(candidate);
       result.source_region = hit.region_name;
     }
   }

@@ -96,15 +96,15 @@ RipResult ContentRipper::rip_app(const ott::OttAppProfile& profile) {
     } catch (const Error&) {
       return false;
     }
-    Bytes clear;
+    // Decrypt straight into the reconstruction buffer — no per-track
+    // intermediate copy.
     if (track.encrypted) {
       const auto key = keys.find(hex_encode(track.key_id));
       if (key == keys.end()) return false;  // e.g. an HD key we never got
-      clear = media::cenc_decrypt_track(track, key->second);
+      media::cenc_decrypt_track_append(track, key->second, reconstruction);
     } else {
-      clear = media::raw_sample_stream(track);
+      media::raw_sample_stream_append(track, reconstruction);
     }
-    reconstruction.insert(reconstruction.end(), clear.begin(), clear.end());
     return true;
   };
 

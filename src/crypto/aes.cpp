@@ -1,7 +1,13 @@
 #include "crypto/aes.hpp"
 
+#include <atomic>
 #include <cstring>
 #include <stdexcept>
+
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+#define WIDELEAK_AESNI_COMPILED 1
+#include <immintrin.h>
+#endif
 
 namespace wideleak::crypto {
 
@@ -43,7 +49,7 @@ constexpr std::uint8_t kInvSbox[256] = {
     0xa0, 0xe0, 0x3b, 0x4d, 0xae, 0x2a, 0xf5, 0xb0, 0xc8, 0xeb, 0xbb, 0x3c, 0x83, 0x53, 0x99, 0x61,
     0x17, 0x2b, 0x04, 0x7e, 0xba, 0x77, 0xd6, 0x26, 0xe1, 0x69, 0x14, 0x63, 0x55, 0x21, 0x0c, 0x7d};
 
-std::uint8_t xtime(std::uint8_t x) {
+constexpr std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
 }
 
@@ -55,6 +61,46 @@ std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
     b >>= 1;
   }
   return p;
+}
+
+// T-tables: one AES round collapses to 16 table loads + xors. Each entry
+// packs the MixColumns column {2s, s, s, 3s} for one S-box output, in the
+// big-endian word orientation the round keys already use; Te1..Te3 are the
+// byte rotations serving the other three rows.
+struct TeTables {
+  std::uint32_t t0[256]{}, t1[256]{}, t2[256]{}, t3[256]{};
+};
+
+constexpr TeTables make_te_tables() {
+  TeTables t{};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[i];
+    const std::uint8_t s2 = xtime(s);
+    const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+    t.t0[i] = static_cast<std::uint32_t>(s2) << 24 | static_cast<std::uint32_t>(s) << 16 |
+              static_cast<std::uint32_t>(s) << 8 | s3;
+    t.t1[i] = static_cast<std::uint32_t>(s3) << 24 | static_cast<std::uint32_t>(s2) << 16 |
+              static_cast<std::uint32_t>(s) << 8 | s;
+    t.t2[i] = static_cast<std::uint32_t>(s) << 24 | static_cast<std::uint32_t>(s3) << 16 |
+              static_cast<std::uint32_t>(s2) << 8 | s;
+    t.t3[i] = static_cast<std::uint32_t>(s) << 24 | static_cast<std::uint32_t>(s) << 16 |
+              static_cast<std::uint32_t>(s3) << 8 | s2;
+  }
+  return t;
+}
+
+constexpr TeTables kTe = make_te_tables();
+
+std::uint32_t load_be32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 | static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 | p[3];
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
 }
 
 std::uint32_t sub_word(std::uint32_t w) {
@@ -75,40 +121,17 @@ void add_round_key(std::uint8_t state[16], const std::uint32_t* rk) {
   }
 }
 
-void sub_bytes(std::uint8_t state[16]) {
-  for (int i = 0; i < 16; ++i) state[i] = kSbox[state[i]];
-}
-
 void inv_sub_bytes(std::uint8_t state[16]) {
   for (int i = 0; i < 16; ++i) state[i] = kInvSbox[state[i]];
 }
 
 // State layout: state[4*c + r] = byte at row r, column c (column-major,
 // matching the FIPS-197 input ordering).
-void shift_rows(std::uint8_t state[16]) {
-  std::uint8_t tmp[16];
-  std::memcpy(tmp, state, 16);
-  for (int r = 1; r < 4; ++r) {
-    for (int c = 0; c < 4; ++c) state[4 * c + r] = tmp[4 * ((c + r) % 4) + r];
-  }
-}
-
 void inv_shift_rows(std::uint8_t state[16]) {
   std::uint8_t tmp[16];
   std::memcpy(tmp, state, 16);
   for (int r = 1; r < 4; ++r) {
     for (int c = 0; c < 4; ++c) state[4 * ((c + r) % 4) + r] = tmp[4 * c + r];
-  }
-}
-
-void mix_columns(std::uint8_t state[16]) {
-  for (int c = 0; c < 4; ++c) {
-    std::uint8_t* col = state + 4 * c;
-    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-    col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
-    col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
-    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
-    col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
   }
 }
 
@@ -123,7 +146,65 @@ void inv_mix_columns(std::uint8_t state[16]) {
   }
 }
 
+std::atomic<AesEngine> g_engine{AesEngine::Auto};
+
+#if defined(WIDELEAK_AESNI_COMPILED)
+
+// AES-NI wants the round keys as state-ordered byte vectors; our schedule
+// stores big-endian words, so each key is serialized once per call. The
+// conversion is 15 loads against thousands of AESENC-pipelined blocks.
+__attribute__((target("aes,sse2"))) void encrypt_blocks_aesni(const std::uint32_t* rk_words,
+                                                              int rounds, const std::uint8_t* in,
+                                                              std::uint8_t* out,
+                                                              std::size_t count) {
+  __m128i rk[15];
+  for (int r = 0; r <= rounds; ++r) {
+    std::uint8_t b[16];
+    for (int c = 0; c < 4; ++c) store_be32(b + 4 * c, rk_words[4 * r + c]);
+    rk[r] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b));
+  }
+  const __m128i* src = reinterpret_cast<const __m128i*>(in);
+  __m128i* dst = reinterpret_cast<__m128i*>(out);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m128i b0 = _mm_xor_si128(_mm_loadu_si128(src + i + 0), rk[0]);
+    __m128i b1 = _mm_xor_si128(_mm_loadu_si128(src + i + 1), rk[0]);
+    __m128i b2 = _mm_xor_si128(_mm_loadu_si128(src + i + 2), rk[0]);
+    __m128i b3 = _mm_xor_si128(_mm_loadu_si128(src + i + 3), rk[0]);
+    for (int r = 1; r < rounds; ++r) {
+      b0 = _mm_aesenc_si128(b0, rk[r]);
+      b1 = _mm_aesenc_si128(b1, rk[r]);
+      b2 = _mm_aesenc_si128(b2, rk[r]);
+      b3 = _mm_aesenc_si128(b3, rk[r]);
+    }
+    _mm_storeu_si128(dst + i + 0, _mm_aesenclast_si128(b0, rk[rounds]));
+    _mm_storeu_si128(dst + i + 1, _mm_aesenclast_si128(b1, rk[rounds]));
+    _mm_storeu_si128(dst + i + 2, _mm_aesenclast_si128(b2, rk[rounds]));
+    _mm_storeu_si128(dst + i + 3, _mm_aesenclast_si128(b3, rk[rounds]));
+  }
+  for (; i < count; ++i) {
+    __m128i b = _mm_xor_si128(_mm_loadu_si128(src + i), rk[0]);
+    for (int r = 1; r < rounds; ++r) b = _mm_aesenc_si128(b, rk[r]);
+    _mm_storeu_si128(dst + i, _mm_aesenclast_si128(b, rk[rounds]));
+  }
+}
+
+#endif  // WIDELEAK_AESNI_COMPILED
+
 }  // namespace
+
+void set_aes_engine(AesEngine engine) { g_engine.store(engine, std::memory_order_relaxed); }
+
+AesEngine aes_engine() { return g_engine.load(std::memory_order_relaxed); }
+
+bool aesni_available() {
+#if defined(WIDELEAK_AESNI_COMPILED)
+  static const bool ok = __builtin_cpu_supports("aes") != 0;
+  return ok;
+#else
+  return false;
+#endif
+}
 
 Aes::Aes(BytesView key) {
   const std::size_t nk = key.size() / 4;  // key length in 32-bit words
@@ -134,10 +215,7 @@ Aes::Aes(BytesView key) {
   const std::size_t total_words = 4 * (static_cast<std::size_t>(rounds_) + 1);
 
   for (std::size_t i = 0; i < nk; ++i) {
-    round_keys_[i] = static_cast<std::uint32_t>(key[4 * i]) << 24 |
-                     static_cast<std::uint32_t>(key[4 * i + 1]) << 16 |
-                     static_cast<std::uint32_t>(key[4 * i + 2]) << 8 |
-                     static_cast<std::uint32_t>(key[4 * i + 3]);
+    round_keys_[i] = load_be32(key.data() + 4 * i);
   }
   std::uint32_t rcon = 0x01000000;
   for (std::size_t i = nk; i < total_words; ++i) {
@@ -156,19 +234,51 @@ Aes::~Aes() { secure_wipe(round_keys_.data(), round_keys_.size() * sizeof(round_
 
 void Aes::encrypt_block(const std::uint8_t in[kAesBlockSize],
                         std::uint8_t out[kAesBlockSize]) const {
-  std::uint8_t state[16];
-  std::memcpy(state, in, 16);
-  add_round_key(state, round_keys_.data());
+  const std::uint32_t* rk = round_keys_.data();
+  std::uint32_t s0 = load_be32(in + 0) ^ rk[0];
+  std::uint32_t s1 = load_be32(in + 4) ^ rk[1];
+  std::uint32_t s2 = load_be32(in + 8) ^ rk[2];
+  std::uint32_t s3 = load_be32(in + 12) ^ rk[3];
   for (int round = 1; round < rounds_; ++round) {
-    sub_bytes(state);
-    shift_rows(state);
-    mix_columns(state);
-    add_round_key(state, round_keys_.data() + 4 * round);
+    rk += 4;
+    const std::uint32_t t0 = kTe.t0[s0 >> 24] ^ kTe.t1[(s1 >> 16) & 0xff] ^
+                             kTe.t2[(s2 >> 8) & 0xff] ^ kTe.t3[s3 & 0xff] ^ rk[0];
+    const std::uint32_t t1 = kTe.t0[s1 >> 24] ^ kTe.t1[(s2 >> 16) & 0xff] ^
+                             kTe.t2[(s3 >> 8) & 0xff] ^ kTe.t3[s0 & 0xff] ^ rk[1];
+    const std::uint32_t t2 = kTe.t0[s2 >> 24] ^ kTe.t1[(s3 >> 16) & 0xff] ^
+                             kTe.t2[(s0 >> 8) & 0xff] ^ kTe.t3[s1 & 0xff] ^ rk[2];
+    const std::uint32_t t3 = kTe.t0[s3 >> 24] ^ kTe.t1[(s0 >> 16) & 0xff] ^
+                             kTe.t2[(s1 >> 8) & 0xff] ^ kTe.t3[s2 & 0xff] ^ rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
   }
-  sub_bytes(state);
-  shift_rows(state);
-  add_round_key(state, round_keys_.data() + 4 * rounds_);
-  std::memcpy(out, state, 16);
+  rk += 4;
+  const std::uint32_t o0 = (static_cast<std::uint32_t>(kSbox[s0 >> 24]) << 24 |
+                            static_cast<std::uint32_t>(kSbox[(s1 >> 16) & 0xff]) << 16 |
+                            static_cast<std::uint32_t>(kSbox[(s2 >> 8) & 0xff]) << 8 |
+                            kSbox[s3 & 0xff]) ^
+                           rk[0];
+  const std::uint32_t o1 = (static_cast<std::uint32_t>(kSbox[s1 >> 24]) << 24 |
+                            static_cast<std::uint32_t>(kSbox[(s2 >> 16) & 0xff]) << 16 |
+                            static_cast<std::uint32_t>(kSbox[(s3 >> 8) & 0xff]) << 8 |
+                            kSbox[s0 & 0xff]) ^
+                           rk[1];
+  const std::uint32_t o2 = (static_cast<std::uint32_t>(kSbox[s2 >> 24]) << 24 |
+                            static_cast<std::uint32_t>(kSbox[(s3 >> 16) & 0xff]) << 16 |
+                            static_cast<std::uint32_t>(kSbox[(s0 >> 8) & 0xff]) << 8 |
+                            kSbox[s1 & 0xff]) ^
+                           rk[2];
+  const std::uint32_t o3 = (static_cast<std::uint32_t>(kSbox[s3 >> 24]) << 24 |
+                            static_cast<std::uint32_t>(kSbox[(s0 >> 16) & 0xff]) << 16 |
+                            static_cast<std::uint32_t>(kSbox[(s1 >> 8) & 0xff]) << 8 |
+                            kSbox[s2 & 0xff]) ^
+                           rk[3];
+  store_be32(out + 0, o0);
+  store_be32(out + 4, o1);
+  store_be32(out + 8, o2);
+  store_be32(out + 12, o3);
 }
 
 void Aes::decrypt_block(const std::uint8_t in[kAesBlockSize],
@@ -198,6 +308,18 @@ AesBlock Aes::decrypt_block(const AesBlock& in) const {
   AesBlock out;
   decrypt_block(in.data(), out.data());
   return out;
+}
+
+void Aes::encrypt_blocks(const std::uint8_t* in, std::uint8_t* out, std::size_t count) const {
+#if defined(WIDELEAK_AESNI_COMPILED)
+  if (aes_engine() == AesEngine::Auto && aesni_available()) {
+    encrypt_blocks_aesni(round_keys_.data(), rounds_, in, out, count);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < count; ++i) {
+    encrypt_block(in + i * kAesBlockSize, out + i * kAesBlockSize);
+  }
 }
 
 }  // namespace wideleak::crypto

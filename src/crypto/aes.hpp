@@ -2,6 +2,16 @@
 //
 // This is the primitive under everything in the Widevine stack: the keybox
 // device key, CMAC key derivation, content-key wrapping and CENC itself.
+//
+// Encryption has two engines behind one interface:
+//   - a portable T-table path (four 1 KiB constexpr tables, one round =
+//     16 loads + xors) used for single blocks and as the fallback, and
+//   - an AES-NI path compiled per-function via the `target("aes")`
+//     attribute (or tree-wide when __AES__ is set) and selected at runtime
+//     with cpuid, used by `encrypt_blocks` for 4-block batches.
+// The batch entry point is what the CENC/CTR data plane feeds: callers
+// precompute a run of counter blocks and encrypt them in one call instead
+// of paying per-block dispatch and per-byte loop overhead.
 #pragma once
 
 #include <array>
@@ -15,6 +25,16 @@ namespace wideleak::crypto {
 inline constexpr std::size_t kAesBlockSize = 16;
 
 using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+/// Engine override for `Aes::encrypt_blocks`. `Auto` picks AES-NI when the
+/// CPU has it; `Portable` forces the T-table path. Bench-only escape hatch
+/// for measuring both engines on the same machine — not for product code.
+enum class AesEngine { Auto, Portable };
+void set_aes_engine(AesEngine engine);
+AesEngine aes_engine();
+
+/// True when this build carries the AES-NI path and the CPU supports it.
+bool aesni_available();
 
 /// One expanded AES key, usable for both encryption and decryption.
 class Aes {
@@ -37,6 +57,12 @@ class Aes {
 
   AesBlock encrypt_block(const AesBlock& in) const;
   AesBlock decrypt_block(const AesBlock& in) const;
+
+  /// Encrypt `count` independent 16-byte blocks from `in` to `out`
+  /// (ECB-style; CTR callers pass precomputed counter blocks). `in` and
+  /// `out` may alias exactly. Dispatches to AES-NI when available unless
+  /// the engine override says otherwise.
+  void encrypt_blocks(const std::uint8_t* in, std::uint8_t* out, std::size_t count) const;
 
   int rounds() const { return rounds_; }
 

@@ -23,6 +23,22 @@ void increment_counter(AesBlock& counter) {
   }
 }
 
+void xor_bytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+// Keystream run length per encrypt_blocks call. Large enough to amortize the
+// AES-NI round-key setup, small enough to live on the stack.
+constexpr std::size_t kCtrBatchBlocks = 64;
+
 Bytes cbc_encrypt_blocks(const Aes& key, BytesView iv, BytesView padded) {
   AesBlock chain = load_iv(iv);
   Bytes out(padded.size());
@@ -89,6 +105,11 @@ Bytes aes_ctr_crypt(const Aes& key, BytesView iv, BytesView data) {
   return stream.process(data);
 }
 
+void aes_ctr_crypt_in_place(const Aes& key, BytesView iv, std::span<std::uint8_t> data) {
+  AesCtrStream stream(key, iv);
+  stream.xor_in_place(data);
+}
+
 AesCtrStream::AesCtrStream(const Aes& key, BytesView iv) : key_(key), counter_(load_iv(iv)) {}
 
 void AesCtrStream::refill() {
@@ -98,20 +119,55 @@ void AesCtrStream::refill() {
 }
 
 Bytes AesCtrStream::process(BytesView data) {
-  Bytes out(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    if (used_ == kAesBlockSize) refill();
-    out[i] = data[i] ^ keystream_[used_++];
-  }
+  Bytes out(data.begin(), data.end());
+  xor_in_place(out.data(), out.size());
   return out;
 }
 
+void AesCtrStream::xor_in_place(std::uint8_t* data, std::size_t n) {
+  // Drain whatever is left of the current keystream block.
+  if (used_ < kAesBlockSize) {
+    const std::size_t take = std::min(n, kAesBlockSize - used_);
+    xor_bytes(data, keystream_.data() + used_, take);
+    used_ += take;
+    data += take;
+    n -= take;
+  }
+  // Batched middle: whole blocks come straight off the counter, encrypted
+  // in multi-block runs, never touching keystream_.
+  std::uint8_t counters[kCtrBatchBlocks * kAesBlockSize];
+  while (n >= kAesBlockSize) {
+    const std::size_t blocks = std::min(n / kAesBlockSize, kCtrBatchBlocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::memcpy(counters + b * kAesBlockSize, counter_.data(), kAesBlockSize);
+      increment_counter(counter_);
+    }
+    key_.encrypt_blocks(counters, counters, blocks);
+    xor_bytes(data, counters, blocks * kAesBlockSize);
+    data += blocks * kAesBlockSize;
+    n -= blocks * kAesBlockSize;
+  }
+  // Partial tail starts a fresh keystream block.
+  if (n > 0) {
+    refill();
+    xor_bytes(data, keystream_.data(), n);
+    used_ = n;
+  }
+}
+
 void AesCtrStream::skip(std::size_t n) {
-  while (n > 0) {
-    if (used_ == kAesBlockSize) refill();
+  if (used_ < kAesBlockSize) {
     const std::size_t take = std::min(n, kAesBlockSize - used_);
     used_ += take;
     n -= take;
+  }
+  // Whole skipped blocks never need their keystream — just advance the
+  // counter.
+  for (std::size_t b = n / kAesBlockSize; b > 0; --b) increment_counter(counter_);
+  const std::size_t rem = n % kAesBlockSize;
+  if (rem > 0) {
+    refill();
+    used_ = rem;
   }
 }
 

@@ -4,6 +4,8 @@
 //   - CTR: CENC 'cenc' scheme sample encryption and TLS record protection.
 #pragma once
 
+#include <span>
+
 #include "crypto/aes.hpp"
 #include "support/bytes.hpp"
 
@@ -24,6 +26,9 @@ Bytes aes_cbc_decrypt_nopad(const Aes& key, BytesView iv, BytesView ciphertext);
 /// `iv` is the initial 16-byte counter block; the low 64 bits increment.
 Bytes aes_ctr_crypt(const Aes& key, BytesView iv, BytesView data);
 
+/// Same keystream, no allocation: XOR straight into `data`.
+void aes_ctr_crypt_in_place(const Aes& key, BytesView iv, std::span<std::uint8_t> data);
+
 /// AES-CTR over `data` starting at block offset `block_offset` with an
 /// additional byte offset into that block — what CENC subsample decryption
 /// needs when a sample's protected ranges are discontiguous.
@@ -32,9 +37,18 @@ class AesCtrStream {
   AesCtrStream(const Aes& key, BytesView iv);
 
   /// XOR the next `data.size()` keystream bytes into a copy of `data`.
+  /// Thin wrapper over `xor_in_place`; prefer the in-place form on hot paths.
   Bytes process(BytesView data);
 
-  /// Skip `n` keystream bytes without producing output.
+  /// XOR the next `n` keystream bytes into `data` in place. This is the
+  /// batched core: after draining any partial keystream block, whole blocks
+  /// are encrypted straight off the counter in multi-block runs
+  /// (`Aes::encrypt_blocks`) instead of one refill per 16 bytes.
+  void xor_in_place(std::uint8_t* data, std::size_t n);
+  void xor_in_place(std::span<std::uint8_t> data) { xor_in_place(data.data(), data.size()); }
+
+  /// Skip `n` keystream bytes without producing output. Whole skipped
+  /// blocks only advance the counter — nothing is encrypted for them.
   void skip(std::size_t n);
 
  private:

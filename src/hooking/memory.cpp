@@ -1,6 +1,7 @@
 #include "hooking/memory.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "support/errors.hpp"
 
@@ -41,16 +42,26 @@ std::vector<MemoryRegion> ProcessMemory::snapshot() const {
 std::vector<ScanHit> ProcessMemory::scan(BytesView pattern) const {
   std::vector<ScanHit> hits;
   if (pattern.empty()) return hits;
+  // memchr-hop: let libc's vectorized memchr race to each candidate first
+  // byte, then confirm the remainder with one memcmp. Overlapping matches
+  // are kept (the cursor advances one byte past each hit, like the old
+  // std::search loop did).
+  const std::uint8_t first = pattern[0];
+  const std::size_t rest_len = pattern.size() - 1;
   for (const auto& [id, region] : regions_) {
     const Bytes& data = region.data;
     if (data.size() < pattern.size()) continue;
-    auto it = data.begin();
-    for (;;) {
-      it = std::search(it, data.end(), pattern.begin(), pattern.end());
-      if (it == data.end()) break;
-      hits.push_back(ScanHit{id, region.name,
-                             static_cast<std::size_t>(std::distance(data.begin(), it))});
-      ++it;
+    const std::uint8_t* base = data.data();
+    const std::uint8_t* cursor = base;
+    const std::uint8_t* last_start = base + (data.size() - pattern.size());
+    while (cursor <= last_start) {
+      const auto* hit = static_cast<const std::uint8_t*>(
+          std::memchr(cursor, first, static_cast<std::size_t>(last_start - cursor) + 1));
+      if (hit == nullptr) break;
+      if (rest_len == 0 || std::memcmp(hit + 1, pattern.data() + 1, rest_len) == 0) {
+        hits.push_back(ScanHit{id, region.name, static_cast<std::size_t>(hit - base)});
+      }
+      cursor = hit + 1;
     }
   }
   return hits;

@@ -1,5 +1,8 @@
 #include "media/cenc.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 #include "crypto/modes.hpp"
 #include "support/byte_io.hpp"
 #include "support/errors.hpp"
@@ -8,9 +11,9 @@ namespace wideleak::media {
 
 namespace {
 
-Bytes sixteen_byte_iv(BytesView iv) {
-  Bytes full(iv.begin(), iv.end());
-  full.resize(crypto::kAesBlockSize, 0x00);
+crypto::AesBlock sixteen_byte_iv(BytesView iv) {
+  crypto::AesBlock full{};
+  std::memcpy(full.data(), iv.data(), std::min(iv.size(), crypto::kAesBlockSize));
   return full;
 }
 
@@ -33,18 +36,21 @@ Bytes PackagedTrack::to_file() const {
   moof.children.push_back(tenc.to_box());
   if (encrypted) moof.children.push_back(senc.to_box());
 
+  std::size_t mdat_size = 4;
+  for (const Bytes& s : samples) mdat_size += 4 + s.size();
   ByteWriter sample_writer;
+  sample_writer.reserve(mdat_size);
   sample_writer.u32(static_cast<std::uint32_t>(samples.size()));
   for (const Bytes& s : samples) sample_writer.var_bytes(s);
   Box mdat{.fourcc = "mdat", .payload = sample_writer.take(), .children = {}};
 
-  Bytes out;
   Box ftyp{.fourcc = "ftyp", .payload = to_bytes("wl10"), .children = {}};
-  for (const Box* box : {&ftyp, &moov, &moof, &mdat}) {
-    const Bytes b = box->serialize();
-    out.insert(out.end(), b.begin(), b.end());
-  }
-  return out;
+  ByteWriter file_writer;
+  std::size_t file_size = 0;
+  for (const Box* box : {&ftyp, &moov, &moof, &mdat}) file_size += box->serialized_size();
+  file_writer.reserve(file_size);
+  for (const Box* box : {&ftyp, &moov, &moof, &mdat}) box->serialize_into(file_writer);
+  return file_writer.take();
 }
 
 PackagedTrack PackagedTrack::from_file(BytesView file) {
@@ -78,6 +84,7 @@ PackagedTrack PackagedTrack::from_file(BytesView file) {
   const std::uint32_t count = r.u32();
   // Each sample needs at least its 4-byte length prefix.
   if (count > r.remaining() / 4) throw ParseError("cenc: sample count exceeds mdat");
+  out.samples.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) out.samples.push_back(r.var_bytes());
   return out;
 }
@@ -94,6 +101,7 @@ PackagedTrack package_clear(const TrakBox& track, const std::vector<Frame>& fram
   PackagedTrack out;
   out.track = track;
   out.encrypted = false;
+  out.samples.reserve(frames.size());
   for (const Frame& frame : frames) out.samples.push_back(frame.serialize());
   return out;
 }
@@ -105,21 +113,22 @@ PackagedTrack package_encrypted(const TrakBox& track, const std::vector<Frame>& 
   out.track = track;
   out.encrypted = true;
   out.key_id = key_id;
+  out.senc.entries.reserve(frames.size());
+  out.samples.reserve(frames.size());
   for (const Frame& frame : frames) {
-    const Bytes record = frame.serialize();
+    // Encrypt in place: the serialized record becomes the sample, with the
+    // protected range XORed where it sits.
+    Bytes sample = frame.serialize();
     SampleEncryptionEntry entry;
     entry.iv = rng.next_bytes(8);  // 8-byte IVs, as common in cenc content
     // One subsample: frame header clear, payload + CRC protected.
     SampleEncryptionEntry::Subsample sub;
     sub.clear_bytes = static_cast<std::uint16_t>(Frame::header_size());
-    sub.protected_bytes = static_cast<std::uint32_t>(record.size() - Frame::header_size());
+    sub.protected_bytes = static_cast<std::uint32_t>(sample.size() - Frame::header_size());
     entry.subsamples.push_back(sub);
 
-    Bytes sample(record.begin(), record.begin() + static_cast<std::ptrdiff_t>(sub.clear_bytes));
     crypto::AesCtrStream stream(aes, BytesView(sixteen_byte_iv(entry.iv)));
-    const Bytes ciphertext = stream.process(
-        BytesView(record.data() + sub.clear_bytes, sub.protected_bytes));
-    sample.insert(sample.end(), ciphertext.begin(), ciphertext.end());
+    stream.xor_in_place(sample.data() + sub.clear_bytes, sub.protected_bytes);
 
     out.senc.entries.push_back(std::move(entry));
     out.samples.push_back(std::move(sample));
@@ -128,38 +137,73 @@ PackagedTrack package_encrypted(const TrakBox& track, const std::vector<Frame>& 
 }
 
 Bytes cenc_decrypt_track(const PackagedTrack& track, BytesView key) {
+  Bytes out;
+  cenc_decrypt_track_append(track, key, out);
+  return out;
+}
+
+void cenc_decrypt_track_append(const PackagedTrack& track, BytesView key, Bytes& out) {
   if (!track.encrypted) throw CryptoError("cenc_decrypt_track: track is clear");
   if (track.senc.entries.size() != track.samples.size()) {
     throw ParseError("cenc_decrypt_track: senc/sample count mismatch");
   }
+  // Validate every subsample map before touching `out` so a malformed
+  // track (fault-injected or hostile) leaves the caller's buffer intact.
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < track.samples.size(); ++i) {
+    std::size_t pos = 0;
+    for (const auto& sub : track.senc.entries[i].subsamples) {
+      if (pos + sub.clear_bytes + sub.protected_bytes > track.samples[i].size()) {
+        throw ParseError("cenc_decrypt_track: subsample overruns sample");
+      }
+      pos += sub.clear_bytes + sub.protected_bytes;
+    }
+    total += track.samples[i].size();
+  }
+
   const crypto::Aes aes(key);
-  Bytes out;
+  out.reserve(out.size() + total);
   for (std::size_t i = 0; i < track.samples.size(); ++i) {
     const Bytes& sample = track.samples[i];
     const SampleEncryptionEntry& entry = track.senc.entries[i];
+    // One copy of the whole sample (clear bytes land for free), then XOR
+    // the protected ranges where they sit. Keystream is continuous across
+    // a sample's protected ranges, so runs separated by zero clear bytes
+    // are contiguous in both output and keystream — merge them into one
+    // CTR call.
+    const std::size_t base = out.size();
+    out.insert(out.end(), sample.begin(), sample.end());
     crypto::AesCtrStream stream(aes, BytesView(sixteen_byte_iv(entry.iv)));
     std::size_t pos = 0;
+    std::size_t run_begin = 0;
+    std::size_t run_len = 0;
     for (const auto& sub : entry.subsamples) {
-      if (pos + sub.clear_bytes + sub.protected_bytes > sample.size()) {
-        throw ParseError("cenc_decrypt_track: subsample overruns sample");
+      if (sub.clear_bytes != 0 && run_len != 0) {
+        stream.xor_in_place(out.data() + base + run_begin, run_len);
+        run_len = 0;
       }
-      out.insert(out.end(), sample.begin() + static_cast<std::ptrdiff_t>(pos),
-                 sample.begin() + static_cast<std::ptrdiff_t>(pos + sub.clear_bytes));
       pos += sub.clear_bytes;
-      const Bytes clear = stream.process(BytesView(sample.data() + pos, sub.protected_bytes));
-      out.insert(out.end(), clear.begin(), clear.end());
+      if (sub.protected_bytes != 0) {
+        if (run_len == 0) run_begin = pos;
+        run_len += sub.protected_bytes;
+      }
       pos += sub.protected_bytes;
     }
-    // Trailing unprotected bytes, if any.
-    out.insert(out.end(), sample.begin() + static_cast<std::ptrdiff_t>(pos), sample.end());
+    if (run_len != 0) stream.xor_in_place(out.data() + base + run_begin, run_len);
   }
-  return out;
 }
 
 Bytes raw_sample_stream(const PackagedTrack& track) {
   Bytes out;
-  for (const Bytes& s : track.samples) out.insert(out.end(), s.begin(), s.end());
+  raw_sample_stream_append(track, out);
   return out;
+}
+
+void raw_sample_stream_append(const PackagedTrack& track, Bytes& out) {
+  std::size_t total = 0;
+  for (const Bytes& s : track.samples) total += s.size();
+  out.reserve(out.size() + total);
+  for (const Bytes& s : track.samples) out.insert(out.end(), s.begin(), s.end());
 }
 
 }  // namespace wideleak::media

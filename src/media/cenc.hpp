@@ -47,8 +47,19 @@ PackagedTrack package_encrypted(const TrakBox& track, const std::vector<Frame>& 
 /// Throws CryptoError if the track is not encrypted-form consistent.
 Bytes cenc_decrypt_track(const PackagedTrack& track, BytesView key);
 
+/// Append form of `cenc_decrypt_track`: decrypted stream lands at the end
+/// of `out` with no intermediate per-subsample buffers — each sample is
+/// copied into `out` once, protected ranges are XORed in place, and
+/// contiguous protected runs (zero clear bytes between subsamples) collapse
+/// into single CTR calls. Subsample bounds are validated before `out` is
+/// touched, so on throw `out` is unchanged.
+void cenc_decrypt_track_append(const PackagedTrack& track, BytesView key, Bytes& out);
+
 /// Extract the concatenated sample bytes (for clear tracks this is the
 /// playable elementary stream; for encrypted ones it is ciphertext).
 Bytes raw_sample_stream(const PackagedTrack& track);
+
+/// Append form of `raw_sample_stream`.
+void raw_sample_stream_append(const PackagedTrack& track, Bytes& out);
 
 }  // namespace wideleak::media

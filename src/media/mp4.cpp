@@ -20,21 +20,31 @@ bool is_container_fourcc(std::string_view fourcc) {
   return false;
 }
 
-Bytes Box::serialize() const {
-  Bytes body;
+std::size_t Box::serialized_size() const {
+  std::size_t size = 8;
   if (is_container_fourcc(fourcc)) {
-    for (const Box& c : children) {
-      const Bytes b = c.serialize();
-      body.insert(body.end(), b.begin(), b.end());
-    }
+    for (const Box& c : children) size += c.serialized_size();
   } else {
-    body = payload;
+    size += payload.size();
   }
-  ByteWriter w;
-  w.u32(static_cast<std::uint32_t>(8 + body.size()));
+  return size;
+}
+
+void Box::serialize_into(ByteWriter& w) const {
   if (fourcc.size() != 4) throw ParseError("Box: fourcc must be 4 chars");
+  w.u32(static_cast<std::uint32_t>(serialized_size()));
   w.raw(fourcc);
-  w.raw(body);
+  if (is_container_fourcc(fourcc)) {
+    for (const Box& c : children) c.serialize_into(w);
+  } else {
+    w.raw(payload);
+  }
+}
+
+Bytes Box::serialize() const {
+  ByteWriter w;
+  w.reserve(serialized_size());
+  serialize_into(w);
   return w.take();
 }
 
@@ -93,6 +103,7 @@ PsshBox PsshBox::from_box(const Box& box) {
   // Every key id needs at least its 4-byte length prefix; a count beyond
   // that is a corrupted header, not a big box.
   if (count > r.remaining() / 4) throw ParseError("pssh: key id count exceeds payload");
+  out.key_ids.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) out.key_ids.push_back(r.var_bytes());
   return out;
 }
@@ -117,7 +128,12 @@ TencBox TencBox::from_box(const Box& box) {
 }
 
 Box SencBox::to_box() const {
+  std::size_t total = 4;
+  for (const SampleEncryptionEntry& e : entries) {
+    total += 4 + e.iv.size() + 2 + 6 * e.subsamples.size();
+  }
   ByteWriter w;
+  w.reserve(total);
   w.u32(static_cast<std::uint32_t>(entries.size()));
   for (const SampleEncryptionEntry& e : entries) {
     w.var_bytes(e.iv);
@@ -137,11 +153,13 @@ SencBox SencBox::from_box(const Box& box) {
   const std::uint32_t count = r.u32();
   // Each entry needs at least an iv length prefix plus a subsample count.
   if (count > r.remaining() / 6) throw ParseError("senc: entry count exceeds payload");
+  out.entries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     SampleEncryptionEntry e;
     e.iv = r.var_bytes();
     const std::uint16_t n_sub = r.u16();
     if (n_sub > r.remaining() / 6) throw ParseError("senc: subsample count exceeds payload");
+    e.subsamples.reserve(n_sub);
     for (std::uint16_t s = 0; s < n_sub; ++s) {
       SampleEncryptionEntry::Subsample sub;
       sub.clear_bytes = r.u16();

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "media/track.hpp"
+#include "support/byte_io.hpp"
 #include "support/bytes.hpp"
 
 namespace wideleak::media {
@@ -33,6 +34,13 @@ struct Box {
   std::vector<Box> children; // container content
 
   Bytes serialize() const;
+
+  /// Exact size `serialize()` will produce; lets callers reserve once.
+  std::size_t serialized_size() const;
+
+  /// Serialize into an existing writer (no intermediate body buffers —
+  /// container children stream straight into `w`).
+  void serialize_into(ByteWriter& w) const;
 
   /// Parse a sequence of sibling boxes covering `data` exactly.
   static std::vector<Box> parse_sequence(BytesView data);

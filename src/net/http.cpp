@@ -14,6 +14,12 @@ void write_headers(ByteWriter& w, const std::map<std::string, std::string>& head
   }
 }
 
+std::size_t headers_size(const std::map<std::string, std::string>& headers) {
+  std::size_t total = 4;
+  for (const auto& [key, value] : headers) total += 4 + key.size() + 4 + value.size();
+  return total;
+}
+
 std::map<std::string, std::string> read_headers(ByteReader& r) {
   std::map<std::string, std::string> headers;
   const std::uint32_t count = r.u32();
@@ -28,6 +34,8 @@ std::map<std::string, std::string> read_headers(ByteReader& r) {
 
 Bytes HttpRequest::serialize() const {
   ByteWriter w;
+  // One up-front reserve instead of geometric realloc churn while appending.
+  w.reserve(4 + method.size() + 4 + path.size() + headers_size(headers) + 4 + body.size());
   w.var_string(method);
   w.var_string(path);
   write_headers(w, headers);
@@ -47,6 +55,7 @@ HttpRequest HttpRequest::deserialize(BytesView data) {
 
 Bytes HttpResponse::serialize() const {
   ByteWriter w;
+  w.reserve(4 + headers_size(headers) + 4 + body.size());
   w.u32(static_cast<std::uint32_t>(status));
   write_headers(w, headers);
   w.var_bytes(body);

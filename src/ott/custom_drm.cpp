@@ -58,4 +58,9 @@ Bytes CustomDrm::decrypt_track(const media::PackagedTrack& track, BytesView key)
   return media::cenc_decrypt_track(track, key);
 }
 
+void CustomDrm::decrypt_track_append(const media::PackagedTrack& track, BytesView key,
+                                     Bytes& out) {
+  media::cenc_decrypt_track_append(track, key, out);
+}
+
 }  // namespace wideleak::ott

@@ -32,6 +32,10 @@ class CustomDrm {
   /// Decrypt a CENC track with a custom-delivered key (same sample format;
   /// only the key transport differs from Widevine).
   static Bytes decrypt_track(const media::PackagedTrack& track, BytesView key);
+
+  /// Append form: decrypted stream lands at the end of `out` with no
+  /// intermediate buffer.
+  static void decrypt_track_append(const media::PackagedTrack& track, BytesView key, Bytes& out);
 };
 
 }  // namespace wideleak::ott

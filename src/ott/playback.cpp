@@ -262,6 +262,7 @@ PlaybackOutcome OttApp::play_with_custom_drm(const PlaybackRequest& request) {
     if (rep->default_kid && !keys.contains(hex_encode(*rep->default_kid))) continue;
     chosen_height = std::max(chosen_height, rep->resolution.height);
   }
+  Bytes clear;
   for (const auto& rep : manifest->representations) {
     const bool is_chosen_video =
         rep.type == media::TrackType::Video && rep.resolution.height == chosen_height;
@@ -284,16 +285,18 @@ PlaybackOutcome OttApp::play_with_custom_drm(const PlaybackRequest& request) {
       return finish();
     }
     const auto& track = parsed_track.value();
-    Bytes clear;
+    // Reuse one stream buffer across tracks; the append forms decrypt in
+    // place inside it.
+    clear.clear();
     if (track.encrypted) {
       const auto key = keys.find(hex_encode(track.key_id));
       if (key == keys.end()) {
         outcome.failure = "custom key missing for " + rep.base_url;
         return finish();
       }
-      clear = CustomDrm::decrypt_track(track, key->second);
+      CustomDrm::decrypt_track_append(track, key->second, clear);
     } else {
-      clear = media::raw_sample_stream(track);
+      media::raw_sample_stream_append(track, clear);
     }
     std::size_t pos = 0;
     while (pos < clear.size()) {

@@ -1,0 +1,53 @@
+#include "support/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace wideleak::support {
+
+ScratchArena::ScratchArena(std::size_t initial_capacity)
+    : next_chunk_size_(std::max<std::size_t>(initial_capacity, 64)) {}
+
+std::span<std::uint8_t> ScratchArena::alloc(std::size_t n) {
+  if (chunks_.empty() || chunks_.back().storage.size() - chunks_.back().used < n) {
+    const std::size_t size = std::max(next_chunk_size_, n);
+    next_chunk_size_ = size * 2;  // geometric growth keeps chunk count O(log)
+    chunks_.push_back(Chunk{Bytes(size), 0});
+  }
+  Chunk& chunk = chunks_.back();
+  std::span<std::uint8_t> out(chunk.storage.data() + chunk.used, n);
+  chunk.used += n;
+  return out;
+}
+
+std::span<std::uint8_t> ScratchArena::copy(BytesView data) {
+  std::span<std::uint8_t> out = alloc(data.size());
+  if (!data.empty()) std::memcpy(out.data(), data.data(), data.size());
+  return out;
+}
+
+void ScratchArena::reset() {
+  if (chunks_.size() > 1) {
+    auto largest = std::max_element(
+        chunks_.begin(), chunks_.end(),
+        [](const Chunk& a, const Chunk& b) { return a.storage.size() < b.storage.size(); });
+    Chunk keep = std::move(*largest);
+    chunks_.clear();
+    chunks_.push_back(std::move(keep));
+  }
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+}
+
+std::size_t ScratchArena::bytes_in_use() const {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.used;
+  return total;
+}
+
+std::size_t ScratchArena::capacity() const {
+  std::size_t total = 0;
+  for (const Chunk& chunk : chunks_) total += chunk.storage.size();
+  return total;
+}
+
+}  // namespace wideleak::support

@@ -1,0 +1,52 @@
+// Bump allocator for per-session scratch buffers.
+//
+// The media data plane needs short-lived byte buffers (gathered subsample
+// runs, staging for a decrypted sample) on every sample it touches.
+// Allocating a fresh `Bytes` each time puts the allocator on the hot path;
+// a ScratchArena hands out spans from reusable chunks instead and recycles
+// them wholesale at `reset()`.
+//
+// Lifetime rules:
+//   - Spans stay valid until the next `reset()` — chunks are never resized
+//     or moved once created, so earlier allocations survive later ones.
+//   - `reset()` invalidates every outstanding span and keeps the largest
+//     chunk for reuse, so a steady-state session stops allocating entirely.
+//   - Not thread-safe: one arena per session/worker, by design.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace wideleak::support {
+
+class ScratchArena {
+ public:
+  explicit ScratchArena(std::size_t initial_capacity = 4096);
+
+  /// Uninitialized scratch space of `n` bytes, valid until `reset()`.
+  std::span<std::uint8_t> alloc(std::size_t n);
+
+  /// `data` copied into the arena.
+  std::span<std::uint8_t> copy(BytesView data);
+
+  /// Recycle all allocations. Keeps the single largest chunk so the arena
+  /// converges to zero heap traffic under a steady workload.
+  void reset();
+
+  std::size_t bytes_in_use() const;
+  std::size_t capacity() const;
+
+ private:
+  struct Chunk {
+    Bytes storage;          // fixed-size backing; never resized after creation
+    std::size_t used = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  std::size_t next_chunk_size_;
+};
+
+}  // namespace wideleak::support

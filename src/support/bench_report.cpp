@@ -1,0 +1,75 @@
+#include "support/bench_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/errors.hpp"
+
+namespace wideleak::support {
+
+namespace {
+
+std::string hex32(std::uint32_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchReport::add(const std::string& op, std::uint64_t bytes, std::uint64_t ns,
+                      std::uint32_t checksum) {
+  BenchEntry e;
+  e.op = op;
+  e.bytes = bytes;
+  e.ns = ns;
+  // bytes/ns is GB/s; scale to MB/s. Guard ns==0 (timer granularity on a
+  // trivially small op) rather than emit inf.
+  e.mb_per_s = ns == 0 ? 0.0 : static_cast<double>(bytes) * 1000.0 / static_cast<double>(ns);
+  e.checksum = hex32(checksum);
+  entries_.push_back(std::move(e));
+}
+
+std::string BenchReport::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"name\": \"" << json_escape(name_) << "\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const BenchEntry& e = entries_[i];
+    char mbps[32];
+    std::snprintf(mbps, sizeof(mbps), "%.3f", e.mb_per_s);
+    out << "    {\"op\": \"" << json_escape(e.op) << "\", \"bytes\": " << e.bytes
+        << ", \"ns\": " << e.ns << ", \"mb_per_s\": " << mbps << ", \"checksum\": \""
+        << e.checksum << "\"}";
+    out << (i + 1 < entries_.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+void BenchReport::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw StateError("BenchReport: cannot open " + path);
+  out << to_json();
+  if (!out) throw StateError("BenchReport: write failed for " + path);
+}
+
+}  // namespace wideleak::support

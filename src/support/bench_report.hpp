@@ -1,0 +1,56 @@
+// Benchmark result emitter with a fixed JSON schema, so CI can diff runs.
+//
+// Every entry records: op (name), bytes (payload size), ns (wall time),
+// mb_per_s (derived), checksum (hex CRC32 of the operation's output — the
+// bit-identity witness that makes a perf number trustworthy).
+//
+//   {
+//     "name": "dataplane",
+//     "entries": [
+//       {"op": "aes_ctr/batched", "bytes": 1048576, "ns": 730000,
+//        "mb_per_s": 1436.4, "checksum": "cbf43926"},
+//       ...
+//     ]
+//   }
+//
+// `tools/bench_diff.py` consumes two of these files and gates on +-10%
+// throughput drift and exact checksum equality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wideleak::support {
+
+struct BenchEntry {
+  std::string op;
+  std::uint64_t bytes = 0;
+  std::uint64_t ns = 0;
+  double mb_per_s = 0.0;
+  std::string checksum;  // 8 hex chars (CRC32 of the operation's output)
+};
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Record one measurement; throughput is derived from bytes/ns.
+  /// `checksum` is the CRC32 of whatever the operation produced.
+  void add(const std::string& op, std::uint64_t bytes, std::uint64_t ns, std::uint32_t checksum);
+
+  const std::vector<BenchEntry>& entries() const { return entries_; }
+  const std::string& name() const { return name_; }
+
+  /// Serialize in the fixed schema above.
+  std::string to_json() const;
+
+  /// Write `to_json()` to `path`. Throws StateError on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<BenchEntry> entries_;
+};
+
+}  // namespace wideleak::support

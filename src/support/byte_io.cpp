@@ -4,23 +4,28 @@
 
 namespace wideleak {
 
+void ByteWriter::reserve(std::size_t total) { data_.reserve(total); }
+
 void ByteWriter::u8(std::uint8_t v) { data_.push_back(v); }
 
+// Scalars append as one insert of a stack-assembled array rather than N
+// push_backs — one capacity check instead of one per byte.
 void ByteWriter::u16(std::uint16_t v) {
-  data_.push_back(static_cast<std::uint8_t>(v >> 8));
-  data_.push_back(static_cast<std::uint8_t>(v));
+  const std::uint8_t be[2] = {static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+  data_.insert(data_.end(), be, be + sizeof(be));
 }
 
 void ByteWriter::u32(std::uint32_t v) {
-  for (int shift = 24; shift >= 0; shift -= 8) {
-    data_.push_back(static_cast<std::uint8_t>(v >> shift));
-  }
+  const std::uint8_t be[4] = {
+      static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+      static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+  data_.insert(data_.end(), be, be + sizeof(be));
 }
 
 void ByteWriter::u64(std::uint64_t v) {
-  for (int shift = 56; shift >= 0; shift -= 8) {
-    data_.push_back(static_cast<std::uint8_t>(v >> shift));
-  }
+  std::uint8_t be[8];
+  for (int i = 0; i < 8; ++i) be[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+  data_.insert(data_.end(), be, be + sizeof(be));
 }
 
 void ByteWriter::raw(BytesView b) { data_.insert(data_.end(), b.begin(), b.end()); }

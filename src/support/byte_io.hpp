@@ -13,6 +13,9 @@ namespace wideleak {
 /// Append-only big-endian writer.
 class ByteWriter {
  public:
+  /// Pre-size the backing buffer when the total is known up front.
+  void reserve(std::size_t total);
+
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);

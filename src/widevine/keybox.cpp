@@ -35,17 +35,21 @@ Bytes Keybox::serialize() const {
   return out;
 }
 
-std::optional<Keybox> Keybox::parse(BytesView raw) {
-  if (raw.size() != kKeyboxSize) return std::nullopt;
+bool Keybox::validate(BytesView raw) {
+  if (raw.size() != kKeyboxSize) return false;
   for (int i = 0; i < 4; ++i) {
     if (raw[kKeyboxMagicOffset + static_cast<std::size_t>(i)] !=
         static_cast<std::uint8_t>(kKeyboxMagic[i])) {
-      return std::nullopt;
+      return false;
     }
   }
   ByteReader tail(raw.subspan(kKeyboxMagicOffset + 4));
   const std::uint32_t stored_crc = tail.u32();
-  if (crc32(raw.subspan(0, kKeyboxMagicOffset + 4)) != stored_crc) return std::nullopt;
+  return crc32(raw.subspan(0, kKeyboxMagicOffset + 4)) == stored_crc;
+}
+
+std::optional<Keybox> Keybox::parse(BytesView raw) {
+  if (!validate(raw)) return std::nullopt;
 
   Bytes stable_id(raw.begin(), raw.begin() + kKeyboxStableIdSize);
   SecretBytes device_key = SecretBytes::copy_of(

@@ -48,8 +48,13 @@ class Keybox {
   /// paper's memory scanner hunts for.
   Bytes serialize() const;
 
+  /// Validate a candidate blob without building anything: size, then magic,
+  /// then CRC — cheapest test first, and no SecretBytes allocation for the
+  /// losers. This is the scanner's candidate filter; `parse` the winner.
+  static bool validate(BytesView raw);
+
   /// Parse + validate a 128-byte blob. Returns nullopt when the magic or
-  /// CRC does not check out (the scanner's candidate filter).
+  /// CRC does not check out.
   static std::optional<Keybox> parse(BytesView raw);
 
   /// Constant-time on the device-key field (SecretBytes::operator==).

@@ -261,7 +261,10 @@ OemCryptoResult OemCrypto::decrypt_cenc(SessionId session, BytesView iv, BytesVi
   const crypto::Aes aes(read_selected_key(s));
   Bytes full_iv(iv.begin(), iv.end());
   full_iv.resize(crypto::kAesBlockSize, 0x00);
-  plaintext = crypto::aes_ctr_crypt(aes, full_iv, ciphertext);
+  // One ciphertext copy into the caller's buffer, then XOR in place — the
+  // caller's capacity is reused across samples.
+  plaintext.assign(ciphertext.begin(), ciphertext.end());
+  crypto::aes_ctr_crypt_in_place(aes, full_iv, plaintext);
   return OemCryptoResult::Success;
 }
 

@@ -195,7 +195,10 @@ WisePlayResult WisePlayCdm::decrypt_sample(SessionId session, const media::KeyId
   const crypto::Aes aes(key_store().read_region(it->second));
   Bytes full_iv(iv.begin(), iv.end());
   full_iv.resize(crypto::kAesBlockSize, 0x00);
-  plaintext = crypto::aes_ctr_crypt(aes, full_iv, ciphertext);
+  // One ciphertext copy into the caller's buffer, then XOR in place — the
+  // caller's capacity is reused across samples.
+  plaintext.assign(ciphertext.begin(), ciphertext.end());
+  crypto::aes_ctr_crypt_in_place(aes, full_iv, plaintext);
   return WisePlayResult::Success;
 }
 

@@ -198,5 +198,142 @@ TEST(CtrMode, CounterCarriesAcrossBlocks) {
   EXPECT_NE(Bytes(ks.begin() + 16, ks.begin() + 32), Bytes(ks.begin() + 32, ks.end()));
 }
 
+// --- Batched block path ---------------------------------------------------
+
+TEST(AesBlocks, MultiBlockMatchesSingleBlock) {
+  Rng rng(14);
+  for (const std::size_t key_len : {std::size_t{16}, std::size_t{32}}) {
+    const Aes aes(rng.next_bytes(key_len));
+    // Odd batch sizes exercise both the wide pipeline and its scalar tail.
+    for (const std::size_t count : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                    std::size_t{4}, std::size_t{5}, std::size_t{7},
+                                    std::size_t{8}, std::size_t{13}, std::size_t{64}}) {
+      const Bytes in = rng.next_bytes(count * 16);
+      Bytes batched(count * 16);
+      aes.encrypt_blocks(in.data(), batched.data(), count);
+      Bytes single(count * 16);
+      for (std::size_t i = 0; i < count; ++i) {
+        aes.encrypt_block(in.data() + i * 16, single.data() + i * 16);
+      }
+      EXPECT_EQ(batched, single) << "key=" << key_len << " count=" << count;
+    }
+  }
+}
+
+TEST(AesBlocks, EncryptBlocksAllowsExactAliasing) {
+  Rng rng(15);
+  const Aes aes(rng.next_bytes(16));
+  const Bytes in = rng.next_bytes(5 * 16);
+  Bytes expected(5 * 16);
+  aes.encrypt_blocks(in.data(), expected.data(), 5);
+  Bytes aliased = in;
+  aes.encrypt_blocks(aliased.data(), aliased.data(), 5);
+  EXPECT_EQ(aliased, expected);
+}
+
+TEST(AesBlocks, PortableEngineMatchesAutoDispatch) {
+  // When AES-NI is present this pits the hardware path against the T-table
+  // path; without it both legs run portable and the test is a tautology.
+  Rng rng(16);
+  const Aes aes(rng.next_bytes(32));
+  const Bytes in = rng.next_bytes(33 * 16);
+  Bytes auto_out(in.size());
+  set_aes_engine(AesEngine::Auto);
+  aes.encrypt_blocks(in.data(), auto_out.data(), 33);
+  Bytes portable_out(in.size());
+  set_aes_engine(AesEngine::Portable);
+  aes.encrypt_blocks(in.data(), portable_out.data(), 33);
+  set_aes_engine(AesEngine::Auto);
+  EXPECT_EQ(portable_out, auto_out);
+}
+
+// --- CTR fast path --------------------------------------------------------
+
+TEST(CtrMode, InPlaceMatchesCopying) {
+  Rng rng(17);
+  const Aes aes(rng.next_bytes(16));
+  const Bytes iv = rng.next_bytes(16);
+  // Lengths straddle the batch boundaries: sub-block, exact blocks, odd
+  // tails, and several keystream batches' worth.
+  for (const std::size_t size : {0, 1, 15, 16, 17, 100, 1023, 1024, 1025, 5000}) {
+    const Bytes plain = rng.next_bytes(static_cast<std::size_t>(size));
+    const Bytes expected = aes_ctr_crypt(aes, iv, plain);
+    Bytes in_place = plain;
+    aes_ctr_crypt_in_place(aes, iv, in_place);
+    EXPECT_EQ(in_place, expected) << "size=" << size;
+  }
+}
+
+TEST(CtrMode, XorInPlaceMatchesProcessAcrossChunkings) {
+  Rng rng(18);
+  const Aes aes(rng.next_bytes(32));
+  const Bytes iv = rng.next_bytes(16);
+  const Bytes plain = rng.next_bytes(4000);
+  const Bytes expected = aes_ctr_crypt(aes, iv, plain);
+
+  // Random chunk splits hit every head/batched-middle/tail combination in
+  // xor_in_place, including chunks entirely inside a partial keystream block.
+  for (int trial = 0; trial < 10; ++trial) {
+    AesCtrStream stream(aes, iv);
+    Bytes out = plain;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+      const std::size_t chunk =
+          std::min(out.size() - pos, static_cast<std::size_t>(rng.next_below(700) + 1));
+      stream.xor_in_place(out.data() + pos, chunk);
+      pos += chunk;
+    }
+    EXPECT_EQ(out, expected) << "trial=" << trial;
+  }
+}
+
+TEST(CtrMode, SkipMatchesDiscardedProcess) {
+  Rng rng(19);
+  const Aes aes(rng.next_bytes(16));
+  const Bytes iv = rng.next_bytes(16);
+  const Bytes plain = rng.next_bytes(600);
+  const Bytes full = aes_ctr_crypt(aes, iv, plain);
+
+  for (const std::size_t skip : {1, 15, 16, 17, 64, 100, 511}) {
+    AesCtrStream stream(aes, iv);
+    stream.skip(skip);
+    Bytes tail(plain.begin() + static_cast<std::ptrdiff_t>(skip), plain.end());
+    stream.xor_in_place(tail.data(), tail.size());
+    EXPECT_EQ(tail, Bytes(full.begin() + static_cast<std::ptrdiff_t>(skip), full.end()))
+        << "skip=" << skip;
+  }
+}
+
+TEST(CtrMode, CounterWrapAt32Bits) {
+  // Start the low 32 counter bits at 0xffffffff so the very first block
+  // increment carries into byte 11 — the batched counter precompute must
+  // propagate that carry exactly like the one-at-a-time seed path did.
+  Rng rng(20);
+  const Aes aes(rng.next_bytes(16));
+  Bytes iv = rng.next_bytes(16);
+  iv[12] = iv[13] = iv[14] = iv[15] = 0xff;
+  const Bytes plain = rng.next_bytes(20 * 16);
+
+  Bytes expected(plain.size());
+  {
+    // Reference: single-block CTR with explicit big-endian low-64 increment.
+    AesBlock counter{};
+    std::copy(iv.begin(), iv.end(), counter.begin());
+    for (std::size_t block = 0; block * 16 < plain.size(); ++block) {
+      const AesBlock ks = aes.encrypt_block(counter);
+      for (std::size_t i = 0; i < 16; ++i) {
+        expected[block * 16 + i] = static_cast<std::uint8_t>(plain[block * 16 + i] ^ ks[i]);
+      }
+      for (int i = 15; i >= 8; --i) {
+        if (++counter[static_cast<std::size_t>(i)] != 0) break;
+      }
+    }
+  }
+  EXPECT_EQ(aes_ctr_crypt(aes, iv, plain), expected);
+  Bytes in_place = plain;
+  aes_ctr_crypt_in_place(aes, iv, in_place);
+  EXPECT_EQ(in_place, expected);
+}
+
 }  // namespace
 }  // namespace wideleak::crypto

@@ -2,6 +2,8 @@
 // MPD manifests, and title packaging policies.
 #include <gtest/gtest.h>
 
+#include "crypto/aes.hpp"
+#include "crypto/modes.hpp"
 #include "media/cenc.hpp"
 #include "media/codec.hpp"
 #include "media/content.hpp"
@@ -269,6 +271,81 @@ TEST(Cenc, ClearFileRoundTrip) {
   const PackagedTrack restored = PackagedTrack::from_file(track.to_file());
   EXPECT_FALSE(restored.encrypted);
   EXPECT_TRUE(try_play(BytesView(raw_sample_stream(restored))).playable);
+}
+
+TEST(Cenc, InPlaceMatchesSubsampleCopyReference) {
+  // The production path copies each sample once and XORs protected runs in
+  // place (merging contiguous runs into single CTR calls). This reference
+  // decrypts the slow way — one out-of-place process() per subsample — and
+  // the two must agree bit for bit.
+  Rng rng(17);
+  const auto frames = generate_track_frames(21, TrackType::Video, {960, 540}, 8);
+  const Bytes key = rng.next_bytes(16);
+  TrakBox trak{.type = TrackType::Video, .resolution = {960, 540}, .language = "en"};
+  const PackagedTrack track = package_encrypted(trak, frames, key, rng.next_bytes(16), rng);
+
+  const crypto::Aes aes{key};
+  Bytes reference;
+  for (std::size_t s = 0; s < track.samples.size(); ++s) {
+    const Bytes& sample = track.samples[s];
+    const SampleEncryptionEntry& entry = track.senc.entries[s];
+    Bytes iv16(16, 0x00);
+    std::copy(entry.iv.begin(), entry.iv.end(), iv16.begin());
+    crypto::AesCtrStream stream(aes, iv16);
+    std::size_t pos = 0;
+    for (const SampleEncryptionEntry::Subsample& sub : entry.subsamples) {
+      reference.insert(reference.end(), sample.begin() + static_cast<std::ptrdiff_t>(pos),
+                       sample.begin() + static_cast<std::ptrdiff_t>(pos + sub.clear_bytes));
+      pos += sub.clear_bytes;
+      const Bytes plain =
+          stream.process(BytesView(sample.data() + pos, sub.protected_bytes));
+      reference.insert(reference.end(), plain.begin(), plain.end());
+      pos += sub.protected_bytes;
+    }
+    reference.insert(reference.end(), sample.begin() + static_cast<std::ptrdiff_t>(pos),
+                     sample.end());
+  }
+
+  EXPECT_EQ(cenc_decrypt_track(track, key), reference);
+  Bytes appended;
+  cenc_decrypt_track_append(track, key, appended);
+  EXPECT_EQ(appended, reference);
+}
+
+TEST(Cenc, AppendVariantsExtendExistingBytes) {
+  Rng rng(18);
+  const auto frames = generate_track_frames(22, TrackType::Audio, {}, 5);
+  const Bytes key = rng.next_bytes(16);
+  TrakBox trak{.type = TrackType::Audio, .resolution = {}, .language = "en"};
+  const PackagedTrack track = package_encrypted(trak, frames, key, rng.next_bytes(16), rng);
+
+  Bytes out = {0xde, 0xad, 0xbe, 0xef};
+  cenc_decrypt_track_append(track, key, out);
+  Bytes expected = {0xde, 0xad, 0xbe, 0xef};
+  const Bytes plain = cenc_decrypt_track(track, key);
+  expected.insert(expected.end(), plain.begin(), plain.end());
+  EXPECT_EQ(out, expected);
+
+  Bytes raw_out = {0x01, 0x02};
+  raw_sample_stream_append(track, raw_out);
+  Bytes raw_expected = {0x01, 0x02};
+  const Bytes raw = raw_sample_stream(track);
+  raw_expected.insert(raw_expected.end(), raw.begin(), raw.end());
+  EXPECT_EQ(raw_out, raw_expected);
+}
+
+TEST(Cenc, AppendValidatesBoundsBeforeTouchingOut) {
+  Rng rng(19);
+  const auto frames = generate_track_frames(23, TrackType::Video, {640, 360}, 3);
+  const Bytes key = rng.next_bytes(16);
+  TrakBox trak{.type = TrackType::Video, .resolution = {640, 360}, .language = "en"};
+  PackagedTrack track = package_encrypted(trak, frames, key, rng.next_bytes(16), rng);
+  // Inflate the last sample's subsample map past the sample's actual size.
+  track.senc.entries.back().subsamples.back().protected_bytes += 1000;
+
+  Bytes out = {0xaa, 0xbb};
+  EXPECT_THROW(cenc_decrypt_track_append(track, key, out), ParseError);
+  EXPECT_EQ(out, (Bytes{0xaa, 0xbb}));  // strong guarantee: untouched on throw
 }
 
 TEST(Cenc, DecryptClearTrackThrows) {

@@ -4,6 +4,12 @@
 
 #include <stdexcept>
 
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "support/arena.hpp"
+#include "support/bench_report.hpp"
 #include "support/byte_io.hpp"
 #include "support/bytes.hpp"
 #include "support/crc32.hpp"
@@ -132,6 +138,103 @@ TEST(Crc32, DetectsSingleBitFlips) {
     EXPECT_NE(crc32(data), original);
     data[static_cast<std::size_t>(bit) * 7 % data.size()] ^= 1;
   }
+}
+
+TEST(Crc32, SliceBy8MatchesBitwiseReference) {
+  // The production implementation folds 8 bytes per iteration; this is the
+  // textbook bit-at-a-time CRC-32 it must agree with, at every length that
+  // straddles the 8-byte fold boundary.
+  const auto bitwise = [](BytesView data) {
+    std::uint32_t c = 0xffffffffu;
+    for (const std::uint8_t byte : data) {
+      c ^= byte;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    return c ^ 0xffffffffu;
+  };
+  Rng rng(11);
+  for (std::size_t size = 0; size <= 40; ++size) {
+    const Bytes data = rng.next_bytes(size);
+    EXPECT_EQ(crc32(data), bitwise(data)) << "size=" << size;
+  }
+  const Bytes big = rng.next_bytes(10000);
+  EXPECT_EQ(crc32(big), bitwise(big));
+}
+
+// --- scratch arena -----------------------------------------------------
+
+TEST(ScratchArena, AllocationsAreStableAcrossGrowth) {
+  support::ScratchArena arena;
+  // Force several chunk allocations; earlier spans must stay valid because
+  // chunks are never resized, only added.
+  std::vector<std::span<std::uint8_t>> spans;
+  for (std::size_t i = 0; i < 50; ++i) {
+    auto span = arena.alloc(1000);
+    std::fill(span.begin(), span.end(), static_cast<std::uint8_t>(i));
+    spans.push_back(span);
+  }
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    for (const std::uint8_t byte : spans[i]) {
+      ASSERT_EQ(byte, static_cast<std::uint8_t>(i));
+    }
+  }
+  EXPECT_GE(arena.bytes_in_use(), 50u * 1000u);
+}
+
+TEST(ScratchArena, ResetRetainsCapacity) {
+  support::ScratchArena arena;
+  arena.alloc(4096);
+  arena.alloc(100);
+  const std::size_t cap = arena.capacity();
+  EXPECT_GT(cap, 0u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  // reset() keeps the largest chunk so steady-state reuse stops allocating.
+  EXPECT_GT(arena.capacity(), 0u);
+  EXPECT_LE(arena.capacity(), cap);
+  auto span = arena.alloc(64);
+  EXPECT_EQ(span.size(), 64u);
+}
+
+TEST(ScratchArena, CopyDuplicatesBytes) {
+  support::ScratchArena arena;
+  const Bytes source = to_bytes("scratch-arena-copy");
+  auto span = arena.copy(BytesView(source));
+  ASSERT_EQ(span.size(), source.size());
+  EXPECT_TRUE(std::equal(span.begin(), span.end(), source.begin()));
+}
+
+TEST(ScratchArena, ZeroByteAlloc) {
+  support::ScratchArena arena;
+  EXPECT_EQ(arena.alloc(0).size(), 0u);
+}
+
+// --- bench report ------------------------------------------------------
+
+TEST(BenchReport, FixedJsonSchema) {
+  support::BenchReport report("unit");
+  report.add("op_a", 1000, 2000, 0xdeadbeefu);
+  const std::string json = report.to_json();
+  // The schema is load-bearing: tools/bench_diff.py parses exactly these keys.
+  EXPECT_NE(json.find("\"name\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"op\": \"op_a\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"ns\": 2000"), std::string::npos);
+  EXPECT_NE(json.find("\"mb_per_s\":"), std::string::npos);
+  EXPECT_NE(json.find("\"checksum\": \"deadbeef\""), std::string::npos);
+}
+
+TEST(BenchReport, ThroughputMath) {
+  support::BenchReport report("unit");
+  // 1e6 bytes in 1e6 ns = 1000 MB/s (decimal megabytes).
+  report.add("op", 1000000, 1000000, 0u);
+  EXPECT_NE(report.to_json().find("\"mb_per_s\": 1000.000"), std::string::npos);
+}
+
+TEST(BenchReport, ZeroNsDoesNotDivide) {
+  support::BenchReport report("unit");
+  report.add("op", 123, 0, 0u);
+  EXPECT_NE(report.to_json().find("\"mb_per_s\": 0.000"), std::string::npos);
 }
 
 // --- rng ---------------------------------------------------------------

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Regression gate over support::BenchReport JSON files.
+
+Usage:
+    bench_diff.py [--tolerance PCT] baseline.json current.json
+
+Compares two benchmark reports produced by support::BenchReport (the fixed
+schema emitted by bench_dataplane and bench_poc_ripper) op by op:
+
+  * a checksum mismatch is ALWAYS fatal -- bit-identity of the operation's
+    output is the contract, no tolerance applies;
+  * an op present in the baseline but missing from the current report is
+    fatal (a silently dropped measurement looks like a passing gate);
+  * a throughput (mb_per_s) drop of more than --tolerance percent below
+    the baseline is fatal; improvements and new ops are reported as notes.
+
+Exit status: 0 clean, 1 regression, 2 usage/parse error.
+Stdlib only -- CI runs this with a bare python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(message):
+    print(message, file=sys.stderr)
+    raise SystemExit(2)
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as exc:
+        die(f"bench_diff: cannot read {path}: {exc}")
+    if not isinstance(report, dict) or "entries" not in report:
+        die(f"bench_diff: {path}: not a BenchReport (missing 'entries')")
+    ops = {}
+    for entry in report["entries"]:
+        missing = {"op", "bytes", "ns", "mb_per_s", "checksum"} - set(entry)
+        if missing:
+            die(f"bench_diff: {path}: entry missing keys {sorted(missing)}: {entry}")
+        if entry["op"] in ops:
+            die(f"bench_diff: {path}: duplicate op '{entry['op']}'")
+        ops[entry["op"]] = entry
+    return report.get("name", "?"), ops
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=10.0,
+                        help="max allowed throughput drop, percent (default 10)")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    base_name, base = load_report(args.baseline)
+    cur_name, cur = load_report(args.current)
+    if base_name != cur_name:
+        print(f"bench_diff: note: report names differ ({base_name!r} vs {cur_name!r})")
+
+    failures = 0
+    for op, base_entry in sorted(base.items()):
+        cur_entry = cur.get(op)
+        if cur_entry is None:
+            print(f"FAIL {op}: present in baseline, missing from current report")
+            failures += 1
+            continue
+        if base_entry["checksum"] != cur_entry["checksum"]:
+            print(f"FAIL {op}: checksum {base_entry['checksum']} -> "
+                  f"{cur_entry['checksum']} (output no longer bit-identical)")
+            failures += 1
+            continue
+        base_mbps = float(base_entry["mb_per_s"])
+        cur_mbps = float(cur_entry["mb_per_s"])
+        if base_mbps <= 0.0:
+            print(f"  ok  {op}: baseline has no throughput signal, checksum matches")
+            continue
+        delta_pct = (cur_mbps - base_mbps) / base_mbps * 100.0
+        if delta_pct < -args.tolerance:
+            print(f"FAIL {op}: {base_mbps:.3f} -> {cur_mbps:.3f} MB/s "
+                  f"({delta_pct:+.1f}% < -{args.tolerance:g}% tolerance)")
+            failures += 1
+        else:
+            print(f"  ok  {op}: {base_mbps:.3f} -> {cur_mbps:.3f} MB/s ({delta_pct:+.1f}%)")
+
+    for op in sorted(set(cur) - set(base)):
+        print(f"bench_diff: note: new op '{op}' (no baseline to gate against)")
+
+    if failures:
+        print(f"bench_diff: {failures} regression(s) "
+              f"({args.baseline} vs {args.current}, tolerance {args.tolerance:g}%)")
+        return 1
+    print(f"bench_diff: clean ({len(base)} op(s) gated, tolerance {args.tolerance:g}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

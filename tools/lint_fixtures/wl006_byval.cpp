@@ -1,0 +1,34 @@
+// WL006 fixture: `Bytes` parameters taken by value on data-plane functions.
+// In src/media and src/crypto every such parameter is a heap copy per call —
+// per sample on the decrypt path — so the signature must take BytesView
+// (or Bytes&& when the callee genuinely assumes ownership).
+//
+// The self-test runs with assume_scoped, standing in for those directories;
+// parameter names here deliberately avoid key-ish words so only WL006 fires.
+#include <vector>
+
+Bytes decrypt_sample(Bytes sample);                    // expect: WL006
+void append_payload(const Bytes payload, Bytes& out);  // expect: WL006
+void two_copies(Bytes head, Bytes tail);               // expect: WL006
+
+// A defaulted by-value parameter still copies on every non-defaulted call.
+void pad_stream(Bytes padding = Bytes(16, 0x00));  // expect: WL006
+
+// Namespace qualification does not hide the copy.
+void route_frame(wideleak::Bytes frame);  // expect: WL006
+
+// Views and references are the fix — none of these fire.
+void decrypt_view(BytesView sample);
+void append_ref(const Bytes& payload, Bytes& out);
+void sink_move(Bytes&& buffer);
+std::vector<Bytes> samples_by_value();  // return type, not a parameter
+
+void wl006_expressions(BytesView view) {
+  // Constructor calls and brace-inits in expressions are not parameters.
+  consume(Bytes(view.begin(), view.end()));
+  consume(Bytes{0x01, 0x02});
+  for (const Bytes& chunk : chunks(view)) consume(chunk);
+}
+
+// Ownership transfer into a long-lived cache is the reviewed exception.
+void cache_segment(Bytes segment);  // wl-lint: byval-ok

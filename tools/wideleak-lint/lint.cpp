@@ -27,6 +27,7 @@ struct LineNotes {
   bool raw_bytes_ok = false;  // wl-lint: raw-bytes-ok
   bool reveal_ok = false;     // wl-lint: reveal-ok
   bool catch_ok = false;      // wl-lint: catch-ok
+  bool byval_ok = false;      // wl-lint: byval-ok
 };
 
 struct Scan {
@@ -152,6 +153,7 @@ std::map<int, LineNotes> parse_notes(const std::map<int, std::string>& comments)
     if (text.find("raw-bytes-ok") != std::string::npos) ln.raw_bytes_ok = true;
     if (text.find("reveal-ok") != std::string::npos) ln.reveal_ok = true;
     if (text.find("catch-ok") != std::string::npos) ln.catch_ok = true;
+    if (text.find("byval-ok") != std::string::npos) ln.byval_ok = true;
   }
   return notes;
 }
@@ -384,6 +386,14 @@ bool scoped_for_wl003(const std::string& path) {
          path.find("src/ott/custom_drm") != std::string::npos;
 }
 
+// WL006 polices the data plane: the directories whose functions sit on the
+// per-sample decrypt path, where a by-value Bytes parameter is a heap copy
+// per call.
+bool scoped_for_wl006(const std::string& path) {
+  return path.find("src/media") != std::string::npos ||
+         path.find("src/crypto") != std::string::npos;
+}
+
 // Tokens inside a parameter list that mark it as a function declaration
 // rather than a constructor-call argument list.
 bool looks_like_param_list(const std::vector<Token>& toks, std::size_t open,
@@ -560,6 +570,36 @@ struct Linter {
     }
   }
 
+  // -- WL006: by-value Bytes parameters on data-plane functions -------------
+  void check_wl006() {
+    if (!options.assume_scoped && !scoped_for_wl006(path)) return;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].is_ident || toks[i].text != "Bytes") continue;
+      // Parameter position: `(` or `,` immediately before, allowing a
+      // namespace qualifier and/or `const` in between.
+      std::size_t p = i;
+      if (p >= 2 && toks[p - 1].text == "::" && toks[p - 2].is_ident) p -= 2;
+      if (p >= 1 && toks[p - 1].text == "const") --p;
+      if (p == 0) continue;
+      const std::string& before = toks[p - 1].text;
+      if (before != "(" && before != ",") continue;
+      // `Bytes name` with the name terminating the parameter. A reference,
+      // pointer, constructor call or brace-init fails the ident check here,
+      // so `const Bytes&`, `Bytes&&` and `Bytes(x)` never fire.
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].text == "const") ++j;  // east-const spelling
+      if (j >= toks.size() || !toks[j].is_ident) continue;
+      if (j + 1 >= toks.size()) continue;
+      const std::string& after = toks[j + 1].text;
+      if (after != "," && after != ")" && after != "=") continue;
+      if (suppressed(toks[i].line, &LineNotes::byval_ok)) continue;
+      flag(toks[i].line, "WL006",
+           "parameter '" + toks[j].text +
+               "' takes Bytes by value — a heap copy per call on the data "
+               "plane; take BytesView (or Bytes&& when ownership transfers)");
+    }
+  }
+
   // -- WL005: catch-all handlers that swallow the error ---------------------
   void check_wl005() {
     for (std::size_t i = 0; i + 4 < toks.size(); ++i) {
@@ -607,6 +647,7 @@ std::vector<Violation> lint_source(const std::string& path, const std::string& s
   linter.check_wl002();
   linter.check_decls();
   linter.check_wl005();
+  linter.check_wl006();
   std::sort(linter.violations.begin(), linter.violations.end(),
             [](const Violation& a, const Violation& b) {
               return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);

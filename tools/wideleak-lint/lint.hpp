@@ -22,6 +22,10 @@
 //          std::rethrow_exception) nor logs (WL_LOG / log_line) — the
 //          failure disappears, which is how degraded-mode bugs hide.
 //          (CWE-391: unchecked error condition.)
+//   WL006  function parameters taking `Bytes` by value inside the
+//          data-plane subtrees (src/media, src/crypto) — every call site
+//          pays a heap copy; take BytesView (or Bytes&& when ownership
+//          genuinely transfers).
 //
 // Suppressions, written as ordinary comments on the flagged line or the
 // line above:
@@ -30,6 +34,7 @@
 //   // wl-lint: raw-bytes-ok  (WL003)
 //   // wl-lint: reveal-ok     (WL004)
 //   // wl-lint: catch-ok      (WL005)
+//   // wl-lint: byval-ok      (WL006)
 //
 // Fixture self-test: every line carrying `// expect: WLxxx[,WLyyy]` must be
 // flagged with exactly those rules, and no unmarked line may be flagged.
@@ -43,13 +48,13 @@ namespace wideleak::lint {
 struct Violation {
   std::string file;
   int line = 0;
-  std::string rule;     // "WL001".."WL005"
+  std::string rule;     // "WL001".."WL006"
   std::string message;  // human-readable finding
 };
 
 struct Options {
-  // Treat every file as if it lived in a WL003-scoped directory (used by
-  // the fixture self-test, whose files live under tools/lint_fixtures).
+  // Treat every file as if it lived in a WL003/WL006-scoped directory (used
+  // by the fixture self-test, whose files live under tools/lint_fixtures).
   bool assume_scoped = false;
 };
 

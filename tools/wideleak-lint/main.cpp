@@ -5,7 +5,7 @@
 //                                         `// expect: WLxxx` marker must fire
 //                                         with exactly those rules, no
 //                                         unmarked line may fire, and all
-//                                         five rules must be exercised.
+//                                         six rules must be exercised.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -120,7 +120,7 @@ int run_self_test(const std::vector<std::string>& files) {
     }
   }
 
-  for (const char* rule : {"WL001", "WL002", "WL003", "WL004", "WL005"}) {
+  for (const char* rule : {"WL001", "WL002", "WL003", "WL004", "WL005", "WL006"}) {
     if (!rules_seen.count(rule)) {
       std::cerr << "self-test FAIL: fixture corpus never exercises " << rule << "\n";
       ++failures;
