@@ -1,7 +1,6 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -12,7 +11,9 @@
 #include "core/network_monitor.hpp"
 #include "ott/catalog.hpp"
 #include "ott/playback.hpp"
+#include "support/annotations.hpp"
 #include "support/errors.hpp"
+#include "support/wall_clock.hpp"
 
 namespace wideleak::core {
 
@@ -43,12 +44,6 @@ std::vector<CampaignDeviceProfile> study_device_profiles() {
 }
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
 
 std::string to_string(const widevine::CdmVersion& version) {
   return std::to_string(version.major) + "." + std::to_string(version.minor);
@@ -87,7 +82,9 @@ std::string cell_label(const ott::OttAppProfile& app, const CampaignDeviceProfil
 CellResult run_cell(const ott::OttAppProfile& app_profile,
                     const CampaignDeviceProfile& device_profile, std::uint64_t cell_seed,
                     bool attempt_rip, net::FaultProfile chaos) {
-  const auto t0 = Clock::now();
+  // Presentation-only timing (stats lines, never diffed): the one approved
+  // wall-clock doorway. Simulated time stays on the ecosystem's SimClock.
+  const support::WallTimer timer;
 
   CellResult cell;
   cell.app = app_profile;
@@ -192,7 +189,7 @@ CellResult run_cell(const ott::OttAppProfile& app_profile,
   cell.stats.net_giveups = static_cast<std::size_t>(retry.giveups);
   cell.stats.faults_injected = static_cast<std::size_t>(ecosystem.fault_stats().total_faults());
 
-  cell.stats.wall_ms = ms_since(t0);
+  cell.stats.wall_ms = timer.elapsed_ms();
   return cell;
 }
 
@@ -203,7 +200,12 @@ CellResult run_cell(const ott::OttAppProfile& app_profile,
 /// run nanoseconds, so the lock is never on the hot path.
 class WorkQueue {
  public:
-  void push(std::size_t index) { items_.push_back(index); }  // pre-start only
+  void push(std::size_t index) {
+    // Only called before the pool starts, but the queue's contract is "every
+    // touch of items_ holds mutex_" — uncontended locks are nanoseconds.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    items_.push_back(index);
+  }
 
   std::optional<std::size_t> pop_back() {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -222,8 +224,42 @@ class WorkQueue {
   }
 
  private:
-  std::deque<std::size_t> items_;
   std::mutex mutex_;
+  std::deque<std::size_t> items_ WL_GUARDED_BY(mutex_);
+};
+
+/// Scheduler telemetry shared by the whole pool: workers record completions
+/// and steals under one mutex; the runner snapshots after the join. Feeds
+/// render_campaign_stats only — never the campaign report, so locking order
+/// and contention here cannot perturb any diffed output.
+class ScheduleStats {
+ public:
+  explicit ScheduleStats(std::size_t workers) : cells_per_worker_(workers, 0) {}
+
+  void record_cell(std::size_t worker) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++cells_per_worker_[worker];
+  }
+
+  void record_steal() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++steals_;
+  }
+
+  std::vector<std::size_t> cells_per_worker() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return cells_per_worker_;
+  }
+
+  std::size_t steals() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return steals_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::size_t> cells_per_worker_ WL_GUARDED_BY(mutex_);
+  std::size_t steals_ WL_GUARDED_BY(mutex_) = 0;
 };
 
 void accumulate(CellStats& total, const CellStats& cell) {
@@ -263,7 +299,7 @@ std::size_t CampaignRunner::cell_count() const {
 }
 
 CampaignResult CampaignRunner::run() {
-  const auto t0 = Clock::now();
+  const support::WallTimer timer;
 
   // The matrix in app-major order; a cell's position (and seed) never
   // depends on the schedule, so the result vector is directly comparable
@@ -304,7 +340,7 @@ CampaignResult CampaignRunner::run() {
     std::vector<WorkQueue> queues(workers);
     for (std::size_t i = 0; i < planned.size(); ++i) queues[i % workers].push(i);
 
-    std::vector<std::size_t> steals_per_worker(workers, 0);
+    ScheduleStats schedule(workers);
     auto worker_main = [&](std::size_t me) {
       for (;;) {
         std::optional<std::size_t> index = queues[me].pop_back();
@@ -313,13 +349,14 @@ CampaignResult CampaignRunner::run() {
             index = queues[(me + offset) % workers].steal_front();
           }
           if (!index) return;  // every queue drained: no work is ever re-queued
-          ++steals_per_worker[me];
+          schedule.record_steal();
         }
         const PlannedCell& cell = planned[*index];
-        // Each worker writes only its own pre-sized slots — no result lock.
+        // Cell results still go into per-index pre-sized slots — no lock on
+        // the payload path; only the telemetry counters share state.
         result.cells[*index] =
             run_cell(*cell.app, *cell.profile, cell.seed, spec_.attempt_rip, spec_.chaos);
-        ++result.stats.cells_per_worker[me];
+        schedule.record_cell(me);
       }
     };
 
@@ -328,11 +365,12 @@ CampaignResult CampaignRunner::run() {
     for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_main, w);
     for (std::thread& thread : pool) thread.join();
 
-    for (const std::size_t steals : steals_per_worker) result.stats.steals += steals;
+    result.stats.cells_per_worker = schedule.cells_per_worker();
+    result.stats.steals = schedule.steals();
   }
 
   for (const CellResult& cell : result.cells) accumulate(result.stats.totals, cell.stats);
-  result.stats.wall_ms = ms_since(t0);
+  result.stats.wall_ms = timer.elapsed_ms();
   return result;
 }
 

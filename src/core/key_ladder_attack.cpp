@@ -64,6 +64,7 @@ std::optional<crypto::RsaKeyPair> KeyLadderAttack::recover_device_rsa_key(
     const Bytes serialized =
         crypto::aes_cbc_decrypt(enc, response.wrapping_iv, response.wrapped_rsa_key);
     device_rsa_key_ = crypto::RsaKeyPair::deserialize(serialized);
+    // Logs only the modulus bit length, never key bytes. wl-lint: taint-ok
     WL_LOG(Info) << "key ladder: Device RSA Key recovered ("
                  << device_rsa_key_->pub.n.bit_length() << " bits)";
     return device_rsa_key_;

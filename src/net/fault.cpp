@@ -197,6 +197,7 @@ Bytes FaultyEndpoint::finish(const std::string& host, BytesView client_random,
   }
   if (d_drop < rates.drop_pm) {
     stats_.drops++;
+    // Stringifies the path *class* (an enum), not request content. wl-lint: taint-ok
     throw NetworkError("fault: connection to " + host_ + " dropped (" +
                        to_string(classify_path(request.path)) + " request)");
   }

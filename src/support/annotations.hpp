@@ -1,0 +1,35 @@
+// Lock-discipline annotations checked by wideleak-lint (rule WL008).
+//
+// These expand to nothing: they exist so declarations can carry their locking
+// contract in a form both human readers and the analyzer parse. The idiom
+// mirrors Clang's thread-safety attributes, minus the compiler dependency —
+// `wideleak-lint --project` builds a cross-translation-unit symbol index of
+// every annotated field and method and flags accesses made without the named
+// mutex held (via lock_guard / unique_lock / scoped_lock in scope, or from a
+// method itself annotated WL_REQUIRES).
+//
+//   class Counter {
+//    public:
+//     void bump() {
+//       const std::lock_guard<std::mutex> lock(mutex_);
+//       ++value_;                       // ok: mutex_ held
+//     }
+//     int unsafe() { return value_; }   // WL008: value_ accessed without mutex_
+//
+//    private:
+//     std::mutex mutex_;
+//     int value_ WL_GUARDED_BY(mutex_) = 0;
+//   };
+//
+// WL_REQUIRES(m) on a method asserts the caller already holds m; the method
+// body may then touch fields guarded by m, and every call site is checked for
+// the lock instead.
+//
+// Constructors and destructors are exempt (no concurrent access before the
+// object is shared or after it is torn down). Single-threaded components need
+// no annotations at all — annotate state that is actually shared across
+// threads. See docs/LINTING.md.
+#pragma once
+
+#define WL_GUARDED_BY(mutex)
+#define WL_REQUIRES(mutex)

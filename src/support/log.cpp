@@ -4,12 +4,32 @@
 #include <iostream>
 #include <mutex>
 
+#include "support/annotations.hpp"
+
 namespace wideleak {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_sink_mutex;
+
+/// The serialized emission end of the logger: every write to the stream
+/// happens under mutex_, so concurrent lines never interleave mid-line.
+class Sink {
+ public:
+  void write(const char* tag, const std::string& message) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    *out_ << "[" << tag << "] " << message << "\n";
+  }
+
+ private:
+  std::mutex mutex_;
+  std::ostream* out_ WL_GUARDED_BY(mutex_) = &std::cerr;
+};
+
+Sink& sink() {
+  static Sink instance;
+  return instance;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -31,8 +51,7 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
-  const std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+  sink().write(level_tag(level), message);
 }
 
 }  // namespace wideleak

@@ -1,0 +1,40 @@
+// Wall-clock timing for operator-facing statistics.
+//
+// The deterministic subtrees (src/core, src/net, src/ott) are forbidden from
+// touching std::chrono clocks directly — wideleak-lint rule WL009 enforces
+// that simulated time comes from support::SimClock so campaign and chaos
+// reports replay bit-identically. But the campaign runner still wants to
+// print how long a run took in real seconds, which is presentation, not
+// simulation: it never feeds back into scheduling, seeding, or any value a
+// report diffs on.
+//
+// WallTimer is the one blessed doorway. It lives in src/support (outside the
+// WL009 scope), so production code expresses intent by construction: SimClock
+// for anything the simulation observes, WallTimer for throughput lines in
+// human-readable output.
+#pragma once
+
+#include <chrono>
+
+namespace wideleak::support {
+
+/// Measures elapsed host time from construction. Monotonic; safe across
+/// system clock adjustments.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Milliseconds elapsed since construction (or the last reset()).
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace wideleak::support

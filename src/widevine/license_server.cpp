@@ -30,6 +30,10 @@ void LicenseServer::add_generic_key(const media::KeyId& kid, SecretBytes key) {
 
 LicenseResponse LicenseServer::handle(const LicenseRequest& request,
                                       const RevocationPolicy& policy) {
+  // Held across handle_inner: it increments keys_withheld under the same
+  // contract (WL_REQUIRES). Requests on one server are serial anyway; the
+  // lock's job is making the counter discipline checkable.
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
   ++stats_.requests;
   LicenseResponse response = handle_inner(request, policy);
   ++(response.granted ? stats_.granted : stats_.denied);
@@ -38,7 +42,8 @@ LicenseResponse LicenseServer::handle(const LicenseRequest& request,
 }
 
 LicenseResponse LicenseServer::handle_inner(const LicenseRequest& request,
-                                            const RevocationPolicy& policy) {
+                                            const RevocationPolicy& policy)
+    WL_REQUIRES(stats_mutex_) {
   LicenseResponse response;
   const Bytes body = request.body();
 

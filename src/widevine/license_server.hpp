@@ -7,10 +7,12 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "media/content.hpp"
+#include "support/annotations.hpp"
 #include "widevine/protocol.hpp"
 #include "widevine/provisioning_server.hpp"
 #include "widevine/revocation.hpp"
@@ -31,9 +33,10 @@ SecurityLevel required_level_for(const media::ContentKey& key);
 enum class LevelVerification { Strict, TrustClient };
 
 /// Instance-scoped request counters, read by the campaign stats sink after a
-/// cell completes. Plain integers on purpose: each server belongs to exactly
-/// one ecosystem instance, and an ecosystem is driven by one worker at a
-/// time, so no synchronization is needed (see docs/ARCHITECTURE.md).
+/// cell completes. The server guards them with a mutex and hands out copies:
+/// one ecosystem is normally driven by one worker at a time, but the counters
+/// are the only server state an outside reader ever polls, so they carry the
+/// WL_GUARDED_BY contract rather than relying on that convention.
 struct LicenseServerStats {
   std::size_t requests = 0;
   std::size_t granted = 0;
@@ -64,8 +67,11 @@ class LicenseServer {
 
   std::size_t key_count() const { return keys_.size(); }
 
-  /// Cumulative grant/deny/key counters since construction.
-  const LicenseServerStats& stats() const { return stats_; }
+  /// Cumulative grant/deny/key counters since construction (snapshot).
+  LicenseServerStats stats() const {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+  }
 
  private:
   struct StoredKey {
@@ -73,14 +79,16 @@ class LicenseServer {
     SecurityLevel min_level = SecurityLevel::L3;
   };
 
-  LicenseResponse handle_inner(const LicenseRequest& request, const RevocationPolicy& policy);
+  LicenseResponse handle_inner(const LicenseRequest& request,
+                               const RevocationPolicy& policy) WL_REQUIRES(stats_mutex_);
 
   std::shared_ptr<DeviceRootDatabase> roots_;
   Rng rng_;
   LevelVerification level_verification_ = LevelVerification::Strict;
   std::uint64_t license_duration_ = 0;
   std::map<std::string, StoredKey> keys_;  // hex(kid) -> key
-  LicenseServerStats stats_;
+  mutable std::mutex stats_mutex_;
+  LicenseServerStats stats_ WL_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace wideleak::widevine

@@ -39,8 +39,9 @@ ProvisioningServer::ProvisioningServer(std::shared_ptr<DeviceRootDatabase> roots
     : roots_(std::move(roots)), rng_(seed), rsa_bits_(rsa_bits) {}
 
 ProvisioningResponse ProvisioningServer::handle(const ProvisioningRequest& request) {
-  ++stats_.requests;
   ProvisioningResponse response = handle_inner(request);
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.requests;
   ++(response.granted ? stats_.granted : stats_.denied);
   return response;
 }

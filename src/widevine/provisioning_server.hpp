@@ -9,9 +9,11 @@
 #include <map>
 #include <set>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "crypto/rsa.hpp"
+#include "support/annotations.hpp"
 #include "widevine/keybox.hpp"
 #include "widevine/protocol.hpp"
 #include "widevine/revocation.hpp"
@@ -46,8 +48,8 @@ class DeviceRootDatabase {
   std::map<std::string, crypto::RsaPublicKey> rsa_keys_;   // hex(stable_id) -> public key
 };
 
-/// Instance-scoped request counters (see LicenseServerStats for the
-/// synchronization rationale: one server per ecosystem, one driver at a time).
+/// Instance-scoped request counters (see LicenseServerStats: guarded by a
+/// mutex inside the server, handed out as snapshots).
 struct ProvisioningServerStats {
   std::size_t requests = 0;
   std::size_t granted = 0;
@@ -64,8 +66,11 @@ class ProvisioningServer {
 
   ProvisioningResponse handle(const ProvisioningRequest& request);
 
-  /// Cumulative grant/deny counters since construction.
-  const ProvisioningServerStats& stats() const { return stats_; }
+  /// Cumulative grant/deny counters since construction (snapshot).
+  ProvisioningServerStats stats() const {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+  }
 
  private:
   ProvisioningResponse handle_inner(const ProvisioningRequest& request);
@@ -76,7 +81,8 @@ class ProvisioningServer {
   RevocationPolicy policy_ = permissive_revocation_policy();
   std::map<std::string, crypto::RsaKeyPair> issued_;  // cache per device
   std::set<std::string> seen_nonces_;                 // anti-replay: hex(id||nonce)
-  ProvisioningServerStats stats_;
+  mutable std::mutex stats_mutex_;
+  ProvisioningServerStats stats_ WL_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace wideleak::widevine

@@ -92,6 +92,7 @@ TEST(Sha1, IncrementalMatchesOneShot) {
 
 TEST(HmacSha256, Rfc4231Case1) {
   const Bytes key(20, 0x0b);
+  // Published RFC 4231 test vector, not a real key. wl-lint: log-ok
   EXPECT_EQ(hex_encode(hmac_sha256(key, to_bytes("Hi There"))),
             "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
 }
@@ -104,12 +105,14 @@ TEST(HmacSha256, Rfc4231Case2) {
 TEST(HmacSha256, Rfc4231Case3) {
   const Bytes key(20, 0xaa);
   const Bytes data(50, 0xdd);
+  // Published RFC 4231 test vector, not a real key. wl-lint: log-ok
   EXPECT_EQ(hex_encode(hmac_sha256(key, data)),
             "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
 }
 
 TEST(HmacSha256, Rfc4231Case6LongKey) {
   const Bytes key(131, 0xaa);
+  // Published RFC 4231 test vector, not a real key. wl-lint: log-ok
   EXPECT_EQ(hex_encode(hmac_sha256(key, to_bytes("Test Using Larger Than Block-Size Key - "
                                                  "Hash Key First"))),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");

@@ -1,0 +1,352 @@
+// Unit tests for the wideleak-lint analyzer library: the cross-TU symbol
+// index, the WL007/WL008/WL009 dataflow rules, suppression handling, the
+// report emitters (JSON / SARIF schema shape) and the baseline round-trip.
+//
+// The fixture corpus under tools/lint_fixtures exercises the rules
+// end-to-end through the CLI self-test; these tests pin the library-level
+// contracts the CLI builds on.
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+namespace lint = wideleak::lint;
+
+namespace {
+
+std::vector<lint::Violation> rule_findings(const std::vector<lint::Violation>& all,
+                                           const std::string& rule) {
+  std::vector<lint::Violation> out;
+  for (const lint::Violation& v : all) {
+    if (v.rule == rule) out.push_back(v);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Symbol index
+// ---------------------------------------------------------------------------
+
+TEST(SymbolIndex, HarvestsGuardedFields) {
+  const std::string src = R"(
+    #include <mutex>
+    class Counter {
+     private:
+      std::mutex mutex_;
+      int value_ WL_GUARDED_BY(mutex_) = 0;
+      long total_ WL_GUARDED_BY(other_mutex_);
+      std::mutex other_mutex_;
+    };
+  )";
+  const lint::SymbolIndex index = lint::build_symbol_index({{"counter.hpp", src}});
+  ASSERT_EQ(index.guarded_fields.size(), 2u);
+
+  const lint::GuardedField* value = index.find_field("Counter", "value_");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->mutex, "mutex_");
+  EXPECT_EQ(value->file, "counter.hpp");
+
+  const lint::GuardedField* total = index.find_field("Counter", "total_");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->mutex, "other_mutex_");
+
+  EXPECT_EQ(index.find_field("Counter", "mutex_"), nullptr);
+  EXPECT_EQ(index.find_field("Other", "value_"), nullptr);
+}
+
+TEST(SymbolIndex, HarvestsRequiredMethodsInClassAndOutOfLine) {
+  const std::string header = R"(
+    class Store {
+     public:
+      void put_locked(int v) WL_REQUIRES(mutex_);
+     private:
+      std::mutex mutex_;
+    };
+  )";
+  const std::string impl = R"(
+    void Store::take_locked(int v) WL_REQUIRES(mutex_) { use(v); }
+  )";
+  const lint::SymbolIndex index =
+      lint::build_symbol_index({{"store.hpp", header}, {"store.cpp", impl}});
+
+  const lint::RequiredMethod* put = index.find_method("Store", "put_locked");
+  ASSERT_NE(put, nullptr);
+  EXPECT_EQ(put->mutex, "mutex_");
+  EXPECT_EQ(put->file, "store.hpp");
+
+  const lint::RequiredMethod* take = index.find_method("Store", "take_locked");
+  ASSERT_NE(take, nullptr);
+  EXPECT_EQ(take->mutex, "mutex_");
+  EXPECT_EQ(take->file, "store.cpp");
+}
+
+TEST(SymbolIndex, CrossTuIndexFlagsImplementationFile) {
+  // The annotation lives in the header; the unlocked access lives in the
+  // implementation file. Only a shared index connects the two.
+  const std::string header = R"(
+    class Gauge {
+     public:
+      void set(int v);
+      int peek() const;
+     private:
+      std::mutex mutex_;
+      int level_ WL_GUARDED_BY(mutex_);
+    };
+  )";
+  const std::string impl = R"(
+    void Gauge::set(int v) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      level_ = v;
+    }
+    int Gauge::peek() const { return level_; }
+  )";
+  const lint::SymbolIndex index =
+      lint::build_symbol_index({{"gauge.hpp", header}, {"gauge.cpp", impl}});
+  lint::Options options;
+  options.index = &index;
+
+  const auto header_findings = lint::lint_source("gauge.hpp", header, options);
+  EXPECT_TRUE(rule_findings(header_findings, "WL008").empty());
+
+  const auto impl_findings = lint::lint_source("gauge.cpp", impl, options);
+  const auto wl008 = rule_findings(impl_findings, "WL008");
+  ASSERT_EQ(wl008.size(), 1u);  // set() is clean, peek() is not
+  EXPECT_NE(wl008[0].message.find("level_"), std::string::npos);
+}
+
+TEST(SymbolIndex, RequiresCallSiteChecked) {
+  const std::string src = R"(
+    class Q {
+     public:
+      void locked_op() WL_REQUIRES(m_) {}
+      void good() {
+        const std::scoped_lock lock(m_);
+        locked_op();
+      }
+      void bad() { locked_op(); }
+     private:
+      std::mutex m_;
+    };
+  )";
+  const auto findings = lint::lint_source("q.hpp", src);
+  const auto wl008 = rule_findings(findings, "WL008");
+  ASSERT_EQ(wl008.size(), 1u);
+  EXPECT_NE(wl008[0].message.find("locked_op"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// WL007 taint dataflow
+// ---------------------------------------------------------------------------
+
+TEST(TaintFlow, ChainedAssignmentReachesSink) {
+  const std::string src = R"(
+    void leak(const SecretBytes& device_key) {
+      Bytes a = device_key.reveal_copy();
+      Bytes b = a;
+      WL_LOG(Info) << hex_encode(b);
+    }
+  )";
+  const auto wl007 = rule_findings(lint::lint_source("src/x.cpp", src), "WL007");
+  ASSERT_EQ(wl007.size(), 1u);
+  EXPECT_NE(wl007[0].message.find("'b'"), std::string::npos);
+}
+
+TEST(TaintFlow, OverwriteClearsTaint) {
+  const std::string src = R"(
+    void clean(const SecretBytes& device_key, const Bytes& nonce) {
+      Bytes a = device_key.reveal_copy();
+      a = nonce;
+      WL_LOG(Info) << hex_encode(a);
+    }
+  )";
+  EXPECT_TRUE(rule_findings(lint::lint_source("src/x.cpp", src), "WL007").empty());
+}
+
+TEST(TaintFlow, TaintDoesNotCrossFunctions) {
+  const std::string src = R"(
+    void first(const SecretBytes& k) { Bytes a = k.reveal_copy(); use(a); }
+    void second(const Bytes& a) { WL_LOG(Info) << hex_encode(a); }
+  )";
+  EXPECT_TRUE(rule_findings(lint::lint_source("src/x.cpp", src), "WL007").empty());
+}
+
+// ---------------------------------------------------------------------------
+// WL009 path scoping
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, ScopedToDeterministicSubtrees) {
+  const std::string src = R"(
+    double now_ms() {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                               .time_since_epoch())
+          .count();
+    }
+  )";
+  EXPECT_EQ(rule_findings(lint::lint_source("src/core/t.cpp", src), "WL009").size(), 1u);
+  EXPECT_EQ(rule_findings(lint::lint_source("src/net/t.cpp", src), "WL009").size(), 1u);
+  // Outside the deterministic subtrees the same code is allowed (this is
+  // where support::WallTimer lives).
+  EXPECT_TRUE(rule_findings(lint::lint_source("src/support/t.cpp", src), "WL009").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+TEST(Suppressions, MultipleKeysShareOneComment) {
+  const std::string src = R"(
+    bool check(const Bytes& mac_tag, const SecretBytes& enc_key) {
+      // wl-lint: log-ok,ct-ok
+      WL_LOG(Debug) << (mac_tag == enc_key) << hex_encode(enc_key);
+      return true;
+    }
+  )";
+  const auto findings = lint::lint_source("src/x.cpp", src);
+  EXPECT_TRUE(rule_findings(findings, "WL001").empty());
+  EXPECT_TRUE(rule_findings(findings, "WL002").empty());
+}
+
+TEST(Suppressions, KeyMatchesWholeTokensOnly) {
+  // `strict-ok` must NOT satisfy a `ct-ok` lookup.
+  const std::string src = R"(
+    bool check(const Bytes& mac_tag, const Bytes& other_tag) {
+      // wl-lint: strict-ok
+      return mac_tag == other_tag;
+    }
+  )";
+  EXPECT_EQ(rule_findings(lint::lint_source("src/x.cpp", src), "WL002").size(), 1u);
+}
+
+TEST(Suppressions, CommentAboveMultiLineDeclaration) {
+  // The finding lands on the continuation line; the statement anchor must
+  // connect it back to the comment above the declaration's first line.
+  const std::string src = R"(
+    // wl-lint: byval-ok
+    void ingest(const std::string& label,
+                Bytes block);
+  )";
+  lint::Options options;
+  options.assume_scoped = true;
+  EXPECT_TRUE(rule_findings(lint::lint_source("x.hpp", src, options), "WL006").empty());
+
+  const std::string unsuppressed = R"(
+    void ingest(const std::string& label,
+                Bytes block);
+  )";
+  EXPECT_EQ(
+      rule_findings(lint::lint_source("x.hpp", unsuppressed, options), "WL006").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------------
+
+TEST(Options, DisabledRulesAreFiltered) {
+  const std::string src = R"(
+    void f(Bytes payload);
+  )";
+  lint::Options options;
+  options.assume_scoped = true;
+  EXPECT_EQ(rule_findings(lint::lint_source("x.hpp", src, options), "WL006").size(), 1u);
+  options.disabled_rules.insert("WL006");
+  EXPECT_TRUE(lint::lint_source("x.hpp", src, options).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Emitters
+// ---------------------------------------------------------------------------
+
+std::vector<lint::Violation> sample_findings() {
+  return {
+      {"src/a.cpp", 12, "WL001", "secret 'key' flows into hex_encode"},
+      {"src/b.cpp", 40, "WL008", "field \"x\" accessed\nwithout lock"},
+  };
+}
+
+TEST(Emitters, SarifSchemaShape) {
+  const std::string sarif = lint::render_sarif(sample_findings());
+  // Top-level SARIF 2.1.0 contract.
+  EXPECT_NE(sarif.find("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"wideleak-lint\""), std::string::npos);
+  // The driver advertises every rule.
+  for (const std::string& rule : lint::all_rules()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + rule + "\""), std::string::npos) << rule;
+    EXPECT_FALSE(lint::rule_description(rule).empty());
+  }
+  EXPECT_EQ(lint::all_rules().size(), 9u);
+  // Results carry ruleId, level and a physical location.
+  EXPECT_NE(sarif.find("\"ruleId\": \"WL001\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/a.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  // JSON string escaping: the embedded quote and newline must be escaped.
+  EXPECT_NE(sarif.find("field \\\"x\\\" accessed\\nwithout lock"), std::string::npos);
+  EXPECT_EQ(sarif.find("accessed\nwithout"), std::string::npos);
+}
+
+TEST(Emitters, SarifEmptyRunStaysWellFormed) {
+  const std::string sarif = lint::render_sarif({});
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
+}
+
+TEST(Emitters, JsonCarriesCountAndFindings) {
+  const std::string json = lint::render_json(sample_findings());
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"WL008\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 12"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+TEST(Baseline, RoundTripThroughDisk) {
+  const std::vector<lint::Violation> findings = sample_findings();
+  const std::string path = testing::TempDir() + "/wl_lint_baseline_test.txt";
+  {
+    std::ofstream out(path);
+    out << lint::render_baseline(findings);
+  }
+  const lint::Baseline baseline = lint::load_baseline(path);
+  ASSERT_EQ(baseline.entries.size(), 2u);
+  EXPECT_EQ(baseline.entries[0], "src/a.cpp|WL001|12");
+
+  std::vector<std::string> stale;
+  EXPECT_TRUE(lint::filter_baseline(findings, baseline, &stale).empty());
+  EXPECT_TRUE(stale.empty());
+}
+
+TEST(Baseline, NewFindingsPassThroughAndStaleEntriesReported) {
+  lint::Baseline baseline;
+  baseline.entries = {"src/a.cpp|WL001|12", "src/gone.cpp|WL005|7"};
+
+  std::vector<lint::Violation> findings = sample_findings();
+  std::vector<std::string> stale;
+  const auto fresh = lint::filter_baseline(findings, baseline, &stale);
+  ASSERT_EQ(fresh.size(), 1u);  // the WL008 finding is not baselined
+  EXPECT_EQ(fresh[0].rule, "WL008");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "src/gone.cpp|WL005|7");
+}
+
+TEST(Baseline, MissingFileIsEmpty) {
+  EXPECT_TRUE(lint::load_baseline("/nonexistent/wideleak/baseline.txt").entries.empty());
+}
+
+TEST(Baseline, EachEntryAbsorbsOneFinding) {
+  // Two findings with the same key need two entries.
+  std::vector<lint::Violation> findings = {
+      {"src/a.cpp", 12, "WL001", "first"},
+      {"src/a.cpp", 12, "WL001", "second"},
+  };
+  lint::Baseline baseline;
+  baseline.entries = {"src/a.cpp|WL001|12"};
+  EXPECT_EQ(lint::filter_baseline(findings, baseline).size(), 1u);
+}
+
+}  // namespace

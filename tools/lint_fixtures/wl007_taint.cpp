@@ -1,0 +1,49 @@
+// WL007 fixture: taint tracking through chains of local assignments. WL001
+// catches a secret *named* value in a sink; WL007 catches the laundered
+// version — key material copied into innocently-named locals that then reach
+// a log/encode sink or a network send.
+//
+// Fixtures are lexed, not compiled — the types stand in for the real ones.
+#include <string>
+
+struct Provisioner {
+  SecretBytes device_key_;
+  Keybox keybox_;
+
+  void leak_through_locals() {
+    Bytes raw = device_key_.reveal_copy();
+    Bytes hop = raw;
+    WL_LOG(Info) << "payload: " << hex_encode(hop);  // expect: WL007
+  }
+
+  std::string leak_derived(const Bytes& seed) {
+    SessionKeys ks = derive_session_keys(seed, seed, seed);
+    return to_string(ks);  // expect: WL007
+  }
+
+  void leak_to_network(HttpClient& client) {
+    Bytes material(keybox_.device_key().reveal());
+    client.post("/beacon", material);  // expect: WL007
+  }
+
+  void clean_paths(HttpClient& client) {
+    // Benign members of a tainted buffer carry no content:
+    Bytes raw = device_key_.reveal_copy();
+    WL_LOG(Info) << "buffer holds " << raw.size() << " bytes";
+    // Overwriting with clean data clears the taint:
+    raw = Bytes();
+    WL_LOG(Info) << "cleared: " << hex_encode(raw);
+    // Untainted values flow freely:
+    Bytes nonce = client.fetch_nonce();
+    client.post("/telemetry", nonce);
+  }
+
+  void reviewed_dump() {
+    Bytes raw = device_key_.reveal_copy();
+    // wl-lint: taint-ok -- reviewed diagnostic dump behind a debug flag
+    WL_LOG(Trace) << hex_encode(raw);
+  }
+};
+
+// Taint never crosses a function boundary: parameters start clean.
+std::string clean_param(const Bytes& payload) { return to_string(payload); }

@@ -1,0 +1,48 @@
+// WL008 fixture: lock discipline via WL_GUARDED_BY / WL_REQUIRES. A field
+// annotated WL_GUARDED_BY(m) may only be touched while m is held (via a
+// lock_guard / unique_lock / scoped_lock in scope, or from a method that is
+// itself annotated WL_REQUIRES(m)). Calls to WL_REQUIRES methods are checked
+// at the call site.
+//
+// Fixtures are lexed, not compiled — the types stand in for the real ones.
+#include <mutex>
+
+class StatsSink {
+ public:
+  StatsSink() { value_ = 1; }  // constructors are exempt (no sharing yet)
+
+  void bump() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++value_;  // clean: mutex_ held
+  }
+
+  int read_unlocked() {
+    return value_;  // expect: WL008
+  }
+
+  void locked_add(int n) WL_REQUIRES(mutex_) {
+    value_ += n;  // clean: caller holds mutex_ by contract
+  }
+
+  void forgot_the_lock() {
+    locked_add(2);  // expect: WL008
+  }
+
+  void with_the_lock() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    locked_add(3);  // clean: lock held across the WL_REQUIRES call
+  }
+
+  int snapshot() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return value_;  // clean: unique_lock counts too
+  }
+
+  int racy_peek() const {
+    return value_;  // wl-lint: lock-ok -- monitoring-only approximate read
+  }
+
+ private:
+  std::mutex mutex_;
+  int value_ WL_GUARDED_BY(mutex_) = 0;
+};

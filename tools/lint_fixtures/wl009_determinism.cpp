@@ -1,0 +1,39 @@
+// WL009 fixture: determinism hygiene. Inside the deterministic subtrees
+// (src/core, src/net, src/ott) the only approved sources of time and
+// randomness are support::SimClock and derive_stream_seed — anything reading
+// host state breaks bit-identical replay of campaign and chaos reports.
+//
+// Fixtures are lexed, not compiled — the types stand in for the real ones.
+#include <chrono>
+#include <random>
+
+unsigned long long bad_wall_time() {
+  const auto t0 = std::chrono::steady_clock::now();     // expect: WL009
+  const auto wall = std::chrono::system_clock::now();   // expect: WL009
+  return t0.time_since_epoch().count() + wall.time_since_epoch().count();
+}
+
+unsigned int bad_entropy() {
+  std::random_device rd;  // expect: WL009
+  srand(42);              // expect: WL009
+  return rd() + rand();   // expect: WL009
+}
+
+unsigned int bad_hidden_seed() {
+  std::mt19937 gen;  // expect: WL009
+  return gen();
+}
+
+unsigned long long good_sources(const SimClock& clock, unsigned long long seed) {
+  // Seeded from the campaign seed tree: the seed is named and replayable.
+  std::mt19937_64 gen(derive_stream_seed(seed, "fixture"));
+  return clock.now_ticks() + gen();
+}
+
+void good_type_mention(std::mt19937& gen) { gen.discard(1); }
+
+unsigned long long reviewed_wall_clock() {
+  // wl-lint: det-ok -- operator-facing throughput line, never fed back in
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<unsigned long long>(t0.time_since_epoch().count());
+}

@@ -1,0 +1,33 @@
+// Regression fixture for suppression parsing. Everything here is suppressed,
+// so the file must produce zero findings — it exercises:
+//
+//   1. several keys sharing one `// wl-lint:` comment (`log-ok,ct-ok`),
+//   2. a suppression above a declaration that spans multiple lines (the
+//      finding lands on a continuation line; the statement-anchor lookup
+//      must connect it back to the comment),
+//   3. keys parsed as whole tokens (`ct-ok` must not match inside
+//      `strict-ok`, and punctuation ends the key list).
+//
+// Fixtures are lexed, not compiled — the types stand in for the real ones.
+#include <string>
+
+struct Keys {
+  SecretBytes mac_key;
+};
+
+std::string multi_key_one_comment(const Keys& keys, const Bytes& tag) {
+  // wl-lint: log-ok,ct-ok
+  WL_LOG(Debug) << (tag == keys.mac_key) << " " << hex_encode(keys.mac_key);
+  return "ok";
+}
+
+// wl-lint: byval-ok -- ownership transfers to the ingest queue
+void ingest_samples(const std::string& label,
+                    Bytes sample_block);
+
+bool anchored_comparison(const Bytes& computed_mac, const Bytes& expected_mac) {
+  // wl-lint: ct-ok -- operands are public test vectors
+  const bool ok = (computed_mac
+                   == expected_mac);
+  return ok;
+}

@@ -1,0 +1,642 @@
+// Pass 2 and 3 of the analyzer: the declaration/symbol index built across
+// all translation units of one invocation, and the intra-procedural passes
+// that consume it —
+//
+//   WL007  secret-taint tracking through chains of local assignments,
+//   WL008  WL_GUARDED_BY / WL_REQUIRES lock-discipline checking,
+//   WL009  determinism hygiene (banned time/randomness sources).
+//
+// The machinery shared by all three is the StructureWalker: a single forward
+// scan over the token stream that maintains a scope stack (namespace /
+// class / function / block), the set of mutexes held in each scope
+// (lock_guard / unique_lock / scoped_lock declarations), and statement
+// boundaries. It is deliberately heuristic — no template instantiation, no
+// overload resolution — but precise enough for this codebase's idioms, and
+// tuned so the shipped baseline stays empty.
+#include <algorithm>
+
+#include "lint.hpp"
+#include "scan.hpp"
+
+namespace wideleak::lint {
+
+using internal::match_paren;
+using internal::NotesMap;
+using internal::parse_notes;
+using internal::Scan;
+using internal::scan_source;
+using internal::statement_anchor_line;
+using internal::suppressed_at;
+using internal::Token;
+
+const GuardedField* SymbolIndex::find_field(const std::string& cls,
+                                            const std::string& field) const {
+  for (const GuardedField& f : guarded_fields) {
+    if (f.cls == cls && f.field == field) return &f;
+  }
+  return nullptr;
+}
+
+const RequiredMethod* SymbolIndex::find_method(const std::string& cls,
+                                               const std::string& method) const {
+  for (const RequiredMethod& m : required_methods) {
+    if (m.cls == cls && m.method == method) return &m;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Keywords that look like `ident (` but never name a function being defined.
+const std::set<std::string> kControlKeywords = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "throw",
+    "new", "delete", "do", "else", "try", "case", "default", "static_assert",
+    "alignof", "decltype", "co_return", "co_await", "co_yield"};
+
+bool is_lock_decl(const std::string& t) {
+  return t == "lock_guard" || t == "unique_lock" || t == "scoped_lock";
+}
+
+// Members whose result carries no secret content even when called on a
+// tainted buffer (sizes, emptiness); everything else propagates taint.
+const std::set<std::string> kBenignMembers = {"size", "empty", "length", "count",
+                                              "capacity"};
+
+// WL007 taint sources: the functions whose return value IS key material.
+bool is_taint_source(const std::vector<Token>& toks, std::size_t i) {
+  if (!toks[i].is_ident) return false;
+  const std::string& t = toks[i].text;
+  const bool member = i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+  if (member && (t == "reveal" || t == "reveal_copy")) return true;
+  if (t == "derive_session_keys" || t == "derive_wiseplay_keys" || t == "derive_triple") {
+    return true;
+  }
+  // Keybox::parse — keybox parsing yields device-key material.
+  if (t == "parse" && i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "Keybox") {
+    return true;
+  }
+  return false;
+}
+
+struct Scope {
+  enum Kind { File, Namespace, Class, Function, Block };
+  Kind kind = Block;
+  std::string name;                // class or function name
+  std::string cls;                 // Function: enclosing class ("" = free)
+  bool ctor_dtor = false;          // Function: constructor/destructor body
+  std::set<std::string> held;      // mutex names held in this scope
+  std::map<std::string, int> taint;  // Function: tainted local -> source line
+};
+
+/// The shared forward scan. Runs in one of two modes: index building
+/// (harvest WL_GUARDED_BY / WL_REQUIRES into `out_index`) or checking
+/// (WL007/WL008 against a finished index; WL009 is path-scoped and runs in
+/// the same sweep).
+struct StructureWalker {
+  StructureWalker(const std::string& path_in, const std::vector<Token>& toks_in,
+                  const NotesMap& notes_in, const Options& options_in)
+      : path(path_in), toks(toks_in), notes(notes_in), options(options_in) {}
+
+  const std::string& path;
+  const std::vector<Token>& toks;
+  const NotesMap& notes;
+  const Options& options;
+  SymbolIndex* out_index = nullptr;         // index-build mode
+  const SymbolIndex* index = nullptr;       // check mode
+  std::vector<Violation>* violations = nullptr;
+  bool wl009_scoped = false;
+
+  std::vector<Scope> scopes;
+
+  // Pending construct recognition between statement boundaries.
+  bool class_pending = false;
+  std::string class_pending_name;
+  bool namespace_pending = false;
+  bool sig_pending = false;            // first `ident (` candidate this statement
+  std::string sig_name, sig_cls;
+  std::size_t sig_close = 0;           // index of the candidate's `)`
+
+  void reset_pending() {
+    class_pending = false;
+    namespace_pending = false;
+    sig_pending = false;
+    sig_name.clear();
+    sig_cls.clear();
+  }
+
+  Scope* innermost(Scope::Kind kind) {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == kind) return &*it;
+    }
+    return nullptr;
+  }
+
+  /// The class whose members an unqualified name in the current position
+  /// refers to: the enclosing Function's class if any, else the innermost
+  /// Class scope (for code textually inside a class body).
+  std::string current_class() {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::Function) return it->cls;
+      if (it->kind == Scope::Class) return it->name;
+    }
+    return "";
+  }
+
+  bool in_function() { return innermost(Scope::Function) != nullptr; }
+
+  bool in_ctor_dtor() {
+    Scope* fn = innermost(Scope::Function);
+    return fn != nullptr && fn->ctor_dtor;
+  }
+
+  bool holds(const std::string& mutex) {
+    return !scopes.empty() && scopes.back().held.count(mutex) > 0;
+  }
+
+  std::map<std::string, int>* taint_map() {
+    Scope* fn = innermost(Scope::Function);
+    return fn ? &fn->taint : nullptr;
+  }
+
+  void flag(int line, int anchor, const char* rule, const char* key, std::string message) {
+    if (!violations) return;
+    if (suppressed_at(notes, key, line, anchor)) return;
+    violations->push_back({path, line, rule, std::move(message)});
+  }
+
+  // --- declaration harvesting (index-build mode) ---------------------------
+
+  /// `Type field WL_GUARDED_BY(mutex) [= init];` — the annotated member is
+  /// the identifier immediately before the macro.
+  void harvest_guarded_field(std::size_t i) {
+    if (i == 0 || !toks[i - 1].is_ident) return;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") return;
+    Scope* cls = innermost(Scope::Class);
+    if (!cls) return;
+    GuardedField f;
+    f.cls = cls->name;
+    f.field = toks[i - 1].text;
+    f.mutex = paren_arg_name(i + 1);
+    f.file = path;
+    f.line = toks[i - 1].line;
+    if (!f.mutex.empty()) out_index->guarded_fields.push_back(std::move(f));
+  }
+
+  /// `Ret method(args) [const] WL_REQUIRES(mutex);` — walk back over the
+  /// parameter list to the method name. Works for in-class declarations and
+  /// out-of-line `Ret Class::method(...) WL_REQUIRES(m) { ... }` definitions.
+  void harvest_required_method(std::size_t i) {
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") return;
+    // Find the `)` closing the parameter list: the nearest `)` before the
+    // macro (skipping cv-qualifiers between them).
+    std::size_t j = i;
+    while (j > 0 && toks[j - 1].is_ident &&
+           (toks[j - 1].text == "const" || toks[j - 1].text == "noexcept" ||
+            toks[j - 1].text == "override" || toks[j - 1].text == "final")) {
+      --j;
+    }
+    if (j == 0 || toks[j - 1].text != ")") return;
+    // Back over the balanced parameter list to its `(`.
+    int depth = 0;
+    std::size_t open = j - 1;
+    while (true) {
+      if (toks[open].text == ")") ++depth;
+      if (toks[open].text == "(") {
+        --depth;
+        if (depth == 0) break;
+      }
+      if (open == 0) return;
+      --open;
+    }
+    if (open == 0 || !toks[open - 1].is_ident) return;
+    RequiredMethod m;
+    m.method = toks[open - 1].text;
+    m.mutex = paren_arg_name(i + 1);
+    m.file = path;
+    m.line = toks[open - 1].line;
+    // Explicit `Class ::` qualifier wins; otherwise the innermost class body.
+    if (open >= 3 && toks[open - 2].text == "::" && toks[open - 3].is_ident) {
+      m.cls = toks[open - 3].text;
+    } else if (Scope* cls = innermost(Scope::Class)) {
+      m.cls = cls->name;
+    }
+    if (!m.cls.empty() && !m.mutex.empty()) {
+      out_index->required_methods.push_back(std::move(m));
+    }
+  }
+
+  /// The (last) identifier inside a macro/lock argument list: for
+  /// `WL_GUARDED_BY(mutex_)` or `lock(server.stats_mutex_)` the guarding
+  /// mutex is named by the final path component.
+  std::string paren_arg_name(std::size_t open) {
+    const std::size_t close = match_paren(toks, open);
+    std::string name;
+    for (std::size_t k = open + 1; k < close; ++k) {
+      if (toks[k].is_ident) name = toks[k].text;
+    }
+    return name;
+  }
+
+  // --- lock tracking (check mode) ------------------------------------------
+
+  /// `std::lock_guard<std::mutex> lk(m1);` / `std::scoped_lock lk(m1, m2);`
+  /// add their mutexes to the current scope's held set. Returns the index to
+  /// resume scanning from.
+  std::size_t track_lock_decl(std::size_t i) {
+    std::size_t j = i + 1;
+    // Skip template arguments (tokenizer may emit `>>` for nested closes).
+    if (j < toks.size() && toks[j].text == "<") {
+      int angle = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++angle;
+        if (toks[j].text == ">") --angle;
+        if (toks[j].text == ">>") angle -= 2;
+        if (angle <= 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    if (j >= toks.size() || !toks[j].is_ident) return i;  // e.g. a bare mention
+    ++j;                                                  // past the variable name
+    if (j >= toks.size() || toks[j].text != "(") return i;
+    const std::size_t close = match_paren(toks, j);
+    // Each top-level comma-separated argument names one locked mutex.
+    std::string last_ident;
+    int depth = 0;
+    for (std::size_t k = j; k <= close && k < toks.size(); ++k) {
+      if (toks[k].text == "(") ++depth;
+      if (toks[k].text == ")") --depth;
+      if ((toks[k].text == "," && depth == 1) || (toks[k].text == ")" && depth == 0)) {
+        if (!last_ident.empty() && !scopes.empty()) scopes.back().held.insert(last_ident);
+        last_ident.clear();
+        continue;
+      }
+      if (toks[k].is_ident) last_ident = toks[k].text;
+    }
+    return close;
+  }
+
+  // --- WL008 access checks (check mode) ------------------------------------
+
+  void check_member_access(std::size_t i) {
+    if (!index || !in_function() || in_ctor_dtor()) return;
+    const std::string cls = current_class();
+    if (cls.empty()) return;
+    // Accesses through another object (`other.field`) can't be resolved to a
+    // lock instance intra-procedurally; only implicit-this and `this->`
+    // accesses are checked.
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      if (!(i >= 2 && toks[i - 2].text == "this")) return;
+    }
+    if (i > 0 && toks[i - 1].text == "::") return;  // qualified name
+
+    const int line = toks[i].line;
+    const int anchor = statement_anchor_line(toks, i);
+
+    if (const GuardedField* f = index->find_field(cls, toks[i].text)) {
+      if (!holds(f->mutex)) {
+        flag(line, anchor, "WL008", "lock-ok",
+             "'" + f->field + "' is WL_GUARDED_BY(" + f->mutex + ") but accessed without " +
+                 "holding it (CWE-667); take a lock_guard or annotate the method " +
+                 "WL_REQUIRES(" + f->mutex + ")");
+      }
+      return;
+    }
+    // Call to a WL_REQUIRES method of the same class without the lock held.
+    if (i + 1 < toks.size() && toks[i + 1].text == "(") {
+      Scope* fn = innermost(Scope::Function);
+      if (fn && fn->name == toks[i].text) return;  // its own definition/recursion
+      if (const RequiredMethod* m = index->find_method(cls, toks[i].text)) {
+        if (!holds(m->mutex)) {
+          flag(line, anchor, "WL008", "lock-ok",
+               "call to '" + m->method + "' which WL_REQUIRES(" + m->mutex +
+                   ") without holding it (CWE-667)");
+        }
+      }
+    }
+  }
+
+  // --- WL007 taint dataflow (check mode) -----------------------------------
+
+  bool expr_has_source(std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      if (is_taint_source(toks, k)) return true;
+    }
+    return false;
+  }
+
+  /// A tainted local appearing as a value in [begin, end). Member accesses of
+  /// benign members (`leaked.size()`) do not count.
+  std::size_t find_tainted_use(std::size_t begin, std::size_t end) {
+    std::map<std::string, int>* taint = taint_map();
+    if (!taint) return toks.size();
+    for (std::size_t k = begin; k < end; ++k) {
+      if (!toks[k].is_ident || !taint->count(toks[k].text)) continue;
+      if (k > begin && (toks[k - 1].text == "." || toks[k - 1].text == "->")) continue;
+      if (k + 1 < end && (toks[k + 1].text == "." || toks[k + 1].text == "->")) {
+        if (k + 2 < end && kBenignMembers.count(toks[k + 2].text)) continue;
+      }
+      return k;
+    }
+    return toks.size();
+  }
+
+  void taint_sink(std::size_t at, std::size_t begin, std::size_t end,
+                  const std::string& sink) {
+    const std::size_t use = find_tainted_use(begin, end);
+    if (use >= toks.size()) return;  // direct source uses are WL001's beat
+    std::map<std::string, int>* taint = taint_map();
+    const int source_line = (*taint)[toks[use].text];
+    flag(toks[use].line, statement_anchor_line(toks, at), "WL007", "taint-ok",
+         "'" + toks[use].text + "' carries secret bytes (tainted at line " +
+             std::to_string(source_line) + ") into " + sink +
+             " (CWE-532: laundered key material reaches an output channel)");
+  }
+
+  /// Process one statement span [begin, end) for taint propagation and sinks.
+  void analyze_statement(std::size_t begin, std::size_t end) {
+    std::map<std::string, int>* taint = taint_map();
+    if (!taint) return;
+
+    // -- sinks ---------------------------------------------------------------
+    for (std::size_t k = begin; k < end; ++k) {
+      if (!toks[k].is_ident) continue;
+      const std::string& t = toks[k].text;
+      const bool member = k > 0 && (toks[k - 1].text == "." || toks[k - 1].text == "->");
+      if ((t == "hex_encode" || t == "base64_encode" || t == "to_string") && !member &&
+          k + 1 < end && toks[k + 1].text == "(") {
+        taint_sink(k, k + 2, std::min(match_paren(toks, k + 1), end), t);
+      }
+      if (t == "WL_LOG" || (t == "log_line" && !member)) {
+        taint_sink(k, k + 1, end, t == "WL_LOG" ? "WL_LOG" : "log_line");
+      }
+      // A network send: any call qualified `net::` plus the send-shaped
+      // endpoint methods. Wrapped/encrypted payloads travel as untainted
+      // values; only raw revealed bytes reach here tainted.
+      const bool net_qualified =
+          k >= 2 && toks[k - 1].text == "::" && toks[k - 2].text == "net";
+      const bool send_method = member && (t == "request" || t == "send" || t == "post");
+      if ((net_qualified || send_method) && k + 1 < end && toks[k + 1].text == "(") {
+        taint_sink(k, k + 2, std::min(match_paren(toks, k + 1), end),
+                   "net:: send '" + t + "'");
+      }
+    }
+
+    // -- propagation ---------------------------------------------------------
+    // Assignment: `lhs = expr` (first top-level `=`).
+    int depth = 0;
+    for (std::size_t k = begin; k < end; ++k) {
+      if (toks[k].text == "(") ++depth;
+      if (toks[k].text == ")") --depth;
+      if (toks[k].text != "=" || depth != 0) continue;
+      // Root of the lhs access chain: `req.body = x` taints `req`, and
+      // `Bytes leaked = x` taints `leaked` (not the type). Start at the
+      // ident just before `=` (skipping a trailing `[idx]` subscript) and
+      // walk back only over `ident.` / `ident->` pairs.
+      std::size_t root = k;
+      if (root > begin && toks[root - 1].text == "]") {
+        while (root > begin && toks[root - 1].text != "[") --root;
+        if (root > begin) --root;  // onto the `[`
+      }
+      if (root == begin || !toks[root - 1].is_ident) break;
+      --root;  // the ident directly left of `=` / `[`
+      while (root >= begin + 2 &&
+             (toks[root - 1].text == "." || toks[root - 1].text == "->") &&
+             toks[root - 2].is_ident) {
+        root -= 2;
+      }
+      if (!toks[root].is_ident) break;
+      const std::string& name = toks[root].text;
+      const bool tainted = expr_has_source(k + 1, end) ||
+                           find_tainted_use(k + 1, end) < toks.size();
+      if (tainted) {
+        (*taint)[name] = toks[root].line;
+      } else {
+        taint->erase(name);  // overwritten with clean data
+      }
+      return;
+    }
+    // Constructor-style declaration: `Type name(expr)` / `Type name{expr}`.
+    for (std::size_t k = begin + 1; k < end; ++k) {
+      if (!toks[k].is_ident || k + 1 >= end) continue;
+      if (toks[k + 1].text != "(" && toks[k + 1].text != "{") continue;
+      const Token& prev = toks[k - 1];
+      const bool after_type =
+          (prev.is_ident && !kControlKeywords.count(prev.text)) || prev.text == ">" ||
+          prev.text == "&" || prev.text == "*";
+      if (!after_type) continue;
+      const std::size_t close = k + 1 < end && toks[k + 1].text == "("
+                                    ? match_paren(toks, k + 1)
+                                    : internal::match_brace(toks, k + 1);
+      const std::size_t stop = std::min(close, end);
+      if (expr_has_source(k + 2, stop) || find_tainted_use(k + 2, stop) < toks.size()) {
+        (*taint)[toks[k].text] = toks[k].line;
+      }
+      return;
+    }
+  }
+
+  // --- the walk ------------------------------------------------------------
+
+  void run() {
+    scopes.push_back({Scope::File, "", "", false, {}, {}});
+    std::size_t stmt_begin = 0;
+    int paren_depth = 0;
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& tok = toks[i];
+      const std::string& t = tok.text;
+
+      if (t == "(") ++paren_depth;
+      if (t == ")") --paren_depth;
+
+      if (t == ";" && paren_depth <= 0) {
+        if (index && in_function()) analyze_statement(stmt_begin, i);
+        reset_pending();
+        stmt_begin = i + 1;
+        continue;
+      }
+
+      if (t == "{") {
+        if (index && in_function()) analyze_statement(stmt_begin, i);
+        Scope next;
+        next.held = scopes.back().held;  // lexical scopes inherit held locks
+        if (class_pending) {
+          next.kind = Scope::Class;
+          next.name = class_pending_name;
+        } else if (sig_pending && sig_close < i) {
+          next.kind = Scope::Function;
+          next.name = sig_name;
+          next.cls = !sig_cls.empty() ? sig_cls : current_class();
+          next.ctor_dtor = !next.cls.empty() &&
+                           (sig_name == next.cls || sig_name == "~" + next.cls);
+          // WL_REQUIRES on the definition: the named mutex is held throughout.
+          for (std::size_t k = sig_close; k < i; ++k) {
+            if (toks[k].is_ident && toks[k].text == "WL_REQUIRES" && k + 1 < i &&
+                toks[k + 1].text == "(") {
+              const std::string m = paren_arg_name(k + 1);
+              if (!m.empty()) next.held.insert(m);
+            }
+          }
+        } else if (namespace_pending) {
+          next.kind = Scope::Namespace;
+        } else {
+          next.kind = Scope::Block;
+        }
+        scopes.push_back(std::move(next));
+        reset_pending();
+        stmt_begin = i + 1;
+        paren_depth = 0;
+        continue;
+      }
+
+      if (t == "}") {
+        if (index && in_function()) analyze_statement(stmt_begin, i);
+        if (scopes.size() > 1) scopes.pop_back();
+        reset_pending();
+        stmt_begin = i + 1;
+        paren_depth = 0;
+        continue;
+      }
+
+      if (!tok.is_ident) continue;
+
+      // Construct recognition.
+      if (t == "class" || t == "struct") {
+        if (i + 1 < toks.size() && toks[i + 1].is_ident) {
+          class_pending = true;
+          class_pending_name = toks[i + 1].text;
+        }
+        continue;
+      }
+      if (t == "enum") {
+        class_pending = false;  // `enum class X {` opens a plain block
+        continue;
+      }
+      if (t == "namespace") {
+        namespace_pending = true;
+        continue;
+      }
+      if (!sig_pending && !kControlKeywords.count(t) && i + 1 < toks.size() &&
+          toks[i + 1].text == "(") {
+        sig_pending = true;
+        sig_name = t;
+        sig_close = match_paren(toks, i + 1);
+        if (i >= 2 && toks[i - 1].text == "::" && toks[i - 2].is_ident) {
+          sig_cls = toks[i - 2].text;
+        }
+        // A destructor definition: `~` directly before the name.
+        if (i >= 1 && toks[i - 1].text == "~") sig_name = "~" + sig_name;
+        if (i >= 3 && toks[i - 1].text == "~" && toks[i - 2].text == "::" &&
+            toks[i - 3].is_ident) {
+          sig_cls = toks[i - 3].text;
+          sig_name = "~" + sig_cls;
+        }
+      }
+
+      // Index harvesting.
+      if (out_index) {
+        if (t == "WL_GUARDED_BY") harvest_guarded_field(i);
+        if (t == "WL_REQUIRES") harvest_required_method(i);
+      }
+
+      // Checking.
+      if (index) {
+        if (is_lock_decl(t)) {
+          i = track_lock_decl(i);
+          continue;
+        }
+        check_member_access(i);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// WL009: determinism hygiene (plain token scan; path-scoped)
+// ---------------------------------------------------------------------------
+
+bool scoped_for_wl009(const std::string& path) {
+  return path.find("src/core") != std::string::npos ||
+         path.find("src/net") != std::string::npos ||
+         path.find("src/ott") != std::string::npos;
+}
+
+void check_wl009(const std::string& path, const std::vector<Token>& toks,
+                 const NotesMap& notes, std::vector<Violation>* violations) {
+  auto flag = [&](std::size_t i, const std::string& what) {
+    const int line = toks[i].line;
+    const int anchor = statement_anchor_line(toks, i);
+    if (suppressed_at(notes, "det-ok", line, anchor)) return;
+    violations->push_back(
+        {path, line, "WL009",
+         what + " breaks bit-identical replay inside the deterministic subtrees; "
+                "use support::SimClock for time and derive_stream_seed(...) for "
+                "randomness (docs/LINTING.md)"});
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].is_ident) continue;
+    const std::string& t = toks[i].text;
+    if (t == "random_device") {
+      flag(i, "std::random_device is nondeterministic and");
+      continue;
+    }
+    if (t == "system_clock" || t == "steady_clock" || t == "high_resolution_clock") {
+      flag(i, "std::chrono::" + t + " reads wall/host time, which");
+      continue;
+    }
+    if ((t == "rand" || t == "srand") && i + 1 < toks.size() && toks[i + 1].text == "(" &&
+        (i == 0 || (toks[i - 1].text != "." && toks[i - 1].text != "->"))) {
+      flag(i, t + "() uses hidden global PRNG state, which");
+      continue;
+    }
+    if (t == "mt19937" || t == "mt19937_64") {
+      // Only *unseeded* declarations are flagged: `std::mt19937 g;` or
+      // `std::mt19937 g{};` seeds from a default constant the reader cannot
+      // tie to the campaign seed tree. `mt19937 g(seed)` names its seed.
+      std::size_t j = i + 1;
+      if (j < toks.size() && !toks[j].is_ident) continue;  // a type mention only
+      if (j < toks.size() && toks[j].is_ident) ++j;        // variable name
+      const bool unseeded =
+          j >= toks.size() || toks[j].text == ";" ||
+          (toks[j].text == "(" && match_paren(toks, j) == j + 1) ||
+          (toks[j].text == "{" && j + 1 < toks.size() && toks[j + 1].text == "}");
+      if (unseeded) flag(i, "unseeded std::" + t + " hides its seed, which");
+      continue;
+    }
+  }
+}
+
+}  // namespace
+
+SymbolIndex build_symbol_index(const std::vector<SourceFile>& sources) {
+  SymbolIndex index;
+  Options options;
+  NotesMap empty_notes;
+  for (const SourceFile& source : sources) {
+    const Scan scan = scan_source(source.content);
+    StructureWalker walker{source.path, scan.tokens, empty_notes, options};
+    walker.out_index = &index;
+    walker.run();
+  }
+  return index;
+}
+
+// Entry point used by lint_source (lint.cpp): run the dataflow passes and
+// append their findings.
+void run_dataflow_passes(const std::string& path, const Scan& scan, const NotesMap& notes,
+                         const Options& options, const SymbolIndex& index,
+                         std::vector<Violation>* violations) {
+  StructureWalker walker{path, scan.tokens, notes, options};
+  walker.index = &index;
+  walker.violations = violations;
+  walker.run();
+
+  if (options.assume_scoped || scoped_for_wl009(path)) {
+    check_wl009(path, scan.tokens, notes, violations);
+  }
+}
+
+}  // namespace wideleak::lint

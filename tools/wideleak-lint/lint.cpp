@@ -1,162 +1,30 @@
+// Pass 1 of the analyzer: the lexical rules (WL001–WL006) plus the
+// lint_source driver that stitches all passes together. The tokenizer lives
+// in scan.cpp; the symbol index and the dataflow rules (WL007–WL009) live in
+// analysis.cpp; the emitters and baseline live in output.cpp.
 #include "lint.hpp"
 
 #include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <map>
-#include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "scan.hpp"
+
 namespace wideleak::lint {
+
+using internal::match_paren;
+using internal::NotesMap;
+using internal::parse_notes;
+using internal::Scan;
+using internal::scan_source;
+using internal::statement_anchor_line;
+using internal::suppressed_at;
+using internal::Token;
+
 namespace {
-
-// ---------------------------------------------------------------------------
-// Tokenisation
-// ---------------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  int line = 0;
-  bool is_ident = false;
-};
-
-struct LineNotes {
-  bool log_ok = false;        // wl-lint: log-ok
-  bool ct_ok = false;         // wl-lint: ct-ok
-  bool raw_bytes_ok = false;  // wl-lint: raw-bytes-ok
-  bool reveal_ok = false;     // wl-lint: reveal-ok
-  bool catch_ok = false;      // wl-lint: catch-ok
-  bool byval_ok = false;      // wl-lint: byval-ok
-};
-
-struct Scan {
-  std::vector<Token> tokens;
-  std::map<int, std::string> comments;  // line -> concatenated comment text
-};
-
-bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
-bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-// Multi-character punctuators we must not split (the rules key on `==`,
-// `!=`, `::`, `->`, `<<`); longest match first.
-const char* kPuncts[] = {"<<=", ">>=", "<=>", "->*", "...", "==", "!=", "<=", ">=",
-                         "&&",  "||",  "::",  "->",  "<<",  ">>", "+=", "-=", "*=",
-                         "/=",  "%=",  "&=",  "|=",  "^=",  "++", "--"};
-
-/// One pass over the raw source: emits code tokens and collects comment text
-/// per line (comments are where suppressions and fixture expectations live).
-/// String and character literal contents are dropped entirely.
-Scan scan_source(const std::string& src) {
-  Scan out;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-
-  auto append_comment = [&](int at_line, char c) { out.comments[at_line].push_back(c); };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // Comments.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      i += 2;
-      while (i < n && src[i] != '\n') append_comment(line, src[i++]);
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      i += 2;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') {
-          ++line;
-        } else {
-          append_comment(line, src[i]);
-        }
-        ++i;
-      }
-      i = (i + 1 < n) ? i + 2 : n;
-      continue;
-    }
-    // String / char literals (handles escapes; raw strings handled crudely by
-    // the escape-free scan below — the codebase does not use raw strings).
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\' && i + 1 < n) ++i;
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      if (i < n) ++i;  // closing quote
-      Token t;
-      t.text = (quote == '"') ? "\"\"" : "''";
-      t.line = line;
-      out.tokens.push_back(std::move(t));
-      continue;
-    }
-    // Identifiers / keywords.
-    if (ident_start(c)) {
-      std::size_t j = i + 1;
-      while (j < n && ident_char(src[j])) ++j;
-      Token t;
-      t.text = src.substr(i, j - i);
-      t.line = line;
-      t.is_ident = true;
-      out.tokens.push_back(std::move(t));
-      i = j;
-      continue;
-    }
-    // Numbers (including hex; we only need them to not merge with idents).
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i + 1;
-      while (j < n && (ident_char(src[j]) || src[j] == '.' || src[j] == '\'')) ++j;
-      Token t;
-      t.text = src.substr(i, j - i);
-      t.line = line;
-      out.tokens.push_back(std::move(t));
-      i = j;
-      continue;
-    }
-    // Punctuation, longest match first.
-    std::size_t len = 1;
-    for (const char* p : kPuncts) {
-      const std::size_t pl = std::char_traits<char>::length(p);
-      if (src.compare(i, pl, p) == 0) {
-        len = pl;
-        break;
-      }
-    }
-    Token t;
-    t.text = src.substr(i, len);
-    t.line = line;
-    out.tokens.push_back(std::move(t));
-    i += len;
-  }
-  return out;
-}
-
-std::map<int, LineNotes> parse_notes(const std::map<int, std::string>& comments) {
-  std::map<int, LineNotes> notes;
-  for (const auto& [line, text] : comments) {
-    if (text.find("wl-lint:") == std::string::npos) continue;
-    LineNotes& ln = notes[line];
-    if (text.find("log-ok") != std::string::npos) ln.log_ok = true;
-    if (text.find("ct-ok") != std::string::npos) ln.ct_ok = true;
-    if (text.find("raw-bytes-ok") != std::string::npos) ln.raw_bytes_ok = true;
-    if (text.find("reveal-ok") != std::string::npos) ln.reveal_ok = true;
-    if (text.find("catch-ok") != std::string::npos) ln.catch_ok = true;
-    if (text.find("byval-ok") != std::string::npos) ln.byval_ok = true;
-  }
-  return notes;
-}
 
 // ---------------------------------------------------------------------------
 // Identifier classification
@@ -181,11 +49,12 @@ const std::set<std::string> kSecretSegments = {"key", "keys", "keybox", "secret"
 
 // Segments that mark an identifier as *about* keys without *being* key
 // material: key ids, wrapped/encrypted forms, server-opaque fields,
-// registries, public halves, and derivation machinery.
+// registries, public halves, counts/bounds, and derivation machinery.
 const std::set<std::string> kSecretExclusions = {
     "id",    "ids",   "kid",    "kids",  "wrapped", "wrap",  "public", "request",
     "response", "data", "count", "hex",  "token",   "tokens", "view",  "usage",
-    "store", "ladder", "policy", "info", "name",    "size",  "slot",   "slots"};
+    "store", "ladder", "policy", "info", "name",    "size",  "slot",   "slots",
+    "max",   "min",   "num"};
 
 bool is_secretish(const std::string& ident) {
   bool secret = false;
@@ -211,19 +80,6 @@ bool is_macish(const std::string& ident) {
 // Token-stream helpers
 // ---------------------------------------------------------------------------
 
-/// Index of the `)` matching the `(` at `open` (or tokens.size() if unmatched).
-std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < toks.size(); ++i) {
-    if (toks[i].text == "(") ++depth;
-    if (toks[i].text == ")") {
-      --depth;
-      if (depth == 0) return i;
-    }
-  }
-  return toks.size();
-}
-
 /// Terminal identifiers in [begin, end): for an access path `a.b->c(...)`
 /// only the final component counts, so `hex_encode(key.kid)` judges `kid`,
 /// not `key`, while `keys.enc_key` judges `enc_key`.
@@ -233,9 +89,23 @@ std::vector<std::size_t> terminal_idents(const std::vector<Token>& toks, std::si
   for (std::size_t i = begin; i < end; ++i) {
     if (!toks[i].is_ident) continue;
     std::size_t next = i + 1;
-    if (next < end && toks[next].text == "(") {
-      const std::size_t close = match_paren(toks, next);
-      next = (close < end) ? close + 1 : end;
+    // Skip a call's argument list and/or subscripts: `keys[0].kid` judges
+    // `kid`, not `keys`, just as `keys.at(0).kid` would.
+    while (next < end) {
+      if (toks[next].text == "(") {
+        const std::size_t close = match_paren(toks, next);
+        next = (close < end) ? close + 1 : end;
+      } else if (toks[next].text == "[") {
+        int depth = 0;
+        while (next < end) {
+          if (toks[next].text == "[") ++depth;
+          if (toks[next].text == "]" && --depth == 0) break;
+          ++next;
+        }
+        if (next < end) ++next;
+      } else {
+        break;
+      }
     }
     if (next < end && (toks[next].text == "." || toks[next].text == "->" ||
                        toks[next].text == "::")) {
@@ -284,7 +154,6 @@ std::vector<OperandIdent> operand_terminals(const std::vector<Token>& toks, std:
     if (toks[i].text == "(") {  // skip call/grouping contents wholesale
       const std::size_t close = match_paren(toks, i);
       if (close >= end) break;
-      // Re-evaluate the preceding ident's terminality below via `next`.
       i = close;
       continue;
     }
@@ -412,16 +281,16 @@ bool looks_like_param_list(const std::vector<Token>& toks, std::size_t open,
 struct Linter {
   const std::string& path;
   const std::vector<Token>& toks;
-  const std::map<int, LineNotes>& notes;
+  const NotesMap& notes;
   const Options& options;
   std::vector<Violation> violations;
 
-  bool suppressed(int line, bool LineNotes::*flag) const {
-    for (int l : {line, line - 1}) {
-      auto it = notes.find(l);
-      if (it != notes.end() && it->second.*flag) return true;
-    }
-    return false;
+  /// Suppression lookup: the key may sit on the flagged line, the line above
+  /// it, or above the start of the (possibly multi-line) declaration /
+  /// statement the flagged token belongs to.
+  bool suppressed(const char* key, std::size_t tok_idx) const {
+    return suppressed_at(notes, key, toks[tok_idx].line,
+                         statement_anchor_line(toks, tok_idx));
   }
 
   void flag(int line, const char* rule, std::string message) {
@@ -459,10 +328,7 @@ struct Linter {
       for (std::size_t t : terminal_idents(toks, begin, end)) {
         const std::string& arg = toks[t].text;
         if (!is_secretish(arg) && arg != "reveal" && arg != "reveal_copy") continue;
-        if (suppressed(toks[t].line, &LineNotes::log_ok) ||
-            suppressed(toks[i].line, &LineNotes::log_ok)) {
-          continue;
-        }
+        if (suppressed("log-ok", t) || suppressed("log-ok", i)) continue;
         flag(toks[t].line, "WL001",
              "secret '" + arg + "' flows into " + (log_sink ? "WL_LOG" : name) +
                  " (CWE-532: key material in log/encode output)");
@@ -486,7 +352,7 @@ struct Linter {
       // other side (if any) carries the signal.
       if (t.is_call) continue;
       if (!is_macish(toks[t.index].text) && !is_secretish(toks[t.index].text)) continue;
-      if (suppressed(toks[op].line, &LineNotes::ct_ok)) continue;
+      if (suppressed("ct-ok", op)) continue;
       flag(toks[op].line, "WL002",
            what + " compares '" + toks[t.index].text +
                "' in variable time; use constant_time_equal (CWE-208)");
@@ -509,7 +375,7 @@ struct Linter {
         const std::size_t close = match_paren(toks, i + 1);
         for (std::size_t id : comparison_idents(toks, i + 2, close)) {
           if (!is_macish(toks[id].text) && !is_secretish(toks[id].text)) continue;
-          if (suppressed(toks[i].line, &LineNotes::ct_ok)) break;
+          if (suppressed("ct-ok", i)) break;
           flag(toks[i].line, "WL002",
                std::string(is_memcmp ? "memcmp" : "std::equal") + " over '" +
                    toks[id].text + "' is variable time; use constant_time_equal (CWE-208)");
@@ -553,7 +419,7 @@ struct Linter {
         if (looks_like_param_list(toks, j + 1, close)) {
           // Function declaration returning Bytes (or a Bytes-bearing value).
           if (by_ref) continue;  // by-reference accessors are WL003's problem
-          if (suppressed(toks[j].line, &LineNotes::reveal_ok)) continue;
+          if (suppressed("reveal-ok", j)) continue;
           flag(toks[j].line, "WL004",
                "'" + name +
                    "' returns secret bytes by value without a '// wl-lint: "
@@ -563,7 +429,7 @@ struct Linter {
         // else: a constructor-style variable declaration — falls through.
       }
       if (!scoped || by_ref) continue;
-      if (suppressed(toks[j].line, &LineNotes::raw_bytes_ok)) continue;
+      if (suppressed("raw-bytes-ok", j)) continue;
       flag(toks[j].line, "WL003",
            "raw Bytes declaration '" + name +
                "' holds key material; use wideleak::SecretBytes (CWE-922)");
@@ -592,7 +458,7 @@ struct Linter {
       if (j + 1 >= toks.size()) continue;
       const std::string& after = toks[j + 1].text;
       if (after != "," && after != ")" && after != "=") continue;
-      if (suppressed(toks[i].line, &LineNotes::byval_ok)) continue;
+      if (suppressed("byval-ok", i)) continue;
       flag(toks[i].line, "WL006",
            "parameter '" + toks[j].text +
                "' takes Bytes by value — a heap copy per call on the data "
@@ -628,7 +494,7 @@ struct Linter {
         }
       }
       if (surfaces_error) continue;
-      if (suppressed(toks[i].line, &LineNotes::catch_ok)) continue;
+      if (suppressed("catch-ok", i)) continue;
       flag(toks[i].line, "WL005",
            "catch (...) swallows the error without logging or rethrowing "
            "(CWE-391); log it, rethrow, or annotate '// wl-lint: catch-ok'");
@@ -641,13 +507,33 @@ struct Linter {
 std::vector<Violation> lint_source(const std::string& path, const std::string& source,
                                    const Options& options) {
   const Scan scan = scan_source(source);
-  const std::map<int, LineNotes> notes = parse_notes(scan.comments);
+  const NotesMap notes = parse_notes(scan.comments);
   Linter linter{path, scan.tokens, notes, options, {}};
   linter.check_wl001();
   linter.check_wl002();
   linter.check_decls();
   linter.check_wl005();
   linter.check_wl006();
+
+  // The dataflow passes need the cross-TU symbol index; when the caller did
+  // not supply one (single-file lint, fixtures), the file indexes itself.
+  SymbolIndex local_index;
+  const SymbolIndex* index = options.index;
+  if (!index) {
+    local_index = build_symbol_index({{path, source}});
+    index = &local_index;
+  }
+  run_dataflow_passes(path, scan, notes, options, *index, &linter.violations);
+
+  if (!options.disabled_rules.empty()) {
+    linter.violations.erase(
+        std::remove_if(linter.violations.begin(), linter.violations.end(),
+                       [&](const Violation& v) {
+                         return options.disabled_rules.count(v.rule) > 0;
+                       }),
+        linter.violations.end());
+  }
+
   std::sort(linter.violations.begin(), linter.violations.end(),
             [](const Violation& a, const Violation& b) {
               return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);

@@ -1,9 +1,12 @@
-// wideleak-lint: the repo's key-material hygiene analyzer.
+// wideleak-lint: the repo's key-material hygiene and concurrency-discipline
+// analyzer.
 //
-// A deliberately small, LLVM-free static analysis pass: lexical scanning
-// plus lightweight declaration parsing, tuned to this codebase's idioms.
-// It enforces the secret-handling discipline the WideLeak paper shows real
-// CDMs lacking (CWE-922 / CVE-2021-0639, timing oracles on MAC checks):
+// v2 is a deliberately small, LLVM-free multi-pass analyzer: a real
+// tokenizer, a declaration/symbol index built across every translation unit
+// handed to one invocation, and an intra-procedural dataflow pass on top.
+// It enforces the secret-handling and concurrency discipline the WideLeak
+// paper shows real CDMs lacking (CWE-922 / CVE-2021-0639, timing oracles on
+// MAC checks, races on session state):
 //
 //   WL001  secret-named values (or SecretBytes::reveal()) flowing into a
 //          log/encode sink: WL_LOG, hex_encode, base64_encode, to_string.
@@ -26,20 +29,42 @@
 //          data-plane subtrees (src/media, src/crypto) — every call site
 //          pays a heap copy; take BytesView (or Bytes&& when ownership
 //          genuinely transfers).
+//   WL007  secret taint: a value produced by SecretBytes::reveal() /
+//          reveal_copy(), keybox parsing or a key-ladder derive that
+//          reaches a log/encode sink or a net:: send through ANY chain of
+//          local assignments — not just direct uses — is flagged.
+//          (CWE-532 / CWE-319: laundered secret reaches an output channel.)
+//   WL008  lock discipline: member fields annotated WL_GUARDED_BY(mutex)
+//          (support/annotations.hpp) may only be read or written while a
+//          lock_guard / unique_lock / scoped_lock on the named mutex is in
+//          scope, or inside a method annotated WL_REQUIRES(mutex).
+//          (CWE-667: improper locking on shared session/stats state.)
+//   WL009  determinism hygiene: std::random_device, rand()/srand(), the
+//          std::chrono clocks and unseeded std::mt19937 are banned inside
+//          src/core, src/net and src/ott — SimClock and
+//          derive_stream_seed(...) are the only approved time/randomness
+//          sources, so the bit-identical-replay guarantee stays
+//          machine-checked. (Reproducibility contract, docs/LINTING.md.)
 //
-// Suppressions, written as ordinary comments on the flagged line or the
-// line above:
-//   // wl-lint: log-ok        (WL001)
-//   // wl-lint: ct-ok         (WL002)
-//   // wl-lint: raw-bytes-ok  (WL003)
-//   // wl-lint: reveal-ok     (WL004)
-//   // wl-lint: catch-ok      (WL005)
-//   // wl-lint: byval-ok      (WL006)
+// Suppressions, written as ordinary comments on the flagged line, the line
+// above it, or the line above the start of a multi-line declaration /
+// statement. Several keys may share one comment, comma- or space-separated:
+//   // wl-lint: log-ok          (WL001)
+//   // wl-lint: ct-ok           (WL002)
+//   // wl-lint: raw-bytes-ok    (WL003)
+//   // wl-lint: reveal-ok       (WL004)
+//   // wl-lint: catch-ok        (WL005)
+//   // wl-lint: byval-ok        (WL006)
+//   // wl-lint: taint-ok        (WL007)
+//   // wl-lint: lock-ok         (WL008)
+//   // wl-lint: det-ok          (WL009)
+//   // wl-lint: log-ok,ct-ok    (both at once)
 //
 // Fixture self-test: every line carrying `// expect: WLxxx[,WLyyy]` must be
 // flagged with exactly those rules, and no unmarked line may be flagged.
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,18 +73,73 @@ namespace wideleak::lint {
 struct Violation {
   std::string file;
   int line = 0;
-  std::string rule;     // "WL001".."WL006"
+  std::string rule;     // "WL001".."WL009"
   std::string message;  // human-readable finding
 };
 
+/// One translation unit handed to the analyzer (path + full contents).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+// ---------------------------------------------------------------------------
+// Symbol index (pass 2): declarations harvested across all translation units
+// of one invocation. WL008 keys on it; tests/lint_tool_test.cpp unit-tests it.
+// ---------------------------------------------------------------------------
+
+/// A member field annotated `WL_GUARDED_BY(mutex)`.
+struct GuardedField {
+  std::string cls;    // enclosing class/struct name
+  std::string field;  // member name
+  std::string mutex;  // the guarding mutex member's name
+  std::string file;
+  int line = 0;
+};
+
+/// A method annotated `WL_REQUIRES(mutex)`: its body may touch fields guarded
+/// by `mutex` without re-locking, and call sites must hold `mutex`.
+struct RequiredMethod {
+  std::string cls;
+  std::string method;
+  std::string mutex;
+  std::string file;
+  int line = 0;
+};
+
+struct SymbolIndex {
+  std::vector<GuardedField> guarded_fields;
+  std::vector<RequiredMethod> required_methods;
+
+  const GuardedField* find_field(const std::string& cls, const std::string& field) const;
+  const RequiredMethod* find_method(const std::string& cls, const std::string& method) const;
+};
+
+/// Build the cross-TU declaration index (annotation macros, class membership).
+/// Per-file harvesting is order-independent; the result lists entries in the
+/// order the sources were given.
+SymbolIndex build_symbol_index(const std::vector<SourceFile>& sources);
+
+// ---------------------------------------------------------------------------
+// Linting
+// ---------------------------------------------------------------------------
+
 struct Options {
-  // Treat every file as if it lived in a WL003/WL006-scoped directory (used
-  // by the fixture self-test, whose files live under tools/lint_fixtures).
+  // Treat every file as if it lived in every path-scoped rule's directory
+  // (WL003/WL006/WL009). Used by the fixture self-test, whose files live
+  // under tools/lint_fixtures.
   bool assume_scoped = false;
+
+  // Rules to skip entirely (e.g. {"WL006"} for the tests/bench relaxed set).
+  std::set<std::string> disabled_rules;
+
+  // Cross-TU declaration index. When null, an index is built from the single
+  // file being linted (fixtures are self-contained).
+  const SymbolIndex* index = nullptr;
 };
 
 /// Lint one translation unit. `path` is used for diagnostics and for the
-/// WL003 scope decision; `source` is the file's full contents.
+/// path-scoped rules; `source` is the file's full contents.
 std::vector<Violation> lint_source(const std::string& path, const std::string& source,
                                    const Options& options = {});
 
@@ -72,5 +152,45 @@ struct Expectation {
   std::vector<std::string> rules;
 };
 std::vector<Expectation> collect_expectations(const std::string& source);
+
+/// All rule ids, in order ("WL001".."WL009").
+const std::vector<std::string>& all_rules();
+
+/// One-line description of a rule id (used by the SARIF rules table).
+std::string rule_description(const std::string& rule);
+
+// ---------------------------------------------------------------------------
+// Output formats + baseline (pass 3: reporting)
+// ---------------------------------------------------------------------------
+
+/// Render findings as plain text, one `file:line: RULE: message` per line.
+std::string render_text(const std::vector<Violation>& violations);
+
+/// Render findings as a JSON object {"version":1,"findings":[...]}.
+std::string render_json(const std::vector<Violation>& violations);
+
+/// Render findings as SARIF 2.1.0 (one run, driver "wideleak-lint", full
+/// rules table, one result per finding).
+std::string render_sarif(const std::vector<Violation>& violations);
+
+/// A checked-in baseline of grandfathered findings. Text format, one
+/// `path|rule|line` entry per line, `#` comments allowed. The shipped
+/// baseline (tools/lint_baseline.txt) is empty: every finding in the tree
+/// has been fixed or explicitly suppressed.
+struct Baseline {
+  // Multiset of entry keys (path|rule|line) still unmatched.
+  std::vector<std::string> entries;
+};
+
+Baseline load_baseline(const std::string& path);
+std::string render_baseline(const std::vector<Violation>& violations);
+
+/// Split findings into (new, baselined). Each baseline entry absorbs at most
+/// one finding with the same path, rule and line. Returns the findings NOT
+/// covered by the baseline; `stale` (if non-null) receives baseline entries
+/// that matched nothing (candidates for deletion).
+std::vector<Violation> filter_baseline(const std::vector<Violation>& violations,
+                                       const Baseline& baseline,
+                                       std::vector<std::string>* stale = nullptr);
 
 }  // namespace wideleak::lint

@@ -1,12 +1,32 @@
 // wideleak-lint CLI.
 //
-//   wideleak-lint <paths...>              lint files/dirs, exit 1 on findings
-//   wideleak-lint --self-test <fixtures>  validate the rule corpus: every
-//                                         `// expect: WLxxx` marker must fire
-//                                         with exactly those rules, no
-//                                         unmarked line may fire, and all
-//                                         six rules must be exercised.
+//   wideleak-lint <paths...>                 lint files/dirs, exit 1 on findings
+//   wideleak-lint --project <roots...>       project mode: build the cross-TU
+//                                            symbol index over every root, scan
+//                                            files in parallel, relax the rule
+//                                            set for tests/ and bench/ (WL006
+//                                            off), and gate against a baseline
+//   wideleak-lint --self-test <fixtures>     validate the rule corpus: every
+//                                            `// expect: WLxxx` marker must
+//                                            fire with exactly those rules, no
+//                                            unmarked line may fire, and all
+//                                            nine rules must be exercised
+//
+// Options:
+//   --format text|json|sarif    report format for --out (default text)
+//   --out FILE                  write the report to FILE (text always goes to
+//                               stderr as well, so CI logs stay readable)
+//   --baseline FILE             grandfathered findings (path|rule|line lines);
+//                               only NON-baselined findings fail the run
+//   --write-baseline FILE       write the current findings as the new baseline
+//                               and exit 0 (the paper-trail for ratcheting)
+//   --relative-to DIR           strip DIR/ from reported paths (stable
+//                               baselines and SARIF URIs regardless of where
+//                               the tree is checked out)
+//   --jobs N                    worker threads for project scanning
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -14,6 +34,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lint.hpp"
@@ -55,26 +76,138 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
-int run_lint(const std::vector<std::string>& files) {
-  std::size_t findings = 0;
-  for (const std::string& file : files) {
-    for (const Violation& v : lint_file(file)) {
-      std::cerr << v.file << ":" << v.line << ": " << v.rule << ": " << v.message << "\n";
-      ++findings;
+std::string relativize(const std::string& path, const std::string& root) {
+  if (root.empty()) return path;
+  std::string prefix = root;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  if (path.rfind(prefix, 0) == 0) return path.substr(prefix.size());
+  return path;
+}
+
+struct Cli {
+  bool self_test = false;
+  bool project = false;
+  std::string format = "text";
+  std::string out_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string relative_to;
+  std::size_t jobs = 0;  // 0 = hardware_concurrency
+  std::vector<std::string> roots;
+};
+
+/// The tests/ and bench/ trees run a relaxed rule set: WL006 (by-value Bytes
+/// parameters) polices the production data plane, not test scaffolding.
+Options options_for(const std::string& path, bool project) {
+  Options options;
+  if (project &&
+      (path.find("tests/") != std::string::npos || path.find("bench/") != std::string::npos)) {
+    options.disabled_rules.insert("WL006");
+  }
+  return options;
+}
+
+/// Parallel scan: load every file, build the shared symbol index, then lint
+/// all files on a worker pool. Results are merged in file order, so output is
+/// deterministic regardless of scheduling.
+std::vector<Violation> scan_tree(const std::vector<std::string>& files, const Cli& cli) {
+  std::vector<SourceFile> sources(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    sources[i] = {files[i], read_file(files[i])};
+  }
+  const SymbolIndex index = build_symbol_index(sources);
+
+  std::vector<std::vector<Violation>> per_file(files.size());
+  std::size_t jobs = cli.jobs ? cli.jobs : std::thread::hardware_concurrency();
+  jobs = std::max<std::size_t>(1, std::min(jobs, files.size()));
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= sources.size()) return;
+      Options options = options_for(sources[i].path, cli.project);
+      options.index = &index;
+      per_file[i] = lint_source(sources[i].path, sources[i].content, options);
+    }
+  };
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  std::vector<Violation> all;
+  for (std::vector<Violation>& vs : per_file) {
+    for (Violation& v : vs) {
+      v.file = relativize(v.file, cli.relative_to);
+      all.push_back(std::move(v));
     }
   }
-  if (findings > 0) {
-    std::cerr << "wideleak-lint: " << findings << " violation(s) in " << files.size()
-              << " file(s)\n";
+  return all;
+}
+
+int run_lint(const std::vector<std::string>& files, const Cli& cli) {
+  const std::vector<Violation> all = scan_tree(files, cli);
+
+  if (!cli.write_baseline_path.empty()) {
+    std::ofstream out(cli.write_baseline_path);
+    out << render_baseline(all);
+    std::cout << "wideleak-lint: wrote baseline with " << all.size() << " entr"
+              << (all.size() == 1 ? "y" : "ies") << " to " << cli.write_baseline_path
+              << "\n";
+    return 0;
+  }
+
+  std::vector<Violation> fresh = all;
+  std::size_t baselined = 0;
+  if (!cli.baseline_path.empty()) {
+    const Baseline baseline = load_baseline(cli.baseline_path);
+    std::vector<std::string> stale;
+    fresh = filter_baseline(all, baseline, &stale);
+    baselined = all.size() - fresh.size();
+    for (const std::string& entry : stale) {
+      std::cerr << "wideleak-lint: stale baseline entry (nothing fires here any more): "
+                << entry << "\n";
+    }
+  }
+
+  // The chosen format goes to --out (or stdout); findings always go to
+  // stderr as text so CI logs and terminals stay readable.
+  std::cerr << render_text(fresh);
+  if (!cli.out_path.empty() || cli.format != "text") {
+    // Reports carry ALL findings (baselined included) — the artifact
+    // documents the tree; the exit code gates the fresh ones.
+    const std::string report = cli.format == "sarif"  ? render_sarif(all)
+                               : cli.format == "json" ? render_json(all)
+                                                      : render_text(all);
+    if (!cli.out_path.empty()) {
+      std::ofstream out(cli.out_path);
+      out << report;
+    } else {
+      std::cout << report;
+    }
+  }
+
+  if (!fresh.empty()) {
+    std::cerr << "wideleak-lint: " << fresh.size() << " new violation(s) in "
+              << files.size() << " file(s)";
+    if (baselined > 0) std::cerr << " (+" << baselined << " baselined)";
+    std::cerr << "\n";
     return 1;
   }
-  std::cout << "wideleak-lint: clean (" << files.size() << " files)\n";
+  std::cout << "wideleak-lint: clean (" << files.size() << " files";
+  if (baselined > 0) std::cout << ", " << baselined << " baselined finding(s)";
+  std::cout << ")\n";
   return 0;
 }
 
 int run_self_test(const std::vector<std::string>& files) {
   Options options;
-  options.assume_scoped = true;  // fixtures stand in for WL003-scoped dirs
+  options.assume_scoped = true;  // fixtures stand in for the path-scoped dirs
 
   std::size_t failures = 0;
   std::set<std::string> rules_seen;
@@ -120,7 +253,7 @@ int run_self_test(const std::vector<std::string>& files) {
     }
   }
 
-  for (const char* rule : {"WL001", "WL002", "WL003", "WL004", "WL005", "WL006"}) {
+  for (const std::string& rule : all_rules()) {
     if (!rules_seen.count(rule)) {
       std::cerr << "self-test FAIL: fixture corpus never exercises " << rule << "\n";
       ++failures;
@@ -139,27 +272,56 @@ int run_self_test(const std::vector<std::string>& files) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool self_test = false;
-  std::vector<std::string> roots;
+  Cli cli;
+  auto need_value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) {
+      std::cerr << "wideleak-lint: " << flag << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--self-test") {
-      self_test = true;
+      cli.self_test = true;
+    } else if (arg == "--project") {
+      cli.project = true;
+    } else if (arg == "--format") {
+      cli.format = need_value(i, "--format");
+      if (cli.format != "text" && cli.format != "json" && cli.format != "sarif") {
+        std::cerr << "wideleak-lint: unknown format '" << cli.format << "'\n";
+        return 2;
+      }
+    } else if (arg == "--out") {
+      cli.out_path = need_value(i, "--out");
+    } else if (arg == "--baseline") {
+      cli.baseline_path = need_value(i, "--baseline");
+    } else if (arg == "--write-baseline") {
+      cli.write_baseline_path = need_value(i, "--write-baseline");
+    } else if (arg == "--relative-to") {
+      cli.relative_to = need_value(i, "--relative-to");
+    } else if (arg == "--jobs") {
+      cli.jobs = static_cast<std::size_t>(std::atol(need_value(i, "--jobs").c_str()));
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: wideleak-lint [--self-test] <files-or-dirs...>\n";
+      std::cout << "usage: wideleak-lint [--project] [--self-test] [--format text|json|sarif]\n"
+                << "                     [--out FILE] [--baseline FILE] [--write-baseline FILE]\n"
+                << "                     [--relative-to DIR] [--jobs N] <files-or-dirs...>\n";
       return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "wideleak-lint: unknown option " << arg << " (try --help)\n";
+      return 2;
     } else {
-      roots.push_back(arg);
+      cli.roots.push_back(arg);
     }
   }
-  if (roots.empty()) {
+  if (cli.roots.empty()) {
     std::cerr << "wideleak-lint: no input paths (try --help)\n";
     return 2;
   }
-  const std::vector<std::string> files = gather(roots);
+  const std::vector<std::string> files = gather(cli.roots);
   if (files.empty()) {
     std::cerr << "wideleak-lint: no lintable files under the given paths\n";
     return 2;
   }
-  return self_test ? run_self_test(files) : run_lint(files);
+  return cli.self_test ? run_self_test(files) : run_lint(files, cli);
 }

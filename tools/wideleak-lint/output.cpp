@@ -1,0 +1,163 @@
+// Reporting layer: text/JSON/SARIF emitters and the grandfathered-findings
+// baseline. All formats render deterministically from a sorted findings list
+// so CI artifacts diff cleanly run to run.
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "lint.hpp"
+#include "scan.hpp"
+
+namespace wideleak::lint {
+
+using internal::json_escape;
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      "WL001", "WL002", "WL003", "WL004", "WL005", "WL006", "WL007", "WL008", "WL009"};
+  return kRules;
+}
+
+std::string rule_description(const std::string& rule) {
+  if (rule == "WL001") return "secret flows into a log/encode sink (CWE-532)";
+  if (rule == "WL002") return "variable-time comparison of authentication material (CWE-208)";
+  if (rule == "WL003") return "key material held in raw Bytes instead of SecretBytes (CWE-922)";
+  if (rule == "WL004") return "secret accessor returns raw Bytes without reveal-ok (CWE-200)";
+  if (rule == "WL005") return "catch (...) swallows the error (CWE-391)";
+  if (rule == "WL006") return "by-value Bytes parameter on the data plane (heap copy per call)";
+  if (rule == "WL007") return "tainted secret reaches a sink through local assignments (CWE-532)";
+  if (rule == "WL008") return "WL_GUARDED_BY field accessed without holding its mutex (CWE-667)";
+  if (rule == "WL009") return "nondeterministic time/randomness source in a deterministic subtree";
+  return "unknown rule";
+}
+
+std::string render_text(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  for (const Violation& v : violations) {
+    out << v.file << ":" << v.line << ": " << v.rule << ": " << v.message << "\n";
+  }
+  return out.str();
+}
+
+std::string render_json(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  out << "{\n  \"version\": 1,\n  \"findings\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << json_escape(v.file) << "\", \"line\": " << v.line
+        << ", \"rule\": \"" << v.rule << "\", \"message\": \"" << json_escape(v.message)
+        << "\"}";
+  }
+  out << (violations.empty() ? "]" : "\n  ]") << ",\n  \"count\": " << violations.size()
+      << "\n}\n";
+  return out.str();
+}
+
+std::string render_sarif(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"wideleak-lint\",\n"
+      << "          \"version\": \"2.0.0\",\n"
+      << "          \"informationUri\": \"docs/LINTING.md\",\n"
+      << "          \"rules\": [";
+  const std::vector<std::string>& rules = all_rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "            {\"id\": \"" << rules[i] << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(rule_description(rules[i])) << "\"}}";
+  }
+  out << "\n          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "        {\n"
+        << "          \"ruleId\": \"" << v.rule << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(v.message) << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \"" << json_escape(v.file)
+        << "\"},\n"
+        << "                \"region\": {\"startLine\": " << v.line << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }";
+  }
+  out << (violations.empty() ? "]\n" : "\n      ]\n") << "    }\n  ]\n}\n";
+  return out.str();
+}
+
+namespace {
+
+std::string baseline_key(const Violation& v) {
+  return v.file + "|" + v.rule + "|" + std::to_string(v.line);
+}
+
+}  // namespace
+
+Baseline load_baseline(const std::string& path) {
+  Baseline baseline;
+  std::ifstream in(path);
+  if (!in) return baseline;  // a missing baseline is an empty baseline
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim, drop comments and blanks.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.pop_back();
+    }
+    std::size_t start = 0;
+    while (start < line.size() && (line[start] == ' ' || line[start] == '\t')) ++start;
+    line.erase(0, start);
+    if (!line.empty()) baseline.entries.push_back(line);
+  }
+  return baseline;
+}
+
+std::string render_baseline(const std::vector<Violation>& violations) {
+  std::ostringstream out;
+  out << "# wideleak-lint baseline: grandfathered findings, one `path|rule|line`\n"
+      << "# entry per line. Regenerate with `wideleak-lint --project ... "
+         "--write-baseline <this file>`.\n"
+      << "# An empty baseline means the tree is clean; keep it that way.\n";
+  for (const Violation& v : violations) out << baseline_key(v) << "\n";
+  return out.str();
+}
+
+std::vector<Violation> filter_baseline(const std::vector<Violation>& violations,
+                                       const Baseline& baseline,
+                                       std::vector<std::string>* stale) {
+  std::map<std::string, int> budget;
+  for (const std::string& entry : baseline.entries) ++budget[entry];
+  std::vector<Violation> fresh;
+  for (const Violation& v : violations) {
+    auto it = budget.find(baseline_key(v));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+    } else {
+      fresh.push_back(v);
+    }
+  }
+  if (stale) {
+    for (const auto& [key, remaining] : budget) {
+      for (int i = 0; i < remaining; ++i) stale->push_back(key);
+    }
+  }
+  return fresh;
+}
+
+}  // namespace wideleak::lint

@@ -1,0 +1,208 @@
+#include "scan.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace wideleak::lint::internal {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Multi-character punctuators we must not split (the rules key on `==`,
+// `!=`, `::`, `->`, `<<`); longest match first.
+const char* kPuncts[] = {"<<=", ">>=", "<=>", "->*", "...", "==", "!=", "<=", ">=",
+                         "&&",  "||",  "::",  "->",  "<<",  ">>", "+=", "-=", "*=",
+                         "/=",  "%=",  "&=",  "|=",  "^=",  "++", "--"};
+
+}  // namespace
+
+Scan scan_source(const std::string& src) {
+  Scan out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto append_comment = [&](int at_line, char c) { out.comments[at_line].push_back(c); };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      i += 2;
+      while (i < n && src[i] != '\n') append_comment(line, src[i++]);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') {
+          ++line;
+        } else {
+          append_comment(line, src[i]);
+        }
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // String / char literals (handles escapes; raw strings handled crudely by
+    // the escape-free scan below — the codebase does not use raw strings).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      Token t;
+      t.text = (quote == '"') ? "\"\"" : "''";
+      t.line = line;
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    // Identifiers / keywords.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      Token t;
+      t.text = src.substr(i, j - i);
+      t.line = line;
+      t.is_ident = true;
+      out.tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Numbers (including hex; we only need them to not merge with idents).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' || src[j] == '\'')) ++j;
+      Token t;
+      t.text = src.substr(i, j - i);
+      t.line = line;
+      out.tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    std::size_t len = 1;
+    for (const char* p : kPuncts) {
+      const std::size_t pl = std::char_traits<char>::length(p);
+      if (src.compare(i, pl, p) == 0) {
+        len = pl;
+        break;
+      }
+    }
+    Token t;
+    t.text = src.substr(i, len);
+    t.line = line;
+    out.tokens.push_back(std::move(t));
+    i += len;
+  }
+  return out;
+}
+
+NotesMap parse_notes(const std::map<int, std::string>& comments) {
+  NotesMap notes;
+  for (const auto& [line, text] : comments) {
+    const std::size_t at = text.find("wl-lint:");
+    if (at == std::string::npos) continue;
+    // Whole-token parse of the key list: keys are [a-z-]+ words separated by
+    // commas and/or spaces, terminated by anything else. This makes
+    // `// wl-lint: log-ok,ct-ok` set both keys and keeps one key from ever
+    // matching inside another.
+    std::string cur;
+    for (std::size_t i = at + 8; i <= text.size(); ++i) {
+      const char c = i < text.size() ? text[i] : '\0';
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '-') {
+        cur.push_back(c);
+      } else {
+        if (!cur.empty()) notes[line].insert(cur);
+        cur.clear();
+        if (c != ',' && c != ' ' && c != '\t' && c != '\0') break;
+      }
+    }
+  }
+  return notes;
+}
+
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")") {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+std::size_t match_brace(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == "{") ++depth;
+    if (toks[i].text == "}") {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+int statement_anchor_line(const std::vector<Token>& toks, std::size_t idx) {
+  if (idx >= toks.size()) return 0;
+  std::size_t i = idx;
+  while (i > 0) {
+    const std::string& t = toks[i - 1].text;
+    if (t == ";" || t == "{" || t == "}") break;
+    --i;
+  }
+  return toks[i].line;
+}
+
+bool suppressed_at(const NotesMap& notes, const std::string& key, int line, int anchor) {
+  for (int l : {line, line - 1, anchor, anchor - 1}) {
+    if (l <= 0) continue;
+    auto it = notes.find(l);
+    if (it != notes.end() && it->second.count(key)) return true;
+  }
+  return false;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace wideleak::lint::internal

@@ -1,0 +1,69 @@
+// Internal shared layer: tokenizer, comment harvesting, suppression notes
+// and token-stream helpers used by both the lexical rules (lint.cpp) and the
+// symbol-index / dataflow passes (analysis.cpp). Not part of the public API.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wideleak::lint::internal {
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_ident = false;
+};
+
+struct Scan {
+  std::vector<Token> tokens;
+  std::map<int, std::string> comments;  // line -> concatenated comment text
+};
+
+/// One pass over the raw source: emits code tokens and collects comment text
+/// per line (comments are where suppressions and fixture expectations live).
+/// String and character literal contents are dropped entirely.
+Scan scan_source(const std::string& src);
+
+/// Per-line suppression keys parsed from `// wl-lint: key[,key...]` comments.
+/// Keys are matched as whole comma/space-separated tokens, so several rules
+/// can share one comment and no key is a substring-match of another.
+using NotesMap = std::map<int, std::set<std::string>>;
+NotesMap parse_notes(const std::map<int, std::string>& comments);
+
+/// Index of the `)` matching the `(` at `open` (or tokens.size() if
+/// unmatched).
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open);
+
+/// Index of the `}` matching the `{` at `open` (or tokens.size()).
+std::size_t match_brace(const std::vector<Token>& toks, std::size_t open);
+
+/// Line on which the statement/declaration containing token `idx` begins:
+/// the line of the first token after the previous `;`, `{` or `}`. This is
+/// the anchor that lets a suppression comment sit above a multi-line
+/// declaration and still cover a finding reported on its continuation lines.
+int statement_anchor_line(const std::vector<Token>& toks, std::size_t idx);
+
+/// True when the suppression key is present on `line`, the line above it,
+/// the statement anchor line, or the line above the anchor.
+bool suppressed_at(const NotesMap& notes, const std::string& key, int line, int anchor);
+
+/// JSON string escaping (used by the JSON/SARIF emitters).
+std::string json_escape(const std::string& s);
+
+}  // namespace wideleak::lint::internal
+
+namespace wideleak::lint {
+
+struct Options;
+struct SymbolIndex;
+struct Violation;
+
+/// Implemented in analysis.cpp: the WL007/WL008/WL009 passes, driven by
+/// lint_source after the lexical rules run.
+void run_dataflow_passes(const std::string& path, const internal::Scan& scan,
+                         const internal::NotesMap& notes, const Options& options,
+                         const SymbolIndex& index, std::vector<Violation>* violations);
+
+}  // namespace wideleak::lint
