@@ -1,68 +1,145 @@
 // Experiment C1: the parallel audit campaign — the "easily automated" claim
-// (§IV-B/§IV-D) at ecosystem scale.
+// (§IV-B/§IV-D) at ecosystem scale, now across both schedulers.
 //
-// Runs the full study matrix (10 apps × 3 device profiles, Q1–Q4 + keybox
-// recovery + rip per cell) on a work-stealing pool, sweeping worker counts
-// 1 → hardware_concurrency (or argv[1]), and checks two things:
-//   - throughput: wall time and speedup per worker count;
+// Runs a fixed app × device-profile matrix (Q1–Q4 + keybox recovery + rip
+// per cell) under the synchronous work-stealing pool and the pipelined
+// task-graph scheduler at a sweep of worker counts, and checks two things:
+//   - throughput: cells/sec per (mode, workers) configuration;
 //   - determinism: the per-cell report AND the aggregated Table I must be
-//     bit-identical at every worker count (exit code 1 otherwise).
-#include <cstdlib>
+//     bit-identical across every configuration (exit code 1 otherwise).
+//
+// Every configuration lands in a fixed-schema support::BenchReport entry
+// (op "campaign/<mode>/w<N>", mb_per_s == cells/sec, checksum = CRC32 of
+// report+table), so tools/bench_diff.py can gate run-over-run drift and
+// bit-identity the same way it gates the data plane.
+//
+// Usage: bench_campaign [--smoke] [--out BENCH_campaign.json]
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
-#include <thread>
+#include <string>
 #include <vector>
 
 #include "core/campaign.hpp"
+#include "ott/catalog.hpp"
+#include "support/bench_report.hpp"
+#include "support/bytes.hpp"
+#include "support/crc32.hpp"
+
+namespace {
+
+using namespace wideleak;
+
+std::uint32_t checksum_of(const std::string& s) {
+  return crc32(
+      BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+struct Config {
+  core::ExecutionMode mode;
+  std::size_t workers;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace wideleak;
+  bool smoke = false;
+  std::string out_path = "BENCH_campaign.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_campaign [--smoke] [--out FILE]\n";
+      return 2;
+    }
+  }
 
-  std::size_t max_workers = std::thread::hardware_concurrency();
-  if (argc > 1) max_workers = std::strtoull(argv[1], nullptr, 10);
-  if (max_workers == 0) max_workers = 1;
+  // A catalog subset keeps one full-mode run around twenty seconds on the
+  // reference box while still covering all three device classes, the
+  // custom-DRM path (Amazon) and the §IV-D rip. Smoke trims further for CI.
+  std::vector<const char*> names = {"Netflix", "Amazon Prime Video"};
+  if (!smoke) {
+    names.push_back("Disney+");
+    names.push_back("Hulu");
+  }
+  core::CampaignSpec base;
+  for (const char* name : names) {
+    const auto app = ott::find_app(name);
+    if (!app) {
+      std::cerr << "unknown catalog app: " << name << "\n";
+      return 2;
+    }
+    base.apps.push_back(*app);
+  }
+  base.attempt_rip = !smoke;
 
-  // Power-of-two ladder up to (and always including) max_workers.
-  std::vector<std::size_t> ladder;
-  for (std::size_t w = 1; w < max_workers; w *= 2) ladder.push_back(w);
-  ladder.push_back(max_workers);
+  std::vector<Config> configs = {
+      {core::ExecutionMode::Synchronous, 1},
+      {core::ExecutionMode::Pipelined, 1},
+      {core::ExecutionMode::Pipelined, 2},
+  };
+  if (!smoke) {
+    configs.push_back({core::ExecutionMode::Pipelined, 4});
+    configs.push_back({core::ExecutionMode::Pipelined, 8});
+    configs.push_back({core::ExecutionMode::Synchronous, 8});
+  }
 
-  std::cout << "CAMPAIGN BENCH: full study matrix, worker sweep 1.." << max_workers
-            << " (hardware_concurrency=" << std::thread::hardware_concurrency() << ")\n\n";
+  std::cout << "CAMPAIGN BENCH: " << base.apps.size() << " apps x 3 profiles, "
+            << configs.size() << " scheduler configurations"
+            << (smoke ? " (smoke)" : "") << "\n\n";
 
+  support::BenchReport bench("campaign");
   int rc = 0;
-  std::string baseline_report;
-  std::string baseline_table;
+  std::uint32_t baseline_crc = 0;
   double baseline_ms = 0.0;
+  bool first = true;
 
-  for (const std::size_t workers : ladder) {
-    core::CampaignSpec spec;
-    spec.workers = workers;
+  for (const Config& config : configs) {
+    core::CampaignSpec spec = base;
+    spec.mode = config.mode;
+    spec.workers = config.workers;
     core::CampaignRunner runner(std::move(spec));
     const core::CampaignResult result = runner.run();
 
     const std::string report = core::render_campaign_report(result);
     const std::string table = core::render_table_one(core::campaign_to_audits(result));
+    const std::uint32_t crc = checksum_of(report + table);
 
-    if (workers == ladder.front()) {
-      baseline_report = report;
-      baseline_table = table;
+    if (first) {
+      baseline_crc = crc;
       baseline_ms = result.stats.wall_ms;
       std::cout << report << "\n" << table << "\n";
-      std::cout << "workers  wall ms   speedup  reports\n";
+      std::cout << "mode/workers       wall ms  speedup  cells/s  reports\n";
     }
-    const bool identical = report == baseline_report && table == baseline_table;
+    const bool identical = crc == baseline_crc;
     if (!identical) rc = 1;
+
+    const std::string op = "campaign/" + core::to_string(config.mode) + "/w" +
+                           std::to_string(config.workers);
+    const double cells_per_sec =
+        result.cells.size() / std::max(result.stats.wall_ms, 1.0) * 1000.0;
+    bench.add(op, static_cast<std::uint64_t>(result.cells.size()) * 1'000'000,
+              static_cast<std::uint64_t>(result.stats.wall_ms * 1e6), crc);
+
     std::cout.setf(std::ios::fixed);
     std::cout.precision(0);
-    std::cout << workers << "\t " << result.stats.wall_ms << "\t   ";
+    std::cout << core::to_string(config.mode) << "/w" << config.workers << "\t "
+              << result.stats.wall_ms << "\t ";
     std::cout.precision(2);
     std::cout << (baseline_ms / std::max(result.stats.wall_ms, 1.0)) << "x    "
-              << (identical ? "bit-identical" : "MISMATCH") << "\n";
+              << cells_per_sec << "     " << (identical ? "bit-identical" : "MISMATCH")
+              << "\n";
     std::cout.unsetf(std::ios::fixed);
     std::cout << "  " << core::render_campaign_stats(result);
+    first = false;
   }
 
-  std::cout << "\n[bench] determinism across the sweep: " << (rc == 0 ? "OK" : "FAILED")
+  bench.write_file(out_path);
+  std::cout << "\n[bench] report written to " << out_path << "\n";
+  std::cout << "[bench] determinism across the sweep: " << (rc == 0 ? "OK" : "FAILED")
             << "\n";
   return rc;
 }

@@ -1,97 +1,290 @@
 // Experiment C2: the chaos campaign — the audit matrix under deterministic
-// fault injection.
+// fault injection, and the pipelined scheduler's headline overlap gate.
 //
-// For each chaos profile (none, flaky-cdn, flaky-license, byzantine-license)
-// this runs the full study matrix at a sweep of worker counts and checks:
+// For each chaos profile this runs a fixed app × device-profile matrix and
+// checks three things:
 //   - determinism: the per-cell report (Partial cells, fault summaries and
-//     retry counters included) must be bit-identical at every worker count
-//     for a fixed (seed, profile) — exit code 1 otherwise;
-//   - robustness accounting: how many cells stayed Full, degraded, or went
-//     Partial, and the retry/fault overhead the profile cost.
+//     retry counters included) must be bit-identical across every scheduler
+//     configuration — synchronous or pipelined, any worker count, pacing on
+//     or off — for a fixed (seed, profile); exit code 1 otherwise;
+//   - robustness accounting: how many cells stayed Full / Degraded / went
+//     Partial, and the retry/fault overhead the profile cost;
+//   - overlap (full mode, flaky-cdn and flaky-license): with pacing enabled
+//     so every simulated wait carries a real wall-time obligation, the
+//     pipelined scheduler at 8 workers must clear >= 3x the cells/sec of
+//     the synchronous single-worker baseline (the seed's default runner,
+//     which pays every wait inline). The gate fails the run otherwise.
 //
-// argv[1] caps the worker sweep (default hardware_concurrency); argv[2]
-// optionally restricts the run to a single profile by name.
-#include <array>
-#include <cstdlib>
+// Pacing is self-calibrated: an unpaced run measures the matrix's CPU cost
+// and simulated-wait tick volume, then wall_us_per_tick is chosen so the
+// total wait obligation is ~6x the CPU cost — the regime the paper's
+// overnight audit campaigns live in (network-bound, CPU to spare), scaled
+// to whatever box the bench runs on. The overlap legs run a wider app
+// matrix than the determinism ladder: more concurrent cells means more
+// de-phased wait windows for the scheduler to hide, which is the scale
+// the pipelining is for (the residual un-hideable wait tail shrinks as a
+// fraction of the total as the matrix grows). Pacing never touches
+// virtual time, so the paced runs' reports are checksum-compared against
+// the unpaced baseline of the same matrix.
+//
+// Every configuration lands in a fixed-schema support::BenchReport entry
+// (op "chaos/<profile>/<mode>/w<N>", mb_per_s == cells/sec, checksum =
+// CRC32 of the campaign report); the measured overlap ratio is recorded as
+// the synthetic op "chaos/<profile>/overlap_x1000" (mb_per_s == ratio),
+// so tools/bench_diff.py gates both bit-identity and the perf trajectory.
+//
+// Usage: bench_chaos [--smoke] [--out BENCH_chaos.json] [profile]
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/campaign.hpp"
+#include "ott/catalog.hpp"
+#include "support/bench_report.hpp"
+#include "support/bytes.hpp"
+#include "support/crc32.hpp"
+
+namespace {
+
+using namespace wideleak;
+
+std::uint32_t checksum_of(const std::string& s) {
+  return crc32(
+      BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+/// Wait-wall target as a multiple of measured CPU: the calibrated pacing
+/// makes the matrix spend ~6 units of wall-clock waiting per unit of CPU.
+/// The synchronous baseline pays all of it inline (wall ~= (1 + ratio) x
+/// CPU); the pipelined wall only grows with the residual tail of waits no
+/// schedule could hide, so a deeper wait regime widens the measured gap —
+/// and 6x is still comfortably inside the paper's overnight-campaign
+/// network-bound regime.
+constexpr double kWaitToCpuRatio = 6.0;
+/// The acceptance floor for pipelined@8 vs synchronous@1 cells/sec.
+constexpr double kOverlapGate = 3.0;
+
+struct RunOutcome {
+  core::CampaignResult result;
+  std::string report;
+  std::uint32_t crc = 0;
+};
+
+RunOutcome run_config(const core::CampaignSpec& base, core::ExecutionMode mode,
+                      std::size_t workers, std::uint64_t wall_us_per_tick) {
+  core::CampaignSpec spec = base;
+  spec.mode = mode;
+  spec.workers = workers;
+  spec.pacing.wall_us_per_tick = wall_us_per_tick;
+  core::CampaignRunner runner(std::move(spec));
+  RunOutcome out{runner.run(), {}, 0};
+  out.report = core::render_campaign_report(out.result);
+  out.crc = checksum_of(out.report);
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace wideleak;
-
-  std::size_t max_workers = std::thread::hardware_concurrency();
-  if (argc > 1) max_workers = std::strtoull(argv[1], nullptr, 10);
-  if (max_workers == 0) max_workers = 1;
-
-  std::vector<net::FaultProfile> profiles = {
-      net::FaultProfile::None, net::FaultProfile::FlakyCdn, net::FaultProfile::FlakyLicense,
-      net::FaultProfile::ByzantineLicense};
-  if (argc > 2) {
-    const auto chosen = net::fault_profile_from_string(argv[2]);
-    if (!chosen) {
-      std::cerr << "unknown chaos profile: " << argv[2] << "\n";
+  bool smoke = false;
+  std::string out_path = "BENCH_chaos.json";
+  std::vector<net::FaultProfile> profiles;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (const auto chosen = net::fault_profile_from_string(arg)) {
+      profiles = {*chosen};
+    } else {
+      std::cerr << "usage: bench_chaos [--smoke] [--out FILE] [profile]\n";
       return 2;
     }
-    profiles = {*chosen};
+  }
+  if (profiles.empty()) {
+    profiles = smoke ? std::vector<net::FaultProfile>{net::FaultProfile::FlakyCdn}
+                     : std::vector<net::FaultProfile>{
+                           net::FaultProfile::None, net::FaultProfile::FlakyCdn,
+                           net::FaultProfile::FlakyLicense,
+                           net::FaultProfile::ByzantineLicense};
   }
 
-  // Power-of-two ladder up to (and always including) max_workers.
-  std::vector<std::size_t> ladder;
-  for (std::size_t w = 1; w < max_workers; w *= 2) ladder.push_back(w);
-  ladder.push_back(max_workers);
+  // Same sizing rationale as bench_campaign: a catalog subset covering all
+  // three device classes; the audit pass is where faults (and waits) bite,
+  // so the rip stays off. Smoke trims the app axis for CI.
+  std::vector<const char*> names = {"Netflix", "Amazon Prime Video"};
+  if (!smoke) {
+    names.push_back("Disney+");
+    names.push_back("Hulu");
+  }
+  core::CampaignSpec base;
+  for (const char* name : names) {
+    const auto app = ott::find_app(name);
+    if (!app) {
+      std::cerr << "unknown catalog app: " << name << "\n";
+      return 2;
+    }
+    base.apps.push_back(*app);
+  }
+  base.attempt_rip = false;
 
-  std::cout << "CHAOS BENCH: full study matrix x " << profiles.size()
-            << " chaos profile(s), worker sweep 1.." << max_workers << "\n\n";
+  // The overlap matrix: every catalog app the ladder uses plus four more,
+  // giving the paced legs 24 concurrent cells. The wait tail a scheduler
+  // cannot hide is per-chain; spreading the same fault profile over twice
+  // the chains halves the tail as a fraction of the total obligation.
+  core::CampaignSpec overlap_base;
+  if (!smoke) {
+    for (const char* name : {"Netflix", "Amazon Prime Video", "Disney+", "Hulu",
+                             "myCANAL", "Showtime", "OCS", "Salto"}) {
+      const auto app = ott::find_app(name);
+      if (!app) {
+        std::cerr << "unknown catalog app: " << name << "\n";
+        return 2;
+      }
+      overlap_base.apps.push_back(*app);
+    }
+    overlap_base.attempt_rip = false;
+  }
 
+  std::cout << "CHAOS BENCH: " << base.apps.size() << " apps x 3 profiles, "
+            << profiles.size() << " chaos profile(s)" << (smoke ? " (smoke)" : "")
+            << "\n\n";
+
+  support::BenchReport bench("chaos");
   int rc = 0;
+
   for (const net::FaultProfile profile : profiles) {
-    std::string baseline_report;
-    double baseline_ms = 0.0;
-    std::size_t full = 0, degraded = 0, partial = 0;
+    core::CampaignSpec spec = base;
+    spec.chaos = profile;
+    const std::string tag = "chaos/" + std::string(net::to_string(profile));
 
     std::cout << "=== chaos profile: " << net::to_string(profile) << " ===\n";
-    for (const std::size_t workers : ladder) {
-      core::CampaignSpec spec;
-      spec.workers = workers;
-      spec.chaos = profile;
-      core::CampaignRunner runner(std::move(spec));
-      const core::CampaignResult result = runner.run();
-      const std::string report = core::render_campaign_report(result);
 
-      if (workers == ladder.front()) {
-        baseline_report = report;
-        baseline_ms = result.stats.wall_ms;
-        for (const core::CellResult& cell : result.cells) {
-          switch (cell.outcome) {
-            case core::CellOutcome::Full: ++full; break;
-            case core::CellOutcome::Degraded: ++degraded; break;
-            case core::CellOutcome::Partial: ++partial; break;
-          }
-        }
-        std::cout << "cells: " << full << " full, " << degraded << " degraded, " << partial
-                  << " partial; net " << result.stats.totals.net_attempts << " attempts / "
-                  << result.stats.totals.net_retries << " retries / "
-                  << result.stats.totals.net_giveups << " giveups; "
-                  << result.stats.totals.faults_injected << " faults injected\n";
-        std::cout << "workers  wall ms   speedup  reports\n";
+    // --- Unpaced baseline: the seed's synchronous single-worker runner.
+    // Doubles as calibration: CPU cost and simulated-wait volume.
+    const RunOutcome baseline =
+        run_config(spec, core::ExecutionMode::Synchronous, 1, 0);
+    const std::uint64_t wait_ticks = baseline.result.stats.totals.sim_wait_ticks;
+    const std::size_t cells = baseline.result.cells.size();
+
+    std::size_t full = 0, degraded = 0, partial = 0;
+    for (const core::CellResult& cell : baseline.result.cells) {
+      switch (cell.outcome) {
+        case core::CellOutcome::Full: ++full; break;
+        case core::CellOutcome::Degraded: ++degraded; break;
+        case core::CellOutcome::Partial: ++partial; break;
       }
-      const bool identical = report == baseline_report;
+    }
+    std::cout << "cells: " << full << " full, " << degraded << " degraded, " << partial
+              << " partial; net " << baseline.result.stats.totals.net_attempts
+              << " attempts / " << baseline.result.stats.totals.net_retries
+              << " retries / " << baseline.result.stats.totals.net_giveups
+              << " giveups; " << baseline.result.stats.totals.faults_injected
+              << " faults injected; " << wait_ticks << " wait ticks\n";
+
+    auto record = [&](const std::string& op, const RunOutcome& run,
+                      std::uint32_t ref_crc, std::size_t ncells) {
+      const bool identical = run.crc == ref_crc;
       if (!identical) rc = 1;
+      const double cells_per_sec =
+          ncells / std::max(run.result.stats.wall_ms, 1.0) * 1000.0;
+      bench.add(op, static_cast<std::uint64_t>(ncells) * 1'000'000,
+                static_cast<std::uint64_t>(run.result.stats.wall_ms * 1e6), run.crc);
       std::cout.setf(std::ios::fixed);
       std::cout.precision(0);
-      std::cout << workers << "\t " << result.stats.wall_ms << "\t   ";
+      std::cout << "  " << op << ": " << run.result.stats.wall_ms << " ms, ";
       std::cout.precision(2);
-      std::cout << (baseline_ms / std::max(result.stats.wall_ms, 1.0)) << "x    "
+      std::cout << cells_per_sec << " cells/s, "
                 << (identical ? "bit-identical" : "MISMATCH") << "\n";
+      std::cout.unsetf(std::ios::fixed);
+      return cells_per_sec;
+    };
+
+    record(tag + "/synchronous/w1", baseline, baseline.crc, cells);
+
+    // --- Unpaced pipelined sweep: bit-identity at every worker count.
+    const std::vector<std::size_t> ladder =
+        smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
+    for (const std::size_t workers : ladder) {
+      const RunOutcome run =
+          run_config(spec, core::ExecutionMode::Pipelined, workers, 0);
+      record(tag + "/pipelined/w" + std::to_string(workers), run, baseline.crc, cells);
+    }
+
+    // --- Paced overlap measurement: waits now cost wall time. Full mode
+    // runs this on the wider overlap matrix with its own unpaced baseline
+    // (for calibration and for the CRC the paced legs must match), then
+    // calibrates so the matrix's total wait obligation is kWaitToCpuRatio
+    // x its CPU cost. Smoke keeps the paced leg (timer wheel + checksum
+    // path stay exercised in CI) but on the small matrix with a token
+    // pacing instead of the full calibrated wall.
+    const bool overlap_profile = profile == net::FaultProfile::FlakyCdn ||
+                                 profile == net::FaultProfile::FlakyLicense;
+    if (wait_ticks > 0 && overlap_profile) {
+      core::CampaignSpec ospec = smoke ? spec : overlap_base;
+      ospec.chaos = profile;
+      RunOutcome obase_run;
+      if (!smoke) {
+        obase_run = run_config(ospec, core::ExecutionMode::Synchronous, 1, 0);
+      }
+      const RunOutcome& obase = smoke ? baseline : obase_run;
+      const std::size_t ocells = obase.result.cells.size();
+      const double ocpu_ms = obase.result.stats.wall_ms;
+      const std::uint64_t owait_ticks = obase.result.stats.totals.sim_wait_ticks;
+      if (!smoke) {
+        record(tag + "/overlap-synchronous/w1", obase, obase.crc, ocells);
+      }
+
+      const std::uint64_t us_per_tick =
+          smoke ? 500
+                : std::max<std::uint64_t>(
+                      1, static_cast<std::uint64_t>(
+                             kWaitToCpuRatio * ocpu_ms * 1000.0 /
+                             static_cast<double>(std::max<std::uint64_t>(
+                                 1, owait_ticks))));
+      std::cout << "  pacing: " << us_per_tick << " us/tick (" << owait_ticks
+                << " ticks" << (smoke ? ", token smoke pacing" : " ~ 6x CPU")
+                << ")\n";
+
+      const RunOutcome paced_sync =
+          run_config(ospec, core::ExecutionMode::Synchronous, 1, us_per_tick);
+      const double sync_cps =
+          record(tag + "/paced-synchronous/w1", paced_sync, obase.crc, ocells);
+      const RunOutcome paced_pipe =
+          run_config(ospec, core::ExecutionMode::Pipelined, 8, us_per_tick);
+      const double pipe_cps =
+          record(tag + "/paced-pipelined/w8", paced_pipe, obase.crc, ocells);
+
+      const double ratio = pipe_cps / std::max(sync_cps, 1e-9);
+      // mb_per_s == the measured overlap ratio (bytes/ns scaling: ratio
+      // encoded so bench_diff's drop tolerance gates the trajectory).
+      bench.add(tag + "/overlap_x1000",
+                static_cast<std::uint64_t>(ratio * 1'000'000.0), 1'000'000'000,
+                obase.crc);
+
+      const bool gated = !smoke;
+      std::cout.setf(std::ios::fixed);
+      std::cout.precision(2);
+      std::cout << "  overlap: pipelined@8 " << ratio
+                << "x the synchronous baseline cells/sec";
+      if (gated && ratio < kOverlapGate) {
+        std::cout << " — BELOW the " << kOverlapGate << "x gate";
+        rc = 1;
+      } else if (gated) {
+        std::cout << " (gate " << kOverlapGate << "x: OK)";
+      }
+      std::cout << "\n";
       std::cout.unsetf(std::ios::fixed);
     }
     std::cout << "\n";
   }
 
-  std::cout << "[bench] determinism across the sweep: " << (rc == 0 ? "OK" : "FAILED") << "\n";
+  bench.write_file(out_path);
+  std::cout << "[bench] report written to " << out_path << "\n";
+  std::cout << "[bench] determinism + overlap gates: " << (rc == 0 ? "OK" : "FAILED")
+            << "\n";
   return rc;
 }

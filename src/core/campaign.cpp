@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "core/keybox_recovery.hpp"
 #include "core/network_monitor.hpp"
+#include "core/ripper.hpp"
 #include "ott/catalog.hpp"
 #include "ott/playback.hpp"
 #include "support/annotations.hpp"
@@ -31,6 +34,14 @@ std::string to_string(CellOutcome outcome) {
     case CellOutcome::Full: return "full";
     case CellOutcome::Degraded: return "degraded";
     case CellOutcome::Partial: return "partial";
+  }
+  return "?";
+}
+
+std::string to_string(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::Synchronous: return "synchronous";
+    case ExecutionMode::Pipelined: return "pipelined";
   }
   return "?";
 }
@@ -77,11 +88,28 @@ std::string cell_label(const ott::OttAppProfile& app, const CampaignDeviceProfil
   return label;
 }
 
+/// Synchronous-mode pacing: a cell's simulated waits stall the worker
+/// inline for the full wall obligation — the honest baseline the pipelined
+/// scheduler's overlap is measured against.
+class InlineWaitGate final : public support::SimClock::WaitObserver {
+ public:
+  explicit InlineWaitGate(const support::Pacer& pacer) : pacer_(pacer) {}
+  void on_wait(std::uint64_t, std::uint64_t ticks) override {
+    pacer_.stall_until(pacer_.after_ticks(ticks));
+  }
+
+ private:
+  const support::Pacer& pacer_;
+};
+
 /// One cell, end to end, against a private ecosystem. This is the whole
 /// WideLeak pipeline of report.cpp compressed to a single device vantage.
+/// The synchronous runner's unit of work; the pipelined runner executes
+/// the same sequence split across CellExecution's stage tasks.
 CellResult run_cell(const ott::OttAppProfile& app_profile,
                     const CampaignDeviceProfile& device_profile, std::uint64_t cell_seed,
-                    bool attempt_rip, net::FaultProfile chaos) {
+                    bool attempt_rip, const net::FaultPlan& fault_plan,
+                    const support::Pacer* pacer) {
   // Presentation-only timing (stats lines, never diffed): the one approved
   // wall-clock doorway. Simulated time stays on the ecosystem's SimClock.
   const support::WallTimer timer;
@@ -97,12 +125,18 @@ CellResult run_cell(const ott::OttAppProfile& app_profile,
   // campaign that predates fault injection.
   ott::EcosystemConfig config;
   config.seed = cell_seed;
-  config.fault_plan = net::fault_plan_for(chaos);
+  config.fault_plan = fault_plan;
   ott::StreamingEcosystem ecosystem(config);
   ecosystem.install_app(app_profile);
   auto device = ecosystem.make_device(
       device_spec_for(device_profile, derive_stream_seed(cell_seed, "device")));
   cell.cdm = device->spec().cdm_version;
+
+  std::optional<InlineWaitGate> gate;
+  if (pacer != nullptr && pacer->policy().enabled()) {
+    gate.emplace(*pacer);
+    ecosystem.clock().set_wait_observer(&*gate);
+  }
 
   try {
     // --- Instrumented playback: Q1 usage, Q2/Q3 audits off the harvest.
@@ -174,6 +208,7 @@ CellResult run_cell(const ott::OttAppProfile& app_profile,
   // Counter flush — after the try block so a Partial cell's license,
   // provisioning, retry and fault counters land in the campaign stats
   // exactly once, same as a Full cell's.
+  ecosystem.clock().set_wait_observer(nullptr);
   const widevine::LicenseServerStats& license = ecosystem.license_server().stats();
   cell.stats.licenses_granted = license.granted;
   cell.stats.licenses_denied = license.denied;
@@ -188,16 +223,18 @@ CellResult run_cell(const ott::OttAppProfile& app_profile,
   cell.stats.net_retries = static_cast<std::size_t>(retry.retries);
   cell.stats.net_giveups = static_cast<std::size_t>(retry.giveups);
   cell.stats.faults_injected = static_cast<std::size_t>(ecosystem.fault_stats().total_faults());
+  cell.stats.sim_waits = static_cast<std::size_t>(ecosystem.clock().waits());
+  cell.stats.sim_wait_ticks = static_cast<std::size_t>(ecosystem.clock().wait_ticks());
 
   cell.stats.wall_ms = timer.elapsed_ms();
   return cell;
 }
 
-/// One worker's end of the scheduler: a mutex-backed deque. The owner pops
-/// LIFO from the back (cache-warm), thieves steal FIFO from the front
-/// (oldest, largest-granularity work) — the classic work-stealing shape.
-/// The mutex is fine here: cells run hundreds of milliseconds, queue ops
-/// run nanoseconds, so the lock is never on the hot path.
+/// One worker's end of the synchronous scheduler: a mutex-backed deque. The
+/// owner pops LIFO from the back (cache-warm), thieves steal FIFO from the
+/// front (oldest, largest-granularity work) — the classic work-stealing
+/// shape. The mutex is fine here: cells run hundreds of milliseconds, queue
+/// ops run nanoseconds, so the lock is never on the hot path.
 class WorkQueue {
  public:
   void push(std::size_t index) {
@@ -231,7 +268,9 @@ class WorkQueue {
 /// Scheduler telemetry shared by the whole pool: workers record completions
 /// and steals under one mutex; the runner snapshots after the join. Feeds
 /// render_campaign_stats only — never the campaign report, so locking order
-/// and contention here cannot perturb any diffed output.
+/// and contention here cannot perturb any diffed output. (The pipelined
+/// scheduler's equivalent counters live in core::TaskQueue, under the same
+/// WL_GUARDED_BY discipline.)
 class ScheduleStats {
  public:
   explicit ScheduleStats(std::size_t workers) : cells_per_worker_(workers, 0) {}
@@ -262,6 +301,206 @@ class ScheduleStats {
   std::size_t steals_ WL_GUARDED_BY(mutex_) = 0;
 };
 
+/// The matrix in app-major order; a cell's position (and seed) never
+/// depends on the schedule, so the result vector is directly comparable
+/// across worker counts.
+struct PlannedCell {
+  const ott::OttAppProfile* app;
+  const CampaignDeviceProfile* profile;
+  std::uint64_t seed;
+};
+
+/// One cell's staged execution on the pipelined scheduler: the exact
+/// run_cell sequence, split at the natural await points into fence-chained
+/// tasks. All state lives here; only the worker holding the cell's current
+/// stage task ever touches it (the fence chain serializes the stages), so
+/// the cell itself needs no locks — same ownership story as the
+/// synchronous runner, at stage granularity.
+///
+/// The cell's SimClock routes waits to TaskQueue::wait_ticks via this
+/// object (it is the clock's WaitObserver), which is how the worker gets
+/// to run other cells' stages during this cell's injected latency.
+struct CellExecution final : public support::SimClock::WaitObserver {
+  // Immutable cell identity.
+  const PlannedCell* plan = nullptr;
+  std::size_t index = 0;
+  bool attempt_rip = true;
+  const net::FaultPlan* fault_plan = nullptr;
+  TaskQueue* queue = nullptr;
+
+  // Stage-built state, torn down at flush.
+  CellResult cell;
+  bool failed = false;      // a stage threw: skip the rest, still flush
+  double busy_ms = 0.0;     // stage execution time (queue gaps excluded)
+  std::size_t flush_worker = 0;
+
+  std::unique_ptr<ott::StreamingEcosystem> ecosystem;
+  std::unique_ptr<android::Device> device;
+  std::unique_ptr<DrmApiMonitor> drm_monitor;
+  std::unique_ptr<NetworkMonitor> net_monitor;
+  std::unique_ptr<ott::OttApp> app;
+  std::unique_ptr<ott::PlaybackSession> playback;
+  ott::PlaybackOutcome outcome;
+  std::unique_ptr<ContentRipper> ripper;
+  std::unique_ptr<RipSession> rip;
+  bool rip_collected = false;
+
+  void on_wait(std::uint64_t, std::uint64_t ticks) override {
+    queue->wait_ticks(index, ticks);
+  }
+
+  /// Stage wrapper: replicates run_cell's try/catch — the first Error makes
+  /// the cell Partial and skips every later stage except the flush.
+  template <typename Stage>
+  void guarded(Stage&& stage) {
+    if (failed) return;
+    const support::WallTimer timer;
+    try {
+      stage();
+    } catch (const Error& e) {
+      cell.outcome = CellOutcome::Partial;
+      cell.fault_summary = e.what();
+      failed = true;
+    }
+    busy_ms += timer.elapsed_ms();
+  }
+
+  void setup() {
+    cell.app = *plan->app;
+    cell.profile_name = plan->profile->name;
+    cell.device_class = plan->profile->device_class;
+
+    ott::EcosystemConfig config;
+    config.seed = plan->seed;
+    config.fault_plan = *fault_plan;
+    ecosystem = std::make_unique<ott::StreamingEcosystem>(config);
+    ecosystem->install_app(*plan->app);
+    device = ecosystem->make_device(
+        device_spec_for(*plan->profile, derive_stream_seed(plan->seed, "device")));
+    cell.cdm = device->spec().cdm_version;
+    ecosystem->clock().set_wait_observer(this);
+  }
+
+  void attach() {
+    drm_monitor = std::make_unique<DrmApiMonitor>(*device);
+    net_monitor = std::make_unique<NetworkMonitor>(ecosystem->network(), ecosystem->fork_rng());
+    app = std::make_unique<ott::OttApp>(*plan->app, *ecosystem, *device);
+    net_monitor->attach(*app);
+    playback = std::make_unique<ott::PlaybackSession>(*app, ott::PlaybackRequest{});
+  }
+
+  void play_step() {
+    if (playback->done()) return;
+    queue->trace_note(index, playback->stage_name());
+    playback->step();
+  }
+
+  void audit() {
+    // kMaxSteps play tasks always complete the session; the loop is a
+    // no-cost guarantee, not an expected path.
+    while (!playback->done()) playback->step();
+    outcome = playback->take_outcome();
+
+    cell.usage = drm_monitor->usage_report();
+    cell.custom_drm_used =
+        outcome.used_custom_drm && outcome.played && !cell.usage.widevine_used;
+    cell.playback = classify_playback(outcome);
+
+    if (!outcome.played && outcome.net_error != ErrorCode::None) {
+      cell.outcome = CellOutcome::Partial;
+      cell.fault_summary = std::string(to_string(outcome.net_error)) + ": " +
+                           (outcome.net_error_detail.empty() ? outcome.failure
+                                                             : outcome.net_error_detail);
+    } else if (outcome.degraded) {
+      cell.outcome = CellOutcome::Degraded;
+      cell.fault_summary = outcome.degradation;
+    }
+
+    const HarvestedManifest manifest = net_monitor->harvest_manifest(drm_monitor.get());
+    if (manifest.mpd) {
+      net::TrustStore analyst_trust;
+      analyst_trust.add(ecosystem->root_ca());
+      AssetAuditor auditor(ecosystem->network(), std::move(analyst_trust),
+                           ecosystem->fork_rng());
+      cell.assets = auditor.audit(manifest);
+      cell.key_usage = audit_key_usage(manifest, cell.assets);
+    }
+
+    cell.stats.calls_hooked = drm_monitor->trace().size();
+    for (const hooking::CallRecord* record :
+         drm_monitor->trace().by_function("_oecc22_DecryptCENC")) {
+      cell.stats.bytes_decrypted += record->input.size();
+    }
+    cell.stats.pin_bypasses = net_monitor->pin_bypasses();
+
+    // Same teardown order as the synchronous block end: app first, then
+    // the monitors (session first of all — it borrows the app).
+    playback.reset();
+    app.reset();
+    net_monitor.reset();
+    drm_monitor.reset();
+  }
+
+  void keybox() { cell.keybox_recovered = recover_keybox(*device).success(); }
+
+  void rip_step() {
+    if (!attempt_rip) return;
+    if (!ripper) {
+      ripper = std::make_unique<ContentRipper>(*ecosystem, *device);
+      rip = std::make_unique<RipSession>(*ripper, *plan->app);
+    }
+    if (!rip->done()) {
+      queue->trace_note(index, rip->phase_name());
+      rip->step();
+    }
+    // Collect on the step that finishes the session — inside the guard, so
+    // a throwing phase leaves the rip fields at their defaults, exactly
+    // like the synchronous catch does.
+    if (rip->done() && !rip_collected) {
+      rip_collected = true;
+      RipResult result = rip->take_result();
+      cell.rip_success = result.success;
+      cell.content_keys_recovered = result.content_keys_recovered;
+      cell.rip_resolution = result.best_video_resolution;
+      cell.stats.bytes_ripped = result.drm_free_media.size();
+    }
+  }
+
+  /// Unconditional (not guarded): a Partial cell's counters land in the
+  /// campaign stats exactly once, same as a Full cell's.
+  void flush() {
+    const support::WallTimer timer;
+    ecosystem->clock().set_wait_observer(nullptr);
+    const widevine::LicenseServerStats& license = ecosystem->license_server().stats();
+    cell.stats.licenses_granted = license.granted;
+    cell.stats.licenses_denied = license.denied;
+    cell.stats.keys_issued = license.keys_issued;
+    cell.stats.keys_withheld = license.keys_withheld;
+    const widevine::ProvisioningServerStats& provisioning =
+        ecosystem->provisioning_server().stats();
+    cell.stats.provisionings_granted = provisioning.granted;
+    cell.stats.provisionings_denied = provisioning.denied;
+    const net::RetryStats& retry = ecosystem->retry_stats();
+    cell.stats.net_attempts = static_cast<std::size_t>(retry.attempts);
+    cell.stats.net_retries = static_cast<std::size_t>(retry.retries);
+    cell.stats.net_giveups = static_cast<std::size_t>(retry.giveups);
+    cell.stats.faults_injected =
+        static_cast<std::size_t>(ecosystem->fault_stats().total_faults());
+    cell.stats.sim_waits = static_cast<std::size_t>(ecosystem->clock().waits());
+    cell.stats.sim_wait_ticks = static_cast<std::size_t>(ecosystem->clock().wait_ticks());
+    flush_worker = TaskQueue::current_worker();
+
+    // Tear the private world down now (not at campaign end) so peak memory
+    // tracks in-flight cells, not matrix size.
+    rip.reset();
+    ripper.reset();
+    device.reset();
+    ecosystem.reset();
+
+    cell.stats.wall_ms = busy_ms + timer.elapsed_ms();
+  }
+};
+
 void accumulate(CellStats& total, const CellStats& cell) {
   total.wall_ms += cell.wall_ms;
   total.calls_hooked += cell.calls_hooked;
@@ -278,6 +517,8 @@ void accumulate(CellStats& total, const CellStats& cell) {
   total.net_retries += cell.net_retries;
   total.net_giveups += cell.net_giveups;
   total.faults_injected += cell.faults_injected;
+  total.sim_waits += cell.sim_waits;
+  total.sim_wait_ticks += cell.sim_wait_ticks;
 }
 
 std::string pad(const std::string& s, std::size_t width) {
@@ -301,14 +542,6 @@ std::size_t CampaignRunner::cell_count() const {
 CampaignResult CampaignRunner::run() {
   const support::WallTimer timer;
 
-  // The matrix in app-major order; a cell's position (and seed) never
-  // depends on the schedule, so the result vector is directly comparable
-  // across worker counts.
-  struct PlannedCell {
-    const ott::OttAppProfile* app;
-    const CampaignDeviceProfile* profile;
-    std::uint64_t seed;
-  };
   std::vector<PlannedCell> planned;
   planned.reserve(cell_count());
   for (const ott::OttAppProfile& app : spec_.apps) {
@@ -317,6 +550,9 @@ CampaignResult CampaignRunner::run() {
           {&app, &profile, derive_stream_seed(spec_.seed, cell_label(app, profile))});
     }
   }
+
+  const net::FaultPlan fault_plan =
+      spec_.fault_plan ? *spec_.fault_plan : net::fault_plan_for(spec_.chaos);
 
   CampaignResult result;
   result.spec = spec_;
@@ -328,10 +564,74 @@ CampaignResult CampaignRunner::run() {
   result.stats.cells = planned.size();
   result.stats.cells_per_worker.assign(workers, 0);
 
-  if (workers == 1) {
+  if (spec_.mode == ExecutionMode::Pipelined) {
+    // Every cell becomes a fence-chained task graph. Stages are submitted
+    // slot-major — every cell's setup, then every cell's attach, and so on
+    // — and the ready set runs lowest submission id first, so the schedule
+    // is breadth-first across the matrix: every cell starts as early as
+    // fences allow and the matrix's simulated-wait obligation front-loads
+    // where it can overlap the most remaining CPU work. (Cell-major
+    // submission runs depth-first instead, which strands the last cells'
+    // waits past the end of runnable work — measurably worse overlap under
+    // pacing.) Fences keep each cell's chain strictly ordered, so no
+    // cell-private state is ever touched concurrently.
+    TaskQueue queue(workers, spec_.pacing, spec_.record_schedule_trace);
+    std::vector<std::unique_ptr<CellExecution>> cells;
+    cells.reserve(planned.size());
+    const FenceId campaign_done = queue.make_fence(planned.size());
+
+    using Stage = std::pair<const char*, std::function<void()>>;
+    std::vector<std::vector<Stage>> chains(planned.size());
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      cells.push_back(std::make_unique<CellExecution>());
+      CellExecution* cell = cells.back().get();
+      cell->plan = &planned[i];
+      cell->index = i;
+      cell->attempt_rip = spec_.attempt_rip;
+      cell->fault_plan = &fault_plan;
+      cell->queue = &queue;
+
+      std::vector<Stage>& chain = chains[i];
+      chain.emplace_back("setup", [cell] { cell->guarded([&] { cell->setup(); }); });
+      chain.emplace_back("attach", [cell] { cell->guarded([&] { cell->attach(); }); });
+      for (int s = 0; s < ott::PlaybackSession::kMaxSteps; ++s) {
+        chain.emplace_back("play", [cell] { cell->guarded([&] { cell->play_step(); }); });
+      }
+      chain.emplace_back("audit", [cell] { cell->guarded([&] { cell->audit(); }); });
+      chain.emplace_back("keybox", [cell] { cell->guarded([&] { cell->keybox(); }); });
+      for (int s = 0; s < RipSession::kMaxSteps; ++s) {
+        chain.emplace_back("rip", [cell] { cell->guarded([&] { cell->rip_step(); }); });
+      }
+      chain.emplace_back("flush", [cell] { cell->flush(); });
+    }
+
+    const std::size_t slots = chains.empty() ? 0 : chains.front().size();
+    std::vector<std::optional<FenceId>> prev(planned.size());
+    for (std::size_t s = 0; s < slots; ++s) {
+      const bool last = s + 1 == slots;
+      for (std::size_t i = 0; i < planned.size(); ++i) {
+        const std::optional<FenceId> signals =
+            last ? std::optional<FenceId>(campaign_done)
+                 : std::optional<FenceId>(queue.make_fence(1));
+        queue.submit(std::move(chains[i][s].second), prev[i], signals, i,
+                     chains[i][s].first);
+        prev[i] = last ? std::nullopt : signals;
+      }
+    }
+
+    queue.drain(campaign_done);
+
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      result.stats.cells_per_worker[cells[i]->flush_worker % workers] += 1;
+      result.cells[i] = std::move(cells[i]->cell);
+    }
+    result.stats.pipeline = queue.stats();
+    if (spec_.record_schedule_trace) result.trace = queue.trace();
+  } else if (workers == 1) {
+    const support::Pacer pacer(spec_.pacing);
     for (std::size_t i = 0; i < planned.size(); ++i) {
       result.cells[i] = run_cell(*planned[i].app, *planned[i].profile, planned[i].seed,
-                                 spec_.attempt_rip, spec_.chaos);
+                                 spec_.attempt_rip, fault_plan, &pacer);
     }
     result.stats.cells_per_worker[0] = planned.size();
   } else {
@@ -340,6 +640,7 @@ CampaignResult CampaignRunner::run() {
     std::vector<WorkQueue> queues(workers);
     for (std::size_t i = 0; i < planned.size(); ++i) queues[i % workers].push(i);
 
+    const support::Pacer pacer(spec_.pacing);
     ScheduleStats schedule(workers);
     auto worker_main = [&](std::size_t me) {
       for (;;) {
@@ -354,8 +655,8 @@ CampaignResult CampaignRunner::run() {
         const PlannedCell& cell = planned[*index];
         // Cell results still go into per-index pre-sized slots — no lock on
         // the payload path; only the telemetry counters share state.
-        result.cells[*index] =
-            run_cell(*cell.app, *cell.profile, cell.seed, spec_.attempt_rip, spec_.chaos);
+        result.cells[*index] = run_cell(*cell.app, *cell.profile, cell.seed,
+                                        spec_.attempt_rip, fault_plan, &pacer);
         schedule.record_cell(me);
       }
     };
@@ -461,11 +762,21 @@ std::string render_campaign_stats(const CampaignResult& result) {
   out << "  network: " << totals.net_attempts << " attempts, " << totals.net_retries
       << " retries, " << totals.net_giveups << " giveups, " << totals.faults_injected
       << " faults injected (chaos " << net::to_string(result.spec.chaos) << ")\n";
-  out << "  schedule: ";
+  out << "  sim waits: " << totals.sim_waits << " totalling " << totals.sim_wait_ticks
+      << " ticks (pacing " << result.spec.pacing.wall_us_per_tick << " us/tick)\n";
+  out << "  schedule (" << to_string(result.spec.mode) << "): ";
   for (std::size_t w = 0; w < result.stats.cells_per_worker.size(); ++w) {
     out << (w == 0 ? "" : ", ") << "w" << w << "=" << result.stats.cells_per_worker[w];
   }
   out << " cells; " << result.stats.steals << " steals\n";
+  if (result.spec.mode == ExecutionMode::Pipelined) {
+    const PipelineStats& pipeline = result.stats.pipeline;
+    out << "  pipeline: " << pipeline.tasks_executed << " tasks (" << pipeline.helped_tasks
+        << " helped), " << pipeline.fence_stalls << " fence stalls, " << pipeline.waits
+        << " waits parked (" << pipeline.wait_ticks << " ticks, max "
+        << pipeline.max_parked << " concurrent), " << pipeline.timer_wakeups
+        << " timer wakeups\n";
+  }
   return out.str();
 }
 

@@ -26,8 +26,10 @@
 #include <string>
 #include <vector>
 
+#include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "net/fault.hpp"
+#include "support/timer_wheel.hpp"
 
 namespace wideleak::core {
 
@@ -53,6 +55,24 @@ struct CampaignDeviceProfile {
 /// of use: modern L1, modern L3-only, legacy Nexus 5.
 std::vector<CampaignDeviceProfile> study_device_profiles();
 
+/// How the runner schedules cells.
+///
+/// Synchronous: the historical work-stealing pool — a worker runs one cell
+/// start to finish and pays every simulated wait inline (stalled, when
+/// pacing is enabled). The bench baseline.
+///
+/// Pipelined: each cell becomes a fence-chained task graph on a
+/// core::TaskQueue; simulated waits park on the timer wheel and the worker
+/// runs other cells' stages meanwhile. Reports are bit-identical between
+/// the two modes at every worker count (cells are fully independent — any
+/// interleaving preserves each cell's private draw sequences).
+enum class ExecutionMode {
+  Synchronous,
+  Pipelined,
+};
+
+std::string to_string(ExecutionMode mode);
+
 /// Full campaign description. Defaults reproduce the paper's study matrix.
 struct CampaignSpec {
   std::vector<ott::OttAppProfile> apps;            // empty -> study_catalog()
@@ -67,6 +87,24 @@ struct CampaignSpec {
   /// so `None` reproduces the pre-fault report bit for bit and the other
   /// profiles differ only where an injected fault actually fired.
   net::FaultProfile chaos = net::FaultProfile::None;
+
+  /// Custom fault plan; overrides the `chaos` profile when set (tests use
+  /// this to shape faults per host, e.g. latency on one cell only).
+  std::optional<net::FaultPlan> fault_plan;
+
+  /// Scheduling strategy; Pipelined is the default (and is bit-identical
+  /// to Synchronous on every diffed output).
+  ExecutionMode mode = ExecutionMode::Pipelined;
+
+  /// Tick→wall mapping for simulated waits. Disabled (0) by default: waits
+  /// cost nothing on the wall clock, as they always did. The benches enable
+  /// pacing so overlap is measurable; virtual time — and thus every report —
+  /// is unaffected either way.
+  support::PacingPolicy pacing;
+
+  /// Record a scheduler TraceEvent stream into CampaignResult::trace
+  /// (Pipelined mode only; for tests and diagnostics).
+  bool record_schedule_trace = false;
 };
 
 /// How completely a cell's audit pipeline ran under fault injection.
@@ -97,6 +135,8 @@ struct CellStats {
   std::size_t net_retries = 0;       // re-sends after a retryable failure
   std::size_t net_giveups = 0;       // retry budgets exhausted without success
   std::size_t faults_injected = 0;   // faults the cell's network actually fired
+  std::size_t sim_waits = 0;         // SimClock waits (latency, backoff) in the cell
+  std::size_t sim_wait_ticks = 0;    // simulated ticks spent in those waits
 };
 
 /// Everything measured for one (app, device profile, CDM version) cell.
@@ -130,15 +170,17 @@ struct CampaignStats {
   double wall_ms = 0.0;              // whole campaign, including pool setup
   std::size_t workers = 0;
   std::size_t cells = 0;
-  std::size_t steals = 0;            // cells executed off a foreign queue
+  std::size_t steals = 0;            // cells executed off a foreign queue (Synchronous)
   std::vector<std::size_t> cells_per_worker;
   CellStats totals;                  // summed over all cells (wall_ms = sum)
+  PipelineStats pipeline;            // task/fence/wait telemetry (Pipelined)
 };
 
 struct CampaignResult {
   CampaignSpec spec;                 // the (defaults-resolved) matrix that ran
   std::vector<CellResult> cells;     // app-major matrix order, scheduling-independent
   CampaignStats stats;
+  std::vector<TraceEvent> trace;     // when spec.record_schedule_trace (Pipelined)
 };
 
 /// The campaign harness. Thread safety: run() may be called repeatedly but

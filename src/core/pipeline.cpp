@@ -1,0 +1,256 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace wideleak::core {
+
+namespace {
+
+/// Worker identity for telemetry attribution; helpers keep their own id
+/// while running another cell's task.
+thread_local std::size_t t_worker_index = 0;
+
+/// Nesting bound for work-helping: a parked wait may run other tasks on
+/// its own stack, and those tasks may park and help in turn. Every level
+/// of nesting is a burial risk — the outer wait cannot resume until the
+/// whole stack above it unwinds, so a nested park stretches the outer
+/// cell's wall wait past its nominal obligation. One helped level keeps
+/// workers busy through long waits; deeper stacks cost more than they
+/// fill. A maxed-out waiter just sleeps out its deadline.
+constexpr int kMaxHelpDepth = 2;
+thread_local int t_help_depth = 0;
+
+/// Helping is also gated on how much of the deadline is left: picking up
+/// a task with only a tick or two remaining converts a precise timer
+/// wakeup into an open-ended burial (the helped task finishes when it
+/// finishes). Below this remainder the waiter sleeps — the fill value of
+/// such a short window is at most the window itself.
+constexpr std::uint64_t kMinHelpRemainingTicks = 3;
+
+/// Concurrent on-CPU task budget. Worker threads are *parking capacity*
+/// (each can hold one cell's in-flight wait); actual compute concurrency
+/// beyond the hardware adds zero throughput and stretches every running
+/// stage's wall latency by the time-slice factor — which is exactly what
+/// pushes a wait-heavy cell's later waits past the point where any CPU
+/// remains to hide them. So task *pickup* (pop or help) is gated on a
+/// soft token count; a matured wait resumes without a token (liveness
+/// first — the budget may briefly overshoot while a resumer drains).
+std::size_t cpu_token_limit(std::size_t workers) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min(workers, static_cast<std::size_t>(hw == 0 ? 1 : hw));
+}
+
+}  // namespace
+
+std::size_t TaskQueue::current_worker() { return t_worker_index; }
+
+TaskQueue::TaskQueue(std::size_t workers, support::PacingPolicy pacing, bool record_trace)
+    : workers_(std::max<std::size_t>(1, workers)),
+      pacing_(pacing),
+      record_trace_(record_trace),
+      pacer_(pacing),
+      cpu_tokens_(cpu_token_limit(std::max<std::size_t>(1, workers))) {}
+
+FenceId TaskQueue::make_fence(std::size_t producers) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const FenceId id{fences_.size()};
+  fences_.push_back(Fence{producers, producers == 0, {}});
+  return id;
+}
+
+TaskId TaskQueue::submit(std::function<void()> job, std::optional<FenceId> after,
+                         std::optional<FenceId> signals, std::size_t cell,
+                         std::string label) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const TaskId id = tasks_.size();
+  tasks_.push_back(Task{std::move(job), signals, cell, std::move(label)});
+  if (after && !fences_[after->value].signaled) {
+    fences_[after->value].waiters.push_back(id);
+    ++stats_.fence_stalls;
+  } else {
+    push_ready_locked(id);
+    cv_.notify_one();
+  }
+  return id;
+}
+
+void TaskQueue::push_ready_locked(TaskId id) WL_REQUIRES(mutex_) {
+  Task& task = tasks_[id];
+  if (task.cell < wait_debt_.size()) task.debt = wait_debt_[task.cell];
+  ready_.insert(ReadyEntry{task.debt, id});
+}
+
+void TaskQueue::record_locked(TraceEvent::Kind kind, std::size_t cell, std::string label,
+                              std::uint64_t ticks) WL_REQUIRES(mutex_) {
+  trace_.push_back(TraceEvent{kind, event_seq_++, t_worker_index, cell, std::move(label),
+                              ticks, pacing_.enabled() ? pacer_.elapsed_ticks() : 0});
+}
+
+void TaskQueue::signal_fence_locked(FenceId fence) WL_REQUIRES(mutex_) {
+  Fence& f = fences_[fence.value];
+  if (f.pending > 0) --f.pending;
+  if (f.pending != 0 || f.signaled) return;
+  f.signaled = true;
+  // The set re-orders the released waiters by (wait debt, submission id):
+  // the release order out of a fence is deterministic for equal debts
+  // however its producers raced.
+  for (const TaskId id : f.waiters) push_ready_locked(id);
+  f.waiters.clear();
+  if (target_ && target_->value == fence.value) done_ = true;
+  cv_.notify_all();
+}
+
+void TaskQueue::run_task(TaskId id, bool helping) {
+  std::function<void()> job;
+  std::optional<FenceId> signals;
+  std::size_t cell = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Task& task = tasks_[id];
+    job = std::move(task.job);
+    signals = task.signals;
+    cell = task.cell;
+    ++cpu_active_;
+    if (record_trace_) record_locked(TraceEvent::Kind::TaskBegin, cell, task.label, 0);
+  }
+  ++t_help_depth;
+  job();
+  --t_help_depth;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    --cpu_active_;
+    ++stats_.tasks_executed;
+    if (helping) ++stats_.helped_tasks;
+    if (record_trace_) record_locked(TraceEvent::Kind::TaskEnd, cell, tasks_[id].label, 0);
+    if (signals) signal_fence_locked(*signals);
+    cv_.notify_one();  // a CPU token came free
+  }
+}
+
+void TaskQueue::worker_loop(std::size_t me) {
+  t_worker_index = me;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock,
+             [&] { return done_ || (!ready_.empty() && cpu_active_ < cpu_tokens_); });
+    if (ready_.empty()) {
+      if (done_) return;
+      continue;
+    }
+    // Once the target fence has signaled, drain stragglers unthrottled.
+    if (!done_ && cpu_active_ >= cpu_tokens_) continue;
+    const TaskId id = ready_.begin()->id;
+    ready_.erase(ready_.begin());
+    lock.unlock();
+    run_task(id, false);
+    lock.lock();
+  }
+}
+
+void TaskQueue::drain(FenceId until) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    target_ = until;
+    done_ = fences_[until.value].signaled;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers_ - 1);
+  for (std::size_t w = 1; w < workers_; ++w) {
+    pool.emplace_back(&TaskQueue::worker_loop, this, w);
+  }
+  worker_loop(0);
+  for (std::thread& thread : pool) thread.join();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  target_.reset();
+  done_ = false;
+}
+
+void TaskQueue::wait_ticks(std::size_t cell, std::uint64_t ticks) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.waits;
+  stats_.wait_ticks += ticks;
+  // Charge the wait to the cell's debt before parking: any stage that
+  // becomes ready from here on sees it, so wait-prone chains are
+  // front-loaded while CPU-bound chains fill the windows they open.
+  if (cell >= wait_debt_.size()) wait_debt_.resize(cell + 1, 0);
+  wait_debt_[cell] += ticks;
+  if (record_trace_) record_locked(TraceEvent::Kind::WaitBegin, cell, {}, ticks);
+  if (!pacing_.enabled()) {
+    // Unpaced waits cost nothing on the wall clock (the historical
+    // behaviour): the virtual advance already happened in SimClock.
+    if (record_trace_) record_locked(TraceEvent::Kind::WaitEnd, cell, {}, 0);
+    return;
+  }
+
+  // Park the wall obligation on the shared wheel (keyed on the pacer's
+  // monotone campaign tick axis — cell-private SimClock timelines are not
+  // comparable across cells) and help with other work until it matures.
+  const support::WallDeadline deadline = pacer_.after_ticks(ticks);
+  const std::uint64_t due = pacer_.elapsed_ticks() + ticks;
+  const std::uint64_t entry = wheel_.schedule(due, cell);
+  ++parked_;
+  stats_.max_parked = std::max(stats_.max_parked, parked_);
+  --cpu_active_;       // off-CPU for the duration of the park
+  cv_.notify_one();    // the freed token may unblock a pop
+
+  for (;;) {
+    const std::uint64_t now = pacer_.elapsed_ticks();
+    wheel_.advance_to(now);
+    if (pacer_.reached(deadline)) break;
+    const bool can_help =
+        t_help_depth < kMaxHelpDepth && due - now >= kMinHelpRemainingTicks;
+    if (can_help && !ready_.empty() && cpu_active_ < cpu_tokens_) {
+      // Help from the BACK of the debt-ordered set: the lowest-debt cell
+      // is the least likely to park nested on this stack and bury our
+      // matured deadline under its own wait. Free workers take the front.
+      const auto last = std::prev(ready_.end());
+      const TaskId id = last->id;
+      ready_.erase(last);
+      lock.unlock();
+      run_task(id, true);
+      lock.lock();
+      continue;
+    }
+    if (can_help) {
+      cv_.wait_until(lock, deadline.at,
+                     [&] { return !ready_.empty() && cpu_active_ < cpu_tokens_; });
+    } else {
+      cv_.wait_until(lock, deadline.at);
+    }
+  }
+  // Our own deadline matured: expire it through the wheel (keeping the
+  // expiry counter honest) and fall back to cancel if another waiter's
+  // advance already served it. Resuming takes no token — the budget is a
+  // pickup gate, never a block on finishing work already in flight.
+  wheel_.advance_to(pacer_.elapsed_ticks());
+  wheel_.cancel(entry);
+  ++cpu_active_;
+  --parked_;
+  if (record_trace_) record_locked(TraceEvent::Kind::WaitEnd, cell, {}, 0);
+}
+
+void TaskQueue::trace_note(std::size_t cell, std::string label) {
+  if (!record_trace_) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  record_locked(TraceEvent::Kind::Note, cell, std::move(label), 0);
+}
+
+PipelineStats TaskQueue::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PipelineStats out = stats_;
+  out.timer_wakeups = wheel_.expired_total();
+  return out;
+}
+
+std::vector<TraceEvent> TaskQueue::trace() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return trace_;
+}
+
+std::size_t TaskQueue::task_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+}  // namespace wideleak::core

@@ -1,0 +1,190 @@
+// core::TaskQueue — the campaign's pipelined task-graph scheduler.
+//
+// Each campaign cell is a linear chain of stage tasks (provision, license,
+// per-track fetch, decrypt/audit, rip phases) linked by dependency fences.
+// The queue schedules ready tasks over a fixed worker pool ordered by the
+// owning cell's accumulated *simulated wait debt* (descending), tying by
+// submission id — so before any cell has waited, the ready order is plain
+// submission order. Cells that keep hitting injected latency and backoff
+// float to the front: their next wait starts as early as possible, which
+// is what leaves wall time for the CPU-heavy cells to fill. Report
+// bit-identity does not depend on this order at all — each cell computes
+// from its own derive_stream_seed'd SimClock and shares nothing, so
+// cross-cell interleaving can only move wall time, never bytes.
+//
+// The perf half is the wait machinery (the mesa util_queue_fence_wait
+// idiom, minus fibers): when a task's simulated network wait carries a real
+// wall-time obligation (pacing enabled), the worker does not stall. It
+// parks the deadline on a shared support::TimerWheel and *helps* — runs
+// other ready tasks nested on its own stack until the deadline matures.
+// Cell B's decrypt executes inside cell A's injected latency window; the
+// wall clock, not the virtual one, is the only thing that overlaps.
+//
+// With pacing disabled (the default everywhere but the benches), waits are
+// free and wait_ticks() is telemetry only — behaviour and wall cost match
+// the historical synchronous runner.
+//
+// Thread safety: one mutex guards the whole scheduler (tasks run unlocked;
+// queue ops are nanoseconds against millisecond tasks). submit()/make_fence
+// are typically called before drain() but are safe during it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/annotations.hpp"
+#include "support/timer_wheel.hpp"
+
+namespace wideleak::core {
+
+using TaskId = std::size_t;
+
+/// A dependency fence: created with a producer count, signals when that
+/// many tasks naming it in `signals` have completed. Tasks submitted with
+/// `after` park until the fence signals, then enter the ready set in
+/// submission order.
+struct FenceId {
+  std::size_t value = 0;
+};
+
+/// Scheduler telemetry (WL008-guarded inside the queue; snapshot with
+/// stats()). Feeds render_campaign_stats only — never a diffed report, so
+/// nothing here may influence scheduling decisions.
+struct PipelineStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t helped_tasks = 0;   // tasks run nested inside another task's wait
+  std::uint64_t fence_stalls = 0;   // submissions parked on an unsignaled fence
+  std::uint64_t waits = 0;          // SimClock waits surfaced to the scheduler
+  std::uint64_t wait_ticks = 0;     // total simulated ticks across those waits
+  std::uint64_t timer_wakeups = 0;  // timer-wheel deadline expirations served
+  std::size_t max_parked = 0;       // high-water mark of concurrently parked waits
+};
+
+/// One scheduler event, recorded when the spec asks for a trace. The global
+/// `seq` totally orders events; nesting (a cell-B TaskBegin between a
+/// cell-A WaitBegin/WaitEnd pair on one worker) is the overlap proof the
+/// pipeline test asserts on.
+struct TraceEvent {
+  enum class Kind { TaskBegin, TaskEnd, WaitBegin, WaitEnd, Note };
+  Kind kind = Kind::TaskBegin;
+  std::uint64_t seq = 0;     // global event order
+  std::size_t worker = 0;    // executing worker (helpers keep their own id)
+  std::size_t cell = 0;      // owning cell / task token
+  std::string label;         // task label, or a Note payload
+  std::uint64_t ticks = 0;   // wait span (WaitBegin only)
+  std::uint64_t at = 0;      // pacer tick when recorded (0 when pacing is off)
+};
+
+class TaskQueue {
+ public:
+  /// `workers` is the pool size drain() runs (the caller's thread plus
+  /// workers-1 spawned ones). Tracing is off unless requested — recording
+  /// is mutex-serialized and for tests/diagnostics, not the hot path.
+  TaskQueue(std::size_t workers, support::PacingPolicy pacing, bool record_trace = false);
+
+  /// A fence that signals after `producers` completions. producers == 0
+  /// makes it pre-signaled.
+  FenceId make_fence(std::size_t producers);
+
+  /// Enqueue a task. `after`: fence that must signal before the task can
+  /// run. `signals`: fence decremented when it completes. `cell` and
+  /// `label` identify the task in traces and telemetry. Jobs must not
+  /// throw — wrap fallible work (campaign stages catch into the cell
+  /// result).
+  TaskId submit(std::function<void()> job, std::optional<FenceId> after,
+                std::optional<FenceId> signals, std::size_t cell, std::string label);
+
+  /// Run tasks until `until` signals. The calling thread is worker 0;
+  /// workers-1 threads are spawned for the duration and joined before
+  /// returning. May be called again after it returns (e.g. a second
+  /// campaign wave on one queue).
+  void drain(FenceId until);
+
+  /// A running task's simulated wait of `ticks` (routed here from
+  /// SimClock::sleep via the cell's WaitObserver). Telemetry-only when
+  /// pacing is off. When pacing is on, parks the wall deadline on the
+  /// timer wheel and runs other ready tasks (bounded nesting) until it
+  /// matures — the worker never idles while runnable work exists.
+  void wait_ticks(std::size_t cell, std::uint64_t ticks);
+
+  /// Drop a Note event into the trace (no-op unless tracing). Stages use
+  /// this to mark dynamic sub-stage labels ("video", "rip/recover"...).
+  void trace_note(std::size_t cell, std::string label);
+
+  /// The worker index of the calling thread (0 when called outside a
+  /// drain, e.g. from the submitting thread).
+  static std::size_t current_worker();
+
+  PipelineStats stats() const;
+  std::vector<TraceEvent> trace() const;
+  std::size_t task_count() const;
+
+ private:
+  struct Task {
+    std::function<void()> job;
+    std::optional<FenceId> signals;
+    std::size_t cell = 0;
+    std::string label;
+    std::uint64_t debt = 0;  // owning cell's wait debt, stamped at ready-insert
+  };
+  struct Fence {
+    std::size_t pending = 0;
+    bool signaled = false;
+    std::vector<TaskId> waiters;
+  };
+  /// Ready-set key: highest wait debt first, submission id breaks ties.
+  /// The debt is snapshotted when the task becomes ready (set keys must
+  /// not mutate in place); a cell that waits while its successor is
+  /// already queued gets the boost on the stage after that.
+  struct ReadyEntry {
+    std::uint64_t debt = 0;
+    TaskId id = 0;
+    bool operator<(const ReadyEntry& other) const {
+      if (debt != other.debt) return debt > other.debt;
+      return id < other.id;
+    }
+  };
+
+  void worker_loop(std::size_t me);
+  /// Pop + execute one task (job runs unlocked). `helping` marks nested
+  /// execution from inside a parked wait.
+  void run_task(TaskId id, bool helping);
+  /// Insert a task into the ready set, stamping its cell's current wait
+  /// debt as the priority key.
+  void push_ready_locked(TaskId id) WL_REQUIRES(mutex_);
+  /// Decrement the fence; on signal, release waiters into the ready set
+  /// (debt-then-id order — deterministic for equal debts however the
+  /// producers raced) and flip done_ if this was drain()'s target fence.
+  void signal_fence_locked(FenceId fence) WL_REQUIRES(mutex_);
+  void record_locked(TraceEvent::Kind kind, std::size_t cell, std::string label,
+                     std::uint64_t ticks) WL_REQUIRES(mutex_);
+
+  const std::size_t workers_;
+  const support::PacingPolicy pacing_;
+  const bool record_trace_;
+  const support::Pacer pacer_;      // immutable; safe unlocked
+  const std::size_t cpu_tokens_;    // concurrent on-CPU task budget (<= workers_)
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Task> tasks_ WL_GUARDED_BY(mutex_);
+  std::vector<Fence> fences_ WL_GUARDED_BY(mutex_);
+  std::set<ReadyEntry> ready_ WL_GUARDED_BY(mutex_);  // ordered: most-waiting cell first
+  std::vector<std::uint64_t> wait_debt_ WL_GUARDED_BY(mutex_);  // per-cell sim ticks waited
+  support::TimerWheel wheel_ WL_GUARDED_BY(mutex_);
+  PipelineStats stats_ WL_GUARDED_BY(mutex_);
+  std::vector<TraceEvent> trace_ WL_GUARDED_BY(mutex_);
+  std::uint64_t event_seq_ WL_GUARDED_BY(mutex_) = 0;
+  std::size_t parked_ WL_GUARDED_BY(mutex_) = 0;
+  std::optional<FenceId> target_ WL_GUARDED_BY(mutex_);
+  bool done_ WL_GUARDED_BY(mutex_) = false;
+  std::size_t cpu_active_ WL_GUARDED_BY(mutex_) = 0;  // tasks on CPU (not parked)
+};
+
+}  // namespace wideleak::core

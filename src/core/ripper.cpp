@@ -1,9 +1,7 @@
 #include "core/ripper.hpp"
 
-#include "core/network_monitor.hpp"
 #include "media/cenc.hpp"
 #include "ott/catalog.hpp"
-#include "ott/playback.hpp"
 #include "support/errors.hpp"
 #include "support/log.hpp"
 
@@ -34,117 +32,9 @@ std::optional<Bytes> ContentRipper::download(const std::string& host, const std:
 }
 
 RipResult ContentRipper::rip_app(const ott::OttAppProfile& profile) {
-  RipResult result;
-  result.app = profile.name;
-
-  // --- 1. Instrument and drive one playback.
-  DrmApiMonitor drm_monitor(device_);
-  NetworkMonitor net_monitor(ecosystem_.network(), ecosystem_.fork_rng());
-  ott::OttApp app(profile, ecosystem_, device_);
-  net_monitor.attach(app);
-  const ott::PlaybackOutcome outcome = app.play_title();
-
-  if (outcome.used_custom_drm) {
-    result.failure = "app used its embedded DRM on L3: no Widevine traffic to exploit";
-    return result;
-  }
-  if (outcome.provisioning_attempted && !outcome.provisioning_ok) {
-    result.failure = "service refused the discontinued device at provisioning: " +
-                     outcome.provisioning_error;
-    return result;
-  }
-  if (!outcome.license_ok) {
-    result.failure = "no license was delivered: " + outcome.license_error;
-    return result;
-  }
-
-  // --- 2. Keybox recovery (CVE-2021-0639).
-  const KeyboxRecoveryResult keybox = recover_keybox(device_);
-  if (!keybox.success()) {
-    result.failure = "keybox not found in CDM process memory (patched or L1 device)";
-    return result;
-  }
-  result.keybox_recovered = true;
-
-  // --- 3. Key ladder reconstruction from the intercepted buffers.
-  KeyLadderAttack ladder(*keybox.keybox);
-  if (ladder.recover_device_rsa_key(drm_monitor.trace())) {
-    result.device_rsa_recovered = true;
-  }
-  const RecoveredKeys keys = ladder.recover_content_keys(drm_monitor.trace());
-  result.content_keys_recovered = keys.size();
-  if (keys.empty()) {
-    result.failure = "no content keys recovered from the intercepted exchanges";
-    return result;
-  }
-
-  // --- 4. Harvest URIs, download and MPEG-CENC-decrypt everything we have
-  //        keys (or no keys needed) for.
-  const HarvestedManifest manifest = net_monitor.harvest_manifest(&drm_monitor);
-  if (!manifest.mpd) {
-    result.failure = "manifest could not be harvested";
-    return result;
-  }
-
-  Bytes reconstruction;
-  auto append_track = [&](const media::MpdRepresentation& rep) -> bool {
-    const auto file = download(manifest.cdn_host, rep.base_url);
-    if (!file) return false;
-    media::PackagedTrack track;
-    try {
-      track = media::PackagedTrack::from_file(BytesView(*file));
-    } catch (const Error&) {
-      return false;
-    }
-    // Decrypt straight into the reconstruction buffer — no per-track
-    // intermediate copy.
-    if (track.encrypted) {
-      const auto key = keys.find(hex_encode(track.key_id));
-      if (key == keys.end()) return false;  // e.g. an HD key we never got
-      media::cenc_decrypt_track_append(track, key->second, reconstruction);
-    } else {
-      media::raw_sample_stream_append(track, reconstruction);
-    }
-    return true;
-  };
-
-  // Best video we hold a key for (qHD on L3, per the license policy).
-  const media::MpdRepresentation* best_video = nullptr;
-  for (const auto* rep : manifest.mpd->of_type(media::TrackType::Video)) {
-    const bool have_key =
-        !rep->default_kid || keys.contains(hex_encode(*rep->default_kid));
-    if (!have_key) continue;
-    if (best_video == nullptr || rep->resolution.height > best_video->resolution.height) {
-      best_video = rep;
-    }
-  }
-  if (best_video == nullptr || !append_track(*best_video)) {
-    result.failure = "no video track could be decrypted";
-    return result;
-  }
-  result.best_video_resolution = best_video->resolution;
-
-  // Every audio language ("audio in any language can be played anywhere").
-  for (const auto* rep : manifest.mpd->of_type(media::TrackType::Audio)) {
-    if (append_track(*rep)) ++result.audio_tracks;
-  }
-  // Subtitles, when their URIs were discoverable.
-  for (const auto* rep : manifest.mpd->of_type(media::TrackType::Subtitle)) {
-    if (append_track(*rep)) ++result.subtitle_tracks;
-  }
-
-  // --- 5. Play it on the "PC": stock player, no app, no account, no DRM.
-  const media::PlaybackReport playback = media::try_play(BytesView(reconstruction));
-  result.plays_without_account = playback.playable;
-  result.frames = playback.frames;
-  result.drm_free_media = std::move(reconstruction);
-  result.success = playback.playable && result.audio_tracks > 0;
-  if (!result.success && result.failure.empty()) {
-    result.failure = "reconstructed media failed the stock-player check";
-  }
-  WL_LOG(Info) << profile.name << ": rip " << (result.success ? "succeeded" : "failed")
-               << " at " << result.best_video_resolution.label();
-  return result;
+  RipSession session(*this, profile);
+  while (!session.done()) session.step();
+  return session.take_result();
 }
 
 std::vector<RipResult> ContentRipper::rip_catalog() {
@@ -153,6 +43,163 @@ std::vector<RipResult> ContentRipper::rip_catalog() {
     results.push_back(rip_app(profile));
   }
   return results;
+}
+
+// ---------------------------------------------------------------------------
+// RipSession: the §IV-D pipeline, one phase per step()
+// ---------------------------------------------------------------------------
+
+RipSession::RipSession(ContentRipper& ripper, const ott::OttAppProfile& profile)
+    : ripper_(ripper), profile_(profile) {
+  result_.app = profile_.name;
+}
+
+const char* RipSession::phase_name() const {
+  switch (phase_) {
+    case Phase::Instrument: return "rip/instrument";
+    case Phase::RecoverKeys: return "rip/recover-keys";
+    case Phase::Reconstruct: return "rip/reconstruct";
+    case Phase::Verify: return "rip/verify";
+    case Phase::Done: return "done";
+  }
+  return "?";
+}
+
+void RipSession::step() {
+  switch (phase_) {
+    case Phase::Instrument: step_instrument(); return;
+    case Phase::RecoverKeys: step_recover_keys(); return;
+    case Phase::Reconstruct: step_reconstruct(); return;
+    case Phase::Verify: step_verify(); return;
+    case Phase::Done: return;
+  }
+}
+
+void RipSession::step_instrument() {
+  // --- 1. Instrument and drive one playback.
+  drm_monitor_ = std::make_unique<DrmApiMonitor>(ripper_.device_);
+  net_monitor_ =
+      std::make_unique<NetworkMonitor>(ripper_.ecosystem_.network(), ripper_.ecosystem_.fork_rng());
+  app_ = std::make_unique<ott::OttApp>(profile_, ripper_.ecosystem_, ripper_.device_);
+  net_monitor_->attach(*app_);
+  outcome_ = app_->play_title();
+
+  if (outcome_.used_custom_drm) {
+    result_.failure = "app used its embedded DRM on L3: no Widevine traffic to exploit";
+    phase_ = Phase::Done;
+    return;
+  }
+  if (outcome_.provisioning_attempted && !outcome_.provisioning_ok) {
+    result_.failure = "service refused the discontinued device at provisioning: " +
+                      outcome_.provisioning_error;
+    phase_ = Phase::Done;
+    return;
+  }
+  if (!outcome_.license_ok) {
+    result_.failure = "no license was delivered: " + outcome_.license_error;
+    phase_ = Phase::Done;
+    return;
+  }
+  phase_ = Phase::RecoverKeys;
+}
+
+void RipSession::step_recover_keys() {
+  // --- 2. Keybox recovery (CVE-2021-0639).
+  const KeyboxRecoveryResult keybox = recover_keybox(ripper_.device_);
+  if (!keybox.success()) {
+    result_.failure = "keybox not found in CDM process memory (patched or L1 device)";
+    phase_ = Phase::Done;
+    return;
+  }
+  result_.keybox_recovered = true;
+
+  // --- 3. Key ladder reconstruction from the intercepted buffers.
+  KeyLadderAttack ladder(*keybox.keybox);
+  if (ladder.recover_device_rsa_key(drm_monitor_->trace())) {
+    result_.device_rsa_recovered = true;
+  }
+  keys_ = ladder.recover_content_keys(drm_monitor_->trace());
+  result_.content_keys_recovered = keys_.size();
+  if (keys_.empty()) {
+    result_.failure = "no content keys recovered from the intercepted exchanges";
+    phase_ = Phase::Done;
+    return;
+  }
+  phase_ = Phase::Reconstruct;
+}
+
+bool RipSession::append_track(const media::MpdRepresentation& rep) {
+  const auto file = ripper_.download(manifest_.cdn_host, rep.base_url);
+  if (!file) return false;
+  media::PackagedTrack track;
+  try {
+    track = media::PackagedTrack::from_file(BytesView(*file));
+  } catch (const Error&) {
+    return false;
+  }
+  // Decrypt straight into the reconstruction buffer — no per-track
+  // intermediate copy.
+  if (track.encrypted) {
+    const auto key = keys_.find(hex_encode(track.key_id));
+    if (key == keys_.end()) return false;  // e.g. an HD key we never got
+    media::cenc_decrypt_track_append(track, key->second, reconstruction_);
+  } else {
+    media::raw_sample_stream_append(track, reconstruction_);
+  }
+  return true;
+}
+
+void RipSession::step_reconstruct() {
+  // --- 4. Harvest URIs, download and MPEG-CENC-decrypt everything we have
+  //        keys (or no keys needed) for.
+  manifest_ = net_monitor_->harvest_manifest(drm_monitor_.get());
+  if (!manifest_.mpd) {
+    result_.failure = "manifest could not be harvested";
+    phase_ = Phase::Done;
+    return;
+  }
+
+  // Best video we hold a key for (qHD on L3, per the license policy).
+  const media::MpdRepresentation* best_video = nullptr;
+  for (const auto* rep : manifest_.mpd->of_type(media::TrackType::Video)) {
+    const bool have_key =
+        !rep->default_kid || keys_.contains(hex_encode(*rep->default_kid));
+    if (!have_key) continue;
+    if (best_video == nullptr || rep->resolution.height > best_video->resolution.height) {
+      best_video = rep;
+    }
+  }
+  if (best_video == nullptr || !append_track(*best_video)) {
+    result_.failure = "no video track could be decrypted";
+    phase_ = Phase::Done;
+    return;
+  }
+  result_.best_video_resolution = best_video->resolution;
+
+  // Every audio language ("audio in any language can be played anywhere").
+  for (const auto* rep : manifest_.mpd->of_type(media::TrackType::Audio)) {
+    if (append_track(*rep)) ++result_.audio_tracks;
+  }
+  // Subtitles, when their URIs were discoverable.
+  for (const auto* rep : manifest_.mpd->of_type(media::TrackType::Subtitle)) {
+    if (append_track(*rep)) ++result_.subtitle_tracks;
+  }
+  phase_ = Phase::Verify;
+}
+
+void RipSession::step_verify() {
+  // --- 5. Play it on the "PC": stock player, no app, no account, no DRM.
+  const media::PlaybackReport playback = media::try_play(BytesView(reconstruction_));
+  result_.plays_without_account = playback.playable;
+  result_.frames = playback.frames;
+  result_.drm_free_media = std::move(reconstruction_);
+  result_.success = playback.playable && result_.audio_tracks > 0;
+  if (!result_.success && result_.failure.empty()) {
+    result_.failure = "reconstructed media failed the stock-player check";
+  }
+  WL_LOG(Info) << profile_.name << ": rip " << (result_.success ? "succeeded" : "failed")
+               << " at " << result_.best_video_resolution.label();
+  phase_ = Phase::Done;
 }
 
 }  // namespace wideleak::core

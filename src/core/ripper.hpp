@@ -18,6 +18,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,7 +26,10 @@
 #include "android/device.hpp"
 #include "core/key_ladder_attack.hpp"
 #include "core/keybox_recovery.hpp"
+#include "core/monitor.hpp"
+#include "core/network_monitor.hpp"
 #include "ott/ecosystem.hpp"
+#include "ott/playback.hpp"
 
 namespace wideleak::core {
 
@@ -48,6 +52,8 @@ struct RipResult {
   Bytes drm_free_media;
 };
 
+class RipSession;
+
 /// The §IV-D end-to-end PoC driver. Input: an ecosystem with installed
 /// apps and a rooted legacy device. Output: one RipResult per app,
 /// including the reconstructed DRM-free bytes.
@@ -60,18 +66,67 @@ class ContentRipper {
   /// analyst machine's network position.
   ContentRipper(ott::StreamingEcosystem& ecosystem, android::Device& legacy_device);
 
-  /// Run the full pipeline against one app.
+  /// Run the full pipeline against one app (steps a RipSession).
   RipResult rip_app(const ott::OttAppProfile& profile);
 
   /// Run against every catalog app; returns one result per app.
   std::vector<RipResult> rip_catalog();
 
  private:
+  friend class RipSession;
+
   std::optional<Bytes> download(const std::string& host, const std::string& path);
 
   ott::StreamingEcosystem& ecosystem_;
   android::Device& device_;
   net::TlsClient analyst_client_;  // plain client: root CAs, no pins
+};
+
+/// One rip, resumable phase by phase (the pipeline's natural await points:
+/// the instrumented playback, the key recovery, the CDN re-download, the
+/// stock-player check). rip_app() steps a session to completion; the
+/// campaign scheduler steps it one phase per task so the network waits
+/// inside any phase can overlap other cells' CPU work. A failed phase
+/// records its reason and completes the session early — exactly the
+/// monolith's early returns. Borrows the ripper; one session at a time.
+class RipSession {
+ public:
+  RipSession(ContentRipper& ripper, const ott::OttAppProfile& profile);
+
+  /// Upper bound on step() calls: instrument, recover keys, reconstruct,
+  /// verify. Static so schedulers can pre-plan task chains.
+  static constexpr int kMaxSteps = 4;
+
+  bool done() const { return phase_ == Phase::Done; }
+  /// Advance one phase; no-op once done.
+  void step();
+  /// Label of the *next* phase (for scheduler traces), "done" when done.
+  const char* phase_name() const;
+
+  RipResult take_result() { return std::move(result_); }
+
+ private:
+  enum class Phase { Instrument, RecoverKeys, Reconstruct, Verify, Done };
+
+  void step_instrument();
+  void step_recover_keys();
+  void step_reconstruct();
+  void step_verify();
+  bool append_track(const media::MpdRepresentation& rep);
+
+  ContentRipper& ripper_;
+  ott::OttAppProfile profile_;
+  RipResult result_;
+  Phase phase_ = Phase::Instrument;
+
+  // Cross-phase state (the monolith's locals).
+  std::unique_ptr<DrmApiMonitor> drm_monitor_;
+  std::unique_ptr<NetworkMonitor> net_monitor_;
+  std::unique_ptr<ott::OttApp> app_;
+  ott::PlaybackOutcome outcome_;
+  RecoveredKeys keys_;
+  HarvestedManifest manifest_;
+  Bytes reconstruction_;
 };
 
 }  // namespace wideleak::core

@@ -193,7 +193,9 @@ Bytes FaultyEndpoint::finish(const std::string& host, BytesView client_random,
 
   if (d_latency < rates.latency_pm) {
     stats_.latency_injections++;
-    if (clock_ != nullptr) clock_->advance(rates.latency_ticks);
+    // Injected latency is a *wait*: sleep() surfaces the deadline to the
+    // campaign's timer wheel so the stall can overlap other cells' work.
+    if (clock_ != nullptr) clock_->sleep(rates.latency_ticks);
   }
   if (d_drop < rates.drop_pm) {
     stats_.drops++;

@@ -32,7 +32,10 @@ TlsExchangeResult request_with_retry(TlsClient& client, const std::string& host,
     stats.retries++;
     const std::uint64_t backoff = policy.backoff_for(attempt);
     const std::uint64_t jitter = rng.next_u64() % std::max<std::uint64_t>(1, policy.base_backoff_ticks);
-    if (clock != nullptr) clock->advance(backoff + jitter);
+    // A *wait*, not a bookkeeping advance: sleep() routes the deadline to
+    // the scheduler's timer wheel (when one is attached) so a pipelined
+    // campaign worker can run other cells' CPU stages instead of stalling.
+    if (clock != nullptr) clock->sleep(backoff + jitter);
   }
   stats.giveups++;
   return result;

@@ -1,7 +1,6 @@
 #include "ott/playback.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "ott/custom_drm.hpp"
 #include "support/log.hpp"
@@ -213,31 +212,304 @@ std::optional<media::Mpd> OttApp::fetch_manifest(PlaybackOutcome& outcome) {
   return std::move(parsed.value());
 }
 
-PlaybackOutcome OttApp::play_with_custom_drm(const PlaybackRequest& request) {
-  PlaybackOutcome outcome;
-  outcome.used_custom_drm = true;
-  const net::RetryStats net_before = ecosystem_.retry_stats();
-  const auto finish = [&]() -> PlaybackOutcome& {
-    const net::RetryStats& now = ecosystem_.retry_stats();
-    outcome.net_attempts = now.attempts - net_before.attempts;
-    outcome.net_retries = now.retries - net_before.retries;
-    outcome.net_giveups = now.giveups - net_before.giveups;
-    return outcome;
-  };
+PlaybackOutcome OttApp::play_title(const PlaybackRequest& request) {
+  PlaybackSession session(*this, request);
+  while (!session.done()) session.step();
+  return session.take_outcome();
+}
 
-  const auto manifest = fetch_manifest(outcome);
-  if (!manifest) return finish();
+// ---------------------------------------------------------------------------
+// PlaybackSession: the Figure-1 flow, one stage per step()
+// ---------------------------------------------------------------------------
 
+PlaybackSession::PlaybackSession(OttApp& app, PlaybackRequest request)
+    : app_(app), request_(std::move(request)), net_before_(app.ecosystem_.retry_stats()) {}
+
+const char* PlaybackSession::stage_name() const {
+  switch (step_) {
+    case Step::Login: return "login";
+    case Step::Provision: return "provision";
+    case Step::Manifest: return "manifest";
+    case Step::CollectTracks: return "collect-tracks";
+    case Step::License: return "license";
+    case Step::Video: return "video";
+    case Step::Audio: return "audio";
+    case Step::Subtitles: return "subtitles";
+    case Step::CustomManifest: return "custom-manifest";
+    case Step::CustomLicense: return "custom-license";
+    case Step::CustomTracks: return "custom-tracks";
+    case Step::Finish: return "finish";
+    case Step::Done: return "done";
+  }
+  return "?";
+}
+
+void PlaybackSession::step() {
+  switch (step_) {
+    case Step::Login: step_login(); return;
+    case Step::Provision: step_provision(); return;
+    case Step::Manifest: step_manifest(); return;
+    case Step::CollectTracks: step_collect_tracks(); return;
+    case Step::License: step_license(); return;
+    case Step::Video: step_video(); return;
+    case Step::Audio: step_audio(); return;
+    case Step::Subtitles: step_subtitles(); return;
+    case Step::CustomManifest: step_custom_manifest(); return;
+    case Step::CustomLicense: step_custom_license(); return;
+    case Step::CustomTracks: step_custom_tracks(); return;
+    case Step::Finish: step_finish(); return;
+    case Step::Done: return;
+  }
+}
+
+void PlaybackSession::degrade(const std::string& note) {
+  outcome_.degraded = true;
+  if (!outcome_.degradation.empty()) outcome_.degradation += "; ";
+  outcome_.degradation += note;
+}
+
+bool PlaybackSession::play_file(const Bytes& file) {
+  const auto parsed = media::PackagedTrack::try_from_file(BytesView(file));
+  if (!parsed.ok()) return false;
+  const auto& track = parsed.value();
+  if (track.encrypted) {
+    for (std::size_t i = 0; i < track.samples.size(); ++i) {
+      if (!codec_->queue_secure_input_buffer(track.key_id, BytesView(track.samples[i]),
+                                             track.senc.entries[i])) {
+        return false;
+      }
+    }
+  } else {
+    for (const Bytes& sample : track.samples) {
+      if (!codec_->queue_input_buffer(sample)) return false;
+    }
+  }
+  return true;
+}
+
+void PlaybackSession::step_login() {
+  if (app_.auth_token_.empty() && !app_.login()) {
+    outcome_.failure = "login failed";
+    outcome_.net_error = app_.last_net_error_;
+    outcome_.net_error_detail = app_.last_net_error_detail_;
+    step_ = Step::Finish;
+    return;
+  }
+  // Amazon-style fallback: no Widevine exchange at all on L3-only devices.
+  // The embedded-DRM path keeps the monolith's accounting: a fresh outcome
+  // and a retry snapshot taken *after* login, so login's attempts are not
+  // billed to the custom playback.
+  if (app_.profile_.custom_drm_on_l3_only &&
+      app_.device_.security_level() != widevine::SecurityLevel::L1) {
+    outcome_ = PlaybackOutcome{};
+    outcome_.used_custom_drm = true;
+    net_before_ = app_.ecosystem_.retry_stats();
+    step_ = Step::CustomManifest;
+    return;
+  }
+  step_ = Step::Provision;
+}
+
+void PlaybackSession::step_provision() {
+  // Provisioning comes first: a CDM without its Device RSA Key cannot do a
+  // (modern) license exchange, and revocation-enforcing services deny here.
+  if (!app_.ensure_provisioned(outcome_)) {
+    step_ = Step::Finish;
+    return;
+  }
+  step_ = Step::Manifest;
+}
+
+void PlaybackSession::step_manifest() {
+  manifest_ = app_.fetch_manifest(outcome_);
+  if (!manifest_) {
+    step_ = Step::Finish;
+    return;
+  }
+  outcome_.widevine_used = true;
+  step_ = Step::CollectTracks;
+}
+
+void PlaybackSession::step_collect_tracks() {
+  // Collect the key ids to license: from the MPD, plus from any encrypted
+  // track whose MPD metadata was redacted (regional restriction) — the
+  // file's tenc box always names its key.
+  for (const auto& rep : manifest_->representations) {
+    if (rep.default_kid) kid_set_.insert(hex_encode(*rep.default_kid));
+    if (rep.type == media::TrackType::Audio && rep.language == request_.audio_language) {
+      if (const auto file = app_.download(app_.profile_.cdn_host(), rep.base_url)) {
+        const auto track = media::PackagedTrack::try_from_file(BytesView(*file));
+        if (!track.ok()) {
+          degrade("audio segment " + rep.base_url + " unparseable");
+          continue;
+        }
+        if (track.value().encrypted) kid_set_.insert(hex_encode(track.value().key_id));
+        audio_files_[rep.base_url] = *file;
+      } else {
+        degrade("audio segment " + rep.base_url + " unavailable");
+      }
+    }
+  }
+  step_ = Step::License;
+}
+
+void PlaybackSession::step_license() {
+  // License exchange (Figure 1: getKeyRequest -> server -> provideKeyResponse).
+  drm_ = std::make_unique<android::MediaDrm>(app_.device_, android::kWidevineUuid);
+  session_ = drm_->open_session();
+  media::PsshBox pssh;
+  for (const std::string& kid_hex : kid_set_) pssh.key_ids.push_back(hex_decode(kid_hex));
+  const Bytes key_request = drm_->get_key_request(session_, pssh.to_box().serialize());
+
+  net::HttpRequest lic;
+  lic.method = "POST";
+  lic.path = "/license";
+  lic.headers["authorization"] = app_.auth_token_;
+  lic.body = key_request;
+  const auto lic_result =
+      app_.exchange(app_.profile_.backend_host(), lic, [](const net::HttpResponse& r) {
+        try {
+          widevine::LicenseResponse::deserialize(r.body);
+          return ErrorCode::None;
+        } catch (const ParseError&) {
+          return ErrorCode::MalformedPayload;
+        }
+      });
+  if (!lic_result.ok()) {
+    outcome_.license_error = "license transport failure (" + lic_result.error_detail + ")";
+    outcome_.net_error = lic_result.error;
+    outcome_.net_error_detail = lic_result.error_detail;
+    drm_->close_session(session_);
+    step_ = Step::Finish;
+    return;
+  }
+  const auto response = widevine::LicenseResponse::deserialize(lic_result.response->body);
+  if (!response.granted) {
+    outcome_.license_error = response.deny_reason;
+    drm_->close_session(session_);
+    step_ = Step::Finish;
+    return;
+  }
+  if (drm_->provide_key_response(session_, lic_result.response->body) !=
+      widevine::OemCryptoResult::Success) {
+    outcome_.license_error = "license rejected by CDM";
+    drm_->close_session(session_);
+    step_ = Step::Finish;
+    return;
+  }
+  outcome_.license_ok = true;
+
+  // Which keys did we actually get? Rank the playable video qualities.
+  std::set<std::string> loaded;
+  for (const auto& kid : drm_->loaded_key_ids(session_)) loaded.insert(hex_encode(kid));
+
+  for (const auto* rep : manifest_->of_type(media::TrackType::Video)) {
+    if (request_.video_height != 0 && rep->resolution.height != request_.video_height) continue;
+    if (rep->default_kid && !loaded.contains(hex_encode(*rep->default_kid))) continue;
+    video_candidates_.push_back(rep);
+  }
+  std::sort(video_candidates_.begin(), video_candidates_.end(),
+            [](const media::MpdRepresentation* a, const media::MpdRepresentation* b) {
+              return a->resolution.height > b->resolution.height;
+            });
+  if (video_candidates_.empty()) {
+    outcome_.license_error = "no playable video quality licensed";
+    drm_->close_session(session_);
+    step_ = Step::Finish;
+    return;
+  }
+
+  crypto_ = std::make_unique<android::MediaCrypto>(*drm_, session_);
+  surface_ = std::make_unique<android::Surface>();
+  codec_ = std::make_unique<android::MediaCodec>(crypto_.get(), *surface_);
+  step_ = Step::Video;
+}
+
+void PlaybackSession::step_video() {
+  // Video: walk the ladder from the best licensed quality down, degrading
+  // to the next rung when a segment cannot be fetched or decoded.
+  const media::MpdRepresentation* rendered_video = nullptr;
+  for (const auto* rep : video_candidates_) {
+    const auto file = app_.download(app_.profile_.cdn_host(), rep->base_url);
+    if (file && play_file(*file)) {
+      rendered_video = rep;
+      break;
+    }
+    degrade("video " + rep->resolution.label() + " segment failed");
+  }
+  if (rendered_video == nullptr) {
+    outcome_.failure = "video playback failed";
+    // Blame the most recent transport error if there was one; otherwise every
+    // candidate arrived but was undecodable (corruption past the transport).
+    outcome_.net_error = app_.last_net_error_ != ErrorCode::None ? app_.last_net_error_
+                                                                 : ErrorCode::MalformedPayload;
+    outcome_.net_error_detail = app_.last_net_error_ != ErrorCode::None
+                                    ? app_.last_net_error_detail_
+                                    : "every candidate video segment undecodable";
+    drm_->close_session(session_);
+    step_ = Step::Finish;
+    return;
+  }
+  step_ = Step::Audio;
+}
+
+void PlaybackSession::step_audio() {
+  // Audio (already downloaded at track collection); a failed track degrades
+  // instead of aborting the session.
+  for (const auto& [path, file] : audio_files_) {
+    if (!play_file(file)) degrade("audio track " + path + " skipped");
+  }
+  step_ = Step::Subtitles;
+}
+
+void PlaybackSession::step_subtitles() {
+  // Subtitles: MPD representations or the opaque token channel.
+  if (app_.profile_.subtitles_via_opaque_channel) {
+    for (const std::string& token : app_.subtitle_tokens_) {
+      if (const auto file = app_.download(app_.profile_.backend_host(), "/st/" + token)) {
+        play_file(*file);
+      }
+    }
+  } else {
+    for (const auto* rep : manifest_->of_type(media::TrackType::Subtitle)) {
+      if (rep->language != request_.subtitle_language) continue;
+      if (const auto file = app_.download(app_.profile_.cdn_host(), rep->base_url)) {
+        play_file(*file);
+      }
+    }
+  }
+
+  drm_->close_session(session_);
+  outcome_.played = surface_->frames_rendered() > 0;
+  outcome_.frames_rendered = surface_->frames_rendered();
+  outcome_.video_resolution = surface_->video_resolution();
+  WL_LOG(Info) << app_.profile_.name << ": played " << outcome_.frames_rendered << " frames at "
+               << outcome_.video_resolution.label() << " on "
+               << widevine::to_string(app_.device_.security_level())
+               << (outcome_.degraded ? " (degraded: " + outcome_.degradation + ")" : "");
+  step_ = Step::Finish;
+}
+
+void PlaybackSession::step_custom_manifest() {
+  manifest_ = app_.fetch_manifest(outcome_);
+  if (!manifest_) {
+    step_ = Step::Finish;
+    return;
+  }
+  step_ = Step::CustomLicense;
+}
+
+void PlaybackSession::step_custom_license() {
   // Fetch the custom license: sub-HD keys wrapped under the app secret.
   net::HttpRequest lic;
   lic.method = "POST";
   lic.path = "/custom_license";
-  lic.headers["authorization"] = auth_token_;
-  const Bytes nonce = rng_.next_bytes(16);
+  lic.headers["authorization"] = app_.auth_token_;
+  const Bytes nonce = app_.rng_.next_bytes(16);
   lic.body = nonce;
-  const std::string app_name = profile_.name;
-  const auto lic_result =
-      exchange(profile_.backend_host(), lic, [&app_name, &nonce](const net::HttpResponse& r) {
+  const std::string app_name = app_.profile_.name;
+  const auto lic_result = app_.exchange(
+      app_.profile_.backend_host(), lic, [&app_name, &nonce](const net::HttpResponse& r) {
         try {
           CustomDrm::unwrap_key_map(app_name, nonce, r.body);
           return ErrorCode::None;
@@ -246,53 +518,61 @@ PlaybackOutcome OttApp::play_with_custom_drm(const PlaybackRequest& request) {
         }
       });
   if (!lic_result.ok()) {
-    outcome.failure = "custom license fetch failed (" + lic_result.error_detail + ")";
-    outcome.net_error = lic_result.error;
-    outcome.net_error_detail = lic_result.error_detail;
-    return finish();
+    outcome_.failure = "custom license fetch failed (" + lic_result.error_detail + ")";
+    outcome_.net_error = lic_result.error;
+    outcome_.net_error_detail = lic_result.error_detail;
+    step_ = Step::Finish;
+    return;
   }
-  const auto keys = CustomDrm::unwrap_key_map(profile_.name, nonce, lic_result.response->body);
-  outcome.license_ok = true;
+  custom_keys_ =
+      CustomDrm::unwrap_key_map(app_.profile_.name, nonce, lic_result.response->body);
+  outcome_.license_ok = true;
+  step_ = Step::CustomTracks;
+}
 
+void PlaybackSession::step_custom_tracks() {
   // Pick the best video the custom license covers, plus audio.
-  android::Surface surface;
+  surface_ = std::make_unique<android::Surface>();
   std::uint16_t chosen_height = 0;
-  for (const auto* rep : manifest->of_type(media::TrackType::Video)) {
-    if (request.video_height != 0 && rep->resolution.height != request.video_height) continue;
-    if (rep->default_kid && !keys.contains(hex_encode(*rep->default_kid))) continue;
+  for (const auto* rep : manifest_->of_type(media::TrackType::Video)) {
+    if (request_.video_height != 0 && rep->resolution.height != request_.video_height) continue;
+    if (rep->default_kid && !custom_keys_.contains(hex_encode(*rep->default_kid))) continue;
     chosen_height = std::max(chosen_height, rep->resolution.height);
   }
   Bytes clear;
-  for (const auto& rep : manifest->representations) {
+  for (const auto& rep : manifest_->representations) {
     const bool is_chosen_video =
         rep.type == media::TrackType::Video && rep.resolution.height == chosen_height;
     const bool is_audio =
-        rep.type == media::TrackType::Audio && rep.language == request.audio_language;
+        rep.type == media::TrackType::Audio && rep.language == request_.audio_language;
     if (!is_chosen_video && !is_audio) continue;
-    const auto file = download(profile_.cdn_host(), rep.base_url);
+    const auto file = app_.download(app_.profile_.cdn_host(), rep.base_url);
     if (!file) {
-      outcome.failure = "download failed: " + rep.base_url;
-      outcome.net_error = last_net_error_;
-      outcome.net_error_detail = last_net_error_detail_;
-      return finish();
+      outcome_.failure = "download failed: " + rep.base_url;
+      outcome_.net_error = app_.last_net_error_;
+      outcome_.net_error_detail = app_.last_net_error_detail_;
+      step_ = Step::Finish;
+      return;
     }
     auto parsed_track = media::PackagedTrack::try_from_file(BytesView(*file));
     if (!parsed_track.ok()) {
-      outcome.failure = "unparseable track " + rep.base_url + " (" +
-                        parsed_track.error_detail() + ")";
-      outcome.net_error = ErrorCode::MalformedPayload;
-      outcome.net_error_detail = parsed_track.error_detail();
-      return finish();
+      outcome_.failure = "unparseable track " + rep.base_url + " (" +
+                         parsed_track.error_detail() + ")";
+      outcome_.net_error = ErrorCode::MalformedPayload;
+      outcome_.net_error_detail = parsed_track.error_detail();
+      step_ = Step::Finish;
+      return;
     }
     const auto& track = parsed_track.value();
     // Reuse one stream buffer across tracks; the append forms decrypt in
     // place inside it.
     clear.clear();
     if (track.encrypted) {
-      const auto key = keys.find(hex_encode(track.key_id));
-      if (key == keys.end()) {
-        outcome.failure = "custom key missing for " + rep.base_url;
-        return finish();
+      const auto key = custom_keys_.find(hex_encode(track.key_id));
+      if (key == custom_keys_.end()) {
+        outcome_.failure = "custom key missing for " + rep.base_url;
+        step_ = Step::Finish;
+        return;
       }
       CustomDrm::decrypt_track_append(track, key->second, clear);
     } else {
@@ -302,216 +582,27 @@ PlaybackOutcome OttApp::play_with_custom_drm(const PlaybackRequest& request) {
     while (pos < clear.size()) {
       const auto parsed = media::Frame::parse(BytesView(clear).subspan(pos));
       if (!parsed) {
-        outcome.failure = "undecodable custom-DRM stream";
-        return finish();
+        outcome_.failure = "undecodable custom-DRM stream";
+        step_ = Step::Finish;
+        return;
       }
-      surface.render(parsed->frame);
+      surface_->render(parsed->frame);
       pos += parsed->consumed;
     }
   }
 
-  outcome.played = surface.frames_rendered() > 0;
-  outcome.frames_rendered = surface.frames_rendered();
-  outcome.video_resolution = surface.video_resolution();
-  return finish();
+  outcome_.played = surface_->frames_rendered() > 0;
+  outcome_.frames_rendered = surface_->frames_rendered();
+  outcome_.video_resolution = surface_->video_resolution();
+  step_ = Step::Finish;
 }
 
-PlaybackOutcome OttApp::play_title(const PlaybackRequest& request) {
-  const net::RetryStats net_before = ecosystem_.retry_stats();
-  PlaybackOutcome outcome;
-  const auto finish = [&]() -> PlaybackOutcome& {
-    const net::RetryStats& now = ecosystem_.retry_stats();
-    outcome.net_attempts = now.attempts - net_before.attempts;
-    outcome.net_retries = now.retries - net_before.retries;
-    outcome.net_giveups = now.giveups - net_before.giveups;
-    return outcome;
-  };
-  const auto degrade = [&](const std::string& note) {
-    outcome.degraded = true;
-    if (!outcome.degradation.empty()) outcome.degradation += "; ";
-    outcome.degradation += note;
-  };
-
-  if (auth_token_.empty() && !login()) {
-    outcome.failure = "login failed";
-    outcome.net_error = last_net_error_;
-    outcome.net_error_detail = last_net_error_detail_;
-    return finish();
-  }
-
-  // Amazon-style fallback: no Widevine exchange at all on L3-only devices.
-  if (profile_.custom_drm_on_l3_only &&
-      device_.security_level() != widevine::SecurityLevel::L1) {
-    return play_with_custom_drm(request);
-  }
-
-  // Provisioning comes first: a CDM without its Device RSA Key cannot do a
-  // (modern) license exchange, and revocation-enforcing services deny here.
-  if (!ensure_provisioned(outcome)) return finish();
-
-  const auto manifest = fetch_manifest(outcome);
-  if (!manifest) return finish();
-  outcome.widevine_used = true;
-
-  // Collect the key ids to license: from the MPD, plus from any encrypted
-  // track whose MPD metadata was redacted (regional restriction) — the
-  // file's tenc box always names its key.
-  std::set<std::string> kid_set;
-  std::map<std::string, Bytes> audio_files;  // path -> bytes
-  for (const auto& rep : manifest->representations) {
-    if (rep.default_kid) kid_set.insert(hex_encode(*rep.default_kid));
-    if (rep.type == media::TrackType::Audio && rep.language == request.audio_language) {
-      if (const auto file = download(profile_.cdn_host(), rep.base_url)) {
-        const auto track = media::PackagedTrack::try_from_file(BytesView(*file));
-        if (!track.ok()) {
-          degrade("audio segment " + rep.base_url + " unparseable");
-          continue;
-        }
-        if (track.value().encrypted) kid_set.insert(hex_encode(track.value().key_id));
-        audio_files[rep.base_url] = *file;
-      } else {
-        degrade("audio segment " + rep.base_url + " unavailable");
-      }
-    }
-  }
-
-  // License exchange (Figure 1: getKeyRequest -> server -> provideKeyResponse).
-  android::MediaDrm drm(device_, android::kWidevineUuid);
-  const auto session = drm.open_session();
-  media::PsshBox pssh;
-  for (const std::string& kid_hex : kid_set) pssh.key_ids.push_back(hex_decode(kid_hex));
-  const Bytes key_request = drm.get_key_request(session, pssh.to_box().serialize());
-
-  net::HttpRequest lic;
-  lic.method = "POST";
-  lic.path = "/license";
-  lic.headers["authorization"] = auth_token_;
-  lic.body = key_request;
-  const auto lic_result = exchange(profile_.backend_host(), lic, [](const net::HttpResponse& r) {
-    try {
-      widevine::LicenseResponse::deserialize(r.body);
-      return ErrorCode::None;
-    } catch (const ParseError&) {
-      return ErrorCode::MalformedPayload;
-    }
-  });
-  if (!lic_result.ok()) {
-    outcome.license_error = "license transport failure (" + lic_result.error_detail + ")";
-    outcome.net_error = lic_result.error;
-    outcome.net_error_detail = lic_result.error_detail;
-    drm.close_session(session);
-    return finish();
-  }
-  const auto response = widevine::LicenseResponse::deserialize(lic_result.response->body);
-  if (!response.granted) {
-    outcome.license_error = response.deny_reason;
-    drm.close_session(session);
-    return finish();
-  }
-  if (drm.provide_key_response(session, lic_result.response->body) !=
-      widevine::OemCryptoResult::Success) {
-    outcome.license_error = "license rejected by CDM";
-    drm.close_session(session);
-    return finish();
-  }
-  outcome.license_ok = true;
-
-  // Which keys did we actually get? Rank the playable video qualities.
-  std::set<std::string> loaded;
-  for (const auto& kid : drm.loaded_key_ids(session)) loaded.insert(hex_encode(kid));
-
-  std::vector<const media::MpdRepresentation*> video_candidates;
-  for (const auto* rep : manifest->of_type(media::TrackType::Video)) {
-    if (request.video_height != 0 && rep->resolution.height != request.video_height) continue;
-    if (rep->default_kid && !loaded.contains(hex_encode(*rep->default_kid))) continue;
-    video_candidates.push_back(rep);
-  }
-  std::sort(video_candidates.begin(), video_candidates.end(),
-            [](const media::MpdRepresentation* a, const media::MpdRepresentation* b) {
-              return a->resolution.height > b->resolution.height;
-            });
-  if (video_candidates.empty()) {
-    outcome.license_error = "no playable video quality licensed";
-    drm.close_session(session);
-    return finish();
-  }
-
-  android::MediaCrypto crypto(drm, session);
-  android::Surface surface;
-  android::MediaCodec codec(&crypto, surface);
-
-  auto play_file = [&](const Bytes& file) -> bool {
-    const auto parsed = media::PackagedTrack::try_from_file(BytesView(file));
-    if (!parsed.ok()) return false;
-    const auto& track = parsed.value();
-    if (track.encrypted) {
-      for (std::size_t i = 0; i < track.samples.size(); ++i) {
-        if (!codec.queue_secure_input_buffer(track.key_id, BytesView(track.samples[i]),
-                                             track.senc.entries[i])) {
-          return false;
-        }
-      }
-    } else {
-      for (const Bytes& sample : track.samples) {
-        if (!codec.queue_input_buffer(sample)) return false;
-      }
-    }
-    return true;
-  };
-
-  // Video: walk the ladder from the best licensed quality down, degrading
-  // to the next rung when a segment cannot be fetched or decoded.
-  const media::MpdRepresentation* rendered_video = nullptr;
-  for (const auto* rep : video_candidates) {
-    const auto file = download(profile_.cdn_host(), rep->base_url);
-    if (file && play_file(*file)) {
-      rendered_video = rep;
-      break;
-    }
-    degrade("video " + rep->resolution.label() + " segment failed");
-  }
-  if (rendered_video == nullptr) {
-    outcome.failure = "video playback failed";
-    // Blame the most recent transport error if there was one; otherwise every
-    // candidate arrived but was undecodable (corruption past the transport).
-    outcome.net_error = last_net_error_ != ErrorCode::None ? last_net_error_
-                                                           : ErrorCode::MalformedPayload;
-    outcome.net_error_detail = last_net_error_ != ErrorCode::None
-                                   ? last_net_error_detail_
-                                   : "every candidate video segment undecodable";
-    drm.close_session(session);
-    return finish();
-  }
-  // Audio (already downloaded above); a failed track degrades instead of
-  // aborting the session.
-  for (const auto& [path, file] : audio_files) {
-    if (!play_file(file)) degrade("audio track " + path + " skipped");
-  }
-  // Subtitles: MPD representations or the opaque token channel.
-  if (profile_.subtitles_via_opaque_channel) {
-    for (const std::string& token : subtitle_tokens_) {
-      if (const auto file = download(profile_.backend_host(), "/st/" + token)) {
-        play_file(*file);
-      }
-    }
-  } else {
-    for (const auto* rep : manifest->of_type(media::TrackType::Subtitle)) {
-      if (rep->language != request.subtitle_language) continue;
-      if (const auto file = download(profile_.cdn_host(), rep->base_url)) {
-        play_file(*file);
-      }
-    }
-  }
-
-  drm.close_session(session);
-  outcome.played = surface.frames_rendered() > 0;
-  outcome.frames_rendered = surface.frames_rendered();
-  outcome.video_resolution = surface.video_resolution();
-  WL_LOG(Info) << profile_.name << ": played " << outcome.frames_rendered << " frames at "
-               << outcome.video_resolution.label() << " on "
-               << widevine::to_string(device_.security_level())
-               << (outcome.degraded ? " (degraded: " + outcome.degradation + ")" : "");
-  return finish();
+void PlaybackSession::step_finish() {
+  const net::RetryStats& now = app_.ecosystem_.retry_stats();
+  outcome_.net_attempts = now.attempts - net_before_.attempts;
+  outcome_.net_retries = now.retries - net_before_.retries;
+  outcome_.net_giveups = now.giveups - net_before_.giveups;
+  step_ = Step::Done;
 }
 
 }  // namespace wideleak::ott

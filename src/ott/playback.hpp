@@ -1,13 +1,26 @@
 // The OTT app's playback client: the full Figure-1 flow — manifest fetch
 // over pinned TLS, provisioning, MediaDrm license exchange, CDN downloads,
 // and secure decode through MediaCrypto/MediaCodec.
+//
+// The flow is factored as a resumable state machine (PlaybackSession) split
+// at its natural await points — login, provisioning, manifest, track
+// prefetch, license exchange, video/audio/subtitle decode. play_title()
+// just steps a session to completion; the campaign scheduler instead steps
+// it one stage per task so the simulated-network waits inside any stage can
+// overlap other cells' CPU work. The split is behaviour-preserving: the
+// sequence of exchanges, rng draws and clock advances is identical to the
+// historical monolithic play_title.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "android/media_codec.hpp"
+#include "android/media_crypto.hpp"
 #include "android/media_drm.hpp"
 #include "ott/ecosystem.hpp"
 
@@ -54,6 +67,8 @@ struct PlaybackOutcome {
   std::string net_error_detail;
 };
 
+class PlaybackSession;
+
 class OttApp {
  public:
   OttApp(OttAppProfile profile, StreamingEcosystem& ecosystem, android::Device& device);
@@ -61,7 +76,7 @@ class OttApp {
   /// Authenticate with the backend (any credentials work in the sim).
   bool login();
 
-  /// Play the app's demo title end to end.
+  /// Play the app's demo title end to end (steps a PlaybackSession).
   PlaybackOutcome play_title(const PlaybackRequest& request = {});
 
   /// The app's TLS client — the object a Frida-style pin bypass hooks.
@@ -74,6 +89,8 @@ class OttApp {
   net::RetryPolicy& retry_policy() { return retry_policy_; }
 
  private:
+  friend class PlaybackSession;
+
   /// One logical request: transport + retry/backoff + optional payload
   /// validation, reporting into the ecosystem's shared retry sink.
   net::TlsExchangeResult exchange(const std::string& host, const net::HttpRequest& req,
@@ -82,7 +99,6 @@ class OttApp {
   std::optional<media::Mpd> fetch_manifest(PlaybackOutcome& outcome);
   std::optional<Bytes> download(const std::string& host, const std::string& path);
   bool ensure_provisioned(PlaybackOutcome& outcome);
-  PlaybackOutcome play_with_custom_drm(const PlaybackRequest& request);
 
   OttAppProfile profile_;
   StreamingEcosystem& ecosystem_;
@@ -95,6 +111,80 @@ class OttApp {
   Rng retry_rng_;
   ErrorCode last_net_error_ = ErrorCode::None;  // from the most recent exchange
   std::string last_net_error_detail_;
+};
+
+/// One playback, resumable stage by stage. Each step() performs the next
+/// stage of the Figure-1 flow and leaves the session ready for the next;
+/// after at most kMaxSteps steps done() is true and take_outcome() yields
+/// the same PlaybackOutcome the monolithic flow produced. Sessions borrow
+/// the app and must not outlive it; one session at a time per app.
+class PlaybackSession {
+ public:
+  PlaybackSession(OttApp& app, PlaybackRequest request);
+
+  /// Upper bound on step() calls for any profile/path: the widevine path's
+  /// login, provision, manifest, track-collect, license, video, audio,
+  /// subtitles, finish. Static so schedulers can pre-plan task chains.
+  static constexpr int kMaxSteps = 9;
+
+  bool done() const { return step_ == Step::Done; }
+  /// Advance one stage; no-op once done.
+  void step();
+  /// Label of the *next* stage (for scheduler traces), "done" when done.
+  const char* stage_name() const;
+
+  PlaybackOutcome take_outcome() { return std::move(outcome_); }
+
+ private:
+  enum class Step {
+    Login,
+    Provision,
+    Manifest,
+    CollectTracks,
+    License,
+    Video,
+    Audio,
+    Subtitles,
+    CustomManifest,
+    CustomLicense,
+    CustomTracks,
+    Finish,
+    Done,
+  };
+
+  void step_login();
+  void step_provision();
+  void step_manifest();
+  void step_collect_tracks();
+  void step_license();
+  void step_video();
+  void step_audio();
+  void step_subtitles();
+  void step_custom_manifest();
+  void step_custom_license();
+  void step_custom_tracks();
+  void step_finish();
+
+  void degrade(const std::string& note);
+  bool play_file(const Bytes& file);
+
+  OttApp& app_;
+  PlaybackRequest request_;
+  PlaybackOutcome outcome_;
+  net::RetryStats net_before_;
+  Step step_ = Step::Login;
+
+  // Cross-stage playback state (the monolith's locals).
+  std::optional<media::Mpd> manifest_;
+  std::set<std::string> kid_set_;
+  std::map<std::string, Bytes> audio_files_;  // path -> bytes
+  std::unique_ptr<android::MediaDrm> drm_;
+  android::MediaDrm::SessionId session_{};
+  std::vector<const media::MpdRepresentation*> video_candidates_;
+  std::unique_ptr<android::MediaCrypto> crypto_;
+  std::unique_ptr<android::Surface> surface_;
+  std::unique_ptr<android::MediaCodec> codec_;
+  std::map<std::string, Bytes> custom_keys_;
 };
 
 }  // namespace wideleak::ott

@@ -11,14 +11,59 @@ namespace wideleak::support {
 /// Tick-based virtual clock. One tick is an abstract unit (think
 /// milliseconds of simulated time); nothing in the simulation maps ticks
 /// to wall time. Thread safety: none — each ecosystem owns its own clock
-/// and is driven by a single worker thread.
+/// and is driven by one worker at a time (the campaign's fence chains
+/// serialize every touch of one cell's clock).
 class SimClock {
  public:
+  /// A simulated *wait* routed through sleep() notifies the observer —
+  /// this is how the campaign's pipelined scheduler learns that the cell
+  /// owning this clock is parked on a latency/backoff deadline and can
+  /// hand the worker other runnable work. Observers must not touch the
+  /// clock re-entrantly.
+  class WaitObserver {
+   public:
+    virtual ~WaitObserver() = default;
+    /// `start_tick` is the clock value when the wait began; the deadline
+    /// is `start_tick + ticks` on this clock's (cell-private) timeline.
+    virtual void on_wait(std::uint64_t start_tick, std::uint64_t ticks) = 0;
+  };
+
   std::uint64_t now() const { return now_ticks_; }
+
+  /// Move virtual time forward without waiting (bookkeeping advances).
   void advance(std::uint64_t ticks) { now_ticks_ += ticks; }
+
+  /// Spend `ticks` of simulated time *waiting* (injected latency, retry
+  /// backoff). Virtual semantics are identical to advance() — the rng
+  /// draw sequences and every report stay bit-identical — but the wait is
+  /// surfaced to the observer so a scheduler can discharge the
+  /// corresponding wall-time obligation off the critical path instead of
+  /// stalling a worker inline. This is the one approved doorway for
+  /// simulated waits (wideleak-lint rule WL010 bans inline sleeps and
+  /// busy-waits in src/core, src/net and src/ott).
+  void sleep(std::uint64_t ticks) {
+    const std::uint64_t start = now_ticks_;
+    now_ticks_ += ticks;
+    ++waits_;
+    wait_ticks_ += ticks;
+    if (observer_ != nullptr && ticks != 0) observer_->on_wait(start, ticks);
+  }
+
+  /// Install (or clear, with nullptr) the wait observer. The default —
+  /// no observer — reproduces the historical behaviour: sleeps are free
+  /// in wall time and only move the virtual clock.
+  void set_wait_observer(WaitObserver* observer) { observer_ = observer; }
+
+  /// Telemetry: how often and how long this clock "slept". Deterministic
+  /// for a fixed seed (a pure function of the cell's fault/backoff draws).
+  std::uint64_t waits() const { return waits_; }
+  std::uint64_t wait_ticks() const { return wait_ticks_; }
 
  private:
   std::uint64_t now_ticks_ = 0;
+  std::uint64_t waits_ = 0;
+  std::uint64_t wait_ticks_ = 0;
+  WaitObserver* observer_ = nullptr;
 };
 
 }  // namespace wideleak::support

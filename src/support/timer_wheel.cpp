@@ -1,0 +1,133 @@
+#include "support/timer_wheel.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace wideleak::support {
+
+void Pacer::stall_until(const WallDeadline& deadline) const {
+  // The synchronous baseline's inline wait. sleep_until is fine here:
+  // src/support is outside the WL010 scope precisely so this file can be
+  // the single approved sleeping doorway.
+  std::this_thread::sleep_until(deadline.at);
+}
+
+TimerWheel::TimerWheel() = default;
+
+std::uint64_t TimerWheel::schedule(std::uint64_t deadline_tick, std::uint64_t token) {
+  const std::uint64_t seq = next_seq_++;
+  live_.insert(seq);
+  ++pending_;
+  place(Entry{deadline_tick, seq, token});
+  return seq;
+}
+
+void TimerWheel::place(Entry entry) {
+  if (entry.deadline <= now_) {
+    due_.push_back(entry);
+    return;
+  }
+  const std::uint64_t delta = entry.deadline - now_;
+  for (std::uint32_t level = 0; level < kLevels; ++level) {
+    const std::uint64_t span = 1ull << (kLevelBits * (level + 1));
+    if (delta < span) {
+      const std::uint32_t slot =
+          static_cast<std::uint32_t>(entry.deadline >> (kLevelBits * level)) & (kSlots - 1);
+      slots_[level][slot].push_back(entry);
+      return;
+    }
+  }
+  overflow_.push_back(entry);
+}
+
+void TimerWheel::cascade(std::uint32_t level, std::uint32_t slot) {
+  std::vector<Entry> pulled;
+  pulled.swap(slots_[level][slot]);
+  for (Entry& entry : pulled) {
+    if (!live_.contains(entry.seq)) continue;  // cancelled while parked
+    place(entry);
+  }
+}
+
+std::vector<TimerWheel::Expired> TimerWheel::advance_to(std::uint64_t now_tick) {
+  std::vector<Expired> out;
+  while (now_ < now_tick) {
+    ++now_;
+    if ((now_ & (kSlots - 1)) == 0) {
+      // Entering a new level-0 epoch: pull the matching slots down, top
+      // level first so every entry settles into its finest resolution.
+      const std::uint32_t e1 = static_cast<std::uint32_t>(now_ >> kLevelBits) & (kSlots - 1);
+      const std::uint32_t e2 =
+          static_cast<std::uint32_t>(now_ >> (2 * kLevelBits)) & (kSlots - 1);
+      const std::uint32_t e3 =
+          static_cast<std::uint32_t>(now_ >> (3 * kLevelBits)) & (kSlots - 1);
+      if (e1 == 0 && e2 == 0 && e3 == 0) {
+        std::vector<Entry> far;
+        far.swap(overflow_);
+        for (Entry& entry : far) {
+          if (!live_.contains(entry.seq)) continue;
+          place(entry);
+        }
+      }
+      if (e1 == 0 && e2 == 0) cascade(3, e3);
+      if (e1 == 0) cascade(2, e2);
+      cascade(1, e1);
+    }
+    const std::uint32_t s0 = static_cast<std::uint32_t>(now_) & (kSlots - 1);
+    if (slots_[0][s0].empty()) continue;
+    std::vector<Entry> fired;
+    fired.swap(slots_[0][s0]);
+    for (const Entry& entry : fired) {
+      if (entry.deadline > now_) {
+        // A future wrap of this slot: not due yet, put it back.
+        slots_[0][s0].push_back(entry);
+        continue;
+      }
+      if (live_.erase(entry.seq) == 0) continue;  // cancelled
+      --pending_;
+      ++expired_total_;
+      out.push_back(Expired{entry.deadline, entry.seq, entry.token});
+    }
+  }
+  // Placements that were already due when scheduled expire on the next
+  // advance, ahead of later deadlines (the sort below orders them first).
+  if (!due_.empty()) {
+    std::vector<Entry> ready;
+    ready.swap(due_);
+    for (const Entry& entry : ready) {
+      if (live_.erase(entry.seq) == 0) continue;
+      --pending_;
+      ++expired_total_;
+      out.push_back(Expired{entry.deadline, entry.seq, entry.token});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Expired& a, const Expired& b) {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+bool TimerWheel::cancel(std::uint64_t seq) {
+  if (live_.erase(seq) == 0) return false;
+  --pending_;
+  return true;
+}
+
+std::optional<std::uint64_t> TimerWheel::next_deadline() const {
+  std::optional<std::uint64_t> best;
+  const auto consider = [&](const Entry& entry) {
+    if (!live_.contains(entry.seq)) return;
+    if (!best || entry.deadline < *best) best = entry.deadline;
+  };
+  for (const Entry& entry : due_) consider(entry);
+  for (const auto& level : slots_) {
+    for (const auto& slot : level) {
+      for (const Entry& entry : slot) consider(entry);
+    }
+  }
+  for (const Entry& entry : overflow_) consider(entry);
+  return best;
+}
+
+}  // namespace wideleak::support

@@ -1,0 +1,165 @@
+// Deterministic hierarchical timer wheel + the wall-time pacer.
+//
+// The campaign's pipelined scheduler turns every simulated network wait
+// (SimClock::sleep from fault latency or retry backoff) into a *deadline*
+// parked here instead of a stalled worker. Two pieces:
+//
+//   TimerWheel — the classic hashed hierarchical wheel (the kernel /
+//   mesa-u_queue lineage): four levels of 64 slots, entries cascade down
+//   as time advances, O(1) schedule, amortized O(1) expiry. It is a pure
+//   data structure over an abstract tick axis with a hard ordering
+//   contract: entries due at the same tick are released in schedule()
+//   order (the (deadline, seq) order), so a release schedule is a pure
+//   function of the set of deadlines — never of host timing.
+//
+//   PacingPolicy / Pacer — the optional mapping from simulated ticks to
+//   wall time. With pacing off (the default everywhere but the benches)
+//   waits stay free in wall time and the wheel is bookkeeping only. With
+//   pacing on, a wait of N ticks must not complete before N *
+//   wall_us_per_tick microseconds of host time — the honest emulation the
+//   worker-sweep benches overlap CPU work against. The Pacer owns the one
+//   std::chrono doorway; src/core|net|ott never name a host clock
+//   (wideleak-lint WL009/WL010).
+//
+// Thread safety: TimerWheel is externally synchronized (the TaskQueue
+// holds its mutex around every call). Pacer is immutable after
+// construction and safe to share.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+namespace wideleak::support {
+
+/// How simulated ticks map to host time. Zero (default) = waits are free:
+/// the simulation runs as fast as the hardware allows and the wheel only
+/// records telemetry.
+struct PacingPolicy {
+  std::uint64_t wall_us_per_tick = 0;
+  bool enabled() const { return wall_us_per_tick != 0; }
+};
+
+/// An opaque host-time deadline. Core code passes these around and hands
+/// them back to the Pacer (or to condition_variable::wait_until via the
+/// public member) without ever naming a chrono clock.
+struct WallDeadline {
+  std::chrono::steady_clock::time_point at;
+};
+
+/// The wall half of the wait machinery: converts tick spans to host-time
+/// deadlines and answers "has this deadline passed?". Construction
+/// anchors tick 0 at "now", so elapsed_ticks() gives a monotone shared
+/// tick axis every parked deadline can be compared on.
+class Pacer {
+ public:
+  explicit Pacer(PacingPolicy policy)
+      : policy_(policy), start_(std::chrono::steady_clock::now()) {}
+
+  const PacingPolicy& policy() const { return policy_; }
+
+  /// Host-time deadline `ticks` simulated ticks from now. With pacing
+  /// disabled the deadline is already due.
+  WallDeadline after_ticks(std::uint64_t ticks) const {
+    return WallDeadline{std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(ticks * policy_.wall_us_per_tick)};
+  }
+
+  bool reached(const WallDeadline& deadline) const {
+    return std::chrono::steady_clock::now() >= deadline.at;
+  }
+
+  /// Whole pacing ticks elapsed since the pacer was built — the shared
+  /// monotone axis the campaign's TimerWheel is keyed on. 0 when pacing
+  /// is disabled.
+  std::uint64_t elapsed_ticks() const {
+    if (!policy_.enabled()) return 0;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    return static_cast<std::uint64_t>(us) / policy_.wall_us_per_tick;
+  }
+
+  /// Stall the calling thread until the deadline (the synchronous-mode
+  /// baseline: the wait is paid inline, the worker idles). Outside the
+  /// WL010 scope by construction — this file is the approved doorway.
+  void stall_until(const WallDeadline& deadline) const;
+
+ private:
+  PacingPolicy policy_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Hierarchical timer wheel over an abstract tick axis.
+///
+/// Determinism contract: advance_to(t) expires every entry with
+/// deadline <= t, ordered by (deadline, schedule-sequence). Entries
+/// scheduled in the past expire on the next advance, ahead of anything
+/// later. cancel() removes an entry before it fires (lazily — the slot
+/// entry is tombstoned and skipped at cascade/expiry).
+class TimerWheel {
+ public:
+  struct Expired {
+    std::uint64_t deadline = 0;
+    std::uint64_t seq = 0;    // schedule() order, the same-tick tiebreak
+    std::uint64_t token = 0;  // caller's payload (e.g. campaign cell index)
+  };
+
+  TimerWheel();
+
+  /// Register a deadline; returns the entry's sequence id (unique,
+  /// monotone — the deterministic same-tick release order).
+  std::uint64_t schedule(std::uint64_t deadline_tick, std::uint64_t token);
+
+  /// Advance the wheel to `now_tick` (monotone; earlier values are
+  /// clamped) and return every expired entry in (deadline, seq) order.
+  std::vector<Expired> advance_to(std::uint64_t now_tick);
+
+  /// Remove a scheduled entry before it fires. Returns false if the seq
+  /// is unknown or already expired/cancelled.
+  bool cancel(std::uint64_t seq);
+
+  /// Earliest live deadline, or nullopt when the wheel is empty.
+  std::optional<std::uint64_t> next_deadline() const;
+
+  std::size_t pending() const { return pending_; }
+  std::uint64_t now() const { return now_; }
+
+  /// Lifetime telemetry for the scheduler's stats sink.
+  std::uint64_t scheduled_total() const { return next_seq_; }
+  std::uint64_t expired_total() const { return expired_total_; }
+
+ private:
+  // 4 levels x 64 slots: level L slot spans 64^L ticks; horizon 64^4.
+  // Entries past the horizon park in overflow_ and re-enter on the next
+  // top-level cascade.
+  static constexpr std::uint32_t kLevelBits = 6;
+  static constexpr std::uint32_t kSlots = 1u << kLevelBits;  // 64
+  static constexpr std::uint32_t kLevels = 4;
+
+  struct Entry {
+    std::uint64_t deadline = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t token = 0;
+  };
+
+  /// Place a live entry into the finest slot that can hold it (or `due_`
+  /// when the deadline is not in the future).
+  void place(Entry entry);
+  /// Pull every entry out of level `level`, slot `slot`, and re-place it
+  /// one level down (or into `due_`).
+  void cascade(std::uint32_t level, std::uint32_t slot);
+
+  std::vector<Entry> slots_[kLevels][kSlots];
+  std::vector<Entry> overflow_;  // deadlines past the wheel horizon
+  std::vector<Entry> due_;       // expired placements awaiting the next advance
+  std::unordered_set<std::uint64_t> live_;  // scheduled, not yet expired/cancelled
+  std::uint64_t now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t expired_total_ = 0;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace wideleak::support

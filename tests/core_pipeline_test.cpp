@@ -1,0 +1,309 @@
+// The pipelined campaign scheduler: TimerWheel ordering contracts, TaskQueue
+// fence semantics, bit-identity of campaign reports across scheduler modes,
+// worker counts and pacing, and the overlap proof — another cell's stage
+// provably executing inside an injected latency window.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/pipeline.hpp"
+#include "ott/catalog.hpp"
+#include "support/timer_wheel.hpp"
+
+namespace wideleak::core {
+namespace {
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kUnderTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kUnderTsan = true;
+#else
+constexpr bool kUnderTsan = false;
+#endif
+#else
+constexpr bool kUnderTsan = false;
+#endif
+
+// ---------------------------------------------------------------------------
+// TimerWheel: the (deadline, seq) release contract.
+
+TEST(TimerWheelTest, SameTickEntriesReleaseInScheduleOrder) {
+  support::TimerWheel wheel;
+  wheel.schedule(10, 100);
+  wheel.schedule(10, 200);
+  wheel.schedule(10, 300);
+  wheel.schedule(9, 900);  // earlier deadline beats every same-tick entry
+
+  const auto fired = wheel.advance_to(10);
+  ASSERT_EQ(fired.size(), 4u);
+  EXPECT_EQ(fired[0].token, 900u);
+  EXPECT_EQ(fired[1].token, 100u);
+  EXPECT_EQ(fired[2].token, 200u);
+  EXPECT_EQ(fired[3].token, 300u);
+  // Same-tick tiebreak is the schedule() sequence, monotone by construction.
+  EXPECT_LT(fired[1].seq, fired[2].seq);
+  EXPECT_LT(fired[2].seq, fired[3].seq);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, EntriesCascadeAcrossLevelEpochs) {
+  // Deadlines spanning level 0 (<64), level 1 (<64^2) and level 2 (<64^3),
+  // scheduled out of order; each fires exactly when the wheel reaches it.
+  support::TimerWheel wheel;
+  wheel.schedule(64 * 64 + 7, 3);
+  wheel.schedule(3, 0);
+  wheel.schedule(65, 2);
+  wheel.schedule(64, 1);
+
+  auto fired = wheel.advance_to(63);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].token, 0u);
+
+  fired = wheel.advance_to(64);  // the first level-1 cascade boundary
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].token, 1u);
+
+  fired = wheel.advance_to(70);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].token, 2u);
+
+  EXPECT_EQ(wheel.next_deadline(), std::uint64_t{64 * 64 + 7});
+  fired = wheel.advance_to(64 * 64 + 7);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].token, 3u);
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_FALSE(wheel.next_deadline().has_value());
+}
+
+TEST(TimerWheelTest, CancelledEntriesNeverFire) {
+  support::TimerWheel wheel;
+  const std::uint64_t a = wheel.schedule(5, 1);
+  const std::uint64_t b = wheel.schedule(5, 2);
+  EXPECT_TRUE(wheel.cancel(a));
+  EXPECT_FALSE(wheel.cancel(a));  // already cancelled
+  EXPECT_EQ(wheel.pending(), 1u);
+
+  const auto fired = wheel.advance_to(6);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].token, 2u);
+  EXPECT_FALSE(wheel.cancel(b));  // already expired
+  EXPECT_EQ(wheel.scheduled_total(), 2u);
+  EXPECT_EQ(wheel.expired_total(), 1u);
+}
+
+TEST(TimerWheelTest, PastDeadlinesFireOnNextAdvanceAheadOfLater) {
+  support::TimerWheel wheel;
+  wheel.advance_to(100);
+  wheel.schedule(50, 1);   // already in the past when scheduled
+  wheel.schedule(101, 2);
+
+  const auto fired = wheel.advance_to(101);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].token, 1u);  // (deadline 50) sorts ahead of (deadline 101)
+  EXPECT_EQ(fired[1].token, 2u);
+}
+
+TEST(TimerWheelTest, DeadlinesBeyondTheHorizonStillFire) {
+  // 64^4 is the wheel's native horizon; beyond it entries park in overflow
+  // and re-enter on the top-level cascade.
+  constexpr std::uint64_t kHorizon = 64ull * 64 * 64 * 64;
+  support::TimerWheel wheel;
+  wheel.schedule(kHorizon + 5, 7);
+  EXPECT_EQ(wheel.next_deadline(), kHorizon + 5);
+
+  auto fired = wheel.advance_to(kHorizon + 4);
+  EXPECT_TRUE(fired.empty());
+  fired = wheel.advance_to(kHorizon + 5);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].token, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// TaskQueue: fence semantics and deterministic release order.
+
+TEST(TaskQueueTest, FenceReleasesWaitersInSubmissionOrder) {
+  TaskQueue queue(1, support::PacingPolicy{}, /*record_trace=*/true);
+  const FenceId gate = queue.make_fence(1);
+  const FenceId done = queue.make_fence(2);
+
+  std::vector<std::string> order;
+  queue.submit([&] { order.push_back("b"); }, gate, done, 1, "b");
+  queue.submit([&] { order.push_back("c"); }, gate, done, 2, "c");
+  queue.submit([&] { order.push_back("producer"); }, std::nullopt, gate, 0, "producer");
+  queue.drain(done);
+
+  // b and c parked on the gate; the producer (submitted last but unblocked)
+  // ran first, and the released waiters entered the ready set in submission
+  // order — never in signal order or host-timing order.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "producer");
+  EXPECT_EQ(order[1], "b");
+  EXPECT_EQ(order[2], "c");
+
+  const PipelineStats stats = queue.stats();
+  EXPECT_EQ(stats.tasks_executed, 3u);
+  EXPECT_EQ(stats.fence_stalls, 2u);
+  EXPECT_EQ(queue.task_count(), 3u);
+
+  // The trace carries the same total order.
+  std::vector<std::string> begins;
+  for (const TraceEvent& event : queue.trace()) {
+    if (event.kind == TraceEvent::Kind::TaskBegin) begins.push_back(event.label);
+  }
+  EXPECT_EQ(begins, (std::vector<std::string>{"producer", "b", "c"}));
+}
+
+TEST(TaskQueueTest, PreSignaledFenceNeverParks) {
+  TaskQueue queue(1, support::PacingPolicy{});
+  const FenceId pre = queue.make_fence(0);  // producers == 0: born signaled
+  const FenceId done = queue.make_fence(1);
+
+  bool ran = false;
+  queue.submit([&] { ran = true; }, pre, done, 0, "eager");
+  queue.drain(done);
+
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(queue.stats().fence_stalls, 0u);
+}
+
+TEST(TaskQueueTest, UnpacedWaitsAreTelemetryOnly) {
+  TaskQueue queue(1, support::PacingPolicy{});  // pacing disabled
+  const FenceId done = queue.make_fence(1);
+  queue.submit(
+      [&] {
+        queue.wait_ticks(0, 17);
+        queue.wait_ticks(0, 3);
+      },
+      std::nullopt, done, 0, "waiter");
+  queue.drain(done);
+
+  const PipelineStats stats = queue.stats();
+  EXPECT_EQ(stats.waits, 2u);
+  EXPECT_EQ(stats.wait_ticks, 20u);
+  // No pacing: nothing parks, nothing matures on the wheel.
+  EXPECT_EQ(stats.timer_wakeups, 0u);
+  EXPECT_EQ(stats.max_parked, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level: bit-identity across schedulers, and the overlap proof.
+
+CampaignSpec pipeline_spec() {
+  CampaignSpec spec;
+  std::vector<const char*> names = {"Netflix"};
+  if (!kUnderTsan) names.push_back("Amazon Prime Video");
+  for (const char* name : names) {
+    const auto app = ott::find_app(name);
+    EXPECT_TRUE(app.has_value()) << name;
+    spec.apps.push_back(*app);
+  }
+  spec.attempt_rip = false;
+  spec.chaos = net::FaultProfile::FlakyCdn;  // retries + backoff = real waits
+  return spec;
+}
+
+TEST(PipelineTest, ReportsBitIdenticalAcrossModesWorkersAndPacing) {
+  CampaignSpec base = pipeline_spec();
+
+  CampaignSpec sync = base;
+  sync.mode = ExecutionMode::Synchronous;
+  sync.workers = 1;
+  const CampaignResult reference = CampaignRunner(std::move(sync)).run();
+  const std::string expected = render_campaign_report(reference);
+
+  const std::vector<std::size_t> ladder =
+      kUnderTsan ? std::vector<std::size_t>{1, 4} : std::vector<std::size_t>{1, 2, 8};
+  for (const std::size_t workers : ladder) {
+    CampaignSpec spec = base;
+    spec.mode = ExecutionMode::Pipelined;
+    spec.workers = workers;
+    const CampaignResult result = CampaignRunner(std::move(spec)).run();
+    EXPECT_EQ(render_campaign_report(result), expected) << "pipelined w" << workers;
+    EXPECT_GT(result.stats.pipeline.tasks_executed, 0u);
+  }
+
+  // Pacing maps ticks to wall time but never touches virtual time: the
+  // report must not move by a byte, in either mode.
+  CampaignSpec paced_pipe = base;
+  paced_pipe.mode = ExecutionMode::Pipelined;
+  paced_pipe.workers = 2;
+  paced_pipe.pacing.wall_us_per_tick = 300;
+  EXPECT_EQ(render_campaign_report(CampaignRunner(std::move(paced_pipe)).run()), expected);
+
+  CampaignSpec paced_sync = base;
+  paced_sync.mode = ExecutionMode::Synchronous;
+  paced_sync.workers = 1;
+  paced_sync.pacing.wall_us_per_tick = 300;
+  EXPECT_EQ(render_campaign_report(CampaignRunner(std::move(paced_sync)).run()), expected);
+}
+
+TEST(PipelineTest, CellStagesOverlapAnInjectedLatencyWindow) {
+  // Deterministic latency on every request (per-mille 1000), one worker,
+  // pacing on: each wait carries a real wall deadline, so the worker must
+  // park it on the timer wheel and help — running another cell's stage
+  // inside the latency window instead of stalling.
+  CampaignSpec spec = pipeline_spec();
+  spec.chaos = net::FaultProfile::None;
+  net::FaultPlan plan;
+  plan.name = "latency-everywhere";
+  net::FaultRule rule;
+  rule.host_prefix = "";  // every host
+  rule.rates.latency_pm = 1000;
+  rule.rates.latency_ticks = 25;
+  plan.rules.push_back(rule);
+  spec.fault_plan = plan;
+  spec.mode = ExecutionMode::Pipelined;
+  spec.workers = 1;
+  spec.pacing.wall_us_per_tick = 2000;
+  spec.record_schedule_trace = true;
+  const CampaignResult result = CampaignRunner(std::move(spec)).run();
+
+  const PipelineStats& stats = result.stats.pipeline;
+  EXPECT_GT(stats.waits, 0u);
+  EXPECT_GT(stats.timer_wakeups, 0u);
+  EXPECT_GT(stats.helped_tasks, 0u) << "no stage ever ran inside a latency window";
+  EXPECT_GE(stats.max_parked, 1u);
+  // Every SimClock wait in pipelined mode is surfaced to the scheduler.
+  EXPECT_EQ(stats.waits, result.stats.totals.sim_waits);
+  EXPECT_EQ(stats.wait_ticks, result.stats.totals.sim_wait_ticks);
+
+  // The overlap proof, from the totally-ordered trace: some WaitBegin/WaitEnd
+  // window of cell A encloses a TaskBegin of cell B != A on the same worker.
+  bool overlap_found = false;
+  std::string nested_label;
+  const std::vector<TraceEvent>& trace = result.trace;
+  for (std::size_t i = 0; i < trace.size() && !overlap_found; ++i) {
+    if (trace[i].kind != TraceEvent::Kind::WaitBegin) continue;
+    for (std::size_t j = i + 1; j < trace.size(); ++j) {
+      const TraceEvent& event = trace[j];
+      if (event.kind == TraceEvent::Kind::WaitEnd && event.cell == trace[i].cell &&
+          event.worker == trace[i].worker) {
+        break;  // window closed without a nested foreign stage
+      }
+      if (event.kind == TraceEvent::Kind::TaskBegin && event.cell != trace[i].cell) {
+        overlap_found = true;
+        nested_label = event.label;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(overlap_found)
+      << "no cell-B stage executed inside a cell-A latency window";
+  EXPECT_FALSE(nested_label.empty());
+
+  // And none of this perturbed the report: same plan, synchronous, unpaced.
+  CampaignSpec sync = pipeline_spec();
+  sync.chaos = net::FaultProfile::None;
+  sync.fault_plan = plan;
+  sync.mode = ExecutionMode::Synchronous;
+  sync.workers = 1;
+  EXPECT_EQ(render_campaign_report(result),
+            render_campaign_report(CampaignRunner(std::move(sync)).run()));
+}
+
+}  // namespace
+}  // namespace wideleak::core

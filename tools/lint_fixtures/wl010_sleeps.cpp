@@ -1,0 +1,50 @@
+// WL010 fixture: scheduler hygiene. Inside src/core, src/net and src/ott a
+// wait must go through SimClock::sleep so the campaign task queue can park
+// it on the timer wheel and run other cells' work meanwhile. Thread-blocking
+// sleeps and empty-body busy-waits stall a worker outside the scheduler.
+//
+// Fixtures are lexed, not compiled — the types stand in for the real ones.
+#include <chrono>
+#include <thread>
+
+void bad_thread_sleeps() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // expect: WL010
+  const auto deadline = now_plus(5);
+  std::this_thread::sleep_until(deadline);  // expect: WL010
+}
+
+void bad_posix_sleeps() {
+  sleep(1);             // expect: WL010
+  usleep(5000);         // expect: WL010
+  timespec ts{0, 100};
+  nanosleep(&ts, nullptr);  // expect: WL010
+}
+
+void bad_busy_waits(const Flag& flag) {
+  while (!flag.is_set()) {  // expect: WL010
+  }
+  while (flag.pending()) ;  // expect: WL010
+}
+
+void good_simulated_wait(SimClock& clock) {
+  // The approved wait: virtual time, surfaced to the scheduler's observer.
+  clock.sleep(15);
+}
+
+void good_member_sleep(Session* session) {
+  // A member named sleep is a wrapper, not libc.
+  session->sleep(3);
+  Backoff::sleep(2);
+}
+
+void good_bounded_loops(Queue& queue) {
+  // Non-empty bodies do work per iteration — not busy-waits.
+  while (!queue.empty()) queue.pop();
+  do {
+  } while (queue.rebalance());
+}
+
+void reviewed_stall(const WallDeadline& deadline) {
+  // wl-lint: wait-ok -- sync-baseline pacing gate, measured as the baseline
+  std::this_thread::sleep_until(deadline);
+}

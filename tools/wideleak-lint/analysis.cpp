@@ -609,6 +609,71 @@ void check_wl009(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
+// ---------------------------------------------------------------------------
+// WL010: scheduler hygiene (plain token scan; same path scope as WL009)
+// ---------------------------------------------------------------------------
+
+void check_wl010(const std::string& path, const std::vector<Token>& toks,
+                 const NotesMap& notes, std::vector<Violation>* violations) {
+  auto flag = [&](std::size_t i, const std::string& what) {
+    const int line = toks[i].line;
+    const int anchor = statement_anchor_line(toks, i);
+    if (suppressed_at(notes, "wait-ok", line, anchor)) return;
+    violations->push_back(
+        {path, line, "WL010",
+         what + " stalls a campaign worker outside the scheduler; route waits "
+                "through SimClock::sleep so the task queue can park them on the "
+                "timer wheel and run other cells meanwhile (docs/LINTING.md)"});
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].is_ident) continue;
+    const std::string& t = toks[i].text;
+    // Thread-blocking sleeps. SimClock::sleep (`clock.sleep(...)`) is the
+    // approved wait and spells none of these; cv wait_until is scheduler
+    // machinery, not a sleep, and is likewise not matched.
+    if (t == "sleep_for" || t == "sleep_until") {
+      flag(i, "std::this_thread::" + t + "()");
+      continue;
+    }
+    if ((t == "usleep" || t == "nanosleep" || t == "sleep") && i + 1 < toks.size() &&
+        toks[i + 1].text == "(" &&
+        (i == 0 || (toks[i - 1].text != "." && toks[i - 1].text != "->" &&
+                    toks[i - 1].text != "::"))) {
+      // Free-function POSIX sleeps only: `clock.sleep(...)`/`clock->sleep(...)`
+      // is SimClock, and any `ns::sleep(...)` names a wrapper, not libc.
+      flag(i, t + "()");
+      continue;
+    }
+    // Busy-wait: a `while (...)` whose body is empty (`;` or `{}`) burns the
+    // worker polling. A do-while tail (`} while (...);`) is not one: its `;`
+    // closes the statement, not an empty body — match the preceding `}` back
+    // to its `{` and look for the `do`.
+    if (t == "while" && i + 1 < toks.size() && toks[i + 1].text == "(") {
+      if (i > 0 && toks[i - 1].text == "}") {
+        int depth = 0;
+        std::size_t open = i - 1;
+        for (std::size_t j = i; j-- > 0;) {
+          if (toks[j].text == "}") ++depth;
+          if (toks[j].text == "{" && --depth == 0) {
+            open = j;
+            break;
+          }
+        }
+        if (open > 0 && toks[open - 1].text == "do") continue;
+      }
+      const std::size_t close = match_paren(toks, i + 1);
+      if (close + 1 >= toks.size()) continue;
+      const Token& body = toks[close + 1];
+      const bool empty_body =
+          body.text == ";" ||
+          (body.text == "{" && close + 2 < toks.size() && toks[close + 2].text == "}");
+      if (empty_body) flag(i, "an empty-body while loop (busy-wait)");
+      continue;
+    }
+  }
+}
+
 }  // namespace
 
 SymbolIndex build_symbol_index(const std::vector<SourceFile>& sources) {
@@ -636,6 +701,7 @@ void run_dataflow_passes(const std::string& path, const Scan& scan, const NotesM
 
   if (options.assume_scoped || scoped_for_wl009(path)) {
     check_wl009(path, scan.tokens, notes, violations);
+    check_wl010(path, scan.tokens, notes, violations);
   }
 }
 

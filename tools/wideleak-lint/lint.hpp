@@ -45,6 +45,12 @@
 //          derive_stream_seed(...) are the only approved time/randomness
 //          sources, so the bit-identical-replay guarantee stays
 //          machine-checked. (Reproducibility contract, docs/LINTING.md.)
+//   WL010  scheduler hygiene: std::this_thread::sleep_for/sleep_until, the
+//          POSIX sleeps (sleep/usleep/nanosleep) and empty-body while
+//          busy-waits are banned inside src/core, src/net and src/ott —
+//          a wait must go through SimClock::sleep so the campaign task
+//          queue can park it on the timer wheel and run other cells'
+//          work meanwhile. (Pipelined-scheduler contract, docs/LINTING.md.)
 //
 // Suppressions, written as ordinary comments on the flagged line, the line
 // above it, or the line above the start of a multi-line declaration /
@@ -58,6 +64,7 @@
 //   // wl-lint: taint-ok        (WL007)
 //   // wl-lint: lock-ok         (WL008)
 //   // wl-lint: det-ok          (WL009)
+//   // wl-lint: wait-ok         (WL010)
 //   // wl-lint: log-ok,ct-ok    (both at once)
 //
 // Fixture self-test: every line carrying `// expect: WLxxx[,WLyyy]` must be
@@ -73,7 +80,7 @@ namespace wideleak::lint {
 struct Violation {
   std::string file;
   int line = 0;
-  std::string rule;     // "WL001".."WL009"
+  std::string rule;     // "WL001".."WL010"
   std::string message;  // human-readable finding
 };
 
@@ -153,7 +160,7 @@ struct Expectation {
 };
 std::vector<Expectation> collect_expectations(const std::string& source);
 
-/// All rule ids, in order ("WL001".."WL009").
+/// All rule ids, in order ("WL001".."WL010").
 const std::vector<std::string>& all_rules();
 
 /// One-line description of a rule id (used by the SARIF rules table).

@@ -14,7 +14,8 @@ using internal::json_escape;
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
-      "WL001", "WL002", "WL003", "WL004", "WL005", "WL006", "WL007", "WL008", "WL009"};
+      "WL001", "WL002", "WL003", "WL004", "WL005", "WL006", "WL007", "WL008", "WL009",
+      "WL010"};
   return kRules;
 }
 
@@ -28,6 +29,7 @@ std::string rule_description(const std::string& rule) {
   if (rule == "WL007") return "tainted secret reaches a sink through local assignments (CWE-532)";
   if (rule == "WL008") return "WL_GUARDED_BY field accessed without holding its mutex (CWE-667)";
   if (rule == "WL009") return "nondeterministic time/randomness source in a deterministic subtree";
+  if (rule == "WL010") return "thread-blocking sleep or busy-wait outside the task scheduler";
   return "unknown rule";
 }
 
