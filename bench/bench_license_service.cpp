@@ -1,0 +1,448 @@
+// Experiment C5: the multi-tenant DRM service under session-scale load.
+//
+// An open-loop multi-threaded load generator drives the shared
+// widevine::DrmService with pre-signed license requests from N tenant
+// apps' client fleets, across a shards x workers x tenants sweep:
+//
+//   - saturation legs (closed loop) measure sustained RPS per
+//     configuration — the striped-lock payoff shows up as the s1 -> s64
+//     delta at high worker counts;
+//   - an open-loop leg replays a fixed arrival schedule at ~70% of the
+//     measured saturation rate and reports p50/p99/p999 request latency;
+//   - a serial leg exercises the deterministic policy machinery — LRU
+//     eviction under a tight capacity, per-app admission quotas, and
+//     token-bucket refill on a SimClock — twice, and fails (exit 1) if
+//     the two outcome summaries are not bit-identical.
+//
+// Full mode drives >= 1M license requests total. Every leg lands in the
+// fixed support::BenchReport schema (BENCH_license_service.json):
+// throughput ops carry bytes = requests * 1000 so mb_per_s reads as
+// kilo-requests/sec; latency and counter ops carry bytes = 0 (no
+// throughput gating) with the leg's outcome CRC as the bit-identity
+// witness for tools/bench_diff.py.
+//
+// Usage: bench_license_service [--smoke] [--out BENCH_license_service.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "support/bench_report.hpp"
+#include "support/bytes.hpp"
+#include "support/crc32.hpp"
+#include "support/sim_clock.hpp"
+#include "widevine/drm_service.hpp"
+#include "widevine/key_ladder.hpp"
+#include "widevine/keybox.hpp"
+
+namespace {
+
+using namespace wideleak;
+using Clock = std::chrono::steady_clock;
+
+std::uint32_t checksum_of(const std::string& s) {
+  return crc32(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+std::uint64_t elapsed_ns(Clock::time_point start, Clock::time_point end) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+}
+
+/// The tenant fleet: pre-registered devices and pre-signed license
+/// requests, so the timed loops measure the service (KDF, signature
+/// verification, key wrapping, session table), not client-side signing.
+struct Fleet {
+  std::shared_ptr<widevine::DeviceRootDatabase> roots;
+  std::shared_ptr<widevine::LicenseServer> license;
+  std::shared_ptr<widevine::ProvisioningServer> provisioning;
+  widevine::RevocationPolicy policy = widevine::permissive_revocation_policy();
+  std::size_t tenants = 0;
+  std::size_t clients_per_tenant = 0;
+  std::vector<widevine::LicenseRequest> requests;  // [tenant * clients + client]
+
+  std::size_t tenant_of(std::size_t request_index) const {
+    return request_index / clients_per_tenant;
+  }
+};
+
+Fleet build_fleet(std::size_t tenants, std::size_t clients_per_tenant) {
+  Fleet fleet;
+  fleet.tenants = tenants;
+  fleet.clients_per_tenant = clients_per_tenant;
+  fleet.roots = std::make_shared<widevine::DeviceRootDatabase>();
+  fleet.license = std::make_shared<widevine::LicenseServer>(fleet.roots, 0xC5BEEFULL);
+  fleet.provisioning =
+      std::make_shared<widevine::ProvisioningServer>(fleet.roots, 0xC5CAFEULL, 512);
+
+  Rng rng(0xC5'5EED);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    // Two content keys per tenant; every request asks for both.
+    std::vector<media::KeyId> kids;
+    for (std::size_t k = 0; k < 2; ++k) {
+      media::KeyId kid = rng.next_bytes(16);
+      fleet.license->add_generic_key(kid, SecretBytes(rng.next_bytes(16)));
+      kids.push_back(std::move(kid));
+    }
+    for (std::size_t c = 0; c < clients_per_tenant; ++c) {
+      const widevine::Keybox keybox = widevine::make_factory_keybox(
+          "svc-t" + std::to_string(t) + "-c" + std::to_string(c), 0xC5);
+      fleet.roots->register_device(keybox, widevine::SecurityLevel::L1);
+
+      widevine::LicenseRequest request;
+      request.client.stable_id = keybox.stable_id();
+      request.client.device_model = "bench-device";
+      request.client.cdm_version = widevine::kCurrentCdm;
+      request.client.level = widevine::SecurityLevel::L1;
+      request.nonce = rng.next_bytes(8);
+      request.key_ids = kids;
+      request.scheme = widevine::SignatureScheme::KeyboxCmac;
+      const Bytes body = request.body();
+      const widevine::SessionKeys keys =
+          widevine::derive_session_keys(keybox.device_key(), body, body);
+      request.signature = crypto::hmac_sha256(keys.mac_key_client, body);
+      fleet.requests.push_back(std::move(request));
+    }
+  }
+  return fleet;
+}
+
+/// Register every tenant on a service instance; AppId == tenant index.
+void register_tenants(widevine::DrmService& service, const Fleet& fleet) {
+  for (std::size_t t = 0; t < fleet.tenants; ++t) {
+    service.register_app("svc-app-" + std::to_string(t));
+  }
+}
+
+struct LoadResult {
+  std::uint64_t requests = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t ns = 0;
+  std::vector<std::uint64_t> latencies_ns;  // open-loop legs only
+};
+
+/// Closed-loop saturation: `workers` threads replay the pool back to back.
+LoadResult run_saturation(widevine::DrmService& service, const Fleet& fleet,
+                          std::size_t workers, std::size_t tenants, std::uint64_t total) {
+  const std::size_t pool = tenants * fleet.clients_per_tenant;
+  std::vector<std::uint64_t> granted(workers, 0);
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      const std::uint64_t n = total / workers + (w < total % workers ? 1 : 0);
+      std::uint64_t ok = 0;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::size_t idx = (w + i * workers) % pool;
+        const auto& request = fleet.requests[idx];
+        const auto response = service.handle_license(
+            static_cast<widevine::AppId>(fleet.tenant_of(idx)), request, fleet.policy, i);
+        ok += response.granted ? 1 : 0;
+      }
+      granted[w] = ok;
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadResult result;
+  result.requests = total;
+  result.ns = elapsed_ns(start, Clock::now());
+  for (const auto g : granted) result.granted += g;
+  return result;
+}
+
+/// Open loop: each worker follows a fixed arrival schedule at `rps`
+/// aggregate; per-request latency is measured from the *scheduled* arrival
+/// (so queueing delay when the service falls behind counts, as it should).
+LoadResult run_open_loop(widevine::DrmService& service, const Fleet& fleet,
+                         std::size_t workers, double rps, std::uint64_t total) {
+  const std::size_t pool = fleet.tenants * fleet.clients_per_tenant;
+  const double per_worker_rps = rps / static_cast<double>(workers);
+  const auto interarrival = std::chrono::nanoseconds(
+      static_cast<std::uint64_t>(1e9 / std::max(per_worker_rps, 1.0)));
+  std::vector<std::vector<std::uint64_t>> latencies(workers);
+  std::vector<std::uint64_t> granted(workers, 0);
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      const std::uint64_t n = total / workers + (w < total % workers ? 1 : 0);
+      latencies[w].reserve(n);
+      std::uint64_t ok = 0;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const auto arrival = start + (i + 1) * interarrival;
+        while (Clock::now() < arrival) {
+          // Open-loop pacing: arrivals are independent of completions.
+        }
+        const std::size_t idx = (w + i * workers) % pool;
+        const auto& request = fleet.requests[idx];
+        const auto response = service.handle_license(
+            static_cast<widevine::AppId>(fleet.tenant_of(idx)), request, fleet.policy, i);
+        ok += response.granted ? 1 : 0;
+        latencies[w].push_back(elapsed_ns(arrival, Clock::now()));
+      }
+      granted[w] = ok;
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadResult result;
+  result.requests = total;
+  result.ns = elapsed_ns(start, Clock::now());
+  for (std::size_t w = 0; w < workers; ++w) {
+    result.granted += granted[w];
+    result.latencies_ns.insert(result.latencies_ns.end(), latencies[w].begin(),
+                               latencies[w].end());
+  }
+  return result;
+}
+
+std::uint64_t percentile_ns(std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// The deterministic serial leg: three fresh service instances exercising
+/// (a) LRU reclaim under a tight capacity, (b) per-app admission quotas,
+/// (c) token-bucket refill on a SimClock. Returns the outcome summary the
+/// two runs must reproduce bit for bit.
+struct SerialOutcome {
+  std::string summary;
+  std::uint64_t requests = 0;
+  widevine::DrmServiceStats eviction_stats;
+  widevine::DrmServiceStats admission_stats;
+  widevine::DrmServiceStats bucket_stats;
+};
+
+SerialOutcome run_serial_policy_leg(const Fleet& fleet, std::size_t rounds) {
+  SerialOutcome outcome;
+  std::ostringstream summary;
+  const std::size_t pool = fleet.tenants * fleet.clients_per_tenant;
+
+  // (a) LRU eviction: capacity far below the client fleet.
+  {
+    widevine::DrmServiceConfig config;
+    config.seed = 0xC5'0001;
+    config.shard_count = 4;
+    config.max_sessions = 24;
+    widevine::DrmService service(fleet.license, fleet.provisioning, config);
+    register_tenants(service, fleet);
+    std::uint64_t granted = 0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t idx = 0; idx < pool; ++idx) {
+        const auto response = service.handle_license(
+            static_cast<widevine::AppId>(fleet.tenant_of(idx)), fleet.requests[idx],
+            fleet.policy, r);
+        granted += response.granted ? 1 : 0;
+        ++outcome.requests;
+      }
+    }
+    outcome.eviction_stats = service.stats();
+    const auto& s = outcome.eviction_stats;
+    summary << "evict: granted=" << granted << " opened=" << s.sessions_opened
+            << " evicted=" << s.sessions_evicted << " live=" << s.live_sessions << "\n";
+  }
+
+  // (b) Admission control: one tenant, a quota of 6, every client knocking.
+  {
+    widevine::DrmServiceConfig config;
+    config.seed = 0xC5'0002;
+    config.max_sessions_per_app = 6;
+    widevine::DrmService service(fleet.license, fleet.provisioning, config);
+    register_tenants(service, fleet);
+    std::uint64_t granted = 0;
+    for (std::size_t c = 0; c < fleet.clients_per_tenant; ++c) {
+      const auto response =
+          service.handle_license(0, fleet.requests[c], fleet.policy, /*now=*/0);
+      granted += response.granted ? 1 : 0;
+      ++outcome.requests;
+    }
+    outcome.admission_stats = service.stats();
+    const auto& s = outcome.admission_stats;
+    summary << "admission: granted=" << granted << " rejected=" << s.admission_rejected
+            << " live=" << s.live_sessions << "\n";
+  }
+
+  // (c) Token bucket on a SimClock: bursts against capacity 4, refill
+  // 1/tick, with a tick advance between bursts.
+  {
+    widevine::DrmServiceConfig config;
+    config.seed = 0xC5'0003;
+    config.bucket_capacity = 4;
+    config.tokens_per_tick = 1;
+    support::SimClock clock;
+    widevine::DrmService service(fleet.license, fleet.provisioning, config, &clock);
+    register_tenants(service, fleet);
+    std::uint64_t granted = 0;
+    for (std::size_t burst = 0; burst < 4; ++burst) {
+      for (std::size_t i = 0; i < 10; ++i) {
+        const auto response = service.handle_license(0, fleet.requests[i % pool],
+                                                     fleet.policy);  // now from the clock
+        granted += response.granted ? 1 : 0;
+        ++outcome.requests;
+      }
+      clock.advance(2);  // earns 2 tokens for the next burst
+    }
+    outcome.bucket_stats = service.stats();
+    const auto& s = outcome.bucket_stats;
+    summary << "bucket: granted=" << granted << " rate_limited=" << s.rate_limited << "\n";
+  }
+
+  outcome.summary = summary.str();
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_license_service.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_license_service [--smoke] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  const std::size_t tenants = smoke ? 4 : 8;
+  const std::size_t clients = smoke ? 16 : 64;
+  const std::size_t wmax = std::clamp<std::size_t>(std::thread::hardware_concurrency(), 1, 8);
+  const std::uint64_t sweep_requests = smoke ? 2'000 : 40'000;
+  const std::uint64_t main_requests = smoke ? 6'000 : 600'000;
+  const std::uint64_t open_loop_requests = smoke ? 4'000 : 280'000;
+  const std::size_t serial_rounds = smoke ? 15 : 110;
+
+  std::cout << "LICENSE SERVICE BENCH: " << tenants << " tenants x " << clients
+            << " clients, up to " << wmax << " workers" << (smoke ? " (smoke)" : "")
+            << "\n\n";
+
+  const Fleet fleet = build_fleet(tenants, clients);
+  support::BenchReport bench("license_service");
+  int rc = 0;
+  std::uint64_t total_requests = 0;
+
+  // --- serial policy leg, twice: the determinism gate ------------------------
+  const auto serial_start = Clock::now();
+  const SerialOutcome serial_a = run_serial_policy_leg(fleet, serial_rounds);
+  const std::uint64_t serial_ns = elapsed_ns(serial_start, Clock::now());
+  const SerialOutcome serial_b = run_serial_policy_leg(fleet, serial_rounds);
+  total_requests += serial_a.requests + serial_b.requests;
+  const std::uint32_t serial_crc = checksum_of(serial_a.summary);
+  const bool serial_identical = serial_a.summary == serial_b.summary;
+  if (!serial_identical) rc = 1;
+  std::cout << serial_a.summary << "serial policy leg: " << serial_a.requests
+            << " requests x2, " << (serial_identical ? "bit-identical" : "MISMATCH")
+            << "\n\n";
+  bench.add("service/serial/policy", serial_a.requests * 1000, serial_ns, serial_crc);
+  bench.add("service/serial/evicted", 0, serial_a.eviction_stats.sessions_evicted,
+            serial_crc);
+  bench.add("service/serial/admission_rejected", 0,
+            serial_a.admission_stats.admission_rejected, serial_crc);
+  bench.add("service/serial/rate_limited", 0, serial_a.bucket_stats.rate_limited,
+            serial_crc);
+
+  // --- shards x workers x tenants saturation sweep ---------------------------
+  // Cells carry fixed labels (not s/w/t-derived) so the report's op set is
+  // identical on every machine — bench_diff.py rejects duplicate ops, and
+  // wmax collapses to 1 on a single-core runner.
+  struct SweepCell {
+    const char* label;
+    std::size_t shards, workers, cell_tenants;
+    std::uint64_t requests;
+  };
+  std::vector<SweepCell> cells = {
+      {"service/sweep/shards1", 1, 1, tenants, sweep_requests},
+      {"service/sweep/shards64", 64, 1, tenants, sweep_requests},
+      {"service/sweep/parallel", 64, wmax, tenants, sweep_requests},
+      {"service/sweep/one-tenant", 64, wmax, 1, sweep_requests},
+      {"service/main", 64, wmax, tenants, main_requests},  // the headline configuration
+  };
+
+  std::cout << "shards x workers x tenants   requests      RPS    granted\n";
+  double main_rps = 0.0;
+  for (const SweepCell& cell : cells) {
+    widevine::DrmServiceConfig config;
+    config.seed = 0xC5'1000 + cell.shards;
+    config.shard_count = cell.shards;
+    widevine::DrmService service(fleet.license, fleet.provisioning, config);
+    register_tenants(service, fleet);
+
+    const LoadResult result =
+        run_saturation(service, fleet, cell.workers, cell.cell_tenants, cell.requests);
+    total_requests += result.requests;
+    const double rps = static_cast<double>(result.requests) * 1e9 /
+                       static_cast<double>(std::max<std::uint64_t>(result.ns, 1));
+    // Every device is registered and no limit is configured, so the grant
+    // count is a pure function of the request set — the bit-identity
+    // witness for this leg.
+    const bool all_granted = result.granted == result.requests;
+    if (!all_granted) rc = 1;
+    const std::string witness = "requests=" + std::to_string(result.requests) +
+                                " granted=" + std::to_string(result.granted);
+    bench.add(cell.label, result.requests * 1000, result.ns, checksum_of(witness));
+    if (cell.requests == main_requests) main_rps = rps;
+
+    std::cout.setf(std::ios::fixed);
+    std::cout.precision(0);
+    std::cout << "s" << cell.shards << "/w" << cell.workers << "/t" << cell.cell_tenants
+              << "\t\t     " << result.requests << "\t  " << rps << "    "
+              << (all_granted ? "all" : "MISSING") << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+
+  // --- open-loop latency leg at ~70% of measured saturation ------------------
+  {
+    widevine::DrmServiceConfig config;
+    config.seed = 0xC5'2000;
+    config.shard_count = 64;
+    widevine::DrmService service(fleet.license, fleet.provisioning, config);
+    register_tenants(service, fleet);
+
+    const double target_rps = std::max(main_rps * 0.7, 1000.0);
+    LoadResult result =
+        run_open_loop(service, fleet, wmax, target_rps, open_loop_requests);
+    total_requests += result.requests;
+    const bool all_granted = result.granted == result.requests;
+    if (!all_granted) rc = 1;
+    std::sort(result.latencies_ns.begin(), result.latencies_ns.end());
+    const std::uint64_t p50 = percentile_ns(result.latencies_ns, 0.50);
+    const std::uint64_t p99 = percentile_ns(result.latencies_ns, 0.99);
+    const std::uint64_t p999 = percentile_ns(result.latencies_ns, 0.999);
+    const double rps = static_cast<double>(result.requests) * 1e9 /
+                       static_cast<double>(std::max<std::uint64_t>(result.ns, 1));
+    const std::string witness = "requests=" + std::to_string(result.requests) +
+                                " granted=" + std::to_string(result.granted);
+    const std::uint32_t crc = checksum_of(witness);
+    bench.add("service/openloop/rps", result.requests * 1000, result.ns, crc);
+    bench.add("service/openloop/p50", 0, p50, crc);
+    bench.add("service/openloop/p99", 0, p99, crc);
+    bench.add("service/openloop/p999", 0, p999, crc);
+
+    std::cout.setf(std::ios::fixed);
+    std::cout.precision(0);
+    std::cout << "\nopen loop @ " << target_rps << " RPS target: " << rps
+              << " RPS sustained, latency p50 " << p50 / 1000 << " us, p99 "
+              << p99 / 1000 << " us, p999 " << p999 / 1000 << " us\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+
+  std::cout << "\ntotal license requests driven: " << total_requests << "\n";
+  if (!smoke && total_requests < 1'000'000) {
+    std::cerr << "[bench] FAIL: full mode must drive >= 1M requests\n";
+    rc = 1;
+  }
+
+  bench.write_file(out_path);
+  std::cout << "[bench] report written to " << out_path << "\n";
+  std::cout << "[bench] gates: " << (rc == 0 ? "OK" : "FAILED") << "\n";
+  return rc;
+}

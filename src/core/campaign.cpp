@@ -218,6 +218,9 @@ CellResult run_cell(const ott::OttAppProfile& app_profile,
       ecosystem.provisioning_server().stats();
   cell.stats.provisionings_granted = provisioning.granted;
   cell.stats.provisionings_denied = provisioning.denied;
+  const widevine::DrmServiceStats service = ecosystem.drm_service().stats();
+  cell.stats.drm_sessions = static_cast<std::size_t>(service.sessions_opened);
+  cell.stats.drm_evictions = static_cast<std::size_t>(service.sessions_evicted);
   const net::RetryStats& retry = ecosystem.retry_stats();
   cell.stats.net_attempts = static_cast<std::size_t>(retry.attempts);
   cell.stats.net_retries = static_cast<std::size_t>(retry.retries);
@@ -480,6 +483,9 @@ struct CellExecution final : public support::SimClock::WaitObserver {
         ecosystem->provisioning_server().stats();
     cell.stats.provisionings_granted = provisioning.granted;
     cell.stats.provisionings_denied = provisioning.denied;
+    const widevine::DrmServiceStats service = ecosystem->drm_service().stats();
+    cell.stats.drm_sessions = static_cast<std::size_t>(service.sessions_opened);
+    cell.stats.drm_evictions = static_cast<std::size_t>(service.sessions_evicted);
     const net::RetryStats& retry = ecosystem->retry_stats();
     cell.stats.net_attempts = static_cast<std::size_t>(retry.attempts);
     cell.stats.net_retries = static_cast<std::size_t>(retry.retries);
@@ -513,6 +519,8 @@ void accumulate(CellStats& total, const CellStats& cell) {
   total.keys_withheld += cell.keys_withheld;
   total.provisionings_granted += cell.provisionings_granted;
   total.provisionings_denied += cell.provisionings_denied;
+  total.drm_sessions += cell.drm_sessions;
+  total.drm_evictions += cell.drm_evictions;
   total.net_attempts += cell.net_attempts;
   total.net_retries += cell.net_retries;
   total.net_giveups += cell.net_giveups;
@@ -759,6 +767,8 @@ std::string render_campaign_stats(const CampaignResult& result) {
       << " denied, keys " << totals.keys_issued << " issued / " << totals.keys_withheld
       << " withheld (HD-to-L3), provisioning " << totals.provisionings_granted
       << " granted / " << totals.provisionings_denied << " denied\n";
+  out << "  drm service: " << totals.drm_sessions << " sessions opened, "
+      << totals.drm_evictions << " LRU-reclaimed\n";
   out << "  network: " << totals.net_attempts << " attempts, " << totals.net_retries
       << " retries, " << totals.net_giveups << " giveups, " << totals.faults_injected
       << " faults injected (chaos " << net::to_string(result.spec.chaos) << ")\n";

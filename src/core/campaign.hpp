@@ -131,6 +131,8 @@ struct CellStats {
   std::size_t keys_withheld = 0;     // HD keys refused to sub-L1 clients
   std::size_t provisionings_granted = 0;
   std::size_t provisionings_denied = 0;
+  std::size_t drm_sessions = 0;      // sessions opened in the cell's DRM service
+  std::size_t drm_evictions = 0;     // LRU reclaims (0 under the default capacity)
   std::size_t net_attempts = 0;      // transport attempts through the retry layer
   std::size_t net_retries = 0;       // re-sends after a retryable failure
   std::size_t net_giveups = 0;       // retry budgets exhausted without success

@@ -24,18 +24,17 @@ SecureManifestEnvelope SecureManifestEnvelope::deserialize(BytesView data) {
 }
 
 OttBackend::OttBackend(OttAppProfile profile, media::PackagedTitle title,
-                       std::shared_ptr<widevine::LicenseServer> license_server,
-                       std::shared_ptr<widevine::ProvisioningServer> provisioning_server,
-                       std::uint64_t seed)
+                       std::shared_ptr<widevine::DrmService> drm_service,
+                       widevine::AppId app_id, std::uint64_t seed)
     : profile_(std::move(profile)),
       title_(std::move(title)),
-      license_server_(std::move(license_server)),
-      provisioning_server_(std::move(provisioning_server)),
+      drm_service_(std::move(drm_service)),
+      app_id_(app_id),
       rng_(seed) {
   if (profile_.secure_uri_channel) {
     uri_channel_kid_ = rng_.next_bytes(16);
     uri_channel_key_ = SecretBytes(rng_.next_bytes(16));
-    license_server_->add_generic_key(uri_channel_kid_, uri_channel_key_);
+    drm_service_->license_server()->add_generic_key(uri_channel_kid_, uri_channel_key_);
   }
   if (profile_.subtitles_via_opaque_channel) {
     // Mint one opaque token per subtitle representation.
@@ -137,8 +136,11 @@ net::HttpResponse OttBackend::handle_license(const net::HttpRequest& req) {
     return net::http_ok(denied.serialize());
   }
 
+  // Through the shared service: rate-limit/admission gates, then the
+  // session table (one implicit session per client stable id), then the
+  // license server proper.
   const widevine::LicenseResponse response =
-      license_server_->handle(request, profile_.license_policy());
+      drm_service_->handle_license(app_id_, request, profile_.license_policy());
   return net::http_ok(response.serialize());
 }
 
@@ -154,7 +156,8 @@ net::HttpResponse OttBackend::handle_provision(const net::HttpRequest& req) {
     return net::http_ok(denied.serialize());
   }
 
-  const widevine::ProvisioningResponse response = provisioning_server_->handle(request);
+  const widevine::ProvisioningResponse response =
+      drm_service_->handle_provision(app_id_, request);
   return net::http_ok(response.serialize());
 }
 

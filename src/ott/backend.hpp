@@ -12,6 +12,7 @@
 #include "media/content.hpp"
 #include "net/http.hpp"
 #include "ott/app.hpp"
+#include "widevine/drm_service.hpp"
 #include "widevine/license_server.hpp"
 #include "widevine/provisioning_server.hpp"
 
@@ -29,9 +30,11 @@ struct SecureManifestEnvelope {
 
 class OttBackend {
  public:
+  /// The backend serves its tenant (`app_id`) through the ecosystem's
+  /// shared DrmService — the multi-tenant front door that owns the
+  /// license/provisioning servers, session table and admission policy.
   OttBackend(OttAppProfile profile, media::PackagedTitle title,
-             std::shared_ptr<widevine::LicenseServer> license_server,
-             std::shared_ptr<widevine::ProvisioningServer> provisioning_server,
+             std::shared_ptr<widevine::DrmService> drm_service, widevine::AppId app_id,
              std::uint64_t seed);
 
   net::HttpHandler handler();
@@ -62,8 +65,8 @@ class OttBackend {
 
   OttAppProfile profile_;
   media::PackagedTitle title_;
-  std::shared_ptr<widevine::LicenseServer> license_server_;
-  std::shared_ptr<widevine::ProvisioningServer> provisioning_server_;
+  std::shared_ptr<widevine::DrmService> drm_service_;
+  widevine::AppId app_id_;
   Rng rng_;
   media::KeyId uri_channel_kid_;
   SecretBytes uri_channel_key_;

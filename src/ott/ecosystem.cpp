@@ -14,6 +14,14 @@ StreamingEcosystem::StreamingEcosystem(const EcosystemConfig& config)
   license_server_ = std::make_shared<widevine::LicenseServer>(roots_, rng_.next_u64());
   provisioning_server_ = std::make_shared<widevine::ProvisioningServer>(
       roots_, rng_.next_u64(), config_.device_rsa_bits);
+  // The shared front door over both servers. Its seed is label-derived
+  // (consumes nothing from the main stream) and its default config is
+  // permissive — no capacity, quota or rate limits — so the serving
+  // behaviour and every rng draw sequence are unchanged by the wiring.
+  widevine::DrmServiceConfig service_config;
+  service_config.seed = derive_seed("drm-service");
+  drm_service_ = std::make_shared<widevine::DrmService>(license_server_, provisioning_server_,
+                                                        service_config, &clock_);
 }
 
 void StreamingEcosystem::install_app(const OttAppProfile& profile) {
@@ -26,8 +34,9 @@ void StreamingEcosystem::install_app(const OttAppProfile& profile) {
                            profile.content_policy);
   license_server_->add_title(title);
 
-  auto backend = std::make_shared<OttBackend>(profile, title, license_server_,
-                                              provisioning_server_, rng_.next_u64());
+  const widevine::AppId app_id = drm_service_->register_app(profile.name);
+  auto backend =
+      std::make_shared<OttBackend>(profile, title, drm_service_, app_id, rng_.next_u64());
 
   // Mount the backend on its TLS host.
   Rng id_rng = rng_.fork();

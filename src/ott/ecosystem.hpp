@@ -17,6 +17,7 @@
 #include "ott/app.hpp"
 #include "ott/backend.hpp"
 #include "ott/cdn.hpp"
+#include "widevine/drm_service.hpp"
 #include "widevine/license_server.hpp"
 #include "widevine/provisioning_server.hpp"
 
@@ -42,6 +43,13 @@ class StreamingEcosystem {
   std::shared_ptr<widevine::DeviceRootDatabase> device_roots() { return roots_; }
   widevine::LicenseServer& license_server() { return *license_server_; }
   widevine::ProvisioningServer& provisioning_server() { return *provisioning_server_; }
+
+  /// The shared multi-tenant DRM front door every installed app's backend
+  /// routes license/provisioning traffic through. Private to this
+  /// ecosystem (one instance per campaign cell), seeded via
+  /// derive_stream_seed so wiring it consumed no rng draws — campaign
+  /// reports stayed bit-identical when it was introduced.
+  widevine::DrmService& drm_service() { return *drm_service_; }
 
   /// Install one app's services (backend + CDN + packaged title). Idempotent
   /// per app name.
@@ -93,6 +101,7 @@ class StreamingEcosystem {
   std::shared_ptr<widevine::DeviceRootDatabase> roots_;
   std::shared_ptr<widevine::LicenseServer> license_server_;
   std::shared_ptr<widevine::ProvisioningServer> provisioning_server_;
+  std::shared_ptr<widevine::DrmService> drm_service_;
   std::map<std::string, std::shared_ptr<OttBackend>> backends_;
   std::map<std::string, media::PackagedTitle> titles_;
   std::vector<std::shared_ptr<net::FaultyEndpoint>> injectors_;

@@ -1,0 +1,301 @@
+#include "widevine/drm_service.hpp"
+
+#include "support/errors.hpp"
+
+namespace wideleak::widevine {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  if (n < 2) return 1;
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// splitmix64 finalizer: full-avalanche, so consecutive stable ids spread
+/// evenly across shards.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// --- Shard (every method takes the shard's own striped lock) ----------------
+
+bool DrmService::Shard::touch(ServiceSessionId id, std::uint64_t now, bool count_license) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto it = sessions.find(id);
+  if (it == sessions.end()) return false;
+  Session& session = it->second;
+  session.last_used = now;
+  if (count_license) {
+    ++session.licenses;
+    ++counters.license_requests;
+  }
+  lru.splice(lru.begin(), lru, session.lru_it);  // move to MRU position
+  return true;
+}
+
+DrmService::InsertOutcome DrmService::Shard::insert(ServiceSessionId id, AppId app,
+                                                    std::uint64_t now, std::size_t capacity,
+                                                    bool count_license) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  InsertOutcome outcome;
+
+  const auto existing = sessions.find(id);
+  if (existing != sessions.end()) {
+    // A racing open won between our miss and this insert: fold into a touch.
+    existing->second.last_used = now;
+    if (count_license) {
+      ++existing->second.licenses;
+      ++counters.license_requests;
+    }
+    lru.splice(lru.begin(), lru, existing->second.lru_it);
+    return outcome;
+  }
+
+  if (capacity != 0 && sessions.size() >= capacity) {
+    // DrmSessionManager-style reclaim: the least-recently-used session in
+    // this stripe makes room. The new session is inserted afterwards, so
+    // it can never be its own victim.
+    const ServiceSessionId lru_id = lru.back();
+    const auto victim = sessions.find(lru_id);
+    outcome.evicted = true;
+    outcome.victim = lru_id;
+    outcome.victim_app = victim->second.app;
+    sessions.erase(victim);
+    lru.pop_back();
+    ++counters.evicted;
+  }
+
+  lru.push_front(id);
+  Session session;
+  session.app = app;
+  session.last_used = now;
+  session.licenses = count_license ? 1 : 0;
+  session.lru_it = lru.begin();
+  sessions.emplace(id, session);
+  ++counters.opened;
+  if (count_license) ++counters.license_requests;
+  outcome.inserted = true;
+  return outcome;
+}
+
+bool DrmService::Shard::erase(ServiceSessionId id, AppId& app_out) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto it = sessions.find(id);
+  if (it == sessions.end()) return false;
+  app_out = it->second.app;
+  lru.erase(it->second.lru_it);
+  sessions.erase(it);
+  ++counters.closed;
+  return true;
+}
+
+bool DrmService::Shard::contains(ServiceSessionId id) const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return sessions.find(id) != sessions.end();
+}
+
+void DrmService::Shard::snapshot(ShardCounters& counters_out, std::uint64_t& live_out) const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  counters_out = counters;
+  live_out = sessions.size();
+}
+
+// --- AppState ----------------------------------------------------------------
+
+bool DrmService::AppState::admit(std::size_t quota) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (quota != 0 && live >= quota) {
+    ++admission_rejected;
+    return false;
+  }
+  ++live;
+  ++opened;
+  return true;
+}
+
+void DrmService::AppState::release() {
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (live > 0) --live;
+}
+
+bool DrmService::AppState::take_token(std::uint64_t capacity, std::uint64_t per_tick,
+                                      std::uint64_t now) {
+  if (capacity == 0) return true;  // rate limiting off
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (!bucket_primed) {
+    // A fresh tenant starts with a full bucket: the classic token-bucket
+    // burst allowance, and what the SimClock refill tests assume.
+    tokens = capacity;
+    bucket_primed = true;
+    last_refill = now;
+  }
+  if (now > last_refill) {
+    const std::uint64_t earned = (now - last_refill) * per_tick;
+    tokens = earned > capacity - tokens ? capacity : tokens + earned;
+    last_refill = now;
+  }
+  if (tokens == 0) {
+    ++rate_limited;
+    return false;
+  }
+  --tokens;
+  return true;
+}
+
+void DrmService::AppState::count_provisioning() {
+  const std::lock_guard<std::mutex> lock(mutex);
+  ++provisioning_requests;
+}
+
+// --- DrmService --------------------------------------------------------------
+
+DrmService::DrmService(std::shared_ptr<LicenseServer> license_server,
+                       std::shared_ptr<ProvisioningServer> provisioning_server,
+                       const DrmServiceConfig& config, const support::SimClock* clock)
+    : seed_(config.seed),
+      config_(config),
+      clock_(clock),
+      license_server_(std::move(license_server)),
+      provisioning_server_(std::move(provisioning_server)),
+      shards_(round_up_pow2(config.shard_count)) {
+  shard_mask_ = shards_.size() - 1;
+  if (config_.max_sessions != 0) {
+    // Split the global budget across stripes, rounding up so the sum is
+    // never below the configured total.
+    shard_capacity_ = (config_.max_sessions + shards_.size() - 1) / shards_.size();
+    if (shard_capacity_ == 0) shard_capacity_ = 1;
+  }
+}
+
+AppId DrmService::register_app(const std::string& name) {
+  const auto it = app_ids_.find(name);
+  if (it != app_ids_.end()) return it->second;
+  const AppId id = apps_.size();
+  apps_.emplace_back(name);
+  app_ids_.emplace(name, id);
+  return id;
+}
+
+std::optional<AppId> DrmService::find_app(std::string_view name) const {
+  const auto it = app_ids_.find(std::string(name));
+  if (it == app_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& DrmService::app_name(AppId app) const {
+  if (app >= apps_.size()) throw StateError("drm-service: unknown app id");
+  return apps_[app].name;
+}
+
+ServiceSessionId DrmService::session_id_for(AppId app, BytesView stable_id) const {
+  // Seeded FNV-1a over the stable id, tenant-salted, splitmix-finalized:
+  // deterministic (no rng draw), allocation-free, and avalanched so the
+  // low bits that pick the shard are uniform.
+  std::uint64_t h = seed_ ^ mix64(static_cast<std::uint64_t>(app) + 1);
+  for (const auto b : stable_id) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001B3ULL;
+  }
+  return mix64(h);
+}
+
+SessionAdmission DrmService::touch_or_open(AppId app, ServiceSessionId id, std::uint64_t now,
+                                           bool count_license) {
+  Shard& shard = shard_for(id);
+  if (shard.touch(id, now, count_license)) return SessionAdmission::Existing;
+
+  // Miss: claim a per-app slot first (admission control), then insert.
+  // The two locks are never held together; a racing open of the same id
+  // is folded into a touch by Shard::insert and the slot returned.
+  if (!apps_[app].admit(config_.max_sessions_per_app)) return SessionAdmission::Rejected;
+
+  const InsertOutcome outcome = shard.insert(id, app, now, shard_capacity_, count_license);
+  if (!outcome.inserted) {
+    apps_[app].release();  // lost the race; the winner holds the slot
+    return SessionAdmission::Existing;
+  }
+  if (outcome.evicted) apps_[outcome.victim_app].release();
+  return SessionAdmission::Opened;
+}
+
+SessionAdmission DrmService::open_session(AppId app, BytesView stable_id, std::uint64_t now) {
+  return touch_or_open(app, session_id_for(app, stable_id), now, /*count_license=*/false);
+}
+
+bool DrmService::close_session(ServiceSessionId id) {
+  AppId owner = 0;
+  if (!shard_for(id).erase(id, owner)) return false;
+  apps_[owner].release();
+  return true;
+}
+
+bool DrmService::has_session(ServiceSessionId id) const {
+  return shard_for(id).contains(id);
+}
+
+LicenseResponse DrmService::handle_license(AppId app, const LicenseRequest& request,
+                                           const RevocationPolicy& policy, std::uint64_t now) {
+  if (!apps_[app].take_token(config_.bucket_capacity, config_.tokens_per_tick, now)) {
+    LicenseResponse denied;
+    denied.deny_reason = "rate limited";
+    return denied;
+  }
+  const ServiceSessionId id = session_id_for(app, request.client.stable_id);
+  if (touch_or_open(app, id, now, /*count_license=*/true) == SessionAdmission::Rejected) {
+    LicenseResponse denied;
+    denied.deny_reason = "session quota exceeded";
+    return denied;
+  }
+  return license_server_->handle(request, policy);
+}
+
+LicenseResponse DrmService::handle_license(AppId app, const LicenseRequest& request,
+                                           const RevocationPolicy& policy) {
+  return handle_license(app, request, policy, clock_ != nullptr ? clock_->now() : 0);
+}
+
+ProvisioningResponse DrmService::handle_provision(AppId app, const ProvisioningRequest& request,
+                                                  std::uint64_t now) {
+  if (!apps_[app].take_token(config_.bucket_capacity, config_.tokens_per_tick, now)) {
+    ProvisioningResponse denied;
+    denied.deny_reason = "rate limited";
+    return denied;
+  }
+  apps_[app].count_provisioning();
+  return provisioning_server_->handle(request);
+}
+
+ProvisioningResponse DrmService::handle_provision(AppId app,
+                                                  const ProvisioningRequest& request) {
+  return handle_provision(app, request, clock_ != nullptr ? clock_->now() : 0);
+}
+
+DrmServiceStats DrmService::stats() const {
+  DrmServiceStats total;
+  for (const Shard& shard : shards_) {
+    ShardCounters counters;
+    std::uint64_t live = 0;
+    shard.snapshot(counters, live);
+    total.sessions_opened += counters.opened;
+    total.sessions_closed += counters.closed;
+    total.sessions_evicted += counters.evicted;
+    total.license_requests += counters.license_requests;
+    total.live_sessions += live;
+  }
+  for (const AppState& app : apps_) {
+    const std::lock_guard<std::mutex> lock(app.mutex);
+    total.admission_rejected += app.admission_rejected;
+    total.rate_limited += app.rate_limited;
+    total.provisioning_requests += app.provisioning_requests;
+  }
+  return total;
+}
+
+}  // namespace wideleak::widevine

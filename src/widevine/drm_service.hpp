@@ -1,0 +1,259 @@
+// The multi-tenant DRM front door: one concurrent service instance owning
+// the license and provisioning servers that N tenant apps share — the
+// shape a real OTT deployment talks to, rather than the per-call server
+// objects the audit toolchain started from.
+//
+// Structure (documented in depth in docs/SERVICE.md):
+//
+//   - a sharded session table: power-of-two shard count, shard selected by
+//     a hash of the session id, one striped lock per shard. All session
+//     state (table, LRU list, shard counters) is WL_GUARDED_BY the shard's
+//     own mutex and only touched inside Shard member functions that take
+//     it — the pattern the wl008_striped.cpp lint fixture proves the
+//     analyzer understands.
+//   - LRU eviction/reclaim in the style of Android's DrmSessionManager:
+//     under a configured capacity, opening a session into a full shard
+//     reclaims that shard's least-recently-used session.
+//   - per-app admission control (a live-session quota per tenant) and a
+//     per-app token bucket refilled from SimClock ticks. Both are off by
+//     default, so ecosystem wiring is behaviour-neutral.
+//   - snapshot-returning stats, same contract as LicenseServerStats.
+//
+// Locking discipline: the service never holds two locks at once. Every
+// critical section touches exactly one mutex (one shard's, one app's, or
+// one of the underlying servers'), so there is no lock order to violate.
+//
+// Determinism: the service draws nothing from any rng. Session ids are a
+// pure function of (service seed, app, client stable id); the seed is
+// label-derived (`derive_stream_seed`) by the owning ecosystem, so wiring
+// the service under campaign cells keeps every report bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/annotations.hpp"
+#include "support/sim_clock.hpp"
+#include "widevine/license_server.hpp"
+#include "widevine/provisioning_server.hpp"
+
+namespace wideleak::widevine {
+
+/// Index of a registered tenant app (dense, assigned by register_app).
+using AppId = std::size_t;
+
+/// Service-level session handle. Content-derived (see session_id_for), so
+/// replaying the same request sequence reproduces the same ids.
+using ServiceSessionId = std::uint64_t;
+
+struct DrmServiceConfig {
+  /// Salt for session-id derivation. Owners derive it with
+  /// `derive_stream_seed` so distinct service instances get distinct id
+  /// spaces without consuming any rng draws.
+  std::uint64_t seed = 0;
+  /// Session-table stripe count; rounded up to the next power of two.
+  std::size_t shard_count = 16;
+  /// Total session capacity across all shards (0 = unlimited). When a
+  /// shard is full, opening one more session reclaims that shard's LRU
+  /// session — the DrmSessionManager behaviour.
+  std::size_t max_sessions = 0;
+  /// Per-app live-session quota (0 = unlimited). Opening a session for an
+  /// app at its quota is rejected (admission control), not reclaimed.
+  std::size_t max_sessions_per_app = 0;
+  /// Token-bucket rate limiting, per app, refilled from the clock's tick
+  /// stream: `tokens_per_tick` tokens per elapsed tick, capped at
+  /// `bucket_capacity`. A capacity of 0 disables rate limiting.
+  std::uint64_t bucket_capacity = 0;
+  std::uint64_t tokens_per_tick = 0;
+};
+
+/// Cumulative service counters since construction (snapshot; aggregated
+/// across every shard and app under their respective locks).
+struct DrmServiceStats {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t sessions_evicted = 0;   // LRU reclaims under capacity pressure
+  std::uint64_t live_sessions = 0;      // point-in-time table population
+  std::uint64_t admission_rejected = 0; // opens refused by the per-app quota
+  std::uint64_t rate_limited = 0;       // requests refused by the token bucket
+  std::uint64_t license_requests = 0;
+  std::uint64_t provisioning_requests = 0;
+};
+
+/// What happened to the session backing a request (see handle_license).
+enum class SessionAdmission { Existing, Opened, Rejected };
+
+class DrmService {
+ public:
+  /// The service shares (not owns exclusively) the two protocol servers:
+  /// existing direct-access paths (tests, the campaign stats sink) keep
+  /// working against the same instances.
+  DrmService(std::shared_ptr<LicenseServer> license_server,
+             std::shared_ptr<ProvisioningServer> provisioning_server,
+             const DrmServiceConfig& config = {},
+             const support::SimClock* clock = nullptr);
+
+  // --- tenancy (setup phase: not thread-safe, do before serving) -----------
+
+  /// Register a tenant app and get its dense id. Idempotent per name.
+  AppId register_app(const std::string& name);
+  std::optional<AppId> find_app(std::string_view name) const;
+  const std::string& app_name(AppId app) const;
+  std::size_t app_count() const { return apps_.size(); }
+
+  // --- session lifecycle ----------------------------------------------------
+
+  /// Deterministic session id for (app, client): a seeded FNV/splitmix
+  /// hash of the stable id — no rng draw, no allocation.
+  ServiceSessionId session_id_for(AppId app, BytesView stable_id) const;
+
+  /// Open (or touch) the session for (app, client) at `now`. Returns the
+  /// admission outcome; on Rejected no session exists afterwards.
+  SessionAdmission open_session(AppId app, BytesView stable_id, std::uint64_t now);
+
+  /// Close a session explicitly. Returns false if it was not live (never
+  /// opened, already closed, or reclaimed).
+  bool close_session(ServiceSessionId id);
+
+  bool has_session(ServiceSessionId id) const;
+
+  // --- request path (thread-safe) -------------------------------------------
+
+  /// Serve one license request for a tenant: rate-limit gate, session
+  /// open-or-touch (requests for a reclaimed session transparently reopen
+  /// it, so grant decisions never depend on eviction timing), then the
+  /// shared LicenseServer. Denials minted by the service itself
+  /// (rate-limit/admission) carry no MAC: they refuse before any session
+  /// keys are established.
+  LicenseResponse handle_license(AppId app, const LicenseRequest& request,
+                                 const RevocationPolicy& policy, std::uint64_t now);
+  /// Overload reading `now` from the wired SimClock (0 without one).
+  LicenseResponse handle_license(AppId app, const LicenseRequest& request,
+                                 const RevocationPolicy& policy);
+
+  /// Serve one provisioning request (rate-limit gate, then the shared
+  /// ProvisioningServer). Provisioning does not open service sessions.
+  ProvisioningResponse handle_provision(AppId app, const ProvisioningRequest& request,
+                                        std::uint64_t now);
+  ProvisioningResponse handle_provision(AppId app, const ProvisioningRequest& request);
+
+  // --- introspection --------------------------------------------------------
+
+  DrmServiceStats stats() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_capacity() const { return shard_capacity_; }
+
+  const std::shared_ptr<LicenseServer>& license_server() const { return license_server_; }
+  const std::shared_ptr<ProvisioningServer>& provisioning_server() const {
+    return provisioning_server_;
+  }
+
+ private:
+  struct Session {
+    AppId app = 0;
+    std::uint64_t last_used = 0;
+    std::uint64_t licenses = 0;
+    std::list<ServiceSessionId>::iterator lru_it;  // position in Shard::lru
+  };
+
+  struct ShardCounters {
+    std::uint64_t opened = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t evicted = 0;
+    std::uint64_t license_requests = 0;
+  };
+
+  /// What Shard::insert did, reported back so the service can settle the
+  /// per-app accounting without holding the shard lock.
+  struct InsertOutcome {
+    bool inserted = false;          // false: the id was already present (touched)
+    bool evicted = false;           // an LRU victim was reclaimed to make room
+    ServiceSessionId victim = 0;
+    AppId victim_app = 0;
+  };
+
+  /// One stripe of the session table. Every member function takes the
+  /// shard's own mutex; all mutable state is guarded by it. Shards never
+  /// call out while locked, so the striped locks cannot deadlock.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<ServiceSessionId, Session> sessions WL_GUARDED_BY(mutex);
+    std::list<ServiceSessionId> lru WL_GUARDED_BY(mutex);  // front = MRU, back = LRU
+    ShardCounters counters WL_GUARDED_BY(mutex);
+
+    /// Refresh an existing session (LRU front, last_used). False if absent.
+    bool touch(ServiceSessionId id, std::uint64_t now, bool count_license);
+
+    /// Insert a session, reclaiming the LRU entry when the shard is at
+    /// `capacity` (0 = unlimited). If the id is already present (a racing
+    /// open won), touches it instead and reports inserted=false.
+    InsertOutcome insert(ServiceSessionId id, AppId app, std::uint64_t now,
+                         std::size_t capacity, bool count_license);
+
+    /// Remove a session; on success reports which app owned it.
+    bool erase(ServiceSessionId id, AppId& app_out);
+
+    bool contains(ServiceSessionId id) const;
+
+    /// Counters + population snapshot for stats aggregation.
+    void snapshot(ShardCounters& counters_out, std::uint64_t& live_out) const;
+  };
+
+  /// Per-tenant admission and rate-limit state; one mutex per app keeps
+  /// tenants from contending with each other.
+  struct AppState {
+    explicit AppState(std::string app_name) : name(std::move(app_name)) {}
+
+    std::string name;  // immutable after registration
+    mutable std::mutex mutex;
+    std::uint64_t live WL_GUARDED_BY(mutex) = 0;
+    std::uint64_t tokens WL_GUARDED_BY(mutex) = 0;
+    bool bucket_primed WL_GUARDED_BY(mutex) = false;  // bucket starts full on first use
+    std::uint64_t last_refill WL_GUARDED_BY(mutex) = 0;
+    std::uint64_t admission_rejected WL_GUARDED_BY(mutex) = 0;
+    std::uint64_t rate_limited WL_GUARDED_BY(mutex) = 0;
+    std::uint64_t opened WL_GUARDED_BY(mutex) = 0;
+    std::uint64_t provisioning_requests WL_GUARDED_BY(mutex) = 0;
+
+    /// Claim a live-session slot under `quota` (0 = unlimited).
+    bool admit(std::size_t quota);
+    /// Return a live-session slot (close or eviction), optionally counting
+    /// the release as an eviction for this app.
+    void release();
+    /// Take one token from the bucket, refilling from elapsed ticks first.
+    /// Always true when `capacity` is 0 (rate limiting off).
+    bool take_token(std::uint64_t capacity, std::uint64_t per_tick, std::uint64_t now);
+    void count_provisioning();
+  };
+
+  Shard& shard_for(ServiceSessionId id) { return shards_[id & shard_mask_]; }
+  const Shard& shard_for(ServiceSessionId id) const { return shards_[id & shard_mask_]; }
+
+  /// The open-or-touch core shared by open_session and handle_license.
+  SessionAdmission touch_or_open(AppId app, ServiceSessionId id, std::uint64_t now,
+                                 bool count_license);
+
+  std::uint64_t seed_;
+  std::size_t shard_capacity_ = 0;  // per-shard session budget (0 = unlimited)
+  std::uint64_t shard_mask_ = 0;
+  DrmServiceConfig config_;
+  const support::SimClock* clock_ = nullptr;
+
+  std::shared_ptr<LicenseServer> license_server_;
+  std::shared_ptr<ProvisioningServer> provisioning_server_;
+
+  std::vector<Shard> shards_;    // sized once in the constructor, never resized
+  std::deque<AppState> apps_;    // deque: AppState addresses stay stable
+  std::unordered_map<std::string, AppId> app_ids_;  // setup-phase writes only
+};
+
+}  // namespace wideleak::widevine

@@ -30,20 +30,26 @@ void LicenseServer::add_generic_key(const media::KeyId& kid, SecretBytes key) {
 
 LicenseResponse LicenseServer::handle(const LicenseRequest& request,
                                       const RevocationPolicy& policy) {
-  // Held across handle_inner: it increments keys_withheld under the same
-  // contract (WL_REQUIRES). Requests on one server are serial anyway; the
-  // lock's job is making the counter discipline checkable.
+  // The stats lock brackets the request instead of covering it: the DRM
+  // service runs many tenants' requests through one server concurrently,
+  // so the KDF/signature/wrap work in handle_inner must proceed in
+  // parallel. Counter totals are unchanged for serial callers.
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  std::size_t keys_withheld = 0;
+  LicenseResponse response = handle_inner(request, policy, keys_withheld);
   const std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.requests;
-  LicenseResponse response = handle_inner(request, policy);
   ++(response.granted ? stats_.granted : stats_.denied);
   stats_.keys_issued += response.keys.size();
+  stats_.keys_withheld += keys_withheld;
   return response;
 }
 
 LicenseResponse LicenseServer::handle_inner(const LicenseRequest& request,
-                                            const RevocationPolicy& policy)
-    WL_REQUIRES(stats_mutex_) {
+                                            const RevocationPolicy& policy,
+                                            std::size_t& keys_withheld) {
   LicenseResponse response;
   const Bytes body = request.body();
 
@@ -78,10 +84,18 @@ LicenseResponse LicenseServer::handle_inner(const LicenseRequest& request,
       response.deny_reason = "bad request signature";
       return response;
     }
-    // RSA path: mint a fresh session key and wrap it to the device.
-    const SecretBytes session_key(rng_.next_bytes(16));
-    response.session_key_wrapped =
-        crypto::rsa_oaep_encrypt(supplied, rng_, session_key.reveal());
+    // RSA path: mint a fresh session key and wrap it to the device. Both
+    // draws happen under one lock at the same sequence point as the
+    // historical serial code, so single-threaded byte streams are
+    // unchanged; concurrent callers interleave draws (their responses are
+    // not replayed bit-for-bit, only counted).
+    SecretBytes session_key;
+    {
+      const std::lock_guard<std::mutex> lock(rng_mutex_);
+      session_key = SecretBytes(rng_.next_bytes(16));
+      response.session_key_wrapped =
+          crypto::rsa_oaep_encrypt(supplied, rng_, session_key.reveal());
+    }
     keys = derive_session_keys(session_key, body, body);
   }
 
@@ -111,12 +125,15 @@ LicenseResponse LicenseServer::handle_inner(const LicenseRequest& request,
     if (stored.min_level == SecurityLevel::L1 &&
         effective_level != SecurityLevel::L1) {
       // HD-class key, sub-HD client: withhold, exactly as observed.
-      ++stats_.keys_withheld;
+      ++keys_withheld;
       continue;
     }
     KeyContainer container;
     container.kid = kid;
-    container.iv = rng_.next_bytes(16);
+    {
+      const std::lock_guard<std::mutex> lock(rng_mutex_);
+      container.iv = rng_.next_bytes(16);
+    }
     container.wrapped_key = crypto::aes_cbc_encrypt_nopad(enc, container.iv, stored.key.reveal());
     container.min_level = stored.min_level;
     response.keys.push_back(std::move(container));

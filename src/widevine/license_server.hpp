@@ -56,13 +56,21 @@ class LicenseServer {
   /// (0 = unlimited, the default).
   void set_license_duration(std::uint64_t ticks) { license_duration_ = ticks; }
 
-  /// Register all content keys of a packaged title.
+  /// Register all content keys of a packaged title. Setup phase only: key
+  /// registration (and the set_* knobs above) must finish before handle()
+  /// runs concurrently — the key table is read lock-free on the hot path.
   void add_title(const media::PackagedTitle& title);
 
   /// Register a standalone key (e.g. an app's non-DASH secure-channel key).
   void add_generic_key(const media::KeyId& kid, SecretBytes key);
 
   /// Serve one license request under the given service policy.
+  ///
+  /// Thread-safe once setup is done: the crypto (KDF, signature check, key
+  /// wrapping) runs lock-free against the frozen key table; only the stats
+  /// counters and the iv/session-key rng take (separate, short) locks. A
+  /// single-threaded caller sees exactly the historical draw order, so
+  /// every seeded report stays bit-identical.
   LicenseResponse handle(const LicenseRequest& request, const RevocationPolicy& policy);
 
   std::size_t key_count() const { return keys_.size(); }
@@ -79,14 +87,18 @@ class LicenseServer {
     SecurityLevel min_level = SecurityLevel::L3;
   };
 
-  LicenseResponse handle_inner(const LicenseRequest& request,
-                               const RevocationPolicy& policy) WL_REQUIRES(stats_mutex_);
+  /// The lock-free part of handle(): authentication, policy and key
+  /// wrapping. Level-withheld keys are counted into `keys_withheld` for the
+  /// caller to fold into the stats under the stats lock.
+  LicenseResponse handle_inner(const LicenseRequest& request, const RevocationPolicy& policy,
+                               std::size_t& keys_withheld);
 
   std::shared_ptr<DeviceRootDatabase> roots_;
-  Rng rng_;
+  mutable std::mutex rng_mutex_;
+  Rng rng_ WL_GUARDED_BY(rng_mutex_);  // iv / session-key draws on the hot path
   LevelVerification level_verification_ = LevelVerification::Strict;
   std::uint64_t license_duration_ = 0;
-  std::map<std::string, StoredKey> keys_;  // hex(kid) -> key
+  std::map<std::string, StoredKey> keys_;  // hex(kid) -> key; frozen after setup
   mutable std::mutex stats_mutex_;
   LicenseServerStats stats_ WL_GUARDED_BY(stats_mutex_);
 };

@@ -24,11 +24,13 @@ std::optional<SecretBytes> DeviceRootDatabase::device_key_for(BytesView stable_i
 
 void DeviceRootDatabase::record_provisioned_key(BytesView stable_id,
                                                 const crypto::RsaPublicKey& key) {
+  const std::lock_guard<std::mutex> lock(rsa_mutex_);
   rsa_keys_[hex_encode(stable_id)] = key;
 }
 
 std::optional<crypto::RsaPublicKey> DeviceRootDatabase::provisioned_key_for(
     BytesView stable_id) const {
+  const std::lock_guard<std::mutex> lock(rsa_mutex_);
   const auto it = rsa_keys_.find(hex_encode(stable_id));
   if (it == rsa_keys_.end()) return std::nullopt;
   return it->second;
@@ -39,14 +41,19 @@ ProvisioningServer::ProvisioningServer(std::shared_ptr<DeviceRootDatabase> roots
     : roots_(std::move(roots)), rng_(seed), rsa_bits_(rsa_bits) {}
 
 ProvisioningResponse ProvisioningServer::handle(const ProvisioningRequest& request) {
-  ProvisioningResponse response = handle_inner(request);
+  ProvisioningResponse response;
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    response = handle_inner(request);
+  }
   const std::lock_guard<std::mutex> lock(stats_mutex_);
   ++stats_.requests;
   ++(response.granted ? stats_.granted : stats_.denied);
   return response;
 }
 
-ProvisioningResponse ProvisioningServer::handle_inner(const ProvisioningRequest& request) {
+ProvisioningResponse ProvisioningServer::handle_inner(const ProvisioningRequest& request)
+    WL_REQUIRES(state_mutex_) {
   ProvisioningResponse response;
 
   const auto device_key = roots_->device_key_for(request.client.stable_id);

@@ -21,6 +21,12 @@
 namespace wideleak::widevine {
 
 /// Server-side registry of factory device roots and provisioned RSA keys.
+///
+/// Thread safety: factory registration (register_device) is setup-phase —
+/// it must finish before the servers serve concurrently, after which the
+/// keybox/certification maps are read lock-free. The provisioned-RSA map
+/// is the one table written on the serving path (provisioning inserts
+/// while license requests look up), so it carries its own lock.
 class DeviceRootDatabase {
  public:
   /// Record a keybox at factory-provisioning time, together with the
@@ -45,7 +51,8 @@ class DeviceRootDatabase {
  private:
   std::map<std::string, SecretBytes> device_keys_;         // hex(stable_id) -> AES key
   std::map<std::string, SecurityLevel> certified_levels_;  // hex(stable_id) -> level
-  std::map<std::string, crypto::RsaPublicKey> rsa_keys_;   // hex(stable_id) -> public key
+  mutable std::mutex rsa_mutex_;
+  std::map<std::string, crypto::RsaPublicKey> rsa_keys_ WL_GUARDED_BY(rsa_mutex_);
 };
 
 /// Instance-scoped request counters (see LicenseServerStats: guarded by a
@@ -73,14 +80,20 @@ class ProvisioningServer {
   }
 
  private:
-  ProvisioningResponse handle_inner(const ProvisioningRequest& request);
+  /// Serialized on state_mutex_: provisioning mutates the nonce-replay set,
+  /// the issued-key cache and the rng. Provisioning happens once per
+  /// device, so full serialization costs nothing while license traffic
+  /// (which only reads the root database) proceeds in parallel.
+  ProvisioningResponse handle_inner(const ProvisioningRequest& request)
+      WL_REQUIRES(state_mutex_);
 
   std::shared_ptr<DeviceRootDatabase> roots_;
-  Rng rng_;
+  mutable std::mutex state_mutex_;
+  Rng rng_ WL_GUARDED_BY(state_mutex_);
   std::size_t rsa_bits_;
   RevocationPolicy policy_ = permissive_revocation_policy();
-  std::map<std::string, crypto::RsaKeyPair> issued_;  // cache per device
-  std::set<std::string> seen_nonces_;                 // anti-replay: hex(id||nonce)
+  std::map<std::string, crypto::RsaKeyPair> issued_ WL_GUARDED_BY(state_mutex_);
+  std::set<std::string> seen_nonces_ WL_GUARDED_BY(state_mutex_);
   mutable std::mutex stats_mutex_;
   ProvisioningServerStats stats_ WL_GUARDED_BY(stats_mutex_);
 };

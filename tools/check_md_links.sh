@@ -1,8 +1,10 @@
 #!/bin/sh
 # Docs gate: verify that every relative link in the repo's markdown files
-# points at a path that exists. External URLs (http/https/mailto) and pure
-# in-page anchors are ignored; a `#fragment` suffix on a relative link is
-# stripped before the existence check.
+# points at a path that exists, and that every `#fragment` — in-page or on a
+# relative .md link — names a real heading in the target file. Fragments are
+# matched against GitHub's heading slugs (lowercase, punctuation stripped,
+# spaces to dashes, `-N` suffixes on duplicates). External URLs
+# (http/https/mailto) are ignored.
 #
 # Run from anywhere: the script resolves paths against the repo root. CI's
 # docs job runs it directly; ctest registers it as `docs_md_links`.
@@ -14,6 +16,32 @@ if command -v git >/dev/null 2>&1 && git rev-parse --git-dir >/dev/null 2>&1; th
 else
   files=$(find . -name '*.md' -not -path './build*' -not -path './.git/*')
 fi
+
+# GitHub-style anchor slugs of every heading in a markdown file, one per
+# line. Shares the fence logic below: headings inside fenced code blocks
+# (e.g. a quoted `# comment`) are not anchors.
+anchors_of() {
+  awk '
+    function run_len(s,   n) {
+      sub(/^[[:space:]]*/, "", s)
+      n = 0
+      while (substr(s, n + 1, 1) == "`") n++
+      return n
+    }
+    !fenced && /^[[:space:]]*```/ { fenced = run_len($0); next }
+    fenced && /^[[:space:]]*```+[[:space:]]*$/ && run_len($0) >= fenced { fenced = 0; next }
+    fenced { next }
+    /^[[:space:]]*#+[[:space:]]/ {
+      s = $0
+      sub(/^[[:space:]]*#+[[:space:]]+/, "", s)
+      sub(/[[:space:]]+#+[[:space:]]*$/, "", s)  # optional closing hashes
+      s = tolower(s)
+      gsub(/[^a-z0-9 _-]/, "", s)
+      gsub(/ /, "-", s)
+      if (seen[s]++) s = s "-" (seen[s] - 1)
+      print s
+    }' "$1" 2>/dev/null
+}
 
 status=0
 checked=0
@@ -45,10 +73,23 @@ for f in $files; do
   for link in $links; do
     IFS=$old_ifs
     case "$link" in
-      http://* | https://* | mailto:* | "#"*) continue ;;
+      http://* | https://* | mailto:*) continue ;;
     esac
     target=${link%%#*}
-    [ -n "$target" ] || continue
+    frag=
+    case "$link" in
+      *"#"*) frag=${link#*#} ;;
+    esac
+    if [ -z "$target" ]; then
+      # Pure in-page anchor: the heading must exist in this file.
+      [ -n "$frag" ] || continue
+      checked=$((checked + 1))
+      if ! anchors_of "$f" | grep -Fqx "$frag"; then
+        echo "BROKEN ANCHOR: $f -> $link" >&2
+        status=1
+      fi
+      continue
+    fi
     case "$target" in
       /*) path=".$target" ;;
       *) path="$dir/$target" ;;
@@ -57,13 +98,25 @@ for f in $files; do
     if [ ! -e "$path" ]; then
       echo "BROKEN: $f -> $link" >&2
       status=1
+      continue
+    fi
+    # A fragment on a markdown target must name a heading in that file.
+    if [ -n "$frag" ] && [ -f "$path" ]; then
+      case "$path" in
+        *.md)
+          if ! anchors_of "$path" | grep -Fqx "$frag"; then
+            echo "BROKEN ANCHOR: $f -> $link" >&2
+            status=1
+          fi
+          ;;
+      esac
     fi
   done
   IFS=$old_ifs
 done
 
 if [ "$status" -eq 0 ]; then
-  echo "check_md_links: $checked relative markdown link(s) all resolve."
+  echo "check_md_links: $checked relative markdown link(s)/anchor(s) all resolve."
 else
   echo "check_md_links: broken links found (see above)." >&2
 fi

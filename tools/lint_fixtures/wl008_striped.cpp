@@ -1,0 +1,66 @@
+// WL008 fixture: striped locks — the DrmService session-table pattern. A
+// nested Shard struct carries its own mutex, and every guarded field names
+// that per-shard mutex, not a global one. The analyzer scopes guards to the
+// innermost class, so Shard's discipline is checked independently of the
+// outer table's own guarded state.
+//
+// Fixtures are lexed, not compiled — the types stand in for the real ones.
+#include <mutex>
+
+class StripedSessionTable {
+ public:
+  struct Shard {
+    Shard() { live = 0; }  // constructors are exempt (no sharing yet)
+
+    void open() {
+      const std::lock_guard<std::mutex> lock(mutex);
+      ++live;  // clean: this shard's own stripe is held
+      ++opened;
+    }
+
+    int peek_unlocked() {
+      return live;  // expect: WL008
+    }
+
+    void evict_locked() WL_REQUIRES(mutex) {
+      --live;  // clean: caller holds the stripe by contract
+      ++evicted;
+    }
+
+    void reclaim_without_lock() {
+      evict_locked();  // expect: WL008
+    }
+
+    void reclaim() {
+      const std::lock_guard<std::mutex> lock(mutex);
+      evict_locked();  // clean: stripe held across the WL_REQUIRES call
+    }
+
+    int snapshot() {
+      std::unique_lock<std::mutex> lock(mutex);
+      return opened - evicted;  // clean: unique_lock counts too
+    }
+
+    int approximate_load() const {
+      return live;  // wl-lint: lock-ok -- shard-picker heuristic, staleness fine
+    }
+
+    mutable std::mutex mutex;
+    int live WL_GUARDED_BY(mutex) = 0;
+    int opened WL_GUARDED_BY(mutex) = 0;
+    int evicted WL_GUARDED_BY(mutex) = 0;
+  };
+
+  void bump_epoch() {
+    const std::lock_guard<std::mutex> lock(table_mutex_);
+    ++epoch_;  // clean: the outer table state uses the outer mutex
+  }
+
+  int epoch_unlocked() {
+    return epoch_;  // expect: WL008
+  }
+
+ private:
+  std::mutex table_mutex_;
+  int epoch_ WL_GUARDED_BY(table_mutex_) = 0;
+};
