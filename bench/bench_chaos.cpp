@@ -33,7 +33,19 @@
 // the synthetic op "chaos/<profile>/overlap_x1000" (mb_per_s == ratio),
 // so tools/bench_diff.py gates both bit-identity and the perf trajectory.
 //
-// Usage: bench_chaos [--smoke] [--out BENCH_chaos.json] [profile]
+// Server-side chaos (experiment C6, docs/RESILIENCE.md): naming a DrmService
+// chaos plan ("shard-crash", "brownout") instead of a network profile runs
+// the recovery legs — the same matrix with the service itself misbehaving,
+// the circuit breaker armed, and (brownout) a per-cell deadline budget. Each
+// leg checks that every cell of the crashed shard completes as
+// Full/Degraded/Partial (zero hung or lost cells), that sessions were
+// actually dropped and reopened, and that the report — resilience counters
+// included — replays bit-identically across the pipelined worker ladder.
+// The counters themselves (reopens, breaker opens/fast-fails, sessions
+// dropped, time-to-recover ticks) land as synthetic BenchReport rows so
+// bench_diff gates the recovery trajectory, not just the wall clock.
+//
+// Usage: bench_chaos [--smoke] [--out BENCH_chaos.json] [profile|chaos-plan]
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
@@ -91,25 +103,37 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_chaos.json";
   std::vector<net::FaultProfile> profiles;
+  std::vector<std::string> service_plans;
+  bool selected = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    widevine::ChaosPlan probe;
     if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (const auto chosen = net::fault_profile_from_string(arg)) {
       profiles = {*chosen};
+      selected = true;
+    } else if (widevine::chaos_plan_from_string(arg, probe) && !probe.empty()) {
+      // A DrmService chaos plan name selects the recovery legs only.
+      service_plans = {arg};
+      selected = true;
     } else {
-      std::cerr << "usage: bench_chaos [--smoke] [--out FILE] [profile]\n";
+      std::cerr << "usage: bench_chaos [--smoke] [--out FILE] [profile|chaos-plan]\n";
       return 2;
     }
   }
-  if (profiles.empty()) {
+  if (!selected) {
     profiles = smoke ? std::vector<net::FaultProfile>{net::FaultProfile::FlakyCdn}
                      : std::vector<net::FaultProfile>{
                            net::FaultProfile::None, net::FaultProfile::FlakyCdn,
                            net::FaultProfile::FlakyLicense,
                            net::FaultProfile::ByzantineLicense};
+    // Full mode also walks the service-side recovery legs; the smoke default
+    // stays network-only (CI runs the recovery smoke as its own explicit
+    // `bench_chaos --smoke shard-crash` step).
+    if (!smoke) service_plans = {"shard-crash", "brownout"};
   }
 
   // Same sizing rationale as bench_campaign: a catalog subset covering all
@@ -278,6 +302,101 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
       std::cout.unsetf(std::ios::fixed);
+    }
+    std::cout << "\n";
+  }
+
+  // --- Server-side chaos recovery legs (C6) --------------------------------
+  for (const std::string& plan_name : service_plans) {
+    core::CampaignSpec spec = base;
+    spec.service_chaos = widevine::chaos_plan_for(plan_name);
+    // The breaker is armed on every recovery leg: part of what the legs
+    // measure is how much retry budget fast-fails save during an outage.
+    spec.breaker.failure_threshold = 3;
+    spec.breaker.open_ticks = 24;
+    // The brownout leg runs under a per-cell deadline budget, so the
+    // graceful-degradation path (deadline_exceeded Partial cells, cancelled
+    // timer-wheel waits) is exercised and diffed too.
+    if (plan_name == "brownout") spec.cell_deadline_ticks = 48;
+    const std::string tag = "chaos-svc/" + plan_name;
+
+    std::cout << "=== service chaos plan: " << plan_name << " ===\n";
+
+    const RunOutcome baseline =
+        run_config(spec, core::ExecutionMode::Synchronous, 1, 0);
+    const std::size_t cells = baseline.result.cells.size();
+    const core::CellStats& totals = baseline.result.stats.totals;
+
+    std::size_t full = 0, degraded = 0, partial = 0;
+    for (const core::CellResult& cell : baseline.result.cells) {
+      switch (cell.outcome) {
+        case core::CellOutcome::Full: ++full; break;
+        case core::CellOutcome::Degraded: ++degraded; break;
+        case core::CellOutcome::Partial: ++partial; break;
+      }
+    }
+    std::cout << "cells: " << full << " full, " << degraded << " degraded, " << partial
+              << " partial; " << totals.drm_sessions_dropped << " sessions dropped, "
+              << totals.drm_shard_refusals << " shard refusals, "
+              << totals.drm_brownout_denied << " brownout denials, "
+              << totals.net_reopens << " reopens; breaker " << totals.breaker_opens
+              << " opens / " << totals.breaker_fast_fails << " fast-fails; recovery "
+              << totals.drm_recovery_ticks << " ticks; " << totals.deadline_cancelled
+              << " cells past deadline\n";
+
+    // Zero hung or lost cells: every matrix cell completed on an outcome.
+    if (full + degraded + partial != cells) {
+      std::cout << "  LOST CELLS: " << (cells - full - degraded - partial)
+                << " cells completed on no outcome\n";
+      rc = 1;
+    }
+    // The crash leg must actually bite: dropped sessions forced reopen
+    // cycles. A silent no-op "recovery" bench would gate nothing.
+    if (plan_name == "shard-crash" &&
+        (totals.drm_sessions_dropped == 0 || totals.net_reopens == 0)) {
+      std::cout << "  NO RECOVERY TRAFFIC: the crash window never dropped a "
+                   "session or forced a reopen\n";
+      rc = 1;
+    }
+
+    auto record = [&](const std::string& op, const RunOutcome& run) {
+      const bool identical = run.crc == baseline.crc;
+      if (!identical) rc = 1;
+      const double cells_per_sec =
+          cells / std::max(run.result.stats.wall_ms, 1.0) * 1000.0;
+      bench.add(op, static_cast<std::uint64_t>(cells) * 1'000'000,
+                static_cast<std::uint64_t>(run.result.stats.wall_ms * 1e6), run.crc);
+      std::cout.setf(std::ios::fixed);
+      std::cout.precision(0);
+      std::cout << "  " << op << ": " << run.result.stats.wall_ms << " ms, ";
+      std::cout.precision(2);
+      std::cout << cells_per_sec << " cells/s, "
+                << (identical ? "bit-identical" : "MISMATCH") << "\n";
+      std::cout.unsetf(std::ios::fixed);
+    };
+
+    record(tag + "/synchronous/w1", baseline);
+    const std::vector<std::size_t> ladder =
+        smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
+    for (const std::size_t workers : ladder) {
+      record(tag + "/pipelined/w" + std::to_string(workers),
+             run_config(spec, core::ExecutionMode::Pipelined, workers, 0));
+    }
+
+    // Counter rows: value * 1e6 bytes over 1e9 ns makes mb_per_s == the
+    // counter itself, checksummed against the baseline report — bench_diff
+    // gates the recovery trajectory alongside the wall clock.
+    const auto counter_row = [&](const char* name, std::uint64_t value) {
+      bench.add(tag + "/" + name, value * 1'000'000, 1'000'000'000, baseline.crc);
+      std::cout << "  " << tag << "/" << name << ": " << value << "\n";
+    };
+    counter_row("reopens", totals.net_reopens);
+    counter_row("breaker_opens", totals.breaker_opens);
+    counter_row("breaker_fast_fails", totals.breaker_fast_fails);
+    counter_row("sessions_dropped", totals.drm_sessions_dropped);
+    counter_row("recovery_ticks", totals.drm_recovery_ticks);
+    if (spec.cell_deadline_ticks != 0) {
+      counter_row("deadline_cancelled", totals.deadline_cancelled);
     }
     std::cout << "\n";
   }

@@ -102,13 +102,24 @@ class InlineWaitGate final : public support::SimClock::WaitObserver {
   const support::Pacer& pacer_;
 };
 
+/// The fault summary a deadline-cancelled cell lands with. Shared by both
+/// schedulers so the diffed report is mode-independent by construction.
+std::string deadline_summary(std::uint64_t now, std::uint64_t budget, const char* stage) {
+  return "deadline_exceeded: budget " + std::to_string(budget) +
+         " ticks spent at tick " + std::to_string(now) + " before stage " + stage;
+}
+
 /// One cell, end to end, against a private ecosystem. This is the whole
 /// WideLeak pipeline of report.cpp compressed to a single device vantage.
 /// The synchronous runner's unit of work; the pipelined runner executes
-/// the same sequence split across CellExecution's stage tasks.
+/// the same sequence split across CellExecution's stage tasks — including
+/// the deadline checks, which sit at the same stage boundaries in both
+/// modes (they read the cell's private SimClock, so whether a cell is
+/// cancelled is a pure function of its virtual timeline, never of the
+/// schedule).
 CellResult run_cell(const ott::OttAppProfile& app_profile,
                     const CampaignDeviceProfile& device_profile, std::uint64_t cell_seed,
-                    bool attempt_rip, const net::FaultPlan& fault_plan,
+                    const CampaignSpec& spec, const net::FaultPlan& fault_plan,
                     const support::Pacer* pacer) {
   // Presentation-only timing (stats lines, never diffed): the one approved
   // wall-clock doorway. Simulated time stays on the ecosystem's SimClock.
@@ -126,6 +137,9 @@ CellResult run_cell(const ott::OttAppProfile& app_profile,
   ott::EcosystemConfig config;
   config.seed = cell_seed;
   config.fault_plan = fault_plan;
+  config.service_chaos = spec.service_chaos;
+  config.breaker = spec.breaker;
+  config.deadline_tick = spec.cell_deadline_ticks;
   ott::StreamingEcosystem ecosystem(config);
   ecosystem.install_app(app_profile);
   auto device = ecosystem.make_device(
@@ -138,64 +152,96 @@ CellResult run_cell(const ott::OttAppProfile& app_profile,
     ecosystem.clock().set_wait_observer(&*gate);
   }
 
+  // Deadline budget: identical check points to the pipelined scheduler's
+  // stage-entry checks. Once expired the cell stays cancelled; the first
+  // firing writes the fault summary and the flag, later calls just report.
+  const std::uint64_t deadline = spec.cell_deadline_ticks;
+  bool cancelled = false;
+  auto past_deadline = [&](const char* stage) {
+    if (cancelled) return true;
+    if (deadline == 0) return false;
+    const std::uint64_t now = ecosystem.clock().now();
+    if (now < deadline) return false;
+    cancelled = true;
+    cell.outcome = CellOutcome::Partial;
+    cell.fault_summary = deadline_summary(now, deadline, stage);
+    cell.stats.deadline_cancelled = 1;
+    return true;
+  };
+
   try {
     // --- Instrumented playback: Q1 usage, Q2/Q3 audits off the harvest.
+    // The session is stepped explicitly (not via play_title) so the
+    // deadline is checked at the same per-stage boundaries as the
+    // pipelined runner's play tasks; with no deadline set the loop is
+    // exactly play_title.
     {
       DrmApiMonitor drm_monitor(*device);
       NetworkMonitor net_monitor(ecosystem.network(), ecosystem.fork_rng());
       ott::OttApp app(app_profile, ecosystem, *device);
       net_monitor.attach(app);
-      const ott::PlaybackOutcome outcome = app.play_title();
+      ott::PlaybackSession playback(app, ott::PlaybackRequest{});
+      while (!playback.done() && !past_deadline("play")) playback.step();
 
-      cell.usage = drm_monitor.usage_report();
-      cell.custom_drm_used =
-          outcome.used_custom_drm && outcome.played && !cell.usage.widevine_used;
-      cell.playback = classify_playback(outcome);
+      if (!past_deadline("audit")) {
+        const ott::PlaybackOutcome outcome = playback.take_outcome();
 
-      // Degraded-mode classification: a network-attributed abort makes the
-      // cell Partial; a below-request success makes it Degraded. Organic
-      // failures (denials, revocation) stay Full — the audit itself ran.
-      if (!outcome.played && outcome.net_error != ErrorCode::None) {
-        cell.outcome = CellOutcome::Partial;
-        cell.fault_summary = std::string(to_string(outcome.net_error)) + ": " +
-                             (outcome.net_error_detail.empty() ? outcome.failure
-                                                               : outcome.net_error_detail);
-      } else if (outcome.degraded) {
-        cell.outcome = CellOutcome::Degraded;
-        cell.fault_summary = outcome.degradation;
+        cell.usage = drm_monitor.usage_report();
+        cell.custom_drm_used =
+            outcome.used_custom_drm && outcome.played && !cell.usage.widevine_used;
+        cell.playback = classify_playback(outcome);
+
+        // Degraded-mode classification: a network-attributed abort makes the
+        // cell Partial; a below-request success makes it Degraded. Organic
+        // failures (denials, revocation) stay Full — the audit itself ran.
+        if (!outcome.played && outcome.net_error != ErrorCode::None) {
+          cell.outcome = CellOutcome::Partial;
+          cell.fault_summary = std::string(to_string(outcome.net_error)) + ": " +
+                               (outcome.net_error_detail.empty() ? outcome.failure
+                                                                 : outcome.net_error_detail);
+        } else if (outcome.degraded) {
+          cell.outcome = CellOutcome::Degraded;
+          cell.fault_summary = outcome.degradation;
+        }
+
+        const HarvestedManifest manifest = net_monitor.harvest_manifest(&drm_monitor);
+        if (manifest.mpd) {
+          net::TrustStore analyst_trust;
+          analyst_trust.add(ecosystem.root_ca());
+          AssetAuditor auditor(ecosystem.network(), std::move(analyst_trust),
+                               ecosystem.fork_rng());
+          cell.assets = auditor.audit(manifest);
+          cell.key_usage = audit_key_usage(manifest, cell.assets);
+        }
+
+        cell.stats.calls_hooked = drm_monitor.trace().size();
+        for (const hooking::CallRecord* record :
+             drm_monitor.trace().by_function("_oecc22_DecryptCENC")) {
+          cell.stats.bytes_decrypted += record->input.size();
+        }
+        cell.stats.pin_bypasses = net_monitor.pin_bypasses();
       }
-
-      const HarvestedManifest manifest = net_monitor.harvest_manifest(&drm_monitor);
-      if (manifest.mpd) {
-        net::TrustStore analyst_trust;
-        analyst_trust.add(ecosystem.root_ca());
-        AssetAuditor auditor(ecosystem.network(), std::move(analyst_trust),
-                             ecosystem.fork_rng());
-        cell.assets = auditor.audit(manifest);
-        cell.key_usage = audit_key_usage(manifest, cell.assets);
-      }
-
-      cell.stats.calls_hooked = drm_monitor.trace().size();
-      for (const hooking::CallRecord* record :
-           drm_monitor.trace().by_function("_oecc22_DecryptCENC")) {
-        cell.stats.bytes_decrypted += record->input.size();
-      }
-      cell.stats.pin_bypasses = net_monitor.pin_bypasses();
     }
 
     // --- Keybox recovery (CVE-2021-0639) from this cell's vantage: succeeds
     // exactly on CDMs with insecure keybox storage outside a TEE.
-    cell.keybox_recovered = recover_keybox(*device).success();
+    if (!past_deadline("keybox")) {
+      cell.keybox_recovered = recover_keybox(*device).success();
+    }
 
     // --- The §IV-D rip. Runs (and fails honestly) on every profile; only the
     // legacy rows are expected to yield media.
-    if (attempt_rip) {
+    if (spec.attempt_rip && !past_deadline("rip")) {
       ContentRipper ripper(ecosystem, *device);
-      RipResult rip = ripper.rip_app(app_profile);
-      cell.rip_success = rip.success;
-      cell.content_keys_recovered = rip.content_keys_recovered;
-      cell.rip_resolution = rip.best_video_resolution;
-      cell.stats.bytes_ripped = rip.drm_free_media.size();
+      RipSession rip(ripper, app_profile);
+      while (!rip.done() && !past_deadline("rip")) rip.step();
+      if (rip.done()) {
+        RipResult result = rip.take_result();
+        cell.rip_success = result.success;
+        cell.content_keys_recovered = result.content_keys_recovered;
+        cell.rip_resolution = result.best_video_resolution;
+        cell.stats.bytes_ripped = result.drm_free_media.size();
+      }
     }
   } catch (const Error& e) {
     // An injected fault surfaced as an exception past the retry layer (e.g.
@@ -221,10 +267,19 @@ CellResult run_cell(const ott::OttAppProfile& app_profile,
   const widevine::DrmServiceStats service = ecosystem.drm_service().stats();
   cell.stats.drm_sessions = static_cast<std::size_t>(service.sessions_opened);
   cell.stats.drm_evictions = static_cast<std::size_t>(service.sessions_evicted);
+  cell.stats.drm_sessions_dropped = static_cast<std::size_t>(service.chaos.sessions_dropped);
+  cell.stats.drm_shard_refusals = static_cast<std::size_t>(service.chaos.shard_refusals);
+  cell.stats.drm_load_shed = static_cast<std::size_t>(service.chaos.load_shed);
+  cell.stats.drm_brownout_denied = static_cast<std::size_t>(service.chaos.brownout_denied);
+  cell.stats.drm_recovery_ticks = static_cast<std::size_t>(service.chaos.recovery_ticks);
   const net::RetryStats& retry = ecosystem.retry_stats();
   cell.stats.net_attempts = static_cast<std::size_t>(retry.attempts);
   cell.stats.net_retries = static_cast<std::size_t>(retry.retries);
   cell.stats.net_giveups = static_cast<std::size_t>(retry.giveups);
+  cell.stats.net_reopens = static_cast<std::size_t>(retry.reopens);
+  const net::CircuitBreakerStats breaker = ecosystem.breaker().stats();
+  cell.stats.breaker_opens = static_cast<std::size_t>(breaker.opens);
+  cell.stats.breaker_fast_fails = static_cast<std::size_t>(breaker.fast_fails);
   cell.stats.faults_injected = static_cast<std::size_t>(ecosystem.fault_stats().total_faults());
   cell.stats.sim_waits = static_cast<std::size_t>(ecosystem.clock().waits());
   cell.stats.sim_wait_ticks = static_cast<std::size_t>(ecosystem.clock().wait_ticks());
@@ -327,7 +382,7 @@ struct CellExecution final : public support::SimClock::WaitObserver {
   // Immutable cell identity.
   const PlannedCell* plan = nullptr;
   std::size_t index = 0;
-  bool attempt_rip = true;
+  const CampaignSpec* spec = nullptr;
   const net::FaultPlan* fault_plan = nullptr;
   TaskQueue* queue = nullptr;
 
@@ -368,6 +423,24 @@ struct CellExecution final : public support::SimClock::WaitObserver {
     busy_ms += timer.elapsed_ms();
   }
 
+  /// Stage-entry deadline check — the pipelined twin of run_cell's
+  /// past_deadline lambda, at the same boundaries. On expiry the cell is
+  /// cancelled: `failed` makes every later guarded stage a no-op (the
+  /// unconditional flush still runs) and the queue releases any timer-wheel
+  /// obligation the cell would otherwise park.
+  bool check_deadline(const char* stage) {
+    const std::uint64_t deadline = spec->cell_deadline_ticks;
+    if (deadline == 0) return false;
+    const std::uint64_t now = ecosystem->clock().now();
+    if (now < deadline) return false;
+    cell.outcome = CellOutcome::Partial;
+    cell.fault_summary = deadline_summary(now, deadline, stage);
+    cell.stats.deadline_cancelled = 1;
+    failed = true;
+    queue->cancel_cell_waits(index);
+    return true;
+  }
+
   void setup() {
     cell.app = *plan->app;
     cell.profile_name = plan->profile->name;
@@ -376,6 +449,9 @@ struct CellExecution final : public support::SimClock::WaitObserver {
     ott::EcosystemConfig config;
     config.seed = plan->seed;
     config.fault_plan = *fault_plan;
+    config.service_chaos = spec->service_chaos;
+    config.breaker = spec->breaker;
+    config.deadline_tick = spec->cell_deadline_ticks;
     ecosystem = std::make_unique<ott::StreamingEcosystem>(config);
     ecosystem->install_app(*plan->app);
     device = ecosystem->make_device(
@@ -394,11 +470,13 @@ struct CellExecution final : public support::SimClock::WaitObserver {
 
   void play_step() {
     if (playback->done()) return;
+    if (check_deadline("play")) return;
     queue->trace_note(index, playback->stage_name());
     playback->step();
   }
 
   void audit() {
+    if (check_deadline("audit")) return;
     // kMaxSteps play tasks always complete the session; the loop is a
     // no-cost guarantee, not an expected path.
     while (!playback->done()) playback->step();
@@ -444,15 +522,20 @@ struct CellExecution final : public support::SimClock::WaitObserver {
     drm_monitor.reset();
   }
 
-  void keybox() { cell.keybox_recovered = recover_keybox(*device).success(); }
+  void keybox() {
+    if (check_deadline("keybox")) return;
+    cell.keybox_recovered = recover_keybox(*device).success();
+  }
 
   void rip_step() {
-    if (!attempt_rip) return;
+    if (!spec->attempt_rip) return;
     if (!ripper) {
+      if (check_deadline("rip")) return;
       ripper = std::make_unique<ContentRipper>(*ecosystem, *device);
       rip = std::make_unique<RipSession>(*ripper, *plan->app);
     }
     if (!rip->done()) {
+      if (check_deadline("rip")) return;
       queue->trace_note(index, rip->phase_name());
       rip->step();
     }
@@ -486,10 +569,19 @@ struct CellExecution final : public support::SimClock::WaitObserver {
     const widevine::DrmServiceStats service = ecosystem->drm_service().stats();
     cell.stats.drm_sessions = static_cast<std::size_t>(service.sessions_opened);
     cell.stats.drm_evictions = static_cast<std::size_t>(service.sessions_evicted);
+    cell.stats.drm_sessions_dropped = static_cast<std::size_t>(service.chaos.sessions_dropped);
+    cell.stats.drm_shard_refusals = static_cast<std::size_t>(service.chaos.shard_refusals);
+    cell.stats.drm_load_shed = static_cast<std::size_t>(service.chaos.load_shed);
+    cell.stats.drm_brownout_denied = static_cast<std::size_t>(service.chaos.brownout_denied);
+    cell.stats.drm_recovery_ticks = static_cast<std::size_t>(service.chaos.recovery_ticks);
     const net::RetryStats& retry = ecosystem->retry_stats();
     cell.stats.net_attempts = static_cast<std::size_t>(retry.attempts);
     cell.stats.net_retries = static_cast<std::size_t>(retry.retries);
     cell.stats.net_giveups = static_cast<std::size_t>(retry.giveups);
+    cell.stats.net_reopens = static_cast<std::size_t>(retry.reopens);
+    const net::CircuitBreakerStats breaker = ecosystem->breaker().stats();
+    cell.stats.breaker_opens = static_cast<std::size_t>(breaker.opens);
+    cell.stats.breaker_fast_fails = static_cast<std::size_t>(breaker.fast_fails);
     cell.stats.faults_injected =
         static_cast<std::size_t>(ecosystem->fault_stats().total_faults());
     cell.stats.sim_waits = static_cast<std::size_t>(ecosystem->clock().waits());
@@ -497,7 +589,14 @@ struct CellExecution final : public support::SimClock::WaitObserver {
     flush_worker = TaskQueue::current_worker();
 
     // Tear the private world down now (not at campaign end) so peak memory
-    // tracks in-flight cells, not matrix size.
+    // tracks in-flight cells, not matrix size. A cell cancelled mid-play
+    // skipped audit's teardown, so the playback chain may still be alive
+    // here — it borrows the app, which borrows device and ecosystem, so
+    // the borrowers go strictly first.
+    playback.reset();
+    app.reset();
+    net_monitor.reset();
+    drm_monitor.reset();
     rip.reset();
     ripper.reset();
     device.reset();
@@ -524,9 +623,18 @@ void accumulate(CellStats& total, const CellStats& cell) {
   total.net_attempts += cell.net_attempts;
   total.net_retries += cell.net_retries;
   total.net_giveups += cell.net_giveups;
+  total.net_reopens += cell.net_reopens;
   total.faults_injected += cell.faults_injected;
   total.sim_waits += cell.sim_waits;
   total.sim_wait_ticks += cell.sim_wait_ticks;
+  total.breaker_opens += cell.breaker_opens;
+  total.breaker_fast_fails += cell.breaker_fast_fails;
+  total.drm_sessions_dropped += cell.drm_sessions_dropped;
+  total.drm_shard_refusals += cell.drm_shard_refusals;
+  total.drm_load_shed += cell.drm_load_shed;
+  total.drm_brownout_denied += cell.drm_brownout_denied;
+  total.drm_recovery_ticks += cell.drm_recovery_ticks;
+  total.deadline_cancelled += cell.deadline_cancelled;
 }
 
 std::string pad(const std::string& s, std::size_t width) {
@@ -595,7 +703,7 @@ CampaignResult CampaignRunner::run() {
       CellExecution* cell = cells.back().get();
       cell->plan = &planned[i];
       cell->index = i;
-      cell->attempt_rip = spec_.attempt_rip;
+      cell->spec = &spec_;
       cell->fault_plan = &fault_plan;
       cell->queue = &queue;
 
@@ -639,7 +747,7 @@ CampaignResult CampaignRunner::run() {
     const support::Pacer pacer(spec_.pacing);
     for (std::size_t i = 0; i < planned.size(); ++i) {
       result.cells[i] = run_cell(*planned[i].app, *planned[i].profile, planned[i].seed,
-                                 spec_.attempt_rip, fault_plan, &pacer);
+                                 spec_, fault_plan, &pacer);
     }
     result.stats.cells_per_worker[0] = planned.size();
   } else {
@@ -664,7 +772,7 @@ CampaignResult CampaignRunner::run() {
         // Cell results still go into per-index pre-sized slots — no lock on
         // the payload path; only the telemetry counters share state.
         result.cells[*index] = run_cell(*cell.app, *cell.profile, cell.seed,
-                                        spec_.attempt_rip, fault_plan, &pacer);
+                                        spec_, fault_plan, &pacer);
         schedule.record_cell(me);
       }
     };
@@ -750,6 +858,16 @@ std::string render_campaign_report(const CampaignResult& result) {
   out << "net: " << totals.net_attempts << " attempts, " << totals.net_retries
       << " retries, " << totals.net_giveups << " giveups; faults injected "
       << totals.faults_injected << "\n";
+  // Resilience counters are part of the diffed report on purpose: the
+  // worker-sweep CRC equality the benches assert therefore covers breaker
+  // trips, session reopens and chaos recovery, not just cell verdicts.
+  out << "resilience: " << totals.net_reopens << " reopens, breaker "
+      << totals.breaker_opens << " opens / " << totals.breaker_fast_fails
+      << " fast-fails; service chaos " << totals.drm_sessions_dropped
+      << " sessions dropped, " << totals.drm_shard_refusals << " shard refusals, "
+      << totals.drm_load_shed << " shed, " << totals.drm_brownout_denied
+      << " brownout denials, recovery " << totals.drm_recovery_ticks << " ticks; "
+      << totals.deadline_cancelled << " cells past deadline\n";
   return out.str();
 }
 
@@ -785,7 +903,8 @@ std::string render_campaign_stats(const CampaignResult& result) {
         << " helped), " << pipeline.fence_stalls << " fence stalls, " << pipeline.waits
         << " waits parked (" << pipeline.wait_ticks << " ticks, max "
         << pipeline.max_parked << " concurrent), " << pipeline.timer_wakeups
-        << " timer wakeups\n";
+        << " timer wakeups, " << pipeline.cells_cancelled << " cells cancelled ("
+        << pipeline.waits_cancelled << " waits released)\n";
   }
   return out.str();
 }

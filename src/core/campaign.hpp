@@ -28,8 +28,10 @@
 
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "net/circuit_breaker.hpp"
 #include "net/fault.hpp"
 #include "support/timer_wheel.hpp"
+#include "widevine/chaos.hpp"
 
 namespace wideleak::core {
 
@@ -92,6 +94,27 @@ struct CampaignSpec {
   /// this to shape faults per host, e.g. latency on one cell only).
   std::optional<net::FaultPlan> fault_plan;
 
+  /// Server-side chaos axis: the DrmService fault plan applied inside every
+  /// cell's private service (shard crash/restart windows, license-server
+  /// brownouts, overload shedding). Same contract as the network axis: NOT
+  /// part of the cell label, so the default empty plan reproduces the
+  /// pre-chaos report bit for bit and a plan differs only where a fault
+  /// actually fired.
+  widevine::ChaosPlan service_chaos;
+
+  /// Client-side circuit breaker wrapped around every cell's retry layer.
+  /// Default threshold 0 leaves it disabled (no state machine, no draws).
+  net::CircuitBreakerConfig breaker;
+
+  /// Per-cell deadline budget in simulated ticks (0 = none). A cell whose
+  /// private SimClock reaches this tick is cancelled at the next stage
+  /// boundary: remaining stages are skipped, pending timer-wheel waits are
+  /// released, and the cell lands as Partial with a deadline_exceeded fault
+  /// summary — its counters still flush exactly once. The budget also
+  /// propagates into the retry layer, which abandons a backoff that would
+  /// land past the deadline.
+  std::uint64_t cell_deadline_ticks = 0;
+
   /// Scheduling strategy; Pipelined is the default (and is bit-identical
   /// to Synchronous on every diffed output).
   ExecutionMode mode = ExecutionMode::Pipelined;
@@ -136,9 +159,21 @@ struct CellStats {
   std::size_t net_attempts = 0;      // transport attempts through the retry layer
   std::size_t net_retries = 0;       // re-sends after a retryable failure
   std::size_t net_giveups = 0;       // retry budgets exhausted without success
+  std::size_t net_reopens = 0;       // retries that re-established service state
   std::size_t faults_injected = 0;   // faults the cell's network actually fired
   std::size_t sim_waits = 0;         // SimClock waits (latency, backoff) in the cell
   std::size_t sim_wait_ticks = 0;    // simulated ticks spent in those waits
+
+  // Resilience accounting (all zero unless the spec arms the matching
+  // feature — server chaos, the breaker, or a deadline budget).
+  std::size_t breaker_opens = 0;        // circuit transitions into Open
+  std::size_t breaker_fast_fails = 0;   // requests refused while Open
+  std::size_t drm_sessions_dropped = 0; // sessions lost to shard crash windows
+  std::size_t drm_shard_refusals = 0;   // requests refused by a down shard
+  std::size_t drm_load_shed = 0;        // requests shed by overload protection
+  std::size_t drm_brownout_denied = 0;  // brownout-window license denials
+  std::size_t drm_recovery_ticks = 0;   // first-proceed latency after crash windows
+  std::size_t deadline_cancelled = 0;   // 1 when the cell's deadline budget expired
 };
 
 /// Everything measured for one (app, device profile, CDM version) cell.

@@ -166,6 +166,20 @@ void TaskQueue::drain(FenceId until) {
   done_ = false;
 }
 
+void TaskQueue::cancel_cell_waits(std::size_t cell) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (cell >= cancelled_.size()) cancelled_.resize(cell + 1, 0);
+  if (cancelled_[cell]) return;
+  cancelled_[cell] = 1;
+  ++stats_.cells_cancelled;
+  if (record_trace_) record_locked(TraceEvent::Kind::Note, cell, "cancelled", 0);
+}
+
+bool TaskQueue::cell_cancelled(std::size_t cell) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cell < cancelled_.size() && cancelled_[cell] != 0;
+}
+
 void TaskQueue::wait_ticks(std::size_t cell, std::uint64_t ticks) {
   std::unique_lock<std::mutex> lock(mutex_);
   ++stats_.waits;
@@ -176,6 +190,14 @@ void TaskQueue::wait_ticks(std::size_t cell, std::uint64_t ticks) {
   if (cell >= wait_debt_.size()) wait_debt_.resize(cell + 1, 0);
   wait_debt_[cell] += ticks;
   if (record_trace_) record_locked(TraceEvent::Kind::WaitBegin, cell, {}, ticks);
+  if (cell < cancelled_.size() && cancelled_[cell] != 0) {
+    // A cancelled cell's waits are virtual-only no matter the pacing mode:
+    // the SimClock advance (determinism) already happened, but no wall
+    // obligation is parked — the cell is being torn down, not played out.
+    ++stats_.waits_cancelled;
+    if (record_trace_) record_locked(TraceEvent::Kind::WaitEnd, cell, {}, 0);
+    return;
+  }
   if (!pacing_.enabled()) {
     // Unpaced waits cost nothing on the wall clock (the historical
     // behaviour): the virtual advance already happened in SimClock.

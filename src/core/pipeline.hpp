@@ -64,6 +64,8 @@ struct PipelineStats {
   std::uint64_t wait_ticks = 0;     // total simulated ticks across those waits
   std::uint64_t timer_wakeups = 0;  // timer-wheel deadline expirations served
   std::size_t max_parked = 0;       // high-water mark of concurrently parked waits
+  std::uint64_t cells_cancelled = 0;  // cancel_cell_waits() calls (deadline expiry)
+  std::uint64_t waits_cancelled = 0;  // waits skipped because the cell was cancelled
 };
 
 /// One scheduler event, recorded when the spec asks for a trace. The global
@@ -112,6 +114,16 @@ class TaskQueue {
   /// timer wheel and runs other ready tasks (bounded nesting) until it
   /// matures — the worker never idles while runnable work exists.
   void wait_ticks(std::size_t cell, std::uint64_t ticks);
+
+  /// Mark a cell cancelled (its deadline budget expired). Subsequent
+  /// wait_ticks() calls from that cell stop parking on the timer wheel —
+  /// the virtual advance already happened in SimClock, but a cancelled
+  /// cell owes the wall clock nothing, so its remaining stages drain as
+  /// fast as the workers can skip them. Idempotent.
+  void cancel_cell_waits(std::size_t cell);
+
+  /// Whether cancel_cell_waits() was called for `cell`.
+  bool cell_cancelled(std::size_t cell) const;
 
   /// Drop a Note event into the trace (no-op unless tracing). Stages use
   /// this to mark dynamic sub-stage labels ("video", "rip/recover"...).
@@ -177,6 +189,7 @@ class TaskQueue {
   std::vector<Fence> fences_ WL_GUARDED_BY(mutex_);
   std::set<ReadyEntry> ready_ WL_GUARDED_BY(mutex_);  // ordered: most-waiting cell first
   std::vector<std::uint64_t> wait_debt_ WL_GUARDED_BY(mutex_);  // per-cell sim ticks waited
+  std::vector<char> cancelled_ WL_GUARDED_BY(mutex_);  // per-cell cancellation flags
   support::TimerWheel wheel_ WL_GUARDED_BY(mutex_);
   PipelineStats stats_ WL_GUARDED_BY(mutex_);
   std::vector<TraceEvent> trace_ WL_GUARDED_BY(mutex_);

@@ -1,0 +1,83 @@
+#include "net/circuit_breaker.hpp"
+
+namespace wideleak::net {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::Closed:
+      return "closed";
+    case BreakerState::Open:
+      return "open";
+    case BreakerState::HalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::allow(const std::string& host) {
+  if (!config_.enabled()) return true;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Host& entry = hosts_[host];
+  switch (entry.state) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::Open:
+      if (now() >= entry.opened_at + config_.open_ticks) {
+        entry.state = BreakerState::HalfOpen;
+        entry.probe_successes = 0;
+        ++stats_.probes;
+        return true;
+      }
+      ++stats_.fast_fails;
+      return false;
+    case BreakerState::HalfOpen:
+      ++stats_.probes;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record(const std::string& host, bool success) {
+  if (!config_.enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Host& entry = hosts_[host];
+  if (success) {
+    entry.consecutive_failures = 0;
+    if (entry.state == BreakerState::HalfOpen &&
+        ++entry.probe_successes >= config_.close_successes) {
+      entry.state = BreakerState::Closed;
+      entry.probe_successes = 0;
+      ++stats_.closes;
+    }
+    return;
+  }
+  if (entry.state == BreakerState::HalfOpen) {
+    // A failed probe re-opens immediately: the host is still down, restart
+    // the cool-off from now.
+    entry.state = BreakerState::Open;
+    entry.opened_at = now();
+    entry.consecutive_failures = 0;
+    ++stats_.opens;
+    return;
+  }
+  if (entry.state == BreakerState::Closed &&
+      ++entry.consecutive_failures >= config_.failure_threshold) {
+    entry.state = BreakerState::Open;
+    entry.opened_at = now();
+    entry.consecutive_failures = 0;
+    ++stats_.opens;
+  }
+}
+
+BreakerState CircuitBreaker::state_of(const std::string& host) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = hosts_.find(host);
+  return it == hosts_.end() ? BreakerState::Closed : it->second.state;
+}
+
+CircuitBreakerStats CircuitBreaker::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace wideleak::net

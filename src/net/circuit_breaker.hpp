@@ -1,0 +1,90 @@
+// Per-host circuit breaker for the client request path. When a host fails
+// `failure_threshold` times in a row the breaker opens and subsequent
+// requests fast-fail with ErrorCode::CircuitOpen instead of burning the
+// retry budget against a crashed shard. After `open_ticks` of SimClock time
+// the breaker admits one probe (half-open); `close_successes` consecutive
+// probe successes close it again, any probe failure re-opens it.
+//
+// Determinism: state transitions are a pure function of the request/result
+// sequence and SimClock timestamps — no rng, no wall clock — so a campaign
+// cell's breaker behaves identically at any worker count and in either
+// scheduler mode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "support/annotations.hpp"
+#include "support/sim_clock.hpp"
+
+namespace wideleak::net {
+
+enum class BreakerState { Closed, Open, HalfOpen };
+
+const char* to_string(BreakerState state);
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures on one host that trip the breaker. 0 disables the
+  /// breaker entirely (the default — behaviour-neutral wiring).
+  std::size_t failure_threshold = 0;
+  /// SimClock ticks the breaker stays open before admitting a probe.
+  std::uint64_t open_ticks = 64;
+  /// Consecutive half-open successes required to close again.
+  std::size_t close_successes = 1;
+
+  bool enabled() const { return failure_threshold != 0; }
+};
+
+/// Cumulative transition counters across all hosts (snapshot).
+struct CircuitBreakerStats {
+  std::uint64_t opens = 0;       // Closed/HalfOpen -> Open transitions
+  std::uint64_t closes = 0;      // HalfOpen -> Closed transitions
+  std::uint64_t fast_fails = 0;  // requests refused while Open
+  std::uint64_t probes = 0;      // requests admitted in HalfOpen
+};
+
+/// Thread-safe per-host breaker bank. One instance per ecosystem; the lock
+/// is uncontended in campaign use (each cell owns a private ecosystem) but
+/// the annotations keep the cross-cell sharing option honest.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(const CircuitBreakerConfig& config, const support::SimClock* clock)
+      : config_(config), clock_(clock) {}
+
+  bool enabled() const { return config_.enabled(); }
+
+  /// Gate one request. True = issue it (Closed, or admitted as a probe);
+  /// false = fast-fail with CircuitOpen. May transition Open -> HalfOpen
+  /// when the probe timer has elapsed.
+  bool allow(const std::string& host);
+
+  /// Report the outcome of an issued request (transport + validation).
+  void record(const std::string& host, bool success);
+
+  BreakerState state_of(const std::string& host) const;
+  CircuitBreakerStats stats() const;
+
+ private:
+  struct Host {
+    BreakerState state = BreakerState::Closed;
+    std::size_t consecutive_failures = 0;
+    std::size_t probe_successes = 0;
+    std::uint64_t opened_at = 0;
+  };
+
+  std::uint64_t now() const { return clock_ != nullptr ? clock_->now() : 0; }
+
+  CircuitBreakerConfig config_;
+  const support::SimClock* clock_ = nullptr;
+
+  mutable std::mutex mutex_;
+  // std::map, not unordered_map: stats iteration order (if ever rendered
+  // per-host) stays deterministic.
+  std::map<std::string, Host> hosts_ WL_GUARDED_BY(mutex_);
+  CircuitBreakerStats stats_ WL_GUARDED_BY(mutex_);
+};
+
+}  // namespace wideleak::net

@@ -13,10 +13,21 @@ std::uint64_t RetryPolicy::backoff_for(int retry) const {
 TlsExchangeResult request_with_retry(TlsClient& client, const std::string& host,
                                      const HttpRequest& req, const RetryPolicy& policy,
                                      Rng& rng, support::SimClock* clock, RetryStats& stats,
-                                     const ResponseValidator& validate) {
+                                     const ResponseValidator& validate,
+                                     CircuitBreaker* breaker) {
   TlsExchangeResult result;
   const int budget = std::max(1, policy.max_attempts);
   for (int attempt = 1; attempt <= budget; ++attempt) {
+    if (breaker != nullptr && !breaker->allow(host)) {
+      // Fast-fail: the breaker tripped on this host. CircuitOpen is
+      // deliberately terminal, so the caller lands in the same degraded
+      // accounting as an exhausted budget — without issuing the attempt,
+      // drawing jitter, or sleeping.
+      result = TlsExchangeResult{};
+      result.error = ErrorCode::CircuitOpen;
+      result.error_detail = "circuit open for " + host;
+      return result;
+    }
     stats.attempts++;
     result = client.request(host, req);
     if (result.error == ErrorCode::None && validate && result.response &&
@@ -27,11 +38,22 @@ TlsExchangeResult request_with_retry(TlsClient& client, const std::string& host,
                               std::string(to_string(code)) + ")";
       }
     }
+    if (breaker != nullptr) breaker->record(host, result.error == ErrorCode::None);
     if (result.error == ErrorCode::None || !is_retryable(result.error)) return result;
     if (attempt == budget) break;
-    stats.retries++;
     const std::uint64_t backoff = policy.backoff_for(attempt);
     const std::uint64_t jitter = rng.next_u64() % std::max<std::uint64_t>(1, policy.base_backoff_ticks);
+    if (policy.deadline_tick != 0 && clock != nullptr &&
+        clock->now() + backoff + jitter >= policy.deadline_tick) {
+      // The backoff would sleep past the cell's deadline: abandon the
+      // request now (counted as a giveup) and leave the clock where it is,
+      // so the cell cancels at its next stage boundary instead of burning
+      // ticks it no longer has. The jitter draw above still happened —
+      // the rng stream position stays a pure function of the retry count.
+      break;
+    }
+    stats.retries++;
+    if (is_reopen_cycle(result.error)) stats.reopens++;
     // A *wait*, not a bookkeeping advance: sleep() routes the deadline to
     // the scheduler's timer wheel (when one is attached) so a pipelined
     // campaign worker can run other cells' CPU stages instead of stalling.

@@ -7,6 +7,7 @@
 #include <functional>
 #include <string>
 
+#include "net/circuit_breaker.hpp"
 #include "net/http.hpp"
 #include "net/network.hpp"
 #include "support/errors.hpp"
@@ -20,6 +21,10 @@ struct RetryPolicy {
   int max_attempts = 4;                   // total tries, including the first
   std::uint64_t base_backoff_ticks = 8;   // backoff before retry n: base * 2^(n-1)
   std::uint64_t max_backoff_ticks = 128;  // cap on the exponential term
+  /// Absolute SimClock deadline (0 = none). A retry whose backoff would
+  /// land at or past the deadline is abandoned instead of slept: the
+  /// remaining budget belongs to the cell, not to this request.
+  std::uint64_t deadline_tick = 0;
 
   /// Backoff (before jitter) preceding retry number `retry` (1-based).
   std::uint64_t backoff_for(int retry) const;
@@ -31,6 +36,9 @@ struct RetryStats {
   std::uint64_t attempts = 0;  // exchanges issued (first tries + retries)
   std::uint64_t retries = 0;   // re-issues after a retryable failure
   std::uint64_t giveups = 0;   // budgets exhausted with no success
+  std::uint64_t reopens = 0;   // retries that are reopen cycles: the service
+                               // invalidated/refused held state (SessionInvalid,
+                               // RateLimited) and the retry re-establishes it
 };
 
 /// Optional application-payload check run on transport-successful 2xx
@@ -45,10 +53,15 @@ using ResponseValidator = std::function<ErrorCode(const HttpResponse&)>;
 /// budget runs out. Backoff advances `clock` (if non-null) by
 /// exponential-plus-jitter ticks, with jitter drawn from `rng` — one draw
 /// per retry, so the rng stream position is a pure function of the retry
-/// count. Returns the last exchange result (successful or not).
+/// count (the draw happens even when the deadline then abandons the retry,
+/// keeping the stream aligned across deadline configurations). An enabled
+/// `breaker` gates every attempt: an open host fast-fails the whole request
+/// with CircuitOpen before any attempt or draw. Returns the last exchange
+/// result (successful or not).
 TlsExchangeResult request_with_retry(TlsClient& client, const std::string& host,
                                      const HttpRequest& req, const RetryPolicy& policy,
                                      Rng& rng, support::SimClock* clock, RetryStats& stats,
-                                     const ResponseValidator& validate = {});
+                                     const ResponseValidator& validate = {},
+                                     CircuitBreaker* breaker = nullptr);
 
 }  // namespace wideleak::net

@@ -7,7 +7,7 @@
 namespace wideleak::ott {
 
 StreamingEcosystem::StreamingEcosystem(const EcosystemConfig& config)
-    : config_(config), rng_(config.seed) {
+    : config_(config), rng_(config.seed), breaker_(config.breaker, &clock_) {
   root_ca_ = std::make_unique<net::CertificateAuthority>("wideleak-root-ca", rng_,
                                                          config_.tls_key_bits);
   roots_ = std::make_shared<widevine::DeviceRootDatabase>();
@@ -18,8 +18,11 @@ StreamingEcosystem::StreamingEcosystem(const EcosystemConfig& config)
   // (consumes nothing from the main stream) and its default config is
   // permissive — no capacity, quota or rate limits — so the serving
   // behaviour and every rng draw sequence are unchanged by the wiring.
+  // The chaos plan rides the same config; the default empty plan (and the
+  // default-disabled breaker above) keep the wiring behaviour-neutral.
   widevine::DrmServiceConfig service_config;
   service_config.seed = derive_seed("drm-service");
+  service_config.chaos = config_.service_chaos;
   drm_service_ = std::make_shared<widevine::DrmService>(license_server_, provisioning_server_,
                                                         service_config, &clock_);
 }

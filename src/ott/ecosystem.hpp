@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "android/device.hpp"
+#include "net/circuit_breaker.hpp"
 #include "net/fault.hpp"
 #include "net/network.hpp"
 #include "net/proxy.hpp"
@@ -31,6 +32,16 @@ struct EcosystemConfig {
   /// (empty) plan wraps nothing: the ecosystem is rng-draw-for-draw
   /// identical to one built before fault injection existed.
   net::FaultPlan fault_plan;
+  /// Server-side chaos schedule for the shared DrmService. The default
+  /// (empty) plan is chaos-off and draw-for-draw neutral.
+  widevine::ChaosPlan service_chaos;
+  /// Per-host circuit breaker for every client request routed through
+  /// OttApp::exchange. Default-disabled (failure_threshold == 0).
+  net::CircuitBreakerConfig breaker;
+  /// Absolute SimClock deadline every retry loop in this ecosystem
+  /// respects (0 = none). Campaign cells set this to their deadline budget
+  /// so in-flight requests stop backing off once the cell is out of time.
+  std::uint64_t deadline_tick = 0;
 };
 
 class StreamingEcosystem {
@@ -92,6 +103,12 @@ class StreamingEcosystem {
   /// the license/provisioning server stats).
   net::RetryStats& retry_stats() { return retry_stats_; }
 
+  /// Shared per-host circuit breaker (disabled unless configured).
+  net::CircuitBreaker& breaker() { return breaker_; }
+
+  /// The deadline every retry policy in this ecosystem inherits (0 = none).
+  std::uint64_t deadline_tick() const { return config_.deadline_tick; }
+
  private:
   EcosystemConfig config_;
   Rng rng_;
@@ -106,6 +123,7 @@ class StreamingEcosystem {
   std::map<std::string, media::PackagedTitle> titles_;
   std::vector<std::shared_ptr<net::FaultyEndpoint>> injectors_;
   net::RetryStats retry_stats_;
+  net::CircuitBreaker breaker_{net::CircuitBreakerConfig{}, nullptr};
 };
 
 }  // namespace wideleak::ott

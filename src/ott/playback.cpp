@@ -4,10 +4,37 @@
 
 #include "ott/custom_drm.hpp"
 #include "support/log.hpp"
+#include "widevine/chaos.hpp"
 
 namespace wideleak::ott {
 
 namespace {
+
+/// License-payload validator: malformed bodies are retryable corruption, and
+/// denials minted by the DrmService itself (shard restarting, overload,
+/// brownout) classify as retryable-after-reopen — the next attempt reopens
+/// the content-derived session transparently. Organic denials (revocation,
+/// policy) return None and flow to the caller as authoritative.
+ErrorCode validate_license_payload(const net::HttpResponse& r) {
+  try {
+    const auto response = widevine::LicenseResponse::deserialize(r.body);
+    if (!response.granted) return widevine::classify_service_refusal(response.deny_reason);
+    return ErrorCode::None;
+  } catch (const ParseError&) {
+    return ErrorCode::MalformedPayload;
+  }
+}
+
+/// Same contract for provisioning responses.
+ErrorCode validate_provisioning_payload(const net::HttpResponse& r) {
+  try {
+    const auto response = widevine::ProvisioningResponse::deserialize(r.body);
+    if (!response.granted) return widevine::classify_service_refusal(response.deny_reason);
+    return ErrorCode::None;
+  } catch (const ParseError&) {
+    return ErrorCode::MalformedPayload;
+  }
+}
 
 /// Split a comma-separated header value.
 std::vector<std::string> split_csv(const std::string& value) {
@@ -47,9 +74,15 @@ OttApp::OttApp(OttAppProfile profile, StreamingEcosystem& ecosystem, android::De
 
 net::TlsExchangeResult OttApp::exchange(const std::string& host, const net::HttpRequest& req,
                                         const net::ResponseValidator& validate) {
-  const auto result = net::request_with_retry(tls_, host, req, retry_policy_, retry_rng_,
+  // Every request inherits the ecosystem's deadline (the cell's budget) and
+  // breaker bank; both default off, leaving the policy byte-identical.
+  net::RetryPolicy policy = retry_policy_;
+  policy.deadline_tick = ecosystem_.deadline_tick();
+  net::CircuitBreaker* breaker =
+      ecosystem_.breaker().enabled() ? &ecosystem_.breaker() : nullptr;
+  const auto result = net::request_with_retry(tls_, host, req, policy, retry_rng_,
                                               &ecosystem_.clock(), ecosystem_.retry_stats(),
-                                              validate);
+                                              validate, breaker);
   last_net_error_ = result.error;
   last_net_error_detail_ = result.error_detail;
   return result;
@@ -86,14 +119,7 @@ bool OttApp::ensure_provisioned(PlaybackOutcome& outcome) {
   http.method = "POST";
   http.path = "/provision";
   http.body = request;
-  const auto result = exchange(profile_.backend_host(), http, [](const net::HttpResponse& r) {
-    try {
-      widevine::ProvisioningResponse::deserialize(r.body);
-      return ErrorCode::None;
-    } catch (const ParseError&) {
-      return ErrorCode::MalformedPayload;
-    }
-  });
+  const auto result = exchange(profile_.backend_host(), http, validate_provisioning_payload);
   if (!result.ok()) {
     outcome.provisioning_error = "provisioning transport failure (" + result.error_detail + ")";
     outcome.net_error = result.error;
@@ -174,14 +200,7 @@ std::optional<media::Mpd> OttApp::fetch_manifest(PlaybackOutcome& outcome) {
   lic.path = "/license";
   lic.headers["authorization"] = auth_token_;
   lic.body = key_request;
-  const auto lic_result = exchange(profile_.backend_host(), lic, [](const net::HttpResponse& r) {
-    try {
-      widevine::LicenseResponse::deserialize(r.body);
-      return ErrorCode::None;
-    } catch (const ParseError&) {
-      return ErrorCode::MalformedPayload;
-    }
-  });
+  const auto lic_result = exchange(profile_.backend_host(), lic, validate_license_payload);
   if (!lic_result.ok()) {
     outcome.failure = "secure-channel license fetch failed (" + lic_result.error_detail + ")";
     outcome.net_error = lic_result.error;
@@ -367,14 +386,7 @@ void PlaybackSession::step_license() {
   lic.headers["authorization"] = app_.auth_token_;
   lic.body = key_request;
   const auto lic_result =
-      app_.exchange(app_.profile_.backend_host(), lic, [](const net::HttpResponse& r) {
-        try {
-          widevine::LicenseResponse::deserialize(r.body);
-          return ErrorCode::None;
-        } catch (const ParseError&) {
-          return ErrorCode::MalformedPayload;
-        }
-      });
+      app_.exchange(app_.profile_.backend_host(), lic, validate_license_payload);
   if (!lic_result.ok()) {
     outcome_.license_error = "license transport failure (" + lic_result.error_detail + ")";
     outcome_.net_error = lic_result.error;
@@ -602,6 +614,7 @@ void PlaybackSession::step_finish() {
   outcome_.net_attempts = now.attempts - net_before_.attempts;
   outcome_.net_retries = now.retries - net_before_.retries;
   outcome_.net_giveups = now.giveups - net_before_.giveups;
+  outcome_.net_reopens = now.reopens - net_before_.reopens;
   step_ = Step::Done;
 }
 

@@ -58,6 +58,7 @@ struct PlaybackOutcome {
   std::uint64_t net_attempts = 0;
   std::uint64_t net_retries = 0;
   std::uint64_t net_giveups = 0;
+  std::uint64_t net_reopens = 0;  // retries that re-established service state
 
   /// Terminal transport/validation error that aborted playback — None when
   /// playback succeeded or failed for an application-level reason (license

@@ -22,6 +22,12 @@ const char* to_string(ErrorCode code) {
       return "malformed-payload";
     case ErrorCode::Denied:
       return "denied";
+    case ErrorCode::SessionInvalid:
+      return "session-invalid";
+    case ErrorCode::RateLimited:
+      return "rate-limited";
+    case ErrorCode::CircuitOpen:
+      return "circuit-open";
     case ErrorCode::Internal:
       return "internal";
   }

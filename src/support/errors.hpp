@@ -57,6 +57,12 @@ enum class ErrorCode {
   HttpClientError,    // 4xx from the origin
   MalformedPayload,   // transport fine, application payload unparseable
   Denied,             // well-formed, authoritative refusal (no retry)
+  SessionInvalid,     // service dropped the session (shard crash/restart);
+                      // retryable — the content-derived id reopens transparently
+  RateLimited,        // service shed the request (rate limit, overload,
+                      // brownout); retryable after backoff
+  CircuitOpen,        // client-side fast-fail: breaker open for this host;
+                      // terminal for this request, saves the retry budget
   Internal,           // bug-shaped failure; terminal
 };
 
@@ -66,17 +72,32 @@ const char* to_string(ErrorCode code);
 /// trouble and server-side errors are; authoritative refusals, client
 /// errors, and handshake failures (the certificate will not change on the
 /// next attempt) are not. MalformedPayload is retryable because the fault
-/// model corrupts payloads per-exchange, not per-host.
+/// model corrupts payloads per-exchange, not per-host. SessionInvalid and
+/// RateLimited are service refusals that clear on their own — the session
+/// reopens under its content-derived id, the shed/brownout window passes —
+/// so the retry loop treats them as retryable-after-reopen. CircuitOpen is
+/// the one deliberate exception among transient failures: the breaker
+/// exists precisely to stop the retry loop, so it is terminal.
 inline bool is_retryable(ErrorCode code) {
   switch (code) {
     case ErrorCode::ConnectionDropped:
     case ErrorCode::TransportCorrupt:
     case ErrorCode::HttpServerError:
     case ErrorCode::MalformedPayload:
+    case ErrorCode::SessionInvalid:
+    case ErrorCode::RateLimited:
       return true;
     default:
       return false;
   }
+}
+
+/// Whether a retry that follows this failure is a *reopen cycle*: the
+/// service invalidated or refused state the client thought it held, and the
+/// next attempt transparently re-provisions/reopens rather than merely
+/// re-sending bytes. Counted separately in RetryStats::reopens.
+inline bool is_reopen_cycle(ErrorCode code) {
+  return code == ErrorCode::SessionInvalid || code == ErrorCode::RateLimited;
 }
 
 /// A value-or-error-code result for the non-exceptional failure path.

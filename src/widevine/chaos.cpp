@@ -1,0 +1,63 @@
+#include "widevine/chaos.hpp"
+
+namespace wideleak::widevine {
+
+namespace {
+
+bool starts_with(const std::string& text, const char* prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+ChaosPlan chaos_plan_for(const std::string& name) {
+  ChaosPlan plan;
+  if (!chaos_plan_from_string(name, plan)) {
+    throw Error("unknown chaos plan: " + name);
+  }
+  return plan;
+}
+
+bool chaos_plan_from_string(const std::string& name, ChaosPlan& out) {
+  ChaosPlan plan;
+  plan.name = name;
+  if (name == "none" || name.empty()) {
+    plan.name = "none";
+  } else if (name == "shard-crash") {
+    // Tuned against the campaign timeline: with 6 ticks of service latency a
+    // cell's provisioning lands at tick 0..6 and its first license at ~6, so
+    // a restart window opening at tick 8 catches sessions that already exist
+    // (they get dropped and must reopen) while the backoff ladder of the
+    // retry loop walks clients across the 18-tick outage.
+    plan.service_latency_ticks = 6;
+    plan.crashes.push_back(ShardCrashWindow{/*start=*/8, /*down_ticks=*/18, kAllShards});
+  } else if (name == "brownout") {
+    // Long window of degraded service: every request pays extra latency and
+    // ~30% are refused, so clients churn through retry/reopen cycles without
+    // the service ever going fully dark.
+    plan.service_latency_ticks = 4;
+    plan.brownouts.push_back(
+        BrownoutWindow{/*start=*/0, /*ticks=*/1'000'000, /*deny_pm=*/300,
+                       /*latency_ticks=*/12});
+  } else if (name == "overload") {
+    // Zero service latency keeps a cell's back-to-back requests on the same
+    // tick, so the second same-shard request in one tick is shed and must
+    // retry after backoff (by which point the tick has advanced).
+    plan.overload.queue_depth_limit = 1;
+  } else {
+    return false;
+  }
+  out = std::move(plan);
+  return true;
+}
+
+ErrorCode classify_service_refusal(const std::string& deny_reason) {
+  if (starts_with(deny_reason, "session invalid")) return ErrorCode::SessionInvalid;
+  if (starts_with(deny_reason, "rate limited") || starts_with(deny_reason, "overloaded") ||
+      starts_with(deny_reason, "brownout")) {
+    return ErrorCode::RateLimited;
+  }
+  return ErrorCode::None;
+}
+
+}  // namespace wideleak::widevine

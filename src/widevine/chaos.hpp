@@ -1,0 +1,109 @@
+// Server-side chaos plans for widevine::DrmService. Where net::FaultyEndpoint
+// injects failures at the network edge, a ChaosPlan makes the *service* itself
+// misbehave: shards crash and restart (dropping every session they held),
+// license traffic browns out (elevated deny rate plus latency), and overload
+// sheds requests when a shard's same-tick queue depth exceeds a bound.
+//
+// Determinism contract: all windows are expressed in SimClock ticks and all
+// probabilistic decisions draw from an rng seeded via
+// derive_stream_seed(service seed, "chaos"), with a fixed draw discipline —
+// exactly one u64 per serviced request whenever the plan carries brownout
+// windows, zero otherwise. Because each campaign cell owns a private
+// ecosystem (and therefore a private DrmService), (seed, plan) replays
+// bit-identically at any worker count and in either scheduler mode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/errors.hpp"
+
+namespace wideleak::widevine {
+
+/// Sentinel shard index meaning "every shard" in a ShardCrashWindow.
+inline constexpr std::size_t kAllShards = static_cast<std::size_t>(-1);
+
+/// One crash/restart episode: at `start` the shard process dies, losing all
+/// of its session state; for `down_ticks` the shard refuses traffic while it
+/// restarts; afterwards it serves again (empty — clients reopen their
+/// content-derived sessions transparently). The crash is applied lazily, at
+/// the first request that touches the shard at or after `start`.
+struct ShardCrashWindow {
+  std::uint64_t start = 0;       // first tick of the outage
+  std::uint64_t down_ticks = 0;  // refusal window length; serves again at start+down_ticks
+  std::size_t shard = kAllShards;  // shard index, or kAllShards
+
+  std::uint64_t end() const { return start + down_ticks; }
+  bool covers(std::size_t shard_index) const {
+    return shard == kAllShards || shard == shard_index;
+  }
+  bool down_at(std::uint64_t now) const { return now >= start && now < end(); }
+};
+
+/// A degraded-service window: every request pays `latency_ticks` of extra
+/// service time and is denied with probability deny_pm/1000.
+struct BrownoutWindow {
+  std::uint64_t start = 0;
+  std::uint64_t ticks = 0;  // window length
+  std::uint32_t deny_pm = 0;  // per-mille deny probability inside the window
+  std::uint64_t latency_ticks = 0;  // extra latency inside the window
+
+  std::uint64_t end() const { return start + ticks; }
+  bool active_at(std::uint64_t now) const { return now >= start && now < end(); }
+};
+
+/// Deterministic load shedding: if more than `queue_depth_limit` requests
+/// land on one shard within a single tick, the excess is shed. 0 disables.
+struct OverloadPolicy {
+  std::size_t queue_depth_limit = 0;
+};
+
+/// A named, replayable schedule of service-level faults. An empty plan (the
+/// default everywhere) is chaos-off: the service takes the exact same code
+/// path, rng draws and lock pattern as before the chaos layer existed.
+struct ChaosPlan {
+  std::string name = "none";
+  std::uint64_t service_latency_ticks = 0;  // baseline per-request service time
+  std::vector<ShardCrashWindow> crashes;
+  std::vector<BrownoutWindow> brownouts;
+  OverloadPolicy overload;
+
+  bool empty() const {
+    return service_latency_ticks == 0 && crashes.empty() && brownouts.empty() &&
+           overload.queue_depth_limit == 0;
+  }
+  bool has_brownout() const { return !brownouts.empty(); }
+};
+
+/// Aggregated chaos accounting, snapshotted into DrmServiceStats.
+struct ChaosStats {
+  std::uint64_t sessions_dropped = 0;    // sessions lost to shard crashes
+  std::uint64_t shard_refusals = 0;      // requests refused while a shard was down
+  std::uint64_t load_shed = 0;           // requests shed by the overload policy
+  std::uint64_t brownout_denied = 0;     // requests denied inside brownout windows
+  std::uint64_t latency_ticks = 0;       // total injected service latency
+  std::uint64_t recovery_ticks = 0;      // sum over windows of (first grant tick - window end)
+  std::uint64_t windows_recovered = 0;   // crash windows that saw post-restart traffic
+};
+
+/// Canned plans for the bench/campaign chaos axis. Recognized names:
+/// "none" (empty), "shard-crash" (all-shard restart window placed between a
+/// cell's first and second license exchanges), "brownout" (long elevated
+/// deny/latency window), "overload" (tight per-shard queue bound).
+/// Unknown names throw Error — callers validate via chaos_plan_from_string.
+ChaosPlan chaos_plan_for(const std::string& name);
+
+/// Parse-without-throwing variant for CLI arguments: returns false and
+/// leaves `out` untouched when the name is not a known plan.
+bool chaos_plan_from_string(const std::string& name, ChaosPlan& out);
+
+/// Classify a LicenseResponse/ProvisioningResponse deny_reason: service
+/// refusals minted by DrmService carry well-known prefixes and map onto the
+/// retryable codes SessionInvalid / RateLimited; organic application
+/// denials (revocation, policy, L3 downgrade) map to None and stay
+/// authoritative. This is the client-side half of the reopen contract.
+ErrorCode classify_service_refusal(const std::string& deny_reason);
+
+}  // namespace wideleak::widevine

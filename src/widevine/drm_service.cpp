@@ -1,6 +1,9 @@
 #include "widevine/drm_service.hpp"
 
+#include <string>
+
 #include "support/errors.hpp"
+#include "support/rng.hpp"
 
 namespace wideleak::widevine {
 
@@ -101,6 +104,17 @@ bool DrmService::Shard::contains(ServiceSessionId id) const {
   return sessions.find(id) != sessions.end();
 }
 
+std::size_t DrmService::Shard::drop_all(std::vector<AppId>& owners_out) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  const std::size_t dropped = sessions.size();
+  // Report owners in LRU order (a deterministic order, unlike map order)
+  // so slot release is replayable.
+  for (const ServiceSessionId id : lru) owners_out.push_back(sessions.at(id).app);
+  sessions.clear();
+  lru.clear();
+  return dropped;
+}
+
 void DrmService::Shard::snapshot(ShardCounters& counters_out, std::uint64_t& live_out) const {
   const std::lock_guard<std::mutex> lock(mutex);
   counters_out = counters;
@@ -158,10 +172,11 @@ void DrmService::AppState::count_provisioning() {
 
 DrmService::DrmService(std::shared_ptr<LicenseServer> license_server,
                        std::shared_ptr<ProvisioningServer> provisioning_server,
-                       const DrmServiceConfig& config, const support::SimClock* clock)
+                       const DrmServiceConfig& config, support::SimClock* clock)
     : seed_(config.seed),
       config_(config),
       clock_(clock),
+      chaos_rng_(derive_stream_seed(config.seed, "chaos")),
       license_server_(std::move(license_server)),
       provisioning_server_(std::move(provisioning_server)),
       shards_(round_up_pow2(config.shard_count)) {
@@ -171,6 +186,13 @@ DrmService::DrmService(std::shared_ptr<LicenseServer> license_server,
     // never below the configured total.
     shard_capacity_ = (config_.max_sessions + shards_.size() - 1) / shards_.size();
     if (shard_capacity_ == 0) shard_capacity_ = 1;
+  }
+  chaos_windows_.resize(config_.chaos.crashes.size());
+  for (ChaosWindowState& window : chaos_windows_) {
+    window.applied.assign(shards_.size(), 0);
+  }
+  if (config_.chaos.overload.queue_depth_limit != 0) {
+    shard_tick_load_.assign(shards_.size(), {0, 0});
   }
 }
 
@@ -240,14 +262,115 @@ bool DrmService::has_session(ServiceSessionId id) const {
   return shard_for(id).contains(id);
 }
 
+DrmService::ChaosDecision DrmService::chaos_decide(std::optional<std::size_t> shard_index,
+                                                   std::uint64_t now) {
+  ChaosDecision decision;
+  const ChaosPlan& plan = config_.chaos;
+  const std::lock_guard<std::mutex> lock(chaos_mutex_);
+
+  // Fixed draw discipline: one u64 per request whenever the plan carries
+  // brownout windows, even for requests that are refused for other reasons
+  // — the chaos-rng stream position stays a pure function of the request
+  // ordinal, never of the verdicts along the way.
+  std::uint64_t draw = 0;
+  if (plan.has_brownout()) draw = chaos_rng_.next_u64();
+
+  decision.latency = plan.service_latency_ticks;
+
+  bool down = false;
+  if (shard_index) {
+    for (std::size_t w = 0; w < plan.crashes.size(); ++w) {
+      const ShardCrashWindow& window = plan.crashes[w];
+      if (!window.covers(*shard_index) || now < window.start) continue;
+      // Lazy crash application: the first request to touch this shard at or
+      // after the crash instant finds the restarted (empty) process, so the
+      // pre-crash sessions are dropped now even if the outage itself has
+      // already ended.
+      if (!chaos_windows_[w].applied[*shard_index]) {
+        chaos_windows_[w].applied[*shard_index] = 1;
+        decision.drop_shard = true;
+      }
+      if (window.down_at(now)) {
+        down = true;
+      } else if (!chaos_windows_[w].recovered) {
+        // First request served after the restart window: time-to-recover is
+        // how long the shard sat idle past its nominal restart instant.
+        chaos_windows_[w].recovered = true;
+        ++chaos_stats_.windows_recovered;
+        chaos_stats_.recovery_ticks += now - window.end();
+      }
+    }
+  }
+
+  for (const BrownoutWindow& window : plan.brownouts) {
+    if (!window.active_at(now)) continue;
+    decision.latency += window.latency_ticks;
+    if (window.deny_pm != 0 && draw % 1000 < window.deny_pm) {
+      decision.kind = ChaosDecision::Kind::BrownoutDeny;
+      decision.reason = "brownout: service degraded";
+    }
+  }
+
+  if (down) {
+    // A dead shard trumps everything (and pays no brownout latency — there
+    // is no process to queue in).
+    decision.kind = ChaosDecision::Kind::ShardDown;
+    decision.reason = "session invalid: shard restarting";
+    decision.latency = 0;
+    ++chaos_stats_.shard_refusals;
+  } else if (shard_index && plan.overload.queue_depth_limit != 0) {
+    auto& [tick, count] = shard_tick_load_[*shard_index];
+    if (tick == now) {
+      ++count;
+    } else {
+      tick = now;
+      count = 1;
+    }
+    if (count > plan.overload.queue_depth_limit &&
+        decision.kind == ChaosDecision::Kind::Proceed) {
+      decision.kind = ChaosDecision::Kind::Shed;
+      decision.reason = "overloaded: shard queue full";
+      ++chaos_stats_.load_shed;
+    }
+  }
+
+  if (decision.kind == ChaosDecision::Kind::BrownoutDeny) ++chaos_stats_.brownout_denied;
+  chaos_stats_.latency_ticks += decision.latency;
+  return decision;
+}
+
+void DrmService::drop_crashed_shard(std::size_t shard_index) {
+  std::vector<AppId> owners;
+  const std::size_t dropped = shards_[shard_index].drop_all(owners);
+  for (const AppId owner : owners) apps_[owner].release();
+  if (dropped != 0) {
+    const std::lock_guard<std::mutex> lock(chaos_mutex_);
+    chaos_stats_.sessions_dropped += dropped;
+  }
+}
+
 LicenseResponse DrmService::handle_license(AppId app, const LicenseRequest& request,
                                            const RevocationPolicy& policy, std::uint64_t now) {
+  const ServiceSessionId id = session_id_for(app, request.client.stable_id);
+  if (!config_.chaos.empty()) {
+    const ChaosDecision chaos =
+        chaos_decide(static_cast<std::size_t>(id & shard_mask_), now);
+    if (chaos.drop_shard) drop_crashed_shard(id & shard_mask_);
+    if (chaos.latency != 0 && clock_ != nullptr) {
+      clock_->sleep(chaos.latency);
+      now = clock_->now();
+    }
+    if (chaos.kind != ChaosDecision::Kind::Proceed) {
+      LicenseResponse denied;
+      denied.deny_reason = chaos.reason;
+      return denied;
+    }
+  }
   if (!apps_[app].take_token(config_.bucket_capacity, config_.tokens_per_tick, now)) {
     LicenseResponse denied;
     denied.deny_reason = "rate limited";
     return denied;
   }
-  const ServiceSessionId id = session_id_for(app, request.client.stable_id);
   if (touch_or_open(app, id, now, /*count_license=*/true) == SessionAdmission::Rejected) {
     LicenseResponse denied;
     denied.deny_reason = "session quota exceeded";
@@ -263,6 +386,19 @@ LicenseResponse DrmService::handle_license(AppId app, const LicenseRequest& requ
 
 ProvisioningResponse DrmService::handle_provision(AppId app, const ProvisioningRequest& request,
                                                   std::uint64_t now) {
+  if (!config_.chaos.empty()) {
+    // Provisioning has no session shard, so only brownout/latency apply.
+    const ChaosDecision chaos = chaos_decide(std::nullopt, now);
+    if (chaos.latency != 0 && clock_ != nullptr) {
+      clock_->sleep(chaos.latency);
+      now = clock_->now();
+    }
+    if (chaos.kind != ChaosDecision::Kind::Proceed) {
+      ProvisioningResponse denied;
+      denied.deny_reason = chaos.reason;
+      return denied;
+    }
+  }
   if (!apps_[app].take_token(config_.bucket_capacity, config_.tokens_per_tick, now)) {
     ProvisioningResponse denied;
     denied.deny_reason = "rate limited";
@@ -294,6 +430,10 @@ DrmServiceStats DrmService::stats() const {
     total.admission_rejected += app.admission_rejected;
     total.rate_limited += app.rate_limited;
     total.provisioning_requests += app.provisioning_requests;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(chaos_mutex_);
+    total.chaos = chaos_stats_;
   }
   return total;
 }

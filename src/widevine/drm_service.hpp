@@ -23,10 +23,14 @@
 // critical section touches exactly one mutex (one shard's, one app's, or
 // one of the underlying servers'), so there is no lock order to violate.
 //
-// Determinism: the service draws nothing from any rng. Session ids are a
-// pure function of (service seed, app, client stable id); the seed is
+// Determinism: the core service draws nothing from any rng. Session ids are
+// a pure function of (service seed, app, client stable id); the seed is
 // label-derived (`derive_stream_seed`) by the owning ecosystem, so wiring
-// the service under campaign cells keeps every report bit-identical.
+// the service under campaign cells keeps every report bit-identical. The
+// optional chaos layer (DrmServiceConfig::chaos) owns a private rng seeded
+// via derive_stream_seed(seed, "chaos") with a fixed draw discipline — one
+// u64 per request iff the plan has brownout windows — so chaos replays are
+// equally bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -38,10 +42,13 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "support/annotations.hpp"
+#include "support/rng.hpp"
 #include "support/sim_clock.hpp"
+#include "widevine/chaos.hpp"
 #include "widevine/license_server.hpp"
 #include "widevine/provisioning_server.hpp"
 
@@ -73,6 +80,10 @@ struct DrmServiceConfig {
   /// `bucket_capacity`. A capacity of 0 disables rate limiting.
   std::uint64_t bucket_capacity = 0;
   std::uint64_t tokens_per_tick = 0;
+  /// Server-side fault schedule (shard crash/restart windows, brownouts,
+  /// overload shedding — see widevine/chaos.hpp). The default empty plan is
+  /// chaos-off: no extra rng draws, no latency, no refusals.
+  ChaosPlan chaos;
 };
 
 /// Cumulative service counters since construction (snapshot; aggregated
@@ -86,6 +97,8 @@ struct DrmServiceStats {
   std::uint64_t rate_limited = 0;       // requests refused by the token bucket
   std::uint64_t license_requests = 0;
   std::uint64_t provisioning_requests = 0;
+  /// Chaos-layer accounting (all zero when the plan is empty).
+  ChaosStats chaos;
 };
 
 /// What happened to the session backing a request (see handle_license).
@@ -96,10 +109,12 @@ class DrmService {
   /// The service shares (not owns exclusively) the two protocol servers:
   /// existing direct-access paths (tests, the campaign stats sink) keep
   /// working against the same instances.
+  /// `clock` is non-const because the chaos layer injects service latency
+  /// as SimClock sleeps; without a clock, latency is accounted but not slept.
   DrmService(std::shared_ptr<LicenseServer> license_server,
              std::shared_ptr<ProvisioningServer> provisioning_server,
              const DrmServiceConfig& config = {},
-             const support::SimClock* clock = nullptr);
+             support::SimClock* clock = nullptr);
 
   // --- tenancy (setup phase: not thread-safe, do before serving) -----------
 
@@ -204,6 +219,11 @@ class DrmService {
 
     bool contains(ServiceSessionId id) const;
 
+    /// Crash: drop every session in the stripe, reporting each owner app
+    /// (so the service can release per-app slots without holding this
+    /// lock). Returns how many sessions were lost.
+    std::size_t drop_all(std::vector<AppId>& owners_out);
+
     /// Counters + population snapshot for stats aggregation.
     void snapshot(ShardCounters& counters_out, std::uint64_t& live_out) const;
   };
@@ -242,11 +262,48 @@ class DrmService {
   SessionAdmission touch_or_open(AppId app, ServiceSessionId id, std::uint64_t now,
                                  bool count_license);
 
+  /// What the chaos layer decided for one request, resolved under
+  /// chaos_mutex_ before any shard or app lock is taken.
+  struct ChaosDecision {
+    enum class Kind { Proceed, ShardDown, Shed, BrownoutDeny };
+    Kind kind = Kind::Proceed;
+    std::uint64_t latency = 0;   // service latency to sleep (clock) / account
+    bool drop_shard = false;     // a crash window newly applied: drop the shard
+    const char* reason = "";     // deny_reason prefix for refusals
+  };
+
+  /// Resolve the chaos plan for one request. `shard_index` is set for
+  /// license traffic (crash + overload apply) and empty for provisioning
+  /// (brownout/latency only). Draws exactly one chaos-rng u64 per call when
+  /// the plan has brownout windows, zero otherwise.
+  ChaosDecision chaos_decide(std::optional<std::size_t> shard_index, std::uint64_t now);
+
+  /// Apply a crash to a shard: drop every session it holds and release the
+  /// owners' per-app slots. Takes the shard lock, then each app lock, then
+  /// chaos_mutex_ — strictly one at a time.
+  void drop_crashed_shard(std::size_t shard_index);
+
   std::uint64_t seed_;
   std::size_t shard_capacity_ = 0;  // per-shard session budget (0 = unlimited)
   std::uint64_t shard_mask_ = 0;
   DrmServiceConfig config_;
-  const support::SimClock* clock_ = nullptr;
+  support::SimClock* clock_ = nullptr;
+
+  /// Per-crash-window chaos bookkeeping: which shards the window has been
+  /// applied to (lazily, at first touch >= start) and whether post-restart
+  /// traffic has been served yet (time-to-recover accounting).
+  struct ChaosWindowState {
+    std::vector<char> applied;  // one flag per shard
+    bool recovered = false;
+  };
+
+  mutable std::mutex chaos_mutex_;
+  Rng chaos_rng_ WL_GUARDED_BY(chaos_mutex_);
+  std::vector<ChaosWindowState> chaos_windows_ WL_GUARDED_BY(chaos_mutex_);
+  /// Same-tick queue depth per shard for overload shedding: (tick, count).
+  std::vector<std::pair<std::uint64_t, std::size_t>> shard_tick_load_
+      WL_GUARDED_BY(chaos_mutex_);
+  ChaosStats chaos_stats_ WL_GUARDED_BY(chaos_mutex_);
 
   std::shared_ptr<LicenseServer> license_server_;
   std::shared_ptr<ProvisioningServer> provisioning_server_;

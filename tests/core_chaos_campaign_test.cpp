@@ -142,5 +142,141 @@ TEST(ChaosCampaignTest, FlakyCdnDegradesPlaybackInsteadOfAbortingIt) {
   EXPECT_GT(degraded, 0u) << "flaky-cdn never cost any cell quality";
 }
 
+// ---------------------------------------------------------------------------
+// Service-side chaos: shard crash/restart, breaker accounting, deadlines.
+
+/// The chaos_spec matrix armed with a DrmService fault plan and a breaker.
+CampaignSpec service_chaos_spec(std::size_t workers, ExecutionMode mode,
+                                const std::string& plan) {
+  CampaignSpec spec = chaos_spec(workers, net::FaultProfile::None);
+  spec.mode = mode;
+  spec.service_chaos = widevine::chaos_plan_for(plan);
+  spec.breaker.failure_threshold = 3;
+  spec.breaker.open_ticks = 24;
+  return spec;
+}
+
+TEST(ServiceChaosCampaignTest, ShardCrashReportIsBitIdenticalAcrossWorkersAndModes) {
+  const CampaignResult serial =
+      CampaignRunner(service_chaos_spec(1, ExecutionMode::Synchronous, "shard-crash")).run();
+  const CampaignResult parallel =
+      CampaignRunner(service_chaos_spec(4, ExecutionMode::Pipelined, "shard-crash")).run();
+
+  EXPECT_EQ(render_campaign_report(serial), render_campaign_report(parallel));
+
+  // The crash window actually bit: sessions were dropped, clients walked
+  // reopen cycles, and no cell was lost — every one landed on an outcome.
+  EXPECT_GT(serial.stats.totals.drm_sessions_dropped, 0u);
+  EXPECT_GT(serial.stats.totals.net_reopens, 0u);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].outcome, parallel.cells[i].outcome) << i;
+    EXPECT_EQ(serial.cells[i].fault_summary, parallel.cells[i].fault_summary) << i;
+    EXPECT_EQ(serial.cells[i].stats.net_reopens, parallel.cells[i].stats.net_reopens) << i;
+    EXPECT_EQ(serial.cells[i].stats.drm_sessions_dropped,
+              parallel.cells[i].stats.drm_sessions_dropped)
+        << i;
+    EXPECT_EQ(serial.cells[i].stats.breaker_opens, parallel.cells[i].stats.breaker_opens) << i;
+    EXPECT_EQ(serial.cells[i].stats.breaker_fast_fails,
+              parallel.cells[i].stats.breaker_fast_fails)
+        << i;
+  }
+}
+
+TEST(ServiceChaosCampaignTest, EmptyChaosPlanLeavesResilienceCountersDark) {
+  // The default spec (no service chaos, breaker disabled, no deadline) must
+  // not light a single resilience counter — the neutral-wiring contract.
+  const CampaignResult result =
+      CampaignRunner(chaos_spec(2, net::FaultProfile::None)).run();
+  const CellStats& totals = result.stats.totals;
+  EXPECT_EQ(totals.drm_sessions_dropped, 0u);
+  EXPECT_EQ(totals.drm_shard_refusals, 0u);
+  EXPECT_EQ(totals.drm_load_shed, 0u);
+  EXPECT_EQ(totals.drm_brownout_denied, 0u);
+  EXPECT_EQ(totals.drm_recovery_ticks, 0u);
+  EXPECT_EQ(totals.breaker_opens, 0u);
+  EXPECT_EQ(totals.breaker_fast_fails, 0u);
+  EXPECT_EQ(totals.net_reopens, 0u);
+  EXPECT_EQ(totals.deadline_cancelled, 0u);
+}
+
+TEST(ServiceChaosCampaignTest, DeadlineBudgetCancelsCellsCleanlyInBothModes) {
+  // Brownout latency advances every cell's private clock fast; a tight
+  // deadline budget has to cancel cells at a stage boundary — identically
+  // in both scheduler modes and at any worker count.
+  const auto spec = [](std::size_t workers, ExecutionMode mode) {
+    CampaignSpec spec = service_chaos_spec(workers, mode, "brownout");
+    spec.cell_deadline_ticks = 48;
+    return spec;
+  };
+  const CampaignResult sync = CampaignRunner(spec(1, ExecutionMode::Synchronous)).run();
+  const CampaignResult piped = CampaignRunner(spec(8, ExecutionMode::Pipelined)).run();
+
+  EXPECT_EQ(render_campaign_report(sync), render_campaign_report(piped));
+
+  std::size_t cancelled = 0;
+  ASSERT_EQ(sync.cells.size(), piped.cells.size());
+  for (std::size_t i = 0; i < sync.cells.size(); ++i) {
+    const CellResult& cell = sync.cells[i];
+    EXPECT_EQ(cell.outcome, piped.cells[i].outcome) << i;
+    EXPECT_EQ(cell.fault_summary, piped.cells[i].fault_summary) << i;
+    EXPECT_EQ(cell.stats.deadline_cancelled, piped.cells[i].stats.deadline_cancelled) << i;
+    if (cell.stats.deadline_cancelled == 0) continue;
+    ++cancelled;
+    // A deadline-expired cell is Partial and says so in its summary.
+    EXPECT_EQ(cell.outcome, CellOutcome::Partial) << i;
+    EXPECT_EQ(cell.fault_summary.rfind("deadline_exceeded", 0), 0u) << cell.fault_summary;
+  }
+  EXPECT_GT(cancelled, 0u) << "the deadline budget never fired\n"
+                           << render_campaign_report(sync);
+  EXPECT_EQ(cancelled, sync.stats.totals.deadline_cancelled);
+  // The pipelined scheduler released the cancelled cells' pending waits.
+  EXPECT_GT(piped.stats.pipeline.cells_cancelled, 0u);
+}
+
+TEST(ServiceChaosCampaignTest, ResilienceCountersFlushExactlyOnceAtAnyWorkerCount) {
+  // Satellite audit: cancelled and crashed cells contribute every resilience
+  // counter exactly once — the campaign totals are precisely the per-cell
+  // sums, at 1 worker and at 8, for both the crash and the deadline paths.
+  const auto audit = [](const CampaignResult& result) {
+    CellStats resummed;
+    for (const CellResult& cell : result.cells) {
+      resummed.net_reopens += cell.stats.net_reopens;
+      resummed.breaker_opens += cell.stats.breaker_opens;
+      resummed.breaker_fast_fails += cell.stats.breaker_fast_fails;
+      resummed.drm_sessions_dropped += cell.stats.drm_sessions_dropped;
+      resummed.drm_shard_refusals += cell.stats.drm_shard_refusals;
+      resummed.drm_load_shed += cell.stats.drm_load_shed;
+      resummed.drm_brownout_denied += cell.stats.drm_brownout_denied;
+      resummed.drm_recovery_ticks += cell.stats.drm_recovery_ticks;
+      resummed.deadline_cancelled += cell.stats.deadline_cancelled;
+    }
+    const CellStats& totals = result.stats.totals;
+    EXPECT_EQ(resummed.net_reopens, totals.net_reopens);
+    EXPECT_EQ(resummed.breaker_opens, totals.breaker_opens);
+    EXPECT_EQ(resummed.breaker_fast_fails, totals.breaker_fast_fails);
+    EXPECT_EQ(resummed.drm_sessions_dropped, totals.drm_sessions_dropped);
+    EXPECT_EQ(resummed.drm_shard_refusals, totals.drm_shard_refusals);
+    EXPECT_EQ(resummed.drm_load_shed, totals.drm_load_shed);
+    EXPECT_EQ(resummed.drm_brownout_denied, totals.drm_brownout_denied);
+    EXPECT_EQ(resummed.drm_recovery_ticks, totals.drm_recovery_ticks);
+    EXPECT_EQ(resummed.deadline_cancelled, totals.deadline_cancelled);
+  };
+
+  CampaignSpec crash1 = service_chaos_spec(1, ExecutionMode::Pipelined, "shard-crash");
+  CampaignSpec crash8 = service_chaos_spec(8, ExecutionMode::Pipelined, "shard-crash");
+  const CampaignResult serial_crash = CampaignRunner(std::move(crash1)).run();
+  const CampaignResult wide_crash = CampaignRunner(std::move(crash8)).run();
+  audit(serial_crash);
+  audit(wide_crash);
+  EXPECT_EQ(render_campaign_report(serial_crash), render_campaign_report(wide_crash));
+
+  CampaignSpec deadline8 = service_chaos_spec(8, ExecutionMode::Pipelined, "brownout");
+  deadline8.cell_deadline_ticks = 48;
+  const CampaignResult wide_deadline = CampaignRunner(std::move(deadline8)).run();
+  audit(wide_deadline);
+  EXPECT_GT(wide_deadline.stats.totals.deadline_cancelled, 0u);
+}
+
 }  // namespace
 }  // namespace wideleak::core

@@ -190,6 +190,91 @@ TEST(TaskQueueTest, UnpacedWaitsAreTelemetryOnly) {
 }
 
 // ---------------------------------------------------------------------------
+// TaskQueue: wait cancellation (the deadline-expiry teardown path).
+
+TEST(TaskQueueTest, CancelledCellsStopParkingOnTheTimerWheel) {
+  // Paced queue, 100-tick waits (long enough to cross the wheel's level-0
+  // epoch, so the parked deadline cascades before it matures). The first
+  // wait parks and is served by the wheel; after cancel_cell_waits the
+  // second wait is virtual-only — charged to telemetry and debt, but no
+  // wall obligation parked.
+  TaskQueue queue(1, support::PacingPolicy{.wall_us_per_tick = 5}, /*record_trace=*/true);
+  const FenceId done = queue.make_fence(1);
+  queue.submit(
+      [&] {
+        queue.wait_ticks(0, 100);
+        queue.cancel_cell_waits(0);
+        queue.wait_ticks(0, 100);
+      },
+      std::nullopt, done, 0, "cancelling");
+  queue.drain(done);
+
+  const PipelineStats stats = queue.stats();
+  EXPECT_EQ(stats.waits, 2u);
+  EXPECT_EQ(stats.wait_ticks, 200u);  // virtual time is charged either way
+  EXPECT_EQ(stats.cells_cancelled, 1u);
+  EXPECT_EQ(stats.waits_cancelled, 1u);
+  EXPECT_EQ(stats.timer_wakeups, 1u);  // only the pre-cancel wait matured
+  EXPECT_TRUE(queue.cell_cancelled(0));
+  EXPECT_FALSE(queue.cell_cancelled(1));
+
+  // The cancelled wait still brackets WaitBegin/WaitEnd in the trace, so
+  // overlap analysis never sees a dangling window.
+  std::size_t begins = 0, ends = 0;
+  for (const TraceEvent& event : queue.trace()) {
+    if (event.cell != 0) continue;
+    if (event.kind == TraceEvent::Kind::WaitBegin) ++begins;
+    if (event.kind == TraceEvent::Kind::WaitEnd) ++ends;
+  }
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(ends, 2u);
+}
+
+TEST(TaskQueueTest, CancelIsIdempotentAndPerCell) {
+  TaskQueue queue(1, support::PacingPolicy{});
+  const FenceId done = queue.make_fence(1);
+  queue.submit(
+      [&] {
+        queue.cancel_cell_waits(3);
+        queue.cancel_cell_waits(3);  // double-cancel: one transition, one count
+        queue.wait_ticks(3, 8);
+        queue.wait_ticks(2, 8);  // a different cell's wait is untouched
+      },
+      std::nullopt, done, 3, "idempotent");
+  queue.drain(done);
+
+  const PipelineStats stats = queue.stats();
+  EXPECT_EQ(stats.cells_cancelled, 1u);
+  EXPECT_EQ(stats.waits_cancelled, 1u);
+  EXPECT_EQ(stats.waits, 2u);
+  EXPECT_TRUE(queue.cell_cancelled(3));
+  EXPECT_FALSE(queue.cell_cancelled(2));
+  EXPECT_FALSE(queue.cell_cancelled(99));  // never-seen cells read as live
+}
+
+TEST(TaskQueueTest, UnpacedCancelledWaitsStillCountTelemetry) {
+  // Pacing off: waits are already wall-free, but the cancellation counter
+  // must still tick so the campaign stats line tells the truth about how
+  // many waits the deadline teardown released.
+  TaskQueue queue(1, support::PacingPolicy{});
+  const FenceId done = queue.make_fence(1);
+  queue.submit(
+      [&] {
+        queue.wait_ticks(0, 5);
+        queue.cancel_cell_waits(0);
+        queue.wait_ticks(0, 7);
+      },
+      std::nullopt, done, 0, "unpaced");
+  queue.drain(done);
+
+  const PipelineStats stats = queue.stats();
+  EXPECT_EQ(stats.waits, 2u);
+  EXPECT_EQ(stats.wait_ticks, 12u);
+  EXPECT_EQ(stats.waits_cancelled, 1u);
+  EXPECT_EQ(stats.timer_wakeups, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Campaign-level: bit-identity across schedulers, and the overlap proof.
 
 CampaignSpec pipeline_spec() {

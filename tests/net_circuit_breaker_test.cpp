@@ -1,0 +1,318 @@
+// net::CircuitBreaker + the retry layer's resilience plumbing — the
+// closed/open/half-open state machine on SimClock, per-host isolation,
+// transition counters, the retryability/reopen classification of the
+// service-refusal error codes, and request_with_retry's breaker gate and
+// deadline-abandonment semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "net/circuit_breaker.hpp"
+#include "net/fault.hpp"
+#include "net/http.hpp"
+#include "net/network.hpp"
+#include "net/retry.hpp"
+#include "net/tls.hpp"
+#include "support/errors.hpp"
+#include "support/sim_clock.hpp"
+
+namespace wideleak::net {
+namespace {
+
+CircuitBreakerConfig config_with(std::size_t threshold, std::uint64_t open_ticks = 64,
+                                 std::size_t close_successes = 1) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = threshold;
+  config.open_ticks = open_ticks;
+  config.close_successes = close_successes;
+  return config;
+}
+
+// --- state machine -----------------------------------------------------------
+
+TEST(CircuitBreakerTest, ThresholdZeroDisablesTheBreakerEntirely) {
+  support::SimClock clock;
+  CircuitBreaker breaker(CircuitBreakerConfig{}, &clock);
+  EXPECT_FALSE(breaker.enabled());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(breaker.allow("api.example"));
+    breaker.record("api.example", false);
+  }
+  EXPECT_EQ(breaker.state_of("api.example"), BreakerState::Closed);
+  const CircuitBreakerStats stats = breaker.stats();
+  EXPECT_EQ(stats.opens, 0u);
+  EXPECT_EQ(stats.fast_fails, 0u);
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresAndFastFails) {
+  support::SimClock clock;
+  CircuitBreaker breaker(config_with(2, /*open_ticks=*/10), &clock);
+  EXPECT_TRUE(breaker.enabled());
+
+  EXPECT_TRUE(breaker.allow("api.example"));
+  breaker.record("api.example", false);
+  EXPECT_EQ(breaker.state_of("api.example"), BreakerState::Closed);  // 1 < threshold
+  breaker.record("api.example", false);
+  EXPECT_EQ(breaker.state_of("api.example"), BreakerState::Open);
+
+  // While open, requests fast-fail without touching the host.
+  EXPECT_FALSE(breaker.allow("api.example"));
+  EXPECT_FALSE(breaker.allow("api.example"));
+  const CircuitBreakerStats stats = breaker.stats();
+  EXPECT_EQ(stats.opens, 1u);
+  EXPECT_EQ(stats.fast_fails, 2u);
+}
+
+TEST(CircuitBreakerTest, ProbeAfterOpenTicksClosesOnSuccess) {
+  support::SimClock clock;
+  CircuitBreaker breaker(config_with(1, /*open_ticks=*/10), &clock);
+  breaker.record("api.example", false);
+  ASSERT_EQ(breaker.state_of("api.example"), BreakerState::Open);
+
+  clock.advance(9);
+  EXPECT_FALSE(breaker.allow("api.example"));  // cool-off not elapsed
+  clock.advance(1);
+  EXPECT_TRUE(breaker.allow("api.example"));  // the probe is admitted
+  EXPECT_EQ(breaker.state_of("api.example"), BreakerState::HalfOpen);
+  breaker.record("api.example", true);
+  EXPECT_EQ(breaker.state_of("api.example"), BreakerState::Closed);
+
+  const CircuitBreakerStats stats = breaker.stats();
+  EXPECT_EQ(stats.probes, 1u);
+  EXPECT_EQ(stats.closes, 1u);
+  EXPECT_EQ(stats.fast_fails, 1u);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensAndRestartsTheCoolOff) {
+  support::SimClock clock;
+  CircuitBreaker breaker(config_with(1, /*open_ticks=*/10), &clock);
+  breaker.record("api.example", false);  // open at tick 0
+
+  clock.advance(10);
+  EXPECT_TRUE(breaker.allow("api.example"));  // probe at tick 10
+  breaker.record("api.example", false);       // the host is still down
+  EXPECT_EQ(breaker.state_of("api.example"), BreakerState::Open);
+  EXPECT_FALSE(breaker.allow("api.example"));  // cool-off restarted from tick 10
+  clock.advance(10);
+  EXPECT_TRUE(breaker.allow("api.example"));
+
+  const CircuitBreakerStats stats = breaker.stats();
+  EXPECT_EQ(stats.opens, 2u);
+  EXPECT_EQ(stats.probes, 2u);
+}
+
+TEST(CircuitBreakerTest, ClosingCanRequireSeveralProbeSuccesses) {
+  support::SimClock clock;
+  CircuitBreaker breaker(config_with(1, /*open_ticks=*/4, /*close_successes=*/2), &clock);
+  breaker.record("api.example", false);
+  clock.advance(4);
+
+  EXPECT_TRUE(breaker.allow("api.example"));
+  breaker.record("api.example", true);
+  EXPECT_EQ(breaker.state_of("api.example"), BreakerState::HalfOpen);  // 1 of 2
+  EXPECT_TRUE(breaker.allow("api.example"));
+  breaker.record("api.example", true);
+  EXPECT_EQ(breaker.state_of("api.example"), BreakerState::Closed);
+  EXPECT_EQ(breaker.stats().closes, 1u);
+}
+
+TEST(CircuitBreakerTest, HostsTripIndependently) {
+  support::SimClock clock;
+  CircuitBreaker breaker(config_with(1), &clock);
+  breaker.record("license.example", false);
+  EXPECT_EQ(breaker.state_of("license.example"), BreakerState::Open);
+  EXPECT_TRUE(breaker.allow("cdn.example"));  // untouched host stays closed
+  EXPECT_EQ(breaker.state_of("cdn.example"), BreakerState::Closed);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveFailureCount) {
+  support::SimClock clock;
+  CircuitBreaker breaker(config_with(2), &clock);
+  breaker.record("api.example", false);
+  breaker.record("api.example", true);  // streak broken
+  breaker.record("api.example", false);
+  EXPECT_EQ(breaker.state_of("api.example"), BreakerState::Closed);
+  breaker.record("api.example", false);
+  EXPECT_EQ(breaker.state_of("api.example"), BreakerState::Open);
+}
+
+// --- error-code classification -----------------------------------------------
+
+TEST(ResilienceErrorCodeTest, ServiceRefusalsAreRetryableButCircuitOpenIsTerminal) {
+  EXPECT_TRUE(is_retryable(ErrorCode::SessionInvalid));
+  EXPECT_TRUE(is_retryable(ErrorCode::RateLimited));
+  EXPECT_FALSE(is_retryable(ErrorCode::CircuitOpen));
+  EXPECT_FALSE(is_retryable(ErrorCode::Denied));
+
+  EXPECT_TRUE(is_reopen_cycle(ErrorCode::SessionInvalid));
+  EXPECT_TRUE(is_reopen_cycle(ErrorCode::RateLimited));
+  EXPECT_FALSE(is_reopen_cycle(ErrorCode::ConnectionDropped));
+  EXPECT_FALSE(is_reopen_cycle(ErrorCode::CircuitOpen));
+
+  EXPECT_STREQ(to_string(ErrorCode::SessionInvalid), "session-invalid");
+  EXPECT_STREQ(to_string(ErrorCode::RateLimited), "rate-limited");
+  EXPECT_STREQ(to_string(ErrorCode::CircuitOpen), "circuit-open");
+}
+
+// --- retry-layer integration -------------------------------------------------
+
+// Minimal world in the net_fault_test.cpp shape: CA + echo server + fault
+// injector, so the retry loop sees real transport failures.
+class BreakerRetryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(0xB4EA);
+    ca_ = new CertificateAuthority("breaker-ca", *rng_, 512);
+    identity_ = new ServerIdentity(make_server_identity("api.example", *ca_, *rng_, 512));
+  }
+
+  struct World {
+    Network network;
+    std::shared_ptr<FaultyEndpoint> injector;
+    support::SimClock clock;
+  };
+
+  static std::unique_ptr<World> make_world(const FaultRates& rates, std::uint64_t seed) {
+    auto world = std::make_unique<World>();
+    FaultPlan plan;
+    plan.name = "breaker-test";
+    plan.rules.push_back(
+        FaultRule{.host_prefix = "", .request_class = std::nullopt, .rates = rates});
+    auto server = std::make_shared<TlsServer>(
+        *identity_, [](const HttpRequest& req) { return http_ok(req.body); }, seed + 1);
+    world->injector = std::make_shared<FaultyEndpoint>(server, *identity_, plan,
+                                                       "api.example", seed, &world->clock);
+    world->network.add_endpoint("api.example", world->injector, identity_->certificate);
+    return world;
+  }
+
+  static TlsClient make_client(const Network& network, std::uint64_t seed) {
+    TrustStore trust;
+    trust.add(*ca_);
+    return TlsClient(network, trust, Rng(seed));
+  }
+
+  static Rng* rng_;
+  static CertificateAuthority* ca_;
+  static ServerIdentity* identity_;
+};
+
+Rng* BreakerRetryTest::rng_ = nullptr;
+CertificateAuthority* BreakerRetryTest::ca_ = nullptr;
+ServerIdentity* BreakerRetryTest::identity_ = nullptr;
+
+TEST_F(BreakerRetryTest, DeadlineAbandonsTheBackoffWithoutSleeping) {
+  auto world = make_world({.drop_pm = 1000}, 0xD34D);
+  TlsClient client = make_client(world->network, 3);
+  RetryPolicy policy;
+  policy.deadline_tick = 1;  // the first backoff (8+jitter) would blow it
+  RetryStats stats;
+  Rng jitter(0x21);
+  const auto result =
+      request_with_retry(client, "api.example", HttpRequest{}, policy, jitter, &world->clock, stats);
+  EXPECT_EQ(result.error, ErrorCode::ConnectionDropped);
+  EXPECT_EQ(stats.attempts, 1u);  // the failure happened, the retry did not
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.giveups, 1u);  // abandoned == given up, same accounting
+  EXPECT_EQ(world->clock.now(), 0u);  // crucially: no backoff was slept
+}
+
+TEST_F(BreakerRetryTest, GenerousDeadlineLeavesTheRetryLadderAlone) {
+  const auto run = [&](std::uint64_t deadline) {
+    auto world = make_world({.drop_pm = 1000}, 0xD34E);
+    TlsClient client = make_client(world->network, 4);
+    RetryPolicy policy;
+    policy.deadline_tick = deadline;
+    RetryStats stats;
+    Rng jitter(0x22);
+    request_with_retry(client, "api.example", HttpRequest{}, policy, jitter, &world->clock, stats);
+    return std::make_pair(stats, world->clock.now());
+  };
+  const auto [unlimited, unlimited_now] = run(0);
+  const auto [generous, generous_now] = run(100'000);
+  // Far-off deadline == no deadline: same attempts, same slept ticks (the
+  // jitter streams are identical because the draw discipline is fixed).
+  EXPECT_EQ(unlimited.attempts, 4u);
+  EXPECT_EQ(generous.attempts, 4u);
+  EXPECT_EQ(unlimited.retries, generous.retries);
+  EXPECT_EQ(unlimited_now, generous_now);
+  EXPECT_GT(generous_now, 0u);
+}
+
+TEST_F(BreakerRetryTest, OpenBreakerFastFailsTheWholeRequest) {
+  auto world = make_world({.drop_pm = 1000}, 0xFA57);
+  TlsClient client = make_client(world->network, 5);
+  CircuitBreaker breaker(config_with(1, /*open_ticks=*/1000), &world->clock);
+  RetryPolicy policy;
+  RetryStats stats;
+  Rng jitter(0x23);
+
+  // First logical request: attempt 1 fails, the breaker opens, and the
+  // retry loop's gate converts the remaining budget into a fast-fail.
+  const auto first =
+      request_with_retry(client, "api.example", HttpRequest{}, policy, jitter, &world->clock,
+                         stats, {}, &breaker);
+  EXPECT_EQ(first.error, ErrorCode::CircuitOpen);
+  EXPECT_EQ(first.error_detail, "circuit open for api.example");
+  EXPECT_EQ(stats.attempts, 1u);  // only the tripping attempt was issued
+  EXPECT_EQ(breaker.state_of("api.example"), BreakerState::Open);
+
+  // Second logical request: not a single attempt, draw, or sleep.
+  const std::uint64_t before = world->clock.now();
+  const auto second =
+      request_with_retry(client, "api.example", HttpRequest{}, policy, jitter, &world->clock,
+                         stats, {}, &breaker);
+  EXPECT_EQ(second.error, ErrorCode::CircuitOpen);
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(world->clock.now(), before);
+  EXPECT_GE(breaker.stats().fast_fails, 2u);
+}
+
+TEST_F(BreakerRetryTest, HealthyTrafficNeverTouchesTheBreaker) {
+  auto world = make_world({}, 0x600D);  // no faults
+  TlsClient client = make_client(world->network, 6);
+  CircuitBreaker breaker(config_with(2), &world->clock);
+  RetryPolicy policy;
+  RetryStats stats;
+  Rng jitter(0x24);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(request_with_retry(client, "api.example", HttpRequest{}, policy, jitter,
+                                   &world->clock, stats, {}, &breaker)
+                    .ok());
+  }
+  EXPECT_EQ(breaker.state_of("api.example"), BreakerState::Closed);
+  const CircuitBreakerStats breaker_stats = breaker.stats();
+  EXPECT_EQ(breaker_stats.opens, 0u);
+  EXPECT_EQ(breaker_stats.fast_fails, 0u);
+  EXPECT_EQ(stats.attempts, 5u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+TEST_F(BreakerRetryTest, ReopenCyclesAreCountedSeparatelyFromPlainRetries) {
+  // A validator that classifies every response as a service refusal makes
+  // each retry a reopen cycle; plain transport drops do not.
+  auto world = make_world({}, 0x0DE0);
+  TlsClient client = make_client(world->network, 7);
+  RetryPolicy policy;
+  RetryStats stats;
+  Rng jitter(0x25);
+  const auto result = request_with_retry(
+      client, "api.example", HttpRequest{}, policy, jitter, &world->clock, stats,
+      [](const HttpResponse&) { return ErrorCode::SessionInvalid; });
+  EXPECT_EQ(result.error, ErrorCode::SessionInvalid);
+  EXPECT_EQ(stats.attempts, 4u);
+  EXPECT_EQ(stats.retries, 3u);
+  EXPECT_EQ(stats.reopens, 3u);  // every retry re-established dropped state
+
+  auto drop_world = make_world({.drop_pm = 1000}, 0x0DE1);
+  TlsClient drop_client = make_client(drop_world->network, 8);
+  RetryStats drop_stats;
+  request_with_retry(drop_client, "api.example", HttpRequest{}, policy, jitter,
+                     &drop_world->clock, drop_stats);
+  EXPECT_EQ(drop_stats.retries, 3u);
+  EXPECT_EQ(drop_stats.reopens, 0u);  // transport trouble is not a reopen
+}
+
+}  // namespace
+}  // namespace wideleak::net

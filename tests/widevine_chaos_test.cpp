@@ -1,0 +1,315 @@
+// widevine::ChaosPlan + the DrmService chaos layer — canned plan parsing,
+// refusal classification, shard crash/restart semantics (lazy application,
+// session drop, transparent reopen, time-to-recover accounting), brownout
+// determinism under a fixed seed, overload shedding, and the provisioning
+// path's brownout-only exposure.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "support/sim_clock.hpp"
+#include "widevine/chaos.hpp"
+#include "widevine/drm_service.hpp"
+#include "widevine/key_ladder.hpp"
+#include "widevine/keybox.hpp"
+
+namespace wideleak::widevine {
+namespace {
+
+// Same shape as DrmServiceTest (widevine_service_test.cpp): shared servers,
+// keybox-CMAC-signed requests; each test wires its own chaos plan.
+class ChaosServiceTest : public ::testing::Test {
+ protected:
+  ChaosServiceTest()
+      : roots_(std::make_shared<DeviceRootDatabase>()),
+        license_(std::make_shared<LicenseServer>(roots_, 21)),
+        provisioning_(std::make_shared<ProvisioningServer>(roots_, 22, 512)) {
+    kid_ = Bytes(16, 0x4B);
+    license_->add_generic_key(kid_, SecretBytes(Bytes(16, 0x33)));
+  }
+
+  std::unique_ptr<DrmService> make_service(const DrmServiceConfig& config,
+                                           support::SimClock* clock = nullptr) {
+    auto service = std::make_unique<DrmService>(license_, provisioning_, config, clock);
+    EXPECT_EQ(service->register_app("chaos-app"), 0u);
+    return service;
+  }
+
+  LicenseRequest request_for(const std::string& serial) {
+    const Keybox keybox = make_factory_keybox(serial, 7);
+    roots_->register_device(keybox, SecurityLevel::L1);
+    LicenseRequest request;
+    request.client.stable_id = keybox.stable_id();
+    request.client.device_model = "chaos-test";
+    request.client.cdm_version = kCurrentCdm;
+    request.client.level = SecurityLevel::L1;
+    request.nonce = Bytes(8, 0x5A);
+    request.key_ids = {kid_};
+    request.scheme = SignatureScheme::KeyboxCmac;
+    const Bytes body = request.body();
+    const SessionKeys keys = derive_session_keys(keybox.device_key(), body, body);
+    request.signature = crypto::hmac_sha256(keys.mac_key_client, body);
+    return request;
+  }
+
+  /// A single-shard config so every session lands in the crash blast radius.
+  DrmServiceConfig config_with(ChaosPlan plan) {
+    DrmServiceConfig config;
+    config.seed = 0x5EED;
+    config.shard_count = 1;
+    config.chaos = std::move(plan);
+    return config;
+  }
+
+  std::shared_ptr<DeviceRootDatabase> roots_;
+  std::shared_ptr<LicenseServer> license_;
+  std::shared_ptr<ProvisioningServer> provisioning_;
+  RevocationPolicy policy_ = permissive_revocation_policy();
+  media::KeyId kid_;
+};
+
+// --- plan parsing ------------------------------------------------------------
+
+TEST(ChaosPlanTest, CannedPlansParseWithTheDocumentedShape) {
+  ChaosPlan plan;
+  ASSERT_TRUE(chaos_plan_from_string("none", plan));
+  EXPECT_TRUE(plan.empty());
+  ASSERT_TRUE(chaos_plan_from_string("", plan));
+  EXPECT_EQ(plan.name, "none");
+  EXPECT_TRUE(plan.empty());
+
+  ASSERT_TRUE(chaos_plan_from_string("shard-crash", plan));
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.service_latency_ticks, 6u);
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.crashes[0].start, 8u);
+  EXPECT_EQ(plan.crashes[0].down_ticks, 18u);
+  EXPECT_EQ(plan.crashes[0].shard, kAllShards);
+  EXPECT_FALSE(plan.has_brownout());
+
+  ASSERT_TRUE(chaos_plan_from_string("brownout", plan));
+  EXPECT_TRUE(plan.has_brownout());
+  ASSERT_EQ(plan.brownouts.size(), 1u);
+  EXPECT_EQ(plan.brownouts[0].deny_pm, 300u);
+
+  ASSERT_TRUE(chaos_plan_from_string("overload", plan));
+  EXPECT_EQ(plan.overload.queue_depth_limit, 1u);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(ChaosPlanTest, UnknownPlanNamesAreRejected) {
+  ChaosPlan untouched;
+  untouched.name = "sentinel";
+  EXPECT_FALSE(chaos_plan_from_string("earthquake", untouched));
+  EXPECT_EQ(untouched.name, "sentinel");  // parse failure leaves `out` alone
+  EXPECT_THROW(chaos_plan_for("earthquake"), Error);
+  EXPECT_NO_THROW(chaos_plan_for("shard-crash"));
+}
+
+TEST(ChaosPlanTest, WindowGeometryHelpers) {
+  const ShardCrashWindow window{/*start=*/10, /*down_ticks=*/5, /*shard=*/2};
+  EXPECT_EQ(window.end(), 15u);
+  EXPECT_FALSE(window.down_at(9));
+  EXPECT_TRUE(window.down_at(10));
+  EXPECT_TRUE(window.down_at(14));
+  EXPECT_FALSE(window.down_at(15));
+  EXPECT_TRUE(window.covers(2));
+  EXPECT_FALSE(window.covers(3));
+  EXPECT_TRUE((ShardCrashWindow{0, 1, kAllShards}.covers(7)));
+
+  const BrownoutWindow brownout{/*start=*/4, /*ticks=*/6, /*deny_pm=*/100, /*latency=*/1};
+  EXPECT_FALSE(brownout.active_at(3));
+  EXPECT_TRUE(brownout.active_at(4));
+  EXPECT_FALSE(brownout.active_at(10));
+}
+
+// --- refusal classification --------------------------------------------------
+
+TEST(ChaosPlanTest, ServiceRefusalsClassifyOntoReopenableCodes) {
+  EXPECT_EQ(classify_service_refusal("session invalid: shard restarting"),
+            ErrorCode::SessionInvalid);
+  EXPECT_EQ(classify_service_refusal("rate limited"), ErrorCode::RateLimited);
+  EXPECT_EQ(classify_service_refusal("overloaded: shard queue full"), ErrorCode::RateLimited);
+  EXPECT_EQ(classify_service_refusal("brownout: service degraded"), ErrorCode::RateLimited);
+  // Organic application denials stay authoritative.
+  EXPECT_EQ(classify_service_refusal("device revoked"), ErrorCode::None);
+  EXPECT_EQ(classify_service_refusal("session quota exceeded"), ErrorCode::None);
+  EXPECT_EQ(classify_service_refusal(""), ErrorCode::None);
+}
+
+// --- shard crash / restart ---------------------------------------------------
+
+TEST_F(ChaosServiceTest, ShardCrashDropsSessionsRefusesThenRecovers) {
+  ChaosPlan plan;
+  plan.name = "test-crash";
+  plan.crashes.push_back(ShardCrashWindow{/*start=*/10, /*down_ticks=*/5, kAllShards});
+  const auto service = make_service(config_with(std::move(plan)));
+  const LicenseRequest request = request_for("crash-0");
+  const ServiceSessionId id = service->session_id_for(0, request.client.stable_id);
+
+  // Before the window: normal service, the session opens.
+  EXPECT_TRUE(service->handle_license(0, request, policy_, 5).granted);
+  EXPECT_TRUE(service->has_session(id));
+
+  // Inside the window: the first touch applies the crash (the session is
+  // gone) and the restarting shard refuses the request.
+  const LicenseResponse refused = service->handle_license(0, request, policy_, 12);
+  EXPECT_FALSE(refused.granted);
+  EXPECT_EQ(refused.deny_reason, "session invalid: shard restarting");
+  EXPECT_EQ(classify_service_refusal(refused.deny_reason), ErrorCode::SessionInvalid);
+  EXPECT_FALSE(service->has_session(id));
+
+  DrmServiceStats stats = service->stats();
+  EXPECT_EQ(stats.chaos.sessions_dropped, 1u);
+  EXPECT_EQ(stats.chaos.shard_refusals, 1u);
+  EXPECT_EQ(stats.chaos.windows_recovered, 0u);
+
+  // After the window: the content-derived id reopens transparently and the
+  // first post-restart grant stamps time-to-recover (20 - window end 15).
+  EXPECT_TRUE(service->handle_license(0, request, policy_, 20).granted);
+  EXPECT_TRUE(service->has_session(id));
+  stats = service->stats();
+  EXPECT_EQ(stats.chaos.windows_recovered, 1u);
+  EXPECT_EQ(stats.chaos.recovery_ticks, 5u);
+  EXPECT_EQ(stats.chaos.shard_refusals, 1u);  // no further refusals
+  EXPECT_EQ(stats.sessions_opened, 2u);       // the reopen is a real open
+  EXPECT_EQ(stats.live_sessions, 1u);
+}
+
+TEST_F(ChaosServiceTest, CrashAppliesLazilyEvenAfterTheWindowEnded) {
+  // No request lands during the outage; the first touch afterwards still
+  // drops the pre-crash session (the shard did restart, its state is gone)
+  // but serves the request against the fresh table.
+  ChaosPlan plan;
+  plan.name = "test-lazy";
+  plan.crashes.push_back(ShardCrashWindow{/*start=*/10, /*down_ticks=*/5, kAllShards});
+  const auto service = make_service(config_with(std::move(plan)));
+  const LicenseRequest request = request_for("lazy-0");
+  const ServiceSessionId id = service->session_id_for(0, request.client.stable_id);
+
+  EXPECT_TRUE(service->handle_license(0, request, policy_, 5).granted);
+  EXPECT_TRUE(service->handle_license(0, request, policy_, 40).granted);
+  EXPECT_TRUE(service->has_session(id));  // reopened by the same request
+
+  const DrmServiceStats stats = service->stats();
+  EXPECT_EQ(stats.chaos.sessions_dropped, 1u);
+  EXPECT_EQ(stats.chaos.shard_refusals, 0u);  // nobody hit the down window
+  EXPECT_EQ(stats.chaos.windows_recovered, 1u);
+  EXPECT_EQ(stats.chaos.recovery_ticks, 25u);  // 40 - window end 15
+  EXPECT_EQ(stats.sessions_opened, 2u);
+}
+
+// --- brownout ----------------------------------------------------------------
+
+TEST_F(ChaosServiceTest, BrownoutVerdictsReplayBitIdenticallyForOneSeed) {
+  const auto plan = [] {
+    ChaosPlan plan;
+    plan.name = "test-brownout";
+    plan.brownouts.push_back(
+        BrownoutWindow{/*start=*/0, /*ticks=*/1000, /*deny_pm=*/300, /*latency_ticks=*/2});
+    return plan;
+  };
+  const LicenseRequest request = request_for("brown-0");
+  const auto run = [&](DrmService& service) {
+    std::vector<bool> verdicts;
+    for (std::uint64_t now = 0; now < 50; ++now) {
+      verdicts.push_back(service.handle_license(0, request, policy_, now).granted);
+    }
+    return verdicts;
+  };
+
+  const auto a = make_service(config_with(plan()));
+  const auto b = make_service(config_with(plan()));
+  const auto verdicts_a = run(*a);
+  const auto verdicts_b = run(*b);
+  EXPECT_EQ(verdicts_a, verdicts_b);
+
+  const DrmServiceStats stats_a = a->stats();
+  const DrmServiceStats stats_b = b->stats();
+  EXPECT_EQ(stats_a.chaos.brownout_denied, stats_b.chaos.brownout_denied);
+  EXPECT_GT(stats_a.chaos.brownout_denied, 0u);   // ~30% of 50 requests
+  EXPECT_LT(stats_a.chaos.brownout_denied, 50u);  // ...but nowhere near all
+  // Every request pays the window latency, denied or not; without a wired
+  // clock it is accounted, not slept.
+  EXPECT_EQ(stats_a.chaos.latency_ticks, 100u);
+}
+
+// --- overload ----------------------------------------------------------------
+
+TEST_F(ChaosServiceTest, OverloadShedsSameTickExcessAndRecoversNextTick) {
+  ChaosPlan plan;
+  plan.name = "test-overload";
+  plan.overload.queue_depth_limit = 1;
+  const auto service = make_service(config_with(std::move(plan)));
+  const LicenseRequest first = request_for("ovl-0");
+  const LicenseRequest second = request_for("ovl-1");
+
+  EXPECT_TRUE(service->handle_license(0, first, policy_, 0).granted);
+  const LicenseResponse shed = service->handle_license(0, second, policy_, 0);
+  EXPECT_FALSE(shed.granted);
+  EXPECT_EQ(shed.deny_reason, "overloaded: shard queue full");
+  EXPECT_EQ(classify_service_refusal(shed.deny_reason), ErrorCode::RateLimited);
+
+  // The tick advances, the queue drains, the retry lands.
+  EXPECT_TRUE(service->handle_license(0, second, policy_, 1).granted);
+  const DrmServiceStats stats = service->stats();
+  EXPECT_EQ(stats.chaos.load_shed, 1u);
+  EXPECT_EQ(stats.sessions_opened, 2u);
+}
+
+// --- provisioning exposure ---------------------------------------------------
+
+TEST_F(ChaosServiceTest, ProvisioningSeesBrownoutsButNotShardCrashes) {
+  // Brownout with a certain deny: provisioning is refused before reaching
+  // the provisioning server.
+  ChaosPlan brown;
+  brown.name = "test-prov-brownout";
+  brown.brownouts.push_back(
+      BrownoutWindow{/*start=*/0, /*ticks=*/100, /*deny_pm=*/1000, /*latency_ticks=*/3});
+  const auto brown_service = make_service(config_with(std::move(brown)));
+  const ProvisioningResponse denied =
+      brown_service->handle_provision(0, ProvisioningRequest{}, 0);
+  EXPECT_FALSE(denied.granted);
+  EXPECT_EQ(denied.deny_reason, "brownout: service degraded");
+  EXPECT_EQ(classify_service_refusal(denied.deny_reason), ErrorCode::RateLimited);
+  EXPECT_EQ(brown_service->stats().chaos.brownout_denied, 1u);
+  EXPECT_EQ(brown_service->stats().chaos.latency_ticks, 3u);
+  EXPECT_EQ(brown_service->stats().provisioning_requests, 0u);
+
+  // A crash window refuses license traffic but provisioning has no session
+  // shard: the request passes the chaos layer untouched.
+  ChaosPlan crash;
+  crash.name = "test-prov-crash";
+  crash.crashes.push_back(ShardCrashWindow{/*start=*/0, /*down_ticks=*/100, kAllShards});
+  const auto crash_service = make_service(config_with(std::move(crash)));
+  const ProvisioningResponse through =
+      crash_service->handle_provision(0, ProvisioningRequest{}, 5);
+  EXPECT_NE(through.deny_reason, "session invalid: shard restarting");
+  const DrmServiceStats stats = crash_service->stats();
+  EXPECT_EQ(stats.chaos.shard_refusals, 0u);
+  EXPECT_EQ(stats.chaos.sessions_dropped, 0u);
+  EXPECT_EQ(stats.provisioning_requests, 1u);  // it reached the server
+}
+
+// --- service latency ---------------------------------------------------------
+
+TEST_F(ChaosServiceTest, ServiceLatencySleepsTheWiredClock) {
+  ChaosPlan plan;
+  plan.name = "test-latency";
+  plan.service_latency_ticks = 6;
+  support::SimClock clock;
+  const auto service = make_service(config_with(std::move(plan)), &clock);
+  const LicenseRequest request = request_for("lat-0");
+
+  EXPECT_TRUE(service->handle_license(0, request, policy_).granted);
+  EXPECT_EQ(clock.now(), 6u);
+  EXPECT_TRUE(service->handle_license(0, request, policy_).granted);
+  EXPECT_EQ(clock.now(), 12u);
+  EXPECT_EQ(service->stats().chaos.latency_ticks, 12u);
+}
+
+}  // namespace
+}  // namespace wideleak::widevine

@@ -48,7 +48,7 @@ class DrmServiceTest : public ::testing::Test {
   /// A service over the shared servers; AppId == index into `apps`.
   std::unique_ptr<DrmService> make_service(const DrmServiceConfig& config,
                                            std::size_t apps = 2,
-                                           const support::SimClock* clock = nullptr) {
+                                           support::SimClock* clock = nullptr) {
     auto service = std::make_unique<DrmService>(license_, provisioning_, config, clock);
     for (std::size_t a = 0; a < apps; ++a) {
       EXPECT_EQ(service->register_app("app-" + std::to_string(a)), a);

@@ -1,0 +1,67 @@
+// WL011 fixture: bounded-wait discipline. Inside src/core, src/net and
+// src/ott a loop that sleeps, backs off or retries must carry a visible
+// bound — an attempt cap, a budget, a deadline/timeout check — so no
+// retry/wait loop can spin forever against a dependency that never
+// recovers. The rule wants the bound *visible* in the loop span, not
+// proven: `while (!ok) { clock.sleep(backoff()); }` is the shape it exists
+// to catch.
+//
+// Fixtures are lexed, not compiled — the types stand in for the real ones.
+#include <cstdint>
+
+void bad_unbounded_backoff(Service& service, SimClock& clock) {
+  while (!service.ok()) {  // expect: WL011
+    clock.sleep(service.backoff_ticks());
+  }
+}
+
+void bad_unbounded_retry(Client& client) {
+  for (;;) {  // expect: WL011
+    if (client.retry_once()) break;
+  }
+}
+
+void bad_do_while_retry(Session& session) {
+  do {  // expect: WL011
+    session.retry();
+  } while (!session.open());
+}
+
+void bad_single_statement_body(Service& service, SimClock& clock) {
+  while (!service.ok()) clock.sleep(service.poll_ticks());  // expect: WL011
+}
+
+void good_attempt_capped(Service& service, SimClock& clock) {
+  // An attempt counter in the header bounds the retries.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    if (service.ok()) break;
+    clock.sleep(service.backoff_ticks());
+  }
+}
+
+void good_deadline_checked(Service& service, SimClock& clock, std::uint64_t deadline) {
+  // A deadline consumed by the condition bounds the wait.
+  while (!service.ok() && clock.now() < deadline) {
+    clock.sleep(service.retry_ticks());
+  }
+}
+
+void good_budget_in_body(Service& service, SimClock& clock) {
+  while (!service.ok()) {
+    if (service.budget_spent()) return;
+    clock.sleep(service.retry_ticks());
+  }
+}
+
+void good_no_waiting(Buffer& buffer) {
+  // Plain iteration: no sleep/backoff/retry verbs, the rule stays silent.
+  for (std::size_t i = 0; i < buffer.size(); ++i) buffer.touch(i);
+}
+
+void suppressed_externally_bounded(Service& service, SimClock& clock) {
+  // The caller enforces the cap; the loop itself cannot see it.
+  // wl-lint: bounded-ok
+  while (!service.ok()) {
+    clock.sleep(service.retry_ticks());
+  }
+}

@@ -14,6 +14,8 @@
 // overload resolution — but precise enough for this codebase's idioms, and
 // tuned so the shipped baseline stays empty.
 #include <algorithm>
+#include <cctype>
+#include <iterator>
 
 #include "lint.hpp"
 #include "scan.hpp"
@@ -674,6 +676,110 @@ void check_wl010(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
+// ---------------------------------------------------------------------------
+// WL011: bounded-wait discipline (plain token scan; same path scope)
+// ---------------------------------------------------------------------------
+//
+// Heuristic: a loop whose header or body mentions a waiting/retrying verb
+// (sleep, backoff, stall_until, retry — matched case-insensitively as
+// identifier substrings, so `clock.sleep`, `compute_backoff`, `retries` all
+// count) must also mention a bound marker somewhere in the same span: an
+// attempt counter, a budget, a deadline/timeout/expiry check, a max or a
+// cap. A retry loop with neither spins forever against a dependency that
+// never recovers — exactly the failure mode the deadline-propagation work
+// exists to rule out. The bound need not be *proven* effective (this is a
+// token scan, not a solver); it must merely be *visible*, which keeps the
+// false-positive rate near zero while catching the classic
+// `while (!ok) { backoff(); }` shape.
+
+/// True when any identifier token in [begin, end) contains one of `words`
+/// as a case-insensitive substring.
+bool span_mentions(const std::vector<Token>& toks, std::size_t begin, std::size_t end,
+                   const char* const* words, std::size_t count) {
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (!toks[i].is_ident) continue;
+    std::string lower = toks[i].text;
+    for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    for (std::size_t w = 0; w < count; ++w) {
+      if (lower.find(words[w]) != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
+/// Index one past a loop body starting at `open`: the matching `}` of a
+/// block, or the `;` of a single-statement body.
+std::size_t loop_body_end(const std::vector<Token>& toks, std::size_t open) {
+  if (open >= toks.size()) return open;
+  if (toks[open].text == "{") {
+    int depth = 0;
+    for (std::size_t j = open; j < toks.size(); ++j) {
+      if (toks[j].text == "{") ++depth;
+      if (toks[j].text == "}" && --depth == 0) return j + 1;
+    }
+    return toks.size();
+  }
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (toks[j].text == ";") return j + 1;
+  }
+  return toks.size();
+}
+
+void check_wl011(const std::string& path, const std::vector<Token>& toks,
+                 const NotesMap& notes, std::vector<Violation>* violations) {
+  static const char* const kTriggers[] = {"sleep", "backoff", "stall_until", "retry"};
+  static const char* const kBounds[] = {"attempt", "budget",  "deadline", "remaining",
+                                        "expired", "timeout", "max",      "cap"};
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].is_ident) continue;
+    const std::string& t = toks[i].text;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    if ((t == "while" || t == "for") && i + 1 < toks.size() && toks[i + 1].text == "(") {
+      if (t == "while" && i > 0 && toks[i - 1].text == "}") {
+        // Possibly a do-while tail; the span was already handled at the
+        // `do`. Same brace-matching walk as WL010's busy-wait carve-out.
+        int depth = 0;
+        std::size_t open = i - 1;
+        for (std::size_t j = i; j-- > 0;) {
+          if (toks[j].text == "}") ++depth;
+          if (toks[j].text == "{" && --depth == 0) {
+            open = j;
+            break;
+          }
+        }
+        if (open > 0 && toks[open - 1].text == "do") continue;
+      }
+      const std::size_t close = match_paren(toks, i + 1);
+      begin = i + 1;
+      end = loop_body_end(toks, close + 1);
+    } else if (t == "do" && i + 1 < toks.size() && toks[i + 1].text == "{") {
+      begin = i + 1;
+      end = loop_body_end(toks, i + 1);
+      // Fold the tail condition into the span — `} while (retries_left());`
+      // is a perfectly good bound.
+      if (end < toks.size() && toks[end].text == "while" && end + 1 < toks.size() &&
+          toks[end + 1].text == "(") {
+        end = match_paren(toks, end + 1) + 1;
+      }
+    } else {
+      continue;
+    }
+    if (!span_mentions(toks, begin, end, kTriggers, std::size(kTriggers))) continue;
+    if (span_mentions(toks, begin, end, kBounds, std::size(kBounds))) continue;
+    const int line = toks[i].line;
+    const int anchor = statement_anchor_line(toks, i);
+    if (suppressed_at(notes, "bounded-ok", line, anchor)) continue;
+    violations->push_back(
+        {path, line, "WL011",
+         "retry/wait loop with no visible bound: nothing in the loop caps "
+         "attempts or checks a deadline/budget, so it can spin forever against "
+         "a dependency that never recovers; cap it or consume a deadline "
+         "(docs/RESILIENCE.md, docs/LINTING.md)"});
+  }
+}
+
 }  // namespace
 
 SymbolIndex build_symbol_index(const std::vector<SourceFile>& sources) {
@@ -702,6 +808,7 @@ void run_dataflow_passes(const std::string& path, const Scan& scan, const NotesM
   if (options.assume_scoped || scoped_for_wl009(path)) {
     check_wl009(path, scan.tokens, notes, violations);
     check_wl010(path, scan.tokens, notes, violations);
+    check_wl011(path, scan.tokens, notes, violations);
   }
 }
 

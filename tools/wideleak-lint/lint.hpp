@@ -51,6 +51,12 @@
 //          a wait must go through SimClock::sleep so the campaign task
 //          queue can park it on the timer wheel and run other cells'
 //          work meanwhile. (Pipelined-scheduler contract, docs/LINTING.md.)
+//   WL011  bounded-wait discipline: a loop inside src/core, src/net or
+//          src/ott that sleeps, backs off, stalls or retries must carry a
+//          visible bound — an attempt cap, budget, deadline, timeout or
+//          remaining-work check — so no retry/wait loop can spin forever
+//          against a dependency that never recovers. (Deadline-propagation
+//          contract, docs/RESILIENCE.md.)
 //
 // Suppressions, written as ordinary comments on the flagged line, the line
 // above it, or the line above the start of a multi-line declaration /
@@ -65,6 +71,7 @@
 //   // wl-lint: lock-ok         (WL008)
 //   // wl-lint: det-ok          (WL009)
 //   // wl-lint: wait-ok         (WL010)
+//   // wl-lint: bounded-ok      (WL011)
 //   // wl-lint: log-ok,ct-ok    (both at once)
 //
 // Fixture self-test: every line carrying `// expect: WLxxx[,WLyyy]` must be
@@ -80,7 +87,7 @@ namespace wideleak::lint {
 struct Violation {
   std::string file;
   int line = 0;
-  std::string rule;     // "WL001".."WL010"
+  std::string rule;     // "WL001".."WL011"
   std::string message;  // human-readable finding
 };
 
@@ -160,7 +167,7 @@ struct Expectation {
 };
 std::vector<Expectation> collect_expectations(const std::string& source);
 
-/// All rule ids, in order ("WL001".."WL010").
+/// All rule ids, in order ("WL001".."WL011").
 const std::vector<std::string>& all_rules();
 
 /// One-line description of a rule id (used by the SARIF rules table).
