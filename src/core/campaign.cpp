@@ -476,10 +476,16 @@ struct CellExecution final : public support::SimClock::WaitObserver {
   }
 
   void audit() {
+    // The planned play tasks nearly always complete the session; if the
+    // segment-step planning bound underestimated, finish it here under the
+    // same per-step deadline discipline the play tasks apply — so whether a
+    // cell's deadline fires is a pure function of its virtual timeline,
+    // exactly matching the synchronous runner's play loop.
+    while (!playback->done()) {
+      if (check_deadline("play")) return;
+      playback->step();
+    }
     if (check_deadline("audit")) return;
-    // kMaxSteps play tasks always complete the session; the loop is a
-    // no-cost guarantee, not an expected path.
-    while (!playback->done()) playback->step();
     outcome = playback->take_outcome();
 
     cell.usage = drm_monitor->usage_report();
@@ -542,14 +548,33 @@ struct CellExecution final : public support::SimClock::WaitObserver {
     // Collect on the step that finishes the session — inside the guard, so
     // a throwing phase leaves the rip fields at their defaults, exactly
     // like the synchronous catch does.
-    if (rip->done() && !rip_collected) {
-      rip_collected = true;
-      RipResult result = rip->take_result();
-      cell.rip_success = result.success;
-      cell.content_keys_recovered = result.content_keys_recovered;
-      cell.rip_resolution = result.best_video_resolution;
-      cell.stats.bytes_ripped = result.drm_free_media.size();
+    collect_rip();
+  }
+
+  /// The rip chain's completion guarantee: unlike the playback chain (whose
+  /// audit stage loops to done), rip_step has no finishing stage of its
+  /// own, so if the segment-step planning bound underestimated the phase
+  /// count the session would silently stay unfinished and the cell's rip
+  /// fields would diverge from the synchronous run. This task steps to
+  /// done under the same per-step deadline discipline, then collects.
+  void rip_finish() {
+    if (!spec->attempt_rip || !rip) return;
+    while (!rip->done()) {
+      if (check_deadline("rip")) return;
+      queue->trace_note(index, rip->phase_name());
+      rip->step();
     }
+    collect_rip();
+  }
+
+  void collect_rip() {
+    if (!rip->done() || rip_collected) return;
+    rip_collected = true;
+    RipResult result = rip->take_result();
+    cell.rip_success = result.success;
+    cell.content_keys_recovered = result.content_keys_recovered;
+    cell.rip_resolution = result.best_video_resolution;
+    cell.stats.bytes_ripped = result.drm_free_media.size();
   }
 
   /// Unconditional (not guarded): a Partial cell's counters land in the
@@ -637,6 +662,34 @@ void accumulate(CellStats& total, const CellStats& cell) {
   total.deadline_cancelled += cell.deadline_cancelled;
 }
 
+using Stage = std::pair<const char*, std::function<void()>>;
+
+/// One cell's fence-chained task list: the exact run_cell sequence split at
+/// segment-stage granularity. The play and rip chains are sized by the
+/// profile's planning bounds (one segment fetch per task); the audit and
+/// rip-finish tasks are the step-to-done guarantees those bounds rely on.
+std::vector<Stage> build_cell_chain(CellExecution* cell) {
+  std::vector<Stage> chain;
+  chain.emplace_back("setup", [cell] { cell->guarded([&] { cell->setup(); }); });
+  chain.emplace_back("attach", [cell] { cell->guarded([&] { cell->attach(); }); });
+  const int play_steps = ott::PlaybackSession::max_steps_for(*cell->plan->app);
+  for (int s = 0; s < play_steps; ++s) {
+    chain.emplace_back("play", [cell] { cell->guarded([&] { cell->play_step(); }); });
+  }
+  chain.emplace_back("audit", [cell] { cell->guarded([&] { cell->audit(); }); });
+  chain.emplace_back("keybox", [cell] { cell->guarded([&] { cell->keybox(); }); });
+  if (cell->spec->attempt_rip) {
+    const int rip_steps = RipSession::max_steps_for(*cell->plan->app);
+    for (int s = 0; s < rip_steps; ++s) {
+      chain.emplace_back("rip", [cell] { cell->guarded([&] { cell->rip_step(); }); });
+    }
+    chain.emplace_back("rip-finish",
+                       [cell] { cell->guarded([&] { cell->rip_finish(); }); });
+  }
+  chain.emplace_back("flush", [cell] { cell->flush(); });
+  return chain;
+}
+
 std::string pad(const std::string& s, std::size_t width) {
   std::string out = s;
   if (out.size() < width) out.append(width - out.size(), ' ');
@@ -656,6 +709,16 @@ std::size_t CampaignRunner::cell_count() const {
 }
 
 CampaignResult CampaignRunner::run() {
+  if (spec_.mode == ExecutionMode::Pipelined) {
+    // The pipelined runner IS the shared-queue runner with one spec: one
+    // code path builds chains, submits slot-major and keeps the accounting.
+    SharedCampaignConfig config;
+    config.workers = spec_.workers;
+    config.pacing = spec_.pacing;
+    config.record_schedule_trace = spec_.record_schedule_trace;
+    return std::move(run_campaigns_shared({spec_}, config).front());
+  }
+
   const support::WallTimer timer;
 
   std::vector<PlannedCell> planned;
@@ -680,70 +743,7 @@ CampaignResult CampaignRunner::run() {
   result.stats.cells = planned.size();
   result.stats.cells_per_worker.assign(workers, 0);
 
-  if (spec_.mode == ExecutionMode::Pipelined) {
-    // Every cell becomes a fence-chained task graph. Stages are submitted
-    // slot-major — every cell's setup, then every cell's attach, and so on
-    // — and the ready set runs lowest submission id first, so the schedule
-    // is breadth-first across the matrix: every cell starts as early as
-    // fences allow and the matrix's simulated-wait obligation front-loads
-    // where it can overlap the most remaining CPU work. (Cell-major
-    // submission runs depth-first instead, which strands the last cells'
-    // waits past the end of runnable work — measurably worse overlap under
-    // pacing.) Fences keep each cell's chain strictly ordered, so no
-    // cell-private state is ever touched concurrently.
-    TaskQueue queue(workers, spec_.pacing, spec_.record_schedule_trace);
-    std::vector<std::unique_ptr<CellExecution>> cells;
-    cells.reserve(planned.size());
-    const FenceId campaign_done = queue.make_fence(planned.size());
-
-    using Stage = std::pair<const char*, std::function<void()>>;
-    std::vector<std::vector<Stage>> chains(planned.size());
-    for (std::size_t i = 0; i < planned.size(); ++i) {
-      cells.push_back(std::make_unique<CellExecution>());
-      CellExecution* cell = cells.back().get();
-      cell->plan = &planned[i];
-      cell->index = i;
-      cell->spec = &spec_;
-      cell->fault_plan = &fault_plan;
-      cell->queue = &queue;
-
-      std::vector<Stage>& chain = chains[i];
-      chain.emplace_back("setup", [cell] { cell->guarded([&] { cell->setup(); }); });
-      chain.emplace_back("attach", [cell] { cell->guarded([&] { cell->attach(); }); });
-      for (int s = 0; s < ott::PlaybackSession::kMaxSteps; ++s) {
-        chain.emplace_back("play", [cell] { cell->guarded([&] { cell->play_step(); }); });
-      }
-      chain.emplace_back("audit", [cell] { cell->guarded([&] { cell->audit(); }); });
-      chain.emplace_back("keybox", [cell] { cell->guarded([&] { cell->keybox(); }); });
-      for (int s = 0; s < RipSession::kMaxSteps; ++s) {
-        chain.emplace_back("rip", [cell] { cell->guarded([&] { cell->rip_step(); }); });
-      }
-      chain.emplace_back("flush", [cell] { cell->flush(); });
-    }
-
-    const std::size_t slots = chains.empty() ? 0 : chains.front().size();
-    std::vector<std::optional<FenceId>> prev(planned.size());
-    for (std::size_t s = 0; s < slots; ++s) {
-      const bool last = s + 1 == slots;
-      for (std::size_t i = 0; i < planned.size(); ++i) {
-        const std::optional<FenceId> signals =
-            last ? std::optional<FenceId>(campaign_done)
-                 : std::optional<FenceId>(queue.make_fence(1));
-        queue.submit(std::move(chains[i][s].second), prev[i], signals, i,
-                     chains[i][s].first);
-        prev[i] = last ? std::nullopt : signals;
-      }
-    }
-
-    queue.drain(campaign_done);
-
-    for (std::size_t i = 0; i < planned.size(); ++i) {
-      result.stats.cells_per_worker[cells[i]->flush_worker % workers] += 1;
-      result.cells[i] = std::move(cells[i]->cell);
-    }
-    result.stats.pipeline = queue.stats();
-    if (spec_.record_schedule_trace) result.trace = queue.trace();
-  } else if (workers == 1) {
+  if (workers == 1) {
     const support::Pacer pacer(spec_.pacing);
     for (std::size_t i = 0; i < planned.size(); ++i) {
       result.cells[i] = run_cell(*planned[i].app, *planned[i].profile, planned[i].seed,
@@ -789,6 +789,156 @@ CampaignResult CampaignRunner::run() {
   for (const CellResult& cell : result.cells) accumulate(result.stats.totals, cell.stats);
   result.stats.wall_ms = timer.elapsed_ms();
   return result;
+}
+
+std::vector<CampaignResult> run_campaigns_shared(const std::vector<CampaignSpec>& specs,
+                                                 const SharedCampaignConfig& config) {
+  const support::WallTimer timer;
+
+  // Resolve defaults per spec (the CampaignRunner constructor's rules) into
+  // the result slots first: `results` is never resized after this, so the
+  // app/profile pointers the planned cells take below stay stable.
+  std::vector<CampaignResult> results(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    CampaignSpec spec = specs[s];
+    if (spec.apps.empty()) spec.apps = ott::study_catalog();
+    if (spec.profiles.empty()) spec.profiles = study_device_profiles();
+    if (spec.workers == 0) spec.workers = 1;
+    results[s].spec = std::move(spec);
+  }
+
+  struct GlobalCell {
+    std::size_t spec_index = 0;   // which results[] slot the cell reports to
+    std::size_t local_index = 0;  // position in that result's matrix order
+    PlannedCell plan;
+  };
+  std::vector<net::FaultPlan> fault_plans(results.size());
+  std::vector<GlobalCell> planned;
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    const CampaignSpec& spec = results[s].spec;
+    fault_plans[s] =
+        spec.fault_plan ? *spec.fault_plan : net::fault_plan_for(spec.chaos);
+    std::size_t local = 0;
+    for (const ott::OttAppProfile& app : spec.apps) {
+      for (const CampaignDeviceProfile& profile : spec.profiles) {
+        planned.push_back(GlobalCell{
+            s, local++,
+            PlannedCell{&app, &profile,
+                        derive_stream_seed(spec.seed, cell_label(app, profile))}});
+      }
+    }
+    results[s].cells.resize(local);
+    results[s].stats.cells = local;
+  }
+
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(config.workers, planned.size()));
+
+  // Every cell — across every spec — becomes a fence-chained task graph on
+  // ONE queue. Stages are submitted chain-major (all of cell 0's stages,
+  // then all of cell 1's, ...) and the ready order runs lowest submission id
+  // first among equal debts, so the base schedule is depth-first: each cell
+  // races through its CPU stages to its next simulated wait and parks there,
+  // staggering the wait windows across cells instead of marching every cell
+  // through the same stage in lock-step. (Slot-major submission is
+  // breadth-first: all cells do stage k's CPU back-to-back, then all hit
+  // stage k's waits together — the waits overlap each other but almost no
+  // CPU runs under them, which measurably caps the paced overlap ratio.)
+  // Debt priority layers on top: once a cell has eaten real wait ticks its
+  // next stage preempts fresh chains, so long-wait cells stay hot. Fences
+  // keep each cell's chain strictly ordered, so no cell-private state is
+  // ever touched concurrently — which is also why per-spec results cannot
+  // observe the shared schedule.
+  TaskQueue queue(workers, config.pacing, config.record_schedule_trace);
+  const FenceId campaign_done = queue.make_fence(planned.size());
+
+  std::vector<std::unique_ptr<CellExecution>> cells;
+  cells.reserve(planned.size());
+  std::vector<std::vector<Stage>> chains;
+  chains.reserve(planned.size());
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    cells.push_back(std::make_unique<CellExecution>());
+    CellExecution* cell = cells.back().get();
+    cell->plan = &planned[i].plan;
+    cell->index = i;
+    cell->spec = &results[planned[i].spec_index].spec;
+    cell->fault_plan = &fault_plans[planned[i].spec_index];
+    cell->queue = &queue;
+    chains.push_back(build_cell_chain(cell));
+  }
+
+  // Chains have different lengths (segment-step planning is per-profile, and
+  // rip chains only exist where the spec rips): each chain signs
+  // campaign_done from its own last stage, whatever its depth.
+  //
+  // Profile-guided order: when a spec carries schedule_wait_hints (per-cell
+  // expected waits measured by a prior run of the same deterministic
+  // matrix), chains are submitted expected-longest-wait first and the hint
+  // seeds the cell's ready priority. The paced makespan is set by max over
+  // cells of (start delay + the cell's own serial time), so the chains
+  // that will wait longest must open their first wait windows earliest —
+  // longest-processing-time order over a measured profile. Unhinted cells
+  // keep matrix order. The order is a pure function of spec inputs, never
+  // of timing, and reports cannot observe it.
+  std::vector<std::uint64_t> hints(planned.size(), 0);
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    const std::vector<std::uint64_t>& spec_hints =
+        specs[planned[i].spec_index].schedule_wait_hints;
+    const std::size_t local = planned[i].local_index;
+    if (local < spec_hints.size()) hints[i] = spec_hints[local];
+    if (hints[i] > 0) queue.set_cell_wait_hint(i, hints[i]);
+  }
+  std::vector<std::size_t> order(planned.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return hints[a] > hints[b];
+  });
+  for (const std::size_t i : order) {
+    std::optional<FenceId> prev;
+    for (std::size_t slot = 0; slot < chains[i].size(); ++slot) {
+      const bool last = slot + 1 == chains[i].size();
+      const std::optional<FenceId> signals =
+          last ? std::optional<FenceId>(campaign_done)
+               : std::optional<FenceId>(queue.make_fence(1));
+      queue.submit(std::move(chains[i][slot].second), prev, signals, i,
+                   chains[i][slot].first);
+      prev = last ? std::nullopt : signals;
+    }
+  }
+
+  queue.drain(campaign_done);
+
+  // Per-spec accounting off the shared run: cells land in their own spec's
+  // matrix order; schedule-wide telemetry (pipeline stats, wall) is shared
+  // verbatim; trace events are split per spec with cell ids rebased to
+  // spec-local indices so each result reads like a solo run's.
+  const PipelineStats pipeline = queue.stats();
+  for (CampaignResult& result : results) {
+    result.stats.workers = workers;
+    result.stats.cells_per_worker.assign(workers, 0);
+    result.stats.pipeline = pipeline;
+  }
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    CampaignResult& result = results[planned[i].spec_index];
+    result.stats.cells_per_worker[cells[i]->flush_worker % workers] += 1;
+    result.cells[planned[i].local_index] = std::move(cells[i]->cell);
+  }
+  if (config.record_schedule_trace) {
+    for (const TraceEvent& event : queue.trace()) {
+      if (event.cell >= planned.size()) continue;
+      TraceEvent local = event;
+      local.cell = planned[event.cell].local_index;
+      results[planned[event.cell].spec_index].trace.push_back(std::move(local));
+    }
+  }
+  const double wall_ms = timer.elapsed_ms();  // one reading: the shared wall
+  for (CampaignResult& result : results) {
+    for (const CellResult& cell : result.cells) {
+      accumulate(result.stats.totals, cell.stats);
+    }
+    result.stats.wall_ms = wall_ms;
+  }
+  return results;
 }
 
 std::vector<AppAudit> campaign_to_audits(const CampaignResult& result) {
@@ -900,11 +1050,27 @@ std::string render_campaign_stats(const CampaignResult& result) {
   if (result.spec.mode == ExecutionMode::Pipelined) {
     const PipelineStats& pipeline = result.stats.pipeline;
     out << "  pipeline: " << pipeline.tasks_executed << " tasks (" << pipeline.helped_tasks
-        << " helped), " << pipeline.fence_stalls << " fence stalls, " << pipeline.waits
-        << " waits parked (" << pipeline.wait_ticks << " ticks, max "
-        << pipeline.max_parked << " concurrent), " << pipeline.timer_wakeups
-        << " timer wakeups, " << pipeline.cells_cancelled << " cells cancelled ("
-        << pipeline.waits_cancelled << " waits released)\n";
+        << " helped, " << pipeline.steals << " stolen), " << pipeline.fence_stalls
+        << " fence stalls, " << pipeline.waits << " waits parked ("
+        << pipeline.wait_ticks << " ticks, max " << pipeline.max_parked
+        << " concurrent), " << pipeline.timer_wakeups << " timer wakeups, "
+        << pipeline.cells_cancelled << " cells cancelled (" << pipeline.waits_cancelled
+        << " waits released), " << pipeline.cpu_tokens << " cpu tokens\n";
+    if (!pipeline.stage_occupancy.empty()) {
+      out << "  stage occupancy:";
+      for (const auto& [label, occ] : pipeline.stage_occupancy) {
+        out << " " << label << "=" << occ.tasks << "/" << occ.busy_ms << "ms";
+      }
+      out << "\n";
+    }
+    if (!pipeline.debt_histogram.empty()) {
+      out << "  wait-debt histogram (log2 ticks):";
+      for (std::size_t b = 0; b < pipeline.debt_histogram.size(); ++b) {
+        if (pipeline.debt_histogram[b] == 0) continue;
+        out << " [" << b << "]=" << pipeline.debt_histogram[b];
+      }
+      out << "\n";
+    }
   }
   return out.str();
 }

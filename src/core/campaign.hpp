@@ -128,6 +128,18 @@ struct CampaignSpec {
   /// Record a scheduler TraceEvent stream into CampaignResult::trace
   /// (Pipelined mode only; for tests and diagnostics).
   bool record_schedule_trace = false;
+
+  /// Profile-guided scheduling (Pipelined/shared mode only): expected total
+  /// simulated wait ticks per cell, indexed in matrix order — typically
+  /// CellStats::sim_wait_ticks from a previous run of this same
+  /// deterministic spec (the paced benches feed the synchronous baseline's
+  /// measurements forward). Hinted cells are submitted and prioritized
+  /// expected-longest-wait first, so the chains that dominate the paced
+  /// makespan open their wait windows immediately instead of after the
+  /// scheduler rediscovers their debt one park at a time. Pure scheduling
+  /// input: reports cannot observe it. Empty (the default) = unhinted;
+  /// shorter-than-matrix vectors treat missing entries as 0.
+  std::vector<std::uint64_t> schedule_wait_hints;
 };
 
 /// How completely a cell's audit pipeline ran under fault injection.
@@ -237,6 +249,31 @@ class CampaignRunner {
  private:
   CampaignSpec spec_;
 };
+
+/// Cross-matrix shared scheduling: how run_campaigns_shared() drives the
+/// one TaskQueue every spec's cells are submitted into.
+struct SharedCampaignConfig {
+  std::size_t workers = 1;
+  /// Tick→wall mapping shared by every cell (the per-spec pacing fields are
+  /// ignored in shared mode: wall pacing is a property of the queue).
+  support::PacingPolicy pacing;
+  bool record_schedule_trace = false;
+};
+
+/// Run several campaign matrices through ONE shared pipelined TaskQueue, so
+/// one spec's simulated-wait tail (e.g. flaky-license backoff) drains under
+/// another spec's CPU work (e.g. flaky-cdn decrypts). Per-spec accounting
+/// stays fully separate: each result's cells, totals and report are
+/// bit-identical to running that spec alone in any mode at any worker
+/// count — cell seeds derive from each spec's own seed and cell label,
+/// never from the shared schedule. Shared-schedule telemetry (the pipeline
+/// stats snapshot, wall_ms) is identical across the returned results; each
+/// result's trace holds its own cells' events with spec-local cell ids.
+/// Specs' `mode`, `workers`, `pacing` and `record_schedule_trace` fields
+/// are ignored (the config governs the queue); everything else applies
+/// per spec as usual.
+std::vector<CampaignResult> run_campaigns_shared(const std::vector<CampaignSpec>& specs,
+                                                 const SharedCampaignConfig& config);
 
 /// Merge a campaign run over the three canonical study profiles back into
 /// per-app audits (the shape render_table_one consumes). Requires every app

@@ -3,30 +3,22 @@
 #include <algorithm>
 #include <thread>
 
+#include "support/wall_clock.hpp"
+
 namespace wideleak::core {
 
 namespace {
 
-/// Worker identity for telemetry attribution; helpers keep their own id
-/// while running another cell's task.
+/// Worker identity for telemetry attribution; relief workers get ids
+/// >= workers_ so traces can tell them apart from the base pool.
 thread_local std::size_t t_worker_index = 0;
 
-/// Nesting bound for work-helping: a parked wait may run other tasks on
-/// its own stack, and those tasks may park and help in turn. Every level
-/// of nesting is a burial risk — the outer wait cannot resume until the
-/// whole stack above it unwinds, so a nested park stretches the outer
-/// cell's wall wait past its nominal obligation. One helped level keeps
-/// workers busy through long waits; deeper stacks cost more than they
-/// fill. A maxed-out waiter just sleeps out its deadline.
-constexpr int kMaxHelpDepth = 2;
-thread_local int t_help_depth = 0;
-
-/// Helping is also gated on how much of the deadline is left: picking up
-/// a task with only a tick or two remaining converts a precise timer
-/// wakeup into an open-ended burial (the helped task finishes when it
-/// finishes). Below this remainder the waiter sleeps — the fill value of
-/// such a short window is at most the window itself.
-constexpr std::uint64_t kMinHelpRemainingTicks = 3;
+/// Cap on injected relief workers per queue. A parked wait occupies its
+/// thread for the full wall obligation, so the queue injects one relief
+/// thread per concurrent park to keep ~workers_ threads schedulable; the
+/// cap only bounds pathological matrices (a relief thread beyond it is
+/// never needed for correctness — a parked wait always wakes itself).
+constexpr std::size_t kMaxReliefWorkers = 256;
 
 /// Concurrent on-CPU task budget. Worker threads are *parking capacity*
 /// (each can hold one cell's in-flight wait); actual compute concurrency
@@ -50,7 +42,9 @@ TaskQueue::TaskQueue(std::size_t workers, support::PacingPolicy pacing, bool rec
       pacing_(pacing),
       record_trace_(record_trace),
       pacer_(pacing),
-      cpu_tokens_(cpu_token_limit(std::max<std::size_t>(1, workers))) {}
+      cpu_tokens_(cpu_token_limit(std::max<std::size_t>(1, workers))) {
+  run_queues_.resize(workers_);
+}
 
 FenceId TaskQueue::make_fence(std::size_t producers) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -77,8 +71,49 @@ TaskId TaskQueue::submit(std::function<void()> job, std::optional<FenceId> after
 
 void TaskQueue::push_ready_locked(TaskId id) WL_REQUIRES(mutex_) {
   Task& task = tasks_[id];
-  if (task.cell < wait_debt_.size()) task.debt = wait_debt_[task.cell];
-  ready_.insert(ReadyEntry{task.debt, id});
+  task.debt = task.cell < wait_debt_.size() ? wait_debt_[task.cell] : 0;
+  // The profile hint rides on the priority key only — cell_wait_debt() and
+  // the debt histogram never see it.
+  const std::uint64_t hint = task.cell < wait_hint_.size() ? wait_hint_[task.cell] : 0;
+  run_queues_[task.cell % workers_].insert(ReadyEntry{task.debt + hint, id});
+  ++ready_count_;
+}
+
+void TaskQueue::set_cell_wait_hint(std::size_t cell, std::uint64_t ticks) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (cell >= wait_hint_.size()) wait_hint_.resize(cell + 1, 0);
+  wait_hint_[cell] = ticks;
+}
+
+std::optional<TaskId> TaskQueue::pop_ready_locked(std::size_t me,
+                                                  bool* stole) WL_REQUIRES(mutex_) {
+  if (ready_count_ == 0) return std::nullopt;
+  // Select the globally best entry across every run queue. The scan starts
+  // at the caller's own queue and visits victims in fixed index order
+  // (me+1, me+2, ... mod W): with a strict global comparison the winner is
+  // a pure function of the queue contents, so the pop sequence — and
+  // therefore the steal accounting — is deterministic however the threads
+  // are timed.
+  const std::set<ReadyEntry>* best_queue = nullptr;
+  std::set<ReadyEntry>::const_iterator best;
+  std::size_t best_owner = me;
+  for (std::size_t k = 0; k < workers_; ++k) {
+    const std::size_t owner = (me + k) % workers_;
+    const std::set<ReadyEntry>& queue = run_queues_[owner];
+    if (queue.empty()) continue;
+    const auto candidate = queue.begin();
+    if (best_queue == nullptr || *candidate < *best) {
+      best_queue = &queue;
+      best = candidate;
+      best_owner = owner;
+    }
+  }
+  if (best_queue == nullptr) return std::nullopt;
+  const TaskId id = best->id;
+  run_queues_[best_owner].erase(best);
+  --ready_count_;
+  if (stole != nullptr) *stole = best_owner != me;
+  return id;
 }
 
 void TaskQueue::record_locked(TraceEvent::Kind kind, std::size_t cell, std::string label,
@@ -114,14 +149,17 @@ void TaskQueue::run_task(TaskId id, bool helping) {
     ++cpu_active_;
     if (record_trace_) record_locked(TraceEvent::Kind::TaskBegin, cell, task.label, 0);
   }
-  ++t_help_depth;
+  support::WallTimer timer;
   job();
-  --t_help_depth;
+  const double busy_ms = timer.elapsed_ms();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     --cpu_active_;
     ++stats_.tasks_executed;
     if (helping) ++stats_.helped_tasks;
+    StageOccupancy& occ = stats_.stage_occupancy[tasks_[id].label];
+    ++occ.tasks;
+    occ.busy_ms += busy_ms;
     if (record_trace_) record_locked(TraceEvent::Kind::TaskEnd, cell, tasks_[id].label, 0);
     if (signals) signal_fence_locked(*signals);
     cv_.notify_one();  // a CPU token came free
@@ -130,22 +168,39 @@ void TaskQueue::run_task(TaskId id, bool helping) {
 
 void TaskQueue::worker_loop(std::size_t me) {
   t_worker_index = me;
+  const bool relief = me >= workers_;   // injected while a wait was parked
+  const std::size_t home = me % workers_;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     cv_.wait(lock,
-             [&] { return done_ || (!ready_.empty() && cpu_active_ < cpu_tokens_); });
-    if (ready_.empty()) {
+             [&] { return done_ || (ready_count_ > 0 && cpu_active_ < cpu_tokens_); });
+    if (ready_count_ == 0) {
       if (done_) return;
       continue;
     }
     // Once the target fence has signaled, drain stragglers unthrottled.
     if (!done_ && cpu_active_ >= cpu_tokens_) continue;
-    const TaskId id = ready_.begin()->id;
-    ready_.erase(ready_.begin());
+    bool stole = false;
+    const std::optional<TaskId> id = pop_ready_locked(home, &stole);
+    if (!id) continue;
+    if (stole) {
+      ++stats_.steals;
+      if (record_trace_) record_locked(TraceEvent::Kind::Note, tasks_[*id].cell, "steal", 0);
+    }
     lock.unlock();
-    run_task(id, false);
+    run_task(*id, relief);
     lock.lock();
   }
+}
+
+void TaskQueue::maybe_spawn_relief_locked() WL_REQUIRES(mutex_) {
+  // One relief worker per concurrent park keeps ~workers_ threads
+  // schedulable however many waits are in flight. Idle relief workers
+  // sleep on the cv like any pool thread and exit with done_; after the
+  // target fence has signaled, straggler parks spawn nothing (drain() is
+  // already joining).
+  if (done_ || relief_.size() >= parked_ || relief_.size() >= kMaxReliefWorkers) return;
+  relief_.emplace_back(&TaskQueue::worker_loop, this, workers_ + relief_.size());
 }
 
 void TaskQueue::drain(FenceId until) {
@@ -161,6 +216,18 @@ void TaskQueue::drain(FenceId until) {
   }
   worker_loop(0);
   for (std::thread& thread : pool) thread.join();
+  // Relief workers exit on the same done_ condition; swap-and-join until
+  // none remain (a straggler task finishing on a relief thread cannot
+  // spawn more once done_ is set, so this terminates).
+  for (;;) {
+    std::vector<std::thread> relief;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      relief.swap(relief_);
+    }
+    if (relief.empty()) break;
+    for (std::thread& thread : relief) thread.join();
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   target_.reset();
   done_ = false;
@@ -171,8 +238,12 @@ void TaskQueue::cancel_cell_waits(std::size_t cell) {
   if (cell >= cancelled_.size()) cancelled_.resize(cell + 1, 0);
   if (cancelled_[cell]) return;
   cancelled_[cell] = 1;
+  if (cell < wait_hint_.size()) wait_hint_[cell] = 0;
   ++stats_.cells_cancelled;
   if (record_trace_) record_locked(TraceEvent::Kind::Note, cell, "cancelled", 0);
+  // Wake every parked wait so the cancelled cell's waiters release early
+  // instead of sleeping out their wall deadlines.
+  cv_.notify_all();
 }
 
 bool TaskQueue::cell_cancelled(std::size_t cell) const {
@@ -184,20 +255,23 @@ void TaskQueue::wait_ticks(std::size_t cell, std::uint64_t ticks) {
   std::unique_lock<std::mutex> lock(mutex_);
   ++stats_.waits;
   stats_.wait_ticks += ticks;
-  // Charge the wait to the cell's debt before parking: any stage that
-  // becomes ready from here on sees it, so wait-prone chains are
-  // front-loaded while CPU-bound chains fill the windows they open.
-  if (cell >= wait_debt_.size()) wait_debt_.resize(cell + 1, 0);
-  wait_debt_[cell] += ticks;
   if (record_trace_) record_locked(TraceEvent::Kind::WaitBegin, cell, {}, ticks);
   if (cell < cancelled_.size() && cancelled_[cell] != 0) {
     // A cancelled cell's waits are virtual-only no matter the pacing mode:
     // the SimClock advance (determinism) already happened, but no wall
     // obligation is parked — the cell is being torn down, not played out.
+    // Nothing is charged to the debt ledger either: debt prioritizes cells
+    // that still owe wall time, and a cancelled cell owes none, so letting
+    // it keep accruing would steal front-of-queue slots from live cells.
     ++stats_.waits_cancelled;
     if (record_trace_) record_locked(TraceEvent::Kind::WaitEnd, cell, {}, 0);
     return;
   }
+  // Charge the wait to the cell's debt before parking: any stage that
+  // becomes ready from here on sees it, so wait-prone chains are
+  // front-loaded while CPU-bound chains fill the windows they open.
+  if (cell >= wait_debt_.size()) wait_debt_.resize(cell + 1, 0);
+  wait_debt_[cell] += ticks;
   if (!pacing_.enabled()) {
     // Unpaced waits cost nothing on the wall clock (the historical
     // behaviour): the virtual advance already happened in SimClock.
@@ -207,46 +281,51 @@ void TaskQueue::wait_ticks(std::size_t cell, std::uint64_t ticks) {
 
   // Park the wall obligation on the shared wheel (keyed on the pacer's
   // monotone campaign tick axis — cell-private SimClock timelines are not
-  // comparable across cells) and help with other work until it matures.
+  // comparable across cells) and sleep until it matures. The injected
+  // relief worker keeps the CPU token fed in the meantime: this thread
+  // never runs nested work, so nothing can bury the deadline — the resume
+  // lag of a parked wait is bounded by the cv timeout precision, not by
+  // whatever another cell's wait happened to cost.
   const support::WallDeadline deadline = pacer_.after_ticks(ticks);
   const std::uint64_t due = pacer_.elapsed_ticks() + ticks;
   const std::uint64_t entry = wheel_.schedule(due, cell);
   ++parked_;
   stats_.max_parked = std::max(stats_.max_parked, parked_);
   --cpu_active_;       // off-CPU for the duration of the park
+  maybe_spawn_relief_locked();
   cv_.notify_one();    // the freed token may unblock a pop
 
+  bool cancelled_while_parked = false;
   for (;;) {
-    const std::uint64_t now = pacer_.elapsed_ticks();
-    wheel_.advance_to(now);
+    if (cell < cancelled_.size() && cancelled_[cell] != 0) {
+      // The cell was cancelled while this wait was parked: release it
+      // immediately instead of sleeping out the wall deadline. The wheel
+      // entry is cancelled below, so the wait is charged exactly once —
+      // as a cancelled wait, never also as a timer wakeup.
+      cancelled_while_parked = true;
+      break;
+    }
+    wheel_.advance_to(pacer_.elapsed_ticks());
     if (pacer_.reached(deadline)) break;
-    const bool can_help =
-        t_help_depth < kMaxHelpDepth && due - now >= kMinHelpRemainingTicks;
-    if (can_help && !ready_.empty() && cpu_active_ < cpu_tokens_) {
-      // Help from the BACK of the debt-ordered set: the lowest-debt cell
-      // is the least likely to park nested on this stack and bury our
-      // matured deadline under its own wait. Free workers take the front.
-      const auto last = std::prev(ready_.end());
-      const TaskId id = last->id;
-      ready_.erase(last);
-      lock.unlock();
-      run_task(id, true);
-      lock.lock();
-      continue;
-    }
-    if (can_help) {
-      cv_.wait_until(lock, deadline.at,
-                     [&] { return !ready_.empty() && cpu_active_ < cpu_tokens_; });
-    } else {
-      cv_.wait_until(lock, deadline.at);
-    }
+    // The predicate includes the cancellation flag so the notify_all in
+    // cancel_cell_waits() actually wakes this waiter through the wait.
+    cv_.wait_until(lock, deadline.at,
+                   [&] { return cell < cancelled_.size() && cancelled_[cell] != 0; });
   }
-  // Our own deadline matured: expire it through the wheel (keeping the
-  // expiry counter honest) and fall back to cancel if another waiter's
-  // advance already served it. Resuming takes no token — the budget is a
-  // pickup gate, never a block on finishing work already in flight.
-  wheel_.advance_to(pacer_.elapsed_ticks());
-  wheel_.cancel(entry);
+  if (cancelled_while_parked) {
+    // Pull the tombstone off the wheel before it can expire: a cancelled
+    // wait must never also count as a timer wakeup (single-charge rule).
+    wheel_.cancel(entry);
+    ++stats_.waits_cancelled;
+  } else {
+    // Our own deadline matured: expire it through the wheel (keeping the
+    // expiry counter honest) and fall back to cancel if another waiter's
+    // advance already served it.
+    wheel_.advance_to(pacer_.elapsed_ticks());
+    wheel_.cancel(entry);
+  }
+  // Resuming takes no token — the budget is a pickup gate, never a block
+  // on finishing work already in flight.
   ++cpu_active_;
   --parked_;
   if (record_trace_) record_locked(TraceEvent::Kind::WaitEnd, cell, {}, 0);
@@ -262,7 +341,22 @@ PipelineStats TaskQueue::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   PipelineStats out = stats_;
   out.timer_wakeups = wheel_.expired_total();
+  out.cpu_tokens = cpu_tokens_;
+  // Log2 histogram of per-cell accumulated debt: bucket 0 = no debt,
+  // bucket k >= 1 = debt in [2^(k-1), 2^k), last bucket open-ended.
+  constexpr std::size_t kBuckets = 16;
+  out.debt_histogram.assign(kBuckets, 0);
+  for (const std::uint64_t debt : wait_debt_) {
+    std::size_t bucket = 0;
+    for (std::uint64_t d = debt; d != 0; d >>= 1) ++bucket;
+    ++out.debt_histogram[std::min(bucket, kBuckets - 1)];
+  }
   return out;
+}
+
+std::uint64_t TaskQueue::cell_wait_debt(std::size_t cell) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cell < wait_debt_.size() ? wait_debt_[cell] : 0;
 }
 
 std::vector<TraceEvent> TaskQueue::trace() const {

@@ -1,24 +1,34 @@
 // core::TaskQueue — the campaign's pipelined task-graph scheduler.
 //
-// Each campaign cell is a linear chain of stage tasks (provision, license,
-// per-track fetch, decrypt/audit, rip phases) linked by dependency fences.
-// The queue schedules ready tasks over a fixed worker pool ordered by the
-// owning cell's accumulated *simulated wait debt* (descending), tying by
+// Each campaign cell is a linear chain of segment-stage tasks (provision,
+// license, per-segment fetch, decrypt/audit, rip phases) linked by
+// dependency fences. Ready tasks live on per-worker run queues (a task's
+// home queue is cell % workers); each queue is ordered by the owning
+// cell's accumulated *simulated wait debt* (descending), tying by
 // submission id — so before any cell has waited, the ready order is plain
-// submission order. Cells that keep hitting injected latency and backoff
-// float to the front: their next wait starts as early as possible, which
-// is what leaves wall time for the CPU-heavy cells to fill. Report
-// bit-identity does not depend on this order at all — each cell computes
-// from its own derive_stream_seed'd SimClock and shares nothing, so
-// cross-cell interleaving can only move wall time, never bytes.
+// submission order. A worker pops the globally best entry, scanning its
+// own queue first and then stealing from victims in fixed worker-index
+// order — the steal order is deterministic by construction, never a
+// function of thread timing. Cells that keep hitting injected latency and
+// backoff float to the front: their next wait starts as early as
+// possible, which is what leaves wall time for the CPU-heavy cells to
+// fill. Report bit-identity does not depend on this order at all — each
+// cell computes from its own derive_stream_seed'd SimClock and shares
+// nothing, so cross-cell interleaving can only move wall time, never
+// bytes.
 //
-// The perf half is the wait machinery (the mesa util_queue_fence_wait
-// idiom, minus fibers): when a task's simulated network wait carries a real
-// wall-time obligation (pacing enabled), the worker does not stall. It
-// parks the deadline on a shared support::TimerWheel and *helps* — runs
-// other ready tasks nested on its own stack until the deadline matures.
+// The perf half is the wait machinery: when a task's simulated network
+// wait carries a real wall-time obligation (pacing enabled), the worker
+// parks the deadline on a shared support::TimerWheel and sleeps — and the
+// queue *injects a relief worker* to keep the CPU token fed, so runnable
+// work never stalls behind a parked thread. (An earlier design had parked
+// workers run other tasks nested on their own stack; a nested task that
+// parked its own long wait then buried the outer, already-matured deadline
+// under it — priority inversion worth whole seconds of resume lag per
+// paced campaign. Relief threads resume every wait the moment it matures.)
 // Cell B's decrypt executes inside cell A's injected latency window; the
 // wall clock, not the virtual one, is the only thing that overlaps.
+// helped_tasks counts stages run by relief workers inside those windows.
 //
 // With pacing disabled (the default everywhere but the benches), waits are
 // free and wait_ticks() is telemetry only — behaviour and wall cost match
@@ -32,10 +42,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "support/annotations.hpp"
@@ -53,19 +65,35 @@ struct FenceId {
   std::size_t value = 0;
 };
 
+/// Per-task-label occupancy: how many tasks carried the label and how much
+/// wall time they spent on CPU. Wall-clock derived, so telemetry only.
+struct StageOccupancy {
+  std::uint64_t tasks = 0;
+  double busy_ms = 0.0;
+};
+
 /// Scheduler telemetry (WL008-guarded inside the queue; snapshot with
 /// stats()). Feeds render_campaign_stats only — never a diffed report, so
 /// nothing here may influence scheduling decisions.
 struct PipelineStats {
   std::uint64_t tasks_executed = 0;
-  std::uint64_t helped_tasks = 0;   // tasks run nested inside another task's wait
+  std::uint64_t helped_tasks = 0;   // tasks run by injected relief workers while
+                                    // other tasks' waits were parked
+  std::uint64_t steals = 0;         // tasks executed off a foreign worker's run queue
   std::uint64_t fence_stalls = 0;   // submissions parked on an unsignaled fence
   std::uint64_t waits = 0;          // SimClock waits surfaced to the scheduler
   std::uint64_t wait_ticks = 0;     // total simulated ticks across those waits
   std::uint64_t timer_wakeups = 0;  // timer-wheel deadline expirations served
   std::size_t max_parked = 0;       // high-water mark of concurrently parked waits
   std::uint64_t cells_cancelled = 0;  // cancel_cell_waits() calls (deadline expiry)
-  std::uint64_t waits_cancelled = 0;  // waits skipped because the cell was cancelled
+  std::uint64_t waits_cancelled = 0;  // waits skipped or released because the cell
+                                      // was cancelled (never also a timer wakeup)
+  std::size_t cpu_tokens = 0;       // resolved on-CPU pickup budget for the run
+  /// Per-stage occupancy, keyed by task label ("play", "rip", "flush"...).
+  std::map<std::string, StageOccupancy> stage_occupancy;
+  /// Histogram of per-cell accumulated wait debt: bucket 0 = no debt,
+  /// bucket k = debt in [2^(k-1), 2^k) ticks, last bucket open-ended.
+  std::vector<std::uint64_t> debt_histogram;
 };
 
 /// One scheduler event, recorded when the spec asks for a trace. The global
@@ -76,7 +104,7 @@ struct TraceEvent {
   enum class Kind { TaskBegin, TaskEnd, WaitBegin, WaitEnd, Note };
   Kind kind = Kind::TaskBegin;
   std::uint64_t seq = 0;     // global event order
-  std::size_t worker = 0;    // executing worker (helpers keep their own id)
+  std::size_t worker = 0;    // executing worker (relief workers get ids >= workers)
   std::size_t cell = 0;      // owning cell / task token
   std::string label;         // task label, or a Note payload
   std::uint64_t ticks = 0;   // wait span (WaitBegin only)
@@ -103,7 +131,8 @@ class TaskQueue {
                 std::optional<FenceId> signals, std::size_t cell, std::string label);
 
   /// Run tasks until `until` signals. The calling thread is worker 0;
-  /// workers-1 threads are spawned for the duration and joined before
+  /// workers-1 threads are spawned for the duration, plus any relief
+  /// workers injected while waits were parked; all are joined before
   /// returning. May be called again after it returns (e.g. a second
   /// campaign wave on one queue).
   void drain(FenceId until);
@@ -111,15 +140,19 @@ class TaskQueue {
   /// A running task's simulated wait of `ticks` (routed here from
   /// SimClock::sleep via the cell's WaitObserver). Telemetry-only when
   /// pacing is off. When pacing is on, parks the wall deadline on the
-  /// timer wheel and runs other ready tasks (bounded nesting) until it
-  /// matures — the worker never idles while runnable work exists.
+  /// timer wheel and sleeps; a relief worker is injected (up to a cap) so
+  /// the pool never loses CPU capacity to a parked thread, and the wait
+  /// resumes the moment its deadline matures.
   void wait_ticks(std::size_t cell, std::uint64_t ticks);
 
   /// Mark a cell cancelled (its deadline budget expired). Subsequent
   /// wait_ticks() calls from that cell stop parking on the timer wheel —
   /// the virtual advance already happened in SimClock, but a cancelled
   /// cell owes the wall clock nothing, so its remaining stages drain as
-  /// fast as the workers can skip them. Idempotent.
+  /// fast as the workers can skip them. A wait already parked on the wheel
+  /// is released immediately (its wheel entry is cancelled, so it is
+  /// charged once as a cancelled wait, never again as a timer wakeup), and
+  /// cancelled waits stop accruing to the cell's debt ledger. Idempotent.
   void cancel_cell_waits(std::size_t cell);
 
   /// Whether cancel_cell_waits() was called for `cell`.
@@ -137,6 +170,22 @@ class TaskQueue {
   std::vector<TraceEvent> trace() const;
   std::size_t task_count() const;
 
+  /// The cell's accumulated simulated wait debt (the scheduler's priority
+  /// signal). Cancelled cells stop accruing — the accounting the debt-ledger
+  /// regression test pins down.
+  std::uint64_t cell_wait_debt(std::size_t cell) const;
+
+  /// Profile-guided priority: declare the cell's *expected* total simulated
+  /// wait (e.g. measured by a prior run of the same deterministic matrix).
+  /// The hint is folded into the cell's ready-order priority exactly like
+  /// accrued debt — so a chain known to wait long opens its first window
+  /// immediately instead of after its debt is rediscovered the hard way —
+  /// but never into the debt ledger, telemetry, or any report. Cleared if
+  /// the cell is cancelled (a dead cell must never outrank live ones).
+  /// Call before drain(); typically set from CampaignSpec::
+  /// schedule_wait_hints.
+  void set_cell_wait_hint(std::size_t cell, std::uint64_t ticks);
+
  private:
   struct Task {
     std::function<void()> job;
@@ -150,26 +199,53 @@ class TaskQueue {
     bool signaled = false;
     std::vector<TaskId> waiters;
   };
-  /// Ready-set key: highest wait debt first, submission id breaks ties.
-  /// The debt is snapshotted when the task becomes ready (set keys must
-  /// not mutate in place); a cell that waits while its successor is
-  /// already queued gets the boost on the stage after that.
+  /// Ready-set key, two classes:
+  ///  1. Zero-debt cells first, in submission-id order. A cell with no
+  ///     recorded wait is an *undiscovered* chain — its first injected
+  ///     fault could be anywhere, and until it parks something the
+  ///     scheduler has no window to hide other work in. Driving every
+  ///     chain to its first wait as early as possible bounds each chain's
+  ///     start delay, which adds one-for-one to its finish time — and the
+  ///     longest chain sets the paced makespan. (Under pure debt order
+  ///     every resumed stage starves these, and the last-submitted cells
+  ///     open their first wait hundreds of ticks late.)
+  ///  2. Then highest wait debt first: among discovered chains, the one
+  ///     that has waited most is the best predictor of waits still to
+  ///     come, so its next wait should open soonest. Submission id breaks
+  ///     ties.
+  /// Keys are snapshotted when the task becomes ready (set keys must not
+  /// mutate in place); a cell that waits while its successor is already
+  /// queued gets the boost on the stage after that.
   struct ReadyEntry {
     std::uint64_t debt = 0;
     TaskId id = 0;
     bool operator<(const ReadyEntry& other) const {
+      if ((debt == 0) != (other.debt == 0)) return debt == 0;
       if (debt != other.debt) return debt > other.debt;
       return id < other.id;
     }
   };
 
+  /// The loop base workers AND injected relief workers run. `me` is the
+  /// worker id; relief workers get ids >= workers_ (their run-queue home is
+  /// me % workers_).
   void worker_loop(std::size_t me);
-  /// Pop + execute one task (job runs unlocked). `helping` marks nested
-  /// execution from inside a parked wait.
+  /// Pop + execute one task (job runs unlocked). `helping` marks execution
+  /// by an injected relief worker.
   void run_task(TaskId id, bool helping);
-  /// Insert a task into the ready set, stamping its cell's current wait
-  /// debt as the priority key.
+  /// Insert a task into its home run queue (cell % workers), stamping its
+  /// cell's current wait debt as the priority key.
   void push_ready_locked(TaskId id) WL_REQUIRES(mutex_);
+  /// Pop the globally best ready entry (highest debt, lowest id) scanning
+  /// the caller's own run queue first, then victims in fixed worker-index
+  /// order — a deterministic steal order, never a timing-dependent one.
+  /// Sets `*stole` when the task came off a foreign queue. Returns nullopt
+  /// when every queue is empty.
+  std::optional<TaskId> pop_ready_locked(std::size_t me, bool* stole)
+      WL_REQUIRES(mutex_);
+  /// Inject one relief worker if parked waits outnumber the relief pool
+  /// (keeping ~workers_ schedulable threads) and the cap allows it.
+  void maybe_spawn_relief_locked() WL_REQUIRES(mutex_);
   /// Decrement the fence; on signal, release waiters into the ready set
   /// (debt-then-id order — deterministic for equal debts however the
   /// producers raced) and flip done_ if this was drain()'s target fence.
@@ -187,14 +263,24 @@ class TaskQueue {
   std::condition_variable cv_;
   std::vector<Task> tasks_ WL_GUARDED_BY(mutex_);
   std::vector<Fence> fences_ WL_GUARDED_BY(mutex_);
-  std::set<ReadyEntry> ready_ WL_GUARDED_BY(mutex_);  // ordered: most-waiting cell first
+  /// Per-worker run queues (task home = cell % workers), each ordered
+  /// most-waiting cell first. Workers pop their own queue and steal from
+  /// victims in fixed index order, so the pop sequence is a pure function
+  /// of the (debt, id) keys — never of thread timing.
+  std::vector<std::set<ReadyEntry>> run_queues_ WL_GUARDED_BY(mutex_);
+  std::size_t ready_count_ WL_GUARDED_BY(mutex_) = 0;  // total across run queues
   std::vector<std::uint64_t> wait_debt_ WL_GUARDED_BY(mutex_);  // per-cell sim ticks waited
+  std::vector<std::uint64_t> wait_hint_ WL_GUARDED_BY(mutex_);  // per-cell expected waits
+                                                                // (priority only, no ledger)
   std::vector<char> cancelled_ WL_GUARDED_BY(mutex_);  // per-cell cancellation flags
   support::TimerWheel wheel_ WL_GUARDED_BY(mutex_);
   PipelineStats stats_ WL_GUARDED_BY(mutex_);
   std::vector<TraceEvent> trace_ WL_GUARDED_BY(mutex_);
   std::uint64_t event_seq_ WL_GUARDED_BY(mutex_) = 0;
   std::size_t parked_ WL_GUARDED_BY(mutex_) = 0;
+  /// Injected relief workers (run worker_loop with ids >= workers_); they
+  /// exit with the base pool and drain() joins them last.
+  std::vector<std::thread> relief_ WL_GUARDED_BY(mutex_);
   std::optional<FenceId> target_ WL_GUARDED_BY(mutex_);
   bool done_ WL_GUARDED_BY(mutex_) = false;
   std::size_t cpu_active_ WL_GUARDED_BY(mutex_) = 0;  // tasks on CPU (not parked)

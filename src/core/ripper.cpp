@@ -54,11 +54,22 @@ RipSession::RipSession(ContentRipper& ripper, const ott::OttAppProfile& profile)
   result_.app = profile_.name;
 }
 
+int RipSession::max_steps_for(const ott::OttAppProfile& profile) {
+  // Instrument, recover keys, reconstruct (manifest harvest + video);
+  // one audio representation per step, one subtitle per step (each phase
+  // spends one extra step discovering it has no work left); verify.
+  const int audio = static_cast<int>(profile.audio_languages.size());
+  const int subs = static_cast<int>(profile.subtitle_languages.size());
+  return 3 + (audio + 1) + (subs + 1) + 1;
+}
+
 const char* RipSession::phase_name() const {
   switch (phase_) {
     case Phase::Instrument: return "rip/instrument";
     case Phase::RecoverKeys: return "rip/recover-keys";
     case Phase::Reconstruct: return "rip/reconstruct";
+    case Phase::ReconstructAudio: return "rip/reconstruct-audio";
+    case Phase::ReconstructSubtitles: return "rip/reconstruct-subtitles";
     case Phase::Verify: return "rip/verify";
     case Phase::Done: return "done";
   }
@@ -70,6 +81,8 @@ void RipSession::step() {
     case Phase::Instrument: step_instrument(); return;
     case Phase::RecoverKeys: step_recover_keys(); return;
     case Phase::Reconstruct: step_reconstruct(); return;
+    case Phase::ReconstructAudio: step_reconstruct_audio(); return;
+    case Phase::ReconstructSubtitles: step_reconstruct_subtitles(); return;
     case Phase::Verify: step_verify(); return;
     case Phase::Done: return;
   }
@@ -175,14 +188,26 @@ void RipSession::step_reconstruct() {
     return;
   }
   result_.best_video_resolution = best_video->resolution;
+  phase_ = Phase::ReconstructAudio;
+}
 
+void RipSession::step_reconstruct_audio() {
   // Every audio language ("audio in any language can be played anywhere").
-  for (const auto* rep : manifest_.mpd->of_type(media::TrackType::Audio)) {
-    if (append_track(*rep)) ++result_.audio_tracks;
+  // Segment-granular: one representation's download+decrypt per step.
+  const auto reps = manifest_.mpd->of_type(media::TrackType::Audio);
+  while (audio_index_ < reps.size()) {
+    if (append_track(*reps[audio_index_++])) ++result_.audio_tracks;
+    if (audio_index_ < reps.size()) return;  // one download per step
   }
-  // Subtitles, when their URIs were discoverable.
-  for (const auto* rep : manifest_.mpd->of_type(media::TrackType::Subtitle)) {
-    if (append_track(*rep)) ++result_.subtitle_tracks;
+  phase_ = Phase::ReconstructSubtitles;
+}
+
+void RipSession::step_reconstruct_subtitles() {
+  // Subtitles, when their URIs were discoverable. One per step.
+  const auto reps = manifest_.mpd->of_type(media::TrackType::Subtitle);
+  while (subtitle_index_ < reps.size()) {
+    if (append_track(*reps[subtitle_index_++])) ++result_.subtitle_tracks;
+    if (subtitle_index_ < reps.size()) return;
   }
   phase_ = Phase::Verify;
 }

@@ -82,20 +82,24 @@ class ContentRipper {
   net::TlsClient analyst_client_;  // plain client: root CAs, no pins
 };
 
-/// One rip, resumable phase by phase (the pipeline's natural await points:
-/// the instrumented playback, the key recovery, the CDN re-download, the
-/// stock-player check). rip_app() steps a session to completion; the
-/// campaign scheduler steps it one phase per task so the network waits
-/// inside any phase can overlap other cells' CPU work. A failed phase
+/// One rip, resumable *segment-granularly*: each step() performs at most
+/// one CDN re-download, so a scheduler that maps steps to tasks can drain
+/// one track's fetch latency under another cell's CENC work. The
+/// reconstruction phase is split per track class (video, then one audio
+/// representation per step, then one subtitle per step) with per-phase
+/// cursors. rip_app() steps a session to completion; a failed phase
 /// records its reason and completes the session early — exactly the
 /// monolith's early returns. Borrows the ripper; one session at a time.
 class RipSession {
  public:
   RipSession(ContentRipper& ripper, const ott::OttAppProfile& profile);
 
-  /// Upper bound on step() calls: instrument, recover keys, reconstruct,
-  /// verify. Static so schedulers can pre-plan task chains.
-  static constexpr int kMaxSteps = 4;
+  /// Planning bound on step() calls for this profile (one task per step in
+  /// the pipelined campaign): instrument, recover keys, reconstruct video,
+  /// one step per audio/subtitle language, verify. An *underestimate* is
+  /// harmless to correctness — schedulers must follow their planned steps
+  /// with a step-to-done guarantee loop.
+  static int max_steps_for(const ott::OttAppProfile& profile);
 
   bool done() const { return phase_ == Phase::Done; }
   /// Advance one phase; no-op once done.
@@ -106,11 +110,21 @@ class RipSession {
   RipResult take_result() { return std::move(result_); }
 
  private:
-  enum class Phase { Instrument, RecoverKeys, Reconstruct, Verify, Done };
+  enum class Phase {
+    Instrument,
+    RecoverKeys,
+    Reconstruct,            // harvest the manifest + best decryptable video
+    ReconstructAudio,       // one audio representation per step
+    ReconstructSubtitles,   // one subtitle representation per step
+    Verify,
+    Done,
+  };
 
   void step_instrument();
   void step_recover_keys();
   void step_reconstruct();
+  void step_reconstruct_audio();
+  void step_reconstruct_subtitles();
   void step_verify();
   bool append_track(const media::MpdRepresentation& rep);
 
@@ -127,6 +141,11 @@ class RipSession {
   RecoveredKeys keys_;
   HarvestedManifest manifest_;
   Bytes reconstruction_;
+
+  // Segment cursors: the per-track-class reconstruction phases resume
+  // mid-list so each step() performs at most one CDN download.
+  std::size_t audio_index_ = 0;
+  std::size_t subtitle_index_ = 0;
 };
 
 }  // namespace wideleak::core

@@ -97,4 +97,60 @@ std::string app_audit_to_json(const AppAuditJson& audit) {
   return out.str();
 }
 
+namespace {
+
+const char* trace_kind_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::TaskBegin: return "task-begin";
+    case TraceEvent::Kind::TaskEnd: return "task-end";
+    case TraceEvent::Kind::WaitBegin: return "wait-begin";
+    case TraceEvent::Kind::WaitEnd: return "wait-end";
+    case TraceEvent::Kind::Note: return "note";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string schedule_trace_to_json(const std::vector<TraceEvent>& events,
+                                   const PipelineStats& stats) {
+  std::ostringstream out;
+  out << "{\"stats\":{"
+      << "\"tasks_executed\":" << stats.tasks_executed
+      << ",\"helped_tasks\":" << stats.helped_tasks
+      << ",\"steals\":" << stats.steals
+      << ",\"fence_stalls\":" << stats.fence_stalls
+      << ",\"waits\":" << stats.waits
+      << ",\"wait_ticks\":" << stats.wait_ticks
+      << ",\"timer_wakeups\":" << stats.timer_wakeups
+      << ",\"max_parked\":" << stats.max_parked
+      << ",\"cells_cancelled\":" << stats.cells_cancelled
+      << ",\"waits_cancelled\":" << stats.waits_cancelled
+      << ",\"cpu_tokens\":" << stats.cpu_tokens
+      << ",\"stage_occupancy\":{";
+  bool first = true;
+  for (const auto& [label, occ] : stats.stage_occupancy) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << json_escape(label) << "\":{\"tasks\":" << occ.tasks
+        << ",\"busy_ms\":" << occ.busy_ms << "}";
+  }
+  out << "},\"debt_histogram\":[";
+  for (std::size_t i = 0; i < stats.debt_histogram.size(); ++i) {
+    if (i != 0) out << ",";
+    out << stats.debt_histogram[i];
+  }
+  out << "]},\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    if (i != 0) out << ",";
+    out << "\n {\"kind\":\"" << trace_kind_name(event.kind) << "\",\"seq\":" << event.seq
+        << ",\"worker\":" << event.worker << ",\"cell\":" << event.cell
+        << ",\"label\":\"" << json_escape(event.label) << "\",\"ticks\":" << event.ticks
+        << ",\"at\":" << event.at << "}";
+  }
+  out << "\n]}";
+  return out.str();
+}
+
 }  // namespace wideleak::core

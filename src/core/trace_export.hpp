@@ -9,10 +9,13 @@
 
 #include <string>
 
+#include <vector>
+
 #include "core/asset_auditor.hpp"
 #include "core/key_usage_auditor.hpp"
 #include "core/legacy_prober.hpp"
 #include "core/monitor.hpp"
+#include "core/pipeline.hpp"
 #include "hooking/trace.hpp"
 
 namespace wideleak::core {
@@ -39,5 +42,13 @@ struct AppAuditJson {
   LegacyProbeReport legacy;
 };
 std::string app_audit_to_json(const AppAuditJson& audit);
+
+/// A scheduler run — the PipelineStats snapshot plus the full TraceEvent
+/// stream — as one JSON object ({"stats": {...}, "events": [...]}). This is
+/// the CI schedule-trace artifact format: wall-clock-derived fields
+/// (occupancy busy_ms, steals) ride along for inspection but must never be
+/// diffed against a baseline.
+std::string schedule_trace_to_json(const std::vector<TraceEvent>& events,
+                                   const PipelineStats& stats);
 
 }  // namespace wideleak::core

@@ -244,6 +244,21 @@ PlaybackOutcome OttApp::play_title(const PlaybackRequest& request) {
 PlaybackSession::PlaybackSession(OttApp& app, PlaybackRequest request)
     : app_(app), request_(std::move(request)), net_before_(app.ecosystem_.retry_stats()) {}
 
+int PlaybackSession::max_steps_for(const OttAppProfile& profile) {
+  const int audio = static_cast<int>(profile.audio_languages.size());
+  const int subs = static_cast<int>(profile.subtitle_languages.size());
+  const int rungs = static_cast<int>(media::standard_quality_ladder().size());
+  // Widevine path: login, provision, manifest; track collection (one audio
+  // segment fetch per step, plus the step that finds no work left); the
+  // license exchange; the video ladder walk (one rung per step); audio
+  // decode; subtitles (one per step, plus the finisher); finish.
+  const int widevine = 3 + (audio + 1) + 1 + rungs + 1 + (subs + 1) + 1;
+  // Custom-DRM fallback: login, custom manifest, custom license; one video
+  // plus per-language audio segments (one per step, plus finisher); finish.
+  const int custom = 3 + (1 + audio + 1) + 1;
+  return profile.custom_drm_on_l3_only ? std::max(widevine, custom) : widevine;
+}
+
 const char* PlaybackSession::stage_name() const {
   switch (step_) {
     case Step::Login: return "login";
@@ -352,21 +367,26 @@ void PlaybackSession::step_manifest() {
 void PlaybackSession::step_collect_tracks() {
   // Collect the key ids to license: from the MPD, plus from any encrypted
   // track whose MPD metadata was redacted (regional restriction) — the
-  // file's tenc box always names its key.
-  for (const auto& rep : manifest_->representations) {
+  // file's tenc box always names its key. Segment-granular: one audio
+  // segment fetch per step (kid harvesting from metadata is free and rides
+  // along); the cursor resumes the walk on the next step.
+  const auto& reps = manifest_->representations;
+  while (collect_index_ < reps.size()) {
+    const auto& rep = reps[collect_index_++];
     if (rep.default_kid) kid_set_.insert(hex_encode(*rep.default_kid));
     if (rep.type == media::TrackType::Audio && rep.language == request_.audio_language) {
       if (const auto file = app_.download(app_.profile_.cdn_host(), rep.base_url)) {
         const auto track = media::PackagedTrack::try_from_file(BytesView(*file));
         if (!track.ok()) {
           degrade("audio segment " + rep.base_url + " unparseable");
-          continue;
+        } else {
+          if (track.value().encrypted) kid_set_.insert(hex_encode(track.value().key_id));
+          audio_files_[rep.base_url] = *file;
         }
-        if (track.value().encrypted) kid_set_.insert(hex_encode(track.value().key_id));
-        audio_files_[rep.base_url] = *file;
       } else {
         degrade("audio segment " + rep.base_url + " unavailable");
       }
+      if (collect_index_ < reps.size()) return;  // one download per step
     }
   }
   step_ = Step::License;
@@ -440,29 +460,28 @@ void PlaybackSession::step_license() {
 void PlaybackSession::step_video() {
   // Video: walk the ladder from the best licensed quality down, degrading
   // to the next rung when a segment cannot be fetched or decoded.
-  const media::MpdRepresentation* rendered_video = nullptr;
-  for (const auto* rep : video_candidates_) {
+  // Segment-granular: one rung's fetch+decode attempt per step.
+  if (video_index_ < video_candidates_.size()) {
+    const auto* rep = video_candidates_[video_index_++];
     const auto file = app_.download(app_.profile_.cdn_host(), rep->base_url);
     if (file && play_file(*file)) {
-      rendered_video = rep;
-      break;
+      step_ = Step::Audio;
+      return;
     }
     degrade("video " + rep->resolution.label() + " segment failed");
+    if (video_index_ < video_candidates_.size()) return;  // next rung next step
   }
-  if (rendered_video == nullptr) {
-    outcome_.failure = "video playback failed";
-    // Blame the most recent transport error if there was one; otherwise every
-    // candidate arrived but was undecodable (corruption past the transport).
-    outcome_.net_error = app_.last_net_error_ != ErrorCode::None ? app_.last_net_error_
-                                                                 : ErrorCode::MalformedPayload;
-    outcome_.net_error_detail = app_.last_net_error_ != ErrorCode::None
-                                    ? app_.last_net_error_detail_
-                                    : "every candidate video segment undecodable";
-    drm_->close_session(session_);
-    step_ = Step::Finish;
-    return;
-  }
-  step_ = Step::Audio;
+  // Ladder exhausted without a rendered rung.
+  outcome_.failure = "video playback failed";
+  // Blame the most recent transport error if there was one; otherwise every
+  // candidate arrived but was undecodable (corruption past the transport).
+  outcome_.net_error = app_.last_net_error_ != ErrorCode::None ? app_.last_net_error_
+                                                               : ErrorCode::MalformedPayload;
+  outcome_.net_error_detail = app_.last_net_error_ != ErrorCode::None
+                                  ? app_.last_net_error_detail_
+                                  : "every candidate video segment undecodable";
+  drm_->close_session(session_);
+  step_ = Step::Finish;
 }
 
 void PlaybackSession::step_audio() {
@@ -476,18 +495,24 @@ void PlaybackSession::step_audio() {
 
 void PlaybackSession::step_subtitles() {
   // Subtitles: MPD representations or the opaque token channel.
+  // Segment-granular: one subtitle fetch per step via the shared cursor.
   if (app_.profile_.subtitles_via_opaque_channel) {
-    for (const std::string& token : app_.subtitle_tokens_) {
+    while (subtitle_index_ < app_.subtitle_tokens_.size()) {
+      const std::string& token = app_.subtitle_tokens_[subtitle_index_++];
       if (const auto file = app_.download(app_.profile_.backend_host(), "/st/" + token)) {
         play_file(*file);
       }
+      if (subtitle_index_ < app_.subtitle_tokens_.size()) return;
     }
   } else {
-    for (const auto* rep : manifest_->of_type(media::TrackType::Subtitle)) {
+    const auto reps = manifest_->of_type(media::TrackType::Subtitle);
+    while (subtitle_index_ < reps.size()) {
+      const auto* rep = reps[subtitle_index_++];
       if (rep->language != request_.subtitle_language) continue;
       if (const auto file = app_.download(app_.profile_.cdn_host(), rep->base_url)) {
         play_file(*file);
       }
+      if (subtitle_index_ < reps.size()) return;
     }
   }
 
@@ -543,18 +568,23 @@ void PlaybackSession::step_custom_license() {
 }
 
 void PlaybackSession::step_custom_tracks() {
-  // Pick the best video the custom license covers, plus audio.
-  surface_ = std::make_unique<android::Surface>();
-  std::uint16_t chosen_height = 0;
-  for (const auto* rep : manifest_->of_type(media::TrackType::Video)) {
-    if (request_.video_height != 0 && rep->resolution.height != request_.video_height) continue;
-    if (rep->default_kid && !custom_keys_.contains(hex_encode(*rep->default_kid))) continue;
-    chosen_height = std::max(chosen_height, rep->resolution.height);
+  // Pick the best video the custom license covers, plus audio. The pick
+  // happens once, on first entry (surface_ doubles as the entry flag);
+  // segment-granular resumption walks one representation fetch per step.
+  if (!surface_) {
+    surface_ = std::make_unique<android::Surface>();
+    for (const auto* rep : manifest_->of_type(media::TrackType::Video)) {
+      if (request_.video_height != 0 && rep->resolution.height != request_.video_height) continue;
+      if (rep->default_kid && !custom_keys_.contains(hex_encode(*rep->default_kid))) continue;
+      custom_chosen_height_ = std::max(custom_chosen_height_, rep->resolution.height);
+    }
   }
   Bytes clear;
-  for (const auto& rep : manifest_->representations) {
+  const auto& all_reps = manifest_->representations;
+  while (custom_index_ < all_reps.size()) {
+    const auto& rep = all_reps[custom_index_++];
     const bool is_chosen_video =
-        rep.type == media::TrackType::Video && rep.resolution.height == chosen_height;
+        rep.type == media::TrackType::Video && rep.resolution.height == custom_chosen_height_;
     const bool is_audio =
         rep.type == media::TrackType::Audio && rep.language == request_.audio_language;
     if (!is_chosen_video && !is_audio) continue;
@@ -601,6 +631,7 @@ void PlaybackSession::step_custom_tracks() {
       surface_->render(parsed->frame);
       pos += parsed->consumed;
     }
+    if (custom_index_ < all_reps.size()) return;  // one download per step
   }
 
   outcome_.played = surface_->frames_rendered() > 0;

@@ -114,19 +114,27 @@ class OttApp {
   std::string last_net_error_detail_;
 };
 
-/// One playback, resumable stage by stage. Each step() performs the next
-/// stage of the Figure-1 flow and leaves the session ready for the next;
-/// after at most kMaxSteps steps done() is true and take_outcome() yields
-/// the same PlaybackOutcome the monolithic flow produced. Sessions borrow
-/// the app and must not outlive it; one session at a time per app.
+/// One playback, resumable *segment-granularly*: each step() performs at
+/// most one network download, so a scheduler that maps steps to tasks can
+/// drain one segment's simulated fetch latency under another cell's CENC
+/// work. Stages that fetch several segments (track collection, the video
+/// ladder walk, subtitles, custom-DRM tracks) resume mid-loop via
+/// per-stage cursors; after finitely many steps done() is true and
+/// take_outcome() yields the same PlaybackOutcome the monolithic flow
+/// produced — the sequence of exchanges, rng draws and clock advances is
+/// identical. Sessions borrow the app and must not outlive it; one
+/// session at a time per app.
 class PlaybackSession {
  public:
   PlaybackSession(OttApp& app, PlaybackRequest request);
 
-  /// Upper bound on step() calls for any profile/path: the widevine path's
-  /// login, provision, manifest, track-collect, license, video, audio,
-  /// subtitles, finish. Static so schedulers can pre-plan task chains.
-  static constexpr int kMaxSteps = 9;
+  /// Planning bound on step() calls for this profile (one task per step in
+  /// the pipelined campaign). Sized from the profile's language lists and
+  /// the standard quality ladder; an *underestimate* is harmless to
+  /// correctness — schedulers must follow their planned steps with a
+  /// step-to-done guarantee loop — but a good estimate keeps nearly all
+  /// segment fetches on their own task.
+  static int max_steps_for(const OttAppProfile& profile);
 
   bool done() const { return step_ == Step::Done; }
   /// Advance one stage; no-op once done.
@@ -186,6 +194,14 @@ class PlaybackSession {
   std::unique_ptr<android::Surface> surface_;
   std::unique_ptr<android::MediaCodec> codec_;
   std::map<std::string, Bytes> custom_keys_;
+
+  // Segment cursors: multi-download stages resume mid-loop so each step()
+  // performs at most one network fetch.
+  std::size_t collect_index_ = 0;   // next representation in CollectTracks
+  std::size_t video_index_ = 0;     // next ladder candidate in Video
+  std::size_t subtitle_index_ = 0;  // next token/representation in Subtitles
+  std::size_t custom_index_ = 0;    // next representation in CustomTracks
+  std::uint16_t custom_chosen_height_ = 0;  // picked on CustomTracks entry
 };
 
 }  // namespace wideleak::ott

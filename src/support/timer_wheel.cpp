@@ -79,8 +79,13 @@ std::vector<TimerWheel::Expired> TimerWheel::advance_to(std::uint64_t now_tick) 
     fired.swap(slots_[0][s0]);
     for (const Entry& entry : fired) {
       if (entry.deadline > now_) {
-        // A future wrap of this slot: not due yet, put it back.
-        slots_[0][s0].push_back(entry);
+        // A future wrap of this slot: not due yet, put it back — unless it
+        // was cancelled, in which case re-queueing it would retain a
+        // tombstone that a later cascade into the same tick could re-walk.
+        // Dropping it here keeps the cancellation charge single: cancel()
+        // already decremented pending_, so the entry must never be counted
+        // again by any path.
+        if (live_.contains(entry.seq)) slots_[0][s0].push_back(entry);
         continue;
       }
       if (live_.erase(entry.seq) == 0) continue;  // cancelled

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,30 @@ TEST(TimerWheelTest, CancelledEntriesNeverFire) {
   EXPECT_FALSE(wheel.cancel(b));  // already expired
   EXPECT_EQ(wheel.scheduled_total(), 2u);
   EXPECT_EQ(wheel.expired_total(), 1u);
+}
+
+TEST(TimerWheelTest, CancelledWaitAndCascadeOnTheSameTickChargeOnce) {
+  // Regression: a cancelled entry whose deadline coincides with a cascade
+  // tick must stay a tombstone on every path — the slot drain, the cascade
+  // walk and any slot re-queue must all drop it, so the cancellation is
+  // charged exactly once (cancel() already decremented pending_).
+  support::TimerWheel wheel;
+  const std::uint64_t doomed = wheel.schedule(64, 1);  // parks beyond level 0
+  wheel.schedule(64, 2);
+  EXPECT_TRUE(wheel.cancel(doomed));
+  EXPECT_EQ(wheel.pending(), 1u);
+
+  // Tick 64 is both the level-1 cascade boundary and the deadline.
+  const auto fired = wheel.advance_to(64);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].token, 2u);
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_EQ(wheel.expired_total(), 1u);
+  EXPECT_FALSE(wheel.cancel(doomed));  // no live entry left to charge
+
+  // No tombstone lingers into later epochs of the same slots.
+  EXPECT_TRUE(wheel.advance_to(64 * 3).empty());
+  EXPECT_FALSE(wheel.next_deadline().has_value());
 }
 
 TEST(TimerWheelTest, PastDeadlinesFireOnNextAdvanceAheadOfLater) {
@@ -274,6 +299,47 @@ TEST(TaskQueueTest, UnpacedCancelledWaitsStillCountTelemetry) {
   EXPECT_EQ(stats.timer_wakeups, 0u);
 }
 
+TEST(TaskQueueTest, CancelledWaitsStopAccruingWaitDebt) {
+  // The debt ledger is the scheduler's priority signal: virtual time is
+  // charged to telemetry for every wait, but a cancelled cell stops
+  // accruing debt — a dead cell must never outrank live ones in the ready
+  // order.
+  TaskQueue queue(1, support::PacingPolicy{});
+  const FenceId done = queue.make_fence(1);
+  queue.submit(
+      [&] {
+        queue.wait_ticks(5, 10);
+        queue.cancel_cell_waits(5);
+        queue.wait_ticks(5, 90);
+      },
+      std::nullopt, done, 5, "debt");
+  queue.drain(done);
+
+  EXPECT_EQ(queue.stats().wait_ticks, 100u);  // telemetry: both waits
+  EXPECT_EQ(queue.cell_wait_debt(5), 10u);    // ledger: only the live one
+  EXPECT_EQ(queue.cell_wait_debt(0), 0u);
+}
+
+TEST(TaskQueueTest, CancelReleasesAParkedWaitWithoutATimerWakeup) {
+  // Cell 0 parks a wall deadline far in the future; while it helps, cell
+  // 1's task cancels cell 0. The parked wait must be released by the
+  // cancellation (counted as waits_cancelled), never by the timer — if
+  // this regresses, the test stalls on the 20-second deadline and the
+  // wakeup counter flags the double charge.
+  TaskQueue queue(1, support::PacingPolicy{.wall_us_per_tick = 1000},
+                  /*record_trace=*/true);
+  const FenceId done = queue.make_fence(2);
+  queue.submit([&] { queue.wait_ticks(0, 20000); }, std::nullopt, done, 0, "parked");
+  queue.submit([&] { queue.cancel_cell_waits(0); }, std::nullopt, done, 1, "canceller");
+  queue.drain(done);
+
+  const PipelineStats stats = queue.stats();
+  EXPECT_EQ(stats.cells_cancelled, 1u);
+  EXPECT_EQ(stats.waits_cancelled, 1u);
+  EXPECT_EQ(stats.timer_wakeups, 0u);
+  EXPECT_GE(stats.helped_tasks, 1u);  // the canceller ran inside the park
+}
+
 // ---------------------------------------------------------------------------
 // Campaign-level: bit-identity across schedulers, and the overlap proof.
 
@@ -388,6 +454,114 @@ TEST(PipelineTest, CellStagesOverlapAnInjectedLatencyWindow) {
   sync.workers = 1;
   EXPECT_EQ(render_campaign_report(result),
             render_campaign_report(CampaignRunner(std::move(sync)).run()));
+}
+
+TEST(PipelineTest, SegmentStagesInterleaveAcrossCells) {
+  // Segment granularity, both halves:
+  //  (a) one cell's playback is MANY "play" tasks (one download per step),
+  //      not one monolithic task — the split the scheduler needs;
+  //  (b) while cell A's play stage waits out a fetch-latency window, cell
+  //      B's play stage (its decrypt included) runs inside that window on
+  //      the same worker.
+  CampaignSpec spec = pipeline_spec();
+  spec.chaos = net::FaultProfile::None;
+  net::FaultPlan plan;
+  plan.name = "latency-everywhere";
+  net::FaultRule rule;
+  rule.host_prefix = "";
+  rule.rates.latency_pm = 1000;
+  rule.rates.latency_ticks = 25;
+  plan.rules.push_back(rule);
+  spec.fault_plan = plan;
+  spec.mode = ExecutionMode::Pipelined;
+  spec.workers = 1;
+  spec.pacing.wall_us_per_tick = 2000;
+  spec.record_schedule_trace = true;
+  const CampaignResult result = CampaignRunner(std::move(spec)).run();
+
+  // (a) Every cell's playback was split into several play-stage tasks.
+  std::map<std::size_t, int> play_tasks;
+  for (const TraceEvent& event : result.trace) {
+    if (event.kind == TraceEvent::Kind::TaskBegin && event.label == "play") {
+      ++play_tasks[event.cell];
+    }
+  }
+  ASSERT_EQ(play_tasks.size(), result.cells.size());
+  for (const auto& [cell, count] : play_tasks) {
+    EXPECT_GT(count, 3) << "cell " << cell << " playback was not segment-split";
+  }
+
+  // (b) Walk the per-worker task nesting; find a wait opened inside a
+  // "play" task that encloses a TaskBegin of ANOTHER cell's "play" task.
+  std::map<std::size_t, std::vector<const TraceEvent*>> running;  // worker -> stack
+  bool overlap_found = false;
+  const std::vector<TraceEvent>& trace = result.trace;
+  for (std::size_t i = 0; i < trace.size() && !overlap_found; ++i) {
+    const TraceEvent& event = trace[i];
+    if (event.kind == TraceEvent::Kind::TaskBegin) running[event.worker].push_back(&event);
+    if (event.kind == TraceEvent::Kind::TaskEnd && !running[event.worker].empty()) {
+      running[event.worker].pop_back();
+    }
+    if (event.kind != TraceEvent::Kind::WaitBegin) continue;
+    const auto& stack = running[event.worker];
+    if (stack.empty() || stack.back()->label != "play") continue;
+    for (std::size_t j = i + 1; j < trace.size(); ++j) {
+      const TraceEvent& inner = trace[j];
+      if (inner.kind == TraceEvent::Kind::WaitEnd && inner.cell == event.cell &&
+          inner.worker == event.worker) {
+        break;  // window closed without a nested foreign play stage
+      }
+      if (inner.kind == TraceEvent::Kind::TaskBegin && inner.cell != event.cell &&
+          inner.label == "play") {
+        overlap_found = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(overlap_found)
+      << "no cell-B play segment executed inside a cell-A fetch-latency window";
+}
+
+// ---------------------------------------------------------------------------
+// Cross-matrix shared scheduling: run_campaigns_shared.
+
+TEST(PipelineTest, SharedQueueReportsMatchSoloRunsAtEveryWorkerCount) {
+  // Two matrices with different chaos profiles through ONE TaskQueue: each
+  // spec's report must stay bit-identical to running that spec alone, at
+  // every worker count — per-cell seeds derive from each spec's own seed
+  // and cell label, never from the shared schedule.
+  CampaignSpec cdn = pipeline_spec();
+  CampaignSpec license = pipeline_spec();
+  license.chaos = net::FaultProfile::FlakyLicense;
+
+  CampaignSpec cdn_solo = cdn;
+  cdn_solo.mode = ExecutionMode::Synchronous;
+  const std::string expected_cdn =
+      render_campaign_report(CampaignRunner(std::move(cdn_solo)).run());
+  CampaignSpec license_solo = license;
+  license_solo.mode = ExecutionMode::Synchronous;
+  const std::string expected_license =
+      render_campaign_report(CampaignRunner(std::move(license_solo)).run());
+
+  const std::vector<std::size_t> ladder =
+      kUnderTsan ? std::vector<std::size_t>{2} : std::vector<std::size_t>{1, 2, 4, 8};
+  for (const std::size_t workers : ladder) {
+    SharedCampaignConfig config;
+    config.workers = workers;
+    const std::vector<CampaignResult> results =
+        run_campaigns_shared({cdn, license}, config);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(render_campaign_report(results[0]), expected_cdn) << "shared w" << workers;
+    EXPECT_EQ(render_campaign_report(results[1]), expected_license)
+        << "shared w" << workers;
+    // Shared-schedule telemetry is a property of the queue: identical
+    // snapshots on every result, covering both matrices' tasks.
+    EXPECT_EQ(results[0].stats.pipeline.tasks_executed,
+              results[1].stats.pipeline.tasks_executed);
+    EXPECT_GT(results[0].stats.pipeline.tasks_executed,
+              static_cast<std::uint64_t>(results[0].cells.size()));
+    EXPECT_EQ(results[0].stats.wall_ms, results[1].stats.wall_ms);
+  }
 }
 
 }  // namespace

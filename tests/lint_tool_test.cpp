@@ -278,7 +278,7 @@ TEST(Emitters, SarifSchemaShape) {
     EXPECT_NE(sarif.find("\"id\": \"" + rule + "\""), std::string::npos) << rule;
     EXPECT_FALSE(lint::rule_description(rule).empty());
   }
-  EXPECT_EQ(lint::all_rules().size(), 11u);
+  EXPECT_EQ(lint::all_rules().size(), 12u);
   // Results carry ruleId, level and a physical location.
   EXPECT_NE(sarif.find("\"ruleId\": \"WL001\""), std::string::npos);
   EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);

@@ -3,9 +3,10 @@
 
 Usage:
     bench_diff.py [--tolerance PCT] baseline.json current.json
+    bench_diff.py [--tolerance PCT] --baseline-dir DIR current.json [...]
 
-Compares two benchmark reports produced by support::BenchReport (the fixed
-schema emitted by bench_dataplane and bench_poc_ripper) op by op:
+Compares benchmark reports produced by support::BenchReport (the fixed
+schema emitted by the bench_* binaries) op by op:
 
   * a checksum mismatch is ALWAYS fatal -- bit-identity of the operation's
     output is the contract, no tolerance applies;
@@ -14,12 +15,17 @@ schema emitted by bench_dataplane and bench_poc_ripper) op by op:
   * a throughput (mb_per_s) drop of more than --tolerance percent below
     the baseline is fatal; improvements and new ops are reported as notes.
 
+With --baseline-dir, each current report is diffed against the committed
+snapshot of the same basename inside DIR (the bench/baselines/ layout); a
+missing snapshot or report is a clear error, never a stack trace.
+
 Exit status: 0 clean, 1 regression, 2 usage/parse error.
 Stdlib only -- CI runs this with a bare python3.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -28,12 +34,16 @@ def die(message):
     raise SystemExit(2)
 
 
-def load_report(path):
+def load_report(path, role):
+    if not os.path.exists(path):
+        die(f"bench_diff: {role} report {path} does not exist"
+            + (" (regenerate it with the matching bench binary and commit it)"
+               if role == "baseline" else " (did the bench step run?)"))
     try:
         with open(path, "r", encoding="utf-8") as handle:
             report = json.load(handle)
     except (OSError, ValueError) as exc:
-        die(f"bench_diff: cannot read {path}: {exc}")
+        die(f"bench_diff: cannot read {role} report {path}: {exc}")
     if not isinstance(report, dict) or "entries" not in report:
         die(f"bench_diff: {path}: not a BenchReport (missing 'entries')")
     ops = {}
@@ -47,18 +57,10 @@ def load_report(path):
     return report.get("name", "?"), ops
 
 
-def main(argv):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--tolerance", type=float, default=10.0,
-                        help="max allowed throughput drop, percent (default 10)")
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    args = parser.parse_args(argv)
-    if args.tolerance < 0:
-        parser.error("--tolerance must be >= 0")
-
-    base_name, base = load_report(args.baseline)
-    cur_name, cur = load_report(args.current)
+def diff_pair(baseline_path, current_path, tolerance):
+    """Diff one (baseline, current) pair; returns the failure count."""
+    base_name, base = load_report(baseline_path, "baseline")
+    cur_name, cur = load_report(current_path, "current")
     if base_name != cur_name:
         print(f"bench_diff: note: report names differ ({base_name!r} vs {cur_name!r})")
 
@@ -80,9 +82,9 @@ def main(argv):
             print(f"  ok  {op}: baseline has no throughput signal, checksum matches")
             continue
         delta_pct = (cur_mbps - base_mbps) / base_mbps * 100.0
-        if delta_pct < -args.tolerance:
+        if delta_pct < -tolerance:
             print(f"FAIL {op}: {base_mbps:.3f} -> {cur_mbps:.3f} MB/s "
-                  f"({delta_pct:+.1f}% < -{args.tolerance:g}% tolerance)")
+                  f"({delta_pct:+.1f}% < -{tolerance:g}% tolerance)")
             failures += 1
         else:
             print(f"  ok  {op}: {base_mbps:.3f} -> {cur_mbps:.3f} MB/s ({delta_pct:+.1f}%)")
@@ -92,10 +94,40 @@ def main(argv):
 
     if failures:
         print(f"bench_diff: {failures} regression(s) "
-              f"({args.baseline} vs {args.current}, tolerance {args.tolerance:g}%)")
-        return 1
-    print(f"bench_diff: clean ({len(base)} op(s) gated, tolerance {args.tolerance:g}%)")
-    return 0
+              f"({baseline_path} vs {current_path}, tolerance {tolerance:g}%)")
+    else:
+        print(f"bench_diff: clean ({len(base)} op(s) gated, tolerance {tolerance:g}%)")
+    return failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=10.0,
+                        help="max allowed throughput drop, percent (default 10)")
+    parser.add_argument("--baseline-dir", metavar="DIR",
+                        help="diff each report against DIR/<its basename> "
+                             "instead of naming the baseline explicitly")
+    parser.add_argument("reports", nargs="+",
+                        help="baseline.json current.json, or (with "
+                             "--baseline-dir) one or more current reports")
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    if args.baseline_dir:
+        if not os.path.isdir(args.baseline_dir):
+            die(f"bench_diff: baseline dir {args.baseline_dir} does not exist")
+        failures = 0
+        for current in args.reports:
+            baseline = os.path.join(args.baseline_dir, os.path.basename(current))
+            print(f"== {os.path.basename(current)} vs {baseline} ==")
+            failures += diff_pair(baseline, current, args.tolerance)
+        return 1 if failures else 0
+
+    if len(args.reports) != 2:
+        parser.error("expected exactly: baseline.json current.json "
+                     "(or use --baseline-dir)")
+    return 1 if diff_pair(args.reports[0], args.reports[1], args.tolerance) else 0
 
 
 if __name__ == "__main__":

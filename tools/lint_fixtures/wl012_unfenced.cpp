@@ -1,0 +1,49 @@
+// WL012 fixture: fence discipline on TaskQueue::submit. A submit whose
+// `after` argument is a literal std::nullopt enters the ready set with no
+// ordering fence — a cell chain's sequential-execution guarantee rests on
+// those fences, so an unfenced submission must carry an explicit
+// `// wl-lint: unordered-ok` acknowledging the task really is order-free.
+//
+// Fixtures are lexed, not compiled — the types stand in for the real ones.
+#include <cstdint>
+
+void bad_unfenced_head(TaskQueue& queue, FenceId done) {
+  queue.submit([] {}, std::nullopt, done, 0, "setup");  // expect: WL012
+}
+
+void bad_unfenced_pointer_call(TaskQueue* task_queue, FenceId done) {
+  task_queue->submit([] {}, std::nullopt, done, 3, "probe");  // expect: WL012
+}
+
+void bad_unfenced_multiline(TaskQueue& queue, FenceId done) {
+  queue.submit(  // expect: WL012
+      [] { touch_nothing(); }, std::nullopt, done, 1, "standalone");
+}
+
+void good_fenced_chain(TaskQueue& queue, FenceId prev, FenceId done) {
+  // The chain stage rides its predecessor's fence.
+  queue.submit([] {}, prev, done, 0, "audit");
+}
+
+void good_variable_after(TaskQueue& queue, std::optional<FenceId> after, FenceId done) {
+  // An `after` passed through a variable is assumed fence-carrying; the
+  // token scan only polices the literal-nullopt shape.
+  queue.submit([] {}, after, done, 2, "play");
+}
+
+void good_suppressed_head(TaskQueue& queue, FenceId done) {
+  // The head of a chain genuinely has no predecessor — acknowledged.
+  // wl-lint: unordered-ok
+  queue.submit([] {}, std::nullopt, done, 0, "head");
+}
+
+void good_nullopt_signals_only(TaskQueue& queue, FenceId prev) {
+  // std::nullopt in the 3rd (signals) argument is fine: only the `after`
+  // slot orders execution.
+  queue.submit([] {}, prev, std::nullopt, 4, "tail");
+}
+
+void good_other_receiver(ThreadPool& pool) {
+  // Not a task queue: unrelated submit() APIs stay out of scope.
+  pool.submit([] {}, std::nullopt, 7);
+}

@@ -780,6 +780,61 @@ void check_wl011(const std::string& path, const std::vector<Token>& toks,
   }
 }
 
+// ---------------------------------------------------------------------------
+// WL012: fence discipline on TaskQueue::submit (plain token scan; same scope)
+// ---------------------------------------------------------------------------
+//
+// A campaign cell's sequential-execution guarantee rests entirely on its
+// fence chain: submit(job, after, ...) with a literal std::nullopt `after`
+// puts the task straight into the ready set, unordered against everything.
+// That is occasionally what you mean (the head of a chain, a standalone
+// telemetry task) — and then the call site must say so with
+// `// wl-lint: unordered-ok`. The receiver heuristic keys on "queue" in the
+// object name (`queue.submit`, `task_queue_->submit`), so unrelated submit()
+// APIs stay out of scope; an `after` passed through a variable is assumed
+// fence-carrying (this is a token scan, not a dataflow solver).
+
+void check_wl012(const std::string& path, const std::vector<Token>& toks,
+                 const NotesMap& notes, std::vector<Violation>* violations) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!toks[i].is_ident || toks[i].text != "submit") continue;
+    if (i == 0 || (toks[i - 1].text != "." && toks[i - 1].text != "->")) continue;
+    if (i < 2 || !toks[i - 2].is_ident) continue;
+    // Receiver must name a queue (case-insensitive substring).
+    std::string receiver = toks[i - 2].text;
+    for (char& c : receiver) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (receiver.find("queue") == std::string::npos) continue;
+    if (toks[i + 1].text != "(") continue;
+    const std::size_t close = match_paren(toks, i + 1);
+
+    // Walk the top-level arguments; the 2nd is `after`.
+    std::size_t arg = 1;           // current argument ordinal
+    bool after_is_nullopt = false;
+    int depth = 0;
+    for (std::size_t j = i + 2; j < close && j < toks.size(); ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      if (t == ")" || t == "]" || t == "}") --depth;
+      if (depth == 0 && t == ",") {
+        ++arg;
+        continue;
+      }
+      if (arg == 2 && toks[j].is_ident && t == "nullopt") after_is_nullopt = true;
+    }
+    if (!after_is_nullopt) continue;
+
+    const int line = toks[i].line;
+    const int anchor = statement_anchor_line(toks, i);
+    if (suppressed_at(notes, "unordered-ok", line, anchor)) continue;
+    violations->push_back(
+        {path, line, "WL012",
+         "TaskQueue::submit with a literal std::nullopt `after` enters the ready "
+         "set with no ordering fence; cell stages must ride their chain's fence, "
+         "and a genuinely order-free task needs an explicit "
+         "`// wl-lint: unordered-ok` (docs/PERFORMANCE.md, docs/LINTING.md)"});
+  }
+}
+
 }  // namespace
 
 SymbolIndex build_symbol_index(const std::vector<SourceFile>& sources) {
@@ -809,6 +864,7 @@ void run_dataflow_passes(const std::string& path, const Scan& scan, const NotesM
     check_wl009(path, scan.tokens, notes, violations);
     check_wl010(path, scan.tokens, notes, violations);
     check_wl011(path, scan.tokens, notes, violations);
+    check_wl012(path, scan.tokens, notes, violations);
   }
 }
 

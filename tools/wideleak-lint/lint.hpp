@@ -57,6 +57,13 @@
 //          remaining-work check — so no retry/wait loop can spin forever
 //          against a dependency that never recovers. (Deadline-propagation
 //          contract, docs/RESILIENCE.md.)
+//   WL012  fence discipline: a `*queue*.submit(...)` call inside src/core,
+//          src/net or src/ott whose `after` argument is a literal
+//          std::nullopt enters the ready set with no ordering fence. Cell
+//          chains rely on per-cell fences for their sequential-execution
+//          guarantee, so an unfenced submission must carry an explicit
+//          `// wl-lint: unordered-ok` acknowledging the task really is
+//          order-free. (Segment-pipelining contract, docs/PERFORMANCE.md.)
 //
 // Suppressions, written as ordinary comments on the flagged line, the line
 // above it, or the line above the start of a multi-line declaration /
@@ -72,6 +79,7 @@
 //   // wl-lint: det-ok          (WL009)
 //   // wl-lint: wait-ok         (WL010)
 //   // wl-lint: bounded-ok      (WL011)
+//   // wl-lint: unordered-ok    (WL012)
 //   // wl-lint: log-ok,ct-ok    (both at once)
 //
 // Fixture self-test: every line carrying `// expect: WLxxx[,WLyyy]` must be
@@ -87,7 +95,7 @@ namespace wideleak::lint {
 struct Violation {
   std::string file;
   int line = 0;
-  std::string rule;     // "WL001".."WL011"
+  std::string rule;     // "WL001".."WL012"
   std::string message;  // human-readable finding
 };
 
@@ -167,7 +175,7 @@ struct Expectation {
 };
 std::vector<Expectation> collect_expectations(const std::string& source);
 
-/// All rule ids, in order ("WL001".."WL011").
+/// All rule ids, in order ("WL001".."WL012").
 const std::vector<std::string>& all_rules();
 
 /// One-line description of a rule id (used by the SARIF rules table).

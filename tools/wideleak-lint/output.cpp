@@ -15,7 +15,7 @@ using internal::json_escape;
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "WL001", "WL002", "WL003", "WL004", "WL005", "WL006", "WL007", "WL008", "WL009",
-      "WL010", "WL011"};
+      "WL010", "WL011", "WL012"};
   return kRules;
 }
 
@@ -31,6 +31,7 @@ std::string rule_description(const std::string& rule) {
   if (rule == "WL009") return "nondeterministic time/randomness source in a deterministic subtree";
   if (rule == "WL010") return "thread-blocking sleep or busy-wait outside the task scheduler";
   if (rule == "WL011") return "retry/wait loop with no attempt cap or deadline check";
+  if (rule == "WL012") return "TaskQueue::submit with no ordering fence and no unordered-ok";
   return "unknown rule";
 }
 
